@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure benchmark binaries.
+ *
+ * Every bench binary does two things (DESIGN.md Sec. 4):
+ *  1. regenerate its paper figure's quantitative series and print it as
+ *     an ASCII table (captured into bench_output.txt / EXPERIMENTS.md);
+ *  2. run google-benchmark timings for the involved hot paths.
+ *
+ * ST_BENCH_MAIN(printer) emits a main() that prints first, then hands
+ * argv to google-benchmark.
+ */
+
+#ifndef ST_BENCH_BENCH_COMMON_HPP
+#define ST_BENCH_BENCH_COMMON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#define ST_BENCH_MAIN(printer)                                          \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        printer();                                                      \
+        std::cout << std::endl;                                         \
+        benchmark::Initialize(&argc, argv);                             \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))         \
+            return 1;                                                   \
+        benchmark::RunSpecifiedBenchmarks();                            \
+        benchmark::Shutdown();                                          \
+        return 0;                                                       \
+    }
+
+#endif // ST_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Experiment E1 — paper Sec. VI conjecture 1: energy efficiency of
+ * direct s-t implementations.
+ *
+ * Three series:
+ *  1. transitions per computation in GRL vs the equivalent binary
+ *     (indirect) datapath — the one-switch-per-line property;
+ *  2. transitions vs volley sparsity — quiet lines switch zero times;
+ *  3. the delay-element (shift register + clock) share of total energy
+ *     vs temporal resolution — quantifying the Sec. V.B caveat.
+ */
+
+#include "bench_common.hpp"
+
+#include "core/optimize.hpp"
+#include "grl/boolsim.hpp"
+#include "grl/compile.hpp"
+#include "grl/energy.hpp"
+#include "neuron/sorting.hpp"
+#include "neuron/srm0_network.hpp"
+#include "neuron/wta.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+void
+printGrlVsBinary()
+{
+    std::cout << "E1a | min(a, b) at n-bit resolution: switching per "
+                 "computation, GRL vs binary ripple datapath\n";
+    AsciiTable t({"bits n", "GRL transitions/op", "binary toggles/op",
+                  "ratio (binary/GRL)"});
+    Rng rng(30);
+    for (size_t bits : {3, 4, 6, 8}) {
+        const uint64_t limit = (uint64_t{1} << bits) - 1;
+        // GRL: one AND gate; count internal + input transitions.
+        Network net(2);
+        net.markOutput(net.min(net.input(0), net.input(1)));
+        grl::CompileResult compiled = grl::compileToGrl(net);
+        uint64_t grl_total = 0;
+        const size_t ops = 500;
+        for (size_t s = 0; s < ops; ++s) {
+            std::vector<Time> x{Time(rng.below(limit + 1)),
+                                Time(rng.below(limit + 1))};
+            grl::SimResult sim =
+                grl::simulate(compiled.circuit, x, limit + 1);
+            grl_total +=
+                sim.totalInternalTransitions() + sim.inputTransitions;
+        }
+        // Binary: stream the same value pairs through a ripple min.
+        grl::BoolCircuit bin = grl::buildBinaryMin(bits);
+        grl::BoolActivity act(bin);
+        Rng rng2(30); // same stream
+        for (size_t s = 0; s < ops; ++s) {
+            auto a = grl::toBits(rng2.below(limit + 1), bits);
+            auto b = grl::toBits(rng2.below(limit + 1), bits);
+            a.insert(a.end(), b.begin(), b.end());
+            act.apply(a);
+        }
+        double grl_per = static_cast<double>(grl_total) / ops;
+        double bin_per = static_cast<double>(act.gateToggles() +
+                                             act.inputToggles()) /
+                         (ops - 1);
+        t.row(bits, grl_per, bin_per, bin_per / grl_per);
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: GRL stays ~3 transitions/op regardless "
+                 "of n; binary grows with n -> GRL wins at low "
+                 "resolution, consistent with Sec. VI.\n\n";
+}
+
+void
+printSparsity()
+{
+    std::cout << "E1b | transitions vs volley sparsity (32 lines): a "
+                 "min-reduction tree vs a WTA stage\n";
+    // Excitatory convergence: a balanced min tree (a neuron's
+    // first-arrival front) — only paths touched by spikes switch.
+    Network tree(32);
+    std::vector<NodeId> level;
+    for (size_t i = 0; i < 32; ++i)
+        level.push_back(tree.input(i));
+    while (level.size() > 1) {
+        std::vector<NodeId> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(tree.min(level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    tree.markOutput(level[0]);
+    grl::CompileResult tree_c = grl::compileToGrl(tree);
+    // Inhibitory broadcast: the Fig. 15 WTA — its inhibition gate
+    // reaches every line, quiet or not.
+    Network wta = wtaNetwork(32, 1);
+    grl::CompileResult wta_c = grl::compileToGrl(wta);
+
+    AsciiTable t({"active lines", "min-tree transitions",
+                  "WTA transitions"});
+    Rng rng(31);
+    for (size_t active : {32, 16, 8, 4, 1, 0}) {
+        uint64_t tree_total = 0, wta_total = 0;
+        const size_t trials = 200;
+        for (size_t s = 0; s < trials; ++s) {
+            std::vector<Time> x(32, INF);
+            for (size_t i = 0; i < active; ++i)
+                x[i] = Time(rng.below(8));
+            tree_total += grl::simulate(tree_c.circuit, x, 16)
+                              .totalInternalTransitions();
+            wta_total += grl::simulate(wta_c.circuit, x, 16)
+                             .totalInternalTransitions();
+        }
+        t.row(active, static_cast<double>(tree_total) / trials,
+              static_cast<double>(wta_total) / trials);
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: excitatory convergence scales with "
+                 "activity (quiet volley = ZERO transitions, the "
+                 "paper's sparse-coding win); the WTA's blanket "
+                 "inhibition is a broadcast and pays O(n) latch "
+                 "captures whenever anything fires — inhibition is the "
+                 "exception to the sparsity argument.\n\n";
+}
+
+void
+printDelayShare()
+{
+    std::cout << "E1c | delay-element share of energy vs temporal "
+                 "resolution (8-tap delay-line + min tree)\n";
+    AsciiTable t({"resolution bits", "total energy", "delay fraction"});
+    for (unsigned bits : {2, 3, 4, 6}) {
+        const Time::rep span = (Time::rep{1} << bits) - 1;
+        // A compound synapse: 8 taps spread over the full time span.
+        Network net(1);
+        std::vector<NodeId> taps;
+        for (size_t i = 0; i < 8; ++i)
+            taps.push_back(net.inc(net.input(0), 1 + (i * span) / 8));
+        net.markOutput(net.min(std::span<const NodeId>(taps)));
+        grl::CompileResult compiled = grl::compileToGrl(net);
+        std::vector<Time> x{0_t};
+        grl::SimResult sim = grl::simulate(compiled.circuit, x);
+        grl::EnergyReport e =
+            grl::estimateEnergy(compiled.circuit, sim);
+        t.row(bits, e.total, e.delayFraction());
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: the shift registers dominate and their "
+                 "share grows with resolution — the paper's Sec. V.B "
+                 "energy caveat, quantified.\n";
+}
+
+void
+printResetOverhead()
+{
+    std::cout << "E1d | per-computation reset overhead in a streamed "
+                 "pipeline (Sec. VI: lines \"must be reset prior to the "
+                 "next computation\")\n";
+    Network net = wtaNetwork(16, 1);
+    grl::CompileResult compiled = grl::compileToGrl(net);
+    Rng rng(33);
+    AsciiTable t({"active lines", "forward transitions",
+                  "reset transitions", "reset share %"});
+    for (size_t active : {16, 8, 2}) {
+        std::vector<std::vector<Time>> volleys;
+        for (int s = 0; s < 100; ++s) {
+            std::vector<Time> x(16, INF);
+            for (size_t i = 0; i < active; ++i)
+                x[i] = Time(rng.below(8));
+            volleys.push_back(std::move(x));
+        }
+        grl::StreamResult stream =
+            grl::simulateStream(compiled.circuit, volleys, 12);
+        double share = 100.0 *
+                       static_cast<double>(stream.resetTransitions) /
+                       static_cast<double>(stream.totalTransitions());
+        t.row(active, stream.forwardTransitions,
+              stream.resetTransitions, share);
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: reset mirrors the forward activity "
+                 "(~every fallen line rises once), roughly doubling the "
+                 "switching — but still sparse-coding proportional.\n";
+}
+
+void
+printDelayFactoring()
+{
+    std::cout << "E1e | minimizing the shift-register cost (the paper's "
+                 "Sec. V.B future work): SRM0 circuits before/after "
+                 "delay factoring\n";
+    AsciiTable t({"synapses", "FF stages raw", "FF stages opt",
+                  "energy raw", "energy opt", "agree"});
+    Rng rng(34);
+    for (size_t q : {2, 4, 8}) {
+        ResponseFunction r =
+            ResponseFunction::biexponential(3, 4.0, 1.0);
+        std::vector<ResponseFunction> syn(q, r);
+        Network raw = buildSrm0Network(
+            syn, static_cast<ResponseFunction::Amp>(q));
+        Network opt = optimize(raw);
+        grl::CompileResult raw_c = grl::compileToGrl(raw);
+        grl::CompileResult opt_c = grl::compileToGrl(opt);
+        double raw_e = 0, opt_e = 0;
+        size_t agree = 0;
+        const size_t trials = 100;
+        for (size_t s = 0; s < trials; ++s) {
+            std::vector<Time> x(q);
+            for (Time &v : x)
+                v = rng.chance(0.2) ? INF : Time(rng.below(8));
+            grl::SimResult a = grl::simulate(raw_c.circuit, x);
+            grl::SimResult b = grl::simulate(opt_c.circuit, x);
+            raw_e += grl::estimateEnergy(raw_c.circuit, a).total;
+            opt_e += grl::estimateEnergy(opt_c.circuit, b).total;
+            agree += a.outputs == b.outputs;
+        }
+        t.row(q, raw.totalIncStages(), opt.totalIncStages(),
+              raw_e / trials, opt_e / trials,
+              std::to_string(agree) + "/" + std::to_string(trials));
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: factoring parallel taps into chains "
+                 "(sum -> max delay per source) cuts the dominant "
+                 "flipflop-and-clock energy at identical behaviour.\n";
+}
+
+void
+printFigure()
+{
+    printGrlVsBinary();
+    printSparsity();
+    printDelayShare();
+    std::cout << "\n";
+    printResetOverhead();
+    std::cout << "\n";
+    printDelayFactoring();
+}
+
+void
+BM_GrlMinOp(benchmark::State &state)
+{
+    Network net(2);
+    net.markOutput(net.min(net.input(0), net.input(1)));
+    grl::CompileResult compiled = grl::compileToGrl(net);
+    std::vector<Time> x{3_t, 5_t};
+    for (auto _ : state) {
+        auto sim = grl::simulate(compiled.circuit, x, 8);
+        benchmark::DoNotOptimize(sim);
+    }
+}
+BENCHMARK(BM_GrlMinOp);
+
+void
+BM_BinaryMinOp(benchmark::State &state)
+{
+    grl::BoolCircuit bin = grl::buildBinaryMin(4);
+    grl::BoolActivity act(bin);
+    Rng rng(32);
+    for (auto _ : state) {
+        auto a = grl::toBits(rng.below(16), 4);
+        auto b = grl::toBits(rng.below(16), 4);
+        a.insert(a.end(), b.begin(), b.end());
+        auto out = act.apply(a);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_BinaryMinOp);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment F5 — paper Fig. 5 and Sec. III.A: spike-volley coding
+ * efficiency.
+ *
+ * Regenerates the paper's communication-cost argument: with n-bit
+ * temporal resolution a volley conveys just under n bits per spike, but
+ * message time grows as 2^n — hence the case for 3-4 bit data. Also
+ * shows the sparse-coding multiplier the paper highlights.
+ */
+
+#include "bench_common.hpp"
+
+#include "tnn/volley.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+void
+printFigure()
+{
+    std::cout << "F5 | Fig. 5 / Sec. III.A: volley coding efficiency "
+                 "vs temporal resolution\n";
+    std::cout << "    (16-line volleys; sparse = 25% of lines spike)\n";
+    AsciiTable t({"resolution n (bits)", "message time (2^n)",
+                  "dense bits/spike", "sparse bits/spike",
+                  "spikes (dense)", "spikes (sparse)"});
+    Rng rng(5);
+    const size_t lines = 16;
+    for (unsigned n = 1; n <= 10; ++n) {
+        std::vector<double> dense(lines), sparse(lines);
+        for (size_t i = 0; i < lines; ++i) {
+            dense[i] = 0.05 + 0.95 * rng.uniform();
+            sparse[i] = rng.chance(0.25) ? 0.5 + 0.5 * rng.uniform()
+                                         : 0.0;
+        }
+        Volley dv = quantizeIntensities(dense, n, 0.01);
+        Volley sv = quantizeIntensities(sparse, n, 0.01);
+        CodingStats ds = codingStats(dv, n);
+        CodingStats ss = codingStats(sv, n);
+        t.row(n, ds.messageTime, ds.bitsPerSpike, ss.bitsPerSpike,
+              ds.spikes, ss.spikes);
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: bits/spike grows ~n while message time "
+                 "doubles per bit -> only low resolution is practical "
+                 "(paper Sec. III.A).\n";
+}
+
+void
+BM_EncodeValues(benchmark::State &state)
+{
+    const size_t lines = static_cast<size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<std::optional<uint64_t>> values(lines);
+    for (auto &v : values) {
+        if (!rng.chance(0.2))
+            v = rng.below(16);
+    }
+    for (auto _ : state) {
+        Volley v = encodeValues(values);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(lines));
+}
+BENCHMARK(BM_EncodeValues)->Arg(16)->Arg(256)->Arg(4096);
+
+void
+BM_QuantizeIntensities(benchmark::State &state)
+{
+    const size_t lines = static_cast<size_t>(state.range(0));
+    Rng rng(8);
+    std::vector<double> intensities(lines);
+    for (double &x : intensities)
+        x = rng.uniform();
+    for (auto _ : state) {
+        Volley v = quantizeIntensities(intensities, 3, 0.1);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(lines));
+}
+BENCHMARK(BM_QuantizeIntensities)->Arg(256)->Arg(4096);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

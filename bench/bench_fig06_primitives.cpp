@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Experiment F6 — paper Fig. 6: the primitive functional blocks.
+ *
+ * Regenerates the Fig. 6a primitive semantics as a truth-table excerpt
+ * and a Fig. 6b-style composed network, then times primitive evaluation
+ * through the three execution engines (denotational evaluator, event-
+ * driven trace simulator, and evaluation throughput scaling).
+ */
+
+#include "bench_common.hpp"
+
+#include "core/algebra.hpp"
+#include "core/network.hpp"
+#include "core/trace_sim.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+void
+printFigure()
+{
+    std::cout << "F6 | Fig. 6a: primitive block semantics\n";
+    AsciiTable t({"a", "b", "inc(a)", "min(a,b)", "lt(a,b)"});
+    for (auto [a, b] : std::vector<std::pair<Time, Time>>{
+             {2_t, 5_t}, {5_t, 2_t}, {3_t, 3_t}, {4_t, INF},
+             {INF, 4_t}}) {
+        t.row(a, b, tinc(a), tmin(a, b), tlt(a, b));
+    }
+    t.writeTo(std::cout);
+
+    std::cout << "\nF6 | Fig. 6b: a composed example network "
+                 "y = lt(min(x0, x1) + 1, x2)\n";
+    Network net(3);
+    NodeId y = net.lt(net.inc(net.min(net.input(0), net.input(1)), 1),
+                      net.input(2));
+    net.markOutput(y);
+    AsciiTable n({"x0", "x1", "x2", "y"});
+    for (auto x : {std::vector<Time>{2_t, 5_t, 4_t},
+                   {2_t, 5_t, 3_t},
+                   {0_t, 0_t, 2_t},
+                   {1_t, INF, INF}}) {
+        n.row(x[0], x[1], x[2], net.evaluate(x)[0]);
+    }
+    n.writeTo(std::cout);
+    std::cout << "shape check: outputs match hand evaluation; spikes "
+                 "only move forward in time (causality).\n";
+}
+
+Network
+chainNetwork(size_t blocks)
+{
+    Network net(2);
+    NodeId cur = net.input(0);
+    for (size_t i = 0; i < blocks; i += 3) {
+        cur = net.inc(cur, 1);
+        cur = net.min(cur, net.input(1));
+        cur = net.lt(cur, net.inc(net.input(1), 5));
+    }
+    net.markOutput(cur);
+    return net;
+}
+
+void
+BM_NetworkEvaluate(benchmark::State &state)
+{
+    Network net = chainNetwork(static_cast<size_t>(state.range(0)));
+    std::vector<Time> x{1_t, 3_t};
+    for (auto _ : state) {
+        auto out = net.evaluate(x);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(net.size()));
+}
+BENCHMARK(BM_NetworkEvaluate)->Arg(30)->Arg(300)->Arg(3000);
+
+void
+BM_TraceSimulate(benchmark::State &state)
+{
+    Network net = chainNetwork(static_cast<size_t>(state.range(0)));
+    TraceSimulator sim(net);
+    std::vector<Time> x{1_t, 3_t};
+    for (auto _ : state) {
+        Trace trace = sim.run(x);
+        benchmark::DoNotOptimize(trace);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(net.size()));
+}
+BENCHMARK(BM_TraceSimulate)->Arg(30)->Arg(300)->Arg(3000);
+
+void
+BM_PrimitiveOps(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<Time> xs(1024);
+    for (Time &t : xs)
+        t = rng.chance(0.2) ? INF : Time(rng.below(1000));
+    for (auto _ : state) {
+        Time acc = 0_t;
+        for (size_t i = 1; i < xs.size(); ++i) {
+            acc = tmin(tmax(acc, xs[i - 1]), tlt(xs[i - 1], xs[i]) + 1);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PrimitiveOps);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Experiment F7 — paper Fig. 7: normalized function tables.
+ *
+ * Regenerates the exact Fig. 7 table, its worked normalize/lookup/shift
+ * example, and the causality-closure cases, then times table evaluation
+ * and black-box inference as the window grows.
+ */
+
+#include "bench_common.hpp"
+
+#include "core/function_table.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+FunctionTable
+fig7()
+{
+    return FunctionTable::parse(3, "0 1 2 3\n1 0 inf 2\n2 2 0 2\n");
+}
+
+void
+printFigure()
+{
+    FunctionTable table = fig7();
+    std::cout << "F7 | Fig. 7: the paper's normalized function table\n";
+    std::cout << table.str();
+    std::cout << "\nEvaluation semantics "
+                 "(normalize -> lookup -> shift):\n";
+    AsciiTable t({"input", "output", "note"});
+    auto ev = [&table](std::vector<Time> x) {
+        return table.evaluate(x);
+    };
+    t.row("[0, 1, 2]", ev({0_t, 1_t, 2_t}).str(), "row 1 direct");
+    t.row("[3, 4, 5]", ev({3_t, 4_t, 5_t}).str(),
+          "paper's worked example: +3 shift");
+    t.row("[1, 0, inf]", ev({1_t, 0_t, INF}).str(), "row 2 direct");
+    t.row("[1, 0, 9]", ev({1_t, 0_t, 9_t}).str(),
+          "causality closure: 9 > 2 acts as inf");
+    t.row("[1, 0, 2]", ev({1_t, 0_t, 2_t}).str(),
+          "x3 = output: could matter, no match");
+    t.row("[0, 0, 0]", ev({0_t, 0_t, 0_t}).str(), "no entry -> inf");
+    t.writeTo(std::cout);
+    std::cout << "history bound k = " << table.historyBound() << "\n";
+}
+
+void
+BM_TableEvaluate(benchmark::State &state)
+{
+    FunctionTable table = fig7();
+    Rng rng(2);
+    std::vector<std::vector<Time>> probes;
+    for (int i = 0; i < 256; ++i) {
+        std::vector<Time> x(3);
+        for (Time &v : x)
+            v = rng.chance(0.2) ? INF : Time(rng.below(8));
+        probes.push_back(x);
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        Time y = table.evaluate(probes[i++ & 255]);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableEvaluate);
+
+void
+BM_TableInference(benchmark::State &state)
+{
+    // Infer min's table over growing windows: (k+2)^2 probes.
+    const Time::rep k = static_cast<Time::rep>(state.range(0));
+    auto fn = [](std::span<const Time> x) { return tmin(x[0], x[1]); };
+    for (auto _ : state) {
+        FunctionTable t = FunctionTable::infer(2, k, fn);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>((k + 2) * (k + 2)));
+}
+BENCHMARK(BM_TableInference)->Arg(4)->Arg(8)->Arg(16);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

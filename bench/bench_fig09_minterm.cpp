@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Experiment F9 — paper Fig. 9 / Theorem 1: minterm canonical form.
+ *
+ * Regenerates the exact Fig. 9 example, then sweeps random tables to
+ * chart how the synthesized network's size and depth scale with row
+ * count and arity — and verifies equivalence (must be exact) along the
+ * way. Times synthesis itself and synthesized-network evaluation.
+ */
+
+#include "bench_common.hpp"
+
+#include "core/synthesis.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+FunctionTable
+randomTable(Rng &rng, size_t arity, Time::rep k, size_t rows)
+{
+    FunctionTable table(arity);
+    size_t attempts = 0;
+    while (table.rowCount() < rows && attempts < rows * 50) {
+        ++attempts;
+        std::vector<Time> inputs(arity);
+        for (Time &x : inputs)
+            x = rng.chance(0.15) ? INF : Time(rng.below(k + 1));
+        inputs[rng.below(arity)] = 0_t;
+        try {
+            table.addRow(inputs, Time(rng.below(k + 1)));
+        } catch (const std::invalid_argument &) {
+        }
+    }
+    return table;
+}
+
+void
+printFigure()
+{
+    std::cout << "F9 | Fig. 9: minterm canonical form of the Fig. 7 "
+                 "table\n";
+    FunctionTable fig7 =
+        FunctionTable::parse(3, "0 1 2 3\n1 0 inf 2\n2 2 0 2\n");
+    Network net = synthesizeMinterms(fig7);
+    std::cout << "worked example: network([0,1,2]) = "
+              << net.evaluate(std::vector<Time>{0_t, 1_t, 2_t})[0]
+              << " (paper: minterm_1 passes 3)\n\n";
+
+    std::cout << "Construction cost vs table size (arity 3, window 5; "
+                 "native-max basis vs strict {min,inc,lt}):\n";
+    AsciiTable t({"rows", "nodes (max)", "depth (max)",
+                  "nodes (lowered)", "depth (lowered)",
+                  "equiv mismatches"});
+    Rng rng(99);
+    for (size_t rows : {1, 2, 4, 8, 16, 32}) {
+        FunctionTable table = randomTable(rng, 3, 5, rows);
+        SynthesisOptions native, strict;
+        strict.useNativeMax = false;
+        Network a = synthesizeMinterms(table, native);
+        Network b = synthesizeMinterms(table, strict);
+        size_t mismatches = 0;
+        for (int probe = 0; probe < 500; ++probe) {
+            std::vector<Time> x(3);
+            for (Time &v : x)
+                v = rng.chance(0.2) ? INF : Time(rng.below(12));
+            Time want = table.evaluate(x);
+            mismatches += a.evaluate(x)[0] != want;
+            mismatches += b.evaluate(x)[0] != want;
+        }
+        t.row(table.rowCount(), a.size(), a.depth(), b.size(), b.depth(),
+              mismatches);
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: nodes grow linearly in rows x arity; "
+                 "mismatches stay 0 (Theorem 1 is exact).\n";
+}
+
+void
+BM_Synthesize(benchmark::State &state)
+{
+    Rng rng(5);
+    FunctionTable table =
+        randomTable(rng, 4, 6, static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        Network net = synthesizeMinterms(table);
+        benchmark::DoNotOptimize(net);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(table.rowCount()));
+}
+BENCHMARK(BM_Synthesize)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_SynthesizedEvaluate(benchmark::State &state)
+{
+    Rng rng(6);
+    FunctionTable table =
+        randomTable(rng, 4, 6, static_cast<size_t>(state.range(0)));
+    Network net = synthesizeMinterms(table);
+    std::vector<Time> x{1_t, 0_t, 3_t, INF};
+    for (auto _ : state) {
+        auto out = net.evaluate(x);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_SynthesizedEvaluate)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_TableLookupVsNetwork(benchmark::State &state)
+{
+    // The indirect (table) representation of the same function.
+    Rng rng(7);
+    FunctionTable table = randomTable(rng, 4, 6, 64);
+    std::vector<Time> x{1_t, 0_t, 3_t, INF};
+    for (auto _ : state) {
+        Time y = table.evaluate(x);
+        benchmark::DoNotOptimize(y);
+    }
+}
+BENCHMARK(BM_TableLookupVsNetwork);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

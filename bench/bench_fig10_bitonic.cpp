@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experiment F10 — paper Fig. 10: bitonic sorting networks from min/max
+ * comparators.
+ *
+ * Regenerates the construction-cost series: comparator count
+ * (n/2 * log n (log n + 1)/2, Batcher) and stage depth, validates
+ * sortedness, and times network construction and evaluation across
+ * widths.
+ */
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "neuron/sorting.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+void
+printFigure()
+{
+    std::cout << "F10 | Fig. 10: bitonic sorter cost vs width\n";
+    AsciiTable t({"width n", "comparators", "stage depth",
+                  "network nodes", "sorted? (200 random volleys)"});
+    Rng rng(10);
+    for (size_t n : {2, 4, 8, 16, 32, 64}) {
+        Network net = bitonicSortNetwork(n);
+        bool ok = true;
+        for (int s = 0; s < 200 && ok; ++s) {
+            std::vector<Time> x(n);
+            for (Time &v : x)
+                v = rng.chance(0.2) ? INF : Time(rng.below(50));
+            auto out = net.evaluate(x);
+            std::sort(x.begin(), x.end());
+            ok = out == x;
+        }
+        t.row(n, bitonicComparatorCount(n), bitonicStageDepth(n),
+              net.size(), ok ? "yes" : "NO");
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: comparators ~ (n/2) * k(k+1)/2 for "
+                 "n = 2^k (O(n log^2 n)); depth ~ k(k+1)/2.\n";
+}
+
+void
+BM_BuildSorter(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        Network net = bitonicSortNetwork(n);
+        benchmark::DoNotOptimize(net);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BuildSorter)->Arg(8)->Arg(64)->Arg(256);
+
+void
+BM_SortEvaluate(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Network net = bitonicSortNetwork(n);
+    Rng rng(11);
+    std::vector<Time> x(n);
+    for (Time &v : x)
+        v = Time(rng.below(100));
+    for (auto _ : state) {
+        auto out = net.evaluate(x);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SortEvaluate)->Arg(8)->Arg(64)->Arg(256);
+
+void
+BM_StdSortBaseline(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(12);
+    std::vector<Time> x(n);
+    for (Time &v : x)
+        v = Time(rng.below(100));
+    for (auto _ : state) {
+        auto copy = x;
+        std::sort(copy.begin(), copy.end());
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StdSortBaseline)->Arg(8)->Arg(64)->Arg(256);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

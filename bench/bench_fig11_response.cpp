@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Experiment F2/F11 — paper Figs. 2 and 11: response functions and
+ * their s-t fanout networks.
+ *
+ * Regenerates the discretized biexponential of Fig. 11 (with its up/down
+ * step schedule) and the Fig. 2b piecewise-linear approximation, and
+ * charts fanout-network size vs response amplitude — the per-synapse
+ * hardware cost of the Fig. 12 neuron. Times discretization and step
+ * extraction.
+ */
+
+#include "bench_common.hpp"
+
+#include "core/network.hpp"
+#include "neuron/response.hpp"
+#include "neuron/srm0_network.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+std::string
+stepsStr(const std::vector<Time::rep> &steps)
+{
+    std::string s;
+    for (Time::rep t : steps)
+        s += std::to_string(t) + ' ';
+    return s.empty() ? "-" : s;
+}
+
+void
+printFigure()
+{
+    std::cout << "F11 | Fig. 11: discretized biexponential response "
+                 "(peak 5, tau_slow 4, tau_fast 1)\n";
+    ResponseFunction r = ResponseFunction::biexponential(5, 4.0, 1.0);
+    AsciiTable amp({"t", "A(t)"});
+    for (Time::rep t = 0; t <= r.tMax(); ++t)
+        amp.row(t, r.at(t));
+    amp.writeTo(std::cout);
+    std::cout << "up steps:   " << stepsStr(r.upSteps()) << "\n";
+    std::cout << "down steps: " << stepsStr(r.downSteps()) << "\n";
+    std::cout << "(the paper's example takes up steps early and a tail "
+                 "of down steps — same shape)\n\n";
+
+    std::cout << "F2b | piecewise-linear approximation (peak 4, rise 2, "
+                 "fall 6):\n";
+    ResponseFunction pw = ResponseFunction::piecewiseLinear(4, 2, 6);
+    std::cout << "A(t): ";
+    for (auto a : pw.samples())
+        std::cout << a << ' ';
+    std::cout << "\n\nFanout-network cost vs response amplitude "
+                 "(one synapse):\n";
+    AsciiTable cost({"peak amplitude", "up taps", "down taps",
+                     "inc blocks emitted"});
+    for (ResponseFunction::Amp w = 1; w <= 8; ++w) {
+        ResponseFunction rw = ResponseFunction::biexponential(w, 4.0,
+                                                              1.0);
+        Network net(1);
+        std::vector<NodeId> ups, downs;
+        emitResponseFanout(net, net.input(0), rw, ups, downs);
+        cost.row(w, ups.size(), downs.size(), net.countOf(Op::Inc));
+    }
+    cost.writeTo(std::cout);
+    std::cout << "shape check: taps grow ~linearly with amplitude "
+                 "(each unit of weight adds one up/down step pair).\n";
+}
+
+void
+BM_Biexponential(benchmark::State &state)
+{
+    const auto peak = static_cast<ResponseFunction::Amp>(state.range(0));
+    for (auto _ : state) {
+        ResponseFunction r =
+            ResponseFunction::biexponential(peak, 4.0, 1.0);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_Biexponential)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_StepExtraction(benchmark::State &state)
+{
+    ResponseFunction r = ResponseFunction::biexponential(
+        static_cast<ResponseFunction::Amp>(state.range(0)), 6.0, 1.5);
+    for (auto _ : state) {
+        auto ups = r.upSteps();
+        auto downs = r.downSteps();
+        benchmark::DoNotOptimize(ups);
+        benchmark::DoNotOptimize(downs);
+    }
+}
+BENCHMARK(BM_StepExtraction)->Arg(4)->Arg(64);
+
+void
+BM_EmitFanout(benchmark::State &state)
+{
+    ResponseFunction r = ResponseFunction::biexponential(
+        static_cast<ResponseFunction::Amp>(state.range(0)), 4.0, 1.0);
+    for (auto _ : state) {
+        Network net(1);
+        std::vector<NodeId> ups, downs;
+        emitResponseFanout(net, net.input(0), r, ups, downs);
+        benchmark::DoNotOptimize(net);
+    }
+}
+BENCHMARK(BM_EmitFanout)->Arg(4)->Arg(16);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment F12 — paper Fig. 12: the SRM0 neuron from s-t primitives.
+ *
+ * Regenerates the construction-cost series (taps, comparators, lt rank
+ * blocks, total nodes, depth) as synapse count grows, and runs the
+ * reproduction's central agreement check: the Fig. 12 network vs the
+ * numerical Fig. 1 reference on thousands of random volleys. Times both
+ * implementations.
+ */
+
+#include "bench_common.hpp"
+
+#include "neuron/srm0_network.hpp"
+#include "neuron/srm0_reference.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+std::vector<ResponseFunction>
+synapses(size_t q)
+{
+    std::vector<ResponseFunction> syn;
+    for (size_t i = 0; i < q; ++i) {
+        if (i % 4 == 3)
+            syn.push_back(
+                ResponseFunction::biexponential(2, 4.0, 1.0).negated());
+        else
+            syn.push_back(ResponseFunction::biexponential(3, 4.0, 1.0));
+    }
+    return syn;
+}
+
+void
+printFigure()
+{
+    std::cout << "F12 | Fig. 12: SRM0 construction cost vs synapse "
+                 "count (biexp responses, 1-in-4 inhibitory, theta = "
+                 "synapses)\n";
+    AsciiTable t({"synapses", "up taps", "down taps", "comparators",
+                  "lt blocks", "total nodes", "depth"});
+    for (size_t q : {2, 4, 8, 16, 32}) {
+        auto stats = srm0NetworkStats(
+            synapses(q), static_cast<ResponseFunction::Amp>(q));
+        t.row(q, stats.upTaps, stats.downTaps, stats.comparators,
+              stats.ltBlocks, stats.totalNodes, stats.depth);
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: the two sorters dominate "
+                 "(O(T log^2 T) comparators for T taps).\n\n";
+
+    std::cout << "Agreement: Fig. 12 network vs numerical reference "
+                 "(Fig. 1):\n";
+    AsciiTable agree({"synapses", "theta", "random volleys",
+                      "agreements", "spikes produced"});
+    Rng rng(12);
+    for (size_t q : {3, 6, 10}) {
+        auto syn = synapses(q);
+        auto theta = static_cast<ResponseFunction::Amp>(q);
+        Srm0Neuron ref(syn, theta);
+        Network net = buildSrm0Network(syn, theta);
+        size_t match = 0, fired = 0;
+        const size_t probes = 2000;
+        for (size_t s = 0; s < probes; ++s) {
+            std::vector<Time> x(q);
+            for (Time &v : x)
+                v = rng.chance(0.2) ? INF : Time(rng.below(10));
+            Time a = net.evaluate(x)[0];
+            Time b = ref.fire(x);
+            match += a == b;
+            fired += b.isFinite();
+        }
+        agree.row(q, theta, probes, match, fired);
+    }
+    agree.writeTo(std::cout);
+    std::cout << "shape check: agreements == volleys (exact cross-"
+                 "domain equivalence).\n";
+}
+
+void
+BM_Srm0NetworkEvaluate(benchmark::State &state)
+{
+    const size_t q = static_cast<size_t>(state.range(0));
+    Network net = buildSrm0Network(
+        synapses(q), static_cast<ResponseFunction::Amp>(q));
+    Rng rng(13);
+    std::vector<Time> x(q);
+    for (Time &v : x)
+        v = Time(rng.below(8));
+    for (auto _ : state) {
+        auto out = net.evaluate(x);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Srm0NetworkEvaluate)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_Srm0ReferenceFire(benchmark::State &state)
+{
+    const size_t q = static_cast<size_t>(state.range(0));
+    Srm0Neuron ref(synapses(q), static_cast<ResponseFunction::Amp>(q));
+    Rng rng(14);
+    std::vector<Time> x(q);
+    for (Time &v : x)
+        v = Time(rng.below(8));
+    for (auto _ : state) {
+        Time y = ref.fire(x);
+        benchmark::DoNotOptimize(y);
+    }
+}
+BENCHMARK(BM_Srm0ReferenceFire)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_Srm0Build(benchmark::State &state)
+{
+    const size_t q = static_cast<size_t>(state.range(0));
+    auto syn = synapses(q);
+    for (auto _ : state) {
+        Network net = buildSrm0Network(
+            syn, static_cast<ResponseFunction::Amp>(q));
+        benchmark::DoNotOptimize(net);
+    }
+}
+BENCHMARK(BM_Srm0Build)->Arg(4)->Arg(16)->Arg(32);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

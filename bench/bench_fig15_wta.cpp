@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Experiment F15 — paper Fig. 15: winner-take-all lateral inhibition.
+ *
+ * Regenerates the tau-WTA survivor curve (how many spikes pass as the
+ * inhibition window widens, for volleys of varying temporal spread) and
+ * the construction's gate cost per width. Times the primitive network
+ * against the pure functional form.
+ */
+
+#include "bench_common.hpp"
+
+#include "neuron/wta.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+void
+printFigure()
+{
+    std::cout << "F15 | Fig. 15: survivors vs inhibition window tau "
+                 "(32-line volleys, spikes uniform in [0, spread))\n";
+    AsciiTable t({"spread", "tau=1", "tau=2", "tau=4", "tau=8"});
+    Rng rng(15);
+    const size_t lines = 32, trials = 200;
+    for (Time::rep spread : {2, 4, 8, 16}) {
+        std::vector<double> avg;
+        for (Time::rep tau : {1, 2, 4, 8}) {
+            size_t survivors = 0;
+            Rng local(spread * 100 + tau);
+            for (size_t s = 0; s < trials; ++s) {
+                std::vector<Time> x(lines);
+                for (Time &v : x)
+                    v = Time(local.below(spread));
+                survivors += spikeCount(applyWta(x, tau));
+            }
+            avg.push_back(static_cast<double>(survivors) / trials);
+        }
+        t.row(spread, avg[0], avg[1], avg[2], avg[3]);
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: survivors rise with tau and fall with "
+                 "spread; tau=1 passes only the relative-time-0 spikes "
+                 "(the paper's 1-WTA).\n\n";
+
+    std::cout << "Construction cost (gates) vs width:\n";
+    AsciiTable cost({"width n", "min", "inc", "lt", "total nodes"});
+    for (size_t n : {8, 32, 128}) {
+        Network net = wtaNetwork(n, 1);
+        cost.row(n, net.countOf(Op::Min), net.countOf(Op::Inc),
+                 net.countOf(Op::Lt), net.size());
+    }
+    cost.writeTo(std::cout);
+    std::cout << "shape check: one lt per line + one shared min/inc "
+                 "pair (linear cost).\n";
+}
+
+void
+BM_WtaNetwork(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Network net = wtaNetwork(n, 2);
+    Rng rng(16);
+    std::vector<Time> x(n);
+    for (Time &v : x)
+        v = Time(rng.below(8));
+    for (auto _ : state) {
+        auto out = net.evaluate(x);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WtaNetwork)->Arg(32)->Arg(256)->Arg(2048);
+
+void
+BM_WtaPureFunction(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(17);
+    std::vector<Time> x(n);
+    for (Time &v : x)
+        v = Time(rng.below(8));
+    for (auto _ : state) {
+        auto out = applyWta(x, 2);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WtaPureFunction)->Arg(32)->Arg(256)->Arg(2048);
+
+void
+BM_KWta(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(18);
+    std::vector<Time> x(n);
+    for (Time &v : x)
+        v = Time(rng.below(64));
+    for (auto _ : state) {
+        auto out = applyKWta(x, 4);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KWta)->Arg(32)->Arg(2048);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

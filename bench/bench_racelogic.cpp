@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Experiment E2 — paper Sec. V / Madhavan [31]: race-logic shortest
+ * paths and edit distance.
+ *
+ * Regenerates the agreement-and-cost series: race network vs Dijkstra
+ * on random DAGs and grids (agreement must be total), circuit size and
+ * computation latency (which IS the answer), and edit-distance lattices
+ * vs the DP baseline. Times all three evaluators.
+ */
+
+#include "bench_common.hpp"
+
+#include "grl/compile.hpp"
+#include "grl/logic_sim.hpp"
+#include "racelogic/dijkstra.hpp"
+#include "racelogic/edit_distance.hpp"
+#include "racelogic/race_path.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+using namespace st::racelogic;
+
+namespace {
+
+void
+printFigure()
+{
+    std::cout << "E2a | race network vs Dijkstra on grid DAGs "
+                 "(weights 0..7)\n";
+    AsciiTable t({"grid", "vertices", "network nodes", "delay stages",
+                  "agreement", "max distance (=latency)"});
+    Rng rng(40);
+    for (size_t side : {4, 8, 12, 16}) {
+        Graph g = Graph::grid(rng, side, side, 7);
+        Network net = buildRaceNetwork(g, 0);
+        std::vector<Time> start{0_t};
+        auto race = net.evaluate(start);
+        auto base = dijkstra(g, 0);
+        size_t agree = 0;
+        Time::rep worst = 0;
+        for (size_t v = 0; v < g.numVertices(); ++v) {
+            agree += race[v] == base[v];
+            if (race[v].isFinite())
+                worst = std::max(worst, race[v].value());
+        }
+        t.row(std::to_string(side) + "x" + std::to_string(side),
+              g.numVertices(), net.size(), net.totalIncStages(),
+              std::to_string(agree) + "/" +
+                  std::to_string(g.numVertices()),
+              worst);
+    }
+    t.writeTo(std::cout);
+    std::cout << "shape check: total agreement; latency equals the "
+                 "longest shortest-path (the value IS the time).\n\n";
+
+    std::cout << "E2b | temporal wavefront on general graphs vs "
+                 "Dijkstra\n";
+    AsciiTable w({"vertices", "edges", "agreement"});
+    for (size_t n : {32, 128, 512}) {
+        Graph g(n);
+        Rng lr(n);
+        for (size_t e = 0; e < n * 4; ++e) {
+            g.addEdge(static_cast<uint32_t>(lr.below(n)),
+                      static_cast<uint32_t>(lr.below(n)), lr.below(10));
+        }
+        auto race = raceWavefront(g, 0);
+        auto base = dijkstra(g, 0);
+        size_t agree = 0;
+        for (size_t v = 0; v < n; ++v)
+            agree += race[v] == base[v];
+        w.row(n, g.numEdges(),
+              std::to_string(agree) + "/" + std::to_string(n));
+    }
+    w.writeTo(std::cout);
+
+    std::cout << "\nE2c | edit distance: race lattice vs DP "
+                 "(random DNA strings)\n";
+    AsciiTable ed({"|a|", "|b|", "lattice nodes", "mismatches (50 "
+                                                  "pairs)"});
+    Rng dna(41);
+    const std::string alphabet = "ACGT";
+    for (size_t len : {4, 8, 16}) {
+        size_t mismatches = 0, nodes = 0;
+        for (int pair = 0; pair < 50; ++pair) {
+            std::string a, b;
+            for (size_t i = 0; i < len; ++i) {
+                a += alphabet[dna.below(4)];
+                b += alphabet[dna.below(4)];
+            }
+            Network net = buildEditDistanceNetwork(a, b);
+            nodes = net.size();
+            std::vector<Time> start{0_t};
+            mismatches +=
+                net.evaluate(start)[0] != Time(editDistanceDp(a, b));
+        }
+        ed.row(len, len, nodes, mismatches);
+    }
+    ed.writeTo(std::cout);
+    std::cout << "shape check: 0 mismatches; lattice nodes ~ |a|x|b| "
+                 "(one min per cell).\n";
+}
+
+void
+BM_RaceNetworkGrid(benchmark::State &state)
+{
+    const size_t side = static_cast<size_t>(state.range(0));
+    Rng rng(42);
+    Graph g = Graph::grid(rng, side, side, 7);
+    Network net = buildRaceNetwork(g, 0);
+    std::vector<Time> start{0_t};
+    for (auto _ : state) {
+        auto out = net.evaluate(start);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(g.numVertices()));
+}
+BENCHMARK(BM_RaceNetworkGrid)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_DijkstraGrid(benchmark::State &state)
+{
+    const size_t side = static_cast<size_t>(state.range(0));
+    Rng rng(43);
+    Graph g = Graph::grid(rng, side, side, 7);
+    for (auto _ : state) {
+        auto out = dijkstra(g, 0);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(g.numVertices()));
+}
+BENCHMARK(BM_DijkstraGrid)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_RaceWavefront(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Graph g(n);
+    Rng rng(44);
+    for (size_t e = 0; e < n * 4; ++e) {
+        g.addEdge(static_cast<uint32_t>(rng.below(n)),
+                  static_cast<uint32_t>(rng.below(n)), rng.below(10));
+    }
+    for (auto _ : state) {
+        auto out = raceWavefront(g, 0);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RaceWavefront)->Arg(128)->Arg(1024);
+
+void
+BM_EditDistanceRace(benchmark::State &state)
+{
+    const size_t len = static_cast<size_t>(state.range(0));
+    std::string a(len, 'A'), b(len, 'C');
+    Rng rng(45);
+    for (size_t i = 0; i < len; ++i) {
+        a[i] = "ACGT"[rng.below(4)];
+        b[i] = "ACGT"[rng.below(4)];
+    }
+    Network net = buildEditDistanceNetwork(a, b);
+    std::vector<Time> start{0_t};
+    for (auto _ : state) {
+        auto out = net.evaluate(start);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_EditDistanceRace)->Arg(8)->Arg(32);
+
+void
+BM_EditDistanceDp(benchmark::State &state)
+{
+    const size_t len = static_cast<size_t>(state.range(0));
+    std::string a(len, 'A'), b(len, 'C');
+    Rng rng(46);
+    for (size_t i = 0; i < len; ++i) {
+        a[i] = "ACGT"[rng.below(4)];
+        b[i] = "ACGT"[rng.below(4)];
+    }
+    for (auto _ : state) {
+        uint64_t d = editDistanceDp(a, b);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_EditDistanceDp)->Arg(8)->Arg(32);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

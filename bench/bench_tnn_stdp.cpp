@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Experiment E3 — paper Sec. II/IV + Sec. VI conjecture 2: STDP
+ * training and emergent selectivity.
+ *
+ * Regenerates the emergence curves the TNN literature reports
+ * (Guyonneau [21], Masquelier [37]): clustering purity vs training
+ * samples on jittered temporal prototypes, robustness vs jitter, and
+ * lane purity on the Fig. 4 freeway substitute. Times training and
+ * inference steps.
+ */
+
+#include "bench_common.hpp"
+
+#include "tnn/conv.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/metrics.hpp"
+#include "tnn/tempotron.hpp"
+#include "tnn/tnn_network.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+std::optional<size_t>
+winnerOf(const std::vector<Time> &fired)
+{
+    std::optional<size_t> winner;
+    Time best = INF;
+    for (size_t j = 0; j < fired.size(); ++j) {
+        if (fired[j] < best) {
+            best = fired[j];
+            winner = j;
+        }
+    }
+    return winner;
+}
+
+ColumnParams
+columnParams(size_t inputs, size_t neurons)
+{
+    ColumnParams cp;
+    cp.numInputs = inputs;
+    cp.numNeurons = neurons;
+    cp.threshold = 14;
+    cp.fatigue = 8;
+    cp.maxWeight = 7;
+    cp.shape = ResponseShape::Step;
+    cp.seed = 99;
+    return cp;
+}
+
+double
+purityAfter(PatternDataset &data, size_t train_samples, double jitter)
+{
+    PatternSetParams dp = data.params();
+    dp.jitter = jitter;
+    PatternDataset local(dp);
+    Column col(columnParams(dp.numLines, 2 * dp.numClasses));
+    SimplifiedStdp rule(0.06, 0.045);
+    for (const auto &s : local.sampleMany(train_samples))
+        col.trainStep(s.volley, rule);
+    ConfusionMatrix m(2 * dp.numClasses, dp.numClasses);
+    for (const auto &s : local.sampleMany(300))
+        m.add(winnerOf(col.rawFireTimes(s.volley)), s.label);
+    return m.purity();
+}
+
+void
+printFigure()
+{
+    PatternSetParams dp;
+    dp.numClasses = 4;
+    dp.numLines = 16;
+    dp.timeSpan = 7;
+    dp.jitter = 0.4;
+    dp.dropProb = 0.03;
+    dp.seed = 2718;
+    PatternDataset data(dp);
+
+    std::cout << "E3a | clustering purity vs training samples "
+                 "(4 classes, 16 lines, 3-bit times, jitter 0.4)\n";
+    AsciiTable t({"train samples", "purity"});
+    for (size_t n : {0, 50, 100, 200, 400, 800, 1600})
+        t.row(n, purityAfter(data, n, dp.jitter));
+    t.writeTo(std::cout);
+    std::cout << "shape check: purity climbs from chance (~0.25) and "
+                 "saturates — neurons tune to the earliest spikes of "
+                 "recurring patterns.\n\n";
+
+    std::cout << "E3b | robustness: purity vs input jitter "
+                 "(800 training samples)\n";
+    AsciiTable j({"jitter (std dev, time units)", "purity"});
+    for (double jit : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0})
+        j.row(jit, purityAfter(data, 800, jit));
+    j.writeTo(std::cout);
+    std::cout << "shape check: graceful degradation; collapse only "
+                 "when jitter ~ the whole coding window.\n\n";
+
+    std::cout << "E3c | Fig. 4 substitute: freeway lane selectivity\n";
+    FreewayParams fp;
+    fp.lanes = 3;
+    fp.sensorsPerLane = 8;
+    fp.jitter = 0.3;
+    fp.missProb = 0.05;
+    fp.seed = 42;
+    FreewayGenerator gen(fp);
+    ColumnParams cp = columnParams(gen.numAddresses(), 6);
+    Column col(cp);
+    SimplifiedStdp rule(0.07, 0.05);
+    AsciiTable f({"passes trained", "lane purity", "lanes covered"});
+    size_t trained = 0;
+    for (size_t target : {0, 100, 300, 900}) {
+        for (; trained < target; ++trained) {
+            auto s = gen.generate(1);
+            col.trainStep(s[0].volley, rule);
+        }
+        ConfusionMatrix m(cp.numNeurons, fp.lanes);
+        for (const auto &s : gen.generate(200))
+            m.add(winnerOf(col.rawFireTimes(s.volley)), s.label);
+        f.row(target, m.purity(), m.distinctLabelsCovered());
+    }
+    f.writeTo(std::cout);
+    std::cout << "shape check: selectivity emerges from strictly local "
+                 "learning (Sec. VI conjecture 2).\n\n";
+
+    std::cout << "E3d | hierarchy ablation: flat column vs conv + "
+                 "temporal pooling on randomly placed motifs "
+                 "(Kheradpisheh-style weight sharing)\n";
+    ShiftedPatternParams sp;
+    sp.numClasses = 3;
+    sp.motifWidth = 6;
+    sp.inputWidth = 24;
+    sp.jitter = 0.3;
+    sp.seed = 12;
+    ShiftedPatternDataset shifted(sp);
+
+    ColumnParams flat = columnParams(sp.inputWidth, 6);
+    flat.threshold = 10;
+    Column column(flat);
+    Conv1dParams cvp;
+    cvp.inputWidth = sp.inputWidth;
+    cvp.kernelSize = sp.motifWidth;
+    cvp.numFeatures = 6;
+    cvp.threshold = 10;
+    cvp.fatigue = 8;
+    cvp.seed = 12;
+    Conv1dLayer conv(cvp);
+    SimplifiedStdp shared_rule(0.12, 0.09);
+    for (int s = 0; s < 1200; ++s) {
+        PlacedVolley v = shifted.sample();
+        column.trainStep(v.volley, shared_rule);
+        conv.trainStep(v.volley, shared_rule);
+    }
+    ConfusionMatrix fm(6, 3), cm(6, 3);
+    for (int s = 0; s < 300; ++s) {
+        PlacedVolley v = shifted.sample();
+        fm.add(winnerOf(column.rawFireTimes(v.volley)), v.label);
+        cm.add(winnerOf(conv.pooled(v.volley)), v.label);
+    }
+    AsciiTable h({"detector", "purity", "coverage"});
+    h.row("flat column", fm.purity(), fm.coverage());
+    h.row("conv + pooling", cm.purity(), cm.coverage());
+    h.writeTo(std::cout);
+    std::cout << "shape check: weight sharing + pooling wins when the "
+                 "motif moves — the reason the surveyed TNNs go "
+                 "hierarchical.\n\n";
+
+    std::cout << "E3e | supervised vs unsupervised: tempotron "
+                 "(Guetig-Sompolinsky) one-vs-rest on the same "
+                 "patterns\n";
+    PatternSetParams tp;
+    tp.numClasses = 4;
+    tp.numLines = 16;
+    tp.timeSpan = 7;
+    tp.jitter = 0.4;
+    tp.seed = 2718;
+    PatternDataset tdata(tp);
+    std::vector<Tempotron> readout;
+    for (size_t c = 0; c < 4; ++c) {
+        TempotronParams params;
+        params.numInputs = 16;
+        params.threshold = 1.5;
+        params.learningRate = 0.05;
+        params.seed = 600 + c;
+        readout.emplace_back(params);
+    }
+    auto train = tdata.sampleMany(200);
+    AsciiTable e({"epochs", "one-vs-rest accuracy"});
+    size_t epochs_done = 0;
+    auto accuracy = [&]() {
+        auto test = tdata.sampleMany(200);
+        size_t right = 0;
+        for (const auto &s : test) {
+            double best = -1e300;
+            size_t pick = 0;
+            for (size_t c = 0; c < 4; ++c) {
+                double p = readout[c].potentialAt(
+                    s.volley, readout[c].peakTime(s.volley));
+                if (readout[c].fires(s.volley))
+                    p += 1e6;
+                if (p > best) {
+                    best = p;
+                    pick = c;
+                }
+            }
+            right += pick == s.label;
+        }
+        return static_cast<double>(right) / 200.0;
+    };
+    for (size_t target : {0, 5, 20, 60}) {
+        for (; epochs_done < target; ++epochs_done) {
+            for (const auto &s : train) {
+                for (size_t c = 0; c < 4; ++c)
+                    readout[c].train({s.volley, c == s.label});
+            }
+        }
+        e.row(target, accuracy());
+    }
+    e.writeTo(std::cout);
+    std::cout << "shape check: the supervised, still spike-timing-"
+                 "local rule converges to near-perfect accuracy — the "
+                 "label-driven end of the TNN training spectrum the "
+                 "paper surveys (tempotron, Sec. II.C).\n";
+}
+
+void
+BM_TrainStep(benchmark::State &state)
+{
+    PatternSetParams dp;
+    dp.numLines = static_cast<size_t>(state.range(0));
+    dp.numClasses = 4;
+    PatternDataset data(dp);
+    Column col(columnParams(dp.numLines, 8));
+    SimplifiedStdp rule(0.06, 0.045);
+    auto samples = data.sampleMany(64);
+    size_t i = 0;
+    for (auto _ : state) {
+        auto r = col.trainStep(samples[i++ & 63].volley, rule);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrainStep)->Arg(16)->Arg(64);
+
+void
+BM_InferenceStep(benchmark::State &state)
+{
+    PatternSetParams dp;
+    dp.numLines = static_cast<size_t>(state.range(0));
+    dp.numClasses = 4;
+    PatternDataset data(dp);
+    Column col(columnParams(dp.numLines, 8));
+    auto samples = data.sampleMany(64);
+    size_t i = 0;
+    for (auto _ : state) {
+        auto out = col.process(samples[i++ & 63].volley);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InferenceStep)->Arg(16)->Arg(64);
+
+} // namespace
+
+ST_BENCH_MAIN(printFigure)

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Translation-invariant motif detection with a convolutional TNN —
+ * the hierarchical arrangement of Kheradpisheh et al. that the paper
+ * surveys in Sec. II.C, on a workload where it demonstrably matters.
+ *
+ * Temporal motifs appear at random positions in a wide sensor array.
+ * A flat column binds weights to absolute positions and fragments its
+ * capacity across placements; a weight-shared convolutional layer with
+ * temporal pooling (earliest spike across positions) recognizes each
+ * motif anywhere. Both are trained with the same local STDP rule.
+ *
+ * Run: ./motif_search [train_samples]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "spacetime.hpp"
+#include "util/raster.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+std::optional<size_t>
+winnerOf(const Volley &fired)
+{
+    std::optional<size_t> winner;
+    Time best = INF;
+    for (size_t j = 0; j < fired.size(); ++j) {
+        if (fired[j] < best) {
+            best = fired[j];
+            winner = j;
+        }
+    }
+    return winner;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const size_t train_samples =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1200;
+
+    ShiftedPatternParams dp;
+    dp.numClasses = 3;
+    dp.motifWidth = 6;
+    dp.inputWidth = 24;
+    dp.timeSpan = 7;
+    dp.jitter = 0.3;
+    dp.seed = 12; // distinct onset signatures (see EXPERIMENTS.md E3d)
+    ShiftedPatternDataset data(dp);
+
+    std::cout << "Motifs (" << dp.numClasses << " classes, width "
+              << dp.motifWidth << ", placed anywhere in "
+              << dp.inputWidth << " lines):\n";
+    for (size_t c = 0; c < dp.numClasses; ++c)
+        std::cout << "  class " << c << ": "
+                  << volleyStr(data.motifs()[c]) << "\n";
+
+    PlacedVolley example = data.sample(0, 9);
+    std::cout << "\nA class-0 sample placed at offset 9:\n"
+              << rasterPlot(example.volley) << "\n";
+
+    // --- Contender 1: flat column over the whole array. ---
+    ColumnParams flat;
+    flat.numInputs = dp.inputWidth;
+    flat.numNeurons = 6;
+    flat.threshold = 10;
+    flat.fatigue = 8;
+    flat.seed = 12;
+    Column column(flat);
+
+    // --- Contender 2: conv layer, kernel = motif width, pooling. ---
+    Conv1dParams cp;
+    cp.inputWidth = dp.inputWidth;
+    cp.kernelSize = dp.motifWidth;
+    cp.stride = 1;
+    cp.numFeatures = 6;
+    cp.threshold = 10;
+    cp.fatigue = 8;
+    cp.seed = 12;
+    Conv1dLayer conv(cp);
+
+    SimplifiedStdp rule(0.12, 0.09);
+    std::cout << "Training both detectors on " << train_samples
+              << " randomly placed samples...\n";
+    for (size_t s = 0; s < train_samples; ++s) {
+        PlacedVolley v = data.sample();
+        column.trainStep(v.volley, rule);
+        conv.trainStep(v.volley, rule);
+    }
+
+    const size_t test_samples = 400;
+    ConfusionMatrix flat_m(flat.numNeurons, dp.numClasses);
+    ConfusionMatrix conv_m(cp.numFeatures, dp.numClasses);
+    for (size_t s = 0; s < test_samples; ++s) {
+        PlacedVolley v = data.sample();
+        flat_m.add(winnerOf(column.rawFireTimes(v.volley)), v.label);
+        conv_m.add(winnerOf(conv.pooled(v.volley)), v.label);
+    }
+
+    AsciiTable t({"detector", "coverage", "purity", "classes covered"});
+    t.row("flat column", flat_m.coverage(), flat_m.purity(),
+          flat_m.distinctLabelsCovered());
+    t.row("conv + temporal pooling", conv_m.coverage(), conv_m.purity(),
+          conv_m.distinctLabelsCovered());
+    t.writeTo(std::cout);
+
+    std::cout << "\nConv feature map for the sample above (feature x "
+                 "position, earliest spikes win):\n";
+    Volley map = conv.featureMap(example.volley);
+    for (size_t f = 0; f < cp.numFeatures; ++f) {
+        std::cout << "  F" << f << ": ";
+        for (size_t p = 0; p < conv.numPositions(); ++p) {
+            Time v = map[f * conv.numPositions() + p];
+            std::cout << (v.isInf() ? '.' : static_cast<char>(
+                                                '0' + v.value() % 10));
+        }
+        std::cout << "\n";
+    }
+    std::cout << "(a tuned feature lights up exactly at the motif's "
+                 "position; pooling makes the code position-free)\n";
+    return 0;
+}

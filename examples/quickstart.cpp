@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Quickstart: a guided tour of the space-time algebra library.
+ *
+ * Follows the paper's own arc: values as spike times (Fig. 5), the three
+ * primitives (Fig. 6), normalized function tables (Fig. 7), max from
+ * min/lt (Fig. 8 / Lemma 2), minterm synthesis (Fig. 9 / Theorem 1), and
+ * finally compiling the synthesized network to a race-logic CMOS circuit
+ * (Fig. 16) and simulating it cycle by cycle.
+ *
+ * Run: ./quickstart
+ */
+
+#include <iostream>
+
+#include "spacetime.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::string_view(argv[1]) == "--dot") {
+        // Print the Fig. 9 minterm network as Graphviz DOT and exit.
+        FunctionTable fig7 = FunctionTable::parse(3, "0 1 2 3\n"
+                                                     "1 0 inf 2\n"
+                                                     "2 2 0 2\n");
+        std::cout << toDot(synthesizeMinterms(fig7), "fig9");
+        return 0;
+    }
+    std::cout << "== 1. Values are event times over N0^inf ==\n";
+    Time a = 3_t, b = 7_t;
+    std::cout << "a = " << a << ", b = " << b << ", inf = " << INF
+              << "\n";
+    std::cout << "min(a,b) = " << tmin(a, b) << "   max(a,b) = "
+              << tmax(a, b) << "   lt(a,b) = " << tlt(a, b)
+              << "   a+2 = " << tinc(a, 2) << "\n";
+    std::cout << "inf absorbs: max(a, inf) = " << tmax(a, INF)
+              << ", inf + 5 = " << (INF + 5) << "\n\n";
+
+    std::cout << "== 2. A small feedforward network (Fig. 6 style) ==\n";
+    Network net(3);
+    NodeId m = net.min(net.input(0), net.input(1));
+    NodeId d = net.inc(m, 1);
+    NodeId y = net.lt(d, net.input(2));
+    net.markOutput(y);
+    std::vector<Time> x{2_t, 5_t, 4_t};
+    std::cout << "y = lt(min(x0,x1)+1, x2) on [2, 5, 4] -> "
+              << net.evaluate(x)[0] << "\n\n";
+
+    std::cout << "== 3. The paper's Fig. 7 function table ==\n";
+    FunctionTable table = FunctionTable::parse(3, "0 1 2 3\n"
+                                                  "1 0 inf 2\n"
+                                                  "2 2 0 2\n");
+    std::cout << table.str();
+    std::vector<Time> probe{3_t, 4_t, 5_t};
+    std::cout << "evaluate [3, 4, 5]: normalize -> [0, 1, 2], "
+              << "lookup -> 3, shift back -> "
+              << table.evaluate(probe) << "\n\n";
+
+    std::cout << "== 4. Lemma 2: max from min and lt only ==\n";
+    Network mx = maxFromMinLtNetwork();
+    AsciiTable lemma({"a", "b", "max(a,b)"});
+    for (auto [va, vb] : {std::pair{2_t, 5_t}, {4_t, 4_t}, {7_t, 3_t},
+                          {3_t, INF}}) {
+        std::vector<Time> in{va, vb};
+        lemma.row(va, vb, mx.evaluate(in)[0]);
+    }
+    lemma.writeTo(std::cout);
+    std::cout << "(" << mx.countOf(Op::Lt) << " lt blocks, "
+              << mx.countOf(Op::Min) << " min block)\n\n";
+
+    std::cout << "== 5. Theorem 1: minterm synthesis of the table ==\n";
+    Network synth = synthesizeMinterms(table);
+    std::cout << "synthesized network: " << synth.size() << " nodes, "
+              << "depth " << synth.depth() << "\n";
+    std::cout << "network([0,1,2]) = "
+              << synth.evaluate(std::vector<Time>{0_t, 1_t, 2_t})[0]
+              << "  (table says "
+              << table.evaluate(std::vector<Time>{0_t, 1_t, 2_t})
+              << ")\n\n";
+
+    std::cout << "== 6. Compile to generalized race logic (Fig. 16) ==\n";
+    grl::CompileResult compiled = grl::compileToGrl(synth);
+    const grl::Circuit &circuit = compiled.circuit;
+    std::cout << "CMOS circuit: " << circuit.countOf(grl::GateKind::And)
+              << " AND, " << circuit.countOf(grl::GateKind::Or)
+              << " OR, " << circuit.countOf(grl::GateKind::LtCell)
+              << " LT cells, " << circuit.totalStages()
+              << " shift-register stages\n";
+    grl::SimResult sim = grl::simulate(circuit, probe);
+    std::cout << "circuit fall time on [3, 4, 5]: " << sim.outputs[0]
+              << " (network says " << synth.evaluate(probe)[0] << ")\n";
+    std::cout << "transitions this computation: "
+              << sim.totalInternalTransitions()
+              << " internal + " << sim.inputTransitions << " inputs\n\n";
+
+    std::cout << "== 7. Export the network as Graphviz DOT ==\n";
+    std::cout << "toDot(...) yields " << toDot(synth).size()
+              << " bytes; run `quickstart --dot | dot -Tpng -o fig9.png`"
+              << " to render it.\n";
+    return 0;
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * stnet_tool — a command-line Swiss-army knife for space-time networks
+ * in the stnet text format (see core/network_io.hpp).
+ *
+ * Subcommands:
+ *   info <file>                  sizes, depth, per-op counts, GRL cost
+ *   eval <file> t1 t2 ...        evaluate one volley ("inf" for quiet)
+ *   trace <file> t1 t2 ...       event-driven run: raster + spike list
+ *   opt <file>                   optimize (CSE+DCE), emit stnet to stdout
+ *   lower <file>                 rewrite max via Lemma 2, emit stnet
+ *   dot <file>                   emit Graphviz DOT
+ *   grl <file> t1 t2 ...         compile to GRL, simulate, report
+ *                                fall times and transition counts
+ *   vcd <file> t1 t2 ...         compile to GRL, simulate, and dump a
+ *                                VCD waveform (view with GTKWave)
+ *   synth <table-file> <arity>   minterm-synthesize a function table
+ *                                (Fig. 7 text format), emit stnet
+ *
+ * Example round trip:
+ *   ./quickstart --dot                    # see a network
+ *   ./stnet_tool synth table.txt 3 > f.stnet
+ *   ./stnet_tool eval f.stnet 3 4 5
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "spacetime.hpp"
+#include "util/raster.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::vector<Time>
+parseVolley(int argc, char **argv, int first, size_t expected)
+{
+    std::vector<Time> v;
+    for (int i = first; i < argc; ++i) {
+        std::string tok = argv[i];
+        v.push_back(tok == "inf" ? INF : Time(std::stoull(tok)));
+    }
+    if (v.size() != expected) {
+        throw std::runtime_error(
+            "expected " + std::to_string(expected) + " input times, got " +
+            std::to_string(v.size()));
+    }
+    return v;
+}
+
+int
+cmdInfo(const Network &net)
+{
+    AsciiTable t({"metric", "value"});
+    t.row("inputs", net.numInputs());
+    t.row("outputs", net.outputs().size());
+    t.row("nodes", net.size());
+    t.row("depth", net.depth());
+    for (Op op : {Op::Inc, Op::Min, Op::Max, Op::Lt, Op::Config})
+        t.row(opName(op), net.countOf(op));
+    t.row("inc stages (GRL flipflops)", net.totalIncStages());
+    grl::Circuit c = grl::compileToGrl(net).circuit;
+    t.row("GRL AND gates", c.countOf(grl::GateKind::And));
+    t.row("GRL OR gates", c.countOf(grl::GateKind::Or));
+    t.row("GRL LT cells", c.countOf(grl::GateKind::LtCell));
+    t.writeTo(std::cout);
+    return 0;
+}
+
+int
+cmdEval(const Network &net, const std::vector<Time> &x)
+{
+    auto out = net.evaluate(x);
+    std::cout << "inputs:  " << volleyStr(x) << "\n";
+    std::cout << "outputs: " << volleyStr(out) << "\n";
+    return 0;
+}
+
+int
+cmdTrace(const Network &net, const std::vector<Time> &x)
+{
+    TraceSimulator sim(net);
+    Trace trace = sim.run(x);
+    std::cout << "input raster:\n" << rasterPlot(x);
+    std::cout << "\n" << trace.spikeCount() << " spikes propagated:\n";
+    for (const TraceEvent &e : trace.events) {
+        std::cout << "  t=" << e.time << "  node " << e.node << " ("
+                  << opName(net.nodes()[e.node].op);
+        if (!net.label(e.node).empty())
+            std::cout << ": " << net.label(e.node);
+        std::cout << ")\n";
+    }
+    std::cout << "outputs: " << volleyStr(trace.outputs) << "\n";
+    return 0;
+}
+
+int
+cmdGrl(const Network &net, const std::vector<Time> &x)
+{
+    grl::CompileResult compiled = grl::compileToGrl(net);
+    grl::SimResult sim = grl::simulate(compiled.circuit, x);
+    std::cout << "circuit outputs: " << volleyStr(sim.outputs) << "\n";
+    AsciiTable t({"transitions", "count"});
+    t.row("AND/OR gates", sim.gateTransitions);
+    t.row("LT outputs", sim.ltOutputTransitions);
+    t.row("LT latch captures", sim.ltLatchTransitions);
+    t.row("flipflop data", sim.flopDataTransitions);
+    t.row("inputs/consts", sim.inputTransitions);
+    t.row("reset (next computation)", sim.resetTransitions());
+    t.writeTo(std::cout);
+    grl::EnergyReport e = grl::estimateEnergy(compiled.circuit, sim);
+    std::cout << "energy estimate: " << e.total << " units ("
+              << static_cast<int>(100 * e.delayFraction())
+              << "% in delay elements)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::cerr << "usage: stnet_tool "
+                     "{info|eval|trace|opt|lower|dot|grl|vcd} <file> "
+                     "[times...]\n"
+                     "       stnet_tool synth <table-file> <arity>\n";
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "synth") {
+            size_t arity = std::stoul(argv[3]);
+            FunctionTable table =
+                FunctionTable::parse(arity, readFile(argv[2]));
+            std::cout << networkToText(synthesizeMinterms(table));
+            return 0;
+        }
+
+        Network net = networkFromText(readFile(argv[2]));
+        if (cmd == "info")
+            return cmdInfo(net);
+        if (cmd == "opt") {
+            std::cout << networkToText(optimize(net));
+            return 0;
+        }
+        if (cmd == "lower") {
+            std::cout << networkToText(lowerMax(net));
+            return 0;
+        }
+        if (cmd == "dot") {
+            std::cout << toDot(net);
+            return 0;
+        }
+        auto x = parseVolley(argc, argv, 3, net.numInputs());
+        if (cmd == "eval")
+            return cmdEval(net, x);
+        if (cmd == "trace")
+            return cmdTrace(net, x);
+        if (cmd == "grl")
+            return cmdGrl(net, x);
+        if (cmd == "vcd") {
+            grl::CompileResult compiled = grl::compileToGrl(net);
+            grl::SimResult sim = grl::simulate(compiled.circuit, x);
+            grl::VcdOptions opt;
+            // Carry node labels onto the waveform where present.
+            opt.names.resize(net.size());
+            for (size_t i = 0; i < net.size(); ++i) {
+                if (!net.label(static_cast<NodeId>(i)).empty())
+                    opt.names[compiled.wireOf[i]] =
+                        net.label(static_cast<NodeId>(i));
+            }
+            std::cout << grl::toVcd(compiled.circuit, sim, opt);
+            return 0;
+        }
+        std::cerr << "unknown command: " << cmd << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "stnet_tool: " << e.what() << "\n";
+        return 1;
+    }
+}

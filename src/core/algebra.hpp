@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The space-time algebra's operations (paper Sec. III.D).
+ *
+ * The s-t algebra is the bounded distributive lattice
+ * S = (N0^inf, min, max, 0, inf), closed under addition. The four
+ * functions used to build space-time computing networks are:
+ *
+ *   - min (the lattice meet, "first arrival"),
+ *   - max (the lattice join, "last arrival"),
+ *   - lt  ("strictly-earlier gate": lt(a,b) = a if a < b else inf),
+ *   - inc (delay by a constant: inc(a, c) = a + c).
+ *
+ * Theorem 1 of the paper shows {min, inc, lt} functionally complete for
+ * bounded s-t functions; max is derivable (Lemma 2, see synthesis.hpp).
+ *
+ * This header also provides volley-level helpers (minOf/maxOf over spans,
+ * normalization and shifting of time vectors) shared by the function-table
+ * and network machinery.
+ */
+
+#ifndef ST_CORE_ALGEBRA_HPP
+#define ST_CORE_ALGEBRA_HPP
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace st {
+
+/** Lattice meet: the earlier of two event times. */
+constexpr Time
+tmin(Time a, Time b)
+{
+    return a < b ? a : b;
+}
+
+/** Lattice join: the later of two event times (inf absorbs). */
+constexpr Time
+tmax(Time a, Time b)
+{
+    return a < b ? b : a;
+}
+
+/**
+ * The lt primitive: pass @p a iff it is strictly earlier than @p b.
+ *
+ * lt(a, b) = a when a < b, and inf otherwise. Ties block: lt(a, a) = inf.
+ * This matches the latched CMOS implementation (Fig. 16), where an edge on
+ * b at-or-before a closes the latch.
+ */
+constexpr Time
+tlt(Time a, Time b)
+{
+    return a < b ? a : INF;
+}
+
+/** The inc primitive generalized to a constant delay c (c chained +1s). */
+constexpr Time
+tinc(Time a, Time::rep c = 1)
+{
+    return a + c;
+}
+
+/** Earliest event in a volley; inf for an empty span. */
+inline Time
+minOf(std::span<const Time> xs)
+{
+    Time m = INF;
+    for (Time x : xs)
+        m = tmin(m, x);
+    return m;
+}
+
+/** Latest event in a volley; 0 for an empty span (join of nothing). */
+inline Time
+maxOf(std::span<const Time> xs)
+{
+    Time m = 0_t;
+    for (Time x : xs)
+        m = tmax(m, x);
+    return m;
+}
+
+/** Latest *finite* event, or inf if every line is quiet. */
+inline Time
+maxFiniteOf(std::span<const Time> xs)
+{
+    Time m = INF;
+    for (Time x : xs) {
+        if (x.isFinite() && (m.isInf() || x > m))
+            m = x;
+    }
+    return m;
+}
+
+/**
+ * Shift every element of a volley later by @p c (inf stays inf).
+ * This is the transformation under which s-t functions are invariant.
+ */
+inline std::vector<Time>
+shifted(std::span<const Time> xs, Time::rep c)
+{
+    std::vector<Time> out(xs.begin(), xs.end());
+    for (Time &x : out)
+        x += c;
+    return out;
+}
+
+/**
+ * Normalize a volley so its earliest spike is at 0 (paper Sec. III.F).
+ *
+ * Returns the pair (normalized volley, x_min). An all-inf volley is its
+ * own normal form with x_min = inf.
+ */
+struct Normalized
+{
+    std::vector<Time> values; //!< input with x_min subtracted
+    Time shift;               //!< the subtracted x_min (inf if no spikes)
+};
+
+inline Normalized
+normalize(std::span<const Time> xs)
+{
+    Normalized result;
+    result.shift = minOf(xs);
+    result.values.assign(xs.begin(), xs.end());
+    if (result.shift.isFinite()) {
+        for (Time &x : result.values)
+            x = x - result.shift.value();
+    }
+    return result;
+}
+
+} // namespace st
+
+#endif // ST_CORE_ALGEBRA_HPP

@@ -1,0 +1,253 @@
+#include "core/function_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace st {
+
+FunctionTable::FunctionTable(size_t arity)
+    : arity_(arity)
+{
+    if (arity == 0)
+        throw std::invalid_argument("FunctionTable: arity must be >= 1");
+}
+
+void
+FunctionTable::canonicalize(TableRow &row)
+{
+    for (Time &x : row.inputs) {
+        if (x.isFinite() && x > row.output)
+            x = INF;
+    }
+}
+
+bool
+FunctionTable::overlaps(const TableRow &a, const TableRow &b)
+{
+    // Two canonical rows admit a common normalized input iff every
+    // coordinate's match sets intersect:
+    //   finite vs finite : equal values
+    //   finite vs inf    : the finite value exceeds the inf-row's output
+    //   inf vs inf       : always (inf itself)
+    for (size_t i = 0; i < a.inputs.size(); ++i) {
+        Time ai = a.inputs[i], bi = b.inputs[i];
+        if (ai.isFinite() && bi.isFinite()) {
+            if (ai != bi)
+                return false;
+        } else if (ai.isFinite()) {
+            if (!(ai > b.output))
+                return false;
+        } else if (bi.isFinite()) {
+            if (!(bi > a.output))
+                return false;
+        }
+    }
+    return true;
+}
+
+std::string
+FunctionTable::exactKey(std::span<const Time> u)
+{
+    std::string key;
+    key.reserve(u.size() * sizeof(Time::rep));
+    for (Time x : u) {
+        Time::rep raw = x.isInf() ? ~Time::rep{0} : x.value();
+        key.append(reinterpret_cast<const char *>(&raw), sizeof(raw));
+    }
+    return key;
+}
+
+void
+FunctionTable::addRow(std::vector<Time> inputs, Time output)
+{
+    if (inputs.size() != arity_)
+        throw std::invalid_argument("FunctionTable: row arity mismatch");
+    if (output.isInf())
+        throw std::invalid_argument("FunctionTable: row output must be "
+                                    "finite (inf rows are implicit)");
+
+    TableRow row{std::move(inputs), output};
+    canonicalize(row);
+
+    bool has_zero = std::any_of(row.inputs.begin(), row.inputs.end(),
+                                [](Time x) { return x == 0_t; });
+    if (!has_zero) {
+        throw std::invalid_argument("FunctionTable: normalized row needs "
+                                    "at least one 0 input");
+    }
+
+    for (const TableRow &existing : rows_) {
+        if (existing == row)
+            throw std::invalid_argument("FunctionTable: duplicate row");
+        if (existing.output != row.output && overlaps(existing, row)) {
+            throw std::invalid_argument("FunctionTable: row conflicts with "
+                                        "an existing row (ambiguous table)");
+        }
+    }
+
+    size_t index = rows_.size();
+    bool all_finite = std::all_of(row.inputs.begin(), row.inputs.end(),
+                                  [](Time x) { return x.isFinite(); });
+    if (all_finite)
+        exactIndex_.emplace(exactKey(row.inputs), index);
+    else
+        closureRows_.push_back(index);
+    rows_.push_back(std::move(row));
+}
+
+bool
+FunctionTable::matches(const TableRow &row, std::span<const Time> u)
+{
+    if (row.inputs.size() != u.size())
+        return false;
+    for (size_t i = 0; i < u.size(); ++i) {
+        Time ri = row.inputs[i];
+        if (ri.isFinite()) {
+            if (u[i] != ri)
+                return false;
+        } else {
+            // Causality closure: inf matches inf or anything strictly
+            // later than the row's output.
+            if (u[i].isFinite() && !(u[i] > row.output))
+                return false;
+        }
+    }
+    return true;
+}
+
+Time
+FunctionTable::evaluate(std::span<const Time> xs) const
+{
+    if (xs.size() != arity_)
+        throw std::invalid_argument("FunctionTable: evaluate arity "
+                                    "mismatch");
+    Normalized norm = normalize(xs);
+    if (norm.shift.isInf())
+        return INF; // no input spikes => no output spike
+
+    auto exact = exactIndex_.find(exactKey(norm.values));
+    if (exact != exactIndex_.end())
+        return rows_[exact->second].output + norm.shift.value();
+
+    for (size_t index : closureRows_) {
+        if (matches(rows_[index], norm.values))
+            return rows_[index].output + norm.shift.value();
+    }
+    return INF;
+}
+
+Time::rep
+FunctionTable::historyBound() const
+{
+    Time::rep k = 0;
+    for (const TableRow &row : rows_) {
+        k = std::max(k, row.output.value());
+        for (Time x : row.inputs) {
+            if (x.isFinite())
+                k = std::max(k, x.value());
+        }
+    }
+    return k;
+}
+
+FunctionTable
+FunctionTable::infer(size_t arity, Time::rep k, const Fn &fn)
+{
+    FunctionTable table(arity);
+    // Enumerate every vector over {0..k, inf}^arity containing a 0.
+    // Values are encoded 0..k, with k+1 standing for inf.
+    std::vector<Time::rep> digits(arity, 0);
+    std::vector<Time> u(arity);
+    for (;;) {
+        bool has_zero = false;
+        for (size_t i = 0; i < arity; ++i) {
+            if (digits[i] == k + 1) {
+                u[i] = INF;
+            } else {
+                u[i] = Time(digits[i]);
+                has_zero |= digits[i] == 0;
+            }
+        }
+        if (has_zero) {
+            Time y = fn(u);
+            if (y.isFinite()) {
+                // Canonicalization may fold several enumerated vectors
+                // onto one row; skip exact duplicates.
+                TableRow candidate{u, y};
+                canonicalize(candidate);
+                bool known = std::any_of(
+                    table.rows_.begin(), table.rows_.end(),
+                    [&](const TableRow &r) { return r == candidate; });
+                if (!known)
+                    table.addRow(u, y);
+            }
+        }
+        // Odometer step.
+        size_t pos = 0;
+        while (pos < arity && digits[pos] == k + 1)
+            digits[pos++] = 0;
+        if (pos == arity)
+            break;
+        ++digits[pos];
+    }
+    return table;
+}
+
+FunctionTable
+FunctionTable::parse(size_t arity, const std::string &text)
+{
+    FunctionTable table(arity);
+    std::istringstream lines(text);
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(lines, line)) {
+        ++line_no;
+        // Strip comments.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::vector<Time> entries;
+        std::string tok;
+        while (fields >> tok) {
+            if (tok == "inf") {
+                entries.push_back(INF);
+            } else {
+                try {
+                    entries.push_back(Time(std::stoull(tok)));
+                } catch (const std::exception &) {
+                    throw std::invalid_argument(
+                        "FunctionTable::parse: bad token '" + tok +
+                        "' on line " + std::to_string(line_no));
+                }
+            }
+        }
+        if (entries.empty())
+            continue; // blank/comment line
+        if (entries.size() != arity + 1) {
+            throw std::invalid_argument(
+                "FunctionTable::parse: expected " +
+                std::to_string(arity + 1) + " entries on line " +
+                std::to_string(line_no));
+        }
+        Time output = entries.back();
+        entries.pop_back();
+        table.addRow(std::move(entries), output);
+    }
+    return table;
+}
+
+std::string
+FunctionTable::str() const
+{
+    std::ostringstream os;
+    for (const TableRow &row : rows_) {
+        for (Time x : row.inputs)
+            os << x << ' ';
+        os << row.output << '\n';
+    }
+    return os.str();
+}
+
+} // namespace st

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Normalized function tables for bounded space-time functions
+ * (paper Sec. III.E/III.F, Fig. 7).
+ *
+ * A bounded s-t function can be specified, analogously to a Boolean truth
+ * table, by a finite table of *normalized* rows: each row's inputs contain
+ * at least one 0 and its output is finite. Invariance extends the table to
+ * the whole of N0^inf: to evaluate an arbitrary input volley, subtract
+ * x_min, look up the normalized vector, and add x_min back; a missing
+ * entry means inf.
+ *
+ * Causality closure. Causality (property 2 of s-t functions) forces
+ * F(..., x_i, ...) = F(..., inf, ...) whenever x_i > z. Consequently a row
+ * entry *strictly greater than the row's output* is indistinguishable from
+ * inf, and an inf entry matches any input strictly later than the row's
+ * output. This class canonicalizes entries accordingly and uses the
+ * closure rule during lookup; without it, a table would disagree with any
+ * causal implementation of itself (e.g., the Fig. 9 minterm network).
+ */
+
+#ifndef ST_CORE_FUNCTION_TABLE_HPP
+#define ST_CORE_FUNCTION_TABLE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/algebra.hpp"
+#include "core/time.hpp"
+
+namespace st {
+
+/** One normalized table row: input pattern and (finite) output. */
+struct TableRow
+{
+    std::vector<Time> inputs; //!< normalized, canonicalized pattern
+    Time output;              //!< finite output for this pattern
+
+    bool operator==(const TableRow &other) const = default;
+};
+
+/**
+ * A normalized function table defining a bounded s-t function.
+ *
+ * Rows are canonicalized on insertion (entries greater than the row output
+ * become inf) and checked for normal form and consistency; an insertion
+ * that would make the table ambiguous (two rows matching one input with
+ * different outputs) throws std::invalid_argument.
+ */
+class FunctionTable
+{
+  public:
+    /** An evaluator signature for black-box s-t functions. */
+    using Fn = std::function<Time(std::span<const Time>)>;
+
+    /** Create an empty table of the given input arity (>= 1). */
+    explicit FunctionTable(size_t arity);
+
+    /**
+     * Add a normalized row.
+     *
+     * @param inputs  Normalized input pattern (must contain a 0 after
+     *                canonicalization, arity must match).
+     * @param output  Finite output value.
+     * @throws std::invalid_argument on arity mismatch, non-normal rows,
+     *         exact duplicates, or inconsistency with existing rows.
+     */
+    void addRow(std::vector<Time> inputs, Time output);
+
+    /** Number of inputs. */
+    size_t arity() const { return arity_; }
+
+    /** Number of rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** All rows, in insertion order, canonicalized. */
+    const std::vector<TableRow> &rows() const { return rows_; }
+
+    /**
+     * Evaluate the defined function on an arbitrary (unnormalized) input.
+     *
+     * Normalizes, looks up with causality closure, shifts back. Returns
+     * inf when no row matches (including the all-inf input).
+     */
+    Time evaluate(std::span<const Time> xs) const;
+
+    /**
+     * The history bound k of the defined function: the largest finite
+     * value appearing in any row (inputs or output). 0 for empty tables.
+     */
+    Time::rep historyBound() const;
+
+    /**
+     * Does a canonical row match a normalized input vector?
+     *
+     * Finite entries must be equal; inf entries match inf or any value
+     * strictly greater than the row output (causality closure).
+     */
+    static bool matches(const TableRow &row, std::span<const Time> u);
+
+    /**
+     * Build the table of a black-box bounded s-t function by enumerating
+     * every normalized input over the window {0..k, inf}.
+     *
+     * @param arity  Input arity q.
+     * @param k      History window to enumerate (inclusive).
+     * @param fn     The function; must behave as a causal, invariant,
+     *               bounded s-t function or insertion may throw.
+     * @throws std::invalid_argument if fn is inconsistent with causality.
+     */
+    static FunctionTable infer(size_t arity, Time::rep k, const Fn &fn);
+
+    /**
+     * Parse a table from text. Format: one row per line, whitespace
+     * separated entries, "inf" for no-spike, last entry is the output.
+     * Lines starting with '#' and blank lines are ignored.
+     */
+    static FunctionTable parse(size_t arity, const std::string &text);
+
+    /** Render the table in the parse() format. */
+    std::string str() const;
+
+    bool operator==(const FunctionTable &other) const = default;
+
+  private:
+    /** Replace entries greater than the output with inf (causality). */
+    static void canonicalize(TableRow &row);
+
+    /** Would two rows match a common normalized input? */
+    static bool overlaps(const TableRow &a, const TableRow &b);
+
+    /** Hash key for all-finite rows (exact lookup fast path). */
+    static std::string exactKey(std::span<const Time> u);
+
+    size_t arity_;
+    std::vector<TableRow> rows_;
+    /** Exact-match index for rows without inf entries. */
+    std::unordered_map<std::string, size_t> exactIndex_;
+    /** Indices of rows containing inf entries (closure scan list). */
+    std::vector<size_t> closureRows_;
+};
+
+} // namespace st
+
+#endif // ST_CORE_FUNCTION_TABLE_HPP

@@ -1,0 +1,265 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace st {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Input:
+        return "input";
+      case Op::Config:
+        return "config";
+      case Op::Inc:
+        return "inc";
+      case Op::Min:
+        return "min";
+      case Op::Max:
+        return "max";
+      case Op::Lt:
+        return "lt";
+    }
+    return "?";
+}
+
+Network::Network(size_t num_inputs)
+    : numInputs_(num_inputs)
+{
+    nodes_.reserve(num_inputs);
+    for (size_t i = 0; i < num_inputs; ++i)
+        nodes_.push_back(Node{Op::Input, 0, INF, {}});
+    labels_.resize(num_inputs);
+}
+
+NodeId
+Network::input(size_t i) const
+{
+    if (i >= numInputs_)
+        throw std::out_of_range("Network: no such input");
+    return static_cast<NodeId>(i);
+}
+
+void
+Network::checkId(NodeId id) const
+{
+    if (id >= nodes_.size())
+        throw std::out_of_range("Network: reference to nonexistent node");
+}
+
+NodeId
+Network::addNode(Node node)
+{
+    for (NodeId src : node.fanin)
+        checkId(src);
+    nodes_.push_back(std::move(node));
+    labels_.emplace_back();
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId
+Network::config(Time initial)
+{
+    return addNode(Node{Op::Config, 0, initial, {}});
+}
+
+void
+Network::setConfig(NodeId id, Time value)
+{
+    checkId(id);
+    if (nodes_[id].op != Op::Config)
+        throw std::invalid_argument("Network: setConfig on non-config node");
+    nodes_[id].configValue = value;
+}
+
+Time
+Network::getConfig(NodeId id) const
+{
+    checkId(id);
+    if (nodes_[id].op != Op::Config)
+        throw std::invalid_argument("Network: getConfig on non-config node");
+    return nodes_[id].configValue;
+}
+
+NodeId
+Network::inc(NodeId src, Time::rep c)
+{
+    return addNode(Node{Op::Inc, c, INF, {src}});
+}
+
+NodeId
+Network::min(NodeId a, NodeId b)
+{
+    return addNode(Node{Op::Min, 0, INF, {a, b}});
+}
+
+NodeId
+Network::min(std::span<const NodeId> srcs)
+{
+    if (srcs.empty())
+        throw std::invalid_argument("Network: min needs >= 1 operand");
+    return addNode(Node{Op::Min, 0, INF, {srcs.begin(), srcs.end()}});
+}
+
+NodeId
+Network::max(NodeId a, NodeId b)
+{
+    return addNode(Node{Op::Max, 0, INF, {a, b}});
+}
+
+NodeId
+Network::max(std::span<const NodeId> srcs)
+{
+    if (srcs.empty())
+        throw std::invalid_argument("Network: max needs >= 1 operand");
+    return addNode(Node{Op::Max, 0, INF, {srcs.begin(), srcs.end()}});
+}
+
+NodeId
+Network::lt(NodeId a, NodeId b)
+{
+    return addNode(Node{Op::Lt, 0, INF, {a, b}});
+}
+
+void
+Network::markOutput(NodeId id)
+{
+    checkId(id);
+    outputs_.push_back(id);
+}
+
+size_t
+Network::countOf(Op op) const
+{
+    return static_cast<size_t>(
+        std::count_if(nodes_.begin(), nodes_.end(),
+                      [op](const Node &n) { return n.op == op; }));
+}
+
+size_t
+Network::depth() const
+{
+    std::vector<size_t> d(nodes_.size(), 0);
+    size_t result = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        if (n.op == Op::Input || n.op == Op::Config)
+            continue;
+        size_t best = 0;
+        for (NodeId src : n.fanin)
+            best = std::max(best, d[src]);
+        d[i] = best + 1;
+        result = std::max(result, d[i]);
+    }
+    return result;
+}
+
+Time::rep
+Network::totalIncStages() const
+{
+    Time::rep total = 0;
+    for (const Node &n : nodes_) {
+        if (n.op == Op::Inc)
+            total += n.delay;
+    }
+    return total;
+}
+
+std::vector<Time>
+Network::evaluateAll(std::span<const Time> inputs) const
+{
+    if (inputs.size() != numInputs_)
+        throw std::invalid_argument("Network: evaluate arity mismatch");
+    std::vector<Time> value(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        switch (n.op) {
+          case Op::Input:
+            value[i] = inputs[i];
+            break;
+          case Op::Config:
+            value[i] = n.configValue;
+            break;
+          case Op::Inc:
+            value[i] = value[n.fanin[0]] + n.delay;
+            break;
+          case Op::Min: {
+            Time m = INF;
+            for (NodeId src : n.fanin)
+                m = tmin(m, value[src]);
+            value[i] = m;
+            break;
+          }
+          case Op::Max: {
+            Time m = 0_t;
+            for (NodeId src : n.fanin)
+                m = tmax(m, value[src]);
+            value[i] = m;
+            break;
+          }
+          case Op::Lt:
+            value[i] = tlt(value[n.fanin[0]], value[n.fanin[1]]);
+            break;
+        }
+    }
+    return value;
+}
+
+std::vector<Time>
+Network::evaluate(std::span<const Time> inputs) const
+{
+    std::vector<Time> value = evaluateAll(inputs);
+    std::vector<Time> out;
+    out.reserve(outputs_.size());
+    for (NodeId id : outputs_)
+        out.push_back(value[id]);
+    return out;
+}
+
+std::vector<NodeId>
+Network::append(const Network &sub, std::span<const NodeId> actuals)
+{
+    if (actuals.size() != sub.numInputs())
+        throw std::invalid_argument("Network: append input count mismatch");
+    for (NodeId id : actuals)
+        checkId(id);
+
+    std::vector<NodeId> map(sub.nodes_.size());
+    for (size_t i = 0; i < sub.nodes_.size(); ++i) {
+        const Node &n = sub.nodes_[i];
+        if (n.op == Op::Input) {
+            map[i] = actuals[i];
+            continue;
+        }
+        Node copy = n;
+        for (NodeId &src : copy.fanin)
+            src = map[src];
+        map[i] = addNode(std::move(copy));
+        if (!sub.labels_[i].empty())
+            labels_.back() = sub.labels_[i];
+    }
+
+    std::vector<NodeId> outs;
+    outs.reserve(sub.outputs_.size());
+    for (NodeId id : sub.outputs_)
+        outs.push_back(map[id]);
+    return outs;
+}
+
+void
+Network::setLabel(NodeId id, std::string label)
+{
+    checkId(id);
+    labels_[id] = std::move(label);
+}
+
+const std::string &
+Network::label(NodeId id) const
+{
+    checkId(id);
+    return labels_[id];
+}
+
+} // namespace st

@@ -1,0 +1,68 @@
+#include "core/network_dot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace st {
+
+std::string
+toDot(const Network &net, const std::string &name)
+{
+    std::ostringstream os;
+    os << "digraph " << name << " {\n";
+    os << "    rankdir=LR;\n";
+    os << "    node [shape=box, fontname=\"Helvetica\"];\n";
+
+    const auto &nodes = net.nodes();
+    const auto &outs = net.outputs();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        std::ostringstream text;
+        switch (n.op) {
+          case Op::Input:
+            text << "x" << i;
+            break;
+          case Op::Config:
+            text << "cfg=" << n.configValue;
+            break;
+          case Op::Inc:
+            text << "+" << n.delay;
+            break;
+          case Op::Min:
+            text << "min";
+            break;
+          case Op::Max:
+            text << "max";
+            break;
+          case Op::Lt:
+            text << "lt";
+            break;
+        }
+        if (!net.label(static_cast<NodeId>(i)).empty())
+            text << " (" << net.label(static_cast<NodeId>(i)) << ")";
+
+        bool is_output =
+            std::find(outs.begin(), outs.end(), static_cast<NodeId>(i)) !=
+            outs.end();
+        os << "    n" << i << " [label=\"" << text.str() << "\"";
+        if (n.op == Op::Input)
+            os << ", shape=plaintext";
+        else if (is_output)
+            os << ", peripheries=2";
+        os << "];\n";
+    }
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        for (size_t p = 0; p < n.fanin.size(); ++p) {
+            os << "    n" << n.fanin[p] << " -> n" << i;
+            if (n.op == Op::Lt)
+                os << " [label=\"" << (p == 0 ? "a" : "b") << "\"]";
+            os << ";\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace st

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Graphviz DOT export of space-time networks, for figure regeneration and
+ * debugging. The rendering mirrors the paper's block diagrams: inputs on
+ * the left, one box per primitive, outputs marked with double borders.
+ */
+
+#ifndef ST_CORE_NETWORK_DOT_HPP
+#define ST_CORE_NETWORK_DOT_HPP
+
+#include <string>
+
+#include "core/network.hpp"
+
+namespace st {
+
+/** Render @p net as a DOT digraph named @p name. */
+std::string toDot(const Network &net, const std::string &name = "stnet");
+
+} // namespace st
+
+#endif // ST_CORE_NETWORK_DOT_HPP

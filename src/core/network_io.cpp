@@ -1,0 +1,171 @@
+#include "core/network_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace st {
+
+std::string
+networkToText(const Network &net)
+{
+    std::ostringstream os;
+    os << "stnet 1\n";
+    os << "inputs " << net.numInputs() << "\n";
+    const auto &nodes = net.nodes();
+    for (size_t i = net.numInputs(); i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        os << "n" << i << " = " << opName(n.op);
+        switch (n.op) {
+          case Op::Config:
+            os << ' ' << n.configValue;
+            break;
+          case Op::Inc:
+            os << " n" << n.fanin[0] << ' ' << n.delay;
+            break;
+          case Op::Min:
+          case Op::Max:
+          case Op::Lt:
+            for (NodeId src : n.fanin)
+                os << " n" << src;
+            break;
+          case Op::Input:
+            break;
+        }
+        os << '\n';
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (!net.label(static_cast<NodeId>(i)).empty())
+            os << "label n" << i << ' '
+               << net.label(static_cast<NodeId>(i)) << '\n';
+    }
+    for (NodeId o : net.outputs())
+        os << "output n" << o << '\n';
+    return os.str();
+}
+
+namespace {
+
+[[noreturn]] void
+fail(size_t line_no, const std::string &what)
+{
+    throw std::invalid_argument("networkFromText: line " +
+                                std::to_string(line_no) + ": " + what);
+}
+
+NodeId
+parseNodeRef(const std::string &tok, size_t line_no)
+{
+    if (tok.size() < 2 || tok[0] != 'n')
+        fail(line_no, "expected node reference, got '" + tok + "'");
+    try {
+        return static_cast<NodeId>(std::stoul(tok.substr(1)));
+    } catch (const std::exception &) {
+        fail(line_no, "bad node id '" + tok + "'");
+    }
+}
+
+} // namespace
+
+Network
+networkFromText(const std::string &text)
+{
+    std::istringstream lines(text);
+    std::string line;
+    size_t line_no = 0;
+
+    auto next_meaningful = [&](std::vector<std::string> &toks) {
+        toks.clear();
+        while (std::getline(lines, line)) {
+            ++line_no;
+            auto hash = line.find('#');
+            if (hash != std::string::npos)
+                line.resize(hash);
+            std::istringstream fields(line);
+            std::string tok;
+            while (fields >> tok)
+                toks.push_back(tok);
+            if (!toks.empty())
+                return true;
+        }
+        return false;
+    };
+
+    std::vector<std::string> toks;
+    if (!next_meaningful(toks) || toks.size() != 2 || toks[0] != "stnet" ||
+        toks[1] != "1") {
+        fail(line_no, "expected header 'stnet 1'");
+    }
+    if (!next_meaningful(toks) || toks.size() != 2 ||
+        toks[0] != "inputs") {
+        fail(line_no, "expected 'inputs <count>'");
+    }
+    size_t num_inputs = 0;
+    try {
+        num_inputs = std::stoul(toks[1]);
+    } catch (const std::exception &) {
+        fail(line_no, "bad input count");
+    }
+
+    Network net(num_inputs);
+    while (next_meaningful(toks)) {
+        if (toks[0] == "output") {
+            if (toks.size() != 2)
+                fail(line_no, "output takes one node");
+            net.markOutput(parseNodeRef(toks[1], line_no));
+            continue;
+        }
+        if (toks[0] == "label") {
+            if (toks.size() < 3)
+                fail(line_no, "label takes a node and text");
+            std::string label = toks[2];
+            for (size_t i = 3; i < toks.size(); ++i)
+                label += ' ' + toks[i];
+            net.setLabel(parseNodeRef(toks[1], line_no), label);
+            continue;
+        }
+
+        // nK = <op> operands...
+        if (toks.size() < 3 || toks[1] != "=")
+            fail(line_no, "expected 'nK = op ...'");
+        NodeId declared = parseNodeRef(toks[0], line_no);
+        const std::string &op = toks[2];
+        NodeId created = 0;
+        if (op == "config") {
+            if (toks.size() != 4)
+                fail(line_no, "config takes one value");
+            created = net.config(toks[3] == "inf"
+                                     ? INF
+                                     : Time(std::stoull(toks[3])));
+        } else if (op == "inc") {
+            if (toks.size() != 5)
+                fail(line_no, "inc takes a node and a constant");
+            created = net.inc(parseNodeRef(toks[3], line_no),
+                              std::stoull(toks[4]));
+        } else if (op == "min" || op == "max" || op == "lt") {
+            std::vector<NodeId> srcs;
+            for (size_t i = 3; i < toks.size(); ++i)
+                srcs.push_back(parseNodeRef(toks[i], line_no));
+            if (srcs.empty())
+                fail(line_no, op + " needs operands");
+            if (op == "lt") {
+                if (srcs.size() != 2)
+                    fail(line_no, "lt takes exactly two operands");
+                created = net.lt(srcs[0], srcs[1]);
+            } else if (op == "min") {
+                created = net.min(std::span<const NodeId>(srcs));
+            } else {
+                created = net.max(std::span<const NodeId>(srcs));
+            }
+        } else {
+            fail(line_no, "unknown op '" + op + "'");
+        }
+        if (created != declared) {
+            fail(line_no, "node id n" + std::to_string(declared) +
+                              " out of sequence (expected n" +
+                              std::to_string(created) + ")");
+        }
+    }
+    return net;
+}
+
+} // namespace st

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text serialization of space-time networks.
+ *
+ * A simple line-oriented format so networks (e.g., trained, synthesized
+ * or optimized ones) can be stored, diffed and reloaded:
+ *
+ *     stnet 1
+ *     inputs 3
+ *     n3 = inc n0 2
+ *     n4 = min n3 n1
+ *     n5 = lt n4 n2
+ *     n6 = config inf
+ *     label n5 spike
+ *     output n5
+ *
+ * Node ids are explicit and must be dense and in topological order
+ * (which Network guarantees on export). '#' starts a comment.
+ */
+
+#ifndef ST_CORE_NETWORK_IO_HPP
+#define ST_CORE_NETWORK_IO_HPP
+
+#include <string>
+
+#include "core/network.hpp"
+
+namespace st {
+
+/** Serialize a network to the stnet text format. */
+std::string networkToText(const Network &net);
+
+/**
+ * Parse a network from the stnet text format.
+ * @throws std::invalid_argument on malformed input.
+ */
+Network networkFromText(const std::string &text);
+
+} // namespace st
+
+#endif // ST_CORE_NETWORK_IO_HPP

@@ -1,0 +1,246 @@
+#include "core/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace st {
+
+namespace {
+
+/** Structural key of a (non-config, non-input) node after remapping. */
+struct NodeKey
+{
+    Op op;
+    Time::rep delay;
+    std::vector<NodeId> fanin; // canonicalized
+
+    bool
+    operator<(const NodeKey &other) const
+    {
+        if (op != other.op)
+            return op < other.op;
+        if (delay != other.delay)
+            return delay < other.delay;
+        return fanin < other.fanin;
+    }
+};
+
+} // namespace
+
+Network
+shareCommonSubexpressions(const Network &net)
+{
+    Network out(net.numInputs());
+    std::vector<NodeId> map(net.size());
+    std::map<NodeKey, NodeId> seen;
+
+    const auto &nodes = net.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        if (n.op == Op::Input) {
+            map[i] = static_cast<NodeId>(i);
+            continue;
+        }
+        if (n.op == Op::Config) {
+            // Programmable state: never merged, always copied.
+            map[i] = out.config(n.configValue);
+            continue;
+        }
+
+        NodeKey key{n.op, n.op == Op::Inc ? n.delay : 0, {}};
+        key.fanin.reserve(n.fanin.size());
+        for (NodeId src : n.fanin)
+            key.fanin.push_back(map[src]);
+        if (n.op == Op::Min || n.op == Op::Max) {
+            // Commutative and idempotent: canonicalize and dedupe.
+            std::sort(key.fanin.begin(), key.fanin.end());
+            key.fanin.erase(
+                std::unique(key.fanin.begin(), key.fanin.end()),
+                key.fanin.end());
+        }
+
+        auto hit = seen.find(key);
+        if (hit != seen.end()) {
+            map[i] = hit->second;
+            continue;
+        }
+
+        // Idempotence: a min/max whose operands all merged into one
+        // node IS that node — forward instead of materializing.
+        if ((n.op == Op::Min || n.op == Op::Max) &&
+            key.fanin.size() == 1) {
+            map[i] = key.fanin[0];
+            continue;
+        }
+
+        NodeId id = 0;
+        switch (n.op) {
+          case Op::Inc:
+            id = out.inc(key.fanin[0], n.delay);
+            break;
+          case Op::Min:
+            id = out.min(std::span<const NodeId>(key.fanin));
+            break;
+          case Op::Max:
+            id = out.max(std::span<const NodeId>(key.fanin));
+            break;
+          case Op::Lt:
+            id = out.lt(key.fanin[0], key.fanin[1]);
+            break;
+          case Op::Input:
+          case Op::Config:
+            break; // handled above
+        }
+        seen.emplace(std::move(key), id);
+        map[i] = id;
+        if (!net.label(static_cast<NodeId>(i)).empty())
+            out.setLabel(id, net.label(static_cast<NodeId>(i)));
+    }
+
+    for (NodeId o : net.outputs())
+        out.markOutput(map[o]);
+    return out;
+}
+
+Network
+eliminateDeadNodes(const Network &net)
+{
+    const auto &nodes = net.nodes();
+    std::vector<bool> live(net.size(), false);
+    // Inputs always survive (they define the interface).
+    for (size_t i = 0; i < net.numInputs(); ++i)
+        live[i] = true;
+    for (NodeId o : net.outputs())
+        live[o] = true;
+    // One reverse sweep suffices: fanin ids are smaller than the node's.
+    for (size_t i = nodes.size(); i-- > 0;) {
+        if (!live[i])
+            continue;
+        for (NodeId src : nodes[i].fanin)
+            live[src] = true;
+    }
+
+    Network out(net.numInputs());
+    std::vector<NodeId> map(net.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (!live[i])
+            continue;
+        const Node &n = nodes[i];
+        if (n.op == Op::Input) {
+            map[i] = static_cast<NodeId>(i);
+            continue;
+        }
+        Node copy = n;
+        for (NodeId &src : copy.fanin)
+            src = map[src];
+        switch (n.op) {
+          case Op::Config:
+            map[i] = out.config(n.configValue);
+            break;
+          case Op::Inc:
+            map[i] = out.inc(copy.fanin[0], n.delay);
+            break;
+          case Op::Min:
+            map[i] = out.min(std::span<const NodeId>(copy.fanin));
+            break;
+          case Op::Max:
+            map[i] = out.max(std::span<const NodeId>(copy.fanin));
+            break;
+          case Op::Lt:
+            map[i] = out.lt(copy.fanin[0], copy.fanin[1]);
+            break;
+          case Op::Input:
+            break;
+        }
+        if (!net.label(static_cast<NodeId>(i)).empty())
+            out.setLabel(map[i], net.label(static_cast<NodeId>(i)));
+    }
+    for (NodeId o : net.outputs())
+        out.markOutput(map[o]);
+    return out;
+}
+
+Network
+factorDelays(const Network &net)
+{
+    const auto &nodes = net.nodes();
+
+    // Group inc nodes by source; collect each group's delay set.
+    std::map<NodeId, std::vector<Time::rep>> delays_of;
+    for (const Node &n : nodes) {
+        if (n.op == Op::Inc && n.delay > 0)
+            delays_of[n.fanin[0]].push_back(n.delay);
+    }
+    for (auto &[src, delays] : delays_of) {
+        std::sort(delays.begin(), delays.end());
+        delays.erase(std::unique(delays.begin(), delays.end()),
+                     delays.end());
+    }
+
+    Network out(net.numInputs());
+    std::vector<NodeId> map(net.size());
+    // chain_of[src][d] = node carrying src + d in the rebuilt network.
+    std::map<NodeId, std::map<Time::rep, NodeId>> chain_of;
+
+    auto chainNode = [&](NodeId original_src, Time::rep delay) {
+        auto &chain = chain_of[original_src];
+        auto hit = chain.find(delay);
+        if (hit != chain.end())
+            return hit->second;
+        // Emit the whole ascending chain for this source on first use;
+        // the source is already mapped (its id precedes every tap).
+        NodeId prev = map[original_src];
+        Time::rep at = 0;
+        for (Time::rep d : delays_of[original_src]) {
+            prev = out.inc(prev, d - at);
+            at = d;
+            chain.emplace(d, prev);
+        }
+        return chain.at(delay);
+    };
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        switch (n.op) {
+          case Op::Input:
+            map[i] = static_cast<NodeId>(i);
+            break;
+          case Op::Config:
+            map[i] = out.config(n.configValue);
+            break;
+          case Op::Inc:
+            map[i] = n.delay == 0 ? out.inc(map[n.fanin[0]], 0)
+                                  : chainNode(n.fanin[0], n.delay);
+            break;
+          case Op::Min:
+          case Op::Max: {
+            std::vector<NodeId> srcs;
+            srcs.reserve(n.fanin.size());
+            for (NodeId src : n.fanin)
+                srcs.push_back(map[src]);
+            map[i] = n.op == Op::Min
+                         ? out.min(std::span<const NodeId>(srcs))
+                         : out.max(std::span<const NodeId>(srcs));
+            break;
+          }
+          case Op::Lt:
+            map[i] = out.lt(map[n.fanin[0]], map[n.fanin[1]]);
+            break;
+        }
+        if (!net.label(static_cast<NodeId>(i)).empty())
+            out.setLabel(map[i], net.label(static_cast<NodeId>(i)));
+    }
+    for (NodeId o : net.outputs())
+        out.markOutput(map[o]);
+    return out;
+}
+
+Network
+optimize(const Network &net)
+{
+    return eliminateDeadNodes(
+        factorDelays(shareCommonSubexpressions(net)));
+}
+
+} // namespace st

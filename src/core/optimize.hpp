@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Structural optimization passes for space-time networks.
+ *
+ * The paper's constructions are deliberately regular (one minterm per
+ * table row, one fanout tap per response step), which leaves easy
+ * redundancy on the table: identical inc taps feeding several minterms,
+ * repeated min/max pairs inside sorters built over shared taps, and
+ * blocks whose output nobody reads. These passes clean that up while
+ * provably preserving the computed function (tests sweep equivalence):
+ *
+ *  - shareCommonSubexpressions(): hash-consing. Two blocks with the same
+ *    op and the same operand set compute the same value (min/max are
+ *    commutative, so operands are canonicalized by sorting; lt is
+ *    ordered). Config nodes are never merged — they are independently
+ *    programmable state.
+ *  - eliminateDeadNodes(): drops blocks not reachable from any output.
+ *  - optimize(): CSE followed by DCE.
+ *
+ * bench_ablation quantifies what these passes save on each paper
+ * construction.
+ */
+
+#ifndef ST_CORE_OPTIMIZE_HPP
+#define ST_CORE_OPTIMIZE_HPP
+
+#include "core/network.hpp"
+
+namespace st {
+
+/** Merge structurally identical blocks (never merges Config nodes). */
+Network shareCommonSubexpressions(const Network &net);
+
+/**
+ * Factor parallel delay taps into shared chains.
+ *
+ * A Fig. 11 fanout drives many inc taps from one source (delays d1 <
+ * d2 < ... < dk); implemented naively in GRL that costs sum(d_i)
+ * flipflop stages. Rewriting the taps as a chain — inc(x, d1), then
+ * +(d2-d1), then +(d3-d2)... — yields identical event times (saturating
+ * addition is associative) at only max(d_i) stages. This is exactly the
+ * shift-register energy problem the paper flags in Sec. V.B
+ * ("energy consumption may increase significantly due to the clocked
+ * shift registers ... further research is required to ... perhaps
+ * minimize this effect"); bench_ablation quantifies the savings.
+ */
+Network factorDelays(const Network &net);
+
+/** Remove blocks unreachable from the outputs (inputs always remain). */
+Network eliminateDeadNodes(const Network &net);
+
+/** CSE, then delay factoring, then DCE. */
+Network optimize(const Network &net);
+
+} // namespace st
+
+#endif // ST_CORE_OPTIMIZE_HPP

@@ -1,0 +1,227 @@
+#include "core/properties.hpp"
+
+#include <sstream>
+
+#include "core/algebra.hpp"
+
+namespace st {
+
+StFn
+fnOf(const Network &net)
+{
+    if (net.outputs().size() != 1) {
+        throw std::invalid_argument("fnOf: network must have exactly one "
+                                    "output");
+    }
+    // Copy the network so the returned closure owns its state.
+    return [net](std::span<const Time> xs) {
+        return net.evaluate(xs)[0];
+    };
+}
+
+std::string
+volleyStr(std::span<const Time> xs)
+{
+    std::ostringstream os;
+    os << '[';
+    for (size_t i = 0; i < xs.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << xs[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+namespace {
+
+/**
+ * Enumerate every volley over {0..k, inf}^arity and invoke visit(volley).
+ * visit returns an empty string to continue or a counterexample message.
+ */
+PropertyReport
+enumerate(size_t arity, Time::rep k,
+          const std::function<std::string(std::span<const Time>)> &visit)
+{
+    std::vector<Time::rep> digits(arity, 0);
+    std::vector<Time> u(arity);
+    for (;;) {
+        for (size_t i = 0; i < arity; ++i)
+            u[i] = digits[i] == k + 1 ? INF : Time(digits[i]);
+        std::string msg = visit(u);
+        if (!msg.empty())
+            return {false, msg};
+        size_t pos = 0;
+        while (pos < arity && digits[pos] == k + 1)
+            digits[pos++] = 0;
+        if (pos == arity)
+            return {true, ""};
+        ++digits[pos];
+    }
+}
+
+std::string
+causalityViolation(const StFn &fn, std::span<const Time> u)
+{
+    std::vector<Time> x(u.begin(), u.end());
+    Time z = fn(x);
+    if (z.isFinite()) {
+        Time xmin = minOf(x);
+        if (z < xmin) {
+            return "output " + z.str() + " precedes earliest input for " +
+                   volleyStr(x) + " (no spontaneous spikes)";
+        }
+    }
+    for (size_t i = 0; i < x.size(); ++i) {
+        if (x[i].isFinite() && x[i] > z) {
+            Time saved = x[i];
+            x[i] = INF;
+            Time z2 = fn(x);
+            x[i] = saved;
+            if (z2 != z) {
+                return "input " + std::to_string(i) + " of " +
+                       volleyStr(x) + " is later than output " + z.str() +
+                       " yet replacing it with inf gives " + z2.str();
+            }
+        }
+    }
+    return "";
+}
+
+std::string
+invarianceViolation(const StFn &fn, std::span<const Time> u,
+                    Time::rep shifts)
+{
+    std::vector<Time> x(u.begin(), u.end());
+    Time z = fn(x);
+    for (Time::rep c = 1; c <= shifts; ++c) {
+        std::vector<Time> xs = shifted(x, c);
+        Time zs = fn(xs);
+        if (zs != z + c) {
+            return "F(" + volleyStr(x) + ") = " + z.str() + " but F(" +
+                   volleyStr(xs) + ") = " + zs.str() + " (expected " +
+                   (z + c).str() + ")";
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+PropertyReport
+checkCausality(size_t arity, Time::rep k, const StFn &fn)
+{
+    return enumerate(arity, k, [&](std::span<const Time> u) {
+        return causalityViolation(fn, u);
+    });
+}
+
+PropertyReport
+checkInvariance(size_t arity, Time::rep k, const StFn &fn,
+                Time::rep shifts)
+{
+    return enumerate(arity, k, [&](std::span<const Time> u) {
+        return invarianceViolation(fn, u, shifts);
+    });
+}
+
+PropertyReport
+checkBoundedHistory(size_t arity, Time::rep k, const StFn &fn,
+                    Time::rep window)
+{
+    return enumerate(arity, k, [&](std::span<const Time> u) -> std::string {
+        std::vector<Time> x(u.begin(), u.end());
+        Time xmax = maxFiniteOf(x);
+        if (xmax.isInf() || xmax.value() <= window)
+            return "";
+        Time cutoff = xmax - window; // entries strictly before are stale
+        Time z = fn(x);
+        for (size_t i = 0; i < x.size(); ++i) {
+            if (x[i].isFinite() && x[i] < cutoff) {
+                Time saved = x[i];
+                x[i] = INF;
+                Time z2 = fn(x);
+                x[i] = saved;
+                if (z2 != z) {
+                    return "stale input " + std::to_string(i) + " of " +
+                           volleyStr(x) + " (window " +
+                           std::to_string(window) + ") changes output " +
+                           z.str() + " -> " + z2.str();
+                }
+            }
+        }
+        return "";
+    });
+}
+
+PropertyReport
+checkMonotonicity(size_t arity, Time::rep k, const StFn &fn)
+{
+    return enumerate(arity, k, [&](std::span<const Time> u) -> std::string {
+        std::vector<Time> x(u.begin(), u.end());
+        Time z = fn(x);
+        // Delay each input by one step (finite -> +1, and finite ->
+        // inf as the limit case); the output must not get earlier.
+        for (size_t i = 0; i < x.size(); ++i) {
+            if (x[i].isInf())
+                continue;
+            Time saved = x[i];
+            for (Time later : {saved + 1, INF}) {
+                x[i] = later;
+                Time z2 = fn(x);
+                if (z2 < z) {
+                    std::string msg =
+                        "delaying input " + std::to_string(i) + " of " +
+                        volleyStr(std::vector<Time>(u.begin(), u.end())) +
+                        " to " + later.str() + " made the output " +
+                        "earlier: " + z.str() + " -> " + z2.str();
+                    x[i] = saved;
+                    return msg;
+                }
+            }
+            x[i] = saved;
+        }
+        return "";
+    });
+}
+
+namespace {
+
+std::vector<Time>
+randomVolley(size_t arity, Time::rep limit, Rng &rng, double p_inf)
+{
+    std::vector<Time> x(arity);
+    for (Time &v : x)
+        v = rng.chance(p_inf) ? INF : Time(rng.below(limit + 1));
+    return x;
+}
+
+} // namespace
+
+PropertyReport
+checkCausalityRandom(size_t arity, Time::rep limit, const StFn &fn,
+                     Rng &rng, size_t trials, double p_inf)
+{
+    for (size_t t = 0; t < trials; ++t) {
+        std::vector<Time> x = randomVolley(arity, limit, rng, p_inf);
+        std::string msg = causalityViolation(fn, x);
+        if (!msg.empty())
+            return {false, msg};
+    }
+    return {true, ""};
+}
+
+PropertyReport
+checkInvarianceRandom(size_t arity, Time::rep limit, const StFn &fn,
+                      Rng &rng, size_t trials, double p_inf)
+{
+    for (size_t t = 0; t < trials; ++t) {
+        std::vector<Time> x = randomVolley(arity, limit, rng, p_inf);
+        std::string msg = invarianceViolation(fn, x, 2);
+        if (!msg.empty())
+            return {false, msg};
+    }
+    return {true, ""};
+}
+
+} // namespace st

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Checkers for the defining properties of space-time functions
+ * (paper Sec. III.C): causality, invariance, and bounded history.
+ *
+ * These operate on black-box functions (any callable over volleys) and,
+ * via adapters, on single-output Networks and FunctionTables. They are the
+ * backbone of the property-test suites: e.g., "lt is causal and invariant
+ * but NOT bounded" is a paper-faithful subtlety these checkers pin down.
+ *
+ * Exhaustive checkers enumerate every volley over the window
+ * {0..k, inf}^arity; randomized checkers sample larger spaces with a
+ * seeded Rng so failures are reproducible.
+ */
+
+#ifndef ST_CORE_PROPERTIES_HPP
+#define ST_CORE_PROPERTIES_HPP
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/time.hpp"
+#include "util/rng.hpp"
+
+namespace st {
+
+/** Result of a property check; counterexample is empty when it holds. */
+struct PropertyReport
+{
+    bool holds = true;
+    std::string counterexample;
+
+    explicit operator bool() const { return holds; }
+};
+
+/** Black-box function signature shared by the checkers. */
+using StFn = std::function<Time(std::span<const Time>)>;
+
+/** Wrap a single-output network as a black-box function. */
+StFn fnOf(const Network &net);
+
+/** Format a volley like "[0, 3, inf, 1]" for counterexample messages. */
+std::string volleyStr(std::span<const Time> xs);
+
+/**
+ * Causality (exhaustive over {0..k, inf}^arity):
+ *  (a) if z != inf then z >= x_min, and
+ *  (b) replacing any x_i > z with inf leaves z unchanged.
+ */
+PropertyReport checkCausality(size_t arity, Time::rep k, const StFn &fn);
+
+/**
+ * Invariance (exhaustive): F(x + c) = F(x) + c for c in 1..shifts,
+ * over all volleys in {0..k, inf}^arity.
+ */
+PropertyReport checkInvariance(size_t arity, Time::rep k, const StFn &fn,
+                               Time::rep shifts = 3);
+
+/**
+ * Bounded history with window @p window (exhaustive over
+ * {0..k, inf}^arity): any x_j < x_max - window can be replaced by inf
+ * without changing the output, where x_max is the latest finite input.
+ * Choose k > window or the check is vacuous.
+ */
+PropertyReport checkBoundedHistory(size_t arity, Time::rep k,
+                                   const StFn &fn, Time::rep window);
+
+/**
+ * Randomized causality check: @p trials volleys with entries in
+ * [0, limit] u {inf} (inf with probability p_inf).
+ */
+PropertyReport checkCausalityRandom(size_t arity, Time::rep limit,
+                                    const StFn &fn, Rng &rng,
+                                    size_t trials = 1000,
+                                    double p_inf = 0.15);
+
+/** Randomized invariance check (same sampling scheme). */
+PropertyReport checkInvarianceRandom(size_t arity, Time::rep limit,
+                                     const StFn &fn, Rng &rng,
+                                     size_t trials = 1000,
+                                     double p_inf = 0.15);
+
+/**
+ * Monotonicity (exhaustive): delaying any input never makes the output
+ * earlier (x <= x' pointwise implies F(x) <= F(x')).
+ *
+ * min, max and inc are monotone, so every lt-free network — in
+ * particular every race-logic path network — is monotone; lt is the one
+ * primitive that breaks it (delaying b past a revives a's passage).
+ * This separates the "pure racing" fragment from full s-t computation.
+ */
+PropertyReport checkMonotonicity(size_t arity, Time::rep k,
+                                 const StFn &fn);
+
+} // namespace st
+
+#endif // ST_CORE_PROPERTIES_HPP

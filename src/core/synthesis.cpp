@@ -1,0 +1,193 @@
+#include "core/synthesis.hpp"
+
+#include <stdexcept>
+
+#include "core/optimize.hpp"
+
+namespace st {
+
+NodeId
+emitMaxFromMinLt(Network &net, NodeId a, NodeId b)
+{
+    // max(a,b) = min( lt(b, lt(b,a)), lt(a, lt(a,b)) ).
+    //
+    // lt(b, lt(b,a)) fires at b exactly when a <= b: if b < a the inner
+    // gate re-emits b and ties block the outer gate; otherwise the inner
+    // gate is quiet (inf) and b passes. Symmetrically for the other arm,
+    // so the min picks the later of the two inputs, and inf absorbs.
+    NodeId ba = net.lt(b, a);
+    NodeId arm1 = net.lt(b, ba);
+    NodeId ab = net.lt(a, b);
+    NodeId arm2 = net.lt(a, ab);
+    return net.min(arm1, arm2);
+}
+
+Network
+maxFromMinLtNetwork()
+{
+    Network net(2);
+    NodeId out = emitMaxFromMinLt(net, net.input(0), net.input(1));
+    net.setLabel(out, "max");
+    net.markOutput(out);
+    return net;
+}
+
+Network
+lowerMax(const Network &net)
+{
+    Network out(net.numInputs());
+    std::vector<NodeId> map(net.size());
+
+    const auto &nodes = net.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        switch (n.op) {
+          case Op::Input:
+            map[i] = static_cast<NodeId>(i);
+            break;
+          case Op::Config:
+            map[i] = out.config(n.configValue);
+            break;
+          case Op::Inc:
+            map[i] = out.inc(map[n.fanin[0]], n.delay);
+            break;
+          case Op::Min: {
+            std::vector<NodeId> srcs;
+            srcs.reserve(n.fanin.size());
+            for (NodeId src : n.fanin)
+                srcs.push_back(map[src]);
+            map[i] = out.min(srcs);
+            break;
+          }
+          case Op::Max: {
+            NodeId acc = map[n.fanin[0]];
+            for (size_t j = 1; j < n.fanin.size(); ++j)
+                acc = emitMaxFromMinLt(out, acc, map[n.fanin[j]]);
+            if (n.fanin.size() == 1) {
+                // Unary max is the identity; model it as a zero-delay inc
+                // so the node exists and ids stay distinct.
+                acc = out.inc(acc, 0);
+            }
+            map[i] = acc;
+            break;
+          }
+          case Op::Lt:
+            map[i] = out.lt(map[n.fanin[0]], map[n.fanin[1]]);
+            break;
+        }
+        if (!net.label(static_cast<NodeId>(i)).empty())
+            out.setLabel(map[i], net.label(static_cast<NodeId>(i)));
+    }
+
+    for (NodeId id : net.outputs())
+        out.markOutput(map[id]);
+    return out;
+}
+
+Network
+synthesizeMinterms(const FunctionTable &table,
+                   const SynthesisOptions &options)
+{
+    Network net(table.arity());
+
+    auto delayed = [&](NodeId src, Time::rep c) {
+        if (c == 0 && options.skipZeroIncs)
+            return src;
+        return net.inc(src, c);
+    };
+
+    std::vector<NodeId> minterms;
+    minterms.reserve(table.rowCount());
+
+    for (const TableRow &row : table.rows()) {
+        // Delay each finite input so that, on an exact (shifted) match,
+        // every delayed value equals the shifted row output y_j + s.
+        std::vector<NodeId> matched;   // feed both max and min sides
+        std::vector<NodeId> inf_taps;  // inf entries: raw, min side only
+        for (size_t i = 0; i < row.inputs.size(); ++i) {
+            Time entry = row.inputs[i];
+            NodeId in = net.input(i);
+            if (entry.isFinite()) {
+                Time::rep delta = row.output.value() - entry.value();
+                matched.push_back(delayed(in, delta));
+            } else {
+                inf_taps.push_back(in);
+            }
+        }
+
+        // matched is never empty: a normalized row contains a 0.
+        NodeId mx;
+        if (matched.size() == 1) {
+            mx = matched[0];
+        } else if (options.useNativeMax) {
+            mx = net.max(std::span<const NodeId>(matched));
+        } else {
+            mx = matched[0];
+            for (size_t j = 1; j < matched.size(); ++j)
+                mx = emitMaxFromMinLt(net, mx, matched[j]);
+        }
+
+        NodeId mn_finite =
+            matched.size() == 1
+                ? matched[0]
+                : net.min(std::span<const NodeId>(matched));
+        // The strictness offset: on a match the min side must be one unit
+        // later than the max side so the lt gate opens.
+        NodeId mn = net.inc(mn_finite, 1);
+        if (!inf_taps.empty()) {
+            // inf entries join *after* the +1: an input at exactly the
+            // row output ties the lt shut (no match), one later passes.
+            std::vector<NodeId> parts{mn};
+            parts.insert(parts.end(), inf_taps.begin(), inf_taps.end());
+            mn = net.min(std::span<const NodeId>(parts));
+        }
+
+        minterms.push_back(net.lt(mx, mn));
+    }
+
+    NodeId out;
+    if (minterms.empty()) {
+        // Empty table: the constant-inf function (never spikes).
+        out = net.config(INF);
+    } else if (minterms.size() == 1) {
+        out = minterms[0];
+    } else {
+        out = net.min(std::span<const NodeId>(minterms));
+    }
+    net.setLabel(out, "y");
+    net.markOutput(out);
+    return net;
+}
+
+Network
+synthesizeMultiOutput(std::span<const FunctionTable> tables,
+                      const SynthesisOptions &options)
+{
+    if (tables.empty())
+        throw std::invalid_argument("synthesizeMultiOutput: no tables");
+    const size_t arity = tables[0].arity();
+    for (const FunctionTable &t : tables) {
+        if (t.arity() != arity) {
+            throw std::invalid_argument("synthesizeMultiOutput: tables "
+                                        "must share one arity");
+        }
+    }
+
+    Network net(arity);
+    std::vector<NodeId> inputs;
+    inputs.reserve(arity);
+    for (size_t i = 0; i < arity; ++i)
+        inputs.push_back(net.input(i));
+
+    size_t k = 0;
+    for (const FunctionTable &t : tables) {
+        Network one = synthesizeMinterms(t, options);
+        auto outs = net.append(one, inputs);
+        net.setLabel(outs[0], "y" + std::to_string(k++));
+        net.markOutput(outs[0]);
+    }
+    // Shared taps and identical minterms across outputs merge here.
+    return optimize(net);
+}
+
+} // namespace st

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Constructive completeness results of the space-time algebra.
+ *
+ * - Lemma 2 (paper Fig. 8): max is implementable from min and lt alone.
+ *   emitMaxFromMinLt() materializes the construction
+ *       max(a, b) = min( lt(b, lt(b, a)), lt(a, lt(a, b)) )
+ *   and lowerMax() rewrites every Max block of a network with it, yielding
+ *   a network over the strict {min, inc, lt} basis.
+ *
+ * - Theorem 1 (paper Fig. 9): every bounded s-t function, given as a
+ *   normalized function table, is synthesized into a minterm canonical
+ *   form: per row j, each input x_i is delayed by delta_ij = y_j - x_i;
+ *   the delayed values feed one max and one min block; an lt gate passes
+ *   the row output y_j exactly when all delayed values agree (i.e., the
+ *   input matches the row modulo a time shift). inf row entries feed the
+ *   min side undelayed, enforcing the causality-closure match rule. A
+ *   final min merges all rows.
+ */
+
+#ifndef ST_CORE_SYNTHESIS_HPP
+#define ST_CORE_SYNTHESIS_HPP
+
+#include "core/function_table.hpp"
+#include "core/network.hpp"
+
+namespace st {
+
+/**
+ * Emit the Lemma 2 construction into @p net and return the output node.
+ * Adds 4 lt blocks and 1 min block; no inc blocks are needed.
+ */
+NodeId emitMaxFromMinLt(Network &net, NodeId a, NodeId b);
+
+/** A standalone 2-input, 1-output max network built only from min/lt. */
+Network maxFromMinLtNetwork();
+
+/**
+ * Rewrite every Max block using the Lemma 2 construction (n-ary blocks
+ * are folded left). The result computes the same function over the strict
+ * {min, inc, lt} primitive basis; outputs, inputs and config nodes are
+ * preserved in order.
+ */
+Network lowerMax(const Network &net);
+
+/** Options controlling minterm synthesis. */
+struct SynthesisOptions
+{
+    /**
+     * Use native Max blocks (as drawn in Fig. 9). When false, the max of
+     * each minterm is immediately lowered via Lemma 2 so the result uses
+     * only {min, inc, lt} as in the Theorem 1 statement.
+     */
+    bool useNativeMax = true;
+
+    /** Omit inc blocks with a zero constant (pure wires). */
+    bool skipZeroIncs = true;
+};
+
+/**
+ * Synthesize a network implementing exactly the bounded s-t function
+ * defined by @p table (Theorem 1 construction). The returned network has
+ * table.arity() inputs and one output. An empty table yields the constant
+ * inf function.
+ */
+Network synthesizeMinterms(const FunctionTable &table,
+                           const SynthesisOptions &options = {});
+
+/**
+ * Synthesize several functions over shared inputs into one network
+ * (the paper assumes single outputs "without losing generality" —
+ * this is that generality). Output k computes tables[k]; all tables
+ * must have the same arity. Common structure (shared delay taps,
+ * identical minterms across outputs) is merged by the optimizer.
+ */
+Network synthesizeMultiOutput(std::span<const FunctionTable> tables,
+                              const SynthesisOptions &options = {});
+
+} // namespace st
+
+#endif // ST_CORE_SYNTHESIS_HPP

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The space-time value domain N0^inf.
+ *
+ * Smith's space-time algebra (ISCA 2018, Sec. III.C/III.D) models event
+ * times as the set N0^inf = {0, 1, 2, ...} u {inf}, where inf denotes
+ * "no event on this line". st::Time is a value type over that set with
+ * the paper's defined semantics:
+ *
+ *   - inf > n            for every natural n
+ *   - inf + n = inf      (addition saturates; time never wraps)
+ *
+ * Time is totally ordered, hashable, and streamable ("inf" prints for the
+ * top element), so it can be used directly in standard containers and in
+ * gtest assertions.
+ */
+
+#ifndef ST_CORE_TIME_HPP
+#define ST_CORE_TIME_HPP
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace st {
+
+/**
+ * A point in discretized time, or inf ("no event").
+ *
+ * The representation is a uint64_t with the all-ones pattern reserved for
+ * inf. All arithmetic saturates at inf, matching the algebraic law
+ * inf + n = inf. Construction from a raw integer is explicit; use
+ * Time::infinity() or the INF constant for the top element.
+ */
+class Time
+{
+  public:
+    /** Raw representation type. */
+    using rep = uint64_t;
+
+    /** Default construction yields time 0 (the lattice bottom). */
+    constexpr Time() : v_(0) {}
+
+    /** Construct a finite time point; @p v must not be the inf pattern. */
+    constexpr explicit Time(rep v) : v_(v) {}
+
+    /** The top element inf ("no event"). */
+    static constexpr Time
+    infinity()
+    {
+        Time t;
+        t.v_ = infRep;
+        return t;
+    }
+
+    /** True iff this is the top element inf. */
+    constexpr bool isInf() const { return v_ == infRep; }
+
+    /** True iff this is a natural number (not inf). */
+    constexpr bool isFinite() const { return v_ != infRep; }
+
+    /**
+     * The underlying natural number.
+     * @pre isFinite()
+     */
+    constexpr rep
+    value() const
+    {
+        return v_;
+    }
+
+    /** Total order with inf as the unique greatest element. */
+    constexpr auto operator<=>(const Time &other) const = default;
+
+    /**
+     * Saturating addition of a constant delay (the paper's repeated inc).
+     * inf + c = inf; finite values saturate to inf on overflow, which can
+     * only happen with astronomically large operands.
+     */
+    constexpr Time
+    operator+(rep c) const
+    {
+        if (isInf())
+            return *this;
+        rep sum = v_ + c;
+        if (sum < v_) // unsigned overflow
+            return infinity();
+        return Time(sum);
+    }
+
+    /** Saturating addition of two times (used by shift/normalization). */
+    constexpr Time
+    operator+(Time other) const
+    {
+        if (other.isInf())
+            return infinity();
+        return *this + other.v_;
+    }
+
+    /** In-place saturating addition. */
+    constexpr Time &
+    operator+=(rep c)
+    {
+        *this = *this + c;
+        return *this;
+    }
+
+    /**
+     * Subtract a constant shift (used when un-normalizing volleys).
+     * inf - c = inf; subtracting below zero is a logic error (time
+     * never runs backwards) and throws.
+     */
+    constexpr Time
+    operator-(rep c) const
+    {
+        if (isInf())
+            return *this;
+        if (c > v_)
+            throw std::underflow_error("Time: negative result");
+        return Time(v_ - c);
+    }
+
+    /** Render as decimal digits, or "inf" for the top element. */
+    std::string
+    str() const
+    {
+        return isInf() ? "inf" : std::to_string(v_);
+    }
+
+  private:
+    static constexpr rep infRep = std::numeric_limits<rep>::max();
+
+    rep v_;
+};
+
+/** The top element, for terse call sites: min(INF, t) == t. */
+inline constexpr Time INF = Time::infinity();
+
+/** User-defined literal: 3_t is Time(3). */
+constexpr Time
+operator""_t(unsigned long long v)
+{
+    return Time(static_cast<Time::rep>(v));
+}
+
+/** Stream a time value ("inf" for the top element). */
+inline std::ostream &
+operator<<(std::ostream &os, Time t)
+{
+    return os << t.str();
+}
+
+} // namespace st
+
+/** Hash support so Time keys work in unordered containers. */
+template <>
+struct std::hash<st::Time>
+{
+    size_t
+    operator()(st::Time t) const noexcept
+    {
+        // isInf() maps to the all-ones pattern which hashes fine as-is.
+        uint64_t v = t.isInf() ? ~0ULL : t.value();
+        v ^= v >> 33;
+        v *= 0xff51afd7ed558ccdULL;
+        v ^= v >> 33;
+        return static_cast<size_t>(v);
+    }
+};
+
+#endif // ST_CORE_TIME_HPP

@@ -1,0 +1,116 @@
+#include "core/trace_sim.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace st {
+
+TraceSimulator::TraceSimulator(const Network &net)
+    : net_(net), fanout_(net.size())
+{
+    const auto &nodes = net_.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        for (NodeId src : nodes[i].fanin)
+            fanout_[src].push_back(static_cast<NodeId>(i));
+    }
+}
+
+Trace
+TraceSimulator::run(std::span<const Time> inputs) const
+{
+    if (inputs.size() != net_.numInputs())
+        throw std::invalid_argument("TraceSimulator: arity mismatch");
+
+    const auto &nodes = net_.nodes();
+    Trace trace;
+    trace.fireTime.assign(nodes.size(), INF);
+
+    // Agenda of pending node activations keyed by time. Within one time
+    // step nodes are visited in increasing id order; since every fanin id
+    // precedes its consumer, all inputs of a node are final when it is
+    // visited — this is what makes simultaneous-arrival lt ties block,
+    // matching both the algebraic tlt() and the GRL latch.
+    std::map<Time, std::set<NodeId>> agenda;
+
+    auto fired = [&](NodeId n) { return trace.fireTime[n].isFinite(); };
+
+    // Seed: primary inputs and finite config constants.
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        if (n.op == Op::Input && inputs[i].isFinite())
+            agenda[inputs[i]].insert(static_cast<NodeId>(i));
+        else if (n.op == Op::Config && n.configValue.isFinite())
+            agenda[n.configValue].insert(static_cast<NodeId>(i));
+    }
+
+    while (!agenda.empty()) {
+        auto it = agenda.begin();
+        const Time now = it->first;
+        std::set<NodeId> &ready = it->second;
+
+        while (!ready.empty()) {
+            NodeId id = *ready.begin();
+            ready.erase(ready.begin());
+            if (fired(id))
+                continue;
+
+            const Node &n = nodes[id];
+            bool fires = false;
+            switch (n.op) {
+              case Op::Input:
+                fires = inputs[id] == now;
+                break;
+              case Op::Config:
+                fires = n.configValue == now;
+                break;
+              case Op::Inc:
+                // Scheduled exactly at source-fire + delay.
+                fires = true;
+                break;
+              case Op::Min:
+                // Wakes when the first fanin fires.
+                for (NodeId src : n.fanin)
+                    fires |= trace.fireTime[src] == now;
+                break;
+              case Op::Max: {
+                // Fires once every fanin has fired; the wave reaching it
+                // now means "now" is the latest arrival.
+                fires = true;
+                for (NodeId src : n.fanin)
+                    fires &= fired(src);
+                break;
+              }
+              case Op::Lt: {
+                NodeId a = n.fanin[0], b = n.fanin[1];
+                // Passes a's event unless b fired at-or-before it. b's
+                // status is final here (b's id precedes ours).
+                fires = trace.fireTime[a] == now &&
+                        !(fired(b) && trace.fireTime[b] <= now);
+                break;
+              }
+            }
+            if (!fires)
+                continue;
+
+            trace.fireTime[id] = now;
+            trace.events.push_back({now, id});
+            for (NodeId consumer : fanout_[id]) {
+                if (fired(consumer))
+                    continue;
+                if (nodes[consumer].op == Op::Inc)
+                    agenda[now + nodes[consumer].delay].insert(consumer);
+                else
+                    agenda[now].insert(consumer);
+            }
+        }
+        agenda.erase(agenda.begin());
+    }
+
+    trace.outputs.reserve(net_.outputs().size());
+    for (NodeId id : net_.outputs())
+        trace.outputs.push_back(trace.fireTime[id]);
+    return trace;
+}
+
+} // namespace st

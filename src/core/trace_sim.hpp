@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Event-driven simulation of space-time networks.
+ *
+ * The paper's computation overview (Sec. III.B) describes a single wave of
+ * spikes sweeping forward through the network, each block waking when its
+ * first input spike arrives. TraceSimulator reproduces exactly that
+ * operational view: it propagates discrete firing events in time order
+ * (and, within one time step, in feedforward order, which resolves lt
+ * ties identically to the GRL latch). The result is a spike trace — which
+ * node fired when — useful for visualization, debugging, and for
+ * cross-checking the denotational evaluator (Network::evaluateAll) against
+ * an independent operational semantics.
+ */
+
+#ifndef ST_CORE_TRACE_SIM_HPP
+#define ST_CORE_TRACE_SIM_HPP
+
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace st {
+
+/** One firing event in a simulation trace. */
+struct TraceEvent
+{
+    Time time;   //!< when the node fired
+    NodeId node; //!< which node fired
+
+    bool operator==(const TraceEvent &other) const = default;
+};
+
+/** Full result of one event-driven run. */
+struct Trace
+{
+    /** Firing events in (time, node-id) order; each node at most once. */
+    std::vector<TraceEvent> events;
+    /** Per-node firing time (inf = never fired), indexed by NodeId. */
+    std::vector<Time> fireTime;
+    /** Output values in markOutput() order. */
+    std::vector<Time> outputs;
+    /** Total number of spikes propagated (== events.size()). */
+    size_t spikeCount() const { return events.size(); }
+};
+
+/**
+ * Event-driven simulator for a Network.
+ *
+ * The simulator is stateless across runs; run() may be called repeatedly
+ * (e.g., after reprogramming config nodes).
+ */
+class TraceSimulator
+{
+  public:
+    /** Bind to a network (kept by reference; must outlive the sim). */
+    explicit TraceSimulator(const Network &net);
+
+    /** Simulate one feedforward wave for the given input volley. */
+    Trace run(std::span<const Time> inputs) const;
+
+  private:
+    const Network &net_;
+    /** Consumers of each node, precomputed once. */
+    std::vector<std::vector<NodeId>> fanout_;
+};
+
+} // namespace st
+
+#endif // ST_CORE_TRACE_SIM_HPP

@@ -1,0 +1,227 @@
+#include "grl/boolsim.hpp"
+
+#include <stdexcept>
+
+namespace st::grl {
+
+BoolCircuit::BoolCircuit(size_t num_inputs)
+    : numInputs_(num_inputs)
+{
+    gates_.reserve(num_inputs);
+    for (size_t i = 0; i < num_inputs; ++i)
+        gates_.push_back(BoolGate{BoolOp::Input, 0, 0});
+}
+
+uint32_t
+BoolCircuit::input(size_t i) const
+{
+    if (i >= numInputs_)
+        throw std::out_of_range("BoolCircuit: no such input");
+    return static_cast<uint32_t>(i);
+}
+
+uint32_t
+BoolCircuit::add(BoolGate g)
+{
+    if (g.op != BoolOp::Input && g.op != BoolOp::Const0 &&
+        g.op != BoolOp::Const1) {
+        if (g.a >= gates_.size() ||
+            (g.op != BoolOp::Not && g.b >= gates_.size())) {
+            throw std::out_of_range("BoolCircuit: bad operand");
+        }
+    }
+    gates_.push_back(g);
+    return static_cast<uint32_t>(gates_.size() - 1);
+}
+
+uint32_t
+BoolCircuit::constGate(bool value)
+{
+    return add({value ? BoolOp::Const1 : BoolOp::Const0, 0, 0});
+}
+
+uint32_t
+BoolCircuit::notGate(uint32_t a)
+{
+    return add({BoolOp::Not, a, 0});
+}
+
+uint32_t
+BoolCircuit::andGate(uint32_t a, uint32_t b)
+{
+    return add({BoolOp::And, a, b});
+}
+
+uint32_t
+BoolCircuit::orGate(uint32_t a, uint32_t b)
+{
+    return add({BoolOp::Or, a, b});
+}
+
+uint32_t
+BoolCircuit::xorGate(uint32_t a, uint32_t b)
+{
+    return add({BoolOp::Xor, a, b});
+}
+
+void
+BoolCircuit::markOutput(uint32_t id)
+{
+    if (id >= gates_.size())
+        throw std::out_of_range("BoolCircuit: bad output");
+    outputs_.push_back(id);
+}
+
+std::vector<uint8_t>
+BoolCircuit::evaluateAll(std::span<const uint8_t> in) const
+{
+    if (in.size() != numInputs_)
+        throw std::invalid_argument("BoolCircuit: input arity mismatch");
+    std::vector<uint8_t> value(gates_.size());
+    for (size_t i = 0; i < gates_.size(); ++i) {
+        const BoolGate &g = gates_[i];
+        switch (g.op) {
+          case BoolOp::Input:
+            value[i] = in[i] ? 1 : 0;
+            break;
+          case BoolOp::Const0:
+            value[i] = 0;
+            break;
+          case BoolOp::Const1:
+            value[i] = 1;
+            break;
+          case BoolOp::Not:
+            value[i] = value[g.a] ^ 1;
+            break;
+          case BoolOp::And:
+            value[i] = value[g.a] & value[g.b];
+            break;
+          case BoolOp::Or:
+            value[i] = value[g.a] | value[g.b];
+            break;
+          case BoolOp::Xor:
+            value[i] = value[g.a] ^ value[g.b];
+            break;
+        }
+    }
+    return value;
+}
+
+std::vector<uint8_t>
+BoolCircuit::evaluate(std::span<const uint8_t> in) const
+{
+    std::vector<uint8_t> value = evaluateAll(in);
+    std::vector<uint8_t> out;
+    out.reserve(outputs_.size());
+    for (uint32_t id : outputs_)
+        out.push_back(value[id]);
+    return out;
+}
+
+BoolActivity::BoolActivity(const BoolCircuit &circuit)
+    : circuit_(circuit)
+{
+}
+
+std::vector<uint8_t>
+BoolActivity::apply(std::span<const uint8_t> in)
+{
+    std::vector<uint8_t> value = circuit_.evaluateAll(in);
+    if (hasState_) {
+        const auto &gates = circuit_.gates();
+        for (size_t i = 0; i < value.size(); ++i) {
+            if (value[i] != state_[i]) {
+                if (gates[i].op == BoolOp::Input)
+                    ++inputToggles_;
+                else
+                    ++gateToggles_;
+            }
+        }
+    }
+    state_ = std::move(value);
+    hasState_ = true;
+    ++evaluations_;
+
+    std::vector<uint8_t> out;
+    out.reserve(circuit_.outputs().size());
+    for (uint32_t id : circuit_.outputs())
+        out.push_back(state_[id]);
+    return out;
+}
+
+BoolCircuit
+buildBinaryMin(size_t bits)
+{
+    if (bits == 0)
+        throw std::invalid_argument("buildBinaryMin: bits >= 1");
+    BoolCircuit c(2 * bits);
+    // a < b, rippling from LSB to MSB:
+    //   lt_i = (!a_i & b_i ... note: a<b needs b_i & !a_i at higher bit)
+    // Standard recurrence (LSB-up): lt = (!a_i & b_i) | (eq_i & lt_prev).
+    uint32_t lt = c.constGate(false);
+    for (size_t i = 0; i < bits; ++i) {
+        uint32_t ai = c.input(i);
+        uint32_t bi = c.input(bits + i);
+        uint32_t na = c.notGate(ai);
+        uint32_t a_lt_b = c.andGate(na, bi);
+        uint32_t eq = c.notGate(c.xorGate(ai, bi));
+        lt = c.orGate(a_lt_b, c.andGate(eq, lt));
+    }
+    // min = lt ? a : b, one mux per bit.
+    uint32_t nsel = c.notGate(lt);
+    for (size_t i = 0; i < bits; ++i) {
+        uint32_t ai = c.input(i);
+        uint32_t bi = c.input(bits + i);
+        uint32_t pick_a = c.andGate(lt, ai);
+        uint32_t pick_b = c.andGate(nsel, bi);
+        c.markOutput(c.orGate(pick_a, pick_b));
+    }
+    return c;
+}
+
+BoolCircuit
+buildBinaryAdder(size_t bits)
+{
+    if (bits == 0)
+        throw std::invalid_argument("buildBinaryAdder: bits >= 1");
+    BoolCircuit c(2 * bits);
+    uint32_t carry = c.constGate(false);
+    std::vector<uint32_t> sums;
+    sums.reserve(bits);
+    for (size_t i = 0; i < bits; ++i) {
+        uint32_t ai = c.input(i);
+        uint32_t bi = c.input(bits + i);
+        uint32_t axb = c.xorGate(ai, bi);
+        uint32_t sum = c.xorGate(axb, carry);
+        uint32_t cout =
+            c.orGate(c.andGate(ai, bi), c.andGate(axb, carry));
+        sums.push_back(sum);
+        carry = cout;
+    }
+    for (uint32_t s : sums)
+        c.markOutput(s);
+    c.markOutput(carry);
+    return c;
+}
+
+std::vector<uint8_t>
+toBits(uint64_t value, size_t bits)
+{
+    std::vector<uint8_t> out(bits);
+    for (size_t i = 0; i < bits; ++i)
+        out[i] = static_cast<uint8_t>((value >> i) & 1);
+    return out;
+}
+
+uint64_t
+fromBits(std::span<const uint8_t> bits)
+{
+    uint64_t value = 0;
+    for (size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i])
+            value |= uint64_t{1} << i;
+    }
+    return value;
+}
+
+} // namespace st::grl

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Conventional binary (indirect) logic — the baseline for the paper's
+ * energy argument (Sec. V.C and VI).
+ *
+ * An *indirect* implementation encodes times as binary numbers and
+ * computes with ordinary Boolean datapaths. To compare switching activity
+ * against GRL's one-transition-per-line property, this module provides a
+ * small combinational Boolean netlist simulator with per-gate toggle
+ * accounting across a stream of input vectors (the standard dynamic-power
+ * activity model), plus builders for the binary counterparts of the s-t
+ * primitives: an n-bit ripple comparator/mux computing min(a, b) and an
+ * n-bit ripple-carry adder computing a + c (the binary inc).
+ */
+
+#ifndef ST_GRL_BOOLSIM_HPP
+#define ST_GRL_BOOLSIM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace st::grl {
+
+/** Boolean gate kinds for the baseline netlists. */
+enum class BoolOp : uint8_t
+{
+    Input,
+    Const0,
+    Const1,
+    Not,
+    And,
+    Or,
+    Xor,
+};
+
+/** One Boolean gate (binary ops; Not has one fanin). */
+struct BoolGate
+{
+    BoolOp op = BoolOp::Input;
+    uint32_t a = 0; //!< first operand gate
+    uint32_t b = 0; //!< second operand gate (binary ops)
+};
+
+/**
+ * A combinational Boolean netlist in topological order.
+ */
+class BoolCircuit
+{
+  public:
+    explicit BoolCircuit(size_t num_inputs);
+
+    uint32_t input(size_t i) const;
+    size_t numInputs() const { return numInputs_; }
+
+    uint32_t constGate(bool value);
+    uint32_t notGate(uint32_t a);
+    uint32_t andGate(uint32_t a, uint32_t b);
+    uint32_t orGate(uint32_t a, uint32_t b);
+    uint32_t xorGate(uint32_t a, uint32_t b);
+
+    void markOutput(uint32_t id);
+    const std::vector<uint32_t> &outputs() const { return outputs_; }
+
+    const std::vector<BoolGate> &gates() const { return gates_; }
+    size_t size() const { return gates_.size(); }
+
+    /** Evaluate all gates for one input vector. */
+    std::vector<uint8_t> evaluateAll(std::span<const uint8_t> in) const;
+
+    /** Evaluate and return output bits only. */
+    std::vector<uint8_t> evaluate(std::span<const uint8_t> in) const;
+
+  private:
+    uint32_t add(BoolGate g);
+
+    std::vector<BoolGate> gates_;
+    std::vector<uint32_t> outputs_;
+    size_t numInputs_;
+};
+
+/**
+ * Switching-activity counter: apply a stream of input vectors and count
+ * how many gate outputs toggle between consecutive evaluations.
+ */
+class BoolActivity
+{
+  public:
+    explicit BoolActivity(const BoolCircuit &circuit);
+
+    /** Evaluate one vector; counts toggles vs the previous state. */
+    std::vector<uint8_t> apply(std::span<const uint8_t> in);
+
+    /** Total internal gate toggles so far (excludes inputs). */
+    uint64_t gateToggles() const { return gateToggles_; }
+
+    /** Total input-line toggles so far. */
+    uint64_t inputToggles() const { return inputToggles_; }
+
+    /** Vectors applied so far. */
+    uint64_t evaluations() const { return evaluations_; }
+
+  private:
+    const BoolCircuit &circuit_;
+    std::vector<uint8_t> state_;
+    bool hasState_ = false;
+    uint64_t gateToggles_ = 0;
+    uint64_t inputToggles_ = 0;
+    uint64_t evaluations_ = 0;
+};
+
+/**
+ * n-bit binary min(a, b): ripple comparator (a < b) selecting through a
+ * 2:1 mux per bit. Inputs: a[0..n) LSB-first then b[0..n); outputs:
+ * min bits LSB-first.
+ */
+BoolCircuit buildBinaryMin(size_t bits);
+
+/**
+ * n-bit ripple-carry adder a + b. Inputs: a bits then b bits (LSB
+ * first); outputs: n sum bits then carry-out.
+ */
+BoolCircuit buildBinaryAdder(size_t bits);
+
+/** Pack an unsigned value into LSB-first bits. */
+std::vector<uint8_t> toBits(uint64_t value, size_t bits);
+
+/** Unpack LSB-first bits into an unsigned value. */
+uint64_t fromBits(std::span<const uint8_t> bits);
+
+} // namespace st::grl
+
+#endif // ST_GRL_BOOLSIM_HPP

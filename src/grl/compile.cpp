@@ -1,0 +1,65 @@
+#include "grl/compile.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace st::grl {
+
+CompileResult
+compileToGrl(const Network &net)
+{
+    CompileResult result{Circuit(net.numInputs()), {}};
+    Circuit &circuit = result.circuit;
+    std::vector<WireId> &wire = result.wireOf;
+    wire.resize(net.size());
+
+    const auto &nodes = net.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node &n = nodes[i];
+        switch (n.op) {
+          case Op::Input:
+            wire[i] = static_cast<WireId>(i);
+            break;
+          case Op::Config:
+            wire[i] = circuit.constant(n.configValue);
+            break;
+          case Op::Inc: {
+            if (n.delay > std::numeric_limits<uint32_t>::max()) {
+                throw std::invalid_argument("compileToGrl: inc constant "
+                                            "too large for a shift "
+                                            "register");
+            }
+            wire[i] = circuit.delay(wire[n.fanin[0]],
+                                    static_cast<uint32_t>(n.delay));
+            break;
+          }
+          case Op::Min: {
+            // Falling-edge domain: AND drops at the FIRST input fall.
+            std::vector<WireId> ins;
+            ins.reserve(n.fanin.size());
+            for (NodeId src : n.fanin)
+                ins.push_back(wire[src]);
+            wire[i] = circuit.andGate(ins);
+            break;
+          }
+          case Op::Max: {
+            // OR stays high until the LAST input falls.
+            std::vector<WireId> ins;
+            ins.reserve(n.fanin.size());
+            for (NodeId src : n.fanin)
+                ins.push_back(wire[src]);
+            wire[i] = circuit.orGate(ins);
+            break;
+          }
+          case Op::Lt:
+            wire[i] = circuit.ltCell(wire[n.fanin[0]], wire[n.fanin[1]]);
+            break;
+        }
+    }
+
+    for (NodeId id : net.outputs())
+        circuit.markOutput(wire[id]);
+    return result;
+}
+
+} // namespace st::grl

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Compilation of space-time networks to GRL circuits (paper Sec. V).
+ *
+ * The translation is the paper's central implementation claim: every s-t
+ * primitive has an off-the-shelf CMOS realization (Fig. 16), so any
+ * space-time network — hence any TNN — compiles 1:1 into a digital
+ * circuit processing edge times instead of logic values:
+ *
+ * (in the falling-edge domain the first fall pulls an AND low and an OR
+ * waits for the last fall):
+ *
+ *     min -> AND gate         max -> OR gate
+ *     lt  -> latched LT cell  inc(c) -> c-stage shift register
+ *     config -> externally driven constant line
+ *
+ * The equivalence (network evaluation == circuit simulation) is the
+ * subject of tests/grl_compile_test.cpp's property sweeps.
+ */
+
+#ifndef ST_GRL_COMPILE_HPP
+#define ST_GRL_COMPILE_HPP
+
+#include <vector>
+
+#include "core/network.hpp"
+#include "grl/netlist.hpp"
+
+namespace st::grl {
+
+/** A compiled circuit plus the node -> wire correspondence. */
+struct CompileResult
+{
+    Circuit circuit;
+    /** wireOf[node] = the circuit wire carrying that node's value. */
+    std::vector<WireId> wireOf;
+};
+
+/**
+ * Compile a network into a GRL circuit.
+ *
+ * Config node values are snapshotted as constant lines; recompile after
+ * reprogramming micro-weights (or drive them as inputs instead).
+ */
+CompileResult compileToGrl(const Network &net);
+
+} // namespace st::grl
+
+#endif // ST_GRL_COMPILE_HPP

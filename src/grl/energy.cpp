@@ -1,0 +1,57 @@
+#include "grl/energy.hpp"
+
+namespace st::grl {
+
+double
+EnergyReport::delayFraction() const
+{
+    if (total <= 0)
+        return 0.0;
+    return (flopData + clock) / total;
+}
+
+EnergyReport
+estimateEnergy(const Circuit &circuit, const SimResult &sim,
+               const EnergyParams &params)
+{
+    EnergyReport report;
+    report.combinational =
+        params.gateSwitch * static_cast<double>(sim.gateTransitions);
+    report.ltCells =
+        params.ltSwitch * static_cast<double>(sim.ltOutputTransitions) +
+        params.latchCapture *
+            static_cast<double>(sim.ltLatchTransitions);
+    report.flopData = params.flopDataSwitch *
+                      static_cast<double>(sim.flopDataTransitions);
+    report.clock = params.clockPerStagePerCycle *
+                   static_cast<double>(circuit.totalStages()) *
+                   static_cast<double>(sim.cyclesSimulated);
+    report.inputs =
+        params.inputDrive * static_cast<double>(sim.inputTransitions);
+    report.total = report.combinational + report.ltCells +
+                   report.flopData + report.clock + report.inputs;
+    return report;
+}
+
+EnergyReport
+estimateStreamEnergy(const Circuit &circuit, const StreamResult &stream,
+                     const EnergyParams &params)
+{
+    EnergyReport report;
+    for (const SimResult &sim : stream.computations) {
+        EnergyReport one = estimateEnergy(circuit, sim, params);
+        report.combinational += one.combinational;
+        report.ltCells += one.ltCells;
+        report.flopData += one.flopData;
+        report.clock += one.clock;
+        report.inputs += one.inputs;
+    }
+    report.reset = params.resetSwitch *
+                   static_cast<double>(stream.resetTransitions);
+    report.total = report.combinational + report.ltCells +
+                   report.flopData + report.clock + report.inputs +
+                   report.reset;
+    return report;
+}
+
+} // namespace st::grl

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Switching-energy accounting for GRL circuits (paper Sec. VI,
+ * conjecture 1).
+ *
+ * The paper conjectures that direct s-t implementations are intrinsically
+ * energy efficient: per computation each combinational line switches at
+ * most once (or, under sparse codings, not at all), with the clocked
+ * shift registers flagged as the main overhead ("energy consumption may
+ * increase significantly due to the clocked shift registers. Further
+ * research is required to quantify ... this effect"). This module does
+ * that quantification for the simulator: transition counts weighted by
+ * per-event energies, with the clock-tree load of every flipflop charged
+ * every cycle.
+ */
+
+#ifndef ST_GRL_ENERGY_HPP
+#define ST_GRL_ENERGY_HPP
+
+#include "grl/logic_sim.hpp"
+#include "grl/netlist.hpp"
+
+namespace st::grl {
+
+/** Per-event energy weights (arbitrary units; defaults ~ relative CMOS
+ *  costs: a flipflop toggle costs more than a simple gate, and the clock
+ *  pin of every flipflop is charged twice per cycle). */
+struct EnergyParams
+{
+    double gateSwitch = 1.0;     //!< AND/OR output transition
+    double ltSwitch = 1.0;       //!< LT cell output transition
+    double latchCapture = 1.5;   //!< LT latch internal capture
+    double flopDataSwitch = 2.0; //!< flipflop data toggle
+    double clockPerStagePerCycle = 0.4; //!< clock load, per FF per cycle
+    double inputDrive = 1.0;     //!< externally driven input fall
+    double resetSwitch = 1.0;    //!< rising edge during the reset phase
+};
+
+/** Energy breakdown of one simulated computation. */
+struct EnergyReport
+{
+    double combinational = 0; //!< AND/OR switching
+    double ltCells = 0;       //!< LT output + latch switching
+    double flopData = 0;      //!< shift-register data switching
+    double clock = 0;         //!< clock distribution into flipflops
+    double inputs = 0;        //!< external drivers
+    double reset = 0;         //!< returning to idle high (streams only)
+    double total = 0;
+
+    /** Fraction of total burned in the delay elements (data + clock) —
+     *  the paper's flagged overhead. */
+    double delayFraction() const;
+};
+
+/** Weight a simulation's transition counts into an energy estimate. */
+EnergyReport estimateEnergy(const Circuit &circuit, const SimResult &sim,
+                            const EnergyParams &params = {});
+
+/**
+ * Energy of a whole computation stream including the per-computation
+ * reset phases (the cost the paper's Sec. VI parenthetical flags).
+ */
+EnergyReport estimateStreamEnergy(const Circuit &circuit,
+                                  const StreamResult &stream,
+                                  const EnergyParams &params = {});
+
+} // namespace st::grl
+
+#endif // ST_GRL_ENERGY_HPP

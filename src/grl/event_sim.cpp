@@ -1,0 +1,165 @@
+#include "grl/event_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace st::grl {
+
+SimResult
+simulateEvents(const Circuit &circuit, std::span<const Time> inputs,
+               Time::rep horizon)
+{
+    if (inputs.size() != circuit.numInputs())
+        throw std::invalid_argument("grl::simulateEvents: input count "
+                                    "mismatch");
+    if (horizon == 0)
+        horizon = safeHorizon(circuit, inputs);
+
+    const auto &gates = circuit.gates();
+    const size_t n = gates.size();
+
+    // Fanout adjacency.
+    std::vector<std::vector<WireId>> fanout(n);
+    for (size_t g = 0; g < n; ++g) {
+        for (WireId src : gates[g].fanin)
+            fanout[src].push_back(static_cast<WireId>(g));
+    }
+
+    // Unclipped fall times (clipped to the horizon at the end).
+    std::vector<Time> fall(n, INF);
+    // Count of fallen fanins, for OR (max) gates.
+    std::vector<uint32_t> fallenIns(n, 0);
+
+    // Agenda: nodes to examine per time, in topological (id) order
+    // within a time step — resolving LT ties exactly like the clocked
+    // engine's settle order.
+    std::map<Time, std::set<WireId>> agenda;
+    for (size_t g = 0; g < n; ++g) {
+        const Gate &gate = gates[g];
+        if (gate.kind == GateKind::Input &&
+            inputs[g].isFinite()) {
+            agenda[inputs[g]].insert(static_cast<WireId>(g));
+        } else if (gate.kind == GateKind::Const &&
+                   gate.constTime.isFinite()) {
+            agenda[gate.constTime].insert(static_cast<WireId>(g));
+        }
+    }
+
+    auto fallen = [&](WireId g) { return fall[g].isFinite(); };
+
+    while (!agenda.empty()) {
+        auto it = agenda.begin();
+        const Time now = it->first;
+        std::set<WireId> &ready = it->second;
+
+        while (!ready.empty()) {
+            WireId id = *ready.begin();
+            ready.erase(ready.begin());
+            if (fallen(id))
+                continue;
+
+            const Gate &gate = gates[id];
+            bool falls = false;
+            switch (gate.kind) {
+              case GateKind::Input:
+                falls = inputs[id] == now;
+                break;
+              case GateKind::Const:
+                falls = gate.constTime == now;
+                break;
+              case GateKind::And:
+                // min: falls with the first fanin fall.
+                for (WireId src : gate.fanin)
+                    falls |= fall[src] == now;
+                break;
+              case GateKind::Or:
+                // max: falls once every fanin has fallen.
+                falls = fallenIns[id] == gate.fanin.size();
+                break;
+              case GateKind::LtCell: {
+                WireId a = gate.fanin[0], b = gate.fanin[1];
+                // a's fall passes unless b fell at-or-before it; b's
+                // id precedes ours, so its status at `now` is final.
+                falls = fall[a] == now &&
+                        !(fallen(b) && fall[b] <= now);
+                break;
+              }
+              case GateKind::Delay:
+                // Scheduled exactly at source fall + stages.
+                falls = true;
+                break;
+            }
+            if (!falls)
+                continue;
+
+            fall[id] = now;
+            for (WireId consumer : fanout[id]) {
+                ++fallenIns[consumer];
+                if (fallen(consumer))
+                    continue;
+                if (gates[consumer].kind == GateKind::Delay)
+                    agenda[now + gates[consumer].stages].insert(consumer);
+                else
+                    agenda[now].insert(consumer);
+            }
+        }
+        agenda.erase(agenda.begin());
+    }
+
+    // Assemble the SimResult with the same accounting as the clocked
+    // engine, derived arithmetically from the fall times.
+    SimResult result;
+    result.cyclesSimulated = horizon + 1;
+    result.fallTime.assign(n, INF);
+    for (size_t g = 0; g < n; ++g) {
+        const Gate &gate = gates[g];
+        bool visible = fall[g].isFinite() && fall[g].value() <= horizon;
+        if (visible)
+            result.fallTime[g] = fall[g];
+
+        switch (gate.kind) {
+          case GateKind::Input:
+          case GateKind::Const:
+            result.inputTransitions += visible;
+            break;
+          case GateKind::And:
+          case GateKind::Or:
+            result.gateTransitions += visible;
+            break;
+          case GateKind::LtCell: {
+            result.ltOutputTransitions += visible;
+            // Latch capture: b fell within the horizon while the
+            // output had not already fallen (i.e., NOT a strictly
+            // before b).
+            Time fa = fall[gate.fanin[0]], fb = fall[gate.fanin[1]];
+            bool b_visible = fb.isFinite() && fb.value() <= horizon;
+            bool a_first = fa.isFinite() && fa < fb;
+            result.ltLatchTransitions += b_visible && !a_first;
+            break;
+          }
+          case GateKind::Delay: {
+            Time fin = fall[gate.fanin[0]];
+            if (fin.isFinite() && fin.value() < horizon) {
+                Time::rep drained = std::min<Time::rep>(
+                    gate.stages, horizon - fin.value());
+                result.flopDataTransitions += drained;
+                result.flopZeroBits += drained;
+            }
+            break;
+          }
+        }
+        if (result.fallTime[g].isFinite())
+            ++result.fallenLines;
+    }
+    // Latch state for reset accounting = captures (each sets once).
+    result.latchesCaptured = result.ltLatchTransitions;
+
+    result.outputs.reserve(circuit.outputs().size());
+    for (WireId id : circuit.outputs())
+        result.outputs.push_back(result.fallTime[id]);
+    return result;
+}
+
+} // namespace st::grl

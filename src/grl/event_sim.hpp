@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Event-driven GRL simulation.
+ *
+ * A second, independent execution engine for race-logic circuits: where
+ * logic_sim.hpp advances a global clock and settles every gate every
+ * cycle (O(horizon x gates)), this engine propagates fall events in
+ * time order (O(events log events)) — the natural choice for large or
+ * long-running circuits whose activity is sparse, which is precisely
+ * the regime the paper's energy argument targets.
+ *
+ * The two engines implement the same semantics and must produce
+ * identical SimResults (fall times AND transition counters); the test
+ * suite sweeps that equivalence, giving the GRL domain the same
+ * two-engine cross-check the algebra has (evaluate vs TraceSimulator).
+ */
+
+#ifndef ST_GRL_EVENT_SIM_HPP
+#define ST_GRL_EVENT_SIM_HPP
+
+#include "grl/logic_sim.hpp"
+
+namespace st::grl {
+
+/**
+ * Event-driven equivalent of simulate(): same inputs, same horizon
+ * convention (0 = safeHorizon), same result structure.
+ */
+SimResult simulateEvents(const Circuit &circuit,
+                         std::span<const Time> inputs,
+                         Time::rep horizon = 0);
+
+} // namespace st::grl
+
+#endif // ST_GRL_EVENT_SIM_HPP

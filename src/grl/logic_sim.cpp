@@ -1,0 +1,178 @@
+#include "grl/logic_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace st::grl {
+
+Time::rep
+safeHorizon(const Circuit &circuit, std::span<const Time> inputs)
+{
+    Time::rep latest = 0;
+    for (Time t : inputs) {
+        if (t.isFinite())
+            latest = std::max(latest, t.value());
+    }
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::Const && g.constTime.isFinite())
+            latest = std::max(latest, g.constTime.value());
+    }
+    return latest + circuit.totalStages() + 1;
+}
+
+SimResult
+simulate(const Circuit &circuit, std::span<const Time> inputs,
+         Time::rep horizon)
+{
+    if (inputs.size() != circuit.numInputs())
+        throw std::invalid_argument("grl::simulate: input count mismatch");
+    if (horizon == 0)
+        horizon = safeHorizon(circuit, inputs);
+
+    const auto &gates = circuit.gates();
+    const size_t n = gates.size();
+
+    SimResult result;
+    result.fallTime.assign(n, INF);
+    result.cyclesSimulated = horizon + 1;
+
+    // Logic levels: level[g] is gate g's settled output this cycle;
+    // prev[g] is last cycle's settled level (what flipflops sample).
+    std::vector<uint8_t> level(n, 1), prev(n, 1);
+    // Shift-register contents, one bit vector per Delay gate (idle 1s).
+    std::vector<std::vector<uint8_t>> stages(n);
+    for (size_t g = 0; g < n; ++g) {
+        if (gates[g].kind == GateKind::Delay)
+            stages[g].assign(gates[g].stages, 1);
+    }
+    // LT latch state: set permanently once b falls at-or-before a.
+    std::vector<uint8_t> blocked(n, 0);
+
+    for (Time::rep t = 0; t <= horizon; ++t) {
+        // Phase 1 — clock edge: shift registers advance, sampling their
+        // driver's level from the end of the previous cycle.
+        for (size_t g = 0; g < n; ++g) {
+            const Gate &gate = gates[g];
+            if (gate.kind != GateKind::Delay || gate.stages == 0)
+                continue;
+            auto &pipe = stages[g];
+            for (size_t j = pipe.size(); j-- > 1;) {
+                if (pipe[j] != pipe[j - 1]) {
+                    pipe[j] = pipe[j - 1];
+                    ++result.flopDataTransitions;
+                }
+            }
+            uint8_t sampled = prev[gate.fanin[0]];
+            if (pipe[0] != sampled) {
+                pipe[0] = sampled;
+                ++result.flopDataTransitions;
+            }
+        }
+
+        // Phase 2 — zero-delay combinational settle in topological order.
+        for (size_t g = 0; g < n; ++g) {
+            const Gate &gate = gates[g];
+            uint8_t out = level[g];
+            switch (gate.kind) {
+              case GateKind::Input:
+                out = inputs[g].isFinite() && inputs[g].value() <= t ? 0
+                                                                     : 1;
+                if (out == 0 && level[g] == 1)
+                    ++result.inputTransitions;
+                break;
+              case GateKind::Const:
+                out = gate.constTime.isFinite() &&
+                              gate.constTime.value() <= t
+                          ? 0
+                          : 1;
+                if (out == 0 && level[g] == 1)
+                    ++result.inputTransitions;
+                break;
+              case GateKind::And: {
+                // The FIRST falling input pulls the conjunction low: min.
+                uint8_t v = 1;
+                for (WireId src : gate.fanin)
+                    v &= level[src];
+                out = v;
+                if (out == 0 && level[g] == 1)
+                    ++result.gateTransitions;
+                break;
+              }
+              case GateKind::Or: {
+                // Stays high until the LAST input falls: max.
+                uint8_t v = 0;
+                for (WireId src : gate.fanin)
+                    v |= level[src];
+                out = v;
+                if (out == 0 && level[g] == 1)
+                    ++result.gateTransitions;
+                break;
+              }
+              case GateKind::LtCell: {
+                if (level[g] == 0)
+                    break; // output already fell; latched low
+                uint8_t a = level[gate.fanin[0]];
+                uint8_t b = level[gate.fanin[1]];
+                if (!blocked[g] && b == 0) {
+                    // b fell at-or-before a: capture the latch. Ties in
+                    // this same cycle block because the latch is
+                    // examined before a's level can open the gate.
+                    blocked[g] = 1;
+                    ++result.ltLatchTransitions;
+                }
+                if (!blocked[g] && a == 0) {
+                    out = 0;
+                    ++result.ltOutputTransitions;
+                }
+                break;
+              }
+              case GateKind::Delay:
+                if (gate.stages == 0) {
+                    out = level[gate.fanin[0]]; // zero-stage wire
+                } else {
+                    out = stages[g].back();
+                }
+                break;
+            }
+            if (out == 0 && result.fallTime[g].isInf())
+                result.fallTime[g] = Time(t);
+            level[g] = out;
+        }
+
+        prev = level;
+    }
+
+    // End-of-computation state, for reset accounting.
+    for (size_t g = 0; g < n; ++g) {
+        if (result.fallTime[g].isFinite())
+            ++result.fallenLines;
+        for (uint8_t bit : stages[g])
+            result.flopZeroBits += bit == 0;
+        result.latchesCaptured += blocked[g];
+    }
+
+    result.outputs.reserve(circuit.outputs().size());
+    for (WireId id : circuit.outputs())
+        result.outputs.push_back(result.fallTime[id]);
+    return result;
+}
+
+StreamResult
+simulateStream(const Circuit &circuit,
+               std::span<const std::vector<Time>> volleys,
+               Time::rep horizon)
+{
+    StreamResult stream;
+    stream.computations.reserve(volleys.size());
+    for (const std::vector<Time> &x : volleys) {
+        SimResult sim = simulate(circuit, x, horizon);
+        stream.forwardTransitions +=
+            sim.totalInternalTransitions() + sim.inputTransitions;
+        stream.resetTransitions += sim.resetTransitions();
+        stream.totalCycles += sim.cyclesSimulated;
+        stream.computations.push_back(std::move(sim));
+    }
+    return stream;
+}
+
+} // namespace st::grl

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cycle-accurate logic simulation of GRL circuits (paper Sec. V.B).
+ *
+ * The simulator models the digital-circuit domain directly: every line
+ * idles at logic 1 and may fall to 0 exactly once per computation; a
+ * single clock demarcates idealized unit time for the shift-register
+ * delay elements, while AND/OR/LT gates are zero-delay combinational
+ * (the paper's "clock cycle long enough to cover all inter-shift-register
+ * wire and gate delays"). Within a time step gates settle in topological
+ * order, so an LT cell whose a and b inputs fall in the same cycle blocks
+ * — identical to the algebra's tie rule and the trace simulator.
+ *
+ * The simulator counts every switching event (gate output falls, LT latch
+ * captures, flipflop data toggles) because the paper's energy-efficiency
+ * conjecture (Sec. VI) is precisely a claim about transition counts;
+ * energy.hpp turns the counts into energy estimates.
+ */
+
+#ifndef ST_GRL_LOGIC_SIM_HPP
+#define ST_GRL_LOGIC_SIM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grl/netlist.hpp"
+
+namespace st::grl {
+
+/** Result of simulating one feedforward computation. */
+struct SimResult
+{
+    /** Per-gate output fall time (inf = stayed high). */
+    std::vector<Time> fallTime;
+    /** Output fall times in markOutput() order. */
+    std::vector<Time> outputs;
+
+    /** 1->0 output transitions of AND/OR gates. */
+    uint64_t gateTransitions = 0;
+    /** 1->0 output transitions of LT cells. */
+    uint64_t ltOutputTransitions = 0;
+    /** LT latch capture events (internal node switches). */
+    uint64_t ltLatchTransitions = 0;
+    /** Flipflop data bits that toggled inside delay lines. */
+    uint64_t flopDataTransitions = 0;
+    /** Externally driven falls (inputs and consts). */
+    uint64_t inputTransitions = 0;
+    /** Clock cycles simulated (for clock-energy accounting). */
+    uint64_t cyclesSimulated = 0;
+
+    /** Lines (gates, inputs, consts) that ended the computation low. */
+    uint64_t fallenLines = 0;
+    /** Flipflop bits holding 0 at the end of the computation. */
+    uint64_t flopZeroBits = 0;
+    /** LT latches captured (must be re-opened by reset). */
+    uint64_t latchesCaptured = 0;
+
+    /** All internally generated transitions (excludes driven inputs). */
+    uint64_t
+    totalInternalTransitions() const
+    {
+        return gateTransitions + ltOutputTransitions +
+               ltLatchTransitions + flopDataTransitions;
+    }
+
+    /**
+     * Rising transitions the reset phase must pay before the next
+     * computation (paper Sec. VI: "they must be reset prior to the next
+     * computation"): every fallen line, zeroed flipflop bit and captured
+     * latch returns to idle high.
+     */
+    uint64_t
+    resetTransitions() const
+    {
+        return fallenLines + flopZeroBits + latchesCaptured;
+    }
+};
+
+/**
+ * A horizon that provably covers every possible fall: latest external
+ * event plus the total delay-line depth, plus one settling cycle.
+ */
+Time::rep safeHorizon(const Circuit &circuit,
+                      std::span<const Time> inputs);
+
+/**
+ * Simulate one computation.
+ *
+ * @param circuit  The netlist.
+ * @param inputs   Fall time per primary input (inf = line stays high).
+ * @param horizon  Cycles to simulate; falls after this read as inf.
+ *                 Pass 0 to use safeHorizon().
+ */
+SimResult simulate(const Circuit &circuit, std::span<const Time> inputs,
+                   Time::rep horizon = 0);
+
+/** Aggregate result of a stream of computations with resets between. */
+struct StreamResult
+{
+    /** Per-computation results, in order. */
+    std::vector<SimResult> computations;
+    /** Rising transitions paid by all reset phases. */
+    uint64_t resetTransitions = 0;
+    /** Forward transitions (internal + inputs) across the stream. */
+    uint64_t forwardTransitions = 0;
+    /** Clock cycles across the stream (compute phases only). */
+    uint64_t totalCycles = 0;
+
+    /** Forward + reset switching. */
+    uint64_t
+    totalTransitions() const
+    {
+        return forwardTransitions + resetTransitions;
+    }
+};
+
+/**
+ * Run a sequence of feedforward computations, resetting the circuit to
+ * the idle-high state between them (the paper's per-computation reset).
+ *
+ * @param volleys  One input volley per computation.
+ * @param horizon  Per-computation horizon (0 = safeHorizon of each).
+ */
+StreamResult
+simulateStream(const Circuit &circuit,
+               std::span<const std::vector<Time>> volleys,
+               Time::rep horizon = 0);
+
+} // namespace st::grl
+
+#endif // ST_GRL_LOGIC_SIM_HPP

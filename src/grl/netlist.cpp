@@ -1,0 +1,132 @@
+#include "grl/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace st::grl {
+
+const char *
+gateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Input:
+        return "input";
+      case GateKind::Const:
+        return "const";
+      case GateKind::And:
+        return "and";
+      case GateKind::Or:
+        return "or";
+      case GateKind::LtCell:
+        return "ltcell";
+      case GateKind::Delay:
+        return "delay";
+    }
+    return "?";
+}
+
+Circuit::Circuit(size_t num_inputs)
+    : numInputs_(num_inputs)
+{
+    gates_.reserve(num_inputs);
+    for (size_t i = 0; i < num_inputs; ++i)
+        gates_.push_back(Gate{GateKind::Input, {}, 0, INF});
+}
+
+WireId
+Circuit::input(size_t i) const
+{
+    if (i >= numInputs_)
+        throw std::out_of_range("Circuit: no such input");
+    return static_cast<WireId>(i);
+}
+
+void
+Circuit::checkId(WireId id) const
+{
+    if (id >= gates_.size())
+        throw std::out_of_range("Circuit: reference to nonexistent gate");
+}
+
+WireId
+Circuit::add(Gate gate)
+{
+    for (WireId src : gate.fanin)
+        checkId(src);
+    gates_.push_back(std::move(gate));
+    return static_cast<WireId>(gates_.size() - 1);
+}
+
+WireId
+Circuit::constant(Time t)
+{
+    return add(Gate{GateKind::Const, {}, 0, t});
+}
+
+WireId
+Circuit::andGate(std::span<const WireId> ins)
+{
+    if (ins.empty())
+        throw std::invalid_argument("Circuit: and needs >= 1 input");
+    return add(Gate{GateKind::And, {ins.begin(), ins.end()}, 0, INF});
+}
+
+WireId
+Circuit::andGate(WireId a, WireId b)
+{
+    return add(Gate{GateKind::And, {a, b}, 0, INF});
+}
+
+WireId
+Circuit::orGate(std::span<const WireId> ins)
+{
+    if (ins.empty())
+        throw std::invalid_argument("Circuit: or needs >= 1 input");
+    return add(Gate{GateKind::Or, {ins.begin(), ins.end()}, 0, INF});
+}
+
+WireId
+Circuit::orGate(WireId a, WireId b)
+{
+    return add(Gate{GateKind::Or, {a, b}, 0, INF});
+}
+
+WireId
+Circuit::ltCell(WireId a, WireId b)
+{
+    return add(Gate{GateKind::LtCell, {a, b}, 0, INF});
+}
+
+WireId
+Circuit::delay(WireId src, uint32_t stages)
+{
+    return add(Gate{GateKind::Delay, {src}, stages, INF});
+}
+
+void
+Circuit::markOutput(WireId id)
+{
+    checkId(id);
+    outputs_.push_back(id);
+}
+
+size_t
+Circuit::countOf(GateKind kind) const
+{
+    return static_cast<size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [kind](const Gate &g) { return g.kind == kind; }));
+}
+
+uint64_t
+Circuit::totalStages() const
+{
+    uint64_t total = 0;
+    for (const Gate &g : gates_) {
+        if (g.kind == GateKind::Delay)
+            total += g.stages;
+    }
+    return total;
+}
+
+} // namespace st::grl

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Generalized Race Logic netlists (paper Sec. V, Fig. 16).
+ *
+ * GRL implements the s-t algebra with off-the-shelf CMOS digital
+ * primitives. Information is encoded in the times of 1 -> 0 transitions
+ * (all lines idle high; "no event" = the line never falls). The gate
+ * library mirrors Fig. 16:
+ *
+ *   - AND gate: output falls at the FIRST input fall   -> min
+ *   - OR  gate: output falls at the LAST input fall    -> max
+ *   - LT cell:  OR(a, NOT b) with a latch that pins the output low once
+ *               it falls (so b falling after a cannot raise it again,
+ *               and b falling at-or-before a keeps it high forever);
+ *               reset high before each computation      -> lt
+ *   - DELAY:    a clocked shift register of c stages    -> inc(c)
+ *   - CONST:    an externally driven line falling at a fixed time
+ *               (never, for inf) — used for compiled config nodes
+ *
+ * A Circuit is a feedforward netlist in topological order, produced
+ * either by hand or by compiling a core::Network (compile.hpp).
+ */
+
+#ifndef ST_GRL_NETLIST_HPP
+#define ST_GRL_NETLIST_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace st::grl {
+
+/** CMOS primitive kinds available in a GRL netlist. */
+enum class GateKind : uint8_t
+{
+    Input, //!< primary input line (fall time supplied per run)
+    Const, //!< fixed-time line (config constants; inf = never falls)
+    And,   //!< n-ary AND: first fall wins (min)
+    Or,    //!< n-ary OR: last fall wins (max)
+    LtCell, //!< latched a-before-b pass gate (fanin = [a, b])
+    Delay, //!< clocked shift register of `stages` flipflops
+};
+
+/** Printable gate-kind name. */
+const char *gateKindName(GateKind kind);
+
+/** One gate instance. */
+struct Gate
+{
+    GateKind kind = GateKind::Input;
+    std::vector<uint32_t> fanin; //!< driver gate indices
+    uint32_t stages = 0;         //!< Delay only: flipflop count
+    Time constTime = INF;        //!< Const only: externally driven fall
+};
+
+/** Wire identifier (= driving gate index). */
+using WireId = uint32_t;
+
+/**
+ * A feedforward GRL netlist.
+ *
+ * Gates may only reference lower-numbered gates, so gate order is a
+ * topological order (enforced by the builder methods).
+ */
+class Circuit
+{
+  public:
+    /** Create a circuit with @p num_inputs primary input lines. */
+    explicit Circuit(size_t num_inputs);
+
+    /** Wire of primary input @p i. */
+    WireId input(size_t i) const;
+
+    /** Number of primary inputs. */
+    size_t numInputs() const { return numInputs_; }
+
+    /** Add a constant line falling at @p t (inf = never). */
+    WireId constant(Time t);
+
+    /** Add an n-ary AND gate (>= 1 inputs). */
+    WireId andGate(std::span<const WireId> ins);
+
+    /** Binary AND convenience. */
+    WireId andGate(WireId a, WireId b);
+
+    /** Add an n-ary OR gate (>= 1 inputs). */
+    WireId orGate(std::span<const WireId> ins);
+
+    /** Binary OR convenience. */
+    WireId orGate(WireId a, WireId b);
+
+    /** Add an LT cell: passes a's fall iff strictly before b's. */
+    WireId ltCell(WireId a, WireId b);
+
+    /** Add a shift-register delay of @p stages cycles. */
+    WireId delay(WireId src, uint32_t stages);
+
+    /** Declare an output wire (ordered). */
+    void markOutput(WireId id);
+
+    /** Ordered output wires. */
+    const std::vector<WireId> &outputs() const { return outputs_; }
+
+    /** All gates in topological order. */
+    const std::vector<Gate> &gates() const { return gates_; }
+
+    /** Total gate count. */
+    size_t size() const { return gates_.size(); }
+
+    /** Count gates of one kind. */
+    size_t countOf(GateKind kind) const;
+
+    /** Total flipflop stages across all Delay gates. */
+    uint64_t totalStages() const;
+
+  private:
+    WireId add(Gate gate);
+    void checkId(WireId id) const;
+
+    std::vector<Gate> gates_;
+    std::vector<WireId> outputs_;
+    size_t numInputs_;
+};
+
+} // namespace st::grl
+
+#endif // ST_GRL_NETLIST_HPP

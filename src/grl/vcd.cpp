@@ -1,0 +1,71 @@
+#include "grl/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace st::grl {
+
+namespace {
+
+/** Compact VCD identifier: printable ASCII 33..126, base-94. */
+std::string
+vcdId(size_t index)
+{
+    std::string id;
+    do {
+        id += static_cast<char>(33 + index % 94);
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+
+} // namespace
+
+std::string
+toVcd(const Circuit &circuit, const SimResult &sim,
+      const VcdOptions &options)
+{
+    const auto &gates = circuit.gates();
+    std::ostringstream os;
+    os << "$comment space-time algebra GRL trace $end\n";
+    os << "$timescale " << options.timescale << " $end\n";
+    os << "$scope module " << options.module << " $end\n";
+    for (size_t g = 0; g < gates.size(); ++g) {
+        std::string name =
+            g < options.names.size() && !options.names[g].empty()
+                ? options.names[g]
+                : std::string(gateKindName(gates[g].kind)) +
+                      std::to_string(g);
+        // VCD identifiers must not contain whitespace.
+        std::replace(name.begin(), name.end(), ' ', '_');
+        os << "$var wire 1 " << vcdId(g) << ' ' << name << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    // Initial state: every line idles high.
+    os << "#0\n$dumpvars\n";
+    for (size_t g = 0; g < gates.size(); ++g) {
+        bool falls_at_zero =
+            sim.fallTime[g].isFinite() && sim.fallTime[g] == 0_t;
+        os << (falls_at_zero ? '0' : '1') << vcdId(g) << '\n';
+    }
+    os << "$end\n";
+
+    // Falls in time order.
+    std::map<Time, std::vector<size_t>> falls;
+    for (size_t g = 0; g < gates.size(); ++g) {
+        if (sim.fallTime[g].isFinite() && sim.fallTime[g] > 0_t)
+            falls[sim.fallTime[g]].push_back(g);
+    }
+    for (const auto &[t, ids] : falls) {
+        os << '#' << t.value() << '\n';
+        for (size_t g : ids)
+            os << '0' << vcdId(g) << '\n';
+    }
+    // Close the trace at the simulation horizon.
+    os << '#' << sim.cyclesSimulated << '\n';
+    return os.str();
+}
+
+} // namespace st::grl

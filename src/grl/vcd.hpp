@@ -1,0 +1,39 @@
+/**
+ * @file
+ * VCD (Value Change Dump) export of GRL simulations.
+ *
+ * Race-logic computations are, physically, digital waveforms; this
+ * module renders a SimResult as an IEEE-1364 VCD file so circuit folks
+ * can inspect a space-time computation in GTKWave like any other
+ * digital trace: every wire idles high, and each fall is the event time
+ * computed by the algebra.
+ */
+
+#ifndef ST_GRL_VCD_HPP
+#define ST_GRL_VCD_HPP
+
+#include <string>
+#include <vector>
+
+#include "grl/logic_sim.hpp"
+
+namespace st::grl {
+
+/** Options for VCD rendering. */
+struct VcdOptions
+{
+    /** Module name in the VCD scope. */
+    std::string module = "grl";
+    /** Optional per-wire names (defaults to kind + index). */
+    std::vector<std::string> names;
+    /** Timescale string (unit time = one clock). */
+    std::string timescale = "1ns";
+};
+
+/** Render a simulated computation as a VCD document. */
+std::string toVcd(const Circuit &circuit, const SimResult &sim,
+                  const VcdOptions &options = {});
+
+} // namespace st::grl
+
+#endif // ST_GRL_VCD_HPP

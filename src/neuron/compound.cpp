@@ -1,0 +1,80 @@
+#include "neuron/compound.hpp"
+
+#include <stdexcept>
+
+#include "core/algebra.hpp"
+#include "neuron/srm0_network.hpp"
+
+namespace st {
+
+namespace {
+
+/** Box response: amplitude 1 on [delay, delay + width], 0 elsewhere. */
+ResponseFunction
+boxResponse(Time::rep delay, Time::rep width)
+{
+    std::vector<ResponseFunction::Amp> samples(delay + width + 2, 0);
+    for (Time::rep t = delay; t <= delay + width; ++t)
+        samples[t] = 1;
+    return ResponseFunction(std::move(samples));
+}
+
+/** Shared setup: delays, responses and effective threshold. */
+std::pair<std::vector<ResponseFunction>, ResponseFunction::Amp>
+detectorPieces(std::span<const Time> pattern, const RbfParams &params)
+{
+    Time latest = maxFiniteOf(pattern);
+    if (latest.isInf())
+        throw std::invalid_argument("rbf detector: empty pattern");
+
+    std::vector<ResponseFunction> synapses;
+    synapses.reserve(pattern.size());
+    ResponseFunction::Amp lines = 0;
+    for (Time p : pattern) {
+        if (p.isFinite()) {
+            Time::rep delay = latest.value() - p.value();
+            synapses.push_back(boxResponse(delay, params.width));
+            ++lines;
+        } else {
+            synapses.emplace_back(); // no path for silent lines
+        }
+    }
+    ResponseFunction::Amp theta =
+        params.required > 0 ? params.required : lines;
+    if (theta > lines)
+        throw std::invalid_argument("rbf detector: required exceeds "
+                                    "pattern lines");
+    return {std::move(synapses), theta};
+}
+
+} // namespace
+
+std::vector<Time::rep>
+alignmentDelays(std::span<const Time> pattern)
+{
+    Time latest = maxFiniteOf(pattern);
+    if (latest.isInf())
+        throw std::invalid_argument("alignmentDelays: empty pattern");
+    std::vector<Time::rep> delays(pattern.size(), 0);
+    for (size_t i = 0; i < pattern.size(); ++i) {
+        if (pattern[i].isFinite())
+            delays[i] = latest.value() - pattern[i].value();
+    }
+    return delays;
+}
+
+Srm0Neuron
+rbfDetectorModel(std::span<const Time> pattern, const RbfParams &params)
+{
+    auto [synapses, theta] = detectorPieces(pattern, params);
+    return Srm0Neuron(std::move(synapses), theta);
+}
+
+Network
+buildRbfDetector(std::span<const Time> pattern, const RbfParams &params)
+{
+    auto [synapses, theta] = detectorPieces(pattern, params);
+    return buildSrm0Network(synapses, theta);
+}
+
+} // namespace st

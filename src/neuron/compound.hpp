@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Compound synapses and RBF-style temporal pattern detectors (paper
+ * Sec. II.C, after Hopfield [23] and Natschlaeger & Ruf [41]).
+ *
+ * Hopfield's 1995 observation: multiple synaptic paths (delays) between
+ * the same two neurons are a powerful temporal code — choose per-input
+ * delays d_i so that a stored pattern p makes all delayed spikes
+ * x_i + d_i coincide; a narrow response plus a high threshold then fires
+ * only when the applied pattern matches the stored one (approximately a
+ * radial basis function around p, with the response width setting the
+ * radius).
+ *
+ * buildRbfDetector() realizes exactly that with the library's existing
+ * machinery: per-input delay taps (the compound synapse), narrow
+ * responses, and the Fig. 12 threshold construction — so the detector
+ * is itself a pure {min, max, lt, inc} network, compilable to GRL.
+ */
+
+#ifndef ST_NEURON_COMPOUND_HPP
+#define ST_NEURON_COMPOUND_HPP
+
+#include <span>
+#include <vector>
+
+#include "core/network.hpp"
+#include "neuron/response.hpp"
+#include "neuron/srm0_reference.hpp"
+
+namespace st {
+
+/** Configuration of an RBF-style coincidence detector. */
+struct RbfParams
+{
+    /**
+     * Coincidence tolerance: a spike contributes for `width + 1` time
+     * units after its (delayed) arrival. width = 0 demands exact
+     * alignment; larger widths widen the acceptance radius.
+     */
+    Time::rep width = 1;
+    /**
+     * How many of the pattern's lines must coincide (the threshold).
+     * 0 means "all lines carrying a spike in the stored pattern".
+     */
+    ResponseFunction::Amp required = 0;
+};
+
+/**
+ * Per-input delays that align the stored pattern (the compound-synapse
+ * "selected paths"): d_i = max_j(p_j) - p_i for finite entries.
+ * Lines silent in the pattern get no path (empty response).
+ */
+std::vector<Time::rep> alignmentDelays(std::span<const Time> pattern);
+
+/**
+ * The reference-model form of the detector (for training loops and
+ * cross-checks): an Srm0Neuron with per-input delayed box responses.
+ */
+Srm0Neuron rbfDetectorModel(std::span<const Time> pattern,
+                            const RbfParams &params = {});
+
+/**
+ * The network form: inputs -> delay taps -> threshold construction.
+ * Fires iff at least `required` of the stored pattern's lines coincide
+ * within the tolerance window — i.e., the applied volley lies within
+ * the detector's temporal radius of the stored pattern (up to a global
+ * shift, by invariance).
+ */
+Network buildRbfDetector(std::span<const Time> pattern,
+                         const RbfParams &params = {});
+
+} // namespace st
+
+#endif // ST_NEURON_COMPOUND_HPP

@@ -1,0 +1,151 @@
+#include "neuron/microweight.hpp"
+
+#include <stdexcept>
+
+#include "neuron/sorting.hpp"
+
+namespace st {
+
+NodeId
+emitMicroWeightGate(Network &net, NodeId x, NodeId mu)
+{
+    // lt(x, mu): mu = inf passes x; mu = 0 silences the tap.
+    return net.lt(x, mu);
+}
+
+ProgrammableSynapse::ProgrammableSynapse(
+    Network &net, NodeId x, std::vector<ResponseFunction> family)
+    : family_(std::move(family))
+{
+    if (family_.empty())
+        throw std::invalid_argument("ProgrammableSynapse: empty family");
+
+    for (size_t k = 1; k < family_.size(); ++k) {
+        // The level-k delta: what enabling mu_k adds on top of level k-1.
+        ResponseFunction delta =
+            family_[k].plus(family_[k - 1].negated());
+        NodeId mu = net.config(0_t); // start disabled (weight 0)
+        net.setLabel(mu, "mu" + std::to_string(k));
+        mus_.push_back(mu);
+        for (Time::rep t : delta.upSteps()) {
+            NodeId tap = t == 0 ? x : net.inc(x, t);
+            upTaps_.push_back(emitMicroWeightGate(net, tap, mu));
+        }
+        for (Time::rep t : delta.downSteps()) {
+            NodeId tap = t == 0 ? x : net.inc(x, t);
+            downTaps_.push_back(emitMicroWeightGate(net, tap, mu));
+        }
+    }
+    // Weight level 0 may itself be a nonzero response (always active).
+    for (Time::rep t : family_[0].upSteps())
+        upTaps_.push_back(t == 0 ? x : net.inc(x, t));
+    for (Time::rep t : family_[0].downSteps())
+        downTaps_.push_back(t == 0 ? x : net.inc(x, t));
+}
+
+void
+ProgrammableSynapse::setWeight(Network &net, size_t w)
+{
+    if (w > maxWeight())
+        throw std::out_of_range("ProgrammableSynapse: weight out of range");
+    for (size_t k = 0; k < mus_.size(); ++k)
+        net.setConfig(mus_[k], k < w ? INF : 0_t);
+    weight_ = w;
+}
+
+ProgrammableSrm0::ProgrammableSrm0(size_t num_inputs,
+                                   std::vector<ResponseFunction> family,
+                                   ResponseFunction::Amp threshold)
+    : net_(num_inputs)
+{
+    if (num_inputs == 0)
+        throw std::invalid_argument("ProgrammableSrm0: needs inputs");
+    if (threshold < 1)
+        throw std::invalid_argument("ProgrammableSrm0: threshold >= 1");
+
+    std::vector<NodeId> ups, downs;
+    synapses_.reserve(num_inputs);
+    for (size_t i = 0; i < num_inputs; ++i) {
+        synapses_.emplace_back(net_, net_.input(i), family);
+        const auto &syn = synapses_.back();
+        ups.insert(ups.end(), syn.upTaps().begin(), syn.upTaps().end());
+        downs.insert(downs.end(), syn.downTaps().begin(),
+                     syn.downTaps().end());
+    }
+
+    const size_t theta = static_cast<size_t>(threshold);
+    if (ups.size() < theta) {
+        NodeId never = net_.config(INF);
+        net_.markOutput(never);
+        return;
+    }
+
+    std::vector<NodeId> up_sorted = emitBitonicSort(net_, ups);
+    std::vector<NodeId> down_sorted;
+    if (!downs.empty())
+        down_sorted = emitBitonicSort(net_, downs);
+
+    NodeId inf_pad = net_.config(INF);
+    std::vector<NodeId> crossings;
+    for (size_t i = 0; theta - 1 + i < up_sorted.size(); ++i) {
+        NodeId up = up_sorted[theta - 1 + i];
+        NodeId down = i < down_sorted.size() ? down_sorted[i] : inf_pad;
+        crossings.push_back(net_.lt(up, down));
+    }
+    NodeId out = crossings.size() == 1
+                     ? crossings[0]
+                     : net_.min(std::span<const NodeId>(crossings));
+    net_.markOutput(out);
+}
+
+void
+ProgrammableSrm0::setWeight(size_t synapse, size_t w)
+{
+    synapses_.at(synapse).setWeight(net_, w);
+}
+
+size_t
+ProgrammableSrm0::weight(size_t synapse) const
+{
+    return synapses_.at(synapse).weight();
+}
+
+size_t
+ProgrammableSrm0::maxWeight() const
+{
+    return synapses_.front().maxWeight();
+}
+
+Time
+ProgrammableSrm0::fire(std::span<const Time> inputs) const
+{
+    return net_.evaluate(inputs)[0];
+}
+
+std::vector<ResponseFunction>
+scaledBiexpFamily(size_t max_weight, double tau_slow, double tau_fast)
+{
+    std::vector<ResponseFunction> family;
+    family.reserve(max_weight + 1);
+    family.emplace_back(); // weight 0: silent synapse
+    for (size_t w = 1; w <= max_weight; ++w) {
+        family.push_back(ResponseFunction::biexponential(
+            static_cast<ResponseFunction::Amp>(w), tau_slow, tau_fast));
+    }
+    return family;
+}
+
+std::vector<ResponseFunction>
+scaledStepFamily(size_t max_weight)
+{
+    std::vector<ResponseFunction> family;
+    family.reserve(max_weight + 1);
+    family.emplace_back();
+    for (size_t w = 1; w <= max_weight; ++w) {
+        family.push_back(ResponseFunction::step(
+            static_cast<ResponseFunction::Amp>(w)));
+    }
+    return family;
+}
+
+} // namespace st

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Micro-weight configuration gates and programmable synaptic weights
+ * (paper Sec. IV.B, Figs. 13 and 14).
+ *
+ * The primitive programming mechanism is an lt gate with a configuration
+ * input mu: with mu = inf the data value passes, with mu = 0 the gate is
+ * permanently quiet (Fig. 13). A synaptic weight in the range 0..W is
+ * realized thermometer-style (Fig. 14): micro-weight mu_k enables the
+ * *incremental* response steps between weight levels k-1 and k, so that
+ * with mu_1..mu_w enabled the active taps sum to exactly the level-w
+ * response function. Disabled taps read inf ("no event") and sort
+ * harmlessly to the top of the Fig. 12 sorters, so a programmable SRM0
+ * needs no structural change — only config rewrites.
+ */
+
+#ifndef ST_NEURON_MICROWEIGHT_HPP
+#define ST_NEURON_MICROWEIGHT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/network.hpp"
+#include "neuron/response.hpp"
+
+namespace st {
+
+/**
+ * Emit the Fig. 13 primitive: a data tap gated by a micro-weight.
+ * @return The gated node: passes @p x iff the config @p mu is inf.
+ */
+NodeId emitMicroWeightGate(Network &net, NodeId x, NodeId mu);
+
+/**
+ * A programmable synapse: one input line whose effective response
+ * function is selected from a weight-indexed family via micro-weights.
+ *
+ * The family is a vector of response functions indexed by weight
+ * (family[0] is usually the zero response). Construction emits, for each
+ * level k >= 1, the delayed taps of the *delta* response
+ * family[k] - family[k-1], each gated by that level's micro-weight; the
+ * enabled deltas telescope to family[w].
+ */
+class ProgrammableSynapse
+{
+  public:
+    /**
+     * Emit the gated fanout into @p net.
+     *
+     * @param net     Target network.
+     * @param x       Node carrying this synapse's input spike.
+     * @param family  Response per weight level; size >= 1.
+     */
+    ProgrammableSynapse(Network &net, NodeId x,
+                        std::vector<ResponseFunction> family);
+
+    /** Largest selectable weight (family size - 1). */
+    size_t maxWeight() const { return family_.size() - 1; }
+
+    /** Number of micro-weight config nodes emitted. */
+    size_t numMicroWeights() const { return mus_.size(); }
+
+    /** Gated up-step taps (feed these to the up sorter). */
+    const std::vector<NodeId> &upTaps() const { return upTaps_; }
+
+    /** Gated down-step taps. */
+    const std::vector<NodeId> &downTaps() const { return downTaps_; }
+
+    /** Program the weight: enables micro-weights 1..w (thermometer). */
+    void setWeight(Network &net, size_t w);
+
+    /** Currently programmed weight. */
+    size_t weight() const { return weight_; }
+
+    /** The response family. */
+    const std::vector<ResponseFunction> &family() const { return family_; }
+
+  private:
+    std::vector<ResponseFunction> family_;
+    std::vector<NodeId> mus_;          //!< one config per level k >= 1
+    std::vector<NodeId> upTaps_;
+    std::vector<NodeId> downTaps_;
+    size_t weight_ = 0;
+};
+
+/**
+ * A complete SRM0 neuron with per-synapse programmable weights: the
+ * Fig. 12 construction fed by Fig. 14 gated fanouts.
+ *
+ * All synapses share one response family (the common TNN arrangement:
+ * the weight picks the amplitude of a fixed response shape).
+ */
+class ProgrammableSrm0
+{
+  public:
+    /**
+     * @param num_inputs  Number of synapses.
+     * @param family      Weight-indexed response family shared by all.
+     * @param threshold   Firing threshold theta (>= 1).
+     */
+    ProgrammableSrm0(size_t num_inputs,
+                     std::vector<ResponseFunction> family,
+                     ResponseFunction::Amp threshold);
+
+    /** Program one synapse's weight (0..maxWeight()). */
+    void setWeight(size_t synapse, size_t w);
+
+    /** Current weight of a synapse. */
+    size_t weight(size_t synapse) const;
+
+    /** Largest selectable weight. */
+    size_t maxWeight() const;
+
+    /** Evaluate the spike time for an input volley. */
+    Time fire(std::span<const Time> inputs) const;
+
+    /** The underlying space-time network (for inspection/compilation). */
+    const Network &network() const { return net_; }
+
+  private:
+    Network net_;
+    std::vector<ProgrammableSynapse> synapses_;
+};
+
+/**
+ * Convenience: an amplitude-scaled response family 0..max_weight built
+ * from a unit shape (family[w] has peak w, same shape). Uses the
+ * biexponential shape by default.
+ */
+std::vector<ResponseFunction>
+scaledBiexpFamily(size_t max_weight, double tau_slow = 4.0,
+                  double tau_fast = 1.0);
+
+/** Step-response family: family[w] jumps by w at t = 0 (non-leaky). */
+std::vector<ResponseFunction> scaledStepFamily(size_t max_weight);
+
+} // namespace st
+
+#endif // ST_NEURON_MICROWEIGHT_HPP

@@ -1,0 +1,98 @@
+#include "neuron/sorting.hpp"
+
+#include <stdexcept>
+
+namespace st {
+
+namespace {
+
+size_t
+nextPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Classic iterative bitonic sort: for each (k, j) pass, compare-exchange
+ * lanes i and i^j, ascending iff bit k of i is clear.
+ */
+template <typename CompareExchange>
+void
+bitonicSchedule(size_t n, CompareExchange &&cex)
+{
+    for (size_t k = 2; k <= n; k <<= 1) {
+        for (size_t j = k >> 1; j > 0; j >>= 1) {
+            for (size_t i = 0; i < n; ++i) {
+                size_t partner = i ^ j;
+                if (partner > i) {
+                    bool ascending = (i & k) == 0;
+                    cex(i, partner, ascending);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<NodeId>
+emitBitonicSort(Network &net, std::vector<NodeId> taps)
+{
+    if (taps.empty())
+        throw std::invalid_argument("emitBitonicSort: no taps");
+    const size_t n = taps.size();
+    const size_t padded = nextPow2(n);
+    // Pad with "no spike" constants; they sort to the top and the first
+    // n outputs are the sorted real values.
+    for (size_t i = n; i < padded; ++i)
+        taps.push_back(net.config(INF));
+
+    bitonicSchedule(padded, [&](size_t lo, size_t hi, bool ascending) {
+        NodeId a = taps[lo], b = taps[hi];
+        NodeId mn = net.min(a, b);
+        NodeId mx = net.max(a, b);
+        taps[lo] = ascending ? mn : mx;
+        taps[hi] = ascending ? mx : mn;
+    });
+
+    taps.resize(n);
+    return taps;
+}
+
+Network
+bitonicSortNetwork(size_t n)
+{
+    Network net(n);
+    std::vector<NodeId> taps;
+    taps.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        taps.push_back(net.input(i));
+    for (NodeId id : emitBitonicSort(net, std::move(taps)))
+        net.markOutput(id);
+    return net;
+}
+
+size_t
+bitonicComparatorCount(size_t n)
+{
+    size_t padded = nextPow2(n);
+    size_t count = 0;
+    bitonicSchedule(padded, [&](size_t, size_t, bool) { ++count; });
+    return count;
+}
+
+size_t
+bitonicStageDepth(size_t n)
+{
+    size_t padded = nextPow2(n);
+    size_t depth = 0;
+    for (size_t k = 2; k <= padded; k <<= 1)
+        for (size_t j = k >> 1; j > 0; j >>= 1)
+            ++depth;
+    return depth;
+}
+
+} // namespace st

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bitonic sorting networks over the s-t algebra (paper Sec. IV.A.1,
+ * Fig. 10).
+ *
+ * A compare-exchange element is one min block plus one max block; Batcher's
+ * bitonic merge sort wires O(n log^2 n) of them into a data-independent
+ * sorting network. Because min and max are causal and invariant, the whole
+ * sorter is a (multi-output) s-t function — the paper's stepping stone to
+ * the SRM0 neuron construction.
+ *
+ * Sorting is ascending; inf values ("no spike") sink to the high outputs.
+ * Arbitrary input counts are supported by padding to a power of two with
+ * inf-valued config nodes.
+ */
+
+#ifndef ST_NEURON_SORTING_HPP
+#define ST_NEURON_SORTING_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace st {
+
+/**
+ * Emit a bitonic sorting network inside @p net.
+ *
+ * @param net   Target network (taps may be any existing nodes).
+ * @param taps  Nodes carrying the values to sort (any count >= 1).
+ * @return One node per input, carrying the sorted (ascending) values.
+ */
+std::vector<NodeId> emitBitonicSort(Network &net,
+                                    std::vector<NodeId> taps);
+
+/**
+ * A standalone n-input, n-output sorting network (outputs ascending).
+ */
+Network bitonicSortNetwork(size_t n);
+
+/** Comparator (min+max pair) count of a width-n bitonic sorter. */
+size_t bitonicComparatorCount(size_t n);
+
+/** Compare-exchange stage depth of a width-n bitonic sorter. */
+size_t bitonicStageDepth(size_t n);
+
+} // namespace st
+
+#endif // ST_NEURON_SORTING_HPP

@@ -1,0 +1,93 @@
+#include "neuron/srm0_network.hpp"
+
+#include <stdexcept>
+
+#include "neuron/sorting.hpp"
+
+namespace st {
+
+void
+emitResponseFanout(Network &net, NodeId x, const ResponseFunction &r,
+                   std::vector<NodeId> &ups, std::vector<NodeId> &downs)
+{
+    for (Time::rep t : r.upSteps())
+        ups.push_back(t == 0 ? x : net.inc(x, t));
+    for (Time::rep t : r.downSteps())
+        downs.push_back(t == 0 ? x : net.inc(x, t));
+}
+
+Network
+buildSrm0Network(const std::vector<ResponseFunction> &synapses,
+                 ResponseFunction::Amp threshold)
+{
+    if (synapses.empty())
+        throw std::invalid_argument("buildSrm0Network: needs >= 1 synapse");
+    if (threshold < 1)
+        throw std::invalid_argument("buildSrm0Network: threshold >= 1");
+
+    Network net(synapses.size());
+
+    // Fig. 11: fan each input out into its unit up/down step taps.
+    std::vector<NodeId> ups, downs;
+    for (size_t i = 0; i < synapses.size(); ++i)
+        emitResponseFanout(net, net.input(i), synapses[i], ups, downs);
+
+    const size_t theta = static_cast<size_t>(threshold);
+    if (ups.size() < theta) {
+        // Potential can never reach theta: the constant-inf neuron.
+        NodeId never = net.config(INF);
+        net.setLabel(never, "never-fires");
+        net.markOutput(never);
+        return net;
+    }
+
+    // Fig. 12: sort all up taps and all down taps.
+    std::vector<NodeId> up_sorted = emitBitonicSort(net, ups);
+    std::vector<NodeId> down_sorted;
+    if (!downs.empty())
+        down_sorted = emitBitonicSort(net, downs);
+
+    // Rank comparison: the potential first reaches theta at the earliest
+    // up time U[theta-1+i] that precedes the (i+1)-th down time D[i]
+    // (0-indexed ascending). Missing down ranks are "no spike".
+    NodeId inf_pad = net.config(INF);
+    net.setLabel(inf_pad, "pad");
+    std::vector<NodeId> crossings;
+    for (size_t i = 0; theta - 1 + i < up_sorted.size(); ++i) {
+        NodeId up = up_sorted[theta - 1 + i];
+        NodeId down = i < down_sorted.size() ? down_sorted[i] : inf_pad;
+        crossings.push_back(net.lt(up, down));
+    }
+
+    NodeId out = crossings.size() == 1
+                     ? crossings[0]
+                     : net.min(std::span<const NodeId>(crossings));
+    net.setLabel(out, "spike");
+    net.markOutput(out);
+    return net;
+}
+
+Srm0NetworkStats
+srm0NetworkStats(const std::vector<ResponseFunction> &synapses,
+                 ResponseFunction::Amp threshold)
+{
+    Srm0NetworkStats stats;
+    size_t ups = 0, downs = 0;
+    for (const ResponseFunction &r : synapses) {
+        ups += r.upSteps().size();
+        downs += r.downSteps().size();
+    }
+    stats.upTaps = ups;
+    stats.downTaps = downs;
+    if (ups >= static_cast<size_t>(threshold)) {
+        stats.comparators = bitonicComparatorCount(ups) +
+                            (downs ? bitonicComparatorCount(downs) : 0);
+        stats.ltBlocks = ups - static_cast<size_t>(threshold) + 1;
+    }
+    Network net = buildSrm0Network(synapses, threshold);
+    stats.totalNodes = net.size();
+    stats.depth = net.depth();
+    return stats;
+}
+
+} // namespace st

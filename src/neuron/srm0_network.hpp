@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SRM0 neurons built from space-time primitives (paper Sec. IV.A,
+ * Figs. 11 and 12).
+ *
+ * The construction: each input's response function becomes a fanout of
+ * inc blocks — one tap per unit up-step and one per unit down-step
+ * (Fig. 11). All up taps (from all inputs) feed one bitonic sorter, all
+ * down taps another. A rank of lt blocks then compares the (theta+i)-th
+ * sorted up time against the (i+1)-th sorted down time: the first time
+ * the number of up steps leads the number of down steps by theta is the
+ * threshold-crossing — i.e., the output spike time (Fig. 12). A final min
+ * collects the lt outputs.
+ *
+ * buildSrm0Network() returns a single-output network that provably (see
+ * tests) computes exactly Srm0Neuron::fire for the same responses and
+ * threshold.
+ */
+
+#ifndef ST_NEURON_SRM0_NETWORK_HPP
+#define ST_NEURON_SRM0_NETWORK_HPP
+
+#include <vector>
+
+#include "core/network.hpp"
+#include "neuron/response.hpp"
+
+namespace st {
+
+/**
+ * Emit the Fig. 11 fanout/increment network for one input tap.
+ *
+ * @param net  Target network.
+ * @param x    Node carrying the input spike.
+ * @param r    The response function.
+ * @param ups  Out: one node per unit up-step (x delayed by the step time).
+ * @param downs Out: one node per unit down-step.
+ */
+void emitResponseFanout(Network &net, NodeId x, const ResponseFunction &r,
+                        std::vector<NodeId> &ups,
+                        std::vector<NodeId> &downs);
+
+/**
+ * Build the complete Fig. 12 SRM0 network.
+ *
+ * @param synapses   One (weighted) response function per input.
+ * @param threshold  Firing threshold theta (>= 1).
+ * @return A network with synapses.size() inputs and one output carrying
+ *         the neuron's spike time (inf = never fires).
+ */
+Network buildSrm0Network(const std::vector<ResponseFunction> &synapses,
+                         ResponseFunction::Amp threshold);
+
+/** Size accounting for the construction (used by bench_fig12). */
+struct Srm0NetworkStats
+{
+    size_t upTaps = 0;     //!< total up-step inc taps
+    size_t downTaps = 0;   //!< total down-step inc taps
+    size_t comparators = 0; //!< sorter compare-exchange elements
+    size_t ltBlocks = 0;   //!< threshold-rank lt blocks
+    size_t totalNodes = 0; //!< network size (all node kinds)
+    size_t depth = 0;      //!< logic depth
+};
+
+/** Compute construction statistics without keeping the network. */
+Srm0NetworkStats
+srm0NetworkStats(const std::vector<ResponseFunction> &synapses,
+                 ResponseFunction::Amp threshold);
+
+} // namespace st
+
+#endif // ST_NEURON_SRM0_NETWORK_HPP

@@ -1,0 +1,75 @@
+#include "neuron/srm0_reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/algebra.hpp"
+
+namespace st {
+
+Srm0Neuron::Srm0Neuron(std::vector<ResponseFunction> synapses,
+                       ResponseFunction::Amp threshold)
+    : synapses_(std::move(synapses)), threshold_(threshold)
+{
+    if (synapses_.empty())
+        throw std::invalid_argument("Srm0Neuron: needs >= 1 synapse");
+    if (threshold < 1)
+        throw std::invalid_argument("Srm0Neuron: threshold must be >= 1");
+}
+
+ResponseFunction::Amp
+Srm0Neuron::potentialAt(std::span<const Time> inputs, Time::rep t) const
+{
+    if (inputs.size() != synapses_.size())
+        throw std::invalid_argument("Srm0Neuron: arity mismatch");
+    ResponseFunction::Amp sum = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        Time x = inputs[i];
+        if (x.isFinite() && x.value() <= t)
+            sum += synapses_[i].at(t - x.value());
+    }
+    return sum;
+}
+
+Time::rep
+Srm0Neuron::settleTime(std::span<const Time> inputs) const
+{
+    Time::rep settle = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        if (inputs[i].isFinite())
+            settle = std::max(settle,
+                              inputs[i].value() + synapses_[i].tMax());
+    }
+    return settle;
+}
+
+Time
+Srm0Neuron::fire(std::span<const Time> inputs) const
+{
+    Time first = minOf(inputs);
+    if (first.isInf())
+        return INF; // quiescent neuron: no input spikes, no output
+    Time::rep settle = settleTime(inputs);
+    // Past settle the potential is constant, so scanning up to settle
+    // decides the outcome (covers non-leaky responses too).
+    for (Time::rep t = first.value(); t <= settle; ++t) {
+        if (potentialAt(inputs, t) >= threshold_)
+            return Time(t);
+    }
+    return INF;
+}
+
+std::vector<ResponseFunction::Amp>
+Srm0Neuron::trajectory(std::span<const Time> inputs) const
+{
+    std::vector<ResponseFunction::Amp> out;
+    Time first = minOf(inputs);
+    if (first.isInf())
+        return out;
+    Time::rep settle = settleTime(inputs);
+    for (Time::rep t = first.value(); t <= settle; ++t)
+        out.push_back(potentialAt(inputs, t));
+    return out;
+}
+
+} // namespace st

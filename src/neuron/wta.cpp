@@ -1,0 +1,76 @@
+#include "neuron/wta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/algebra.hpp"
+
+namespace st {
+
+std::vector<NodeId>
+emitWta(Network &net, std::span<const NodeId> taps, Time::rep tau)
+{
+    if (taps.empty())
+        throw std::invalid_argument("emitWta: no taps");
+    if (tau == 0)
+        throw std::invalid_argument("emitWta: tau must be >= 1");
+    NodeId first = net.min(taps);
+    net.setLabel(first, "t_min");
+    NodeId gate = net.inc(first, tau);
+    std::vector<NodeId> out;
+    out.reserve(taps.size());
+    for (NodeId tap : taps)
+        out.push_back(net.lt(tap, gate));
+    return out;
+}
+
+Network
+wtaNetwork(size_t n, Time::rep tau)
+{
+    Network net(n);
+    std::vector<NodeId> taps;
+    taps.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        taps.push_back(net.input(i));
+    for (NodeId id : emitWta(net, taps, tau))
+        net.markOutput(id);
+    return net;
+}
+
+std::vector<Time>
+applyWta(std::span<const Time> volley, Time::rep tau)
+{
+    Time gate = minOf(volley) + tau;
+    std::vector<Time> out(volley.begin(), volley.end());
+    for (Time &x : out)
+        x = tlt(x, gate);
+    return out;
+}
+
+std::vector<Time>
+applyKWta(std::span<const Time> volley, size_t k)
+{
+    std::vector<Time> out(volley.begin(), volley.end());
+    if (k >= spikeCount(volley))
+        return out;
+    // Order lines by (time, index); silence everything past rank k.
+    std::vector<size_t> order(volley.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return volley[a] < volley[b];
+    });
+    for (size_t rank = k; rank < order.size(); ++rank)
+        out[order[rank]] = INF;
+    return out;
+}
+
+size_t
+spikeCount(std::span<const Time> volley)
+{
+    return static_cast<size_t>(
+        std::count_if(volley.begin(), volley.end(),
+                      [](Time t) { return t.isFinite(); }));
+}
+
+} // namespace st

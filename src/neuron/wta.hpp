@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Winner-take-all lateral inhibition (paper Sec. IV.C, Fig. 15).
+ *
+ * Inhibitory networks act en masse: in TNNs the "winners" are the first
+ * spikes of a volley and inhibition blanks the rest. Fig. 15 builds this
+ * from primitives: a min block finds the first spike time, an inc block
+ * delays it by tau, and per-line lt gates pass only spikes strictly
+ * earlier than that — i.e., spikes within [t_min, t_min + tau).
+ *
+ * tau = 1 is the paper's 1-WTA (only relative-time-0 spikes survive);
+ * larger tau widens the uninhibited window. applyWta() is the pure
+ * functional counterpart, and applyKWta() the count-parameterized variant
+ * ("first k spikes") the paper mentions, used by the TNN layers.
+ */
+
+#ifndef ST_NEURON_WTA_HPP
+#define ST_NEURON_WTA_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace st {
+
+/**
+ * Build the Fig. 15 WTA network: n inputs, n outputs; output i carries
+ * input i iff it lies within tau of the volley's first spike.
+ */
+Network wtaNetwork(size_t n, Time::rep tau = 1);
+
+/**
+ * Emit WTA inline over existing nodes; returns one gated node per tap.
+ */
+std::vector<NodeId> emitWta(Network &net, std::span<const NodeId> taps,
+                            Time::rep tau = 1);
+
+/** Pure functional tau-WTA (same semantics as the network). */
+std::vector<Time> applyWta(std::span<const Time> volley, Time::rep tau = 1);
+
+/**
+ * Behavioral k-WTA: keep the k earliest spikes, inhibiting the rest.
+ * Ties beyond the k-th slot are broken by line index (lower wins),
+ * mirroring a fixed-priority inhibitory interneuron.
+ */
+std::vector<Time> applyKWta(std::span<const Time> volley, size_t k);
+
+/** Number of surviving (finite) spikes in a volley. */
+size_t spikeCount(std::span<const Time> volley);
+
+} // namespace st
+
+#endif // ST_NEURON_WTA_HPP

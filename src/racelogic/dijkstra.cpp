@@ -1,0 +1,37 @@
+#include "racelogic/dijkstra.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace st::racelogic {
+
+std::vector<Time>
+dijkstra(const Graph &g, uint32_t source)
+{
+    if (source >= g.numVertices())
+        throw std::out_of_range("dijkstra: source out of range");
+
+    std::vector<Time> dist(g.numVertices(), INF);
+    using Item = std::pair<uint64_t, uint32_t>; // (distance, vertex)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+    dist[source] = 0_t;
+    heap.push({0, source});
+    while (!heap.empty()) {
+        auto [d, v] = heap.top();
+        heap.pop();
+        if (dist[v].isInf() || d != dist[v].value())
+            continue; // stale entry
+        for (uint32_t idx : g.outEdges(v)) {
+            const Edge &e = g.edges()[idx];
+            Time candidate = Time(d + e.weight);
+            if (candidate < dist[e.to]) {
+                dist[e.to] = candidate;
+                heap.push({candidate.value(), e.to});
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace st::racelogic

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Dijkstra's algorithm — the conventional-baseline comparator for the
+ * race-logic shortest-path experiments.
+ */
+
+#ifndef ST_RACELOGIC_DIJKSTRA_HPP
+#define ST_RACELOGIC_DIJKSTRA_HPP
+
+#include <vector>
+
+#include "core/time.hpp"
+#include "racelogic/graph.hpp"
+
+namespace st::racelogic {
+
+/**
+ * Single-source shortest path lengths (binary-heap Dijkstra).
+ * Unreachable vertices read inf.
+ */
+std::vector<Time> dijkstra(const Graph &g, uint32_t source);
+
+} // namespace st::racelogic
+
+#endif // ST_RACELOGIC_DIJKSTRA_HPP

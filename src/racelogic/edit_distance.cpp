@@ -1,0 +1,69 @@
+#include "racelogic/edit_distance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace st::racelogic {
+
+uint64_t
+editDistanceDp(std::string_view a, std::string_view b,
+               const EditCosts &costs)
+{
+    const size_t m = a.size(), n = b.size();
+    std::vector<uint64_t> prev(n + 1), curr(n + 1);
+    for (size_t j = 0; j <= n; ++j)
+        prev[j] = j * costs.insert;
+    for (size_t i = 1; i <= m; ++i) {
+        curr[0] = i * costs.erase;
+        for (size_t j = 1; j <= n; ++j) {
+            uint64_t diag =
+                prev[j - 1] +
+                (a[i - 1] == b[j - 1] ? costs.match : costs.substitute);
+            uint64_t del = prev[j] + costs.erase;
+            uint64_t ins = curr[j - 1] + costs.insert;
+            curr[j] = std::min({diag, del, ins});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[n];
+}
+
+Network
+buildEditDistanceNetwork(std::string_view a, std::string_view b,
+                         const EditCosts &costs)
+{
+    const size_t m = a.size(), n = b.size();
+    Network net(1);
+    NodeId start = net.input(0);
+
+    auto delayed = [&net](NodeId src, uint64_t c) {
+        return c == 0 ? src : net.inc(src, c);
+    };
+
+    // cell[i][j] carries the spike arriving at lattice cell (i, j).
+    std::vector<std::vector<NodeId>> cell(
+        m + 1, std::vector<NodeId>(n + 1, start));
+    for (size_t j = 1; j <= n; ++j)
+        cell[0][j] = delayed(cell[0][j - 1], costs.insert);
+    for (size_t i = 1; i <= m; ++i)
+        cell[i][0] = delayed(cell[i - 1][0], costs.erase);
+
+    for (size_t i = 1; i <= m; ++i) {
+        for (size_t j = 1; j <= n; ++j) {
+            uint64_t diag_cost =
+                a[i - 1] == b[j - 1] ? costs.match : costs.substitute;
+            std::vector<NodeId> ways{
+                delayed(cell[i - 1][j - 1], diag_cost),
+                delayed(cell[i - 1][j], costs.erase),
+                delayed(cell[i][j - 1], costs.insert),
+            };
+            cell[i][j] = net.min(std::span<const NodeId>(ways));
+        }
+    }
+
+    net.setLabel(cell[m][n], "distance");
+    net.markOutput(cell[m][n]);
+    return net;
+}
+
+} // namespace st::racelogic

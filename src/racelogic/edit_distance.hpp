@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Edit distance in race logic — the original application domain of
+ * Madhavan et al. [31] (DNA sequence alignment), reproduced on the s-t
+ * substrate.
+ *
+ * The dynamic-programming lattice of Levenshtein distance is a DAG: cell
+ * (i, j) is reached from (i-1, j-1) with the match/substitute cost, and
+ * from (i-1, j) / (i, j-1) with the deletion/insertion cost. Racing a
+ * single spike through that lattice — delays for costs, min for the DP
+ * minimization — makes the spike's arrival time at (|a|, |b|) the edit
+ * distance. buildEditDistanceNetwork() emits the lattice as an s-t
+ * Network (compilable to GRL); editDistanceDp() is the conventional
+ * baseline.
+ */
+
+#ifndef ST_RACELOGIC_EDIT_DISTANCE_HPP
+#define ST_RACELOGIC_EDIT_DISTANCE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/network.hpp"
+
+namespace st::racelogic {
+
+/** Integer operation costs for the edit-distance lattice. */
+struct EditCosts
+{
+    uint64_t match = 0;
+    uint64_t substitute = 1;
+    uint64_t insert = 1;
+    uint64_t erase = 1;
+};
+
+/** Conventional DP edit distance (the baseline). */
+uint64_t editDistanceDp(std::string_view a, std::string_view b,
+                        const EditCosts &costs = {});
+
+/**
+ * Build the race-logic lattice: one input (start spike) and one output
+ * whose time is input + editDistance(a, b).
+ */
+Network buildEditDistanceNetwork(std::string_view a, std::string_view b,
+                                 const EditCosts &costs = {});
+
+} // namespace st::racelogic
+
+#endif // ST_RACELOGIC_EDIT_DISTANCE_HPP

@@ -1,0 +1,97 @@
+#include "racelogic/graph.hpp"
+
+#include <stdexcept>
+
+namespace st::racelogic {
+
+Graph::Graph(size_t n)
+    : numVertices_(n), out_(n), in_(n)
+{
+    if (n == 0)
+        throw std::invalid_argument("Graph: needs >= 1 vertex");
+}
+
+void
+Graph::addEdge(uint32_t from, uint32_t to, uint64_t weight)
+{
+    if (from >= numVertices_ || to >= numVertices_)
+        throw std::out_of_range("Graph: vertex out of range");
+    auto index = static_cast<uint32_t>(edges_.size());
+    edges_.push_back({from, to, weight});
+    out_[from].push_back(index);
+    in_[to].push_back(index);
+}
+
+const std::vector<uint32_t> &
+Graph::outEdges(uint32_t v) const
+{
+    return out_.at(v);
+}
+
+const std::vector<uint32_t> &
+Graph::inEdges(uint32_t v) const
+{
+    return in_.at(v);
+}
+
+std::optional<std::vector<uint32_t>>
+Graph::topologicalOrder() const
+{
+    std::vector<size_t> indegree(numVertices_, 0);
+    for (const Edge &e : edges_)
+        ++indegree[e.to];
+
+    std::vector<uint32_t> order;
+    order.reserve(numVertices_);
+    for (uint32_t v = 0; v < numVertices_; ++v) {
+        if (indegree[v] == 0)
+            order.push_back(v);
+    }
+    for (size_t head = 0; head < order.size(); ++head) {
+        for (uint32_t idx : out_[order[head]]) {
+            if (--indegree[edges_[idx].to] == 0)
+                order.push_back(edges_[idx].to);
+        }
+    }
+    if (order.size() != numVertices_)
+        return std::nullopt; // a cycle survived
+    return order;
+}
+
+Graph
+Graph::randomDag(Rng &rng, size_t n, double edge_prob,
+                 uint64_t max_weight)
+{
+    Graph g(n);
+    for (uint32_t u = 0; u < n; ++u) {
+        for (uint32_t v = u + 1; v < n; ++v) {
+            if (rng.chance(edge_prob))
+                g.addEdge(u, v, rng.below(max_weight + 1));
+        }
+    }
+    return g;
+}
+
+Graph
+Graph::grid(Rng &rng, size_t rows, size_t cols, uint64_t max_weight)
+{
+    if (rows == 0 || cols == 0)
+        throw std::invalid_argument("Graph::grid: empty grid");
+    Graph g(rows * cols);
+    auto id = [cols](size_t r, size_t c) {
+        return static_cast<uint32_t>(r * cols + c);
+    };
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                g.addEdge(id(r, c), id(r, c + 1),
+                          rng.below(max_weight + 1));
+            if (r + 1 < rows)
+                g.addEdge(id(r, c), id(r + 1, c),
+                          rng.below(max_weight + 1));
+        }
+    }
+    return g;
+}
+
+} // namespace st::racelogic

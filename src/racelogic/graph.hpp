@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Weighted directed graphs for the race-logic applications (paper Sec. V,
+ * after Madhavan et al. [31]).
+ *
+ * Race logic computes shortest paths by racing wavefronts through delay
+ * elements: an edge of weight w is a w-cycle delay and a vertex is an OR
+ * (min) gate. The feedforward network form requires a DAG; the module
+ * also provides random DAG/grid generators for the benchmarks.
+ */
+
+#ifndef ST_RACELOGIC_GRAPH_HPP
+#define ST_RACELOGIC_GRAPH_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace st::racelogic {
+
+/** One weighted directed edge. */
+struct Edge
+{
+    uint32_t from = 0;
+    uint32_t to = 0;
+    uint64_t weight = 0;
+
+    bool operator==(const Edge &other) const = default;
+};
+
+/** A directed graph with nonnegative integer edge weights. */
+class Graph
+{
+  public:
+    /** Create a graph with @p n vertices and no edges. */
+    explicit Graph(size_t n);
+
+    /** Add a directed edge (parallel edges and self-loops allowed). */
+    void addEdge(uint32_t from, uint32_t to, uint64_t weight);
+
+    size_t numVertices() const { return numVertices_; }
+    size_t numEdges() const { return edges_.size(); }
+
+    /** All edges, in insertion order. */
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Outgoing edge indices of a vertex. */
+    const std::vector<uint32_t> &outEdges(uint32_t v) const;
+
+    /** Incoming edge indices of a vertex. */
+    const std::vector<uint32_t> &inEdges(uint32_t v) const;
+
+    /**
+     * A topological order of the vertices, or nullopt if the graph has a
+     * cycle (Kahn's algorithm).
+     */
+    std::optional<std::vector<uint32_t>> topologicalOrder() const;
+
+    /** True iff acyclic. */
+    bool isDag() const { return topologicalOrder().has_value(); }
+
+    /**
+     * Random DAG: vertices 0..n-1, each forward pair (u < v) connected
+     * with probability @p edge_prob, weights uniform in [0, max_weight].
+     */
+    static Graph randomDag(Rng &rng, size_t n, double edge_prob,
+                           uint64_t max_weight);
+
+    /**
+     * Grid DAG: rows x cols lattice with right and down edges, weights
+     * uniform in [0, max_weight]. Vertex (r, c) has index r * cols + c.
+     */
+    static Graph grid(Rng &rng, size_t rows, size_t cols,
+                      uint64_t max_weight);
+
+  private:
+    size_t numVertices_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<uint32_t>> out_, in_;
+};
+
+} // namespace st::racelogic
+
+#endif // ST_RACELOGIC_GRAPH_HPP

@@ -1,0 +1,82 @@
+#include "racelogic/race_path.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace st::racelogic {
+
+Network
+buildRaceNetwork(const Graph &g, uint32_t source)
+{
+    auto order = g.topologicalOrder();
+    if (!order)
+        throw std::invalid_argument("buildRaceNetwork: graph has a cycle");
+    if (source >= g.numVertices())
+        throw std::out_of_range("buildRaceNetwork: source out of range");
+
+    Network net(1);
+    NodeId start = net.input(0);
+    NodeId never = net.config(INF);
+    net.setLabel(never, "unreachable");
+
+    // node_of[v]: the s-t node carrying v's arrival wavefront.
+    std::vector<NodeId> node_of(g.numVertices(), never);
+    node_of[source] = start;
+
+    for (uint32_t v : *order) {
+        std::vector<NodeId> arrivals;
+        if (v == source)
+            arrivals.push_back(start);
+        for (uint32_t idx : g.inEdges(v)) {
+            const Edge &e = g.edges()[idx];
+            // Skip edges from provably unreachable vertices: their
+            // wavefront is the shared inf constant; a delayed inf is
+            // still inf, so the tap is redundant.
+            if (node_of[e.from] == never)
+                continue;
+            arrivals.push_back(net.inc(node_of[e.from], e.weight));
+        }
+        if (arrivals.empty())
+            continue; // stays mapped to the inf constant
+        node_of[v] = arrivals.size() == 1
+                         ? arrivals[0]
+                         : net.min(std::span<const NodeId>(arrivals));
+        net.setLabel(node_of[v], "v" + std::to_string(v));
+    }
+
+    for (uint32_t v = 0; v < g.numVertices(); ++v)
+        net.markOutput(node_of[v]);
+    return net;
+}
+
+std::vector<Time>
+raceWavefront(const Graph &g, uint32_t source)
+{
+    if (source >= g.numVertices())
+        throw std::out_of_range("raceWavefront: source out of range");
+
+    // Each vertex latches the first spike it sees; a spike leaving v at
+    // time t arrives over edge (v, u, w) at t + w. Processing arrivals
+    // in time order makes the first arrival the shortest distance —
+    // the temporal reading of Dijkstra's invariant.
+    std::vector<Time> arrival(g.numVertices(), INF);
+    using Item = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> wavefront;
+    wavefront.push({0, source});
+
+    while (!wavefront.empty()) {
+        auto [t, v] = wavefront.top();
+        wavefront.pop();
+        if (arrival[v].isFinite())
+            continue; // vertex already latched an earlier spike
+        arrival[v] = Time(t);
+        for (uint32_t idx : g.outEdges(v)) {
+            const Edge &e = g.edges()[idx];
+            if (arrival[e.to].isInf())
+                wavefront.push({t + e.weight, e.to});
+        }
+    }
+    return arrival;
+}
+
+} // namespace st::racelogic

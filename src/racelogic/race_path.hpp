@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Race-logic shortest paths (paper Sec. V; Madhavan et al. [31]).
+ *
+ * The encoding: inject one start spike at the source; each edge of weight
+ * w delays it by w (an inc / shift register); each vertex takes the min
+ * (an OR gate) of its incoming wavefronts. The first time a spike reaches
+ * a vertex IS its shortest-path distance — "the time it takes to compute
+ * a value is the value" (paper Sec. VI).
+ *
+ * Two evaluators are provided:
+ *  - buildRaceNetwork(): a feedforward s-t Network for a DAG (composable
+ *    with the GRL compiler, so the experiment can run in the digital-
+ *    circuit domain and count transitions);
+ *  - raceWavefront(): an event-driven temporal wavefront for arbitrary
+ *    graphs (what the physical circuit does when wired with cycles —
+ *    relaxation in time), equivalent to Dijkstra on nonnegative weights.
+ */
+
+#ifndef ST_RACELOGIC_RACE_PATH_HPP
+#define ST_RACELOGIC_RACE_PATH_HPP
+
+#include "core/network.hpp"
+#include "racelogic/graph.hpp"
+
+namespace st::racelogic {
+
+/**
+ * Build the feedforward race network of a DAG.
+ *
+ * The network has one input (the start spike, normally 0). Output v
+ * carries vertex v's arrival time: input time + shortest distance from
+ * @p source (inf if unreachable). Vertices other than the source with no
+ * incoming path read inf.
+ *
+ * @throws std::invalid_argument if @p g is not acyclic.
+ */
+Network buildRaceNetwork(const Graph &g, uint32_t source);
+
+/**
+ * Event-driven temporal wavefront on an arbitrary nonnegative-weight
+ * graph: spikes race along delays, each vertex latches its first
+ * arrival. Returns per-vertex arrival times (source at 0).
+ */
+std::vector<Time> raceWavefront(const Graph &g, uint32_t source);
+
+} // namespace st::racelogic
+
+#endif // ST_RACELOGIC_RACE_PATH_HPP

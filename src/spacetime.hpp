@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Umbrella header for the space-time algebra library.
+ *
+ * Reproduction of J. E. Smith, "Space-Time Algebra: A Model for
+ * Neocortical Computation", ISCA 2018. Include this to get the whole
+ * public API; fine-grained headers are grouped by subsystem:
+ *
+ *   core/       the s-t algebra, function tables, networks, synthesis
+ *   neuron/     response functions, sorters, SRM0, micro-weights, WTA
+ *   tnn/        volleys, AER, STDP, columns, datasets, metrics
+ *   grl/        generalized race logic: netlists, simulation, energy
+ *   racelogic/  shortest-path and edit-distance applications
+ */
+
+#ifndef ST_SPACETIME_HPP
+#define ST_SPACETIME_HPP
+
+#include "core/algebra.hpp"
+#include "core/function_table.hpp"
+#include "core/network.hpp"
+#include "core/network_dot.hpp"
+#include "core/network_io.hpp"
+#include "core/optimize.hpp"
+#include "core/properties.hpp"
+#include "core/synthesis.hpp"
+#include "core/time.hpp"
+#include "core/trace_sim.hpp"
+
+#include "neuron/compound.hpp"
+#include "neuron/microweight.hpp"
+#include "neuron/response.hpp"
+#include "neuron/sorting.hpp"
+#include "neuron/srm0_network.hpp"
+#include "neuron/srm0_reference.hpp"
+#include "neuron/wta.hpp"
+
+#include "tnn/aer.hpp"
+#include "tnn/conv.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/layer.hpp"
+#include "tnn/lsm.hpp"
+#include "tnn/metrics.hpp"
+#include "tnn/stdp.hpp"
+#include "tnn/tempotron.hpp"
+#include "tnn/tnn_io.hpp"
+#include "tnn/tnn_network.hpp"
+#include "tnn/volley.hpp"
+
+#include "grl/boolsim.hpp"
+#include "grl/compile.hpp"
+#include "grl/energy.hpp"
+#include "grl/event_sim.hpp"
+#include "grl/logic_sim.hpp"
+#include "grl/netlist.hpp"
+#include "grl/vcd.hpp"
+
+#include "racelogic/dijkstra.hpp"
+#include "racelogic/edit_distance.hpp"
+#include "racelogic/graph.hpp"
+#include "racelogic/race_path.hpp"
+
+#endif // ST_SPACETIME_HPP

@@ -1,0 +1,54 @@
+#include "tnn/aer.hpp"
+
+#include <stdexcept>
+
+namespace st {
+
+AerStream::AerStream(uint32_t num_addresses)
+    : numAddresses_(num_addresses)
+{
+    if (num_addresses == 0)
+        throw std::invalid_argument("AerStream: empty address space");
+}
+
+void
+AerStream::push(uint64_t time, uint32_t address)
+{
+    if (address >= numAddresses_)
+        throw std::out_of_range("AerStream: address out of range");
+    if (!events_.empty() && time < events_.back().time)
+        throw std::invalid_argument("AerStream: events must be in time "
+                                    "order");
+    events_.push_back({time, address});
+}
+
+uint64_t
+AerStream::endTime() const
+{
+    return events_.empty() ? 0 : events_.back().time;
+}
+
+std::vector<Volley>
+AerStream::sliceWindows(uint64_t window) const
+{
+    if (window == 0)
+        throw std::invalid_argument("AerStream: window must be >= 1");
+    std::vector<Volley> out;
+    if (events_.empty())
+        return out;
+
+    size_t next = 0;
+    for (uint64_t start = 0; start <= endTime(); start += window) {
+        Volley v(numAddresses_, INF);
+        while (next < events_.size() &&
+               events_[next].time < start + window) {
+            const AerEvent &e = events_[next++];
+            if (v[e.address].isInf())
+                v[e.address] = Time(e.time - start);
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+} // namespace st

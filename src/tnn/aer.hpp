@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Address-Event Representation (AER) streams (paper Sec. II.C, Fig. 4).
+ *
+ * AER is the sparse spike-transport convention used by neuromorphic
+ * sensors (Deiss et al. [13]): instead of frames, a sensor emits a stream
+ * of (timestamp, address) events. The Bichler-style freeway tracker
+ * (Fig. 4) consumes AER input; this module converts event streams into
+ * the per-window spike volleys a TNN column processes.
+ */
+
+#ifndef ST_TNN_AER_HPP
+#define ST_TNN_AER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tnn/volley.hpp"
+
+namespace st {
+
+/** One address-event: sensor @p address fired at absolute @p time. */
+struct AerEvent
+{
+    uint64_t time = 0;
+    uint32_t address = 0;
+
+    bool operator==(const AerEvent &other) const = default;
+};
+
+/**
+ * A time-ordered AER event stream over a fixed address space.
+ */
+class AerStream
+{
+  public:
+    /** Create a stream for @p num_addresses sensor lines. */
+    explicit AerStream(uint32_t num_addresses);
+
+    /** Append an event; times must be nondecreasing. */
+    void push(uint64_t time, uint32_t address);
+
+    /** Number of events. */
+    size_t size() const { return events_.size(); }
+
+    /** Address space width. */
+    uint32_t numAddresses() const { return numAddresses_; }
+
+    /** All events in time order. */
+    const std::vector<AerEvent> &events() const { return events_; }
+
+    /** Timestamp of the final event (0 if empty). */
+    uint64_t endTime() const;
+
+    /**
+     * Cut the stream into fixed-width windows and build one volley per
+     * window: within a window, each address's *first* event becomes a
+     * spike at its window-relative time (the temporal-coding reading of
+     * an AER burst); silent addresses read inf. Windows continue until
+     * the last event is covered.
+     */
+    std::vector<Volley> sliceWindows(uint64_t window) const;
+
+  private:
+    uint32_t numAddresses_;
+    std::vector<AerEvent> events_;
+};
+
+} // namespace st
+
+#endif // ST_TNN_AER_HPP

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Convolutional (weight-shared) TNN layers with temporal pooling —
+ * the hierarchical architecture of the TNN literature the paper surveys
+ * (Sec. II.C: Kheradpisheh et al. [28][29], Masquelier & Thorpe [37]).
+ *
+ * A Conv1dLayer slides one shared-weight column of SRM0 feature neurons
+ * across a 1-D sensor array. Because every s-t function is
+ * shift-invariant in *time*, and weight sharing makes the bank
+ * shift-invariant in *space*, a feature fires wherever (and whenever)
+ * its motif appears. Temporal pooling then keeps each feature's
+ * earliest spike across positions — the spiking analogue of max
+ * pooling, since in latency coding earliest = strongest.
+ *
+ * Training is the literature's scheme: for each input, the globally
+ * earliest (feature, position) spike wins and that feature's shared
+ * weights update by STDP on its local window, with the same fatigue
+ * mechanism Columns use.
+ */
+
+#ifndef ST_TNN_CONV_HPP
+#define ST_TNN_CONV_HPP
+
+#include <optional>
+
+#include "tnn/layer.hpp"
+
+namespace st {
+
+/** Configuration of a 1-D convolutional TNN layer. */
+struct Conv1dParams
+{
+    size_t inputWidth = 0;  //!< sensor lines
+    size_t kernelSize = 0;  //!< receptive-field width
+    size_t stride = 1;
+    size_t numFeatures = 0; //!< shared-weight feature neurons
+    /** Per-window column configuration (thresholds, weights, shape). */
+    ResponseFunction::Amp threshold = 1;
+    size_t maxWeight = 7;
+    ResponseShape shape = ResponseShape::Step;
+    double initWeight = 0.5;
+    double initJitter = 0.2;
+    size_t fatigue = 0;
+    uint64_t seed = 0xc0a7;
+};
+
+/** Outcome of one convolutional training step. */
+struct ConvTrainResult
+{
+    std::optional<size_t> feature; //!< winning feature, if any fired
+    size_t position = 0;           //!< winning window index
+    Time spikeTime = INF;
+};
+
+/**
+ * A 1-D convolutional layer of spiking feature detectors.
+ */
+class Conv1dLayer
+{
+  public:
+    explicit Conv1dLayer(const Conv1dParams &params);
+
+    const Conv1dParams &params() const { return params_; }
+
+    /** Number of window positions: (W - k) / stride + 1. */
+    size_t numPositions() const { return numPositions_; }
+
+    /** The local window of the input at position @p p. */
+    Volley window(std::span<const Time> input, size_t p) const;
+
+    /**
+     * Full feature map: element f * numPositions() + p is feature f's
+     * spike time at position p (no inhibition).
+     */
+    Volley featureMap(std::span<const Time> input) const;
+
+    /**
+     * Temporal pooling: one line per feature carrying its earliest
+     * spike across all positions.
+     */
+    Volley pooled(std::span<const Time> input) const;
+
+    /**
+     * One unsupervised training step: the earliest (feature, position)
+     * spike wins; the winning feature's shared weights update by
+     * @p rule on that window.
+     */
+    ConvTrainResult trainStep(std::span<const Time> input,
+                              const StdpRule &rule);
+
+    /** The shared-weight column (one neuron per feature). */
+    const Column &column() const { return column_; }
+
+    /** Shared weights of one feature. */
+    const std::vector<double> &weights(size_t feature) const;
+
+    /** Overwrite one feature's shared weights. */
+    void setWeights(size_t feature, std::vector<double> w);
+
+    /** Training wins per feature (fatigue bookkeeping). */
+    size_t winCount(size_t feature) const;
+
+  private:
+    static ColumnParams columnParamsFor(const Conv1dParams &p);
+
+    Conv1dParams params_;
+    size_t numPositions_;
+    Column column_;
+    std::vector<size_t> winCount_;
+};
+
+} // namespace st
+
+#endif // ST_TNN_CONV_HPP

@@ -1,0 +1,215 @@
+#include "tnn/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace st {
+
+PatternDataset::PatternDataset(const PatternSetParams &params)
+    : params_(params), rng_(params.seed)
+{
+    if (params_.numClasses == 0 || params_.numLines == 0)
+        throw std::invalid_argument("PatternDataset: empty configuration");
+
+    prototypes_.reserve(params_.numClasses);
+    for (size_t c = 0; c < params_.numClasses; ++c) {
+        Volley proto(params_.numLines, INF);
+        bool any = false;
+        for (Time &t : proto) {
+            if (!rng_.chance(params_.silentProb)) {
+                t = Time(rng_.below(params_.timeSpan + 1));
+                any = true;
+            }
+        }
+        if (!any) // guarantee a non-empty prototype
+            proto[rng_.below(params_.numLines)] = 0_t;
+        prototypes_.push_back(normalize(proto).values);
+    }
+}
+
+LabeledVolley
+PatternDataset::sample(size_t label)
+{
+    if (label >= prototypes_.size())
+        throw std::out_of_range("PatternDataset: bad label");
+    const Volley &proto = prototypes_[label];
+    Volley v(proto.size(), INF);
+    for (size_t i = 0; i < proto.size(); ++i) {
+        if (proto[i].isInf() || rng_.chance(params_.dropProb))
+            continue;
+        double jittered = static_cast<double>(proto[i].value()) +
+                          rng_.gaussian(0.0, params_.jitter);
+        auto t = static_cast<int64_t>(std::llround(jittered));
+        v[i] = Time(static_cast<Time::rep>(std::max<int64_t>(t, 0)));
+    }
+    return {normalize(v).values, label};
+}
+
+std::vector<LabeledVolley>
+PatternDataset::sampleMany(size_t count)
+{
+    std::vector<LabeledVolley> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(sample(rng_.below(params_.numClasses)));
+    return out;
+}
+
+ShiftedPatternDataset::ShiftedPatternDataset(
+    const ShiftedPatternParams &params)
+    : params_(params), rng_(params.seed)
+{
+    if (params_.numClasses == 0 || params_.motifWidth == 0 ||
+        params_.motifWidth > params_.inputWidth) {
+        throw std::invalid_argument("ShiftedPatternDataset: bad "
+                                    "configuration");
+    }
+    motifs_.reserve(params_.numClasses);
+    for (size_t c = 0; c < params_.numClasses; ++c) {
+        Volley motif(params_.motifWidth, INF);
+        bool any = false;
+        for (Time &t : motif) {
+            if (!rng_.chance(params_.silentProb)) {
+                t = Time(rng_.below(params_.timeSpan + 1));
+                any = true;
+            }
+        }
+        if (!any)
+            motif[rng_.below(params_.motifWidth)] = 0_t;
+        motifs_.push_back(normalize(motif).values);
+    }
+}
+
+size_t
+ShiftedPatternDataset::maxOffset() const
+{
+    return params_.inputWidth - params_.motifWidth;
+}
+
+PlacedVolley
+ShiftedPatternDataset::sample(size_t label, size_t offset)
+{
+    if (label >= motifs_.size())
+        throw std::out_of_range("ShiftedPatternDataset: bad label");
+    if (offset > maxOffset())
+        throw std::out_of_range("ShiftedPatternDataset: bad offset");
+
+    Volley v(params_.inputWidth, INF);
+    const Volley &motif = motifs_[label];
+    for (size_t i = 0; i < motif.size(); ++i) {
+        if (motif[i].isInf() || rng_.chance(params_.dropProb))
+            continue;
+        double jittered = static_cast<double>(motif[i].value()) +
+                          rng_.gaussian(0.0, params_.jitter);
+        auto t = static_cast<int64_t>(std::llround(jittered));
+        v[offset + i] =
+            Time(static_cast<Time::rep>(std::max<int64_t>(t, 0)));
+    }
+    if (params_.noiseProb > 0) {
+        for (size_t i = 0; i < v.size(); ++i) {
+            bool in_motif = i >= offset && i < offset + motif.size();
+            if (!in_motif && rng_.chance(params_.noiseProb))
+                v[i] = Time(rng_.below(params_.timeSpan + 1));
+        }
+    }
+    return {normalize(v).values, label, offset};
+}
+
+PlacedVolley
+ShiftedPatternDataset::sample()
+{
+    return sample(rng_.below(params_.numClasses),
+                  rng_.below(maxOffset() + 1));
+}
+
+std::vector<LabeledVolley>
+ShiftedPatternDataset::sampleMany(size_t count)
+{
+    std::vector<LabeledVolley> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        PlacedVolley p = sample();
+        out.push_back({std::move(p.volley), p.label});
+    }
+    return out;
+}
+
+FreewayGenerator::FreewayGenerator(const FreewayParams &params)
+    : params_(params), rng_(params.seed)
+{
+    if (params_.lanes == 0 || params_.sensorsPerLane == 0)
+        throw std::invalid_argument("FreewayGenerator: empty sensor array");
+    if (params_.sensorSpacing.empty())
+        throw std::invalid_argument("FreewayGenerator: need spacings");
+}
+
+uint32_t
+FreewayGenerator::numAddresses() const
+{
+    return static_cast<uint32_t>(params_.lanes * params_.sensorsPerLane);
+}
+
+uint64_t
+FreewayGenerator::windowSize() const
+{
+    return params_.interCarGap;
+}
+
+AerStream
+FreewayGenerator::generateStream(size_t passes,
+                                 std::vector<size_t> &labels_out)
+{
+    AerStream stream(numAddresses());
+    labels_out.clear();
+    labels_out.reserve(passes);
+
+    const uint64_t gap = params_.interCarGap;
+    for (size_t pass = 0; pass < passes; ++pass) {
+        size_t lane = rng_.below(params_.lanes);
+        labels_out.push_back(lane);
+        uint64_t spacing =
+            params_.sensorSpacing[lane % params_.sensorSpacing.size()];
+        uint64_t start = pass * gap + 1;
+
+        std::vector<AerEvent> burst;
+        for (size_t s = 0; s < params_.sensorsPerLane; ++s) {
+            if (rng_.chance(params_.missProb))
+                continue; // sensor missed the car
+            double nominal = static_cast<double>(start + s * spacing);
+            double jittered = nominal + rng_.gaussian(0.0, params_.jitter);
+            auto t = static_cast<int64_t>(std::llround(jittered));
+            uint64_t lo = start;
+            uint64_t hi = pass * gap + gap - 1;
+            uint64_t clamped = static_cast<uint64_t>(std::clamp<int64_t>(
+                t, static_cast<int64_t>(lo), static_cast<int64_t>(hi)));
+            burst.push_back(
+                {clamped, static_cast<uint32_t>(
+                              lane * params_.sensorsPerLane + s)});
+        }
+        std::sort(burst.begin(), burst.end(),
+                  [](const AerEvent &a, const AerEvent &b) {
+                      return a.time < b.time;
+                  });
+        for (const AerEvent &e : burst)
+            stream.push(e.time, e.address);
+    }
+    return stream;
+}
+
+std::vector<LabeledVolley>
+FreewayGenerator::generate(size_t passes)
+{
+    std::vector<size_t> labels;
+    AerStream stream = generateStream(passes, labels);
+    std::vector<Volley> windows = stream.sliceWindows(windowSize());
+
+    std::vector<LabeledVolley> out;
+    size_t count = std::min(windows.size(), labels.size());
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back({normalize(windows[i]).values, labels[i]});
+    return out;
+}
+
+} // namespace st

@@ -1,0 +1,209 @@
+#include "tnn/layer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "neuron/wta.hpp"
+
+namespace st {
+
+namespace {
+
+std::vector<ResponseFunction>
+buildFamily(const ColumnParams &p)
+{
+    std::vector<ResponseFunction> family;
+    family.reserve(p.maxWeight + 1);
+    family.emplace_back();
+    for (size_t w = 1; w <= p.maxWeight; ++w) {
+        auto amp = static_cast<ResponseFunction::Amp>(w);
+        switch (p.shape) {
+          case ResponseShape::Step:
+            family.push_back(ResponseFunction::step(amp));
+            break;
+          case ResponseShape::Biexponential:
+            family.push_back(ResponseFunction::biexponential(
+                amp, p.tauSlow, p.tauFast));
+            break;
+          case ResponseShape::PiecewiseLinear:
+            family.push_back(
+                ResponseFunction::piecewiseLinear(amp, p.rise, p.fall));
+            break;
+        }
+    }
+    return family;
+}
+
+} // namespace
+
+Column::Column(const ColumnParams &params)
+    : params_(params), family_(buildFamily(params))
+{
+    if (params_.numInputs == 0 || params_.numNeurons == 0)
+        throw std::invalid_argument("Column: needs inputs and neurons");
+    if (params_.threshold < 1)
+        throw std::invalid_argument("Column: threshold must be >= 1");
+
+    winCount_.assign(params_.numNeurons, 0);
+    modelCache_.resize(params_.numNeurons);
+    Rng rng(params_.seed);
+    weights_.resize(params_.numNeurons);
+    for (auto &w : weights_) {
+        w.resize(params_.numInputs);
+        for (double &x : w) {
+            x = params_.initWeight +
+                params_.initJitter * (2.0 * rng.uniform() - 1.0);
+            x = std::clamp(x, 0.0, 1.0);
+        }
+    }
+}
+
+Column::Column(const Column &other)
+    : params_(other.params_), family_(other.family_),
+      weights_(other.weights_), winCount_(other.winCount_),
+      modelCache_(other.params_.numNeurons)
+{
+}
+
+Column &
+Column::operator=(const Column &other)
+{
+    if (this != &other) {
+        params_ = other.params_;
+        family_ = other.family_;
+        weights_ = other.weights_;
+        winCount_ = other.winCount_;
+        modelCache_.clear();
+        modelCache_.resize(params_.numNeurons);
+    }
+    return *this;
+}
+
+Srm0Neuron
+Column::neuronModel(size_t neuron) const
+{
+    return cachedModel(neuron);
+}
+
+const Srm0Neuron &
+Column::cachedModel(size_t neuron) const
+{
+    auto &slot = modelCache_.at(neuron);
+    if (!slot) {
+        const std::vector<double> &w = weights(neuron);
+        std::vector<ResponseFunction> synapses;
+        synapses.reserve(w.size());
+        for (double x : w) {
+            synapses.push_back(
+                family_[quantizeWeight(x, params_.maxWeight)]);
+        }
+        slot = std::make_unique<Srm0Neuron>(std::move(synapses),
+                                            params_.threshold);
+    }
+    return *slot;
+}
+
+void
+Column::invalidateModel(size_t neuron)
+{
+    modelCache_.at(neuron).reset();
+}
+
+std::vector<Time>
+Column::rawFireTimes(std::span<const Time> inputs) const
+{
+    if (inputs.size() != params_.numInputs)
+        throw std::invalid_argument("Column: arity mismatch");
+    std::vector<Time> out;
+    out.reserve(params_.numNeurons);
+    for (size_t j = 0; j < params_.numNeurons; ++j)
+        out.push_back(cachedModel(j).fire(inputs));
+    return out;
+}
+
+Volley
+Column::process(std::span<const Time> inputs) const
+{
+    std::vector<Time> fired = rawFireTimes(inputs);
+    if (params_.wtaTau > 0)
+        fired = applyWta(fired, params_.wtaTau);
+    if (params_.wtaK > 0)
+        fired = applyKWta(fired, params_.wtaK);
+    return fired;
+}
+
+TrainResult
+Column::trainStep(std::span<const Time> inputs, const StdpRule &rule)
+{
+    std::vector<Time> fired = rawFireTimes(inputs);
+
+    // Fatigue: neurons that have won far more often than the laggard
+    // sit this round out, so the others get a chance to specialize.
+    size_t least_wins = winCount_.empty() ? 0
+                                          : *std::min_element(
+                                                winCount_.begin(),
+                                                winCount_.end());
+
+    // Winner: earliest spike; simultaneous spikes go to the neuron
+    // with the highest potential at the firing time (the tie rule of
+    // Kheradpisheh et al. — the best-matching neuron, not the lowest
+    // index, claims the pattern).
+    TrainResult result;
+    ResponseFunction::Amp best_potential = 0;
+    for (size_t j = 0; j < fired.size(); ++j) {
+        if (params_.fatigue > 0 &&
+            winCount_[j] > least_wins + params_.fatigue) {
+            continue;
+        }
+        if (fired[j].isInf() || fired[j] > result.spikeTime)
+            continue;
+        ResponseFunction::Amp potential =
+            cachedModel(j).potentialAt(inputs, fired[j].value());
+        if (fired[j] < result.spikeTime || potential > best_potential) {
+            result.spikeTime = fired[j];
+            result.winner = j;
+            best_potential = potential;
+        }
+    }
+    if (result.winner) {
+        ++winCount_[*result.winner];
+        rule.update(weights_[*result.winner], inputs, result.spikeTime);
+        invalidateModel(*result.winner);
+    }
+    return result;
+}
+
+size_t
+Column::winCount(size_t neuron) const
+{
+    return winCount_.at(neuron);
+}
+
+void
+Column::resetFatigue()
+{
+    winCount_.assign(params_.numNeurons, 0);
+}
+
+const std::vector<double> &
+Column::weights(size_t neuron) const
+{
+    return weights_.at(neuron);
+}
+
+void
+Column::setWeights(size_t neuron, std::vector<double> w)
+{
+    if (w.size() != params_.numInputs)
+        throw std::invalid_argument("Column: weight arity mismatch");
+    weights_.at(neuron) = std::move(w);
+    invalidateModel(neuron);
+}
+
+std::vector<size_t>
+Column::discreteWeights(size_t neuron) const
+{
+    return quantizeWeights(weights(neuron), params_.maxWeight);
+}
+
+} // namespace st

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Excitatory TNN columns with WTA lateral inhibition (paper Sec. II.C,
+ * IV.C; Fig. 4's building block).
+ *
+ * A Column is a bank of SRM0 excitatory neurons sharing one input volley,
+ * followed by bulk winner-take-all inhibition. Synaptic weights are
+ * low-resolution (0..maxWeight discrete levels, per the paper's 3-4 bit
+ * argument); training keeps continuous shadow weights in [0, 1] updated
+ * by a local STDP rule, while evaluation always uses the quantized
+ * weights — exactly what a micro-weight (Fig. 14) hardware column would
+ * compute. Training is unsupervised WTA-learning: only the earliest-
+ * firing neuron updates, so neurons tune to distinct recurring patterns
+ * (Guyonneau [21], Masquelier [37]).
+ */
+
+#ifndef ST_TNN_LAYER_HPP
+#define ST_TNN_LAYER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "neuron/response.hpp"
+#include "neuron/srm0_reference.hpp"
+#include "tnn/stdp.hpp"
+#include "tnn/volley.hpp"
+#include "util/rng.hpp"
+
+namespace st {
+
+/** Response-function shape used by a column's synapses. */
+enum class ResponseShape : uint8_t
+{
+    Step,            //!< non-leaky integrate-and-fire (most TNN papers)
+    Biexponential,   //!< Fig. 2a leaky response
+    PiecewiseLinear, //!< Fig. 2b Maass approximation
+};
+
+/** Static configuration of a column. */
+struct ColumnParams
+{
+    size_t numInputs = 0;
+    size_t numNeurons = 0;
+    /** Firing threshold theta, in amplitude units. */
+    ResponseFunction::Amp threshold = 1;
+    /** Discrete weight levels (7 => 3-bit weights). */
+    size_t maxWeight = 7;
+    ResponseShape shape = ResponseShape::Step;
+    double tauSlow = 4.0; //!< biexponential slow decay
+    double tauFast = 1.0; //!< biexponential fast decay
+    Time::rep rise = 2;   //!< piecewise-linear rise
+    Time::rep fall = 6;   //!< piecewise-linear fall
+    /** tau-WTA window applied by process(); 0 disables. */
+    Time::rep wtaTau = 1;
+    /** k-WTA cap applied after the window; 0 disables. */
+    size_t wtaK = 1;
+    /** Mean of the random initial weights. */
+    double initWeight = 0.5;
+    /** Uniform half-width of initial-weight jitter. */
+    double initJitter = 0.2;
+    /**
+     * Training-time fatigue (the classic "conscience" mechanism): a
+     * neuron that has already won this many times more than the
+     * least-winning neuron sits out of the training competition, so
+     * every neuron eventually specializes on some pattern. 0 disables.
+     * Inference (process()) is never affected.
+     */
+    size_t fatigue = 0;
+    uint64_t seed = 0x5eed;
+};
+
+/** One training-step outcome. */
+struct TrainResult
+{
+    std::optional<size_t> winner; //!< earliest-firing neuron, if any
+    Time spikeTime = INF;         //!< the winner's spike time
+};
+
+/**
+ * A column of SRM0 neurons with shared input and lateral inhibition.
+ */
+class Column
+{
+  public:
+    explicit Column(const ColumnParams &params);
+
+    /** Copies share nothing; the lazy model cache starts empty. */
+    Column(const Column &other);
+    Column &operator=(const Column &other);
+    Column(Column &&) = default;
+    Column &operator=(Column &&) = default;
+
+    /** Column configuration. */
+    const ColumnParams &params() const { return params_; }
+
+    /**
+     * Fire every neuron on the volley (no inhibition): the raw spike
+     * times a downstream WTA sees.
+     */
+    std::vector<Time> rawFireTimes(std::span<const Time> inputs) const;
+
+    /**
+     * Full forward step: fire all neurons, then apply tau-WTA and k-WTA
+     * inhibition per the column parameters.
+     */
+    Volley process(std::span<const Time> inputs) const;
+
+    /**
+     * One unsupervised WTA-learning step: the earliest-firing neuron
+     * (ties to the lowest index) updates its weights with @p rule.
+     * With params().fatigue > 0, neurons far ahead in win count are
+     * excluded from this step's competition (see ColumnParams).
+     */
+    TrainResult trainStep(std::span<const Time> inputs,
+                          const StdpRule &rule);
+
+    /** Times neuron @p neuron has won a training step. */
+    size_t winCount(size_t neuron) const;
+
+    /** Clear all fatigue win counters. */
+    void resetFatigue();
+
+    /** Continuous shadow weights of one neuron (training state). */
+    const std::vector<double> &weights(size_t neuron) const;
+
+    /** Overwrite one neuron's shadow weights (e.g., to seed a test). */
+    void setWeights(size_t neuron, std::vector<double> w);
+
+    /** Quantized (hardware) weights of one neuron. */
+    std::vector<size_t> discreteWeights(size_t neuron) const;
+
+    /**
+     * The reference SRM0 model a neuron currently implements (quantized
+     * weights applied to the response family).
+     */
+    Srm0Neuron neuronModel(size_t neuron) const;
+
+    /** The weight-indexed response family used by every synapse. */
+    const std::vector<ResponseFunction> &family() const { return family_; }
+
+  private:
+    /** Cached reference model for one neuron (weights rarely change
+     *  between evaluations, so rebuilding per fire() call is wasted
+     *  work in training loops). */
+    const Srm0Neuron &cachedModel(size_t neuron) const;
+
+    /** Drop a neuron's cached model after its weights changed. */
+    void invalidateModel(size_t neuron);
+
+    ColumnParams params_;
+    std::vector<ResponseFunction> family_; //!< indexed by discrete weight
+    std::vector<std::vector<double>> weights_; //!< [neuron][input]
+    std::vector<size_t> winCount_;             //!< fatigue bookkeeping
+    /** Lazily built quantized models, invalidated on weight changes. */
+    mutable std::vector<std::unique_ptr<Srm0Neuron>> modelCache_;
+};
+
+} // namespace st
+
+#endif // ST_TNN_LAYER_HPP

@@ -1,0 +1,122 @@
+#include "tnn/metrics.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace st {
+
+ConfusionMatrix::ConfusionMatrix(size_t num_clusters, size_t num_labels)
+    : numClusters_(num_clusters), numLabels_(num_labels),
+      counts_(num_clusters * num_labels, 0)
+{
+    if (num_clusters == 0 || num_labels == 0)
+        throw std::invalid_argument("ConfusionMatrix: empty dimensions");
+}
+
+void
+ConfusionMatrix::add(std::optional<size_t> cluster, size_t label)
+{
+    if (label >= numLabels_)
+        throw std::out_of_range("ConfusionMatrix: bad label");
+    ++total_;
+    if (!cluster) {
+        ++unassigned_;
+        return;
+    }
+    if (*cluster >= numClusters_)
+        throw std::out_of_range("ConfusionMatrix: bad cluster");
+    ++counts_[*cluster * numLabels_ + label];
+}
+
+size_t
+ConfusionMatrix::at(size_t cluster, size_t label) const
+{
+    if (cluster >= numClusters_ || label >= numLabels_)
+        throw std::out_of_range("ConfusionMatrix: bad cell");
+    return counts_[cluster * numLabels_ + label];
+}
+
+double
+ConfusionMatrix::coverage() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(total_ - unassigned_) /
+           static_cast<double>(total_);
+}
+
+double
+ConfusionMatrix::purity() const
+{
+    if (total_ == 0)
+        return 0.0;
+    size_t hits = 0;
+    for (size_t c = 0; c < numClusters_; ++c) {
+        size_t best = 0;
+        for (size_t l = 0; l < numLabels_; ++l)
+            best = std::max(best, at(c, l));
+        hits += best;
+    }
+    return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+std::vector<std::optional<size_t>>
+ConfusionMatrix::majorityAssignment() const
+{
+    std::vector<std::optional<size_t>> assignment(numClusters_);
+    for (size_t c = 0; c < numClusters_; ++c) {
+        size_t best = 0;
+        for (size_t l = 0; l < numLabels_; ++l) {
+            if (at(c, l) > best) {
+                best = at(c, l);
+                assignment[c] = l;
+            }
+        }
+    }
+    return assignment;
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    auto assignment = majorityAssignment();
+    size_t hits = 0;
+    for (size_t c = 0; c < numClusters_; ++c) {
+        if (assignment[c])
+            hits += at(c, *assignment[c]);
+    }
+    return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+size_t
+ConfusionMatrix::distinctLabelsCovered() const
+{
+    std::set<size_t> labels;
+    for (const auto &label : majorityAssignment()) {
+        if (label)
+            labels.insert(*label);
+    }
+    return labels.size();
+}
+
+std::string
+ConfusionMatrix::str() const
+{
+    std::vector<std::string> header{"neuron\\label"};
+    for (size_t l = 0; l < numLabels_; ++l)
+        header.push_back("L" + std::to_string(l));
+    AsciiTable table(header);
+    for (size_t c = 0; c < numClusters_; ++c) {
+        std::vector<std::string> row{"N" + std::to_string(c)};
+        for (size_t l = 0; l < numLabels_; ++l)
+            row.push_back(std::to_string(at(c, l)));
+        table.addRow(row);
+    }
+    return table.str();
+}
+
+} // namespace st

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Evaluation metrics for unsupervised TNN experiments.
+ *
+ * STDP-trained columns are unsupervised, so quality is judged the way the
+ * surveyed papers do: map each neuron to the class it responds to most
+ * often (majority assignment) and measure purity/accuracy of that
+ * mapping, plus coverage (how often any neuron fires at all).
+ */
+
+#ifndef ST_TNN_METRICS_HPP
+#define ST_TNN_METRICS_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace st {
+
+/**
+ * Cluster-vs-label contingency table.
+ *
+ * Rows are clusters (e.g., winning neurons); columns are ground-truth
+ * labels. A sample with no winner is recorded as "unassigned".
+ */
+class ConfusionMatrix
+{
+  public:
+    ConfusionMatrix(size_t num_clusters, size_t num_labels);
+
+    /** Record one sample's outcome. */
+    void add(std::optional<size_t> cluster, size_t label);
+
+    /** Count in one cell. */
+    size_t at(size_t cluster, size_t label) const;
+
+    /** Total samples recorded (including unassigned). */
+    size_t total() const { return total_; }
+
+    /** Samples that had no winning cluster. */
+    size_t unassigned() const { return unassigned_; }
+
+    /** Fraction of samples with a winner. */
+    double coverage() const;
+
+    /**
+     * Clustering purity: sum over clusters of their majority-label count,
+     * divided by total samples (unassigned count as misses).
+     */
+    double purity() const;
+
+    /** Majority label of each cluster (nullopt for empty clusters). */
+    std::vector<std::optional<size_t>> majorityAssignment() const;
+
+    /**
+     * Accuracy under the majority assignment: fraction of samples whose
+     * cluster's majority label equals their own label.
+     */
+    double accuracy() const;
+
+    /** Number of distinct labels that are some cluster's majority. */
+    size_t distinctLabelsCovered() const;
+
+    /** Render as an ASCII table. */
+    std::string str() const;
+
+  private:
+    size_t numClusters_, numLabels_;
+    std::vector<size_t> counts_; //!< row-major [cluster][label]
+    size_t unassigned_ = 0;
+    size_t total_ = 0;
+};
+
+} // namespace st
+
+#endif // ST_TNN_METRICS_HPP

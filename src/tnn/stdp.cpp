@@ -1,0 +1,89 @@
+#include "tnn/stdp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace st {
+
+SimplifiedStdp::SimplifiedStdp(double a_plus, double a_minus)
+    : aPlus_(a_plus), aMinus_(a_minus)
+{
+    if (a_plus < 0 || a_minus < 0)
+        throw std::invalid_argument("SimplifiedStdp: rates must be >= 0");
+}
+
+void
+SimplifiedStdp::update(std::span<double> weights,
+                       std::span<const Time> inputs, Time out) const
+{
+    if (weights.size() != inputs.size())
+        throw std::invalid_argument("SimplifiedStdp: arity mismatch");
+    for (size_t i = 0; i < weights.size(); ++i) {
+        double &w = weights[i];
+        double soft = w * (1.0 - w);
+        // Inputs at or before the output spike contributed; later or
+        // absent inputs did not (Guyonneau: neurons tune to the
+        // earliest spikes).
+        if (inputs[i].isFinite() && inputs[i] <= out)
+            w += aPlus_ * soft;
+        else
+            w -= aMinus_ * soft;
+        w = std::clamp(w, 0.0, 1.0);
+    }
+}
+
+ClassicStdp::ClassicStdp(double a_plus, double a_minus, double tau_plus,
+                         double tau_minus)
+    : aPlus_(a_plus), aMinus_(a_minus), tauPlus_(tau_plus),
+      tauMinus_(tau_minus)
+{
+    if (tau_plus <= 0 || tau_minus <= 0)
+        throw std::invalid_argument("ClassicStdp: taus must be > 0");
+}
+
+void
+ClassicStdp::update(std::span<double> weights,
+                    std::span<const Time> inputs, Time out) const
+{
+    if (weights.size() != inputs.size())
+        throw std::invalid_argument("ClassicStdp: arity mismatch");
+    if (out.isInf())
+        return;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        double &w = weights[i];
+        if (inputs[i].isInf()) {
+            // No presynaptic spike: mild depression toward pruning.
+            w -= aMinus_ * 0.5;
+        } else if (inputs[i] <= out) {
+            double dt = static_cast<double>(out.value() -
+                                            inputs[i].value());
+            w += aPlus_ * std::exp(-dt / tauPlus_);
+        } else {
+            double dt = static_cast<double>(inputs[i].value() -
+                                            out.value());
+            w -= aMinus_ * std::exp(-dt / tauMinus_);
+        }
+        w = std::clamp(w, 0.0, 1.0);
+    }
+}
+
+size_t
+quantizeWeight(double w, size_t max_weight)
+{
+    double clamped = std::clamp(w, 0.0, 1.0);
+    return static_cast<size_t>(
+        std::llround(clamped * static_cast<double>(max_weight)));
+}
+
+std::vector<size_t>
+quantizeWeights(std::span<const double> w, size_t max_weight)
+{
+    std::vector<size_t> out;
+    out.reserve(w.size());
+    for (double x : w)
+        out.push_back(quantizeWeight(x, max_weight));
+    return out;
+}
+
+} // namespace st

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Spike Timing Dependent Plasticity rules (paper Sec. II.A and IV.B).
+ *
+ * STDP is the paper's biologically plausible, strictly local training
+ * mechanism: an input spike preceding the neuron's output spike gets its
+ * synapse strengthened; one arriving after (or not at all) gets weakened.
+ * Two standard rules are provided:
+ *
+ *  - SimplifiedStdp: the multiplicative rule of Masquelier/Thorpe [37]
+ *    and Kheradpisheh et al. [28], dw = a+ * w(1-w) on potentiation and
+ *    dw = -a- * w(1-w) on depression. Timing-independent within the
+ *    window, soft-bounded to (0, 1), and the workhorse of the surveyed
+ *    TNN architectures.
+ *
+ *  - ClassicStdp: the exponential pairwise rule (Bi & Poo [4],
+ *    Morrison et al. [38]): dw = a+ * exp(-dt/tau+) / -a- * exp(-dt/tau-)
+ *    additively, clamped to [0, 1].
+ *
+ * Weights live in [0, 1] during training and are quantized onto the
+ * low-resolution discrete range (e.g., 3-4 bits, per Pfeil et al. [43])
+ * when programmed into micro-weight hardware.
+ */
+
+#ifndef ST_TNN_STDP_HPP
+#define ST_TNN_STDP_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace st {
+
+/** Interface for local synaptic update rules. */
+class StdpRule
+{
+  public:
+    virtual ~StdpRule() = default;
+
+    /**
+     * Update one neuron's weights after it fired.
+     *
+     * @param weights  In/out weights in [0, 1], one per input line.
+     * @param inputs   The input volley the neuron saw.
+     * @param out      The neuron's output spike time (finite).
+     */
+    virtual void update(std::span<double> weights,
+                        std::span<const Time> inputs, Time out) const = 0;
+};
+
+/** Masquelier/Kheradpisheh multiplicative simplified STDP. */
+class SimplifiedStdp : public StdpRule
+{
+  public:
+    /**
+     * @param a_plus   Potentiation rate (e.g., 0.05).
+     * @param a_minus  Depression rate (e.g., 0.04).
+     */
+    SimplifiedStdp(double a_plus, double a_minus);
+
+    void update(std::span<double> weights, std::span<const Time> inputs,
+                Time out) const override;
+
+  private:
+    double aPlus_, aMinus_;
+};
+
+/** Exponential-window pairwise additive STDP. */
+class ClassicStdp : public StdpRule
+{
+  public:
+    /**
+     * @param a_plus    Potentiation amplitude.
+     * @param a_minus   Depression amplitude.
+     * @param tau_plus  Potentiation time constant (time units).
+     * @param tau_minus Depression time constant.
+     */
+    ClassicStdp(double a_plus, double a_minus, double tau_plus,
+                double tau_minus);
+
+    void update(std::span<double> weights, std::span<const Time> inputs,
+                Time out) const override;
+
+  private:
+    double aPlus_, aMinus_, tauPlus_, tauMinus_;
+};
+
+/**
+ * Quantize a real weight in [0, 1] onto the discrete range 0..max_weight
+ * (the micro-weight setting for a trained synapse).
+ */
+size_t quantizeWeight(double w, size_t max_weight);
+
+/** Quantize a whole weight vector. */
+std::vector<size_t> quantizeWeights(std::span<const double> w,
+                                    size_t max_weight);
+
+} // namespace st
+
+#endif // ST_TNN_STDP_HPP

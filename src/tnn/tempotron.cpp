@@ -1,0 +1,138 @@
+#include "tnn/tempotron.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace st {
+
+Tempotron::Tempotron(const TempotronParams &params)
+    : params_(params)
+{
+    if (params_.numInputs == 0)
+        throw std::invalid_argument("Tempotron: needs inputs");
+    if (params_.tauFast >= params_.tauSlow)
+        throw std::invalid_argument("Tempotron: tauFast must be < "
+                                    "tauSlow");
+    // Normalize the kernel so its peak value is 1.
+    double ts = params_.tauSlow, tf = params_.tauFast;
+    double t_star = std::log(ts / tf) * ts * tf / (ts - tf);
+    kernelNorm_ =
+        1.0 / (std::exp(-t_star / ts) - std::exp(-t_star / tf));
+
+    Rng rng(params_.seed);
+    weights_.resize(params_.numInputs);
+    for (double &w : weights_) {
+        w = params_.initWeight +
+            params_.initJitter * (2.0 * rng.uniform() - 1.0);
+    }
+}
+
+double
+Tempotron::kernel(double dt) const
+{
+    if (dt < 0)
+        return 0.0;
+    return kernelNorm_ * (std::exp(-dt / params_.tauSlow) -
+                          std::exp(-dt / params_.tauFast));
+}
+
+double
+Tempotron::potentialAt(std::span<const Time> volley, double t) const
+{
+    if (volley.size() != weights_.size())
+        throw std::invalid_argument("Tempotron: arity mismatch");
+    double v = 0.0;
+    for (size_t i = 0; i < volley.size(); ++i) {
+        if (volley[i].isFinite()) {
+            v += weights_[i] *
+                 kernel(t - static_cast<double>(volley[i].value()));
+        }
+    }
+    return v;
+}
+
+double
+Tempotron::horizon(std::span<const Time> volley) const
+{
+    double last = 0.0;
+    for (Time t : volley) {
+        if (t.isFinite())
+            last = std::max(last, static_cast<double>(t.value()));
+    }
+    // ~5 slow time constants past the last spike covers the kernel.
+    return last + 5.0 * params_.tauSlow;
+}
+
+bool
+Tempotron::fires(std::span<const Time> volley) const
+{
+    const double end = horizon(volley);
+    for (double t = 0.0; t <= end; t += 0.5) {
+        if (potentialAt(volley, t) >= params_.threshold)
+            return true;
+    }
+    return false;
+}
+
+double
+Tempotron::peakTime(std::span<const Time> volley) const
+{
+    const double end = horizon(volley);
+    double best_t = 0.0, best_v = -1e300;
+    for (double t = 0.0; t <= end; t += 0.5) {
+        double v = potentialAt(volley, t);
+        if (v > best_v) {
+            best_v = v;
+            best_t = t;
+        }
+    }
+    return best_t;
+}
+
+bool
+Tempotron::train(const TempotronSample &sample)
+{
+    bool fired = fires(sample.volley);
+    if (fired == sample.positive)
+        return false; // correct, no update
+    double t_peak = peakTime(sample.volley);
+    double direction = sample.positive ? 1.0 : -1.0;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+        Time x = sample.volley[i];
+        if (x.isFinite()) {
+            weights_[i] +=
+                direction * params_.learningRate *
+                kernel(t_peak - static_cast<double>(x.value()));
+        }
+    }
+    return true;
+}
+
+std::vector<size_t>
+Tempotron::trainEpochs(std::span<const TempotronSample> data,
+                       size_t epochs)
+{
+    std::vector<size_t> errors;
+    errors.reserve(epochs);
+    for (size_t e = 0; e < epochs; ++e) {
+        size_t wrong = 0;
+        for (const TempotronSample &s : data)
+            wrong += train(s);
+        errors.push_back(wrong);
+    }
+    return errors;
+}
+
+double
+Tempotron::accuracy(std::span<const TempotronSample> data) const
+{
+    if (data.empty())
+        return 0.0;
+    size_t right = 0;
+    for (const TempotronSample &s : data)
+        right += fires(s.volley) == s.positive;
+    return static_cast<double>(right) / static_cast<double>(data.size());
+}
+
+} // namespace st

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The tempotron (Guetig & Sompolinsky [18]) — the supervised TNN model
+ * the paper surveys in Sec. II.C: "an SRM0 model with biexponential
+ * response functions" whose training rule is supervised yet localized.
+ *
+ * A tempotron is a binary classifier over spike volleys: it should fire
+ * (potential crosses theta) on positive-class volleys and stay quiet on
+ * negative ones. Training nudges each synapse by the value of its
+ * postsynaptic kernel at the time of the *peak* potential:
+ *
+ *     error on positive (no spike):  w_i += lr * K(t_peak - t_i)
+ *     error on negative (spiked):    w_i -= lr * K(t_peak - t_i)
+ *
+ * Weights are real-valued during training (they may go negative —
+ * effectively inhibitory synapses); quantizeWeights() maps them to the
+ * low-resolution micro-weight range for hardware, as with STDP columns.
+ */
+
+#ifndef ST_TNN_TEMPOTRON_HPP
+#define ST_TNN_TEMPOTRON_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/time.hpp"
+#include "tnn/volley.hpp"
+#include "util/rng.hpp"
+
+namespace st {
+
+/** Tempotron configuration. */
+struct TempotronParams
+{
+    size_t numInputs = 0;
+    double threshold = 1.0;   //!< firing threshold theta
+    double tauSlow = 4.0;     //!< kernel membrane constant
+    double tauFast = 1.0;     //!< kernel synaptic constant
+    double learningRate = 0.05;
+    double initWeight = 0.1;  //!< mean initial weight
+    double initJitter = 0.05; //!< uniform init spread
+    uint64_t seed = 0x7e39;
+};
+
+/** A labeled training/evaluation sample. */
+struct TempotronSample
+{
+    Volley volley;
+    bool positive = false;
+};
+
+/**
+ * A single tempotron neuron.
+ */
+class Tempotron
+{
+  public:
+    explicit Tempotron(const TempotronParams &params);
+
+    /** The normalized biexponential kernel K(dt), K(peak) = 1. */
+    double kernel(double dt) const;
+
+    /** Membrane potential at time t for a volley. */
+    double potentialAt(std::span<const Time> volley, double t) const;
+
+    /**
+     * Does the neuron fire on this volley? (Scans the discrete time
+     * grid covered by the volley plus the kernel support.)
+     */
+    bool fires(std::span<const Time> volley) const;
+
+    /** Time of the maximum potential (the training anchor). */
+    double peakTime(std::span<const Time> volley) const;
+
+    /**
+     * One tempotron update. Returns true iff the neuron was in error
+     * (and therefore adjusted its weights).
+     */
+    bool train(const TempotronSample &sample);
+
+    /** Run several epochs over a dataset; returns errors per epoch. */
+    std::vector<size_t> trainEpochs(std::span<const TempotronSample> data,
+                                    size_t epochs);
+
+    /** Classification accuracy over a dataset. */
+    double accuracy(std::span<const TempotronSample> data) const;
+
+    /** Current weights (may be negative). */
+    const std::vector<double> &weights() const { return weights_; }
+
+    /** Parameters. */
+    const TempotronParams &params() const { return params_; }
+
+  private:
+    /** Latest time the potential can still change for this volley. */
+    double horizon(std::span<const Time> volley) const;
+
+    TempotronParams params_;
+    std::vector<double> weights_;
+    double kernelNorm_;
+};
+
+} // namespace st
+
+#endif // ST_TNN_TEMPOTRON_HPP

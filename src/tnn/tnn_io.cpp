@@ -1,0 +1,302 @@
+#include "tnn/tnn_io.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace st {
+
+namespace {
+
+const char *
+shapeName(ResponseShape shape)
+{
+    switch (shape) {
+      case ResponseShape::Step:
+        return "step";
+      case ResponseShape::Biexponential:
+        return "biexp";
+      case ResponseShape::PiecewiseLinear:
+        return "pwl";
+    }
+    return "?";
+}
+
+ResponseShape
+shapeFromName(const std::string &name, size_t line_no)
+{
+    if (name == "step")
+        return ResponseShape::Step;
+    if (name == "biexp")
+        return ResponseShape::Biexponential;
+    if (name == "pwl")
+        return ResponseShape::PiecewiseLinear;
+    throw std::invalid_argument("tnn_io: line " +
+                                std::to_string(line_no) +
+                                ": unknown shape '" + name + "'");
+}
+
+/** Tokenized line reader skipping blanks and '#' comments. */
+class LineReader
+{
+  public:
+    explicit LineReader(const std::string &text) : in_(text) {}
+
+    bool
+    next(std::vector<std::string> &toks)
+    {
+        toks.clear();
+        std::string line;
+        while (std::getline(in_, line)) {
+            ++lineNo_;
+            auto hash = line.find('#');
+            if (hash != std::string::npos)
+                line.resize(hash);
+            std::istringstream fields(line);
+            std::string tok;
+            while (fields >> tok)
+                toks.push_back(tok);
+            if (!toks.empty())
+                return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::invalid_argument("tnn_io: line " +
+                                    std::to_string(lineNo_) + ": " +
+                                    what);
+    }
+
+    size_t lineNo() const { return lineNo_; }
+
+  private:
+    std::istringstream in_;
+    size_t lineNo_ = 0;
+};
+
+void
+emitParams(std::ostringstream &os, const ColumnParams &p)
+{
+    os << "inputs " << p.numInputs << " neurons " << p.numNeurons
+       << " threshold " << p.threshold << " maxweight " << p.maxWeight
+       << " shape " << shapeName(p.shape) << "\n";
+    os << "response " << p.tauSlow << ' ' << p.tauFast << ' ' << p.rise
+       << ' ' << p.fall << "\n";
+    os << "wta " << p.wtaTau << ' ' << p.wtaK << " fatigue "
+       << p.fatigue << " init " << p.initWeight << ' ' << p.initJitter
+       << " seed " << p.seed << "\n";
+}
+
+void
+emitWeights(std::ostringstream &os, const std::vector<double> &w,
+            size_t index)
+{
+    os << "weights " << index;
+    os << std::setprecision(17);
+    for (double x : w)
+        os << ' ' << x;
+    os << std::setprecision(6) << "\n";
+}
+
+ColumnParams
+parseParams(LineReader &reader)
+{
+    std::vector<std::string> toks;
+    ColumnParams p;
+    if (!reader.next(toks) || toks.size() != 10 || toks[0] != "inputs" ||
+        toks[2] != "neurons" || toks[4] != "threshold" ||
+        toks[6] != "maxweight" || toks[8] != "shape") {
+        reader.fail("expected 'inputs N neurons N threshold N "
+                    "maxweight N shape S'");
+    }
+    p.numInputs = std::stoul(toks[1]);
+    p.numNeurons = std::stoul(toks[3]);
+    p.threshold =
+        static_cast<ResponseFunction::Amp>(std::stol(toks[5]));
+    p.maxWeight = std::stoul(toks[7]);
+    p.shape = shapeFromName(toks[9], reader.lineNo());
+
+    if (!reader.next(toks) || toks.size() != 5 || toks[0] != "response")
+        reader.fail("expected 'response tauSlow tauFast rise fall'");
+    p.tauSlow = std::stod(toks[1]);
+    p.tauFast = std::stod(toks[2]);
+    p.rise = std::stoull(toks[3]);
+    p.fall = std::stoull(toks[4]);
+
+    if (!reader.next(toks) || toks.size() != 10 || toks[0] != "wta" ||
+        toks[3] != "fatigue" || toks[5] != "init" || toks[8] != "seed") {
+        reader.fail("expected 'wta tau k fatigue F init w j seed s'");
+    }
+    p.wtaTau = std::stoull(toks[1]);
+    p.wtaK = std::stoul(toks[2]);
+    p.fatigue = std::stoul(toks[4]);
+    p.initWeight = std::stod(toks[6]);
+    p.initJitter = std::stod(toks[7]);
+    p.seed = std::stoull(toks[9]);
+    return p;
+}
+
+std::vector<double>
+parseWeightsLine(LineReader &reader, const std::vector<std::string> &toks,
+                 size_t expected_index, size_t expected_count)
+{
+    if (toks.size() != expected_count + 2 || toks[0] != "weights")
+        reader.fail("expected 'weights <index> <values...>'");
+    if (std::stoul(toks[1]) != expected_index)
+        reader.fail("weights rows must appear in order");
+    std::vector<double> w;
+    w.reserve(expected_count);
+    for (size_t i = 2; i < toks.size(); ++i)
+        w.push_back(std::stod(toks[i]));
+    return w;
+}
+
+} // namespace
+
+std::string
+columnToText(const Column &column)
+{
+    std::ostringstream os;
+    os << "stcolumn 1\n";
+    emitParams(os, column.params());
+    for (size_t j = 0; j < column.params().numNeurons; ++j)
+        emitWeights(os, column.weights(j), j);
+    return os.str();
+}
+
+namespace {
+
+/** Parse a column body after its header line has been consumed. */
+Column
+parseColumnBody(LineReader &reader)
+{
+    ColumnParams p = parseParams(reader);
+    Column column(p);
+    std::vector<std::string> toks;
+    for (size_t j = 0; j < p.numNeurons; ++j) {
+        if (!reader.next(toks))
+            reader.fail("missing weights row");
+        column.setWeights(
+            j, parseWeightsLine(reader, toks, j, p.numInputs));
+    }
+    return column;
+}
+
+} // namespace
+
+Column
+columnFromText(const std::string &text)
+{
+    LineReader reader(text);
+    std::vector<std::string> toks;
+    if (!reader.next(toks) || toks.size() != 2 ||
+        toks[0] != "stcolumn" || toks[1] != "1") {
+        reader.fail("expected header 'stcolumn 1'");
+    }
+    return parseColumnBody(reader);
+}
+
+std::string
+tnnToText(const TnnNetwork &net)
+{
+    std::ostringstream os;
+    os << "sttnn 1\n";
+    os << "layers " << net.numLayers() << "\n";
+    for (size_t l = 0; l < net.numLayers(); ++l) {
+        os << "layer " << l << "\n";
+        const Column &column = net.layer(l);
+        emitParams(os, column.params());
+        for (size_t j = 0; j < column.params().numNeurons; ++j)
+            emitWeights(os, column.weights(j), j);
+    }
+    return os.str();
+}
+
+TnnNetwork
+tnnFromText(const std::string &text)
+{
+    LineReader reader(text);
+    std::vector<std::string> toks;
+    if (!reader.next(toks) || toks.size() != 2 || toks[0] != "sttnn" ||
+        toks[1] != "1") {
+        reader.fail("expected header 'sttnn 1'");
+    }
+    if (!reader.next(toks) || toks.size() != 2 || toks[0] != "layers")
+        reader.fail("expected 'layers N'");
+    size_t layers = std::stoul(toks[1]);
+
+    TnnNetwork net;
+    for (size_t l = 0; l < layers; ++l) {
+        if (!reader.next(toks) || toks.size() != 2 ||
+            toks[0] != "layer" || std::stoul(toks[1]) != l) {
+            reader.fail("expected 'layer " + std::to_string(l) + "'");
+        }
+        Column column = parseColumnBody(reader);
+        net.addLayer(column.params());
+        for (size_t j = 0; j < column.params().numNeurons; ++j)
+            net.layer(l).setWeights(j, column.weights(j));
+    }
+    return net;
+}
+
+std::string
+convToText(const Conv1dLayer &conv)
+{
+    const Conv1dParams &p = conv.params();
+    std::ostringstream os;
+    os << "stconv 1\n";
+    os << "geometry " << p.inputWidth << ' ' << p.kernelSize << ' '
+       << p.stride << ' ' << p.numFeatures << "\n";
+    os << "neuron " << p.threshold << ' ' << p.maxWeight << ' '
+       << shapeName(p.shape) << " fatigue " << p.fatigue << " init "
+       << p.initWeight << ' ' << p.initJitter << " seed " << p.seed
+       << "\n";
+    for (size_t f = 0; f < p.numFeatures; ++f)
+        emitWeights(os, conv.weights(f), f);
+    return os.str();
+}
+
+Conv1dLayer
+convFromText(const std::string &text)
+{
+    LineReader reader(text);
+    std::vector<std::string> toks;
+    if (!reader.next(toks) || toks.size() != 2 || toks[0] != "stconv" ||
+        toks[1] != "1") {
+        reader.fail("expected header 'stconv 1'");
+    }
+    Conv1dParams p;
+    if (!reader.next(toks) || toks.size() != 5 || toks[0] != "geometry")
+        reader.fail("expected 'geometry W k stride F'");
+    p.inputWidth = std::stoul(toks[1]);
+    p.kernelSize = std::stoul(toks[2]);
+    p.stride = std::stoul(toks[3]);
+    p.numFeatures = std::stoul(toks[4]);
+
+    if (!reader.next(toks) || toks.size() != 11 || toks[0] != "neuron" ||
+        toks[4] != "fatigue" || toks[6] != "init" || toks[9] != "seed") {
+        reader.fail("expected 'neuron theta W shape fatigue F init w j "
+                    "seed s'");
+    }
+    p.threshold = static_cast<ResponseFunction::Amp>(std::stol(toks[1]));
+    p.maxWeight = std::stoul(toks[2]);
+    p.shape = shapeFromName(toks[3], reader.lineNo());
+    p.fatigue = std::stoul(toks[5]);
+    p.initWeight = std::stod(toks[7]);
+    p.initJitter = std::stod(toks[8]);
+    p.seed = std::stoull(toks[10]);
+
+    Conv1dLayer conv(p);
+    for (size_t f = 0; f < p.numFeatures; ++f) {
+        if (!reader.next(toks))
+            reader.fail("missing weights row");
+        conv.setWeights(
+            f, parseWeightsLine(reader, toks, f, p.kernelSize));
+    }
+    return conv;
+}
+
+} // namespace st

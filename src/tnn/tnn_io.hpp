@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Text serialization of trained TNN components.
+ *
+ * STDP training is the expensive part of a TNN workflow; these
+ * round-trip formats let trained columns, networks and conv layers be
+ * saved, diffed and reloaded (e.g., train once, then program hardware
+ * micro-weights in a separate run). Weights are stored with full
+ * double precision so save/load is bit-exact; fatigue win counters are
+ * transient training state and reset on load.
+ *
+ * Formats are line-oriented with '#' comments, mirroring the stnet
+ * format of core/network_io.hpp:
+ *
+ *     stcolumn 1
+ *     inputs 4 neurons 2 threshold 6 maxweight 7 shape step
+ *     wta 1 1 fatigue 8 init 0.5 0.2 seed 1234
+ *     weights 0  0.5 0.25 ...
+ *     weights 1  ...
+ */
+
+#ifndef ST_TNN_TNN_IO_HPP
+#define ST_TNN_TNN_IO_HPP
+
+#include <string>
+
+#include "tnn/conv.hpp"
+#include "tnn/layer.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st {
+
+/** Serialize a column (parameters + trained weights). */
+std::string columnToText(const Column &column);
+
+/** Parse a column; @throws std::invalid_argument on malformed input. */
+Column columnFromText(const std::string &text);
+
+/** Serialize a whole multi-layer network. */
+std::string tnnToText(const TnnNetwork &net);
+
+/** Parse a multi-layer network. */
+TnnNetwork tnnFromText(const std::string &text);
+
+/** Serialize a convolutional layer (parameters + shared weights). */
+std::string convToText(const Conv1dLayer &conv);
+
+/** Parse a convolutional layer. */
+Conv1dLayer convFromText(const std::string &text);
+
+} // namespace st
+
+#endif // ST_TNN_TNN_IO_HPP

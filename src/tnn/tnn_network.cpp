@@ -1,0 +1,51 @@
+#include "tnn/tnn_network.hpp"
+
+#include <stdexcept>
+
+namespace st {
+
+void
+TnnNetwork::addLayer(const ColumnParams &params)
+{
+    if (!layers_.empty() &&
+        params.numInputs != layers_.back().params().numNeurons) {
+        throw std::invalid_argument("TnnNetwork: layer width mismatch");
+    }
+    layers_.emplace_back(params);
+}
+
+Volley
+TnnNetwork::process(const Volley &input) const
+{
+    return processUpTo(input, layers_.size());
+}
+
+Volley
+TnnNetwork::processUpTo(const Volley &input, size_t upto) const
+{
+    if (upto > layers_.size())
+        throw std::out_of_range("TnnNetwork: layer index out of range");
+    Volley v = input;
+    for (size_t i = 0; i < upto; ++i)
+        v = layers_[i].process(v);
+    return v;
+}
+
+size_t
+TnnNetwork::trainLayer(size_t layer_index, std::span<const Volley> data,
+                       const StdpRule &rule, size_t epochs)
+{
+    if (layer_index >= layers_.size())
+        throw std::out_of_range("TnnNetwork: layer index out of range");
+    size_t fired = 0;
+    for (size_t e = 0; e < epochs; ++e) {
+        for (const Volley &sample : data) {
+            Volley v = processUpTo(sample, layer_index);
+            if (layers_[layer_index].trainStep(v, rule).winner)
+                ++fired;
+        }
+    }
+    return fired;
+}
+
+} // namespace st

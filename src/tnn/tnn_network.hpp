@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Multi-layer temporal neural networks (paper Sec. II.C).
+ *
+ * A TnnNetwork stacks Columns: each layer's (inhibited) output volley is
+ * the next layer's input volley — the hierarchical arrangement of
+ * Kheradpisheh et al. [28][29] and Fig. 4. Training is greedy and
+ * layer-local, as in the surveyed architectures: earlier layers are
+ * frozen while a layer trains on the volleys they produce.
+ */
+
+#ifndef ST_TNN_TNN_NETWORK_HPP
+#define ST_TNN_TNN_NETWORK_HPP
+
+#include <vector>
+
+#include "tnn/layer.hpp"
+
+namespace st {
+
+/** A feedforward stack of TNN columns. */
+class TnnNetwork
+{
+  public:
+    TnnNetwork() = default;
+
+    /**
+     * Append a layer. Its numInputs must equal the previous layer's
+     * numNeurons (or be the network input width for the first layer).
+     */
+    void addLayer(const ColumnParams &params);
+
+    /** Number of layers. */
+    size_t numLayers() const { return layers_.size(); }
+
+    /** Access a layer. */
+    Column &layer(size_t i) { return layers_.at(i); }
+    const Column &layer(size_t i) const { return layers_.at(i); }
+
+    /** Forward an input volley through every layer. */
+    Volley process(const Volley &input) const;
+
+    /** Forward through layers [0, upto) only. */
+    Volley processUpTo(const Volley &input, size_t upto) const;
+
+    /**
+     * Greedy layer training: freeze layers below @p layer_index, run
+     * @p epochs passes over @p data, one trainStep per volley.
+     *
+     * @return Number of training steps in which some neuron fired.
+     */
+    size_t trainLayer(size_t layer_index,
+                      std::span<const Volley> data,
+                      const StdpRule &rule, size_t epochs = 1);
+
+  private:
+    std::vector<Column> layers_;
+};
+
+} // namespace st
+
+#endif // ST_TNN_TNN_NETWORK_HPP

@@ -1,0 +1,87 @@
+#include "tnn/volley.hpp"
+
+#include <cmath>
+
+namespace st {
+
+Volley
+encodeValues(std::span<const std::optional<uint64_t>> values)
+{
+    Volley v;
+    v.reserve(values.size());
+    for (const auto &value : values)
+        v.push_back(value ? Time(*value) : INF);
+    Normalized norm = normalize(v);
+    return norm.values;
+}
+
+Volley
+encodeValues(std::span<const uint64_t> values)
+{
+    std::vector<std::optional<uint64_t>> opt(values.begin(), values.end());
+    return encodeValues(opt);
+}
+
+std::vector<std::optional<uint64_t>>
+decodeValues(std::span<const Time> v)
+{
+    Normalized norm = normalize(v);
+    std::vector<std::optional<uint64_t>> out;
+    out.reserve(v.size());
+    for (Time t : norm.values) {
+        if (t.isInf())
+            out.push_back(std::nullopt);
+        else
+            out.push_back(t.value());
+    }
+    return out;
+}
+
+Volley
+quantizeIntensities(std::span<const double> intensities,
+                    unsigned resolution_bits, double cutoff)
+{
+    const uint64_t levels = uint64_t{1} << resolution_bits;
+    Volley v;
+    v.reserve(intensities.size());
+    for (double x : intensities) {
+        double clamped = std::min(std::max(x, 0.0), 1.0);
+        if (clamped < cutoff) {
+            v.push_back(INF);
+            continue;
+        }
+        // Strong inputs spike early: intensity 1 -> time 0,
+        // intensity ~0 -> time levels-1.
+        auto t = static_cast<uint64_t>(
+            std::llround((1.0 - clamped) * static_cast<double>(levels - 1)));
+        v.push_back(Time(t));
+    }
+    return v;
+}
+
+CodingStats
+codingStats(std::span<const Time> volley, unsigned resolution_bits)
+{
+    CodingStats s;
+    s.lines = volley.size();
+    s.resolutionBits = resolution_bits;
+    s.messageTime = uint64_t{1} << resolution_bits;
+    for (Time t : volley) {
+        if (t.isFinite())
+            ++s.spikes;
+    }
+    s.bitsConveyed =
+        static_cast<double>(s.lines) * static_cast<double>(resolution_bits);
+    s.bitsPerSpike =
+        s.spikes ? s.bitsConveyed / static_cast<double>(s.spikes) : 0.0;
+    return s;
+}
+
+bool
+isNormalizedVolley(std::span<const Time> v)
+{
+    Time m = minOf(v);
+    return m.isInf() || m == 0_t;
+}
+
+} // namespace st

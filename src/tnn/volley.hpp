@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Spike volleys and temporal value coding (paper Sec. III.A, Fig. 5).
+ *
+ * A volley is a vector of spike times, one per line, encoding a vector of
+ * small values as times relative to the first spike; inf means no spike.
+ * With n-bit temporal resolution a volley communicates slightly under n
+ * bits per spike, but transmission time grows as 2^n — the reason the
+ * paper argues for very low resolution (3-4 bits) data. codingStats()
+ * quantifies exactly that trade-off for bench_fig05.
+ */
+
+#ifndef ST_TNN_VOLLEY_HPP
+#define ST_TNN_VOLLEY_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/algebra.hpp"
+#include "core/time.hpp"
+
+namespace st {
+
+/** A spike volley: one (possibly absent) spike time per line. */
+using Volley = std::vector<Time>;
+
+/**
+ * Encode a value vector as a normalized volley: value v becomes a spike
+ * at relative time v; nullopt becomes no spike. The result is shifted so
+ * the earliest spike is at 0 (if any value is present, the minimum is
+ * subtracted — Fig. 5's "first spike encodes the value 0").
+ */
+Volley encodeValues(std::span<const std::optional<uint64_t>> values);
+
+/** Convenience overload for dense value vectors (no missing entries). */
+Volley encodeValues(std::span<const uint64_t> values);
+
+/**
+ * Decode a volley back into values relative to its first spike
+ * (the inverse of encodeValues up to the lost absolute offset).
+ */
+std::vector<std::optional<uint64_t>> decodeValues(std::span<const Time> v);
+
+/**
+ * Quantize analog intensities in [0, 1] onto an n-bit temporal code:
+ * strong inputs spike early (the latency coding of Sec. II.C). Values
+ * strictly below @p cutoff (after clamping to [0, 1]) produce no spike
+ * (sparse coding).
+ */
+Volley quantizeIntensities(std::span<const double> intensities,
+                           unsigned resolution_bits, double cutoff = 0.0);
+
+/** Spike-coding efficiency figures for Sec. III.A's argument. */
+struct CodingStats
+{
+    size_t lines = 0;          //!< volley width
+    size_t spikes = 0;         //!< spikes actually transmitted
+    unsigned resolutionBits = 0; //!< n
+    uint64_t messageTime = 0;  //!< time units to transmit (2^n)
+    double bitsConveyed = 0;   //!< information upper bound (lines * n)
+    double bitsPerSpike = 0;   //!< bitsConveyed / spikes
+};
+
+/** Compute coding statistics for a volley at a given resolution. */
+CodingStats codingStats(std::span<const Time> volley,
+                        unsigned resolution_bits);
+
+/** True iff the volley is normalized (earliest spike at 0) or empty. */
+bool isNormalizedVolley(std::span<const Time> v);
+
+} // namespace st
+
+#endif // ST_TNN_VOLLEY_HPP

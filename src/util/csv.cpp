@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace st {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        throw std::invalid_argument("CsvWriter: empty header");
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &fields)
+{
+    if (fields.size() != header_.size())
+        throw std::invalid_argument("CsvWriter: row arity mismatch");
+    rows_.push_back(fields);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeTo(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &fields) {
+        for (size_t i = 0; i < fields.size(); ++i) {
+            if (i)
+                os << ',';
+            os << escape(fields[i]);
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::ostringstream os;
+    writeTo(os);
+    return os.str();
+}
+
+} // namespace st

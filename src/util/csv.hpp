@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal CSV writer used by benchmarks and examples to emit result series.
+ */
+
+#ifndef ST_UTIL_CSV_HPP
+#define ST_UTIL_CSV_HPP
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace st {
+
+/**
+ * Streaming CSV writer.
+ *
+ * Quotes fields containing separators or quotes per RFC 4180. Rows are
+ * buffered and flushed with writeTo(), so a writer can also be used purely
+ * in memory (e.g., in tests).
+ */
+class CsvWriter
+{
+  public:
+    /** Create a writer with the given column header. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(const std::vector<std::string> &fields);
+
+    /** Convenience overload formatting arbitrary streamable values. */
+    template <typename... Ts>
+    void
+    row(const Ts &...values)
+    {
+        std::vector<std::string> fields;
+        fields.reserve(sizeof...(values));
+        (fields.push_back(format(values)), ...);
+        addRow(fields);
+    }
+
+    /** Number of data rows currently buffered. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Serialize header + rows to a stream. */
+    void writeTo(std::ostream &os) const;
+
+    /** Serialize to a string (mainly for tests). */
+    std::string str() const;
+
+  private:
+    template <typename T>
+    static std::string
+    format(const T &value)
+    {
+        std::ostringstream os;
+        os << value;
+        return os.str();
+    }
+
+    static std::string escape(const std::string &field);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace st
+
+#endif // ST_UTIL_CSV_HPP

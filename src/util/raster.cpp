@@ -1,0 +1,93 @@
+#include "util/raster.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/algebra.hpp"
+
+namespace st {
+
+namespace {
+
+Time::rep
+horizonOf(std::span<const Time> volley, const RasterOptions &options)
+{
+    if (options.horizon > 0)
+        return options.horizon;
+    Time latest = maxFiniteOf(volley);
+    return latest.isFinite() ? latest.value() : 0;
+}
+
+void
+renderRows(std::ostringstream &os, std::span<const Time> volley,
+           Time::rep horizon, const RasterOptions &options,
+           size_t name_width)
+{
+    for (size_t i = 0; i < volley.size(); ++i) {
+        std::string name = i < options.names.size()
+                               ? options.names[i]
+                               : std::to_string(i);
+        os << "  " << name << std::string(name_width - name.size(), ' ')
+           << " |";
+        for (Time::rep t = 0; t <= horizon; ++t) {
+            bool spike = volley[i].isFinite() && volley[i].value() == t;
+            os << (spike ? options.mark : '.');
+        }
+        if (volley[i].isInf())
+            os << "  (no spike)";
+        os << '\n';
+    }
+}
+
+size_t
+nameWidth(size_t rows, const RasterOptions &options)
+{
+    size_t width = std::to_string(rows ? rows - 1 : 0).size();
+    for (const std::string &n : options.names)
+        width = std::max(width, n.size());
+    return width;
+}
+
+void
+renderAxis(std::ostringstream &os, Time::rep horizon, size_t name_width)
+{
+    os << "  " << std::string(name_width, ' ') << " +";
+    for (Time::rep t = 0; t <= horizon; ++t)
+        os << (t % 5 == 0 ? '+' : '-');
+    os << "  t ->\n";
+}
+
+} // namespace
+
+std::string
+rasterPlot(std::span<const Time> volley, const RasterOptions &options)
+{
+    std::ostringstream os;
+    Time::rep horizon = horizonOf(volley, options);
+    size_t width = nameWidth(volley.size(), options);
+    renderRows(os, volley, horizon, options, width);
+    renderAxis(os, horizon, width);
+    return os.str();
+}
+
+std::string
+rasterPlot(std::span<const std::vector<Time>> volleys,
+           const RasterOptions &options)
+{
+    std::ostringstream os;
+    Time::rep horizon = options.horizon;
+    if (horizon == 0) {
+        for (const auto &v : volleys)
+            horizon = std::max(horizon, horizonOf(v, options));
+    }
+    RasterOptions local = options;
+    local.horizon = horizon;
+    for (size_t k = 0; k < volleys.size(); ++k) {
+        if (k)
+            os << '\n';
+        os << rasterPlot(volleys[k], local);
+    }
+    return os.str();
+}
+
+} // namespace st

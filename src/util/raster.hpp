@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII raster plots of spike volleys and traces.
+ *
+ * Renders the classic neuroscience raster: one row per line, time on
+ * the horizontal axis, '|' at each spike. Used by the examples to show
+ * volleys and by debugging sessions to eyeball traces.
+ */
+
+#ifndef ST_UTIL_RASTER_HPP
+#define ST_UTIL_RASTER_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace st {
+
+/** Options for raster rendering. */
+struct RasterOptions
+{
+    /** Right edge of the plot; 0 = end at the latest spike. */
+    Time::rep horizon = 0;
+    /** Optional row names (defaults to line indices). */
+    std::vector<std::string> names;
+    /** Character marking a spike. */
+    char mark = '|';
+};
+
+/** Render one volley as a raster plot (one row per line). */
+std::string rasterPlot(std::span<const Time> volley,
+                       const RasterOptions &options = {});
+
+/**
+ * Render several volleys stacked with blank separators (e.g., the
+ * per-layer volleys of a TNN forward pass).
+ */
+std::string rasterPlot(std::span<const std::vector<Time>> volleys,
+                       const RasterOptions &options = {});
+
+} // namespace st
+
+#endif // ST_UTIL_RASTER_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Seeded pseudo-random number generation for deterministic experiments.
+ *
+ * All stochastic components in the library (dataset generators, property
+ * sweeps, STDP tie-breaking) draw from st::Rng so that every test, example
+ * and benchmark is reproducible from a single 64-bit seed.
+ */
+
+#ifndef ST_UTIL_RNG_HPP
+#define ST_UTIL_RNG_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace st {
+
+/**
+ * Deterministic random number generator.
+ *
+ * Wraps xoshiro256** (public-domain algorithm by Blackman & Vigna),
+ * reimplemented here so the library has no external dependencies and
+ * identical streams on every platform. Not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds yield equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0; unbiased via rejection. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Standard normal variate (Box-Muller). */
+    double gaussian();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(below(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Pick a uniformly random element index of a non-empty container. */
+    template <typename T>
+    size_t
+    pickIndex(const std::vector<T> &v)
+    {
+        return static_cast<size_t>(below(v.size()));
+    }
+
+    /** Derive an independent child generator (for parallel components). */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+    bool haveSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace st
+
+#endif // ST_UTIL_RNG_HPP

@@ -1,0 +1,29 @@
+#include "util/stopwatch.hpp"
+
+namespace st {
+
+Stopwatch::Stopwatch()
+{
+    reset();
+}
+
+void
+Stopwatch::reset()
+{
+    start_ = std::chrono::steady_clock::now();
+}
+
+double
+Stopwatch::seconds() const
+{
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+double
+Stopwatch::millis() const
+{
+    return seconds() * 1e3;
+}
+
+} // namespace st

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Wall-clock stopwatch for coarse timing in examples.
+ */
+
+#ifndef ST_UTIL_STOPWATCH_HPP
+#define ST_UTIL_STOPWATCH_HPP
+
+#include <chrono>
+
+namespace st {
+
+/** Simple monotonic stopwatch (started on construction). */
+class Stopwatch
+{
+  public:
+    Stopwatch();
+
+    /** Restart the clock. */
+    void reset();
+
+    /** Elapsed seconds since construction or last reset(). */
+    double seconds() const;
+
+    /** Elapsed milliseconds. */
+    double millis() const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace st
+
+#endif // ST_UTIL_STOPWATCH_HPP

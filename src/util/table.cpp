@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace st {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        throw std::invalid_argument("AsciiTable: empty header");
+}
+
+void
+AsciiTable::addRow(const std::vector<std::string> &fields)
+{
+    if (fields.size() != header_.size())
+        throw std::invalid_argument("AsciiTable: row arity mismatch");
+    rows_.push_back(fields);
+}
+
+bool
+AsciiTable::looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    if (i == s.size())
+        return false;
+    for (; i < s.size(); ++i) {
+        char c = s[i];
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != 'e' && c != 'E' && c != '-' && c != '+' && c != '%' &&
+            c != 'x') {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+AsciiTable::writeTo(std::ostream &os) const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&]() {
+        os << '+';
+        for (size_t w : width)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &fields, bool align) {
+        os << '|';
+        for (size_t c = 0; c < fields.size(); ++c) {
+            const std::string &f = fields[c];
+            size_t pad = width[c] - f.size();
+            bool right = align && looksNumeric(f);
+            os << ' ';
+            if (right)
+                os << std::string(pad, ' ') << f;
+            else
+                os << f << std::string(pad, ' ');
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    rule();
+    emit(header_, false);
+    rule();
+    for (const auto &row : rows_)
+        emit(row, true);
+    rule();
+}
+
+std::string
+AsciiTable::str() const
+{
+    std::ostringstream os;
+    writeTo(os);
+    return os.str();
+}
+
+} // namespace st

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for Address-Event Representation streams (paper Sec. II.C):
+ * event ordering, window slicing into volleys, and first-event-per-
+ * address semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tnn/aer.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Aer, PushKeepsTimeOrder)
+{
+    AerStream s(4);
+    s.push(0, 1);
+    s.push(3, 0);
+    s.push(3, 2);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.endTime(), 3u);
+    EXPECT_THROW(s.push(2, 1), std::invalid_argument); // time regression
+}
+
+TEST(Aer, RejectsBadAddress)
+{
+    AerStream s(2);
+    EXPECT_THROW(s.push(0, 2), std::out_of_range);
+    EXPECT_THROW(AerStream(0), std::invalid_argument);
+}
+
+TEST(Aer, EmptyStream)
+{
+    AerStream s(3);
+    EXPECT_EQ(s.endTime(), 0u);
+    EXPECT_TRUE(s.sliceWindows(10).empty());
+}
+
+TEST(Aer, SliceSingleWindow)
+{
+    AerStream s(3);
+    s.push(1, 0);
+    s.push(4, 2);
+    auto windows = s.sliceWindows(10);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0], V({1, kNo, 4}));
+}
+
+TEST(Aer, SliceUsesWindowRelativeTimes)
+{
+    AerStream s(2);
+    s.push(12, 0);
+    s.push(15, 1);
+    auto windows = s.sliceWindows(10);
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_EQ(windows[0], V({kNo, kNo}));
+    EXPECT_EQ(windows[1], V({2, 5}));
+}
+
+TEST(Aer, FirstEventPerAddressWins)
+{
+    // Temporal coding: only the first spike per line carries the value.
+    AerStream s(2);
+    s.push(1, 0);
+    s.push(3, 0);
+    s.push(7, 0);
+    auto windows = s.sliceWindows(10);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0], V({1, kNo}));
+}
+
+TEST(Aer, WindowBoundaryIsHalfOpen)
+{
+    AerStream s(1);
+    s.push(9, 0);
+    s.push(10, 0);
+    auto windows = s.sliceWindows(10);
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_EQ(windows[0], V({9}));
+    EXPECT_EQ(windows[1], V({0})); // t=10 lands in the second window
+}
+
+TEST(Aer, MultipleWindowsCoverWholeStream)
+{
+    AerStream s(2);
+    for (uint64_t w = 0; w < 5; ++w)
+        s.push(w * 8 + 2, static_cast<uint32_t>(w % 2));
+    auto windows = s.sliceWindows(8);
+    ASSERT_EQ(windows.size(), 5u);
+    for (size_t w = 0; w < 5; ++w) {
+        EXPECT_EQ(windows[w][w % 2], 2_t);
+        EXPECT_EQ(windows[w][1 - (w % 2)], INF);
+    }
+}
+
+TEST(Aer, RejectsZeroWindow)
+{
+    AerStream s(1);
+    s.push(0, 0);
+    EXPECT_THROW(s.sliceWindows(0), std::invalid_argument);
+}
+
+TEST(Aer, EventsAccessor)
+{
+    AerStream s(3);
+    s.push(2, 1);
+    ASSERT_EQ(s.events().size(), 1u);
+    EXPECT_EQ(s.events()[0], (AerEvent{2, 1}));
+    EXPECT_EQ(s.numAddresses(), 3u);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the s-t algebra operations (paper Sec. III.D): the bounded
+ * distributive lattice laws of S = (N0^inf, min, max, 0, inf), the lt
+ * gate's strict semantics, inc's invariance, and the volley helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Algebra, MinBasics)
+{
+    EXPECT_EQ(tmin(2_t, 5_t), 2_t);
+    EXPECT_EQ(tmin(5_t, 2_t), 2_t);
+    EXPECT_EQ(tmin(3_t, 3_t), 3_t);
+}
+
+TEST(Algebra, MinWithInf)
+{
+    EXPECT_EQ(tmin(INF, 4_t), 4_t);
+    EXPECT_EQ(tmin(4_t, INF), 4_t);
+    EXPECT_EQ(tmin(INF, INF), INF);
+}
+
+TEST(Algebra, MaxBasics)
+{
+    EXPECT_EQ(tmax(2_t, 5_t), 5_t);
+    EXPECT_EQ(tmax(5_t, 2_t), 5_t);
+    EXPECT_EQ(tmax(3_t, 3_t), 3_t);
+}
+
+TEST(Algebra, MaxWithInfAbsorbs)
+{
+    EXPECT_EQ(tmax(INF, 4_t), INF);
+    EXPECT_EQ(tmax(4_t, INF), INF);
+}
+
+TEST(Algebra, LtPassesStrictlyEarlier)
+{
+    EXPECT_EQ(tlt(2_t, 5_t), 2_t);
+    EXPECT_EQ(tlt(5_t, 2_t), INF);
+}
+
+TEST(Algebra, LtBlocksTies)
+{
+    // Ties block: this is what the GRL latch implements (Fig. 16).
+    EXPECT_EQ(tlt(3_t, 3_t), INF);
+    EXPECT_EQ(tlt(INF, INF), INF);
+}
+
+TEST(Algebra, LtWithInf)
+{
+    EXPECT_EQ(tlt(2_t, INF), 2_t); // any finite spike beats "never"
+    EXPECT_EQ(tlt(INF, 2_t), INF);
+}
+
+TEST(Algebra, IncDelays)
+{
+    EXPECT_EQ(tinc(3_t), 4_t);
+    EXPECT_EQ(tinc(3_t, 5), 8_t);
+    EXPECT_EQ(tinc(INF, 5), INF);
+    EXPECT_EQ(tinc(3_t, 0), 3_t);
+}
+
+TEST(Algebra, ZeroIsBottomInfIsTop)
+{
+    // Bounded lattice: 0 is the bottom element, inf the top.
+    for (Time x : {0_t, 1_t, 17_t, INF}) {
+        EXPECT_EQ(tmin(x, 0_t), 0_t);
+        EXPECT_EQ(tmax(x, 0_t), x);
+        EXPECT_EQ(tmin(x, INF), x);
+        EXPECT_EQ(tmax(x, INF), INF);
+    }
+}
+
+/** Lattice-law sweep over random triples (seed-parameterized). */
+class LatticeLaws : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    Time
+    draw(Rng &rng)
+    {
+        return rng.chance(0.2) ? INF : Time(rng.below(50));
+    }
+};
+
+TEST_P(LatticeLaws, CommutativeAssociativeIdempotent)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        Time a = draw(rng), b = draw(rng), c = draw(rng);
+        EXPECT_EQ(tmin(a, b), tmin(b, a));
+        EXPECT_EQ(tmax(a, b), tmax(b, a));
+        EXPECT_EQ(tmin(a, tmin(b, c)), tmin(tmin(a, b), c));
+        EXPECT_EQ(tmax(a, tmax(b, c)), tmax(tmax(a, b), c));
+        EXPECT_EQ(tmin(a, a), a);
+        EXPECT_EQ(tmax(a, a), a);
+    }
+}
+
+TEST_P(LatticeLaws, AbsorptionLaws)
+{
+    Rng rng(GetParam() ^ 0xabcd);
+    for (int i = 0; i < 200; ++i) {
+        Time a = draw(rng), b = draw(rng);
+        EXPECT_EQ(tmin(a, tmax(a, b)), a);
+        EXPECT_EQ(tmax(a, tmin(a, b)), a);
+    }
+}
+
+TEST_P(LatticeLaws, Distributivity)
+{
+    Rng rng(GetParam() ^ 0x1234);
+    for (int i = 0; i < 200; ++i) {
+        Time a = draw(rng), b = draw(rng), c = draw(rng);
+        EXPECT_EQ(tmin(a, tmax(b, c)), tmax(tmin(a, b), tmin(a, c)));
+        EXPECT_EQ(tmax(a, tmin(b, c)), tmin(tmax(a, b), tmax(a, c)));
+    }
+}
+
+TEST_P(LatticeLaws, ClosedUnderAdditionAndShiftDistribution)
+{
+    // S is closed under addition, and shifting distributes over the
+    // lattice operations — the root of the invariance property.
+    Rng rng(GetParam() ^ 0x9999);
+    for (int i = 0; i < 200; ++i) {
+        Time a = draw(rng), b = draw(rng);
+        Time::rep c = rng.below(10);
+        EXPECT_EQ(tmin(a, b) + c, tmin(a + c, b + c));
+        EXPECT_EQ(tmax(a, b) + c, tmax(a + c, b + c));
+        EXPECT_EQ(tlt(a, b) + c, tlt(a + c, b + c));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeLaws,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Algebra, MinOfSpan)
+{
+    EXPECT_EQ(minOf(V({5, 2, 9})), 2_t);
+    EXPECT_EQ(minOf(V({kNo, 7, kNo})), 7_t);
+    EXPECT_EQ(minOf(V({kNo, kNo})), INF);
+    EXPECT_EQ(minOf(V({})), INF);
+}
+
+TEST(Algebra, MaxOfSpan)
+{
+    EXPECT_EQ(maxOf(V({5, 2, 9})), 9_t);
+    EXPECT_EQ(maxOf(V({kNo, 7})), INF); // join absorbs inf
+    EXPECT_EQ(maxOf(V({})), 0_t);       // join of nothing = bottom
+}
+
+TEST(Algebra, MaxFiniteOfSpan)
+{
+    EXPECT_EQ(maxFiniteOf(V({5, 2, 9})), 9_t);
+    EXPECT_EQ(maxFiniteOf(V({kNo, 7})), 7_t);
+    EXPECT_EQ(maxFiniteOf(V({kNo, kNo})), INF);
+}
+
+TEST(Algebra, ShiftedMovesFiniteSpikesOnly)
+{
+    auto s = shifted(V({0, 3, kNo}), 2);
+    EXPECT_EQ(s, V({2, 5, kNo}));
+}
+
+TEST(Algebra, NormalizeSubtractsFirstSpike)
+{
+    auto [values, shift] = normalize(V({3, 4, kNo, 5}));
+    EXPECT_EQ(shift, 3_t);
+    EXPECT_EQ(values, V({0, 1, kNo, 2}));
+}
+
+TEST(Algebra, NormalizeAllInfIsIdentity)
+{
+    auto [values, shift] = normalize(V({kNo, kNo}));
+    EXPECT_EQ(shift, INF);
+    EXPECT_EQ(values, V({kNo, kNo}));
+}
+
+TEST(Algebra, NormalizeAlreadyNormalized)
+{
+    auto [values, shift] = normalize(V({0, 3, kNo, 1}));
+    EXPECT_EQ(shift, 0_t);
+    EXPECT_EQ(values, V({0, 3, kNo, 1})); // the paper's Fig. 5 volley
+}
+
+} // namespace
+} // namespace st

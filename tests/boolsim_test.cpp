@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the binary-baseline Boolean simulator (paper Sec. V.C's
+ * "indirect implementation"): gate evaluation, the ripple min and adder
+ * datapaths, and switching-activity accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grl/boolsim.hpp"
+#include "util/rng.hpp"
+
+namespace st::grl {
+namespace {
+
+TEST(BoolCircuit, GateEvaluation)
+{
+    BoolCircuit c(2);
+    c.markOutput(c.notGate(c.input(0)));
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    c.markOutput(c.orGate(c.input(0), c.input(1)));
+    c.markOutput(c.xorGate(c.input(0), c.input(1)));
+    c.markOutput(c.constGate(true));
+    c.markOutput(c.constGate(false));
+
+    std::vector<uint8_t> in{1, 0};
+    auto out = c.evaluate(in);
+    EXPECT_EQ(out, (std::vector<uint8_t>{0, 0, 1, 1, 1, 0}));
+}
+
+TEST(BoolCircuit, ValidatesOperandsAndArity)
+{
+    BoolCircuit c(1);
+    EXPECT_THROW(c.notGate(9), std::out_of_range);
+    EXPECT_THROW(c.andGate(0, 9), std::out_of_range);
+    EXPECT_THROW(c.markOutput(9), std::out_of_range);
+    EXPECT_THROW(c.input(1), std::out_of_range);
+    std::vector<uint8_t> wrong{1, 0};
+    EXPECT_THROW(c.evaluate(wrong), std::invalid_argument);
+}
+
+TEST(BoolBits, PackUnpackRoundTrip)
+{
+    for (uint64_t v : {0ULL, 1ULL, 5ULL, 255ULL, 1000ULL}) {
+        auto bits = toBits(v, 12);
+        EXPECT_EQ(fromBits(bits), v);
+    }
+    EXPECT_EQ(toBits(5, 4), (std::vector<uint8_t>{1, 0, 1, 0}));
+}
+
+TEST(BinaryMin, ComputesMinExhaustively4Bit)
+{
+    BoolCircuit c = buildBinaryMin(4);
+    for (uint64_t a = 0; a < 16; ++a) {
+        for (uint64_t b = 0; b < 16; ++b) {
+            auto bits = toBits(a, 4);
+            auto bbits = toBits(b, 4);
+            bits.insert(bits.end(), bbits.begin(), bbits.end());
+            EXPECT_EQ(fromBits(c.evaluate(bits)), std::min(a, b))
+                << a << " vs " << b;
+        }
+    }
+}
+
+TEST(BinaryMin, WiderWidths)
+{
+    BoolCircuit c = buildBinaryMin(8);
+    Rng rng(1);
+    for (int s = 0; s < 200; ++s) {
+        uint64_t a = rng.below(256), b = rng.below(256);
+        auto bits = toBits(a, 8);
+        auto bbits = toBits(b, 8);
+        bits.insert(bits.end(), bbits.begin(), bbits.end());
+        EXPECT_EQ(fromBits(c.evaluate(bits)), std::min(a, b));
+    }
+}
+
+TEST(BinaryAdder, ComputesSumsExhaustively4Bit)
+{
+    BoolCircuit c = buildBinaryAdder(4);
+    for (uint64_t a = 0; a < 16; ++a) {
+        for (uint64_t b = 0; b < 16; ++b) {
+            auto bits = toBits(a, 4);
+            auto bbits = toBits(b, 4);
+            bits.insert(bits.end(), bbits.begin(), bbits.end());
+            // 5 output bits: 4 sum + carry.
+            EXPECT_EQ(fromBits(c.evaluate(bits)), a + b);
+        }
+    }
+}
+
+TEST(BoolActivity, CountsTogglesBetweenVectors)
+{
+    BoolCircuit c(1);
+    c.markOutput(c.notGate(c.input(0)));
+    BoolActivity act(c);
+    std::vector<uint8_t> zero{0}, one{1};
+    act.apply(zero); // first vector: no toggles counted
+    EXPECT_EQ(act.gateToggles(), 0u);
+    act.apply(one);
+    EXPECT_EQ(act.gateToggles(), 1u);
+    EXPECT_EQ(act.inputToggles(), 1u);
+    act.apply(one); // no change, no toggles
+    EXPECT_EQ(act.gateToggles(), 1u);
+    EXPECT_EQ(act.evaluations(), 3u);
+}
+
+TEST(BoolActivity, ReturnsOutputs)
+{
+    BoolCircuit c = buildBinaryAdder(3);
+    BoolActivity act(c);
+    auto bits = toBits(3, 3);
+    auto bbits = toBits(2, 3);
+    bits.insert(bits.end(), bbits.begin(), bbits.end());
+    EXPECT_EQ(fromBits(act.apply(bits)), 5u);
+}
+
+TEST(BoolActivity, BinaryDatapathSwitchesMoreThanOncePerValue)
+{
+    // The contrast with GRL: streaming random values through a binary
+    // min datapath toggles many internal nodes per computation, while a
+    // GRL line switches at most once.
+    BoolCircuit c = buildBinaryMin(8);
+    BoolActivity act(c);
+    Rng rng(7);
+    const int steps = 200;
+    for (int s = 0; s < steps; ++s) {
+        auto bits = toBits(rng.below(256), 8);
+        auto bbits = toBits(rng.below(256), 8);
+        bits.insert(bits.end(), bbits.begin(), bbits.end());
+        act.apply(bits);
+    }
+    double toggles_per_eval =
+        static_cast<double>(act.gateToggles()) / (steps - 1);
+    EXPECT_GT(toggles_per_eval, 8.0); // well above one-per-output-line
+}
+
+} // namespace
+} // namespace st::grl

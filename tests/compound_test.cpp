@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for compound synapses / RBF detectors (Hopfield's multipath
+ * delay coding, paper Sec. II.C): alignment delays, exact and tolerant
+ * matching, radius behaviour, shift invariance, and the network form's
+ * equivalence to the reference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "neuron/compound.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Compound, AlignmentDelaysComplementThePattern)
+{
+    auto d = alignmentDelays(V({0, 3, 1, kNo}));
+    EXPECT_EQ(d, (std::vector<Time::rep>{3, 0, 2, 0}));
+    EXPECT_THROW(alignmentDelays(V({kNo, kNo})), std::invalid_argument);
+}
+
+TEST(Compound, DetectorFiresOnStoredPattern)
+{
+    auto pattern = V({0, 3, 1, 2});
+    Srm0Neuron model = rbfDetectorModel(pattern, {.width = 0});
+    Time fired = model.fire(pattern);
+    ASSERT_TRUE(fired.isFinite());
+    // Coincidence happens when the latest (delayed) spike arrives.
+    EXPECT_EQ(fired, 3_t);
+}
+
+TEST(Compound, DetectorIsShiftInvariant)
+{
+    auto pattern = V({0, 3, 1, 2});
+    Srm0Neuron model = rbfDetectorModel(pattern, {.width = 0});
+    auto moved = shifted(pattern, 5);
+    EXPECT_EQ(model.fire(moved), 8_t);
+}
+
+TEST(Compound, ExactDetectorRejectsPerturbations)
+{
+    auto pattern = V({0, 3, 1, 2});
+    Srm0Neuron model = rbfDetectorModel(pattern, {.width = 0});
+    // Move one spike by one unit: alignment broken, no spike.
+    EXPECT_EQ(model.fire(V({0, 3, 2, 2})), INF);
+    EXPECT_EQ(model.fire(V({1, 3, 1, 2})), INF);
+}
+
+TEST(Compound, WidthSetsTheAcceptanceRadius)
+{
+    auto pattern = V({0, 3, 1, 2});
+    Srm0Neuron tolerant = rbfDetectorModel(pattern, {.width = 1});
+    // One-unit perturbations are inside the radius...
+    EXPECT_TRUE(tolerant.fire(V({0, 3, 2, 2})).isFinite());
+    EXPECT_TRUE(tolerant.fire(V({1, 3, 1, 2})).isFinite());
+    // ...two-unit perturbations are not.
+    EXPECT_EQ(tolerant.fire(V({2, 3, 1, 4})), INF);
+}
+
+TEST(Compound, RequiredLinesRelaxesMissingSpikes)
+{
+    auto pattern = V({0, 3, 1, 2});
+    // Demand only 3 of 4 coincidences: one dropped spike is tolerated.
+    Srm0Neuron partial =
+        rbfDetectorModel(pattern, {.width = 0, .required = 3});
+    EXPECT_TRUE(partial.fire(V({0, kNo, 1, 2})).isFinite());
+    // But two dropped spikes are not.
+    EXPECT_EQ(partial.fire(V({0, kNo, kNo, 2})), INF);
+}
+
+TEST(Compound, RequiredCannotExceedPatternLines)
+{
+    auto pattern = V({0, 1});
+    EXPECT_THROW(rbfDetectorModel(pattern, {.width = 0, .required = 3}),
+                 std::invalid_argument);
+}
+
+TEST(Compound, SilentPatternLinesAreIgnored)
+{
+    auto pattern = V({0, kNo, 2});
+    Srm0Neuron model = rbfDetectorModel(pattern, {.width = 0});
+    // A spike on the silent line neither helps nor blocks.
+    EXPECT_TRUE(model.fire(V({0, kNo, 2})).isFinite());
+    EXPECT_TRUE(model.fire(V({0, 7, 2})).isFinite());
+}
+
+TEST(Compound, NetworkFormMatchesModel)
+{
+    auto pattern = V({0, 3, 1, 2});
+    for (Time::rep width : {0, 1, 2}) {
+        RbfParams params{.width = width, .required = 0};
+        Srm0Neuron model = rbfDetectorModel(pattern, params);
+        Network net = buildRbfDetector(pattern, params);
+        Rng rng(width + 1);
+        for (int s = 0; s < 300; ++s) {
+            auto x = testing::randomVolley(rng, 4, 8, 0.15);
+            EXPECT_EQ(net.evaluate(x)[0], model.fire(x))
+                << "width " << width << " at " << volleyStr(x);
+        }
+    }
+}
+
+TEST(Compound, NetworkFormIsCausalAndInvariant)
+{
+    auto pattern = V({0, 2, 1});
+    Network net = buildRbfDetector(pattern, {.width = 1});
+    StFn fn = fnOf(net);
+    EXPECT_TRUE(checkCausality(3, 5, fn).holds);
+    EXPECT_TRUE(checkInvariance(3, 5, fn).holds);
+}
+
+TEST(Compound, DetectorSeparatesStoredFromOtherPatterns)
+{
+    // A small codebook of patterns; each detector fires on its own
+    // pattern and stays quiet on the others.
+    std::vector<std::vector<Time>> codebook{
+        V({0, 4, 2, 6}), V({6, 0, 4, 2}), V({2, 6, 0, 4})};
+    for (size_t d = 0; d < codebook.size(); ++d) {
+        Srm0Neuron det = rbfDetectorModel(codebook[d], {.width = 1});
+        for (size_t p = 0; p < codebook.size(); ++p) {
+            Time fired = det.fire(codebook[p]);
+            if (p == d) {
+                EXPECT_TRUE(fired.isFinite()) << d << " on " << p;
+            } else {
+                EXPECT_EQ(fired, INF) << d << " on " << p;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace st

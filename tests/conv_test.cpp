@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for convolutional TNN layers with temporal pooling
+ * (Kheradpisheh-style hierarchy, paper Sec. II.C): window slicing,
+ * spatial weight sharing, pooling semantics, shared-weight training,
+ * and the headline behaviour — translation-invariant motif detection
+ * that a position-bound detector cannot deliver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tnn/conv.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/metrics.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+Conv1dParams
+smallConv()
+{
+    Conv1dParams p;
+    p.inputWidth = 10;
+    p.kernelSize = 4;
+    p.stride = 1;
+    p.numFeatures = 3;
+    p.threshold = 4;
+    p.maxWeight = 7;
+    p.seed = 77;
+    return p;
+}
+
+TEST(Conv1d, RejectsBadConfig)
+{
+    Conv1dParams p = smallConv();
+    p.kernelSize = 0;
+    EXPECT_THROW(Conv1dLayer{p}, std::invalid_argument);
+    p = smallConv();
+    p.kernelSize = 20; // wider than the input
+    EXPECT_THROW(Conv1dLayer{p}, std::invalid_argument);
+    p = smallConv();
+    p.stride = 0;
+    EXPECT_THROW(Conv1dLayer{p}, std::invalid_argument);
+}
+
+TEST(Conv1d, PositionCount)
+{
+    Conv1dParams p = smallConv();
+    EXPECT_EQ(Conv1dLayer(p).numPositions(), 7u); // (10-4)/1+1
+    p.stride = 2;
+    EXPECT_EQ(Conv1dLayer(p).numPositions(), 4u); // (10-4)/2+1
+    p.kernelSize = 10;
+    p.stride = 1;
+    EXPECT_EQ(Conv1dLayer(p).numPositions(), 1u);
+}
+
+TEST(Conv1d, WindowSlices)
+{
+    Conv1dLayer conv(smallConv());
+    auto in = V({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+    EXPECT_EQ(conv.window(in, 0), V({0, 1, 2, 3}));
+    EXPECT_EQ(conv.window(in, 6), V({6, 7, 8, 9}));
+    EXPECT_THROW(conv.window(in, 7), std::out_of_range);
+    EXPECT_THROW(conv.window(V({0, 1}), 0), std::invalid_argument);
+}
+
+TEST(Conv1d, FeatureMapUsesSharedWeights)
+{
+    Conv1dLayer conv(smallConv());
+    // Feature 0 tuned to spikes on the first two kernel lines.
+    conv.setWeights(0, {1.0, 1.0, 0.0, 0.0});
+    // A motif placed at offset 3 must trigger feature 0 at position 3.
+    Volley in(10, INF);
+    in[3] = 0_t;
+    in[4] = 0_t;
+    Volley map = conv.featureMap(in);
+    size_t pos = conv.numPositions();
+    EXPECT_EQ(map[0 * pos + 3], 0_t);
+    EXPECT_EQ(map[0 * pos + 0], INF); // empty window
+    // Offset the same motif: the response moves with it.
+    Volley in2(10, INF);
+    in2[5] = 0_t;
+    in2[6] = 0_t;
+    Volley map2 = conv.featureMap(in2);
+    EXPECT_EQ(map2[0 * pos + 5], 0_t);
+    EXPECT_EQ(map2[0 * pos + 3], INF);
+}
+
+TEST(Conv1d, PooledTakesEarliestAcrossPositions)
+{
+    Conv1dLayer conv(smallConv());
+    conv.setWeights(0, {1.0, 1.0, 0.0, 0.0});
+    conv.setWeights(1, {0.0, 0.0, 0.0, 0.0});
+    conv.setWeights(2, {1.0, 1.0, 1.0, 1.0});
+    Volley in(10, INF);
+    in[2] = 1_t;
+    in[3] = 1_t;
+    Volley pooled = conv.pooled(in);
+    ASSERT_EQ(pooled.size(), 3u);
+    EXPECT_EQ(pooled[0], 1_t); // fires at the motif position
+    EXPECT_EQ(pooled[1], INF); // zero weights never fire
+}
+
+TEST(Conv1d, TrainStepUpdatesOnlyWinningFeature)
+{
+    Conv1dLayer conv(smallConv());
+    // Discrete weight 3 per line: a single spike (potential 3) stays
+    // under theta = 4; two coincident spikes cross it.
+    conv.setWeights(0, {0.45, 0.45, 0.45, 0.45});
+    conv.setWeights(1, {0.1, 0.1, 0.1, 0.1});
+    conv.setWeights(2, {0.1, 0.1, 0.1, 0.1});
+    auto w1 = conv.weights(1);
+    auto w2 = conv.weights(2);
+    SimplifiedStdp rule(0.05, 0.04);
+    Volley in(10, INF);
+    in[4] = 0_t;
+    in[5] = 0_t;
+    auto result = conv.trainStep(in, rule);
+    ASSERT_TRUE(result.feature.has_value());
+    EXPECT_EQ(*result.feature, 0u);
+    // Windows containing both spikes are p = 2..4; ties resolve to the
+    // first in scan order.
+    EXPECT_EQ(result.position, 2u);
+    EXPECT_EQ(conv.weights(1), w1);
+    EXPECT_EQ(conv.weights(2), w2);
+    EXPECT_EQ(conv.winCount(0), 1u);
+}
+
+TEST(Conv1d, TrainStepNoSpikesNoUpdate)
+{
+    Conv1dLayer conv(smallConv());
+    SimplifiedStdp rule(0.05, 0.04);
+    Volley quiet(10, INF);
+    auto result = conv.trainStep(quiet, rule);
+    EXPECT_FALSE(result.feature.has_value());
+}
+
+TEST(ShiftedPatterns, PlacementRespectsBounds)
+{
+    ShiftedPatternParams p;
+    p.seed = 3;
+    ShiftedPatternDataset data(p);
+    EXPECT_EQ(data.maxOffset(), p.inputWidth - p.motifWidth);
+    for (int s = 0; s < 50; ++s) {
+        PlacedVolley v = data.sample();
+        EXPECT_LE(v.offset, data.maxOffset());
+        EXPECT_LT(v.label, p.numClasses);
+        EXPECT_EQ(v.volley.size(), p.inputWidth);
+        // All spikes live inside the motif's placement (no noise).
+        for (size_t i = 0; i < v.volley.size(); ++i) {
+            if (v.volley[i].isFinite()) {
+                EXPECT_GE(i, v.offset);
+                EXPECT_LT(i, v.offset + p.motifWidth);
+            }
+        }
+    }
+    EXPECT_THROW(data.sample(99, 0), std::out_of_range);
+    EXPECT_THROW(data.sample(0, 99), std::out_of_range);
+}
+
+TEST(ShiftedPatterns, ZeroJitterReproducesMotif)
+{
+    ShiftedPatternParams p;
+    p.jitter = 0.0;
+    p.dropProb = 0.0;
+    ShiftedPatternDataset data(p);
+    PlacedVolley v = data.sample(1, 4);
+    const Volley &motif = data.motifs()[1];
+    for (size_t i = 0; i < motif.size(); ++i)
+        EXPECT_EQ(v.volley[4 + i], motif[i]);
+}
+
+TEST(ShiftedPatterns, NoiseAddsBackgroundSpikes)
+{
+    ShiftedPatternParams p;
+    p.noiseProb = 0.5;
+    p.seed = 5;
+    ShiftedPatternDataset data(p);
+    size_t outside = 0;
+    for (int s = 0; s < 20; ++s) {
+        PlacedVolley v = data.sample();
+        for (size_t i = 0; i < v.volley.size(); ++i) {
+            bool in_motif =
+                i >= v.offset && i < v.offset + p.motifWidth;
+            outside += !in_motif && v.volley[i].isFinite();
+        }
+    }
+    EXPECT_GT(outside, 20u);
+}
+
+/**
+ * The headline experiment: motifs at random positions. The conv layer
+ * with pooling classifies them position-invariantly.
+ */
+TEST(ConvTraining, LearnsTranslationInvariantMotifs)
+{
+    ShiftedPatternParams dp;
+    dp.numClasses = 3;
+    dp.motifWidth = 6;
+    dp.inputWidth = 24;
+    dp.timeSpan = 7;
+    dp.jitter = 0.3;
+    // This seed draws motifs with distinct onset signatures. First-
+    // spike codes discriminate by *onsets*; motif sets whose early
+    // spikes collide under translation are inherently confusable for
+    // any first-spike detector (see EXPERIMENTS.md E3d).
+    dp.seed = 12;
+    ShiftedPatternDataset data(dp);
+
+    Conv1dParams cp;
+    cp.inputWidth = dp.inputWidth;
+    cp.kernelSize = dp.motifWidth;
+    cp.stride = 1;
+    cp.numFeatures = 6;
+    cp.threshold = 10;
+    cp.fatigue = 8;
+    cp.seed = 12;
+    Conv1dLayer conv(cp);
+    SimplifiedStdp rule(0.12, 0.09);
+
+    for (int s = 0; s < 1500; ++s) {
+        PlacedVolley v = data.sample();
+        conv.trainStep(v.volley, rule);
+    }
+
+    // Classify by the earliest pooled feature.
+    ConfusionMatrix m(cp.numFeatures, dp.numClasses);
+    for (int s = 0; s < 300; ++s) {
+        PlacedVolley v = data.sample();
+        Volley pooled = conv.pooled(v.volley);
+        std::optional<size_t> winner;
+        Time best = INF;
+        for (size_t f = 0; f < pooled.size(); ++f) {
+            if (pooled[f] < best) {
+                best = pooled[f];
+                winner = f;
+            }
+        }
+        m.add(winner, v.label);
+    }
+    EXPECT_GT(m.coverage(), 0.9);
+    EXPECT_GT(m.purity(), 0.85) << m.str();
+    EXPECT_GE(m.distinctLabelsCovered(), 3u) << m.str();
+}
+
+TEST(ConvTraining, SharedFeatureFiresAtEveryOffset)
+{
+    // After training, the winning feature for a class must respond to
+    // that class's motif wherever it is placed.
+    ShiftedPatternParams dp;
+    dp.numClasses = 1;
+    dp.motifWidth = 5;
+    dp.inputWidth = 20;
+    dp.jitter = 0.0;
+    dp.dropProb = 0.0;
+    dp.seed = 21;
+    ShiftedPatternDataset data(dp);
+
+    Conv1dParams cp;
+    cp.inputWidth = 20;
+    cp.kernelSize = 5;
+    cp.numFeatures = 2;
+    cp.threshold = 8;
+    cp.seed = 22;
+    Conv1dLayer conv(cp);
+    SimplifiedStdp rule(0.08, 0.05);
+    for (int s = 0; s < 300; ++s)
+        conv.trainStep(data.sample().volley, rule);
+
+    size_t responsive_offsets = 0;
+    for (size_t offset = 0; offset <= data.maxOffset(); ++offset) {
+        Volley pooled = conv.pooled(data.sample(0, offset).volley);
+        responsive_offsets += minOf(pooled).isFinite();
+    }
+    EXPECT_EQ(responsive_offsets, data.maxOffset() + 1);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators (DESIGN.md Sec. 5
+ * substitutions): jittered temporal prototypes and the freeway AER
+ * scene standing in for Bichler et al.'s DVS recordings (Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/volley.hpp"
+
+namespace st {
+namespace {
+
+TEST(PatternDataset, PrototypesAreNormalizedAndNonEmpty)
+{
+    PatternSetParams p;
+    p.numClasses = 5;
+    p.numLines = 12;
+    PatternDataset data(p);
+    ASSERT_EQ(data.prototypes().size(), 5u);
+    for (const Volley &proto : data.prototypes()) {
+        EXPECT_EQ(proto.size(), 12u);
+        EXPECT_TRUE(isNormalizedVolley(proto));
+        EXPECT_TRUE(minOf(proto).isFinite());
+    }
+}
+
+TEST(PatternDataset, SamplesCarryRequestedLabel)
+{
+    PatternDataset data(PatternSetParams{});
+    for (size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(data.sample(c).label, c);
+    EXPECT_THROW(data.sample(99), std::out_of_range);
+}
+
+TEST(PatternDataset, ZeroJitterReproducesPrototype)
+{
+    PatternSetParams p;
+    p.jitter = 0.0;
+    p.dropProb = 0.0;
+    PatternDataset data(p);
+    for (size_t c = 0; c < p.numClasses; ++c)
+        EXPECT_EQ(data.sample(c).volley, data.prototypes()[c]);
+}
+
+TEST(PatternDataset, JitterPerturbsButPreservesShape)
+{
+    PatternSetParams p;
+    p.jitter = 0.5;
+    p.dropProb = 0.0;
+    p.seed = 11;
+    PatternDataset data(p);
+    const Volley &proto = data.prototypes()[0];
+    auto sample = data.sample(0);
+    ASSERT_EQ(sample.volley.size(), proto.size());
+    // Silent prototype lines stay silent under pure jitter.
+    for (size_t i = 0; i < proto.size(); ++i) {
+        if (proto[i].isInf()) {
+            EXPECT_EQ(sample.volley[i], INF);
+        }
+    }
+}
+
+TEST(PatternDataset, DropProbabilityDeletesSpikes)
+{
+    PatternSetParams p;
+    p.jitter = 0.0;
+    p.dropProb = 1.0;
+    PatternDataset data(p);
+    auto s = data.sample(0);
+    for (Time t : s.volley)
+        EXPECT_EQ(t, INF);
+}
+
+TEST(PatternDataset, SampleManyMixesLabels)
+{
+    PatternSetParams p;
+    p.numClasses = 3;
+    PatternDataset data(p);
+    auto samples = data.sampleMany(300);
+    EXPECT_EQ(samples.size(), 300u);
+    std::vector<size_t> counts(3, 0);
+    for (const auto &s : samples)
+        ++counts.at(s.label);
+    for (size_t c = 0; c < 3; ++c)
+        EXPECT_GT(counts[c], 50u);
+}
+
+TEST(PatternDataset, DeterministicAcrossInstances)
+{
+    PatternSetParams p;
+    p.seed = 77;
+    PatternDataset a(p), b(p);
+    EXPECT_EQ(a.prototypes(), b.prototypes());
+    EXPECT_EQ(a.sample(1).volley, b.sample(1).volley);
+}
+
+TEST(Freeway, GeneratesOneWindowPerPass)
+{
+    FreewayParams p;
+    p.seed = 3;
+    FreewayGenerator gen(p);
+    auto samples = gen.generate(40);
+    EXPECT_EQ(samples.size(), 40u);
+    for (const auto &s : samples) {
+        EXPECT_LT(s.label, p.lanes);
+        EXPECT_EQ(s.volley.size(), gen.numAddresses());
+    }
+}
+
+TEST(Freeway, EventsLandOnTheLabeledLane)
+{
+    FreewayParams p;
+    p.missProb = 0.0;
+    p.jitter = 0.0;
+    FreewayGenerator gen(p);
+    auto samples = gen.generate(25);
+    for (const auto &s : samples) {
+        for (size_t lane = 0; lane < p.lanes; ++lane) {
+            for (size_t pos = 0; pos < p.sensorsPerLane; ++pos) {
+                Time t = s.volley[lane * p.sensorsPerLane + pos];
+                if (lane == s.label) {
+                    EXPECT_TRUE(t.isFinite());
+                } else {
+                    EXPECT_EQ(t, INF);
+                }
+            }
+        }
+    }
+}
+
+TEST(Freeway, LaneSpeedSetsSensorSpacing)
+{
+    FreewayParams p;
+    p.missProb = 0.0;
+    p.jitter = 0.0;
+    p.sensorSpacing = {2, 3, 4};
+    FreewayGenerator gen(p);
+    auto samples = gen.generate(30);
+    for (const auto &s : samples) {
+        size_t base = s.label * p.sensorsPerLane;
+        uint64_t spacing = p.sensorSpacing[s.label];
+        Time first = s.volley[base];
+        ASSERT_TRUE(first.isFinite());
+        for (size_t pos = 1; pos < p.sensorsPerLane; ++pos) {
+            EXPECT_EQ(s.volley[base + pos],
+                      Time(first.value() + pos * spacing));
+        }
+    }
+}
+
+TEST(Freeway, StreamFormIsSliceable)
+{
+    FreewayParams p;
+    p.seed = 8;
+    FreewayGenerator gen(p);
+    std::vector<size_t> labels;
+    AerStream stream = gen.generateStream(10, labels);
+    EXPECT_EQ(labels.size(), 10u);
+    EXPECT_EQ(stream.numAddresses(), gen.numAddresses());
+    auto windows = stream.sliceWindows(gen.windowSize());
+    EXPECT_LE(windows.size(), 10u);
+    EXPECT_GE(windows.size(), 9u);
+}
+
+TEST(Freeway, RejectsBadConfig)
+{
+    FreewayParams p;
+    p.lanes = 0;
+    EXPECT_THROW(FreewayGenerator{p}, std::invalid_argument);
+    p = FreewayParams{};
+    p.sensorSpacing.clear();
+    EXPECT_THROW(FreewayGenerator{p}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace st

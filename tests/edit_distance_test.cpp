@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for race-logic edit distance (Madhavan et al.'s original
+ * application): the DP baseline, the lattice network, their agreement
+ * on random strings, and the GRL-compiled form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "grl/compile.hpp"
+#include "grl/logic_sim.hpp"
+#include "racelogic/edit_distance.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace st::racelogic {
+namespace {
+
+using testing::V;
+
+TEST(EditDp, ClassicCases)
+{
+    EXPECT_EQ(editDistanceDp("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistanceDp("flaw", "lawn"), 2u);
+    EXPECT_EQ(editDistanceDp("", ""), 0u);
+    EXPECT_EQ(editDistanceDp("abc", ""), 3u);
+    EXPECT_EQ(editDistanceDp("", "abcd"), 4u);
+    EXPECT_EQ(editDistanceDp("same", "same"), 0u);
+}
+
+TEST(EditDp, CustomCosts)
+{
+    EditCosts costs;
+    costs.substitute = 3;
+    costs.insert = 1;
+    costs.erase = 1;
+    // Substitution too expensive: delete + insert (cost 2) wins.
+    EXPECT_EQ(editDistanceDp("a", "b", costs), 2u);
+    costs.substitute = 1;
+    EXPECT_EQ(editDistanceDp("a", "b", costs), 1u);
+}
+
+TEST(EditDp, NonzeroMatchCost)
+{
+    EditCosts costs;
+    costs.match = 2;
+    costs.substitute = 3;
+    EXPECT_EQ(editDistanceDp("ab", "ab", costs), 4u);
+}
+
+TEST(EditNetwork, MatchesDpOnClassicCases)
+{
+    for (auto [a, b] : std::vector<std::pair<std::string, std::string>>{
+             {"kitten", "sitting"},
+             {"flaw", "lawn"},
+             {"", "abc"},
+             {"abc", ""},
+             {"same", "same"},
+             {"gattaca", "tacgacg"}}) {
+        Network net = buildEditDistanceNetwork(a, b);
+        EXPECT_EQ(net.evaluate(V({0}))[0], Time(editDistanceDp(a, b)))
+            << a << " vs " << b;
+    }
+}
+
+TEST(EditNetwork, StartSpikeShiftInvariance)
+{
+    Network net = buildEditDistanceNetwork("race", "logic");
+    uint64_t d = editDistanceDp("race", "logic");
+    EXPECT_EQ(net.evaluate(V({5}))[0], Time(d + 5));
+}
+
+TEST(EditNetwork, RandomDnaStringsMatchDp)
+{
+    // The Madhavan use case: DNA fragments.
+    Rng rng(999);
+    const std::string alphabet = "ACGT";
+    for (int t = 0; t < 20; ++t) {
+        std::string a, b;
+        size_t la = 1 + rng.below(8), lb = 1 + rng.below(8);
+        for (size_t i = 0; i < la; ++i)
+            a += alphabet[rng.below(4)];
+        for (size_t i = 0; i < lb; ++i)
+            b += alphabet[rng.below(4)];
+        Network net = buildEditDistanceNetwork(a, b);
+        EXPECT_EQ(net.evaluate(V({0}))[0], Time(editDistanceDp(a, b)))
+            << a << " vs " << b;
+    }
+}
+
+TEST(EditNetwork, CustomCostsAgreeWithDp)
+{
+    EditCosts costs;
+    costs.match = 0;
+    costs.substitute = 2;
+    costs.insert = 3;
+    costs.erase = 1;
+    Rng rng(1000);
+    for (int t = 0; t < 10; ++t) {
+        std::string a, b;
+        for (size_t i = 0; i < 5; ++i) {
+            a += static_cast<char>('a' + rng.below(3));
+            b += static_cast<char>('a' + rng.below(3));
+        }
+        Network net = buildEditDistanceNetwork(a, b, costs);
+        EXPECT_EQ(net.evaluate(V({0}))[0],
+                  Time(editDistanceDp(a, b, costs)));
+    }
+}
+
+TEST(EditNetwork, CompilesToGrlAndAgrees)
+{
+    Network net = buildEditDistanceNetwork("CAT", "CUT");
+    auto compiled = grl::compileToGrl(net);
+    grl::SimResult sim = grl::simulate(compiled.circuit, V({0}));
+    EXPECT_EQ(sim.outputs[0], Time(editDistanceDp("CAT", "CUT")));
+}
+
+TEST(EditNetwork, LatticeSizeScalesWithProduct)
+{
+    Network small = buildEditDistanceNetwork("ab", "cd");
+    Network large = buildEditDistanceNetwork("abcdefgh", "ijklmnop");
+    EXPECT_GT(large.size(), small.size());
+    EXPECT_GT(large.countOf(Op::Min), 60u); // ~one per inner cell
+}
+
+} // namespace
+} // namespace st::racelogic

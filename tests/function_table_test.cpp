@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for normalized function tables (paper Sec. III.F, Fig. 7):
+ * normal-form enforcement, the normalize/lookup/shift evaluation rule,
+ * causality closure, conflict rejection, inference, and text I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/function_table.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+/** The exact table of paper Fig. 7. */
+FunctionTable
+fig7Table()
+{
+    FunctionTable t(3);
+    t.addRow(V({0, 1, 2}), 3_t);
+    t.addRow(V({1, 0, kNo}), 2_t);
+    t.addRow(V({2, 2, 0}), 2_t);
+    return t;
+}
+
+TEST(FunctionTable, Fig7NormalizedLookup)
+{
+    FunctionTable t = fig7Table();
+    EXPECT_EQ(t.evaluate(V({0, 1, 2})), 3_t);
+    EXPECT_EQ(t.evaluate(V({1, 0, kNo})), 2_t);
+    EXPECT_EQ(t.evaluate(V({2, 2, 0})), 2_t);
+}
+
+TEST(FunctionTable, Fig7PaperWorkedExample)
+{
+    // The paper's worked example: input [3, 4, 5] normalizes to
+    // [0, 1, 2] (entry 3), so the output is 3 + 3 = 6.
+    FunctionTable t = fig7Table();
+    EXPECT_EQ(t.evaluate(V({3, 4, 5})), 6_t);
+}
+
+TEST(FunctionTable, MissingEntryIsInf)
+{
+    FunctionTable t = fig7Table();
+    EXPECT_EQ(t.evaluate(V({0, 0, 0})), INF);
+    EXPECT_EQ(t.evaluate(V({5, 5, 5})), INF);
+}
+
+TEST(FunctionTable, AllInfInputYieldsInf)
+{
+    FunctionTable t = fig7Table();
+    EXPECT_EQ(t.evaluate(V({kNo, kNo, kNo})), INF);
+}
+
+TEST(FunctionTable, InvarianceViaShift)
+{
+    FunctionTable t = fig7Table();
+    for (Time::rep c = 0; c < 5; ++c) {
+        EXPECT_EQ(t.evaluate(V({1 + c, 0 + c, kNo})), Time(2 + c));
+        EXPECT_EQ(t.evaluate(V({2 + c, 2 + c, 0 + c})), Time(2 + c));
+    }
+}
+
+TEST(FunctionTable, CausalityClosureMatchesLateInputs)
+{
+    // Row [1, 0, inf] -> 2: causality forces any x3 > 2 to behave like
+    // inf (the input arrives after the output has already fired).
+    FunctionTable t = fig7Table();
+    EXPECT_EQ(t.evaluate(V({1, 0, 3})), 2_t);
+    EXPECT_EQ(t.evaluate(V({1, 0, 100})), 2_t);
+    // ...but x3 <= 2 must NOT match (it could have mattered).
+    EXPECT_EQ(t.evaluate(V({1, 0, 2})), INF);
+    EXPECT_EQ(t.evaluate(V({1, 0, 1})), INF);
+}
+
+TEST(FunctionTable, CanonicalizesEntriesAboveOutput)
+{
+    // An entry strictly greater than the row output is indistinguishable
+    // from inf under causality; the table canonicalizes it.
+    FunctionTable t(2);
+    t.addRow(V({0, 7}), 2_t);
+    ASSERT_EQ(t.rowCount(), 1u);
+    EXPECT_EQ(t.rows()[0].inputs, V({0, kNo}));
+    EXPECT_EQ(t.evaluate(V({0, 7})), 2_t);
+    EXPECT_EQ(t.evaluate(V({0, kNo})), 2_t);
+    EXPECT_EQ(t.evaluate(V({0, 2})), INF);
+}
+
+TEST(FunctionTable, EntryEqualToOutputStaysFinite)
+{
+    FunctionTable t(2);
+    t.addRow(V({0, 2}), 2_t);
+    EXPECT_EQ(t.rows()[0].inputs, V({0, 2}));
+    EXPECT_EQ(t.evaluate(V({0, 2})), 2_t);
+    EXPECT_EQ(t.evaluate(V({0, kNo})), INF);
+}
+
+TEST(FunctionTable, RejectsZeroArity)
+{
+    EXPECT_THROW(FunctionTable(0), std::invalid_argument);
+}
+
+TEST(FunctionTable, RejectsArityMismatch)
+{
+    FunctionTable t(2);
+    EXPECT_THROW(t.addRow(V({0, 1, 2}), 1_t), std::invalid_argument);
+    EXPECT_THROW(t.evaluate(V({0})), std::invalid_argument);
+}
+
+TEST(FunctionTable, RejectsInfOutput)
+{
+    FunctionTable t(2);
+    EXPECT_THROW(t.addRow(V({0, 1}), INF), std::invalid_argument);
+}
+
+TEST(FunctionTable, RejectsRowWithoutZero)
+{
+    FunctionTable t(2);
+    EXPECT_THROW(t.addRow(V({1, 2}), 3_t), std::invalid_argument);
+    // A zero destroyed by canonicalization does not exist; a row whose
+    // only sub-output entries lack a zero is equally invalid.
+    EXPECT_THROW(t.addRow(V({kNo, 1}), 0_t), std::invalid_argument);
+}
+
+TEST(FunctionTable, RejectsExactDuplicates)
+{
+    FunctionTable t(2);
+    t.addRow(V({0, 1}), 2_t);
+    EXPECT_THROW(t.addRow(V({0, 1}), 2_t), std::invalid_argument);
+    // Same row via canonicalization (7 > 2 folds to inf = inf).
+    t.addRow(V({0, kNo}), 1_t);
+    EXPECT_THROW(t.addRow(V({0, 7}), 1_t), std::invalid_argument);
+}
+
+TEST(FunctionTable, RejectsConflictingRows)
+{
+    // [0, 1] matches both rows but the outputs differ -> ambiguous.
+    FunctionTable t(2);
+    t.addRow(V({0, 1}), 2_t);
+    EXPECT_THROW(t.addRow(V({0, 1}), 3_t), std::invalid_argument);
+}
+
+TEST(FunctionTable, RejectsClosureConflicts)
+{
+    // Row [0, inf] -> 1 matches any [0, x] with x > 1; row [0, 3] -> 5
+    // would match [0, 3] too, with a different output.
+    FunctionTable t(2);
+    t.addRow(V({0, kNo}), 1_t);
+    EXPECT_THROW(t.addRow(V({0, 3}), 5_t), std::invalid_argument);
+}
+
+TEST(FunctionTable, AllowsConsistentOverlap)
+{
+    // Overlapping match sets with equal outputs are consistent.
+    FunctionTable t(2);
+    t.addRow(V({0, kNo}), 1_t);
+    EXPECT_NO_THROW(t.addRow(V({0, 1}), 1_t));
+}
+
+TEST(FunctionTable, DisjointInfRowsCoexist)
+{
+    FunctionTable t(2);
+    t.addRow(V({0, kNo}), 0_t);
+    t.addRow(V({kNo, 0}), 0_t);
+    EXPECT_EQ(t.evaluate(V({0, 5})), 0_t);
+    EXPECT_EQ(t.evaluate(V({5, 0})), 0_t);
+    EXPECT_EQ(t.evaluate(V({0, 0})), INF);
+}
+
+TEST(FunctionTable, HistoryBound)
+{
+    EXPECT_EQ(fig7Table().historyBound(), 3u);
+    FunctionTable t(1);
+    EXPECT_EQ(t.historyBound(), 0u);
+}
+
+TEST(FunctionTable, InferRecoversLtPrimitive)
+{
+    // lt has the finite canonical table {[0, inf] -> 0} — every
+    // normalized pattern [0, j], j >= 1 folds into it by closure.
+    auto fn = [](std::span<const Time> x) { return tlt(x[0], x[1]); };
+    FunctionTable t = FunctionTable::infer(2, 4, fn);
+    ASSERT_EQ(t.rowCount(), 1u);
+    EXPECT_EQ(t.rows()[0].inputs, V({0, kNo}));
+    EXPECT_EQ(t.rows()[0].output, 0_t);
+}
+
+TEST(FunctionTable, InferRecoversMinPrimitive)
+{
+    auto fn = [](std::span<const Time> x) { return tmin(x[0], x[1]); };
+    FunctionTable t = FunctionTable::infer(2, 4, fn);
+    // min: [0,0]->0, [0,inf]->0, [inf,0]->0 after closure.
+    EXPECT_EQ(t.rowCount(), 3u);
+    EXPECT_EQ(t.evaluate(V({7, 9})), 7_t);
+    EXPECT_EQ(t.evaluate(V({9, 7})), 7_t);
+    EXPECT_EQ(t.evaluate(V({kNo, 7})), 7_t);
+}
+
+TEST(FunctionTable, InferOfMaxGrowsWithWindow)
+{
+    // max has NO finite normalized table: rows [0, j] -> j never fold
+    // (the entry equals the output), so the table grows with the window
+    // — the concrete reason max is not a bounded s-t function.
+    auto fn = [](std::span<const Time> x) { return tmax(x[0], x[1]); };
+    FunctionTable t3 = FunctionTable::infer(2, 3, fn);
+    FunctionTable t5 = FunctionTable::infer(2, 5, fn);
+    EXPECT_GT(t5.rowCount(), t3.rowCount());
+}
+
+TEST(FunctionTable, InferredTableMatchesFunctionInsideWindow)
+{
+    auto fn = [](std::span<const Time> x) {
+        return tmin(tinc(x[0], 2), x[1]);
+    };
+    FunctionTable t = FunctionTable::infer(2, 5, fn);
+    testing::forAllVolleys(2, 5, [&](const std::vector<Time> &u) {
+        EXPECT_EQ(t.evaluate(u), fn(u));
+    });
+}
+
+TEST(FunctionTable, ParseAndStrRoundTrip)
+{
+    const std::string text = "# paper Fig. 7\n"
+                             "0 1 2 3\n"
+                             "1 0 inf 2\n"
+                             "\n"
+                             "2 2 0 2\n";
+    FunctionTable t = FunctionTable::parse(3, text);
+    EXPECT_EQ(t, fig7Table());
+    FunctionTable round = FunctionTable::parse(3, t.str());
+    EXPECT_EQ(round, t);
+}
+
+TEST(FunctionTable, ParseRejectsBadTokens)
+{
+    EXPECT_THROW(FunctionTable::parse(2, "0 x 1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(FunctionTable::parse(2, "0 1\n"), std::invalid_argument);
+}
+
+TEST(FunctionTable, RandomTablesEvaluateConsistently)
+{
+    // Determinism property: whatever matching row wins, evaluation must
+    // be a function (same input -> same output) and invariant.
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        FunctionTable t = testing::randomTable(rng, 3, 4, 6);
+        testing::forAllVolleys(3, 5, [&](const std::vector<Time> &u) {
+            Time z1 = t.evaluate(u);
+            Time z2 = t.evaluate(u);
+            EXPECT_EQ(z1, z2);
+            auto su = shifted(u, 3);
+            EXPECT_EQ(t.evaluate(su), z1 + 3);
+        });
+    }
+}
+
+} // namespace
+} // namespace st

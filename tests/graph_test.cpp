@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the race-logic graph substrate: edge bookkeeping,
+ * topological ordering / cycle detection, and the DAG/grid generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "racelogic/graph.hpp"
+
+namespace st::racelogic {
+namespace {
+
+TEST(Graph, EdgeBookkeeping)
+{
+    Graph g(4);
+    g.addEdge(0, 1, 5);
+    g.addEdge(0, 2, 3);
+    g.addEdge(1, 3, 1);
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.outEdges(0).size(), 2u);
+    EXPECT_EQ(g.inEdges(3).size(), 1u);
+    EXPECT_EQ(g.edges()[g.inEdges(3)[0]].from, 1u);
+    EXPECT_EQ(g.edges()[g.inEdges(3)[0]].weight, 1u);
+}
+
+TEST(Graph, RejectsBadVertices)
+{
+    Graph g(2);
+    EXPECT_THROW(g.addEdge(0, 5, 1), std::out_of_range);
+    EXPECT_THROW(g.addEdge(5, 0, 1), std::out_of_range);
+    EXPECT_THROW(Graph(0), std::invalid_argument);
+}
+
+TEST(Graph, TopologicalOrderOnDag)
+{
+    Graph g(4);
+    g.addEdge(2, 1, 1);
+    g.addEdge(1, 0, 1);
+    g.addEdge(2, 3, 1);
+    auto order = g.topologicalOrder();
+    ASSERT_TRUE(order.has_value());
+    ASSERT_EQ(order->size(), 4u);
+    std::vector<size_t> pos(4);
+    for (size_t i = 0; i < 4; ++i)
+        pos[(*order)[i]] = i;
+    EXPECT_LT(pos[2], pos[1]);
+    EXPECT_LT(pos[1], pos[0]);
+    EXPECT_LT(pos[2], pos[3]);
+    EXPECT_TRUE(g.isDag());
+}
+
+TEST(Graph, DetectsCycles)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 1);
+    g.addEdge(1, 2, 1);
+    g.addEdge(2, 0, 1);
+    EXPECT_FALSE(g.topologicalOrder().has_value());
+    EXPECT_FALSE(g.isDag());
+}
+
+TEST(Graph, SelfLoopIsACycle)
+{
+    Graph g(2);
+    g.addEdge(0, 0, 1);
+    EXPECT_FALSE(g.isDag());
+}
+
+TEST(Graph, RandomDagIsAcyclic)
+{
+    Rng rng(3);
+    for (int t = 0; t < 10; ++t) {
+        Graph g = Graph::randomDag(rng, 20, 0.3, 9);
+        EXPECT_TRUE(g.isDag());
+        for (const Edge &e : g.edges()) {
+            EXPECT_LT(e.from, e.to); // forward edges only
+            EXPECT_LE(e.weight, 9u);
+        }
+    }
+}
+
+TEST(Graph, GridShape)
+{
+    Rng rng(4);
+    Graph g = Graph::grid(rng, 3, 4, 5);
+    EXPECT_EQ(g.numVertices(), 12u);
+    // Edges: right: 3*3, down: 2*4 -> 17.
+    EXPECT_EQ(g.numEdges(), 17u);
+    EXPECT_TRUE(g.isDag());
+    EXPECT_THROW(Graph::grid(rng, 0, 3, 5), std::invalid_argument);
+}
+
+} // namespace
+} // namespace st::racelogic

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the network -> GRL compiler (paper Sec. V): the structural
+ * mapping of Fig. 16 and the paper's central implementation claim —
+ * simulating the compiled CMOS circuit yields exactly the same event
+ * times as evaluating the space-time network, for every primitive, for
+ * whole TNN components, on every probed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "core/synthesis.hpp"
+#include "grl/compile.hpp"
+#include "grl/logic_sim.hpp"
+#include "neuron/sorting.hpp"
+#include "neuron/srm0_network.hpp"
+#include "neuron/wta.hpp"
+#include "test_helpers.hpp"
+
+namespace st::grl {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+/** Check circuit-vs-network equality on a set of probes. */
+void
+expectEquivalent(const Network &net, Rng &rng, size_t probes,
+                 Time::rep limit)
+{
+    CompileResult compiled = compileToGrl(net);
+    for (size_t s = 0; s < probes; ++s) {
+        auto x = testing::randomVolley(rng, net.numInputs(), limit, 0.2);
+        SimResult sim = simulate(compiled.circuit, x);
+        auto expected = net.evaluate(x);
+        ASSERT_EQ(sim.outputs.size(), expected.size());
+        EXPECT_EQ(sim.outputs, expected) << "at " << volleyStr(x);
+    }
+}
+
+TEST(GrlCompile, MapsPrimitivesToFig16Gates)
+{
+    Network net(2);
+    net.min(net.input(0), net.input(1));
+    net.max(net.input(0), net.input(1));
+    net.lt(net.input(0), net.input(1));
+    net.inc(net.input(0), 5);
+    net.config(INF);
+    Circuit c = compileToGrl(net).circuit;
+    EXPECT_EQ(c.countOf(GateKind::And), 1u);    // min
+    EXPECT_EQ(c.countOf(GateKind::Or), 1u);     // max
+    EXPECT_EQ(c.countOf(GateKind::LtCell), 1u); // lt
+    EXPECT_EQ(c.countOf(GateKind::Delay), 1u);  // inc
+    EXPECT_EQ(c.countOf(GateKind::Const), 1u);  // config
+    EXPECT_EQ(c.totalStages(), 5u);
+}
+
+TEST(GrlCompile, PrimitiveEquivalenceExhaustive)
+{
+    Network net(2);
+    net.markOutput(net.min(net.input(0), net.input(1)));
+    net.markOutput(net.max(net.input(0), net.input(1)));
+    net.markOutput(net.lt(net.input(0), net.input(1)));
+    net.markOutput(net.inc(net.input(0), 3));
+    CompileResult compiled = compileToGrl(net);
+    testing::forAllVolleys(2, 6, [&](const std::vector<Time> &u) {
+        EXPECT_EQ(simulate(compiled.circuit, u).outputs, net.evaluate(u))
+            << "at " << volleyStr(u);
+    });
+}
+
+TEST(GrlCompile, RandomNetworkEquivalence)
+{
+    Rng rng(808);
+    for (int trial = 0; trial < 25; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 15);
+        expectEquivalent(net, rng, 30, 10);
+    }
+}
+
+TEST(GrlCompile, MintermNetworkEquivalence)
+{
+    Rng rng(809);
+    for (int trial = 0; trial < 5; ++trial) {
+        FunctionTable table = testing::randomTable(rng, 3, 3, 4);
+        Network net = synthesizeMinterms(table);
+        expectEquivalent(net, rng, 40, 8);
+    }
+}
+
+TEST(GrlCompile, BitonicSorterEquivalence)
+{
+    Rng rng(810);
+    Network net = bitonicSortNetwork(6);
+    expectEquivalent(net, rng, 60, 12);
+}
+
+TEST(GrlCompile, WtaEquivalence)
+{
+    Rng rng(811);
+    Network net = wtaNetwork(5, 2);
+    expectEquivalent(net, rng, 60, 9);
+}
+
+TEST(GrlCompile, Srm0NeuronEquivalence)
+{
+    // A complete spiking neuron running as an off-the-shelf CMOS
+    // circuit — the paper's concluding implication.
+    Rng rng(812);
+    ResponseFunction r = ResponseFunction::biexponential(3, 4.0, 1.0);
+    Network net = buildSrm0Network({r, r, r.negated()}, 3);
+    expectEquivalent(net, rng, 40, 10);
+}
+
+TEST(GrlCompile, ConfigSnapshotsCurrentValues)
+{
+    Network net(1);
+    NodeId mu = net.config(INF);
+    net.markOutput(net.lt(net.input(0), mu));
+
+    CompileResult enabled = compileToGrl(net);
+    EXPECT_EQ(simulate(enabled.circuit, V({4})).outputs, V({4}));
+
+    net.setConfig(mu, 0_t);
+    CompileResult disabled = compileToGrl(net);
+    EXPECT_EQ(simulate(disabled.circuit, V({4})).outputs, V({kNo}));
+    // The earlier snapshot is unaffected.
+    EXPECT_EQ(simulate(enabled.circuit, V({4})).outputs, V({4}));
+}
+
+TEST(GrlCompile, WireMapCoversEveryNode)
+{
+    Network net(2);
+    NodeId m = net.min(net.input(0), net.input(1));
+    NodeId d = net.inc(m, 2);
+    net.markOutput(d);
+    CompileResult compiled = compileToGrl(net);
+    ASSERT_EQ(compiled.wireOf.size(), net.size());
+    // Internal node values must match through the map as well.
+    auto x = V({3, 8});
+    SimResult sim = simulate(compiled.circuit, x);
+    auto values = net.evaluateAll(x);
+    for (size_t i = 0; i < net.size(); ++i)
+        EXPECT_EQ(sim.fallTime[compiled.wireOf[i]], values[i]);
+}
+
+TEST(GrlCompile, DelayStagesMatchIncTotals)
+{
+    Network net(1);
+    net.markOutput(net.inc(net.inc(net.input(0), 4), 7));
+    Circuit c = compileToGrl(net).circuit;
+    EXPECT_EQ(c.totalStages(), net.totalIncStages());
+}
+
+} // namespace
+} // namespace st::grl

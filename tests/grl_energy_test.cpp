@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the switching-energy model (paper Sec. VI conjecture 1 and
+ * the Sec. V.B shift-register caveat): weighted transition accounting,
+ * sparsity effects, and the delay-line clock overhead the paper flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grl/compile.hpp"
+#include "grl/energy.hpp"
+#include "neuron/wta.hpp"
+#include "test_helpers.hpp"
+
+namespace st::grl {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Energy, WeightsTransitionCounts)
+{
+    Circuit c(2);
+    c.markOutput(c.orGate(c.input(0), c.input(1)));
+    SimResult sim = simulate(c, V({1, 3}));
+    EnergyParams p;
+    EnergyReport r = estimateEnergy(c, sim, p);
+    // 1 OR transition, 2 input falls, no flops -> no clock term.
+    EXPECT_DOUBLE_EQ(r.combinational, p.gateSwitch * 1);
+    EXPECT_DOUBLE_EQ(r.inputs, p.inputDrive * 2);
+    EXPECT_DOUBLE_EQ(r.clock, 0.0);
+    EXPECT_DOUBLE_EQ(r.flopData, 0.0);
+    EXPECT_DOUBLE_EQ(r.total, r.combinational + r.inputs + r.ltCells);
+}
+
+TEST(Energy, QuietComputationCostsOnlyClock)
+{
+    Circuit c(1);
+    c.markOutput(c.delay(c.input(0), 4));
+    SimResult sim = simulate(c, V({kNo}), 10);
+    EnergyReport r = estimateEnergy(c, sim);
+    EXPECT_DOUBLE_EQ(r.combinational, 0.0);
+    EXPECT_DOUBLE_EQ(r.flopData, 0.0);
+    EXPECT_GT(r.clock, 0.0); // the clock tree never sleeps
+    EXPECT_DOUBLE_EQ(r.total, r.clock);
+}
+
+TEST(Energy, SparserVolleysCostLess)
+{
+    // Sec. VI: with sparse spike codings many signals undergo ZERO
+    // transitions — energy scales down with activity.
+    Network net = st::wtaNetwork(8, 1);
+    CompileResult compiled = compileToGrl(net);
+
+    auto cost = [&](const std::vector<Time> &x) {
+        SimResult sim = simulate(compiled.circuit, x, 16);
+        return estimateEnergy(compiled.circuit, sim).total;
+    };
+    double dense = cost(V({0, 1, 2, 3, 0, 1, 2, 3}));
+    double sparse = cost(V({0, kNo, kNo, kNo, kNo, kNo, kNo, kNo}));
+    double quiet = cost(V({kNo, kNo, kNo, kNo, kNo, kNo, kNo, kNo}));
+    EXPECT_LT(sparse, dense);
+    EXPECT_LT(quiet, sparse);
+}
+
+TEST(Energy, DelayFractionIsolatesShiftRegisterCost)
+{
+    // The paper: "energy consumption may increase significantly due to
+    // the clocked shift registers". A delay-heavy circuit must show a
+    // dominant delay fraction; a combinational one, zero.
+    Circuit delays(1);
+    delays.markOutput(delays.delay(delays.input(0), 20));
+    SimResult sim1 = simulate(delays, V({0}));
+    EnergyReport r1 = estimateEnergy(delays, sim1);
+    EXPECT_GT(r1.delayFraction(), 0.8);
+
+    Circuit comb(2);
+    comb.markOutput(comb.andGate(comb.input(0), comb.input(1)));
+    SimResult sim2 = simulate(comb, V({1, 2}));
+    EnergyReport r2 = estimateEnergy(comb, sim2);
+    EXPECT_DOUBLE_EQ(r2.delayFraction(), 0.0);
+}
+
+TEST(Energy, CustomParamsScaleLinearly)
+{
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    SimResult sim = simulate(c, V({1, 2}));
+    EnergyParams unit;
+    EnergyParams doubled = unit;
+    doubled.gateSwitch *= 2;
+    doubled.inputDrive *= 2;
+    EnergyReport a = estimateEnergy(c, sim, unit);
+    EnergyReport b = estimateEnergy(c, sim, doubled);
+    EXPECT_DOUBLE_EQ(b.total, 2 * a.total);
+}
+
+TEST(Energy, ZeroTotalHasZeroDelayFraction)
+{
+    EnergyReport r;
+    EXPECT_DOUBLE_EQ(r.delayFraction(), 0.0);
+}
+
+TEST(Energy, LtCellsChargedForLatchAndOutput)
+{
+    Circuit c(2);
+    c.markOutput(c.ltCell(c.input(0), c.input(1)));
+    EnergyParams p;
+    // Pass case: output switches, latch does not.
+    EnergyReport pass =
+        estimateEnergy(c, simulate(c, V({1, 5})), p);
+    EXPECT_DOUBLE_EQ(pass.ltCells, p.ltSwitch);
+    // Block case: latch captures, output stays.
+    EnergyReport block =
+        estimateEnergy(c, simulate(c, V({5, 1})), p);
+    EXPECT_DOUBLE_EQ(block.ltCells, p.latchCapture);
+}
+
+} // namespace
+} // namespace st::grl

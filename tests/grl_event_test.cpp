@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the event-driven GRL engine: unit semantics, and the
+ * four-way differential sweep — algebraic evaluation, event-driven
+ * trace simulation, cycle-accurate logic simulation and event-driven
+ * logic simulation must all agree on every node, including every
+ * transition counter the energy model consumes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "core/synthesis.hpp"
+#include "core/trace_sim.hpp"
+#include "grl/compile.hpp"
+#include "grl/event_sim.hpp"
+#include "neuron/srm0_network.hpp"
+#include "neuron/wta.hpp"
+#include "test_helpers.hpp"
+
+namespace st::grl {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+void
+expectSameResult(const SimResult &a, const SimResult &b,
+                 const std::string &context)
+{
+    EXPECT_EQ(a.fallTime, b.fallTime) << context;
+    EXPECT_EQ(a.outputs, b.outputs) << context;
+    EXPECT_EQ(a.gateTransitions, b.gateTransitions) << context;
+    EXPECT_EQ(a.ltOutputTransitions, b.ltOutputTransitions) << context;
+    EXPECT_EQ(a.ltLatchTransitions, b.ltLatchTransitions) << context;
+    EXPECT_EQ(a.flopDataTransitions, b.flopDataTransitions) << context;
+    EXPECT_EQ(a.inputTransitions, b.inputTransitions) << context;
+    EXPECT_EQ(a.fallenLines, b.fallenLines) << context;
+    EXPECT_EQ(a.flopZeroBits, b.flopZeroBits) << context;
+    EXPECT_EQ(a.latchesCaptured, b.latchesCaptured) << context;
+    EXPECT_EQ(a.cyclesSimulated, b.cyclesSimulated) << context;
+}
+
+TEST(GrlEventSim, PrimitiveGates)
+{
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    c.markOutput(c.orGate(c.input(0), c.input(1)));
+    c.markOutput(c.ltCell(c.input(0), c.input(1)));
+    c.markOutput(c.delay(c.input(0), 3));
+    testing::forAllVolleys(2, 5, [&](const std::vector<Time> &u) {
+        expectSameResult(simulate(c, u), simulateEvents(c, u),
+                         volleyStr(u));
+    });
+}
+
+TEST(GrlEventSim, HorizonClipsIdentically)
+{
+    Circuit c(1);
+    c.markOutput(c.delay(c.input(0), 10));
+    for (Time::rep h : {1, 5, 11, 12, 20}) {
+        expectSameResult(simulate(c, V({2}), h),
+                         simulateEvents(c, V({2}), h),
+                         "h=" + std::to_string(h));
+    }
+}
+
+TEST(GrlEventSim, LatchCaptureBeyondOutputHorizon)
+{
+    // a falls past the horizon, b inside it: the cycle engine captures
+    // the latch; the event engine must account the same.
+    Circuit c(2);
+    c.markOutput(c.ltCell(c.input(0), c.input(1)));
+    expectSameResult(simulate(c, V({9, 2}), 5),
+                     simulateEvents(c, V({9, 2}), 5), "clip");
+}
+
+TEST(GrlEventSim, RandomNetworksFourWayDifferential)
+{
+    Rng rng(4242);
+    for (int trial = 0; trial < 30; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 16);
+        CompileResult compiled = compileToGrl(net);
+        TraceSimulator tracer(net);
+        for (int s = 0; s < 25; ++s) {
+            auto x = testing::randomVolley(rng, 3, 9);
+            auto values = net.evaluateAll(x);       // engine 1
+            Trace trace = tracer.run(x);            // engine 2
+            SimResult cyc = simulate(compiled.circuit, x);       // 3
+            SimResult evt = simulateEvents(compiled.circuit, x); // 4
+            EXPECT_EQ(trace.fireTime, values);
+            expectSameResult(cyc, evt, volleyStr(x));
+            for (size_t i = 0; i < net.size(); ++i)
+                EXPECT_EQ(cyc.fallTime[compiled.wireOf[i]], values[i]);
+        }
+    }
+}
+
+TEST(GrlEventSim, Srm0CircuitAgreement)
+{
+    ResponseFunction r = ResponseFunction::biexponential(3, 4.0, 1.0);
+    Network net = buildSrm0Network({r, r, r.negated()}, 3);
+    CompileResult compiled = compileToGrl(net);
+    Rng rng(5);
+    for (int s = 0; s < 40; ++s) {
+        auto x = testing::randomVolley(rng, 3, 10);
+        expectSameResult(simulate(compiled.circuit, x),
+                         simulateEvents(compiled.circuit, x),
+                         volleyStr(x));
+    }
+}
+
+TEST(GrlEventSim, WtaCircuitAgreement)
+{
+    Network net = wtaNetwork(6, 2);
+    CompileResult compiled = compileToGrl(net);
+    Rng rng(6);
+    for (int s = 0; s < 60; ++s) {
+        auto x = testing::randomVolley(rng, 6, 9, 0.3);
+        expectSameResult(simulate(compiled.circuit, x),
+                         simulateEvents(compiled.circuit, x),
+                         volleyStr(x));
+    }
+}
+
+TEST(GrlEventSim, QuietInputProducesNoEvents)
+{
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    SimResult r = simulateEvents(c, V({kNo, kNo}), 10);
+    EXPECT_EQ(r.totalInternalTransitions(), 0u);
+    EXPECT_EQ(r.resetTransitions(), 0u);
+    EXPECT_EQ(r.outputs, V({kNo}));
+}
+
+TEST(GrlEventSim, RejectsArityMismatch)
+{
+    Circuit c(2);
+    c.markOutput(c.input(0));
+    EXPECT_THROW(simulateEvents(c, V({1})), std::invalid_argument);
+}
+
+} // namespace
+} // namespace st::grl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for GRL netlist construction (paper Sec. V, Fig. 16): builder
+ * validation, gate accounting, and stage totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grl/netlist.hpp"
+
+namespace st::grl {
+namespace {
+
+TEST(Circuit, InputsAreWires)
+{
+    Circuit c(3);
+    EXPECT_EQ(c.numInputs(), 3u);
+    EXPECT_EQ(c.input(0), 0u);
+    EXPECT_EQ(c.input(2), 2u);
+    EXPECT_THROW(c.input(3), std::out_of_range);
+}
+
+TEST(Circuit, BuilderValidatesOperands)
+{
+    Circuit c(1);
+    EXPECT_THROW(c.andGate(0, 9), std::out_of_range);
+    EXPECT_THROW(c.orGate(9, 0), std::out_of_range);
+    EXPECT_THROW(c.ltCell(0, 9), std::out_of_range);
+    EXPECT_THROW(c.delay(9, 1), std::out_of_range);
+    EXPECT_THROW(c.markOutput(9), std::out_of_range);
+    EXPECT_THROW(c.andGate(std::span<const WireId>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(c.orGate(std::span<const WireId>{}),
+                 std::invalid_argument);
+}
+
+TEST(Circuit, GateCounting)
+{
+    Circuit c(2);
+    c.andGate(c.input(0), c.input(1));
+    c.orGate(c.input(0), c.input(1));
+    c.ltCell(c.input(0), c.input(1));
+    c.delay(c.input(0), 3);
+    c.constant(INF);
+    EXPECT_EQ(c.size(), 7u);
+    EXPECT_EQ(c.countOf(GateKind::Input), 2u);
+    EXPECT_EQ(c.countOf(GateKind::And), 1u);
+    EXPECT_EQ(c.countOf(GateKind::Or), 1u);
+    EXPECT_EQ(c.countOf(GateKind::LtCell), 1u);
+    EXPECT_EQ(c.countOf(GateKind::Delay), 1u);
+    EXPECT_EQ(c.countOf(GateKind::Const), 1u);
+}
+
+TEST(Circuit, TotalStagesSumsDelays)
+{
+    Circuit c(1);
+    c.delay(c.input(0), 3);
+    c.delay(c.input(0), 0);
+    c.delay(c.input(0), 7);
+    EXPECT_EQ(c.totalStages(), 10u);
+}
+
+TEST(Circuit, OutputsAreOrdered)
+{
+    Circuit c(2);
+    WireId a = c.andGate(c.input(0), c.input(1));
+    WireId o = c.orGate(c.input(0), c.input(1));
+    c.markOutput(o);
+    c.markOutput(a);
+    EXPECT_EQ(c.outputs(), (std::vector<WireId>{o, a}));
+}
+
+TEST(Circuit, NaryGates)
+{
+    Circuit c(3);
+    std::vector<WireId> ins{c.input(0), c.input(1), c.input(2)};
+    WireId a = c.andGate(std::span<const WireId>(ins));
+    EXPECT_EQ(c.gates()[a].fanin.size(), 3u);
+}
+
+TEST(Circuit, GateKindNames)
+{
+    EXPECT_STREQ(gateKindName(GateKind::Input), "input");
+    EXPECT_STREQ(gateKindName(GateKind::Const), "const");
+    EXPECT_STREQ(gateKindName(GateKind::And), "and");
+    EXPECT_STREQ(gateKindName(GateKind::Or), "or");
+    EXPECT_STREQ(gateKindName(GateKind::LtCell), "ltcell");
+    EXPECT_STREQ(gateKindName(GateKind::Delay), "delay");
+}
+
+} // namespace
+} // namespace st::grl

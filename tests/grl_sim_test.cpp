@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the GRL logic simulator (paper Sec. V, Fig. 16): each gate's
+ * edge-time semantics (OR = min, AND = max, latched LT, shift-register
+ * delay), tie handling, horizon behaviour, and transition accounting —
+ * the "single switch or none at all" property of Sec. VI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grl/energy.hpp"
+#include "grl/logic_sim.hpp"
+#include "test_helpers.hpp"
+
+namespace st::grl {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(GrlSim, AndGateIsMin)
+{
+    // Fig. 16: with 1->0 edges, the FIRST falling input pulls AND low.
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    EXPECT_EQ(simulate(c, V({3, 7})).outputs, V({3}));
+    EXPECT_EQ(simulate(c, V({7, 3})).outputs, V({3}));
+    EXPECT_EQ(simulate(c, V({kNo, 3})).outputs, V({3}));
+    EXPECT_EQ(simulate(c, V({kNo, kNo})).outputs, V({kNo}));
+}
+
+TEST(GrlSim, OrGateIsMax)
+{
+    // OR stays high until the LAST input falls.
+    Circuit c(2);
+    c.markOutput(c.orGate(c.input(0), c.input(1)));
+    EXPECT_EQ(simulate(c, V({3, 7})).outputs, V({7}));
+    EXPECT_EQ(simulate(c, V({kNo, 3})).outputs, V({kNo}));
+}
+
+TEST(GrlSim, LtCellPassesStrictlyEarlierA)
+{
+    Circuit c(2);
+    c.markOutput(c.ltCell(c.input(0), c.input(1)));
+    EXPECT_EQ(simulate(c, V({2, 5})).outputs, V({2}));
+    EXPECT_EQ(simulate(c, V({5, 2})).outputs, V({kNo}));
+    EXPECT_EQ(simulate(c, V({2, kNo})).outputs, V({2}));
+    EXPECT_EQ(simulate(c, V({kNo, 2})).outputs, V({kNo}));
+}
+
+TEST(GrlSim, LtCellTieBlocks)
+{
+    // The latch captures b's simultaneous fall before a can pass: the
+    // paper's "once the output transitions to 0 it never returns"
+    // discipline resolves ties against passing.
+    Circuit c(2);
+    c.markOutput(c.ltCell(c.input(0), c.input(1)));
+    EXPECT_EQ(simulate(c, V({4, 4})).outputs, V({kNo}));
+}
+
+TEST(GrlSim, LtLatchStaysClosedForever)
+{
+    // b falls first, a much later: output must remain high.
+    Circuit c(2);
+    c.markOutput(c.ltCell(c.input(0), c.input(1)));
+    SimResult r = simulate(c, V({50, 1}));
+    EXPECT_EQ(r.outputs, V({kNo}));
+    EXPECT_EQ(r.ltOutputTransitions, 0u);
+    EXPECT_EQ(r.ltLatchTransitions, 1u); // the capture event
+}
+
+TEST(GrlSim, DelayIsShiftRegister)
+{
+    Circuit c(1);
+    c.markOutput(c.delay(c.input(0), 4));
+    EXPECT_EQ(simulate(c, V({3})).outputs, V({7}));
+    EXPECT_EQ(simulate(c, V({kNo})).outputs, V({kNo}));
+}
+
+TEST(GrlSim, ZeroStageDelayIsAWire)
+{
+    Circuit c(1);
+    c.markOutput(c.delay(c.input(0), 0));
+    EXPECT_EQ(simulate(c, V({5})).outputs, V({5}));
+}
+
+TEST(GrlSim, ChainedDelaysAccumulate)
+{
+    Circuit c(1);
+    WireId d1 = c.delay(c.input(0), 2);
+    c.markOutput(c.delay(d1, 3));
+    EXPECT_EQ(simulate(c, V({1})).outputs, V({6}));
+}
+
+TEST(GrlSim, ConstLinesFallOnSchedule)
+{
+    Circuit c(1);
+    WireId k = c.constant(2_t);
+    c.markOutput(c.andGate(c.input(0), k)); // min with the constant
+    EXPECT_EQ(simulate(c, V({5})).outputs, V({2}));
+    EXPECT_EQ(simulate(c, V({1})).outputs, V({1}));
+
+    Circuit c2(1);
+    WireId never = c2.constant(INF);
+    c2.markOutput(c2.orGate(c2.input(0), never)); // max with "never"
+    EXPECT_EQ(simulate(c2, V({1})).outputs, V({kNo}));
+}
+
+TEST(GrlSim, HorizonTruncatesLateFalls)
+{
+    Circuit c(1);
+    c.markOutput(c.delay(c.input(0), 10));
+    // Explicit short horizon: the fall at t=12 is not observed.
+    SimResult r = simulate(c, V({2}), 5);
+    EXPECT_EQ(r.outputs, V({kNo}));
+    // The default (safe) horizon sees it.
+    EXPECT_EQ(simulate(c, V({2})).outputs, V({12}));
+}
+
+TEST(GrlSim, SafeHorizonCoversDelaysAndConsts)
+{
+    Circuit c(1);
+    c.constant(9_t);
+    c.delay(c.input(0), 6);
+    EXPECT_EQ(safeHorizon(c, V({4})), 9 + 6 + 1u);
+    EXPECT_EQ(safeHorizon(c, V({kNo})), 9 + 6 + 1u);
+}
+
+TEST(GrlSim, CombinationalGatesSwitchAtMostOnce)
+{
+    // Sec. VI conjecture 1: per computation, each line switches once or
+    // not at all.
+    Rng rng(5);
+    Circuit c(3);
+    WireId m1 = c.orGate(c.input(0), c.input(1));
+    WireId m2 = c.andGate(m1, c.input(2));
+    WireId lt = c.ltCell(m2, c.input(0));
+    c.markOutput(lt);
+    for (int s = 0; s < 50; ++s) {
+        auto x = testing::randomVolley(rng, 3, 10, 0.3);
+        SimResult r = simulate(c, x);
+        // 2 combinational gates + 1 lt output can switch at most once
+        // each.
+        EXPECT_LE(r.gateTransitions, 2u);
+        EXPECT_LE(r.ltOutputTransitions, 1u);
+        EXPECT_LE(r.ltLatchTransitions, 1u);
+    }
+}
+
+TEST(GrlSim, QuietLinesZeroTransitions)
+{
+    // Sparse coding: lines with no event consume nothing.
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    SimResult r = simulate(c, V({kNo, kNo}), 20);
+    EXPECT_EQ(r.gateTransitions, 0u);
+    EXPECT_EQ(r.inputTransitions, 0u);
+    EXPECT_EQ(r.flopDataTransitions, 0u);
+}
+
+TEST(GrlSim, FlopTransitionsCountStages)
+{
+    // One event through a c-stage shift register toggles c flipflops.
+    Circuit c(1);
+    c.markOutput(c.delay(c.input(0), 5));
+    SimResult r = simulate(c, V({0}));
+    EXPECT_EQ(r.flopDataTransitions, 5u);
+    EXPECT_EQ(r.inputTransitions, 1u);
+}
+
+TEST(GrlSim, FallTimesCoverAllGates)
+{
+    Circuit c(2);
+    WireId m = c.andGate(c.input(0), c.input(1)); // min
+    WireId d = c.delay(m, 2);
+    c.markOutput(d);
+    SimResult r = simulate(c, V({4, 6}));
+    ASSERT_EQ(r.fallTime.size(), c.size());
+    EXPECT_EQ(r.fallTime[c.input(0)], 4_t);
+    EXPECT_EQ(r.fallTime[c.input(1)], 6_t);
+    EXPECT_EQ(r.fallTime[m], 4_t);
+    EXPECT_EQ(r.fallTime[d], 6_t);
+}
+
+TEST(GrlSim, RejectsArityMismatch)
+{
+    Circuit c(2);
+    c.markOutput(c.input(0));
+    EXPECT_THROW(simulate(c, V({1})), std::invalid_argument);
+}
+
+TEST(GrlSim, ResetAccountingCountsEndState)
+{
+    // a AND-min with one fall, one delay fully drained, one latch shut.
+    Circuit c(2);
+    WireId m = c.andGate(c.input(0), c.input(1));
+    c.delay(m, 3);
+    c.markOutput(c.ltCell(c.input(0), c.input(1)));
+    SimResult r = simulate(c, V({5, 2}));
+    // Fallen: both inputs, the AND, the delay, not the blocked lt.
+    EXPECT_EQ(r.fallenLines, 4u);
+    EXPECT_EQ(r.flopZeroBits, 3u);   // the 0 drained into all stages
+    EXPECT_EQ(r.latchesCaptured, 1u); // b fell before a
+    EXPECT_EQ(r.resetTransitions(), 4u + 3u + 1u);
+}
+
+TEST(GrlSim, QuietComputationNeedsNoReset)
+{
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    SimResult r = simulate(c, V({kNo, kNo}), 10);
+    EXPECT_EQ(r.resetTransitions(), 0u);
+}
+
+TEST(GrlSim, StreamAccumulatesForwardAndReset)
+{
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    std::vector<std::vector<Time>> volleys{
+        V({1, 3}), V({kNo, kNo}), V({0, 0})};
+    StreamResult stream = simulateStream(c, volleys, 8);
+    ASSERT_EQ(stream.computations.size(), 3u);
+    // Computation 0: 2 input falls + 1 gate fall forward; 3 lines reset.
+    // Computation 1: nothing. Computation 2: same as 0.
+    EXPECT_EQ(stream.forwardTransitions, 6u);
+    EXPECT_EQ(stream.resetTransitions, 6u);
+    EXPECT_EQ(stream.totalTransitions(), 12u);
+    EXPECT_EQ(stream.totalCycles, 3u * 9u);
+    EXPECT_EQ(stream.computations[2].outputs, V({0}));
+}
+
+TEST(GrlSim, StreamComputationsAreIndependent)
+{
+    // The reset between computations must fully erase latch state.
+    Circuit c(2);
+    c.markOutput(c.ltCell(c.input(0), c.input(1)));
+    std::vector<std::vector<Time>> volleys{
+        V({5, 1}), // blocks the latch
+        V({1, 5}), // must pass despite the earlier capture
+    };
+    StreamResult stream = simulateStream(c, volleys);
+    EXPECT_EQ(stream.computations[0].outputs, V({kNo}));
+    EXPECT_EQ(stream.computations[1].outputs, V({1}));
+}
+
+TEST(GrlEnergy, StreamEnergyIncludesReset)
+{
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+    std::vector<std::vector<Time>> volleys{V({1, 2}), V({2, 1})};
+    StreamResult stream = simulateStream(c, volleys, 6);
+    EnergyParams p;
+    EnergyReport r = estimateStreamEnergy(c, stream, p);
+    EXPECT_GT(r.reset, 0.0);
+    EXPECT_DOUBLE_EQ(r.reset, p.resetSwitch *
+                                  static_cast<double>(
+                                      stream.resetTransitions));
+    EXPECT_GT(r.total, r.reset);
+}
+
+TEST(GrlSim, SameCycleCascadeTieBlocks)
+{
+    // b's fall is produced combinationally in the same cycle as a's:
+    // the topological settle still blocks the lt (matches tlt).
+    Circuit c(2);
+    WireId m = c.andGate(c.input(0), c.input(1)); // min
+    c.markOutput(c.ltCell(c.input(0), m)); // a == min: tie when a wins
+    EXPECT_EQ(simulate(c, V({3, 9})).outputs, V({kNo}));
+    EXPECT_EQ(simulate(c, V({9, 3})).outputs, V({kNo}));
+}
+
+} // namespace
+} // namespace st::grl

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for VCD waveform export of GRL simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "grl/vcd.hpp"
+#include "test_helpers.hpp"
+
+namespace st::grl {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+Circuit
+smallCircuit()
+{
+    Circuit c(2);
+    WireId m = c.andGate(c.input(0), c.input(1)); // min
+    c.markOutput(c.delay(m, 2));
+    return c;
+}
+
+TEST(Vcd, ContainsHeaderAndDefinitions)
+{
+    Circuit c = smallCircuit();
+    SimResult sim = simulate(c, V({1, 3}));
+    std::string vcd = toVcd(c, sim);
+    EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$scope module grl $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+    // One $var per gate with kind-based default names.
+    EXPECT_NE(vcd.find("input0"), std::string::npos);
+    EXPECT_NE(vcd.find("and2"), std::string::npos);
+    EXPECT_NE(vcd.find("delay3"), std::string::npos);
+}
+
+TEST(Vcd, InitialStateIsAllHigh)
+{
+    Circuit c = smallCircuit();
+    SimResult sim = simulate(c, V({1, 3}));
+    std::string vcd = toVcd(c, sim);
+    auto dump = vcd.find("$dumpvars");
+    auto end = vcd.find("$end", dump);
+    std::string init = vcd.substr(dump, end - dump);
+    // Nothing falls at t=0 here: all initial values are 1.
+    EXPECT_EQ(std::count(init.begin(), init.end(), '0'), 0);
+    EXPECT_EQ(std::count(init.begin(), init.end(), '1'),
+              static_cast<long>(c.size()));
+}
+
+TEST(Vcd, FallsAppearAtTheirTimes)
+{
+    Circuit c = smallCircuit();
+    SimResult sim = simulate(c, V({1, 3}));
+    std::string vcd = toVcd(c, sim);
+    // input0 falls at 1, the AND falls at 1, the delay output at 3,
+    // input1 at 3.
+    EXPECT_NE(vcd.find("#1\n"), std::string::npos);
+    EXPECT_NE(vcd.find("#3\n"), std::string::npos);
+    // Change lines use '0' + identifier.
+    auto at1 = vcd.find("#1\n");
+    auto at3 = vcd.find("#3\n");
+    std::string between = vcd.substr(at1, at3 - at1);
+    EXPECT_EQ(std::count(between.begin(), between.end(), '\n'), 3);
+}
+
+TEST(Vcd, SpikeAtZeroDumpsAsInitialZero)
+{
+    Circuit c(1);
+    c.markOutput(c.input(0));
+    SimResult sim = simulate(c, V({0}), 4);
+    std::string vcd = toVcd(c, sim);
+    auto dump = vcd.find("$dumpvars");
+    auto end = vcd.find("$end", dump);
+    std::string init = vcd.substr(dump, end - dump);
+    EXPECT_NE(init.find('0'), std::string::npos);
+}
+
+TEST(Vcd, CustomNamesAndModule)
+{
+    Circuit c = smallCircuit();
+    SimResult sim = simulate(c, V({1, 3}));
+    VcdOptions opt;
+    opt.module = "srm0";
+    opt.names = {"x a", "x b"};
+    std::string vcd = toVcd(c, sim, opt);
+    EXPECT_NE(vcd.find("$scope module srm0 $end"), std::string::npos);
+    // Spaces in names are sanitized.
+    EXPECT_NE(vcd.find("x_a"), std::string::npos);
+    EXPECT_EQ(vcd.find("x a $end"), std::string::npos);
+}
+
+TEST(Vcd, QuietLinesNeverChange)
+{
+    Circuit c = smallCircuit();
+    SimResult sim = simulate(c, V({kNo, kNo}), 6);
+    std::string vcd = toVcd(c, sim);
+    // After the initial dump there are no value changes, only the
+    // closing timestamp.
+    auto dump_end = vcd.find("$end", vcd.find("$dumpvars"));
+    std::string tail = vcd.substr(dump_end + 4);
+    EXPECT_EQ(std::count(tail.begin(), tail.end(), '0'), 0);
+}
+
+TEST(Vcd, IdentifiersAreUniqueAndCompact)
+{
+    Circuit big(100);
+    for (size_t i = 0; i + 1 < 100; i += 2)
+        big.andGate(big.input(i), big.input(i + 1));
+    std::vector<Time> x(100, 2_t);
+    SimResult sim = simulate(big, x, 4);
+    std::string vcd = toVcd(big, sim);
+    // All 150 variables must be declared.
+    size_t vars = 0, pos = 0;
+    while ((pos = vcd.find("$var wire 1 ", pos)) != std::string::npos) {
+        ++vars;
+        pos += 1;
+    }
+    EXPECT_EQ(vars, big.size());
+}
+
+} // namespace
+} // namespace st::grl

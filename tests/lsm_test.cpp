@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the liquid-state-machine extension (paper Sec. II.C's
+ * deferred recurrent case): reservoir dynamics (determinism, bounded
+ * activity, fading memory), the separation property (different inputs
+ * -> different states), and end-to-end classification through a simple
+ * linear readout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/lsm.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+ReservoirParams
+smallReservoir()
+{
+    ReservoirParams p;
+    p.numInputs = 8;
+    p.numNeurons = 48;
+    p.seed = 5150;
+    return p;
+}
+
+TEST(Reservoir, RejectsBadConfig)
+{
+    ReservoirParams p = smallReservoir();
+    p.numInputs = 0;
+    EXPECT_THROW(Reservoir{p}, std::invalid_argument);
+    p = smallReservoir();
+    p.leak = 1.0;
+    EXPECT_THROW(Reservoir{p}, std::invalid_argument);
+}
+
+TEST(Reservoir, DeterministicConstructionAndRuns)
+{
+    Reservoir a(smallReservoir()), b(smallReservoir());
+    EXPECT_EQ(a.numConnections(), b.numConnections());
+    auto v = V({0, 1, 2, 3, kNo, kNo, 1, 0});
+    a.runVolley(v, 20);
+    b.runVolley(v, 20);
+    EXPECT_EQ(a.traces(), b.traces());
+    EXPECT_EQ(a.spikeCount(), b.spikeCount());
+}
+
+TEST(Reservoir, QuietInputQuietReservoir)
+{
+    Reservoir r(smallReservoir());
+    size_t spikes = r.runVolley(Volley(8, INF), 30);
+    EXPECT_EQ(spikes, 0u);
+    for (double t : r.traces())
+        EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Reservoir, InputDrivesActivity)
+{
+    Reservoir r(smallReservoir());
+    size_t spikes = r.runVolley(V({0, 0, 1, 1, 2, 2, 3, 3}), 20);
+    EXPECT_GT(spikes, 0u);
+    double total = 0;
+    for (double t : r.traces())
+        total += t;
+    EXPECT_GT(total, 0.0);
+}
+
+TEST(Reservoir, ActivityIsBounded)
+{
+    // Refractoriness bounds the rate: no neuron can spike more often
+    // than every (refractory + 1) steps.
+    ReservoirParams p = smallReservoir();
+    p.inputScale = 50.0; // hammer it
+    p.weightScale = 5.0;
+    Reservoir r(p);
+    const size_t steps = 40;
+    size_t spikes = r.runVolley(V({0, 0, 0, 0, 0, 0, 0, 0}), steps);
+    EXPECT_LE(spikes,
+              p.numNeurons * (steps / (p.refractory + 1) + 1));
+}
+
+TEST(Reservoir, ResetClearsState)
+{
+    Reservoir r(smallReservoir());
+    r.runVolley(V({0, 1, 0, 1, 0, 1, 0, 1}), 15);
+    ASSERT_GT(r.spikeCount(), 0u);
+    r.reset();
+    EXPECT_EQ(r.spikeCount(), 0u);
+    for (double t : r.traces())
+        EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Reservoir, ActivityFadesAfterInputStops)
+{
+    // Fading memory: traces decay once the stimulus is gone.
+    Reservoir r(smallReservoir());
+    r.runVolley(V({0, 0, 1, 1, 2, 2, 3, 3}), 8);
+    double right_after = 0;
+    for (double t : r.traces())
+        right_after += t;
+    for (int t = 0; t < 60; ++t)
+        r.step({});
+    double much_later = 0;
+    for (double t : r.traces())
+        much_later += t;
+    EXPECT_LT(much_later, right_after * 0.5);
+}
+
+TEST(Reservoir, SeparationProperty)
+{
+    // Different inputs must leave measurably different states.
+    Reservoir r(smallReservoir());
+    r.runVolley(V({0, 1, 2, 3, kNo, kNo, kNo, kNo}), 16);
+    auto state_a = r.traces();
+    r.reset();
+    r.runVolley(V({kNo, kNo, kNo, kNo, 3, 2, 1, 0}), 16);
+    auto state_b = r.traces();
+    double dist = 0;
+    for (size_t j = 0; j < state_a.size(); ++j)
+        dist += std::abs(state_a[j] - state_b[j]);
+    EXPECT_GT(dist, 1.0);
+}
+
+TEST(Reservoir, RejectsBadChannel)
+{
+    Reservoir r(smallReservoir());
+    std::vector<uint32_t> bad{99};
+    EXPECT_THROW(r.step(bad), std::out_of_range);
+    EXPECT_THROW(r.runVolley(Volley(3, INF), 5), std::invalid_argument);
+}
+
+TEST(LinearReadout, LearnsLinearlySeparableFeatures)
+{
+    LinearReadout readout(2, 2, 9);
+    Rng rng(10);
+    for (int i = 0; i < 4000; ++i) {
+        double x = rng.uniform(), y = rng.uniform();
+        std::vector<double> f{x, y};
+        readout.train(f, x > y ? 0u : 1u, 0.1);
+    }
+    size_t right = 0;
+    for (int i = 0; i < 200; ++i) {
+        double x = rng.uniform(), y = rng.uniform();
+        std::vector<double> f{x, y};
+        right += readout.classify(f) == (x > y ? 0u : 1u);
+    }
+    EXPECT_GE(right, 180u);
+}
+
+TEST(LinearReadout, RejectsBadArguments)
+{
+    EXPECT_THROW(LinearReadout(0, 2), std::invalid_argument);
+    LinearReadout r(2, 2);
+    std::vector<double> f{1.0};
+    EXPECT_THROW(r.train(f, 0), std::invalid_argument);
+    std::vector<double> ok{1.0, 2.0};
+    EXPECT_THROW(r.train(ok, 5), std::out_of_range);
+}
+
+/**
+ * The end-to-end LSM experiment: classify which temporal pattern was
+ * injected, reading the reservoir AFTER a silent delay — information
+ * the feedforward single-wave model cannot hold, demonstrated via the
+ * recurrent extension.
+ */
+TEST(LsmTraining, ClassifiesPatternsThroughFadingMemory)
+{
+    PatternSetParams dp;
+    dp.numClasses = 3;
+    dp.numLines = 8;
+    dp.timeSpan = 7;
+    dp.jitter = 0.25;
+    dp.seed = 777;
+    PatternDataset data(dp);
+
+    ReservoirParams rp = smallReservoir();
+    rp.numNeurons = 64;
+    Reservoir reservoir(rp);
+    LinearReadout readout(rp.numNeurons, dp.numClasses, 11);
+
+    const size_t delay = 4; // silent steps before reading the state
+    auto featurize = [&](const Volley &v) {
+        reservoir.reset();
+        reservoir.runVolley(v, 8 + delay);
+        return reservoir.traces();
+    };
+
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        for (const auto &s : data.sampleMany(60))
+            readout.train(featurize(s.volley), s.label, 0.05);
+    }
+    size_t right = 0;
+    const size_t tests = 150;
+    for (const auto &s : data.sampleMany(tests))
+        right += readout.classify(featurize(s.volley)) == s.label;
+    EXPECT_GT(static_cast<double>(right) / tests, 0.8)
+        << right << "/" << tests;
+}
+
+TEST(LsmTraining, AccuracyDegradesWithDelay)
+{
+    // Fading memory, quantified: longer silent delays before reading
+    // the state erase more information.
+    PatternSetParams dp;
+    dp.numClasses = 3;
+    dp.numLines = 8;
+    dp.timeSpan = 7;
+    dp.jitter = 0.25;
+    dp.seed = 778;
+    PatternDataset data(dp);
+    ReservoirParams rp = smallReservoir();
+    rp.numNeurons = 64;
+
+    auto accuracy_at = [&](size_t delay) {
+        Reservoir reservoir(rp);
+        LinearReadout readout(rp.numNeurons, dp.numClasses, 12);
+        auto featurize = [&](const Volley &v) {
+            reservoir.reset();
+            reservoir.runVolley(v, 8 + delay);
+            return reservoir.traces();
+        };
+        for (int epoch = 0; epoch < 10; ++epoch) {
+            for (const auto &s : data.sampleMany(50))
+                readout.train(featurize(s.volley), s.label, 0.05);
+        }
+        size_t right = 0;
+        for (const auto &s : data.sampleMany(120))
+            right += readout.classify(featurize(s.volley)) == s.label;
+        return static_cast<double>(right) / 120.0;
+    };
+
+    double near = accuracy_at(2);
+    double far = accuracy_at(40);
+    EXPECT_GT(near, 0.7);
+    EXPECT_LT(far, near);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the unsupervised-evaluation metrics (confusion matrix,
+ * purity, majority assignment, coverage).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tnn/metrics.hpp"
+
+namespace st {
+namespace {
+
+TEST(ConfusionMatrix, RejectsEmptyDimensions)
+{
+    EXPECT_THROW(ConfusionMatrix(0, 2), std::invalid_argument);
+    EXPECT_THROW(ConfusionMatrix(2, 0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, AccumulatesCells)
+{
+    ConfusionMatrix m(2, 2);
+    m.add(0, 0);
+    m.add(0, 0);
+    m.add(1, 1);
+    m.add(0, 1);
+    EXPECT_EQ(m.at(0, 0), 2u);
+    EXPECT_EQ(m.at(0, 1), 1u);
+    EXPECT_EQ(m.at(1, 1), 1u);
+    EXPECT_EQ(m.at(1, 0), 0u);
+    EXPECT_EQ(m.total(), 4u);
+}
+
+TEST(ConfusionMatrix, TracksUnassigned)
+{
+    ConfusionMatrix m(2, 2);
+    m.add(std::nullopt, 0);
+    m.add(0, 0);
+    EXPECT_EQ(m.unassigned(), 1u);
+    EXPECT_DOUBLE_EQ(m.coverage(), 0.5);
+}
+
+TEST(ConfusionMatrix, PerfectClusteringHasPurityOne)
+{
+    ConfusionMatrix m(3, 3);
+    for (int i = 0; i < 10; ++i) {
+        m.add(0, 0);
+        m.add(1, 1);
+        m.add(2, 2);
+    }
+    EXPECT_DOUBLE_EQ(m.purity(), 1.0);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+    EXPECT_EQ(m.distinctLabelsCovered(), 3u);
+}
+
+TEST(ConfusionMatrix, MixedClusterLowersPurity)
+{
+    ConfusionMatrix m(1, 2);
+    m.add(0, 0);
+    m.add(0, 0);
+    m.add(0, 0);
+    m.add(0, 1);
+    EXPECT_DOUBLE_EQ(m.purity(), 0.75);
+}
+
+TEST(ConfusionMatrix, UnassignedCountAgainstPurity)
+{
+    ConfusionMatrix m(1, 1);
+    m.add(0, 0);
+    m.add(std::nullopt, 0);
+    EXPECT_DOUBLE_EQ(m.purity(), 0.5);
+}
+
+TEST(ConfusionMatrix, MajorityAssignment)
+{
+    ConfusionMatrix m(3, 2);
+    m.add(0, 1);
+    m.add(0, 1);
+    m.add(0, 0);
+    m.add(1, 0);
+    // Cluster 2 never fires.
+    auto assignment = m.majorityAssignment();
+    ASSERT_EQ(assignment.size(), 3u);
+    EXPECT_EQ(assignment[0], 1u);
+    EXPECT_EQ(assignment[1], 0u);
+    EXPECT_FALSE(assignment[2].has_value());
+    EXPECT_EQ(m.distinctLabelsCovered(), 2u);
+}
+
+TEST(ConfusionMatrix, AccuracyUsesMajorityMapping)
+{
+    ConfusionMatrix m(2, 2);
+    m.add(0, 0); // cluster 0 -> label 0
+    m.add(0, 0);
+    m.add(0, 1); // miss
+    m.add(1, 1); // cluster 1 -> label 1
+    EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange)
+{
+    ConfusionMatrix m(2, 2);
+    EXPECT_THROW(m.add(5, 0), std::out_of_range);
+    EXPECT_THROW(m.add(0, 5), std::out_of_range);
+    EXPECT_THROW(m.at(2, 0), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixMetrics)
+{
+    ConfusionMatrix m(2, 2);
+    EXPECT_DOUBLE_EQ(m.purity(), 0.0);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(m.coverage(), 0.0);
+}
+
+TEST(ConfusionMatrix, RendersAsciiTable)
+{
+    ConfusionMatrix m(2, 2);
+    m.add(0, 1);
+    std::string s = m.str();
+    EXPECT_NE(s.find("N0"), std::string::npos);
+    EXPECT_NE(s.find("L1"), std::string::npos);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for micro-weights and programmable synapses (paper Sec. IV.B,
+ * Figs. 13-14): the enable/disable gate semantics, thermometer weight
+ * selection, and the headline property that a ProgrammableSrm0 at weight
+ * vector w behaves exactly like a fixed SRM0 whose synapses use
+ * family[w_i].
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "neuron/microweight.hpp"
+#include "neuron/srm0_reference.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(MicroWeight, GatePassesWhenInf)
+{
+    // Fig. 13: mu = inf enables the tap, mu = 0 silences it.
+    Network net(1);
+    NodeId mu = net.config(INF);
+    net.markOutput(emitMicroWeightGate(net, net.input(0), mu));
+    EXPECT_EQ(net.evaluate(V({7}))[0], 7_t);
+    net.setConfig(mu, 0_t);
+    EXPECT_EQ(net.evaluate(V({7}))[0], INF);
+    EXPECT_EQ(net.evaluate(V({0}))[0], INF); // even a t=0 spike
+}
+
+TEST(ProgrammableSynapse, RejectsEmptyFamily)
+{
+    Network net(1);
+    EXPECT_THROW(ProgrammableSynapse(net, net.input(0), {}),
+                 std::invalid_argument);
+}
+
+TEST(ProgrammableSynapse, TapCountsCoverFamilyDeltas)
+{
+    Network net(1);
+    auto family = scaledStepFamily(4); // weight w jumps by w at t=0
+    ProgrammableSynapse syn(net, net.input(0), family);
+    EXPECT_EQ(syn.maxWeight(), 4u);
+    EXPECT_EQ(syn.numMicroWeights(), 4u);
+    // Each level adds exactly one unit up-step (amplitude grows by 1).
+    EXPECT_EQ(syn.upTaps().size(), 4u);
+    EXPECT_TRUE(syn.downTaps().empty());
+}
+
+TEST(ProgrammableSynapse, WeightSelectionIsThermometer)
+{
+    Network net(1);
+    auto family = scaledStepFamily(3);
+    ProgrammableSynapse syn(net, net.input(0), family);
+    for (NodeId tap : syn.upTaps())
+        net.markOutput(tap);
+
+    syn.setWeight(net, 2);
+    EXPECT_EQ(syn.weight(), 2u);
+    auto out = net.evaluate(V({5}));
+    size_t active = 0;
+    for (Time t : out)
+        active += t.isFinite();
+    EXPECT_EQ(active, 2u); // exactly w taps enabled
+
+    syn.setWeight(net, 0);
+    out = net.evaluate(V({5}));
+    for (Time t : out)
+        EXPECT_EQ(t, INF);
+}
+
+TEST(ProgrammableSynapse, RejectsOutOfRangeWeight)
+{
+    Network net(1);
+    ProgrammableSynapse syn(net, net.input(0), scaledStepFamily(2));
+    EXPECT_THROW(syn.setWeight(net, 3), std::out_of_range);
+}
+
+TEST(ProgrammableSynapse, AlwaysActiveLevelZeroResponse)
+{
+    // family[0] may itself be nonzero (an unconditional baseline tap).
+    Network net(1);
+    std::vector<ResponseFunction> family{ResponseFunction::step(1),
+                                         ResponseFunction::step(2)};
+    ProgrammableSynapse syn(net, net.input(0), family);
+    for (NodeId tap : syn.upTaps())
+        net.markOutput(tap);
+    // Weight 0: only the baseline tap is live.
+    auto out = net.evaluate(V({3}));
+    size_t active = 0;
+    for (Time t : out)
+        active += t.isFinite();
+    EXPECT_EQ(active, 1u);
+}
+
+TEST(ScaledFamilies, ShapesAndSizes)
+{
+    auto biexp = scaledBiexpFamily(4);
+    ASSERT_EQ(biexp.size(), 5u);
+    EXPECT_TRUE(biexp[0].isZero());
+    for (size_t w = 1; w <= 4; ++w)
+        EXPECT_EQ(biexp[w].peak(), static_cast<int>(w));
+
+    auto steps = scaledStepFamily(3);
+    ASSERT_EQ(steps.size(), 4u);
+    EXPECT_EQ(steps[3].finalValue(), 3);
+}
+
+/**
+ * The Fig. 14 headline property: a programmable neuron at weights
+ * (w1..wq) equals the fixed neuron with responses family[w_i].
+ */
+class ProgrammableVsFixed : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ProgrammableVsFixed, BiexpFamilyMatchesFixedNeuron)
+{
+    Rng rng(GetParam());
+    auto family = scaledBiexpFamily(3);
+    const size_t arity = 3;
+    ProgrammableSrm0 prog(arity, family, 3);
+
+    for (int config = 0; config < 4; ++config) {
+        std::vector<size_t> w(arity);
+        std::vector<ResponseFunction> fixed_syn;
+        for (size_t i = 0; i < arity; ++i) {
+            w[i] = rng.below(family.size());
+            prog.setWeight(i, w[i]);
+            fixed_syn.push_back(family[w[i]]);
+        }
+        Srm0Neuron fixed(fixed_syn, 3);
+        for (int s = 0; s < 40; ++s) {
+            auto x = testing::randomVolley(rng, arity, 10, 0.2);
+            EXPECT_EQ(prog.fire(x), fixed.fire(x))
+                << "weights [" << w[0] << "," << w[1] << "," << w[2]
+                << "] at " << volleyStr(x);
+        }
+    }
+}
+
+TEST_P(ProgrammableVsFixed, StepFamilyMatchesFixedNeuron)
+{
+    Rng rng(GetParam() ^ 0xf00d);
+    auto family = scaledStepFamily(4);
+    const size_t arity = 4;
+    ProgrammableSrm0 prog(arity, family, 4);
+
+    for (int config = 0; config < 4; ++config) {
+        std::vector<ResponseFunction> fixed_syn;
+        for (size_t i = 0; i < arity; ++i) {
+            size_t w = rng.below(family.size());
+            prog.setWeight(i, w);
+            fixed_syn.push_back(family[w]);
+        }
+        Srm0Neuron fixed(fixed_syn, 4);
+        for (int s = 0; s < 40; ++s) {
+            auto x = testing::randomVolley(rng, arity, 8, 0.25);
+            EXPECT_EQ(prog.fire(x), fixed.fire(x)) << volleyStr(x);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgrammableVsFixed,
+                         ::testing::Values(101, 202, 303));
+
+TEST(ProgrammableSrm0, Fig14WeightThreeExample)
+{
+    // The paper's example: to set synaptic weight 3 in a 0..4 range,
+    // mu1..mu3 = inf and mu4 = 0. Observable: the neuron behaves as the
+    // weight-3 response.
+    auto family = scaledStepFamily(4);
+    ProgrammableSrm0 prog(1, family, 3);
+    prog.setWeight(0, 3);
+    EXPECT_EQ(prog.fire(V({2})), 2_t); // 3 units >= theta=3 at t=2
+    prog.setWeight(0, 2);
+    EXPECT_EQ(prog.fire(V({2})), INF); // 2 units < theta
+}
+
+TEST(ProgrammableSrm0, AllWeightsZeroNeverFires)
+{
+    ProgrammableSrm0 prog(2, scaledStepFamily(3), 1);
+    EXPECT_EQ(prog.fire(V({0, 0})), INF);
+    prog.setWeight(0, 1);
+    EXPECT_EQ(prog.fire(V({0, 0})), 0_t);
+}
+
+TEST(ProgrammableSrm0, WeightAccessors)
+{
+    ProgrammableSrm0 prog(2, scaledStepFamily(3), 1);
+    EXPECT_EQ(prog.maxWeight(), 3u);
+    EXPECT_EQ(prog.weight(0), 0u);
+    prog.setWeight(0, 2);
+    EXPECT_EQ(prog.weight(0), 2u);
+    EXPECT_THROW(prog.setWeight(9, 1), std::out_of_range);
+}
+
+TEST(ProgrammableSrm0, RejectsBadConfig)
+{
+    EXPECT_THROW(ProgrammableSrm0(0, scaledStepFamily(2), 1),
+                 std::invalid_argument);
+    EXPECT_THROW(ProgrammableSrm0(2, scaledStepFamily(2), 0),
+                 std::invalid_argument);
+}
+
+TEST(ProgrammableSrm0, NetworkIsInspectable)
+{
+    ProgrammableSrm0 prog(2, scaledStepFamily(2), 1);
+    const Network &net = prog.network();
+    EXPECT_EQ(net.numInputs(), 2u);
+    EXPECT_EQ(net.outputs().size(), 1u);
+    EXPECT_GT(net.countOf(Op::Config), 0u); // the micro-weights
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for network text serialization: round-trips, format details,
+ * and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network_io.hpp"
+#include "core/synthesis.hpp"
+#include "neuron/srm0_network.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+Network
+sampleNetwork()
+{
+    Network net(3);
+    NodeId m = net.min(net.input(0), net.input(1));
+    NodeId d = net.inc(m, 2);
+    NodeId y = net.lt(d, net.input(2));
+    NodeId mu = net.config(INF);
+    NodeId g = net.lt(y, mu);
+    net.setLabel(g, "gated out");
+    net.markOutput(g);
+    return net;
+}
+
+TEST(NetworkIo, TextContainsStructure)
+{
+    std::string text = networkToText(sampleNetwork());
+    EXPECT_NE(text.find("stnet 1"), std::string::npos);
+    EXPECT_NE(text.find("inputs 3"), std::string::npos);
+    EXPECT_NE(text.find("n3 = min n0 n1"), std::string::npos);
+    EXPECT_NE(text.find("n4 = inc n3 2"), std::string::npos);
+    EXPECT_NE(text.find("n6 = config inf"), std::string::npos);
+    EXPECT_NE(text.find("label n7 gated out"), std::string::npos);
+    EXPECT_NE(text.find("output n7"), std::string::npos);
+}
+
+TEST(NetworkIo, RoundTripPreservesSemantics)
+{
+    Network net = sampleNetwork();
+    Network back = networkFromText(networkToText(net));
+    EXPECT_EQ(back.size(), net.size());
+    EXPECT_EQ(back.numInputs(), net.numInputs());
+    EXPECT_EQ(back.outputs(), net.outputs());
+    testing::forAllVolleys(3, 4, [&](const std::vector<Time> &u) {
+        EXPECT_EQ(back.evaluate(u), net.evaluate(u));
+    });
+}
+
+TEST(NetworkIo, RoundTripPreservesLabels)
+{
+    Network back = networkFromText(networkToText(sampleNetwork()));
+    EXPECT_EQ(back.label(back.outputs()[0]), "gated out");
+}
+
+TEST(NetworkIo, RoundTripsRandomNetworks)
+{
+    Rng rng(808);
+    for (int trial = 0; trial < 20; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 14);
+        Network back = networkFromText(networkToText(net));
+        for (int s = 0; s < 30; ++s) {
+            auto x = testing::randomVolley(rng, 3, 9);
+            EXPECT_EQ(back.evaluate(x), net.evaluate(x));
+        }
+        // Idempotent serialization.
+        EXPECT_EQ(networkToText(back), networkToText(net));
+    }
+}
+
+TEST(NetworkIo, RoundTripsSrm0Construction)
+{
+    ResponseFunction r = ResponseFunction::biexponential(2, 4.0, 1.0);
+    Network net = buildSrm0Network({r, r}, 2);
+    Network back = networkFromText(networkToText(net));
+    Rng rng(9);
+    for (int s = 0; s < 50; ++s) {
+        auto x = testing::randomVolley(rng, 2, 8);
+        EXPECT_EQ(back.evaluate(x), net.evaluate(x));
+    }
+}
+
+TEST(NetworkIo, ParsesCommentsAndBlankLines)
+{
+    const std::string text = "# a comment\n"
+                             "stnet 1\n"
+                             "\n"
+                             "inputs 2\n"
+                             "n2 = min n0 n1  # trailing comment\n"
+                             "output n2\n";
+    Network net = networkFromText(text);
+    EXPECT_EQ(net.evaluate(V({4, 2}))[0], 2_t);
+}
+
+TEST(NetworkIo, ParsesFiniteConfig)
+{
+    const std::string text = "stnet 1\ninputs 1\n"
+                             "n1 = config 0\n"
+                             "n2 = lt n0 n1\n"
+                             "output n2\n";
+    Network net = networkFromText(text);
+    EXPECT_EQ(net.evaluate(V({3}))[0], INF); // gated off
+}
+
+TEST(NetworkIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(networkFromText(""), std::invalid_argument);
+    EXPECT_THROW(networkFromText("stnet 2\ninputs 1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(networkFromText("stnet 1\n"), std::invalid_argument);
+    EXPECT_THROW(networkFromText("stnet 1\ninputs 1\nn1 = bogus n0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(networkFromText("stnet 1\ninputs 1\nn1 = lt n0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        networkFromText("stnet 1\ninputs 1\nn5 = inc n0 1\n"),
+        std::invalid_argument); // id out of sequence
+    EXPECT_THROW(
+        networkFromText("stnet 1\ninputs 1\nn1 = inc n9 1\n"),
+        std::out_of_range); // dangling reference
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the feedforward network IR (paper Sec. III.C): builder
+ * validation, primitive evaluation, the Fig. 6 example blocks, config
+ * (micro-weight) nodes, composition via append, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "core/network_dot.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Network, InputsAreIdentity)
+{
+    Network net(3);
+    net.markOutput(net.input(0));
+    net.markOutput(net.input(2));
+    auto out = net.evaluate(V({4, 5, kNo}));
+    EXPECT_EQ(out, V({4, kNo}));
+}
+
+TEST(Network, IncBlock)
+{
+    // Fig. 6a: the inc block emits one unit after its input; chaining c
+    // of them adds a constant c.
+    Network net(1);
+    net.markOutput(net.inc(net.input(0)));
+    net.markOutput(net.inc(net.input(0), 5));
+    EXPECT_EQ(net.evaluate(V({3})), V({4, 8}));
+    EXPECT_EQ(net.evaluate(V({kNo})), V({kNo, kNo}));
+}
+
+TEST(Network, MinBlock)
+{
+    // Fig. 6a: min emits at the time of the first-arriving input spike.
+    Network net(2);
+    net.markOutput(net.min(net.input(0), net.input(1)));
+    EXPECT_EQ(net.evaluate(V({4, 2}))[0], 2_t);
+    EXPECT_EQ(net.evaluate(V({kNo, 2}))[0], 2_t);
+    EXPECT_EQ(net.evaluate(V({kNo, kNo}))[0], INF);
+}
+
+TEST(Network, LtBlock)
+{
+    // Fig. 6a: lt emits input a iff a arrives strictly earlier than b.
+    Network net(2);
+    net.markOutput(net.lt(net.input(0), net.input(1)));
+    EXPECT_EQ(net.evaluate(V({2, 4}))[0], 2_t);
+    EXPECT_EQ(net.evaluate(V({4, 2}))[0], INF);
+    EXPECT_EQ(net.evaluate(V({3, 3}))[0], INF);
+    EXPECT_EQ(net.evaluate(V({3, kNo}))[0], 3_t);
+}
+
+TEST(Network, MaxBlock)
+{
+    Network net(2);
+    net.markOutput(net.max(net.input(0), net.input(1)));
+    EXPECT_EQ(net.evaluate(V({2, 4}))[0], 4_t);
+    EXPECT_EQ(net.evaluate(V({2, kNo}))[0], INF);
+}
+
+TEST(Network, NaryMinMax)
+{
+    Network net(4);
+    std::vector<NodeId> all{net.input(0), net.input(1), net.input(2),
+                            net.input(3)};
+    net.markOutput(net.min(std::span<const NodeId>(all)));
+    net.markOutput(net.max(std::span<const NodeId>(all)));
+    auto out = net.evaluate(V({7, 3, 9, 5}));
+    EXPECT_EQ(out, V({3, 9}));
+}
+
+TEST(Network, Fig6bStyleComposition)
+{
+    // A small composed network in the spirit of Fig. 6b: y = lt(min(a,
+    // b) + 1, c). Hand-derived values below.
+    Network net(3);
+    NodeId m = net.min(net.input(0), net.input(1));
+    NodeId d = net.inc(m, 1);
+    NodeId y = net.lt(d, net.input(2));
+    net.markOutput(y);
+    // min(2,5)=2, +1=3, 3 < 4 -> 3.
+    EXPECT_EQ(net.evaluate(V({2, 5, 4}))[0], 3_t);
+    // min(2,5)=2, +1=3, 3 < 3 fails -> inf.
+    EXPECT_EQ(net.evaluate(V({2, 5, 3}))[0], INF);
+    // c absent -> 3 < inf -> 3.
+    EXPECT_EQ(net.evaluate(V({2, 5, kNo}))[0], 3_t);
+}
+
+TEST(Network, ConfigNodesProgramBehavior)
+{
+    Network net(1);
+    NodeId mu = net.config(INF);
+    net.markOutput(net.lt(net.input(0), mu));
+    EXPECT_EQ(net.evaluate(V({5}))[0], 5_t); // enabled
+    net.setConfig(mu, 0_t);
+    EXPECT_EQ(net.evaluate(V({5}))[0], INF); // disabled
+    EXPECT_EQ(net.getConfig(mu), 0_t);
+}
+
+TEST(Network, ConfigAccessorsRejectNonConfig)
+{
+    Network net(1);
+    NodeId inc = net.inc(net.input(0));
+    EXPECT_THROW(net.setConfig(inc, INF), std::invalid_argument);
+    EXPECT_THROW(net.getConfig(inc), std::invalid_argument);
+    EXPECT_THROW(net.setConfig(net.input(0), INF), std::invalid_argument);
+}
+
+TEST(Network, BuilderRejectsBadIds)
+{
+    Network net(2);
+    EXPECT_THROW(net.input(2), std::out_of_range);
+    EXPECT_THROW(net.inc(99), std::out_of_range);
+    EXPECT_THROW(net.min(0, 99), std::out_of_range);
+    EXPECT_THROW(net.markOutput(99), std::out_of_range);
+    EXPECT_THROW(net.min(std::span<const NodeId>{}),
+                 std::invalid_argument);
+}
+
+TEST(Network, EvaluateRejectsArityMismatch)
+{
+    Network net(2);
+    net.markOutput(net.input(0));
+    EXPECT_THROW(net.evaluate(V({1})), std::invalid_argument);
+}
+
+TEST(Network, EvaluateAllExposesInternalValues)
+{
+    Network net(2);
+    NodeId m = net.min(net.input(0), net.input(1));
+    NodeId d = net.inc(m, 2);
+    auto all = net.evaluateAll(V({4, 6}));
+    EXPECT_EQ(all[m], 4_t);
+    EXPECT_EQ(all[d], 6_t);
+}
+
+TEST(Network, CountsAndSize)
+{
+    Network net(2);
+    net.inc(net.input(0), 3);
+    net.min(net.input(0), net.input(1));
+    net.lt(net.input(0), net.input(1));
+    net.config(INF);
+    EXPECT_EQ(net.size(), 6u);
+    EXPECT_EQ(net.countOf(Op::Input), 2u);
+    EXPECT_EQ(net.countOf(Op::Inc), 1u);
+    EXPECT_EQ(net.countOf(Op::Min), 1u);
+    EXPECT_EQ(net.countOf(Op::Lt), 1u);
+    EXPECT_EQ(net.countOf(Op::Config), 1u);
+    EXPECT_EQ(net.countOf(Op::Max), 0u);
+}
+
+TEST(Network, DepthIsLongestBlockPath)
+{
+    Network net(1);
+    EXPECT_EQ(net.depth(), 0u);
+    NodeId a = net.inc(net.input(0));
+    NodeId b = net.inc(a);
+    net.min(net.input(0), b);
+    EXPECT_EQ(net.depth(), 3u); // inc -> inc -> min
+}
+
+TEST(Network, TotalIncStages)
+{
+    Network net(1);
+    net.inc(net.input(0), 3);
+    net.inc(net.input(0), 0);
+    net.inc(net.input(0), 7);
+    EXPECT_EQ(net.totalIncStages(), 10u);
+}
+
+TEST(Network, AppendEmbedsSubnetwork)
+{
+    // sub computes lt(x0 + 2, x1).
+    Network sub(2);
+    sub.markOutput(sub.lt(sub.inc(sub.input(0), 2), sub.input(1)));
+
+    Network net(2);
+    NodeId m = net.min(net.input(0), net.input(1));
+    std::vector<NodeId> actuals{m, net.input(1)};
+    auto outs = net.append(sub, actuals);
+    ASSERT_EQ(outs.size(), 1u);
+    net.markOutput(outs[0]);
+
+    // min(1,5)=1, +2=3, 3<5 -> 3.
+    EXPECT_EQ(net.evaluate(V({1, 5}))[0], 3_t);
+    // min(4,5)=4, +2=6, 6<5 fails -> inf.
+    EXPECT_EQ(net.evaluate(V({4, 5}))[0], INF);
+}
+
+TEST(Network, AppendCopiesConfigIndependently)
+{
+    Network sub(1);
+    NodeId mu = sub.config(INF);
+    sub.markOutput(sub.lt(sub.input(0), mu));
+
+    Network net(1);
+    std::vector<NodeId> actuals{net.input(0)};
+    auto outs1 = net.append(sub, actuals);
+    auto outs2 = net.append(sub, actuals);
+    net.markOutput(outs1[0]);
+    net.markOutput(outs2[0]);
+
+    // Disable only the second copy's micro-weight.
+    NodeId mu2 = net.nodes()[outs2[0]].fanin[1];
+    net.setConfig(mu2, 0_t);
+    auto out = net.evaluate(V({4}));
+    EXPECT_EQ(out[0], 4_t);
+    EXPECT_EQ(out[1], INF);
+}
+
+TEST(Network, AppendRejectsWrongActualCount)
+{
+    Network sub(2);
+    sub.markOutput(sub.min(sub.input(0), sub.input(1)));
+    Network net(1);
+    std::vector<NodeId> actuals{net.input(0)};
+    EXPECT_THROW(net.append(sub, actuals), std::invalid_argument);
+}
+
+TEST(Network, LabelsRoundTrip)
+{
+    Network net(1);
+    NodeId a = net.inc(net.input(0));
+    net.setLabel(a, "delay");
+    EXPECT_EQ(net.label(a), "delay");
+    EXPECT_EQ(net.label(net.input(0)), "");
+}
+
+TEST(Network, DotExportContainsStructure)
+{
+    Network net(2);
+    NodeId m = net.min(net.input(0), net.input(1));
+    net.setLabel(m, "first");
+    net.markOutput(m);
+    std::string dot = toDot(net, "demo");
+    EXPECT_NE(dot.find("digraph demo"), std::string::npos);
+    EXPECT_NE(dot.find("min"), std::string::npos);
+    EXPECT_NE(dot.find("(first)"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+    EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+}
+
+TEST(Network, DotExportLabelsLtPorts)
+{
+    Network net(2);
+    net.markOutput(net.lt(net.input(0), net.input(1)));
+    std::string dot = toDot(net);
+    EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"b\""), std::string::npos);
+}
+
+TEST(Network, OpNames)
+{
+    EXPECT_STREQ(opName(Op::Input), "input");
+    EXPECT_STREQ(opName(Op::Config), "config");
+    EXPECT_STREQ(opName(Op::Inc), "inc");
+    EXPECT_STREQ(opName(Op::Min), "min");
+    EXPECT_STREQ(opName(Op::Max), "max");
+    EXPECT_STREQ(opName(Op::Lt), "lt");
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the network optimization passes: CSE merges structurally
+ * identical blocks (but never config nodes), DCE drops unreachable
+ * blocks, and both provably preserve the computed function on the
+ * paper's constructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optimize.hpp"
+#include "core/properties.hpp"
+#include "core/synthesis.hpp"
+#include "neuron/sorting.hpp"
+#include "neuron/srm0_network.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Cse, MergesIdenticalIncs)
+{
+    Network net(1);
+    NodeId a = net.inc(net.input(0), 3);
+    NodeId b = net.inc(net.input(0), 3);
+    NodeId c = net.inc(net.input(0), 4); // different constant: kept
+    net.markOutput(net.min(a, b));
+    net.markOutput(c);
+    Network opt = shareCommonSubexpressions(net);
+    EXPECT_EQ(opt.countOf(Op::Inc), 2u);
+    // min(a, a) collapses to a unary identity.
+    EXPECT_EQ(opt.evaluate(V({5})), net.evaluate(V({5})));
+}
+
+TEST(Cse, CanonicalizesCommutativeOperands)
+{
+    Network net(2);
+    NodeId m1 = net.min(net.input(0), net.input(1));
+    NodeId m2 = net.min(net.input(1), net.input(0)); // same value
+    net.markOutput(net.max(m1, m2));
+    Network opt = shareCommonSubexpressions(net);
+    EXPECT_EQ(opt.countOf(Op::Min), 1u);
+    EXPECT_EQ(opt.evaluate(V({3, 7})), net.evaluate(V({3, 7})));
+}
+
+TEST(Cse, LtIsOrderSensitive)
+{
+    Network net(2);
+    net.markOutput(net.lt(net.input(0), net.input(1)));
+    net.markOutput(net.lt(net.input(1), net.input(0)));
+    Network opt = shareCommonSubexpressions(net);
+    EXPECT_EQ(opt.countOf(Op::Lt), 2u); // NOT merged
+    EXPECT_EQ(opt.evaluate(V({2, 9})), net.evaluate(V({2, 9})));
+}
+
+TEST(Cse, NeverMergesConfigNodes)
+{
+    Network net(1);
+    NodeId mu1 = net.config(INF);
+    NodeId mu2 = net.config(INF); // same value, but independent state
+    net.markOutput(net.lt(net.input(0), mu1));
+    net.markOutput(net.lt(net.input(0), mu2));
+    Network opt = shareCommonSubexpressions(net);
+    EXPECT_EQ(opt.countOf(Op::Config), 2u);
+    // They must remain independently programmable.
+    NodeId cfg2 = opt.nodes()[opt.outputs()[1]].fanin[1];
+    opt.setConfig(cfg2, 0_t);
+    auto out = opt.evaluate(V({4}));
+    EXPECT_EQ(out[0], 4_t);
+    EXPECT_EQ(out[1], INF);
+}
+
+TEST(Cse, DedupesIdempotentOperandLists)
+{
+    Network net(1);
+    NodeId a = net.inc(net.input(0), 1);
+    std::vector<NodeId> ops{a, a, a};
+    net.markOutput(net.min(std::span<const NodeId>(ops)));
+    Network opt = shareCommonSubexpressions(net);
+    EXPECT_EQ(opt.evaluate(V({2}))[0], 3_t);
+}
+
+TEST(Dce, DropsUnreachableBlocks)
+{
+    Network net(2);
+    NodeId used = net.min(net.input(0), net.input(1));
+    net.inc(net.input(0), 5); // dead
+    net.max(net.input(0), net.input(1)); // dead
+    net.markOutput(used);
+    Network opt = eliminateDeadNodes(net);
+    EXPECT_EQ(opt.size(), 3u); // 2 inputs + 1 min
+    EXPECT_EQ(opt.evaluate(V({4, 6})), net.evaluate(V({4, 6})));
+}
+
+TEST(Dce, KeepsAllInputs)
+{
+    Network net(3);
+    net.markOutput(net.input(2)); // inputs 0 and 1 unused
+    Network opt = eliminateDeadNodes(net);
+    EXPECT_EQ(opt.numInputs(), 3u);
+    EXPECT_EQ(opt.evaluate(V({1, 2, 3}))[0], 3_t);
+}
+
+TEST(Dce, KeepsTransitiveDependencies)
+{
+    Network net(1);
+    NodeId a = net.inc(net.input(0), 1);
+    NodeId b = net.inc(a, 1);
+    NodeId c = net.inc(b, 1);
+    net.inc(a, 9); // dead branch off a live node
+    net.markOutput(c);
+    Network opt = eliminateDeadNodes(net);
+    EXPECT_EQ(opt.countOf(Op::Inc), 3u);
+    EXPECT_EQ(opt.evaluate(V({0}))[0], 3_t);
+}
+
+TEST(Optimize, ShrinksMintermNetworks)
+{
+    // Minterm synthesis duplicates inc taps across rows; CSE folds them.
+    FunctionTable t(3);
+    t.addRow(V({0, 1, 2}), 3_t);
+    t.addRow(V({0, 1, kNo}), 2_t);
+    t.addRow(V({0, 2, 2}), 2_t);
+    SynthesisOptions opt_flags;
+    opt_flags.skipZeroIncs = false; // leave redundancy on the table
+    Network raw = synthesizeMinterms(t, opt_flags);
+    Network opt = optimize(raw);
+    EXPECT_LT(opt.size(), raw.size());
+    testing::forAllVolleys(3, 5, [&](const std::vector<Time> &u) {
+        EXPECT_EQ(opt.evaluate(u)[0], raw.evaluate(u)[0])
+            << "at " << volleyStr(u);
+    });
+}
+
+TEST(Optimize, ShrinksSrm0Networks)
+{
+    ResponseFunction r = ResponseFunction::biexponential(3, 4.0, 1.0);
+    Network raw = buildSrm0Network({r, r, r}, 3);
+    Network opt = optimize(raw);
+    EXPECT_LT(opt.size(), raw.size());
+    Rng rng(17);
+    for (int s = 0; s < 200; ++s) {
+        auto x = testing::randomVolley(rng, 3, 10);
+        EXPECT_EQ(opt.evaluate(x), raw.evaluate(x));
+    }
+}
+
+TEST(FactorDelays, SharesChainPrefixes)
+{
+    // Taps +1, +2, +5 from one source: 8 naive stages, 5 factored.
+    Network net(1);
+    NodeId a = net.inc(net.input(0), 1);
+    NodeId b = net.inc(net.input(0), 2);
+    NodeId c = net.inc(net.input(0), 5);
+    net.markOutput(a);
+    net.markOutput(b);
+    net.markOutput(c);
+    EXPECT_EQ(net.totalIncStages(), 8u);
+    Network factored = factorDelays(net);
+    EXPECT_EQ(factored.totalIncStages(), 5u);
+    EXPECT_EQ(factored.evaluate(V({3})), V({4, 5, 8}));
+    EXPECT_EQ(factored.evaluate(V({kNo})), V({kNo, kNo, kNo}));
+}
+
+TEST(FactorDelays, MergesDuplicateTaps)
+{
+    Network net(1);
+    net.markOutput(net.inc(net.input(0), 3));
+    net.markOutput(net.inc(net.input(0), 3));
+    Network factored = factorDelays(net);
+    EXPECT_EQ(factored.totalIncStages(), 3u);
+    EXPECT_EQ(factored.evaluate(V({1})), V({4, 4}));
+}
+
+TEST(FactorDelays, IndependentSourcesKeepIndependentChains)
+{
+    Network net(2);
+    net.markOutput(net.inc(net.input(0), 4));
+    net.markOutput(net.inc(net.input(1), 4));
+    Network factored = factorDelays(net);
+    EXPECT_EQ(factored.totalIncStages(), 8u); // no cross-source sharing
+    EXPECT_EQ(factored.evaluate(V({1, 2})), V({5, 6}));
+}
+
+TEST(FactorDelays, ChainedIncsStayCorrect)
+{
+    // incs whose sources are themselves incs.
+    Network net(1);
+    NodeId a = net.inc(net.input(0), 2);
+    NodeId b = net.inc(a, 3);
+    net.markOutput(net.inc(a, 1));
+    net.markOutput(b);
+    Network factored = factorDelays(net);
+    EXPECT_EQ(factored.evaluate(V({0})), V({3, 5}));
+}
+
+TEST(FactorDelays, ShrinksSrm0DelayLines)
+{
+    // The Fig. 11 fanout is the motivating case: one source, many taps.
+    ResponseFunction r = ResponseFunction::biexponential(4, 4.0, 1.0);
+    Network raw = buildSrm0Network({r, r, r}, 4);
+    Network factored = factorDelays(raw);
+    EXPECT_LT(factored.totalIncStages(), raw.totalIncStages());
+    // The floor: one chain of max-delay length per input.
+    Rng rng(21);
+    for (int s = 0; s < 150; ++s) {
+        auto x = testing::randomVolley(rng, 3, 10);
+        EXPECT_EQ(factored.evaluate(x), raw.evaluate(x))
+            << "at " << volleyStr(x);
+    }
+}
+
+TEST(FactorDelays, PreservesRandomNetworkSemantics)
+{
+    Rng rng(2026);
+    for (int trial = 0; trial < 25; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 16);
+        Network factored = factorDelays(net);
+        EXPECT_LE(factored.totalIncStages(), net.totalIncStages());
+        for (int s = 0; s < 40; ++s) {
+            auto x = testing::randomVolley(rng, 3, 9);
+            EXPECT_EQ(factored.evaluate(x), net.evaluate(x))
+                << "at " << volleyStr(x);
+        }
+    }
+}
+
+TEST(Optimize, IncludesDelayFactoring)
+{
+    ResponseFunction r = ResponseFunction::biexponential(3, 4.0, 1.0);
+    Network raw = buildSrm0Network({r, r}, 3);
+    Network opt = optimize(raw);
+    EXPECT_LT(opt.totalIncStages(), raw.totalIncStages());
+}
+
+TEST(Optimize, PreservesRandomNetworkSemantics)
+{
+    Rng rng(2025);
+    for (int trial = 0; trial < 30; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 18);
+        Network opt = optimize(net);
+        EXPECT_LE(opt.size(), net.size());
+        for (int s = 0; s < 40; ++s) {
+            auto x = testing::randomVolley(rng, 3, 9);
+            EXPECT_EQ(opt.evaluate(x), net.evaluate(x))
+                << "at " << volleyStr(x);
+        }
+    }
+}
+
+TEST(Optimize, PreservesOutputArityAndOrder)
+{
+    Network net(2);
+    NodeId a = net.inc(net.input(0), 1);
+    NodeId b = net.inc(net.input(0), 1); // dup of a
+    net.markOutput(b);
+    net.markOutput(a);
+    net.markOutput(net.input(1));
+    Network opt = optimize(net);
+    ASSERT_EQ(opt.outputs().size(), 3u);
+    auto out = opt.evaluate(V({4, 9}));
+    EXPECT_EQ(out, V({5, 5, 9}));
+}
+
+TEST(Optimize, PreservesLabelsOnSurvivors)
+{
+    Network net(1);
+    NodeId a = net.inc(net.input(0), 2);
+    net.setLabel(a, "tap");
+    net.markOutput(a);
+    Network opt = optimize(net);
+    EXPECT_EQ(opt.label(opt.outputs()[0]), "tap");
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * End-to-end pipeline stress tests: the full tool chain the repository
+ * offers a user, exercised on random inputs in one pass —
+ *
+ *   random table -> Theorem-1 synthesis -> optimizer -> text round trip
+ *   -> Lemma-2 lowering -> GRL compilation -> both circuit engines
+ *
+ * with every stage required to preserve the function defined by the
+ * original table. Any representation bug, anywhere in the chain,
+ * surfaces here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/network_io.hpp"
+#include "core/optimize.hpp"
+#include "core/properties.hpp"
+#include "core/synthesis.hpp"
+#include "core/trace_sim.hpp"
+#include "grl/compile.hpp"
+#include "grl/event_sim.hpp"
+#include "neuron/microweight.hpp"
+#include "neuron/srm0_network.hpp"
+#include "test_helpers.hpp"
+#include "tnn/tnn_io.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+/** All the function representations derived from one table. */
+struct Pipeline
+{
+    FunctionTable table;
+    Network synthesized;
+    Network optimized;
+    Network reparsed;
+    Network lowered;
+    grl::CompileResult circuit;
+
+    explicit Pipeline(FunctionTable t)
+        : table(std::move(t)),
+          synthesized(synthesizeMinterms(table)),
+          optimized(optimize(synthesized)),
+          reparsed(networkFromText(networkToText(optimized))),
+          lowered(lowerMax(reparsed)),
+          circuit(grl::compileToGrl(lowered))
+    {
+    }
+};
+
+class PipelineSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PipelineSweep, EveryStagePreservesTheTableFunction)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 6; ++trial) {
+        Pipeline p(testing::randomTable(rng, 3, 4, 5));
+        TraceSimulator tracer(p.lowered);
+        for (int s = 0; s < 60; ++s) {
+            auto x = testing::randomVolley(rng, 3, 10);
+            Time want = p.table.evaluate(x);
+            EXPECT_EQ(p.synthesized.evaluate(x)[0], want);
+            EXPECT_EQ(p.optimized.evaluate(x)[0], want);
+            EXPECT_EQ(p.reparsed.evaluate(x)[0], want);
+            EXPECT_EQ(p.lowered.evaluate(x)[0], want);
+            EXPECT_EQ(tracer.run(x).outputs[0], want);
+            EXPECT_EQ(grl::simulate(p.circuit.circuit, x).outputs[0],
+                      want)
+                << "at " << volleyStr(x);
+            EXPECT_EQ(
+                grl::simulateEvents(p.circuit.circuit, x).outputs[0],
+                want);
+        }
+    }
+}
+
+TEST_P(PipelineSweep, StagesShrinkOrPreserveSize)
+{
+    Rng rng(GetParam() ^ 0xbeef);
+    for (int trial = 0; trial < 6; ++trial) {
+        Pipeline p(testing::randomTable(rng, 3, 4, 6));
+        EXPECT_LE(p.optimized.size(), p.synthesized.size());
+        EXPECT_EQ(p.reparsed.size(), p.optimized.size());
+        EXPECT_GE(p.lowered.size(), p.reparsed.size());
+        EXPECT_EQ(p.circuit.circuit.size(), p.lowered.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSweep,
+                         ::testing::Values(1001, 2002, 3003));
+
+TEST(Pipeline, TrainedColumnToHardwareNeuron)
+{
+    // The full TNN workflow: train a column, persist it, reload it,
+    // program the winner's quantized weights into a micro-weight SRM0,
+    // compile that to CMOS, and check all four agree on fresh inputs.
+    ColumnParams cp;
+    cp.numInputs = 6;
+    cp.numNeurons = 3;
+    cp.threshold = 5;
+    cp.maxWeight = 7;
+    cp.seed = 31;
+    Column col(cp);
+    SimplifiedStdp rule(0.08, 0.05);
+    Rng rng(32);
+    for (int s = 0; s < 150; ++s) {
+        auto x = testing::randomVolley(rng, 6, 7, 0.3);
+        col.trainStep(x, rule);
+    }
+
+    Column reloaded = columnFromText(columnToText(col));
+    ProgrammableSrm0 hw(cp.numInputs, reloaded.family(), cp.threshold);
+    auto dw = reloaded.discreteWeights(0);
+    for (size_t i = 0; i < dw.size(); ++i)
+        hw.setWeight(i, dw[i]);
+    auto compiled = grl::compileToGrl(hw.network());
+
+    Srm0Neuron model = reloaded.neuronModel(0);
+    for (int s = 0; s < 80; ++s) {
+        auto x = testing::randomVolley(rng, 6, 7, 0.2);
+        Time want = model.fire(x);
+        EXPECT_EQ(col.neuronModel(0).fire(x), want);
+        EXPECT_EQ(hw.fire(x), want);
+        EXPECT_EQ(grl::simulate(compiled.circuit, x).outputs[0], want)
+            << "at " << volleyStr(x);
+    }
+}
+
+TEST(Pipeline, Srm0ThroughEveryEngine)
+{
+    // One neuron, five independent evaluations of the same volley.
+    ResponseFunction r = ResponseFunction::biexponential(2, 4.0, 1.0);
+    std::vector<ResponseFunction> syn{r, r, r.negated()};
+    Srm0Neuron reference(syn, 2);
+    Network net = buildSrm0Network(syn, 2);
+    Network opt = optimize(net);
+    TraceSimulator tracer(opt);
+    auto compiled = grl::compileToGrl(opt);
+
+    Rng rng(33);
+    for (int s = 0; s < 120; ++s) {
+        auto x = testing::randomVolley(rng, 3, 9, 0.25);
+        Time want = reference.fire(x);
+        EXPECT_EQ(net.evaluate(x)[0], want);
+        EXPECT_EQ(opt.evaluate(x)[0], want);
+        EXPECT_EQ(tracer.run(x).outputs[0], want);
+        EXPECT_EQ(grl::simulate(compiled.circuit, x).outputs[0], want);
+        EXPECT_EQ(grl::simulateEvents(compiled.circuit, x).outputs[0],
+                  want);
+    }
+}
+
+} // namespace
+} // namespace st

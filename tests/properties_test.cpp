@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the property checkers and — more importantly — for the
+ * properties themselves (paper Sec. III.C/III.E): which primitives are
+ * causal, invariant, and (raw-definition) bounded. The outcomes encode
+ * real subtleties of the algebra: min/inc/max/lt are all causal and
+ * invariant, but only trivially-windowed functions satisfy the literal
+ * bounded-history text; max is the one primitive with no finite
+ * normalized table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "core/synthesis.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+StFn
+minFn()
+{
+    return [](std::span<const Time> x) { return tmin(x[0], x[1]); };
+}
+
+StFn
+maxFn()
+{
+    return [](std::span<const Time> x) { return tmax(x[0], x[1]); };
+}
+
+StFn
+ltFn()
+{
+    return [](std::span<const Time> x) { return tlt(x[0], x[1]); };
+}
+
+StFn
+incFn()
+{
+    return [](std::span<const Time> x) { return tinc(x[0], 3); };
+}
+
+TEST(Properties, PrimitivesAreCausal)
+{
+    EXPECT_TRUE(checkCausality(2, 5, minFn()));
+    EXPECT_TRUE(checkCausality(2, 5, maxFn()));
+    EXPECT_TRUE(checkCausality(2, 5, ltFn()));
+    EXPECT_TRUE(checkCausality(1, 5, incFn()));
+}
+
+TEST(Properties, PrimitivesAreInvariant)
+{
+    EXPECT_TRUE(checkInvariance(2, 5, minFn()));
+    EXPECT_TRUE(checkInvariance(2, 5, maxFn()));
+    EXPECT_TRUE(checkInvariance(2, 5, ltFn()));
+    EXPECT_TRUE(checkInvariance(1, 5, incFn()));
+}
+
+TEST(Properties, SpontaneousSpikeViolatesCausality)
+{
+    // A block that fires at 0 regardless of inputs breaks z >= x_min.
+    StFn bad = [](std::span<const Time>) { return 0_t; };
+    auto report = checkCausality(2, 3, bad);
+    EXPECT_FALSE(report.holds);
+    EXPECT_NE(report.counterexample.find("precedes earliest input"),
+              std::string::npos);
+}
+
+TEST(Properties, PeekingAtLateInputsViolatesCausality)
+{
+    // Output at x_min, but only if the LATER input is even — the later
+    // input affects an earlier output: not causal.
+    StFn bad = [](std::span<const Time> x) {
+        Time lo = tmin(x[0], x[1]);
+        Time hi = tmax(x[0], x[1]);
+        if (hi.isFinite() && hi.value() % 2 == 0)
+            return lo;
+        return INF;
+    };
+    EXPECT_FALSE(checkCausality(2, 6, bad));
+}
+
+TEST(Properties, AdditionOfInputsViolatesInvariance)
+{
+    // The paper's Sec. VI point 2: a + b is not invariant because
+    // (a+1) + (b+1) != (a+b) + 1.
+    StFn add = [](std::span<const Time> x) {
+        if (x[0].isInf() || x[1].isInf())
+            return INF;
+        return Time(x[0].value() + x[1].value());
+    };
+    auto report = checkInvariance(2, 4, add);
+    EXPECT_FALSE(report.holds);
+}
+
+TEST(Properties, ConstantOutputViolatesInvariance)
+{
+    StFn constant = [](std::span<const Time>) { return 5_t; };
+    EXPECT_FALSE(checkInvariance(1, 4, constant));
+}
+
+TEST(Properties, IncIsRawBounded)
+{
+    // Unary functions are vacuously bounded: there is never an input
+    // older than x_max.
+    EXPECT_TRUE(checkBoundedHistory(1, 8, incFn(), 2));
+}
+
+TEST(Properties, MinIsNotRawBounded)
+{
+    // Subtle but true: min(0, M) = 0 yet min(inf, M) = M, so the stale
+    // input IS the output and can never be dropped. The literal
+    // bounded-history definition rejects min.
+    auto report = checkBoundedHistory(2, 8, minFn(), 2);
+    EXPECT_FALSE(report.holds);
+}
+
+TEST(Properties, LtIsNotRawBounded)
+{
+    EXPECT_FALSE(checkBoundedHistory(2, 8, ltFn(), 2));
+}
+
+TEST(Properties, MaxIsNotRawBounded)
+{
+    EXPECT_FALSE(checkBoundedHistory(2, 8, maxFn(), 2));
+}
+
+TEST(Properties, TrulyWindowedFunctionIsBounded)
+{
+    // A coincidence detector: fires at the later input iff the two
+    // spikes fall within 2 time units — genuinely bounded history.
+    StFn coincidence = [](std::span<const Time> x) {
+        if (x[0].isInf() || x[1].isInf())
+            return INF;
+        Time lo = tmin(x[0], x[1]), hi = tmax(x[0], x[1]);
+        if (hi.value() - lo.value() <= 2)
+            return hi;
+        return INF;
+    };
+    EXPECT_TRUE(checkCausality(2, 8, coincidence));
+    EXPECT_TRUE(checkInvariance(2, 8, coincidence));
+    EXPECT_TRUE(checkBoundedHistory(2, 8, coincidence, 2));
+    EXPECT_FALSE(checkBoundedHistory(2, 8, coincidence, 1));
+}
+
+TEST(Properties, NetworkAdapterWorks)
+{
+    Network net(2);
+    net.markOutput(net.min(net.input(0), net.input(1)));
+    StFn fn = fnOf(net);
+    EXPECT_EQ(fn(V({3, 7})), 3_t);
+    EXPECT_TRUE(checkCausality(2, 4, fn));
+}
+
+TEST(Properties, NetworkAdapterRequiresSingleOutput)
+{
+    Network net(1);
+    net.markOutput(net.input(0));
+    net.markOutput(net.input(0));
+    EXPECT_THROW(fnOf(net), std::invalid_argument);
+}
+
+TEST(Properties, Lemma1CompositionsAreCausalAndInvariant)
+{
+    // Lemma 1: every feedforward composition of s-t blocks is an s-t
+    // function. Random networks must all pass causality + invariance.
+    Rng rng(4242);
+    for (int trial = 0; trial < 25; ++trial) {
+        Network net = testing::randomNetwork(rng, 2, 10);
+        StFn fn = fnOf(net);
+        EXPECT_TRUE(checkCausality(2, 5, fn).holds) << "trial " << trial;
+        EXPECT_TRUE(checkInvariance(2, 5, fn).holds) << "trial " << trial;
+    }
+}
+
+TEST(Properties, RandomizedCheckersAgreeOnPrimitives)
+{
+    Rng rng(9);
+    EXPECT_TRUE(checkCausalityRandom(2, 50, minFn(), rng, 500));
+    EXPECT_TRUE(checkInvarianceRandom(2, 50, maxFn(), rng, 500));
+    StFn bad = [](std::span<const Time>) { return 1_t; };
+    EXPECT_FALSE(checkCausalityRandom(2, 50, bad, rng, 500));
+    EXPECT_FALSE(checkInvarianceRandom(2, 50, bad, rng, 500));
+}
+
+TEST(Properties, MinMaxIncAreMonotone)
+{
+    EXPECT_TRUE(checkMonotonicity(2, 5, minFn()));
+    EXPECT_TRUE(checkMonotonicity(2, 5, maxFn()));
+    EXPECT_TRUE(checkMonotonicity(1, 5, incFn()));
+}
+
+TEST(Properties, LtBreaksMonotonicity)
+{
+    // Delaying b past a revives a's passage: lt(2,2)=inf but
+    // lt(2,3)=2 — the output got EARLIER as an input got later.
+    auto report = checkMonotonicity(2, 5, ltFn());
+    EXPECT_FALSE(report.holds);
+    EXPECT_NE(report.counterexample.find("earlier"), std::string::npos);
+}
+
+TEST(Properties, LtFreeNetworksAreMonotone)
+{
+    // The "pure racing" fragment: any composition of min/max/inc only.
+    Rng rng(606);
+    for (int trial = 0; trial < 20; ++trial) {
+        Network net(2);
+        for (int b = 0; b < 10; ++b) {
+            auto pick = [&]() {
+                return static_cast<NodeId>(rng.below(net.size()));
+            };
+            switch (rng.below(3)) {
+              case 0:
+                net.inc(pick(), rng.below(4));
+                break;
+              case 1:
+                net.min(pick(), pick());
+                break;
+              default:
+                net.max(pick(), pick());
+                break;
+            }
+        }
+        net.markOutput(static_cast<NodeId>(net.size() - 1));
+        EXPECT_TRUE(checkMonotonicity(2, 4, fnOf(net)).holds)
+            << "trial " << trial;
+    }
+}
+
+TEST(Properties, VolleyStrFormatsLikeThePaper)
+{
+    EXPECT_EQ(volleyStr(V({0, 3, kNo, 1})), "[0, 3, inf, 1]");
+    EXPECT_EQ(volleyStr(V({})), "[]");
+}
+
+TEST(Properties, SynthesizedTablesAreCausalInvariant)
+{
+    Rng rng(31337);
+    for (int trial = 0; trial < 10; ++trial) {
+        FunctionTable table = testing::randomTable(rng, 2, 3, 4);
+        Network net = synthesizeMinterms(table);
+        StFn fn = fnOf(net);
+        EXPECT_TRUE(checkCausality(2, 5, fn).holds);
+        EXPECT_TRUE(checkInvariance(2, 5, fn).holds);
+    }
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for race-logic shortest paths (paper Sec. V / Madhavan [31]):
+ * the feedforward race network on DAGs, the temporal wavefront on
+ * general graphs, both against Dijkstra, plus the GRL-compiled form —
+ * "the time it takes to compute a value IS the value".
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "grl/compile.hpp"
+#include "grl/logic_sim.hpp"
+#include "racelogic/dijkstra.hpp"
+#include "racelogic/race_path.hpp"
+#include "test_helpers.hpp"
+
+namespace st::racelogic {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+Graph
+diamond()
+{
+    // 0 -> 1 (2), 0 -> 2 (5), 1 -> 3 (4), 2 -> 3 (0), 1 -> 2 (1).
+    Graph g(4);
+    g.addEdge(0, 1, 2);
+    g.addEdge(0, 2, 5);
+    g.addEdge(1, 3, 4);
+    g.addEdge(2, 3, 0);
+    g.addEdge(1, 2, 1);
+    return g;
+}
+
+TEST(Dijkstra, DiamondDistances)
+{
+    auto dist = dijkstra(diamond(), 0);
+    EXPECT_EQ(dist, V({0, 2, 3, 3}));
+}
+
+TEST(Dijkstra, UnreachableIsInf)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 4);
+    auto dist = dijkstra(g, 0);
+    EXPECT_EQ(dist, V({0, 4, kNo}));
+    EXPECT_THROW(dijkstra(g, 9), std::out_of_range);
+}
+
+TEST(RaceNetwork, DiamondMatchesDijkstra)
+{
+    Graph g = diamond();
+    Network net = buildRaceNetwork(g, 0);
+    auto arrival = net.evaluate(V({0}));
+    EXPECT_EQ(arrival, dijkstra(g, 0));
+}
+
+TEST(RaceNetwork, StartTimeShiftsAllArrivals)
+{
+    // Invariance in action: launching the spike at t=7 shifts every
+    // arrival by 7 — distance is the arrival minus the launch.
+    Network net = buildRaceNetwork(diamond(), 0);
+    auto arrival = net.evaluate(V({7}));
+    EXPECT_EQ(arrival, V({7, 9, 10, 10}));
+}
+
+TEST(RaceNetwork, UnreachableVerticesStayQuiet)
+{
+    Graph g(4);
+    g.addEdge(0, 1, 3);
+    g.addEdge(2, 3, 1); // disconnected component
+    Network net = buildRaceNetwork(g, 0);
+    EXPECT_EQ(net.evaluate(V({0})), V({0, 3, kNo, kNo}));
+}
+
+TEST(RaceNetwork, RejectsCyclesAndBadSource)
+{
+    Graph cyclic(2);
+    cyclic.addEdge(0, 1, 1);
+    cyclic.addEdge(1, 0, 1);
+    EXPECT_THROW(buildRaceNetwork(cyclic, 0), std::invalid_argument);
+    EXPECT_THROW(buildRaceNetwork(diamond(), 9), std::out_of_range);
+}
+
+TEST(RaceNetwork, RandomDagsMatchDijkstra)
+{
+    Rng rng(314);
+    for (int t = 0; t < 15; ++t) {
+        Graph g = Graph::randomDag(rng, 24, 0.25, 8);
+        uint32_t src = static_cast<uint32_t>(rng.below(8));
+        Network net = buildRaceNetwork(g, src);
+        EXPECT_EQ(net.evaluate(V({0})), dijkstra(g, src))
+            << "trial " << t;
+    }
+}
+
+TEST(RaceNetwork, GridsMatchDijkstra)
+{
+    Rng rng(315);
+    Graph g = Graph::grid(rng, 6, 7, 9);
+    Network net = buildRaceNetwork(g, 0);
+    EXPECT_EQ(net.evaluate(V({0})), dijkstra(g, 0));
+}
+
+TEST(RaceNetwork, CompilesToGrlAndAgrees)
+{
+    // The full paper pipeline: graph -> s-t network -> CMOS circuit;
+    // the circuit's fall times are the shortest-path distances.
+    Rng rng(316);
+    Graph g = Graph::grid(rng, 4, 5, 6);
+    Network net = buildRaceNetwork(g, 0);
+    auto compiled = grl::compileToGrl(net);
+    grl::SimResult sim = grl::simulate(compiled.circuit, V({0}));
+    EXPECT_EQ(sim.outputs, dijkstra(g, 0));
+}
+
+TEST(RaceWavefront, MatchesDijkstraOnDags)
+{
+    Rng rng(317);
+    for (int t = 0; t < 10; ++t) {
+        Graph g = Graph::randomDag(rng, 30, 0.2, 9);
+        uint32_t src = static_cast<uint32_t>(rng.below(10));
+        EXPECT_EQ(raceWavefront(g, src), dijkstra(g, src));
+    }
+}
+
+TEST(RaceWavefront, HandlesCyclesUnlikeTheFeedforwardForm)
+{
+    // Physical race logic tolerates cycles: a spike re-entering a
+    // latched vertex is ignored. The wavefront solver models that.
+    Graph g(3);
+    g.addEdge(0, 1, 2);
+    g.addEdge(1, 2, 2);
+    g.addEdge(2, 0, 1); // back edge
+    g.addEdge(0, 2, 7);
+    EXPECT_EQ(raceWavefront(g, 0), V({0, 2, 4}));
+    EXPECT_THROW(buildRaceNetwork(g, 0), std::invalid_argument);
+}
+
+TEST(RaceWavefront, RandomGeneralGraphsMatchDijkstra)
+{
+    Rng rng(318);
+    for (int t = 0; t < 10; ++t) {
+        Graph g(16);
+        for (int e = 0; e < 50; ++e) {
+            auto u = static_cast<uint32_t>(rng.below(16));
+            auto v = static_cast<uint32_t>(rng.below(16));
+            g.addEdge(u, v, rng.below(10));
+        }
+        uint32_t src = static_cast<uint32_t>(rng.below(16));
+        EXPECT_EQ(raceWavefront(g, src), dijkstra(g, src));
+    }
+}
+
+TEST(RaceNetwork, NetworkUsesOnlyMinAndInc)
+{
+    Network net = buildRaceNetwork(diamond(), 0);
+    EXPECT_EQ(net.countOf(Op::Lt), 0u);
+    EXPECT_EQ(net.countOf(Op::Max), 0u);
+    EXPECT_GT(net.countOf(Op::Min), 0u);
+    EXPECT_GT(net.countOf(Op::Inc), 0u);
+}
+
+TEST(RaceNetwork, ArrivalTimesAreMonotoneInTheStart)
+{
+    // Race networks live in the lt-free (monotone) fragment: delaying
+    // the start spike can only delay every arrival.
+    Network net = buildRaceNetwork(diamond(), 0);
+    for (size_t v = 0; v < 4; ++v) {
+        auto fn = [&net, v](std::span<const Time> x) {
+            return net.evaluate(x)[v];
+        };
+        EXPECT_TRUE(checkMonotonicity(1, 6, fn).holds) << "vertex " << v;
+    }
+}
+
+} // namespace
+} // namespace st::racelogic

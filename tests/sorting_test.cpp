@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for bitonic sorting networks over the s-t algebra (paper
+ * Sec. IV.A.1, Fig. 10): correctness against std::sort with inf values
+ * sinking to the top, causality/invariance of the whole network
+ * (Lemma 1), and the expected comparator-count growth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/properties.hpp"
+#include "neuron/sorting.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+std::vector<Time>
+sortedCopy(std::vector<Time> v)
+{
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+TEST(Bitonic, SortsPowerOfTwoWidth)
+{
+    Network net = bitonicSortNetwork(8);
+    auto in = V({7, 3, 9, 1, 4, 4, 0, 6});
+    EXPECT_EQ(net.evaluate(in), sortedCopy(in));
+}
+
+TEST(Bitonic, SortsNonPowerOfTwoWidthViaPadding)
+{
+    for (size_t n : {1, 3, 5, 6, 7, 9, 12}) {
+        Network net = bitonicSortNetwork(n);
+        Rng rng(n);
+        auto in = testing::randomVolley(rng, n, 20, 0.0);
+        EXPECT_EQ(net.evaluate(in), sortedCopy(in)) << "n=" << n;
+    }
+}
+
+TEST(Bitonic, InfSinksToTheTop)
+{
+    Network net = bitonicSortNetwork(4);
+    EXPECT_EQ(net.evaluate(V({kNo, 2, kNo, 1})), V({1, 2, kNo, kNo}));
+    EXPECT_EQ(net.evaluate(V({kNo, kNo, kNo, kNo})),
+              V({kNo, kNo, kNo, kNo}));
+}
+
+/** Sorting property over random volleys, parameterized by width. */
+class BitonicWidths : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(BitonicWidths, MatchesStdSortOnRandomVolleys)
+{
+    const size_t n = GetParam();
+    Network net = bitonicSortNetwork(n);
+    Rng rng(1000 + n);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto in = testing::randomVolley(rng, n, 15, 0.25);
+        EXPECT_EQ(net.evaluate(in), sortedCopy(in))
+            << "at " << volleyStr(in);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitonicWidths,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 13, 16, 20));
+
+TEST(Bitonic, DuplicatesSurviveSorting)
+{
+    Network net = bitonicSortNetwork(6);
+    EXPECT_EQ(net.evaluate(V({5, 5, 2, 2, 2, 9})), V({2, 2, 2, 5, 5, 9}));
+}
+
+TEST(Bitonic, UsesOnlyMinMaxComparators)
+{
+    Network net = bitonicSortNetwork(8);
+    EXPECT_EQ(net.countOf(Op::Lt), 0u);
+    EXPECT_EQ(net.countOf(Op::Inc), 0u);
+    // One min + one max per comparator.
+    EXPECT_EQ(net.countOf(Op::Min), bitonicComparatorCount(8));
+    EXPECT_EQ(net.countOf(Op::Max), bitonicComparatorCount(8));
+}
+
+TEST(Bitonic, ComparatorCountFormula)
+{
+    // For n = 2^k: comparators = n/2 * k(k+1)/2 (Batcher).
+    EXPECT_EQ(bitonicComparatorCount(2), 1u);
+    EXPECT_EQ(bitonicComparatorCount(4), 6u);
+    EXPECT_EQ(bitonicComparatorCount(8), 24u);
+    EXPECT_EQ(bitonicComparatorCount(16), 80u);
+    EXPECT_EQ(bitonicComparatorCount(32), 240u);
+}
+
+TEST(Bitonic, StageDepthFormula)
+{
+    // For n = 2^k: depth = k(k+1)/2 compare-exchange stages.
+    EXPECT_EQ(bitonicStageDepth(2), 1u);
+    EXPECT_EQ(bitonicStageDepth(4), 3u);
+    EXPECT_EQ(bitonicStageDepth(8), 6u);
+    EXPECT_EQ(bitonicStageDepth(16), 10u);
+}
+
+TEST(Bitonic, SortIsCausalAndInvariant)
+{
+    // The paper's argument for using sort inside a neuron: position in
+    // the sorted list only depends on earlier-or-equal values.
+    Network net = bitonicSortNetwork(3);
+    // Check each output lane as an s-t function.
+    for (size_t lane = 0; lane < 3; ++lane) {
+        auto fn = [&net, lane](std::span<const Time> x) {
+            return net.evaluate(x)[lane];
+        };
+        EXPECT_TRUE(checkCausality(3, 4, fn).holds) << "lane " << lane;
+        EXPECT_TRUE(checkInvariance(3, 4, fn).holds) << "lane " << lane;
+    }
+}
+
+TEST(Bitonic, EmitIntoExistingNetwork)
+{
+    // Sort the delayed copies of one input together with another input.
+    Network net(2);
+    std::vector<NodeId> taps{net.inc(net.input(0), 3), net.input(1),
+                             net.inc(net.input(0), 1)};
+    auto sorted = emitBitonicSort(net, taps);
+    for (NodeId id : sorted)
+        net.markOutput(id);
+    EXPECT_EQ(net.evaluate(V({0, 2})), V({1, 2, 3}));
+}
+
+TEST(Bitonic, EmitRejectsEmptyTaps)
+{
+    Network net(1);
+    EXPECT_THROW(emitBitonicSort(net, {}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the STDP rules (paper Sec. II.A): potentiation of inputs
+ * preceding the output spike, depression of later/absent inputs, soft
+ * and hard bounds, convergence direction, and weight quantization onto
+ * the low-resolution hardware range.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tnn/stdp.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(SimplifiedStdp, PotentiatesEarlyDepressesLate)
+{
+    SimplifiedStdp rule(0.1, 0.1);
+    std::vector<double> w{0.5, 0.5, 0.5};
+    // Inputs: before output (potentiate), after output (depress),
+    // absent (depress).
+    rule.update(w, V({2, 7, kNo}), 5_t);
+    EXPECT_GT(w[0], 0.5);
+    EXPECT_LT(w[1], 0.5);
+    EXPECT_LT(w[2], 0.5);
+}
+
+TEST(SimplifiedStdp, InputAtOutputTimeCounts)
+{
+    // t_in == t_out contributed to the firing (paper: "precedes or
+    // coincides" in the Kheradpisheh rule).
+    SimplifiedStdp rule(0.1, 0.1);
+    std::vector<double> w{0.5};
+    rule.update(w, V({5}), 5_t);
+    EXPECT_GT(w[0], 0.5);
+}
+
+TEST(SimplifiedStdp, MultiplicativeSoftBounds)
+{
+    // dw ~ w(1-w): saturated weights stop moving.
+    SimplifiedStdp rule(0.5, 0.5);
+    std::vector<double> w{0.0, 1.0};
+    rule.update(w, V({0, 0}), 0_t);
+    EXPECT_DOUBLE_EQ(w[0], 0.0);
+    EXPECT_DOUBLE_EQ(w[1], 1.0);
+}
+
+TEST(SimplifiedStdp, RepeatedPotentiationConvergesUp)
+{
+    SimplifiedStdp rule(0.2, 0.1);
+    std::vector<double> w{0.3};
+    for (int i = 0; i < 300; ++i)
+        rule.update(w, V({0}), 1_t);
+    EXPECT_GT(w[0], 0.95);
+}
+
+TEST(SimplifiedStdp, RepeatedDepressionConvergesDown)
+{
+    SimplifiedStdp rule(0.2, 0.1);
+    std::vector<double> w{0.7};
+    for (int i = 0; i < 400; ++i)
+        rule.update(w, V({kNo}), 1_t);
+    EXPECT_LT(w[0], 0.05);
+}
+
+TEST(SimplifiedStdp, WeightsStayInUnitInterval)
+{
+    SimplifiedStdp rule(2.0, 2.0); // absurdly large rates
+    Rng rng(3);
+    std::vector<double> w{0.5, 0.5};
+    for (int i = 0; i < 200; ++i) {
+        auto x = testing::randomVolley(rng, 2, 6, 0.3);
+        rule.update(w, x, Time(rng.below(7)));
+        for (double v : w) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(SimplifiedStdp, RejectsBadArguments)
+{
+    EXPECT_THROW(SimplifiedStdp(-0.1, 0.1), std::invalid_argument);
+    SimplifiedStdp rule(0.1, 0.1);
+    std::vector<double> w{0.5};
+    EXPECT_THROW(rule.update(w, V({0, 1}), 0_t), std::invalid_argument);
+}
+
+TEST(ClassicStdp, ExponentialWindowWeightsNearPairsMore)
+{
+    ClassicStdp rule(0.1, 0.1, 3.0, 3.0);
+    std::vector<double> w{0.5, 0.5};
+    // Both inputs precede the output, one much earlier.
+    rule.update(w, V({9, 0}), 10_t);
+    EXPECT_GT(w[0], w[1]); // dt=1 potentiates more than dt=10
+    EXPECT_GT(w[1], 0.5);  // but both potentiate
+}
+
+TEST(ClassicStdp, LateInputsDepressedByProximity)
+{
+    ClassicStdp rule(0.1, 0.1, 3.0, 3.0);
+    std::vector<double> w{0.5, 0.5};
+    // Both inputs after the output, one just after.
+    rule.update(w, V({3, 20}), 2_t);
+    EXPECT_LT(w[0], w[1]); // dt=1 depresses more than dt=18
+    EXPECT_LT(w[0], 0.5);
+}
+
+TEST(ClassicStdp, AbsentInputMildlyDepressed)
+{
+    ClassicStdp rule(0.1, 0.1, 3.0, 3.0);
+    std::vector<double> w{0.5};
+    rule.update(w, V({kNo}), 2_t);
+    EXPECT_LT(w[0], 0.5);
+}
+
+TEST(ClassicStdp, NoOutputSpikeNoUpdate)
+{
+    ClassicStdp rule(0.1, 0.1, 3.0, 3.0);
+    std::vector<double> w{0.4};
+    rule.update(w, V({1}), INF);
+    EXPECT_DOUBLE_EQ(w[0], 0.4);
+}
+
+TEST(ClassicStdp, ClampsToUnitInterval)
+{
+    ClassicStdp rule(5.0, 5.0, 3.0, 3.0);
+    std::vector<double> w{0.9, 0.1};
+    rule.update(w, V({0, 5}), 1_t);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+    EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(ClassicStdp, RejectsBadTaus)
+{
+    EXPECT_THROW(ClassicStdp(0.1, 0.1, 0.0, 3.0), std::invalid_argument);
+    EXPECT_THROW(ClassicStdp(0.1, 0.1, 3.0, -1.0), std::invalid_argument);
+}
+
+TEST(QuantizeWeight, MapsUnitIntervalToDiscreteLevels)
+{
+    // The 3-bit weight argument (Pfeil et al. [43]): 8 levels suffice.
+    EXPECT_EQ(quantizeWeight(0.0, 7), 0u);
+    EXPECT_EQ(quantizeWeight(1.0, 7), 7u);
+    EXPECT_EQ(quantizeWeight(0.5, 7), 4u); // round half up
+    EXPECT_EQ(quantizeWeight(0.07, 7), 0u);
+    EXPECT_EQ(quantizeWeight(0.08, 7), 1u);
+}
+
+TEST(QuantizeWeight, ClampsOutOfRangeInputs)
+{
+    EXPECT_EQ(quantizeWeight(-0.5, 7), 0u);
+    EXPECT_EQ(quantizeWeight(1.5, 7), 7u);
+}
+
+TEST(QuantizeWeights, VectorVersion)
+{
+    std::vector<double> w{0.0, 0.49, 1.0};
+    EXPECT_EQ(quantizeWeights(w, 4), (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(Stdp, RulesAreUsableThroughBaseInterface)
+{
+    SimplifiedStdp simple(0.1, 0.1);
+    ClassicStdp classic(0.1, 0.1, 3.0, 3.0);
+    std::vector<const StdpRule *> rules{&simple, &classic};
+    for (const StdpRule *rule : rules) {
+        std::vector<double> w{0.5};
+        rule->update(w, V({0}), 1_t);
+        EXPECT_GT(w[0], 0.5);
+    }
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the paper's two constructive results:
+ *
+ *  - Lemma 2 (Fig. 8): max is implementable from min and lt alone —
+ *    checked exhaustively over the case grid including inf.
+ *  - Theorem 1 (Fig. 9): the minterm canonical form implements exactly
+ *    the function of any normalized table — checked exhaustively for the
+ *    paper's Fig. 7 table and for random tables, in both the native-max
+ *    and fully-lowered {min, inc, lt} bases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optimize.hpp"
+#include "core/properties.hpp"
+#include "core/synthesis.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Lemma2, MaxFromMinLtExhaustive)
+{
+    Network net = maxFromMinLtNetwork();
+    testing::forAllVolleys(2, 8, [&](const std::vector<Time> &u) {
+        EXPECT_EQ(net.evaluate(u)[0], tmax(u[0], u[1]))
+            << "at " << volleyStr(u);
+    });
+}
+
+TEST(Lemma2, CaseAnalysisOfFig8)
+{
+    // The three cases called out in Fig. 8: a < b, a = b, a > b.
+    Network net = maxFromMinLtNetwork();
+    EXPECT_EQ(net.evaluate(V({2, 5}))[0], 5_t); // case 1: c = b
+    EXPECT_EQ(net.evaluate(V({4, 4}))[0], 4_t); // case 2: c = a = b
+    EXPECT_EQ(net.evaluate(V({7, 3}))[0], 7_t); // case 3: c = a
+}
+
+TEST(Lemma2, InfAbsorbs)
+{
+    Network net = maxFromMinLtNetwork();
+    EXPECT_EQ(net.evaluate(V({3, kNo}))[0], INF);
+    EXPECT_EQ(net.evaluate(V({kNo, 3}))[0], INF);
+    EXPECT_EQ(net.evaluate(V({kNo, kNo}))[0], INF);
+}
+
+TEST(Lemma2, UsesOnlyMinAndLt)
+{
+    Network net = maxFromMinLtNetwork();
+    EXPECT_EQ(net.countOf(Op::Max), 0u);
+    EXPECT_EQ(net.countOf(Op::Inc), 0u);
+    EXPECT_EQ(net.countOf(Op::Lt), 4u);
+    EXPECT_EQ(net.countOf(Op::Min), 1u);
+}
+
+TEST(LowerMax, PreservesRandomNetworkSemantics)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 30; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 12);
+        Network lowered = lowerMax(net);
+        EXPECT_EQ(lowered.countOf(Op::Max), 0u);
+        for (int s = 0; s < 50; ++s) {
+            auto x = testing::randomVolley(rng, 3, 9);
+            EXPECT_EQ(lowered.evaluate(x), net.evaluate(x))
+                << "at " << volleyStr(x);
+        }
+    }
+}
+
+TEST(LowerMax, HandlesNaryMax)
+{
+    Network net(4);
+    std::vector<NodeId> all{net.input(0), net.input(1), net.input(2),
+                            net.input(3)};
+    net.markOutput(net.max(std::span<const NodeId>(all)));
+    Network lowered = lowerMax(net);
+    EXPECT_EQ(lowered.countOf(Op::Max), 0u);
+    EXPECT_EQ(lowered.evaluate(V({3, 9, 1, 4}))[0], 9_t);
+    EXPECT_EQ(lowered.evaluate(V({3, kNo, 1, 4}))[0], INF);
+}
+
+TEST(LowerMax, PreservesConfigNodes)
+{
+    Network net(1);
+    NodeId mu = net.config(INF);
+    net.markOutput(net.max(net.lt(net.input(0), mu), net.input(0)));
+    Network lowered = lowerMax(net);
+    EXPECT_EQ(lowered.evaluate(V({3}))[0], 3_t);
+    // The lowered network must still carry a programmable config node.
+    EXPECT_EQ(lowered.countOf(Op::Config), 1u);
+}
+
+/** The exact table of paper Fig. 7 (reused as Fig. 9's source). */
+FunctionTable
+fig7Table()
+{
+    FunctionTable t(3);
+    t.addRow(V({0, 1, 2}), 3_t);
+    t.addRow(V({1, 0, kNo}), 2_t);
+    t.addRow(V({2, 2, 0}), 2_t);
+    return t;
+}
+
+class MintermSynthesis : public ::testing::TestWithParam<bool>
+{
+  protected:
+    SynthesisOptions
+    options() const
+    {
+        SynthesisOptions opt;
+        opt.useNativeMax = GetParam();
+        return opt;
+    }
+};
+
+TEST_P(MintermSynthesis, ImplementsFig7TableExhaustively)
+{
+    FunctionTable table = fig7Table();
+    Network net = synthesizeMinterms(table, options());
+    // Sweep one unit past the history bound so closure cases appear.
+    testing::forAllVolleys(3, table.historyBound() + 2,
+                           [&](const std::vector<Time> &u) {
+        EXPECT_EQ(net.evaluate(u)[0], table.evaluate(u))
+            << "at " << volleyStr(u);
+    });
+}
+
+TEST_P(MintermSynthesis, Fig9WorkedExample)
+{
+    // The paper applies [0, 1, 2] and reads 3 out of minterm_1.
+    Network net = synthesizeMinterms(fig7Table(), options());
+    EXPECT_EQ(net.evaluate(V({0, 1, 2}))[0], 3_t);
+    // And the shifted version from the Fig. 7 discussion.
+    EXPECT_EQ(net.evaluate(V({3, 4, 5}))[0], 6_t);
+}
+
+TEST_P(MintermSynthesis, ImplementsRandomTables)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 15; ++trial) {
+        FunctionTable table = testing::randomTable(rng, 3, 4, 5);
+        Network net = synthesizeMinterms(table, options());
+        testing::forAllVolleys(3, 6, [&](const std::vector<Time> &u) {
+            EXPECT_EQ(net.evaluate(u)[0], table.evaluate(u))
+                << "table:\n" << table.str() << "at " << volleyStr(u);
+        });
+        // Unnormalized random probes.
+        for (int s = 0; s < 100; ++s) {
+            auto x = testing::randomVolley(rng, 3, 30);
+            EXPECT_EQ(net.evaluate(x)[0], table.evaluate(x));
+        }
+    }
+}
+
+TEST_P(MintermSynthesis, SingleRowTable)
+{
+    FunctionTable t(2);
+    t.addRow(V({0, 1}), 4_t);
+    Network net = synthesizeMinterms(t, options());
+    EXPECT_EQ(net.evaluate(V({0, 1}))[0], 4_t);
+    EXPECT_EQ(net.evaluate(V({5, 6}))[0], 9_t);
+    EXPECT_EQ(net.evaluate(V({0, 2}))[0], INF);
+}
+
+TEST_P(MintermSynthesis, SingleInputTable)
+{
+    FunctionTable t(1);
+    t.addRow(V({0}), 2_t);
+    Network net = synthesizeMinterms(t, options());
+    EXPECT_EQ(net.evaluate(V({0}))[0], 2_t);
+    EXPECT_EQ(net.evaluate(V({9}))[0], 11_t);
+    EXPECT_EQ(net.evaluate(V({kNo}))[0], INF);
+}
+
+TEST_P(MintermSynthesis, AllInfEntriesRow)
+{
+    // Row [0, inf]: the inf tap joins the min side after the +1, so an
+    // input at exactly the row output ties the lt shut.
+    FunctionTable t(2);
+    t.addRow(V({0, kNo}), 2_t);
+    Network net = synthesizeMinterms(t, options());
+    EXPECT_EQ(net.evaluate(V({0, kNo}))[0], 2_t);
+    EXPECT_EQ(net.evaluate(V({0, 3}))[0], 2_t);  // 3 > 2: closure match
+    EXPECT_EQ(net.evaluate(V({0, 2}))[0], INF);  // tie: no match
+    EXPECT_EQ(net.evaluate(V({0, 1}))[0], INF);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, MintermSynthesis,
+                         ::testing::Values(true, false),
+                         [](const auto &info) {
+                             return info.param ? "NativeMax"
+                                               : "MinIncLtOnly";
+                         });
+
+TEST(MintermSynthesis, EmptyTableIsConstantInf)
+{
+    FunctionTable t(2);
+    Network net = synthesizeMinterms(t);
+    testing::forAllVolleys(2, 3, [&](const std::vector<Time> &u) {
+        EXPECT_EQ(net.evaluate(u)[0], INF);
+    });
+}
+
+TEST(MintermSynthesis, LoweredBaseHasNoMaxBlocks)
+{
+    SynthesisOptions opt;
+    opt.useNativeMax = false;
+    Network net = synthesizeMinterms(fig7Table(), opt);
+    EXPECT_EQ(net.countOf(Op::Max), 0u);
+    EXPECT_GT(net.countOf(Op::Lt), 0u);
+    EXPECT_GT(net.countOf(Op::Min), 0u);
+}
+
+TEST(MintermSynthesis, SkipZeroIncsReducesSize)
+{
+    SynthesisOptions keep, skip;
+    keep.skipZeroIncs = false;
+    skip.skipZeroIncs = true;
+    FunctionTable t = fig7Table();
+    Network with = synthesizeMinterms(t, keep);
+    Network without = synthesizeMinterms(t, skip);
+    EXPECT_GT(with.countOf(Op::Inc), without.countOf(Op::Inc));
+    testing::forAllVolleys(3, 4, [&](const std::vector<Time> &u) {
+        EXPECT_EQ(with.evaluate(u)[0], without.evaluate(u)[0]);
+    });
+}
+
+TEST(MultiOutputSynthesis, EachOutputComputesItsTable)
+{
+    FunctionTable f = fig7Table();
+    FunctionTable g(3);
+    g.addRow(V({0, 1, 2}), 4_t); // overlaps f's row pattern
+    g.addRow(V({0, 0, 0}), 1_t);
+    std::vector<FunctionTable> tables{f, g};
+    Network net = synthesizeMultiOutput(tables);
+    ASSERT_EQ(net.outputs().size(), 2u);
+    testing::forAllVolleys(3, 5, [&](const std::vector<Time> &u) {
+        auto out = net.evaluate(u);
+        EXPECT_EQ(out[0], f.evaluate(u)) << volleyStr(u);
+        EXPECT_EQ(out[1], g.evaluate(u)) << volleyStr(u);
+    });
+}
+
+TEST(MultiOutputSynthesis, SharedStructureIsMerged)
+{
+    // Identical tables: the merged network must be barely larger than
+    // one copy (shared minterms collapse; only the outputs differ).
+    FunctionTable f = fig7Table();
+    std::vector<FunctionTable> twice{f, f};
+    Network two = synthesizeMultiOutput(twice);
+    Network one = optimize(synthesizeMinterms(f));
+    EXPECT_LT(two.size(), 2 * one.size());
+    EXPECT_LE(two.size(), one.size() + 1);
+}
+
+TEST(MultiOutputSynthesis, RejectsBadInputs)
+{
+    EXPECT_THROW(synthesizeMultiOutput({}), std::invalid_argument);
+    FunctionTable a(2), b(3);
+    std::vector<FunctionTable> mixed{a, b};
+    EXPECT_THROW(synthesizeMultiOutput(mixed), std::invalid_argument);
+}
+
+TEST(MultiOutputSynthesis, RandomTablePairs)
+{
+    Rng rng(515);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<FunctionTable> tables{
+            testing::randomTable(rng, 3, 4, 4),
+            testing::randomTable(rng, 3, 4, 4),
+            testing::randomTable(rng, 3, 4, 4)};
+        Network net = synthesizeMultiOutput(tables);
+        for (int s = 0; s < 80; ++s) {
+            auto x = testing::randomVolley(rng, 3, 9);
+            auto out = net.evaluate(x);
+            for (size_t k = 0; k < tables.size(); ++k)
+                EXPECT_EQ(out[k], tables[k].evaluate(x));
+        }
+    }
+}
+
+TEST(MintermSynthesis, SynthesizedNetworksRoundTripThroughInfer)
+{
+    // infer(synthesize(T)) == T canonically, closing the loop between
+    // the table and network representations.
+    FunctionTable t = fig7Table();
+    Network net = synthesizeMinterms(t);
+    auto fn = [&net](std::span<const Time> x) {
+        return net.evaluate(x)[0];
+    };
+    FunctionTable inferred =
+        FunctionTable::infer(3, t.historyBound() + 1, fn);
+    testing::forAllVolleys(3, t.historyBound() + 2,
+                           [&](const std::vector<Time> &u) {
+        EXPECT_EQ(inferred.evaluate(u), t.evaluate(u));
+    });
+}
+
+} // namespace
+} // namespace st

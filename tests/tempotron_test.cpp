@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the tempotron (Guetig & Sompolinsky, paper Sec. II.C):
+ * kernel shape, potential dynamics, the error-driven update rule, and
+ * end-to-end learning of temporal discrimination tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/tempotron.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TempotronParams
+smallParams(size_t inputs)
+{
+    TempotronParams p;
+    p.numInputs = inputs;
+    p.threshold = 1.0;
+    p.learningRate = 0.05;
+    p.seed = 11;
+    return p;
+}
+
+TEST(Tempotron, RejectsBadConfig)
+{
+    TempotronParams p = smallParams(0);
+    EXPECT_THROW(Tempotron{p}, std::invalid_argument);
+    p = smallParams(2);
+    p.tauFast = 5.0; // >= tauSlow
+    EXPECT_THROW(Tempotron{p}, std::invalid_argument);
+}
+
+TEST(Tempotron, KernelIsNormalizedAndCausal)
+{
+    Tempotron n(smallParams(2));
+    EXPECT_DOUBLE_EQ(n.kernel(-1.0), 0.0); // causal
+    EXPECT_DOUBLE_EQ(n.kernel(0.0), 0.0);  // biexp starts at 0
+    double peak = 0.0;
+    for (double t = 0; t < 20; t += 0.25)
+        peak = std::max(peak, n.kernel(t));
+    EXPECT_NEAR(peak, 1.0, 0.01); // normalized peak
+    EXPECT_LT(n.kernel(40.0), 1e-3); // decays
+}
+
+TEST(Tempotron, PotentialSumsWeightedKernels)
+{
+    TempotronParams p = smallParams(2);
+    p.initJitter = 0.0;
+    p.initWeight = 0.5;
+    Tempotron n(p);
+    auto v = V({0, kNo});
+    double t_star = 2.0; // near the kernel peak for tau 4/1
+    double single = n.potentialAt(v, t_star);
+    EXPECT_NEAR(single, 0.5 * n.kernel(t_star), 1e-12);
+    auto both = V({0, 0});
+    EXPECT_NEAR(n.potentialAt(both, t_star), 2 * single, 1e-12);
+}
+
+TEST(Tempotron, TrainPotentiatesOnMissedPositive)
+{
+    TempotronParams p = smallParams(3);
+    p.initWeight = 0.01; // too weak to fire
+    p.initJitter = 0.0;
+    Tempotron n(p);
+    TempotronSample pos{V({0, 1, 2}), true};
+    ASSERT_FALSE(n.fires(pos.volley));
+    ASSERT_TRUE(n.train(pos)); // error -> update
+    for (double w : n.weights())
+        EXPECT_GT(w, 0.01);
+}
+
+TEST(Tempotron, TrainDepressesOnFalsePositive)
+{
+    TempotronParams p = smallParams(3);
+    p.initWeight = 2.0; // fires on anything
+    p.initJitter = 0.0;
+    Tempotron n(p);
+    TempotronSample neg{V({0, 1, 2}), false};
+    ASSERT_TRUE(n.fires(neg.volley));
+    ASSERT_TRUE(n.train(neg));
+    for (double w : n.weights())
+        EXPECT_LT(w, 2.0);
+}
+
+TEST(Tempotron, NoUpdateWhenCorrect)
+{
+    TempotronParams p = smallParams(2);
+    p.initWeight = 2.0;
+    p.initJitter = 0.0;
+    Tempotron n(p);
+    auto before = n.weights();
+    EXPECT_FALSE(n.train({V({0, 0}), true})); // fires, should fire
+    EXPECT_EQ(n.weights(), before);
+}
+
+TEST(Tempotron, SilentLinesNeverUpdate)
+{
+    TempotronParams p = smallParams(2);
+    p.initWeight = 0.01;
+    p.initJitter = 0.0;
+    Tempotron n(p);
+    n.train({V({0, kNo}), true});
+    EXPECT_GT(n.weights()[0], 0.01);
+    EXPECT_DOUBLE_EQ(n.weights()[1], 0.01);
+}
+
+TEST(Tempotron, LearnsCoincidenceDetection)
+{
+    // Task: fire iff the two halves of the volley spike together
+    // (within 1 unit); stay quiet when they are 6+ units apart.
+    TempotronParams p = smallParams(8);
+    p.threshold = 1.2;
+    p.seed = 21;
+    Tempotron n(p);
+    Rng rng(5);
+    std::vector<TempotronSample> data;
+    for (int s = 0; s < 60; ++s) {
+        bool positive = s % 2 == 0;
+        Volley v(8, INF);
+        Time::rep base = rng.below(3);
+        for (size_t i = 0; i < 8; ++i) {
+            Time::rep offset = i < 4 ? 0 : (positive ? 0 : 6);
+            v[i] = Time(base + offset + rng.below(2));
+        }
+        data.push_back({v, positive});
+    }
+    auto errors = n.trainEpochs(data, 60);
+    EXPECT_LT(errors.back(), errors.front());
+    EXPECT_GE(n.accuracy(data), 0.9);
+}
+
+TEST(Tempotron, LearnsPatternDiscrimination)
+{
+    // Classic tempotron task: one temporal pattern is the positive
+    // class, another the negative, both jittered.
+    PatternSetParams dp;
+    dp.numClasses = 2;
+    dp.numLines = 12;
+    dp.timeSpan = 7;
+    dp.jitter = 0.3;
+    dp.dropProb = 0.0;
+    dp.seed = 33;
+    PatternDataset source(dp);
+
+    TempotronParams p = smallParams(12);
+    p.threshold = 1.5;
+    p.seed = 34;
+    Tempotron n(p);
+
+    std::vector<TempotronSample> train, test;
+    for (int s = 0; s < 120; ++s) {
+        auto sample = source.sample(s % 2);
+        (s < 80 ? train : test)
+            .push_back({sample.volley, sample.label == 0});
+    }
+    n.trainEpochs(train, 80);
+    EXPECT_GE(n.accuracy(test), 0.85);
+}
+
+TEST(Tempotron, NegativeWeightsActInhibitory)
+{
+    TempotronParams p = smallParams(2);
+    p.initWeight = 0.2;
+    p.initJitter = 0.0;
+    p.learningRate = 0.1;
+    Tempotron n(p);
+    // Line 0 alone must fire (positive class); lines 0+1 together must
+    // not (negative class) — only a negative w1 can satisfy both.
+    for (int i = 0; i < 120; ++i) {
+        n.train({V({0, kNo}), true});
+        n.train({V({0, 0}), false});
+    }
+    EXPECT_GT(n.weights()[0], 0.0);
+    EXPECT_LT(n.weights()[1], 0.0);
+}
+
+TEST(Tempotron, AccuracyOnEmptyDataIsZero)
+{
+    Tempotron n(smallParams(2));
+    EXPECT_DOUBLE_EQ(n.accuracy({}), 0.0);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared helpers for the test suites: volley literals, exhaustive
+ * enumeration, and random generators for volleys, tables and networks.
+ */
+
+#ifndef ST_TESTS_TEST_HELPERS_HPP
+#define ST_TESTS_TEST_HELPERS_HPP
+
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+#include "core/function_table.hpp"
+#include "core/network.hpp"
+#include "core/time.hpp"
+#include "util/rng.hpp"
+
+namespace st::testing {
+
+/** Shorthand volley literal: V({1, 2}) with kNo for "no spike". */
+inline constexpr uint64_t kNo = ~uint64_t{0};
+
+inline std::vector<Time>
+V(std::initializer_list<uint64_t> values)
+{
+    std::vector<Time> v;
+    v.reserve(values.size());
+    for (uint64_t x : values)
+        v.push_back(x == kNo ? INF : Time(x));
+    return v;
+}
+
+/** Enumerate every volley over {0..k, inf}^arity. */
+inline void
+forAllVolleys(size_t arity, Time::rep k,
+              const std::function<void(const std::vector<Time> &)> &visit)
+{
+    std::vector<Time::rep> digits(arity, 0);
+    std::vector<Time> u(arity);
+    for (;;) {
+        for (size_t i = 0; i < arity; ++i)
+            u[i] = digits[i] == k + 1 ? INF : Time(digits[i]);
+        visit(u);
+        size_t pos = 0;
+        while (pos < arity && digits[pos] == k + 1)
+            digits[pos++] = 0;
+        if (pos == arity)
+            return;
+        ++digits[pos];
+    }
+}
+
+/** Random volley with entries in [0, limit] and inf probability p_inf. */
+inline std::vector<Time>
+randomVolley(Rng &rng, size_t arity, Time::rep limit, double p_inf = 0.2)
+{
+    std::vector<Time> v(arity);
+    for (Time &x : v)
+        x = rng.chance(p_inf) ? INF : Time(rng.below(limit + 1));
+    return v;
+}
+
+/**
+ * Random normalized function table: up to max_rows random rows over
+ * values {0..k, inf}; rows that violate normal form or conflict with
+ * earlier rows are skipped.
+ */
+inline FunctionTable
+randomTable(Rng &rng, size_t arity, Time::rep k, size_t max_rows)
+{
+    FunctionTable table(arity);
+    for (size_t r = 0; r < max_rows; ++r) {
+        std::vector<Time> inputs(arity);
+        for (Time &x : inputs)
+            x = rng.chance(0.2) ? INF : Time(rng.below(k + 1));
+        // Force normal form: one entry becomes 0.
+        inputs[rng.below(arity)] = 0_t;
+        Time output = Time(rng.below(k + 1));
+        try {
+            table.addRow(inputs, output);
+        } catch (const std::invalid_argument &) {
+            // duplicate or conflicting row: skip
+        }
+    }
+    return table;
+}
+
+/**
+ * Random feedforward network over the full primitive set (including
+ * native max), with num_inputs inputs and one output.
+ */
+inline Network
+randomNetwork(Rng &rng, size_t num_inputs, size_t num_blocks,
+              Time::rep max_inc = 4)
+{
+    Network net(num_inputs);
+    auto randomNode = [&]() {
+        return static_cast<NodeId>(rng.below(net.size()));
+    };
+    for (size_t b = 0; b < num_blocks; ++b) {
+        switch (rng.below(4)) {
+          case 0:
+            net.inc(randomNode(), rng.below(max_inc + 1));
+            break;
+          case 1:
+            net.min(randomNode(), randomNode());
+            break;
+          case 2:
+            net.max(randomNode(), randomNode());
+            break;
+          default:
+            net.lt(randomNode(), randomNode());
+            break;
+        }
+    }
+    net.markOutput(static_cast<NodeId>(net.size() - 1));
+    return net;
+}
+
+} // namespace st::testing
+
+#endif // ST_TESTS_TEST_HELPERS_HPP

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the N0^inf value domain (paper Sec. III.C): ordering with inf
+ * as the top element, saturating arithmetic (inf + n = inf), and the
+ * value-type plumbing (hash, streams, literals).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/time.hpp"
+
+namespace st {
+namespace {
+
+TEST(Time, DefaultIsZero)
+{
+    Time t;
+    EXPECT_TRUE(t.isFinite());
+    EXPECT_EQ(t.value(), 0u);
+    EXPECT_EQ(t, 0_t);
+}
+
+TEST(Time, LiteralConstruction)
+{
+    EXPECT_EQ((5_t).value(), 5u);
+    EXPECT_EQ(Time(5), 5_t);
+}
+
+TEST(Time, InfinityIsNotFinite)
+{
+    EXPECT_TRUE(INF.isInf());
+    EXPECT_FALSE(INF.isFinite());
+    EXPECT_TRUE((3_t).isFinite());
+    EXPECT_FALSE((3_t).isInf());
+}
+
+TEST(Time, InfGreaterThanEveryNatural)
+{
+    // The paper's defining law: inf > n for all n.
+    EXPECT_GT(INF, 0_t);
+    EXPECT_GT(INF, 1000000_t);
+    EXPECT_GT(INF, Time(std::numeric_limits<Time::rep>::max() - 1));
+}
+
+TEST(Time, TotalOrderOnNaturals)
+{
+    EXPECT_LT(1_t, 2_t);
+    EXPECT_LE(2_t, 2_t);
+    EXPECT_GE(3_t, 2_t);
+    EXPECT_EQ(2_t, 2_t);
+    EXPECT_NE(2_t, 3_t);
+}
+
+TEST(Time, InfEqualsItself)
+{
+    EXPECT_EQ(INF, Time::infinity());
+    EXPECT_LE(INF, INF);
+    EXPECT_GE(INF, INF);
+}
+
+TEST(Time, AdditionOfConstant)
+{
+    EXPECT_EQ(3_t + 4, 7_t);
+    EXPECT_EQ(0_t + 0, 0_t);
+}
+
+TEST(Time, InfPlusNIsInf)
+{
+    // The paper's second defining law: inf + n = inf.
+    EXPECT_EQ(INF + 0, INF);
+    EXPECT_EQ(INF + 1, INF);
+    EXPECT_EQ(INF + 123456789, INF);
+}
+
+TEST(Time, AdditionSaturatesOnOverflow)
+{
+    Time near_max(std::numeric_limits<Time::rep>::max() - 1);
+    EXPECT_EQ(near_max + 5, INF);
+}
+
+TEST(Time, TimePlusTime)
+{
+    EXPECT_EQ(2_t + 3_t, 5_t);
+    EXPECT_EQ(2_t + INF, INF);
+    EXPECT_EQ(INF + 2_t, INF);
+}
+
+TEST(Time, CompoundAddition)
+{
+    Time t = 1_t;
+    t += 4;
+    EXPECT_EQ(t, 5_t);
+    t = INF;
+    t += 10;
+    EXPECT_EQ(t, INF);
+}
+
+TEST(Time, SubtractionOfShift)
+{
+    EXPECT_EQ(7_t - 3, 4_t);
+    EXPECT_EQ(INF - 100, INF);
+}
+
+TEST(Time, SubtractionBelowZeroThrows)
+{
+    // Time never runs backwards; underflow is a logic error.
+    EXPECT_THROW(3_t - 4, std::underflow_error);
+    EXPECT_EQ(3_t - 3, 0_t);
+}
+
+TEST(Time, StrRendersInf)
+{
+    EXPECT_EQ((42_t).str(), "42");
+    EXPECT_EQ(INF.str(), "inf");
+}
+
+TEST(Time, StreamOperator)
+{
+    std::ostringstream os;
+    os << 3_t << "," << INF;
+    EXPECT_EQ(os.str(), "3,inf");
+}
+
+TEST(Time, HashDistinguishesValues)
+{
+    std::unordered_set<Time> set;
+    for (uint64_t i = 0; i < 100; ++i)
+        set.insert(Time(i));
+    set.insert(INF);
+    EXPECT_EQ(set.size(), 101u);
+    EXPECT_TRUE(set.contains(INF));
+    EXPECT_TRUE(set.contains(42_t));
+    EXPECT_FALSE(set.contains(100_t));
+}
+
+TEST(Time, SortsWithInfLast)
+{
+    std::vector<Time> v{INF, 3_t, 0_t, 7_t};
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, (std::vector<Time>{0_t, 3_t, 7_t, INF}));
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for trained-model serialization: bit-exact round trips of
+ * columns, multi-layer networks and conv layers, plus malformed-input
+ * rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/tnn_io.hpp"
+
+namespace st {
+namespace {
+
+Column
+trainedColumn()
+{
+    ColumnParams p;
+    p.numInputs = 8;
+    p.numNeurons = 4;
+    p.threshold = 6;
+    p.maxWeight = 7;
+    p.shape = ResponseShape::Biexponential;
+    p.fatigue = 3;
+    p.seed = 321;
+    Column col(p);
+    PatternSetParams dp;
+    dp.numLines = 8;
+    dp.numClasses = 2;
+    dp.seed = 4;
+    PatternDataset data(dp);
+    SimplifiedStdp rule(0.07, 0.05);
+    for (const auto &s : data.sampleMany(100))
+        col.trainStep(s.volley, rule);
+    return col;
+}
+
+TEST(TnnIo, ColumnRoundTripIsBitExact)
+{
+    Column col = trainedColumn();
+    Column back = columnFromText(columnToText(col));
+    EXPECT_EQ(back.params().numInputs, col.params().numInputs);
+    EXPECT_EQ(back.params().threshold, col.params().threshold);
+    EXPECT_EQ(back.params().shape, col.params().shape);
+    EXPECT_EQ(back.params().fatigue, col.params().fatigue);
+    for (size_t j = 0; j < col.params().numNeurons; ++j)
+        EXPECT_EQ(back.weights(j), col.weights(j)) << "neuron " << j;
+    // Behaviour round-trips too.
+    Rng rng(5);
+    for (int s = 0; s < 40; ++s) {
+        auto x = testing::randomVolley(rng, 8, 7, 0.2);
+        EXPECT_EQ(back.process(x), col.process(x));
+    }
+    // Serialization is idempotent.
+    EXPECT_EQ(columnToText(back), columnToText(col));
+}
+
+TEST(TnnIo, ColumnFatigueCountersResetOnLoad)
+{
+    Column col = trainedColumn();
+    Column back = columnFromText(columnToText(col));
+    for (size_t j = 0; j < col.params().numNeurons; ++j)
+        EXPECT_EQ(back.winCount(j), 0u);
+}
+
+TEST(TnnIo, NetworkRoundTrip)
+{
+    TnnNetwork net;
+    ColumnParams l0;
+    l0.numInputs = 6;
+    l0.numNeurons = 4;
+    l0.threshold = 4;
+    l0.seed = 9;
+    net.addLayer(l0);
+    ColumnParams l1;
+    l1.numInputs = 4;
+    l1.numNeurons = 2;
+    l1.threshold = 2;
+    l1.seed = 10;
+    net.addLayer(l1);
+    net.layer(0).setWeights(1, {0.1, 0.9, 0.25, 0.5, 0.0, 1.0});
+
+    TnnNetwork back = tnnFromText(tnnToText(net));
+    ASSERT_EQ(back.numLayers(), 2u);
+    EXPECT_EQ(back.layer(0).weights(1), net.layer(0).weights(1));
+    Rng rng(6);
+    for (int s = 0; s < 30; ++s) {
+        auto x = testing::randomVolley(rng, 6, 7, 0.2);
+        EXPECT_EQ(back.process(x), net.process(x));
+    }
+}
+
+TEST(TnnIo, ConvRoundTrip)
+{
+    Conv1dParams p;
+    p.inputWidth = 12;
+    p.kernelSize = 4;
+    p.stride = 2;
+    p.numFeatures = 3;
+    p.threshold = 5;
+    p.fatigue = 2;
+    p.seed = 77;
+    Conv1dLayer conv(p);
+    conv.setWeights(1, {0.125, 0.75, 1.0, 0.0});
+
+    Conv1dLayer back = convFromText(convToText(conv));
+    EXPECT_EQ(back.params().stride, 2u);
+    EXPECT_EQ(back.numPositions(), conv.numPositions());
+    for (size_t f = 0; f < 3; ++f)
+        EXPECT_EQ(back.weights(f), conv.weights(f));
+    Rng rng(7);
+    for (int s = 0; s < 30; ++s) {
+        auto x = testing::randomVolley(rng, 12, 7, 0.3);
+        EXPECT_EQ(back.pooled(x), conv.pooled(x));
+        EXPECT_EQ(back.featureMap(x), conv.featureMap(x));
+    }
+}
+
+TEST(TnnIo, CommentsAndBlanksAreIgnored)
+{
+    std::string text = columnToText(trainedColumn());
+    text = "# trained on synthetic patterns\n\n" + text + "\n# end\n";
+    EXPECT_NO_THROW(columnFromText(text));
+}
+
+TEST(TnnIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(columnFromText(""), std::invalid_argument);
+    EXPECT_THROW(columnFromText("stcolumn 2\n"), std::invalid_argument);
+    EXPECT_THROW(columnFromText("stcolumn 1\nbogus\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(tnnFromText("stcolumn 1\n"), std::invalid_argument);
+    EXPECT_THROW(convFromText("stconv 1\ngeometry 4 2 1\n"),
+                 std::invalid_argument);
+
+    // Truncated weights section.
+    Column col = trainedColumn();
+    std::string text = columnToText(col);
+    text.resize(text.rfind("weights"));
+    EXPECT_THROW(columnFromText(text), std::invalid_argument);
+
+    // Out-of-order weights rows.
+    std::string swapped = columnToText(col);
+    auto w0 = swapped.find("weights 0");
+    swapped.replace(w0, 9, "weights 1");
+    EXPECT_THROW(columnFromText(swapped), std::invalid_argument);
+}
+
+TEST(TnnIo, UnknownShapeRejected)
+{
+    std::string text = columnToText(trainedColumn());
+    auto pos = text.find("shape biexp");
+    text.replace(pos, 11, "shape magic");
+    EXPECT_THROW(columnFromText(text), std::invalid_argument);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Integration tests across the TNN substrate (paper Secs. II.C, IV): a
+ * multi-layer TnnNetwork, greedy layer training, and the headline
+ * emergent behaviour — STDP + WTA training makes neurons selective for
+ * recurring temporal patterns, yielding high clustering purity on the
+ * synthetic pattern and freeway workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tnn/datasets.hpp"
+#include "tnn/metrics.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st {
+namespace {
+
+ColumnParams
+columnFor(size_t inputs, size_t neurons, uint64_t seed)
+{
+    ColumnParams p;
+    p.numInputs = inputs;
+    p.numNeurons = neurons;
+    p.threshold = 6;
+    p.maxWeight = 7;
+    p.shape = ResponseShape::Step;
+    p.wtaTau = 1;
+    p.wtaK = 1;
+    p.initWeight = 0.5;
+    p.initJitter = 0.15;
+    p.seed = seed;
+    return p;
+}
+
+TEST(TnnNetwork, LayerWidthsMustChain)
+{
+    TnnNetwork net;
+    net.addLayer(columnFor(8, 4, 1));
+    EXPECT_THROW(net.addLayer(columnFor(5, 2, 2)),
+                 std::invalid_argument);
+    net.addLayer(columnFor(4, 2, 3));
+    EXPECT_EQ(net.numLayers(), 2u);
+}
+
+TEST(TnnNetwork, ProcessChainsLayers)
+{
+    TnnNetwork net;
+    net.addLayer(columnFor(4, 3, 1));
+    net.addLayer(columnFor(3, 2, 2));
+    Volley in(4, 0_t);
+    Volley out = net.process(in);
+    EXPECT_EQ(out.size(), 2u);
+    // processUpTo(0) is the identity.
+    EXPECT_EQ(net.processUpTo(in, 0), in);
+    EXPECT_EQ(net.processUpTo(in, 2), out);
+    EXPECT_THROW(net.processUpTo(in, 3), std::out_of_range);
+}
+
+TEST(TnnNetwork, TrainLayerValidatesIndex)
+{
+    TnnNetwork net;
+    net.addLayer(columnFor(4, 3, 1));
+    SimplifiedStdp rule(0.05, 0.04);
+    std::vector<Volley> data{Volley(4, 0_t)};
+    EXPECT_THROW(net.trainLayer(5, data, rule), std::out_of_range);
+}
+
+TEST(TnnNetwork, TrainLayerReportsFiringSteps)
+{
+    TnnNetwork net;
+    net.addLayer(columnFor(4, 3, 1));
+    SimplifiedStdp rule(0.05, 0.04);
+    std::vector<Volley> data{Volley(4, 0_t), Volley(4, 1_t)};
+    size_t fired = net.trainLayer(0, data, rule, 3);
+    EXPECT_EQ(fired, 6u); // dense strong input always fires someone
+}
+
+/**
+ * The emergence experiment (paper Sec. VI conjecture 2, refs [28][37]):
+ * unsupervised STDP + WTA on jittered prototypes should produce neurons
+ * selective for distinct classes — purity well above chance.
+ */
+TEST(TnnTraining, StdpClustersTemporalPatterns)
+{
+    PatternSetParams dp;
+    dp.numClasses = 4;
+    dp.numLines = 16;
+    dp.timeSpan = 7;
+    dp.jitter = 0.4;
+    dp.dropProb = 0.03;
+    dp.seed = 2718;
+    PatternDataset data(dp);
+
+    ColumnParams cp = columnFor(16, 8, 99);
+    cp.threshold = 14;
+    cp.fatigue = 8;
+    Column col(cp);
+    SimplifiedStdp rule(0.06, 0.045);
+
+    auto train = data.sampleMany(900);
+    for (const auto &s : train)
+        col.trainStep(s.volley, rule);
+
+    // Evaluate: winner (earliest raw spike) vs ground truth.
+    ConfusionMatrix m(cp.numNeurons, dp.numClasses);
+    auto test = data.sampleMany(200);
+    for (const auto &s : test) {
+        auto fired = col.rawFireTimes(s.volley);
+        std::optional<size_t> winner;
+        Time best = INF;
+        for (size_t j = 0; j < fired.size(); ++j) {
+            if (fired[j] < best) {
+                best = fired[j];
+                winner = j;
+            }
+        }
+        m.add(winner, s.label);
+    }
+
+    EXPECT_GT(m.coverage(), 0.9);
+    EXPECT_GT(m.purity(), 0.85) << m.str();
+    EXPECT_GE(m.distinctLabelsCovered(), 3u) << m.str();
+}
+
+/** The Fig. 4 substitute: lane classification on synthetic AER data. */
+TEST(TnnTraining, FreewayLanesBecomeSeparable)
+{
+    FreewayParams fp;
+    fp.lanes = 3;
+    fp.sensorsPerLane = 6;
+    fp.jitter = 0.3;
+    fp.missProb = 0.03;
+    fp.seed = 42;
+    FreewayGenerator gen(fp);
+
+    ColumnParams cp = columnFor(gen.numAddresses(), 6, 7);
+    cp.threshold = 14;
+    cp.fatigue = 8;
+    Column col(cp);
+    SimplifiedStdp rule(0.07, 0.05);
+
+    for (const auto &s : gen.generate(500))
+        col.trainStep(s.volley, rule);
+
+    ConfusionMatrix m(cp.numNeurons, fp.lanes);
+    for (const auto &s : gen.generate(150)) {
+        auto fired = col.rawFireTimes(s.volley);
+        std::optional<size_t> winner;
+        Time best = INF;
+        for (size_t j = 0; j < fired.size(); ++j) {
+            if (fired[j] < best) {
+                best = fired[j];
+                winner = j;
+            }
+        }
+        m.add(winner, s.label);
+    }
+    EXPECT_GT(m.purity(), 0.9) << m.str();
+    EXPECT_EQ(m.distinctLabelsCovered(), 3u) << m.str();
+}
+
+TEST(TnnNetwork, TwoLayerPipelineRuns)
+{
+    // A smoke test of the hierarchical arrangement: layer 1 clusters,
+    // layer 2 consumes layer-1 volleys without blowing up.
+    PatternSetParams dp;
+    dp.numClasses = 3;
+    dp.numLines = 12;
+    dp.seed = 5;
+    PatternDataset data(dp);
+
+    TnnNetwork net;
+    auto l0 = columnFor(12, 6, 11);
+    l0.threshold = 8;
+    net.addLayer(l0);
+    auto l1 = columnFor(6, 3, 12);
+    l1.threshold = 2;
+    net.addLayer(l1);
+
+    SimplifiedStdp rule(0.06, 0.045);
+    std::vector<Volley> volleys;
+    for (const auto &s : data.sampleMany(150))
+        volleys.push_back(s.volley);
+
+    size_t fired0 = net.trainLayer(0, volleys, rule, 2);
+    EXPECT_GT(fired0, volleys.size()); // most steps had a winner
+    size_t fired1 = net.trainLayer(1, volleys, rule, 2);
+    EXPECT_GT(fired1, 0u);
+
+    Volley out = net.process(volleys.front());
+    EXPECT_EQ(out.size(), 3u);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the event-driven trace simulator (paper Sec. III.B): the
+ * operational "wave of spikes" semantics must coincide with the
+ * denotational evaluator on every node, traces must be time-ordered with
+ * at most one spike per line, and lt ties must block exactly as in the
+ * algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "core/synthesis.hpp"
+#include "core/trace_sim.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(TraceSim, SimpleChainFiresInOrder)
+{
+    Network net(1);
+    NodeId a = net.inc(net.input(0), 2);
+    NodeId b = net.inc(a, 3);
+    net.markOutput(b);
+
+    TraceSimulator sim(net);
+    Trace trace = sim.run(V({1}));
+    ASSERT_EQ(trace.events.size(), 3u);
+    EXPECT_EQ(trace.events[0], (TraceEvent{1_t, net.input(0)}));
+    EXPECT_EQ(trace.events[1], (TraceEvent{3_t, a}));
+    EXPECT_EQ(trace.events[2], (TraceEvent{6_t, b}));
+    EXPECT_EQ(trace.outputs, V({6}));
+}
+
+TEST(TraceSim, QuiescentBlocksNeverFire)
+{
+    // Paper Sec. III.B: each block is initially quiescent and only
+    // computes once its first spike arrives.
+    Network net(2);
+    NodeId m = net.min(net.input(0), net.input(1));
+    NodeId d = net.inc(m, 4);
+    net.markOutput(d);
+
+    TraceSimulator sim(net);
+    Trace trace = sim.run(V({kNo, kNo}));
+    EXPECT_TRUE(trace.events.empty());
+    EXPECT_EQ(trace.outputs, V({kNo}));
+    EXPECT_EQ(trace.spikeCount(), 0u);
+}
+
+TEST(TraceSim, EachLineCarriesAtMostOneSpike)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 15);
+        TraceSimulator sim(net);
+        Trace trace = sim.run(testing::randomVolley(rng, 3, 10));
+        std::vector<bool> seen(net.size(), false);
+        for (const TraceEvent &e : trace.events) {
+            EXPECT_FALSE(seen[e.node]) << "node fired twice";
+            seen[e.node] = true;
+        }
+    }
+}
+
+TEST(TraceSim, EventsAreTimeOrdered)
+{
+    Rng rng(6);
+    for (int trial = 0; trial < 20; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 15);
+        TraceSimulator sim(net);
+        Trace trace = sim.run(testing::randomVolley(rng, 3, 10));
+        for (size_t i = 1; i < trace.events.size(); ++i)
+            EXPECT_LE(trace.events[i - 1].time, trace.events[i].time);
+    }
+}
+
+TEST(TraceSim, AgreesWithDenotationalEvaluatorOnRandomNetworks)
+{
+    // The central property: the operational (event-driven) and
+    // denotational (single-pass) semantics are the same function on
+    // every node, including lt ties and inf propagation.
+    Rng rng(7);
+    for (int trial = 0; trial < 40; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 20);
+        TraceSimulator sim(net);
+        for (int s = 0; s < 25; ++s) {
+            auto x = testing::randomVolley(rng, 3, 8);
+            Trace trace = sim.run(x);
+            EXPECT_EQ(trace.fireTime, net.evaluateAll(x))
+                << "at " << volleyStr(x);
+        }
+    }
+}
+
+TEST(TraceSim, LtTieBlocksOperationally)
+{
+    // Both gate inputs arrive in the same wave (same time step):
+    // the lt must stay quiet — the operational analogue of tlt(a,a)=inf.
+    Network net(2);
+    NodeId y = net.lt(net.input(0), net.input(1));
+    net.markOutput(y);
+    TraceSimulator sim(net);
+    EXPECT_EQ(sim.run(V({3, 3})).outputs, V({kNo}));
+    EXPECT_EQ(sim.run(V({2, 3})).outputs, V({2}));
+    EXPECT_EQ(sim.run(V({3, 2})).outputs, V({kNo}));
+}
+
+TEST(TraceSim, SameTimestepCascadeResolvesLtTie)
+{
+    // b's spike is *produced* by a zero-depth cascade in the same time
+    // step as a's; the tie must still block.
+    Network net(2);
+    NodeId m = net.min(net.input(0), net.input(1)); // fires with inputs
+    NodeId y = net.lt(net.input(0), m);             // a == b always
+    net.markOutput(y);
+    TraceSimulator sim(net);
+    EXPECT_EQ(sim.run(V({4, 9})).outputs, V({kNo}));
+    EXPECT_EQ(sim.run(V({4, 2})).outputs, V({kNo}));
+}
+
+TEST(TraceSim, ConfigNodesEmitEvents)
+{
+    Network net(1);
+    NodeId c = net.config(2_t);
+    NodeId m = net.min(net.input(0), c);
+    net.markOutput(m);
+    TraceSimulator sim(net);
+    EXPECT_EQ(sim.run(V({5})).outputs, V({2}));
+    EXPECT_EQ(sim.run(V({1})).outputs, V({1}));
+    // inf configs never fire.
+    Network net2(1);
+    NodeId c2 = net2.config(INF);
+    net2.markOutput(net2.min(net2.input(0), c2));
+    TraceSimulator sim2(net2);
+    EXPECT_EQ(sim2.run(V({kNo})).spikeCount(), 0u);
+}
+
+TEST(TraceSim, MaxWaitsForAllInputs)
+{
+    Network net(3);
+    std::vector<NodeId> all{net.input(0), net.input(1), net.input(2)};
+    net.markOutput(net.max(std::span<const NodeId>(all)));
+    TraceSimulator sim(net);
+    EXPECT_EQ(sim.run(V({1, 5, 3})).outputs, V({5}));
+    EXPECT_EQ(sim.run(V({1, kNo, 3})).outputs, V({kNo}));
+}
+
+TEST(TraceSim, SpikeCountMatchesFiniteNodeValues)
+{
+    Rng rng(8);
+    Network net = testing::randomNetwork(rng, 3, 12);
+    TraceSimulator sim(net);
+    auto x = testing::randomVolley(rng, 3, 6, 0.0);
+    Trace trace = sim.run(x);
+    size_t finite = 0;
+    for (Time t : net.evaluateAll(x)) {
+        if (t.isFinite())
+            ++finite;
+    }
+    EXPECT_EQ(trace.spikeCount(), finite);
+}
+
+TEST(TraceSim, MintermNetworkTraceMatchesTable)
+{
+    FunctionTable t(2);
+    t.addRow(V({0, 1}), 2_t);
+    t.addRow(V({1, 0}), 3_t);
+    Network net = synthesizeMinterms(t);
+    TraceSimulator sim(net);
+    testing::forAllVolleys(2, 4, [&](const std::vector<Time> &u) {
+        EXPECT_EQ(sim.run(u).outputs[0], t.evaluate(u))
+            << "at " << volleyStr(u);
+    });
+}
+
+TEST(TraceSim, RejectsArityMismatch)
+{
+    Network net(2);
+    net.markOutput(net.input(0));
+    TraceSimulator sim(net);
+    EXPECT_THROW(sim.run(V({1})), std::invalid_argument);
+}
+
+} // namespace
+} // namespace st

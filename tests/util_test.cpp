@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the utility substrate: deterministic RNG, CSV writer, and
+ * ASCII table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/raster.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace st {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    bool differs = false;
+    for (int i = 0; i < 10 && !differs; ++i)
+        differs = a.next() != b.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowRejectsZeroBound)
+{
+    Rng rng(7);
+    EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(19);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(23);
+    double sum = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(29);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(31);
+    Rng child = a.split();
+    // The child stream should not simply mirror the parent.
+    bool differs = false;
+    for (int i = 0; i < 8 && !differs; ++i)
+        differs = a.next() != child.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Csv, HeaderAndRows)
+{
+    CsvWriter csv({"a", "b"});
+    csv.row(1, "x");
+    csv.row(2, "y");
+    EXPECT_EQ(csv.str(), "a,b\n1,x\n2,y\n");
+    EXPECT_EQ(csv.rowCount(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    CsvWriter csv({"v"});
+    csv.row("has,comma");
+    csv.row("has\"quote");
+    EXPECT_EQ(csv.str(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Csv, RejectsArityMismatch)
+{
+    CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, RejectsEmptyHeader)
+{
+    EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RendersAlignedCells)
+{
+    AsciiTable t({"name", "n"});
+    t.row("alpha", 1);
+    t.row("b", 12345);
+    std::string s = t.str();
+    EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos);
+    EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsArityMismatch)
+{
+    AsciiTable t({"a"});
+    EXPECT_THROW(t.addRow({"x", "y"}), std::invalid_argument);
+}
+
+TEST(Raster, MarksSpikesAtTheirTimes)
+{
+    std::vector<Time> v{0_t, 3_t, INF, 1_t};
+    std::string plot = rasterPlot(v);
+    EXPECT_NE(plot.find("0 ||.."), std::string::npos);
+    EXPECT_NE(plot.find("1 |...|"), std::string::npos);
+    EXPECT_NE(plot.find("(no spike)"), std::string::npos);
+    EXPECT_NE(plot.find("t ->"), std::string::npos);
+}
+
+TEST(Raster, HonorsHorizonAndNames)
+{
+    RasterOptions opt;
+    opt.horizon = 6;
+    opt.names = {"alpha", "b"};
+    opt.mark = '*';
+    std::vector<Time> v{2_t, 5_t};
+    std::string plot = rasterPlot(v, opt);
+    EXPECT_NE(plot.find("alpha |..*...."), std::string::npos);
+    EXPECT_NE(plot.find("b     |.....*."), std::string::npos);
+}
+
+TEST(Raster, StacksMultipleVolleysWithSharedHorizon)
+{
+    std::vector<std::vector<Time>> vs{{1_t}, {4_t}};
+    std::string plot = rasterPlot(vs);
+    // Both rasters span to t=4 (shared horizon).
+    EXPECT_NE(plot.find("0 |.|..."), std::string::npos);
+    EXPECT_NE(plot.find("0 |....|"), std::string::npos);
+}
+
+TEST(Raster, EmptyVolleyStillRendersAxis)
+{
+    std::vector<Time> v{INF, INF};
+    std::string plot = rasterPlot(v);
+    EXPECT_NE(plot.find("t ->"), std::string::npos);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime)
+{
+    Stopwatch sw;
+    EXPECT_GE(sw.seconds(), 0.0);
+    sw.reset();
+    EXPECT_GE(sw.millis(), 0.0);
+}
+
+} // namespace
+} // namespace st

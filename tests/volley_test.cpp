@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for spike-volley coding (paper Sec. III.A, Fig. 5): value
+ * encode/decode, latency quantization, and the coding-efficiency
+ * figures behind the paper's low-resolution argument.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tnn/volley.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Volley, EncodesFig5Example)
+{
+    // The paper's example vector [0, 3, inf, 1].
+    std::vector<std::optional<uint64_t>> values{0, 3, std::nullopt, 1};
+    EXPECT_EQ(encodeValues(values), V({0, 3, kNo, 1}));
+}
+
+TEST(Volley, EncodeNormalizesOffsets)
+{
+    // The first spike always encodes value 0 (Fig. 5's convention).
+    std::vector<uint64_t> values{5, 8, 6};
+    EXPECT_EQ(encodeValues(values), V({0, 3, 1}));
+}
+
+TEST(Volley, EncodeAllMissing)
+{
+    std::vector<std::optional<uint64_t>> values{std::nullopt,
+                                                std::nullopt};
+    EXPECT_EQ(encodeValues(values), V({kNo, kNo}));
+}
+
+TEST(Volley, DecodeInvertsEncode)
+{
+    std::vector<std::optional<uint64_t>> values{0, 3, std::nullopt, 1};
+    auto decoded = decodeValues(encodeValues(values));
+    EXPECT_EQ(decoded, values);
+}
+
+TEST(Volley, DecodeIsRelativeToFirstSpike)
+{
+    auto decoded = decodeValues(V({4, 6, kNo}));
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0], 0u);
+    EXPECT_EQ(decoded[1], 2u);
+    EXPECT_FALSE(decoded[2].has_value());
+}
+
+TEST(Volley, QuantizeStrongInputsSpikeEarly)
+{
+    std::vector<double> intensities{1.0, 0.5, 0.0, 0.75};
+    Volley v = quantizeIntensities(intensities, 3);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 0_t);           // strongest: earliest
+    EXPECT_EQ(v[2], 7_t);           // weakest: latest (2^3 - 1)
+    EXPECT_LT(v[3], v[1]);          // stronger spikes earlier
+}
+
+TEST(Volley, QuantizeCutoffCreatesSparseCodes)
+{
+    std::vector<double> intensities{0.9, 0.1, 0.05, 0.8};
+    Volley v = quantizeIntensities(intensities, 3, 0.2);
+    EXPECT_TRUE(v[0].isFinite());
+    EXPECT_EQ(v[1], INF);
+    EXPECT_EQ(v[2], INF);
+    EXPECT_TRUE(v[3].isFinite());
+}
+
+TEST(Volley, QuantizeClampsOutOfRange)
+{
+    std::vector<double> intensities{2.0, -1.0};
+    Volley v = quantizeIntensities(intensities, 2);
+    EXPECT_EQ(v[0], 0_t);
+    EXPECT_EQ(v[1], 3_t);
+}
+
+TEST(CodingStats, BitsPerSpikeMatchesSecIIIA)
+{
+    // n-bit resolution over q lines: just under n bits per spike when
+    // every line spikes.
+    auto v = V({0, 3, 2, 1});
+    CodingStats s = codingStats(v, 3);
+    EXPECT_EQ(s.lines, 4u);
+    EXPECT_EQ(s.spikes, 4u);
+    EXPECT_EQ(s.messageTime, 8u);       // 2^3 time units per volley
+    EXPECT_DOUBLE_EQ(s.bitsConveyed, 12.0);
+    EXPECT_DOUBLE_EQ(s.bitsPerSpike, 3.0);
+}
+
+TEST(CodingStats, SparsityImprovesBitsPerSpike)
+{
+    // The paper: sparse codings further improve energy efficiency.
+    auto dense = V({0, 1, 2, 3, 4, 5, 6, 7});
+    auto sparse = V({0, kNo, kNo, kNo, 4, kNo, kNo, kNo});
+    CodingStats d = codingStats(dense, 3);
+    CodingStats s = codingStats(sparse, 3);
+    EXPECT_GT(s.bitsPerSpike, d.bitsPerSpike);
+    EXPECT_EQ(s.spikes, 2u);
+}
+
+TEST(CodingStats, MessageTimeGrowsExponentially)
+{
+    auto v = V({0});
+    EXPECT_EQ(codingStats(v, 3).messageTime, 8u);
+    EXPECT_EQ(codingStats(v, 4).messageTime, 16u);
+    EXPECT_EQ(codingStats(v, 10).messageTime, 1024u);
+}
+
+TEST(CodingStats, NoSpikesMeansZeroRate)
+{
+    CodingStats s = codingStats(V({kNo, kNo}), 4);
+    EXPECT_EQ(s.spikes, 0u);
+    EXPECT_DOUBLE_EQ(s.bitsPerSpike, 0.0);
+}
+
+TEST(Volley, IsNormalizedPredicate)
+{
+    EXPECT_TRUE(isNormalizedVolley(V({0, 3, kNo})));
+    EXPECT_FALSE(isNormalizedVolley(V({1, 3})));
+    EXPECT_TRUE(isNormalizedVolley(V({kNo, kNo}))); // vacuously
+    EXPECT_TRUE(isNormalizedVolley(V({})));
+}
+
+} // namespace
+} // namespace st

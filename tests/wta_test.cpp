@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for winner-take-all inhibition (paper Sec. IV.C, Fig. 15): the
+ * primitive-built network, its pure functional counterpart, the tau
+ * window parameterization, and the behavioral k-WTA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "neuron/wta.hpp"
+#include "test_helpers.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+TEST(Wta, OnlyFirstSpikesPass)
+{
+    // Fig. 15 with tau = 1: only relative-time-0 spikes survive.
+    Network net = wtaNetwork(4, 1);
+    EXPECT_EQ(net.evaluate(V({3, 5, 3, 9})), V({3, kNo, 3, kNo}));
+}
+
+TEST(Wta, SingleSpikeSurvivesAlone)
+{
+    Network net = wtaNetwork(3, 1);
+    EXPECT_EQ(net.evaluate(V({kNo, 7, kNo})), V({kNo, 7, kNo}));
+}
+
+TEST(Wta, AllQuietStaysQuiet)
+{
+    Network net = wtaNetwork(3, 1);
+    EXPECT_EQ(net.evaluate(V({kNo, kNo, kNo})), V({kNo, kNo, kNo}));
+}
+
+TEST(Wta, TauWidensTheWindow)
+{
+    // tau-WTA passes spikes in [t_min, t_min + tau).
+    Network net = wtaNetwork(4, 3);
+    EXPECT_EQ(net.evaluate(V({2, 3, 4, 5})), V({2, 3, 4, kNo}));
+}
+
+TEST(Wta, NetworkUsesOnlyPrimitives)
+{
+    Network net = wtaNetwork(5, 2);
+    EXPECT_EQ(net.countOf(Op::Min), 1u); // the t_min finder
+    EXPECT_EQ(net.countOf(Op::Inc), 1u); // the tau delay
+    EXPECT_EQ(net.countOf(Op::Lt), 5u);  // one gate per line
+    EXPECT_EQ(net.countOf(Op::Max), 0u);
+}
+
+TEST(Wta, NetworkMatchesPureFunction)
+{
+    for (Time::rep tau : {1, 2, 4}) {
+        Network net = wtaNetwork(3, tau);
+        Rng rng(tau);
+        for (int s = 0; s < 100; ++s) {
+            auto x = testing::randomVolley(rng, 3, 8, 0.25);
+            EXPECT_EQ(net.evaluate(x), applyWta(x, tau))
+                << "tau=" << tau << " at " << volleyStr(x);
+        }
+    }
+}
+
+TEST(Wta, EachLaneIsCausalAndInvariant)
+{
+    Network net = wtaNetwork(3, 1);
+    for (size_t lane = 0; lane < 3; ++lane) {
+        auto fn = [&net, lane](std::span<const Time> x) {
+            return net.evaluate(x)[lane];
+        };
+        EXPECT_TRUE(checkCausality(3, 4, fn).holds);
+        EXPECT_TRUE(checkInvariance(3, 4, fn).holds);
+    }
+}
+
+TEST(Wta, EmitRejectsBadParameters)
+{
+    Network net(2);
+    std::vector<NodeId> taps{net.input(0), net.input(1)};
+    EXPECT_THROW(emitWta(net, taps, 0), std::invalid_argument);
+    EXPECT_THROW(emitWta(net, {}, 1), std::invalid_argument);
+}
+
+TEST(Wta, ApplyWtaPure)
+{
+    EXPECT_EQ(applyWta(V({0, 1, 0}), 1), V({0, kNo, 0}));
+    EXPECT_EQ(applyWta(V({5, 6, 7}), 2), V({5, 6, kNo}));
+    EXPECT_EQ(applyWta(V({kNo, kNo}), 1), V({kNo, kNo}));
+}
+
+TEST(KWta, KeepsKEarliest)
+{
+    EXPECT_EQ(applyKWta(V({4, 1, 3, 2}), 2), V({kNo, 1, kNo, 2}));
+    EXPECT_EQ(applyKWta(V({4, 1, 3, 2}), 1), V({kNo, 1, kNo, kNo}));
+}
+
+TEST(KWta, KLargerThanSpikeCountKeepsAll)
+{
+    auto v = V({4, kNo, 2});
+    EXPECT_EQ(applyKWta(v, 5), v);
+    EXPECT_EQ(applyKWta(v, 2), v);
+}
+
+TEST(KWta, ZeroKeepsNothing)
+{
+    EXPECT_EQ(applyKWta(V({4, 1}), 0), V({kNo, kNo}));
+}
+
+TEST(KWta, TiesBreakByLowestIndex)
+{
+    // Fixed-priority interneuron: index order breaks ties.
+    EXPECT_EQ(applyKWta(V({3, 3, 3}), 2), V({3, 3, kNo}));
+    EXPECT_EQ(applyKWta(V({3, 1, 3}), 2), V({3, 1, kNo}));
+}
+
+TEST(KWta, InfLinesNeverWin)
+{
+    EXPECT_EQ(applyKWta(V({kNo, 5, kNo, 4}), 1), V({kNo, kNo, kNo, 4}));
+}
+
+TEST(SpikeCount, CountsFiniteLines)
+{
+    EXPECT_EQ(spikeCount(V({1, kNo, 3})), 2u);
+    EXPECT_EQ(spikeCount(V({kNo, kNo})), 0u);
+    EXPECT_EQ(spikeCount(V({})), 0u);
+}
+
+TEST(Wta, ComposesWithKWta)
+{
+    // tau-WTA then k-WTA: the paper's "first k spikes within a window".
+    auto v = V({0, 1, 1, 2, 5});
+    auto windowed = applyWta(v, 2);     // keeps 0, 1, 1
+    auto top2 = applyKWta(windowed, 2); // keeps 0 and first 1
+    EXPECT_EQ(top2, V({0, 1, kNo, kNo, kNo}));
+}
+
+} // namespace
+} // namespace st
