@@ -9,6 +9,12 @@
  *
  * ST_BENCH_MAIN(printer) emits a main() that prints first, then hands
  * argv to google-benchmark.
+ *
+ * Passing --smoke runs the table printer at tiny problem sizes (via
+ * st::bench::scaled) and skips the timing loops entirely — the CI
+ * smoke step uses this to execute every figure path quickly while
+ * still propagating crashes and sanitizer reports (no more
+ * "--benchmark_filter=NOTHING || true" masking).
  */
 
 #ifndef ST_BENCH_BENCH_COMMON_HPP
@@ -16,19 +22,63 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <iostream>
+#include <string_view>
+
+namespace st::bench {
+
+/** True when the binary was invoked with --smoke. */
+inline bool &
+smokeMode()
+{
+    static bool mode = false;
+    return mode;
+}
+
+/** Pick @p full normally, @p tiny under --smoke. */
+inline size_t
+scaled(size_t full, size_t tiny)
+{
+    return smokeMode() ? tiny : full;
+}
+
+/**
+ * Shared main(): strip --smoke, print the figure tables, then either
+ * stop (smoke mode) or run google-benchmark on the remaining argv.
+ */
+inline int
+runBenchMain(int argc, char **argv, void (*printer)())
+{
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--smoke")
+            smokeMode() = true;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+
+    printer();
+    std::cout << std::endl;
+    if (smokeMode())
+        return 0;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace st::bench
 
 #define ST_BENCH_MAIN(printer)                                          \
     int main(int argc, char **argv)                                     \
     {                                                                   \
-        printer();                                                      \
-        std::cout << std::endl;                                         \
-        benchmark::Initialize(&argc, argv);                             \
-        if (benchmark::ReportUnrecognizedArguments(argc, argv))         \
-            return 1;                                                   \
-        benchmark::RunSpecifiedBenchmarks();                            \
-        benchmark::Shutdown();                                          \
-        return 0;                                                       \
+        return st::bench::runBenchMain(argc, argv, printer);            \
     }
 
 #endif // ST_BENCH_BENCH_COMMON_HPP

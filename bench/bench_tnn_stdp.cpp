@@ -62,7 +62,7 @@ purityAfter(PatternDataset &data, size_t train_samples, double jitter)
     for (const auto &s : local.sampleMany(train_samples))
         col.trainStep(s.volley, rule);
     ConfusionMatrix m(2 * dp.numClasses, dp.numClasses);
-    for (const auto &s : local.sampleMany(300))
+    for (const auto &s : local.sampleMany(bench::scaled(300, 40)))
         m.add(winnerOf(col.rawFireTimes(s.volley)), s.label);
     return m.purity();
 }
@@ -82,7 +82,10 @@ printFigure()
     std::cout << "E3a | clustering purity vs training samples "
                  "(4 classes, 16 lines, 3-bit times, jitter 0.4)\n";
     AsciiTable t({"train samples", "purity"});
-    for (size_t n : {0, 50, 100, 200, 400, 800, 1600})
+    std::vector<size_t> sizes{0, 50, 100, 200, 400, 800, 1600};
+    if (bench::smokeMode())
+        sizes = {0, 40};
+    for (size_t n : sizes)
         t.row(n, purityAfter(data, n, dp.jitter));
     t.writeTo(std::cout);
     std::cout << "shape check: purity climbs from chance (~0.25) and "
@@ -93,7 +96,7 @@ printFigure()
                  "(800 training samples)\n";
     AsciiTable j({"jitter (std dev, time units)", "purity"});
     for (double jit : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0})
-        j.row(jit, purityAfter(data, 800, jit));
+        j.row(jit, purityAfter(data, bench::scaled(800, 40), jit));
     j.writeTo(std::cout);
     std::cout << "shape check: graceful degradation; collapse only "
                  "when jitter ~ the whole coding window.\n\n";
@@ -111,13 +114,16 @@ printFigure()
     SimplifiedStdp rule(0.07, 0.05);
     AsciiTable f({"passes trained", "lane purity", "lanes covered"});
     size_t trained = 0;
-    for (size_t target : {0, 100, 300, 900}) {
+    std::vector<size_t> passes{0, 100, 300, 900};
+    if (bench::smokeMode())
+        passes = {0, 40};
+    for (size_t target : passes) {
         for (; trained < target; ++trained) {
             auto s = gen.generate(1);
             col.trainStep(s[0].volley, rule);
         }
         ConfusionMatrix m(cp.numNeurons, fp.lanes);
-        for (const auto &s : gen.generate(200))
+        for (const auto &s : gen.generate(bench::scaled(200, 40)))
             m.add(winnerOf(col.rawFireTimes(s.volley)), s.label);
         f.row(target, m.purity(), m.distinctLabelsCovered());
     }
@@ -148,13 +154,13 @@ printFigure()
     cvp.seed = 12;
     Conv1dLayer conv(cvp);
     SimplifiedStdp shared_rule(0.12, 0.09);
-    for (int s = 0; s < 1200; ++s) {
+    for (size_t s = 0; s < bench::scaled(1200, 60); ++s) {
         PlacedVolley v = shifted.sample();
         column.trainStep(v.volley, shared_rule);
         conv.trainStep(v.volley, shared_rule);
     }
     ConfusionMatrix fm(6, 3), cm(6, 3);
-    for (int s = 0; s < 300; ++s) {
+    for (size_t s = 0; s < bench::scaled(300, 40); ++s) {
         PlacedVolley v = shifted.sample();
         fm.add(winnerOf(column.rawFireTimes(v.volley)), v.label);
         cm.add(winnerOf(conv.pooled(v.volley)), v.label);
@@ -186,11 +192,11 @@ printFigure()
         params.seed = 600 + c;
         readout.emplace_back(params);
     }
-    auto train = tdata.sampleMany(200);
+    auto train = tdata.sampleMany(bench::scaled(200, 30));
     AsciiTable e({"epochs", "one-vs-rest accuracy"});
     size_t epochs_done = 0;
     auto accuracy = [&]() {
-        auto test = tdata.sampleMany(200);
+        auto test = tdata.sampleMany(bench::scaled(200, 30));
         size_t right = 0;
         for (const auto &s : test) {
             double best = -1e300;
@@ -207,9 +213,13 @@ printFigure()
             }
             right += pick == s.label;
         }
-        return static_cast<double>(right) / 200.0;
+        return static_cast<double>(right) /
+               static_cast<double>(test.size());
     };
-    for (size_t target : {0, 5, 20, 60}) {
+    std::vector<size_t> epoch_marks{0, 5, 20, 60};
+    if (bench::smokeMode())
+        epoch_marks = {0, 2};
+    for (size_t target : epoch_marks) {
         for (; epochs_done < target; ++epochs_done) {
             for (const auto &s : train) {
                 for (size_t c = 0; c < 4; ++c)

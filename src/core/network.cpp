@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace st {
 
 const char *
@@ -215,6 +217,19 @@ Network::evaluate(std::span<const Time> inputs) const
     out.reserve(outputs_.size());
     for (NodeId id : outputs_)
         out.push_back(value[id]);
+    return out;
+}
+
+std::vector<std::vector<Time>>
+Network::evaluateBatch(std::span<const std::vector<Time>> batch,
+                       size_t nthreads) const
+{
+    std::vector<std::vector<Time>> out(batch.size());
+    size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
+                                 : nthreads;
+    ThreadPool::shared().parallelFor(
+        0, batch.size(), 1,
+        [&](size_t i) { out[i] = evaluate(batch[i]); }, lanes);
     return out;
 }
 

@@ -150,6 +150,17 @@ class Network
     std::vector<Time> evaluateAll(std::span<const Time> inputs) const;
 
     /**
+     * Evaluate a batch of independent input volleys, fanned out across
+     * up to @p nthreads lanes of the shared pool (0 = ST_NUM_THREADS
+     * or the hardware concurrency, 1 = serial loop). Evaluation is
+     * pure, so out[i] == evaluate(batch[i]) bit-for-bit — including
+     * the tie-blocking law lt(a, a) = inf — for every thread count.
+     */
+    std::vector<std::vector<Time>>
+    evaluateBatch(std::span<const std::vector<Time>> batch,
+                  size_t nthreads = 0) const;
+
+    /**
      * Embed a copy of @p sub into this network.
      *
      * @param sub      Network to embed.

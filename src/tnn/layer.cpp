@@ -4,10 +4,21 @@
 #include <stdexcept>
 
 #include "neuron/wta.hpp"
+#include "util/thread_pool.hpp"
 
 namespace st {
 
 namespace {
+
+/**
+ * Columns at least this wide fan their neurons out across the shared
+ * pool in rawFireTimes(); narrower ones stay serial (the parallel-for
+ * bookkeeping would cost more than the neuron evaluations).
+ */
+constexpr size_t kParallelNeuronThreshold = 64;
+
+/** Chunk granularity for the intra-column parallel-for. */
+constexpr size_t kNeuronGrain = 16;
 
 std::vector<ResponseFunction>
 buildFamily(const ColumnParams &p)
@@ -88,25 +99,38 @@ Column::neuronModel(size_t neuron) const
 const Srm0Neuron &
 Column::cachedModel(size_t neuron) const
 {
-    auto &slot = modelCache_.at(neuron);
-    if (!slot) {
-        const std::vector<double> &w = weights(neuron);
-        std::vector<ResponseFunction> synapses;
-        synapses.reserve(w.size());
-        for (double x : w) {
-            synapses.push_back(
-                family_[quantizeWeight(x, params_.maxWeight)]);
-        }
-        slot = std::make_unique<Srm0Neuron>(std::move(synapses),
-                                            params_.threshold);
+    ModelSlot &slot = modelCache_.at(neuron);
+    if (Srm0Neuron *hit = slot.ptr.load(std::memory_order_acquire))
+        return *hit;
+
+    const std::vector<double> &w = weights(neuron);
+    std::vector<ResponseFunction> synapses;
+    synapses.reserve(w.size());
+    for (double x : w) {
+        synapses.push_back(
+            family_[quantizeWeight(x, params_.maxWeight)]);
     }
-    return *slot;
+    auto fresh = std::make_unique<Srm0Neuron>(std::move(synapses),
+                                              params_.threshold);
+
+    // Concurrent readers may race to build the same slot; the CAS
+    // picks one winner and the losers discard their copy. The build
+    // is a pure function of the (unchanging, single-writer) weights,
+    // so every candidate is equivalent.
+    Srm0Neuron *expected = nullptr;
+    if (slot.ptr.compare_exchange_strong(expected, fresh.get(),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        return *fresh.release();
+    }
+    return *expected;
 }
 
 void
 Column::invalidateModel(size_t neuron)
 {
-    modelCache_.at(neuron).reset();
+    delete modelCache_.at(neuron).ptr.exchange(
+        nullptr, std::memory_order_acq_rel);
 }
 
 std::vector<Time>
@@ -114,10 +138,18 @@ Column::rawFireTimes(std::span<const Time> inputs) const
 {
     if (inputs.size() != params_.numInputs)
         throw std::invalid_argument("Column: arity mismatch");
-    std::vector<Time> out;
-    out.reserve(params_.numNeurons);
-    for (size_t j = 0; j < params_.numNeurons; ++j)
-        out.push_back(cachedModel(j).fire(inputs));
+    std::vector<Time> out(params_.numNeurons);
+    if (params_.numNeurons >= kParallelNeuronThreshold) {
+        // Each neuron writes only its own slot, so the result is
+        // bit-identical to the serial loop for any thread count.
+        ThreadPool::shared().parallelFor(
+            0, params_.numNeurons, kNeuronGrain, [&](size_t j) {
+                out[j] = cachedModel(j).fire(inputs);
+            });
+    } else {
+        for (size_t j = 0; j < params_.numNeurons; ++j)
+            out[j] = cachedModel(j).fire(inputs);
+    }
     return out;
 }
 
@@ -132,45 +164,93 @@ Column::process(std::span<const Time> inputs) const
     return fired;
 }
 
-TrainResult
-Column::trainStep(std::span<const Time> inputs, const StdpRule &rule)
+std::optional<TrainEvent>
+Column::selectWinner(std::span<const Time> inputs,
+                     size_t least_wins) const
 {
     std::vector<Time> fired = rawFireTimes(inputs);
-
-    // Fatigue: neurons that have won far more often than the laggard
-    // sit this round out, so the others get a chance to specialize.
-    size_t least_wins = winCount_.empty() ? 0
-                                          : *std::min_element(
-                                                winCount_.begin(),
-                                                winCount_.end());
 
     // Winner: earliest spike; simultaneous spikes go to the neuron
     // with the highest potential at the firing time (the tie rule of
     // Kheradpisheh et al. — the best-matching neuron, not the lowest
     // index, claims the pattern).
-    TrainResult result;
+    std::optional<TrainEvent> event;
+    Time best_spike = INF;
     ResponseFunction::Amp best_potential = 0;
     for (size_t j = 0; j < fired.size(); ++j) {
+        // Fatigue: neurons that have won far more often than the
+        // laggard sit this round out, so the others get a chance to
+        // specialize.
         if (params_.fatigue > 0 &&
             winCount_[j] > least_wins + params_.fatigue) {
             continue;
         }
-        if (fired[j].isInf() || fired[j] > result.spikeTime)
+        if (fired[j].isInf() || fired[j] > best_spike)
             continue;
         ResponseFunction::Amp potential =
             cachedModel(j).potentialAt(inputs, fired[j].value());
-        if (fired[j] < result.spikeTime || potential > best_potential) {
-            result.spikeTime = fired[j];
-            result.winner = j;
+        if (fired[j] < best_spike || potential > best_potential) {
+            best_spike = fired[j];
+            event = TrainEvent{0, j, fired[j]};
             best_potential = potential;
         }
     }
-    if (result.winner) {
-        ++winCount_[*result.winner];
-        rule.update(weights_[*result.winner], inputs, result.spikeTime);
-        invalidateModel(*result.winner);
+    return event;
+}
+
+TrainResult
+Column::trainStep(std::span<const Time> inputs, const StdpRule &rule)
+{
+    size_t least_wins = winCount_.empty() ? 0
+                                          : *std::min_element(
+                                                winCount_.begin(),
+                                                winCount_.end());
+    std::optional<TrainEvent> event = selectWinner(inputs, least_wins);
+    TrainResult result;
+    if (event) {
+        result.winner = event->neuron;
+        result.spikeTime = event->spike;
+        ++winCount_[event->neuron];
+        rule.update(weights_[event->neuron], inputs, event->spike);
+        invalidateModel(event->neuron);
     }
     return result;
+}
+
+size_t
+Column::trainBatch(std::span<const Volley> inputs, const StdpRule &rule,
+                   size_t nthreads)
+{
+    // Phase 1 (parallel, read-only): pick every sample's winner
+    // against the batch-start weights and fatigue counters. The
+    // model cache is shared and safe under concurrent readers.
+    size_t least_wins = winCount_.empty() ? 0
+                                          : *std::min_element(
+                                                winCount_.begin(),
+                                                winCount_.end());
+    std::vector<std::optional<TrainEvent>> slots(inputs.size());
+    size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
+                                 : nthreads;
+    ThreadPool::shared().parallelFor(
+        0, inputs.size(), 1,
+        [&](size_t s) {
+            slots[s] = selectWinner(inputs[s], least_wins);
+            if (slots[s])
+                slots[s]->sample = s;
+        },
+        lanes);
+
+    // Phase 2 (serial, deterministic): merge the per-sample events in
+    // sample order — the order, and hence the resulting weights, are
+    // independent of the thread count.
+    std::vector<TrainEvent> merged = mergeTrainEvents(slots);
+    for (const TrainEvent &event : merged) {
+        ++winCount_[event.neuron];
+        rule.update(weights_[event.neuron], inputs[event.sample],
+                    event.spike);
+        invalidateModel(event.neuron);
+    }
+    return merged.size();
 }
 
 size_t

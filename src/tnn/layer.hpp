@@ -17,6 +17,7 @@
 #ifndef ST_TNN_LAYER_HPP
 #define ST_TNN_LAYER_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -80,6 +81,14 @@ struct TrainResult
 
 /**
  * A column of SRM0 neurons with shared input and lateral inhibition.
+ *
+ * Thread safety: the const evaluation path (rawFireTimes, process,
+ * neuronModel) may be called from any number of threads concurrently —
+ * the lazy model cache publishes entries atomically. Mutation
+ * (trainStep, trainBatch, setWeights, resetFatigue, assignment) is
+ * single-writer: it must not overlap any other call on the same
+ * Column. The batch engine respects this by separating the parallel
+ * read phase from the serial merge phase.
  */
 class Column
 {
@@ -116,6 +125,22 @@ class Column
     TrainResult trainStep(std::span<const Time> inputs,
                           const StdpRule &rule);
 
+    /**
+     * One mini-batch of unsupervised WTA-learning: every volley's
+     * winner is selected against the batch-start weights and fatigue
+     * counters (in parallel across @p nthreads lanes, 0 = default),
+     * then the weight updates and win counts are merged serially in
+     * sample order. The merge order is a pure function of the batch,
+     * so the resulting weights are bit-identical for every thread
+     * count. Note the semantics differ from a trainStep() loop:
+     * within one batch, later samples do not see earlier samples'
+     * updates (classic mini-batch STDP).
+     *
+     * @return Number of volleys in which some neuron fired.
+     */
+    size_t trainBatch(std::span<const Volley> inputs,
+                      const StdpRule &rule, size_t nthreads = 0);
+
     /** Times neuron @p neuron has won a training step. */
     size_t winCount(size_t neuron) const;
 
@@ -141,20 +166,63 @@ class Column
     const std::vector<ResponseFunction> &family() const { return family_; }
 
   private:
+    /**
+     * One lazily built model, published with an atomic
+     * compare-exchange so concurrent const readers may build it
+     * without locking (losers discard their build). Mutation of the
+     * owning Column — which invalidates slots — is single-writer and
+     * must not overlap readers (see the class comment).
+     */
+    struct ModelSlot
+    {
+        std::atomic<Srm0Neuron *> ptr{nullptr};
+
+        ModelSlot() = default;
+        ModelSlot(ModelSlot &&other) noexcept
+            : ptr(other.ptr.exchange(nullptr,
+                                     std::memory_order_relaxed))
+        {
+        }
+        ModelSlot &
+        operator=(ModelSlot &&other) noexcept
+        {
+            if (this != &other) {
+                delete ptr.exchange(
+                    other.ptr.exchange(nullptr,
+                                       std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+            }
+            return *this;
+        }
+        ~ModelSlot()
+        {
+            delete ptr.load(std::memory_order_relaxed);
+        }
+    };
+
     /** Cached reference model for one neuron (weights rarely change
      *  between evaluations, so rebuilding per fire() call is wasted
-     *  work in training loops). */
+     *  work in training loops). Safe under concurrent const readers. */
     const Srm0Neuron &cachedModel(size_t neuron) const;
 
     /** Drop a neuron's cached model after its weights changed. */
     void invalidateModel(size_t neuron);
+
+    /**
+     * The trainStep()/trainBatch() competition: earliest spike wins,
+     * simultaneous spikes go to the highest potential, with neurons
+     * more than params().fatigue wins ahead of @p least_wins excluded.
+     * Pure (no mutation); the returned event's sample field is 0.
+     */
+    std::optional<TrainEvent>
+    selectWinner(std::span<const Time> inputs, size_t least_wins) const;
 
     ColumnParams params_;
     std::vector<ResponseFunction> family_; //!< indexed by discrete weight
     std::vector<std::vector<double>> weights_; //!< [neuron][input]
     std::vector<size_t> winCount_;             //!< fatigue bookkeeping
     /** Lazily built quantized models, invalidated on weight changes. */
-    mutable std::vector<std::unique_ptr<Srm0Neuron>> modelCache_;
+    mutable std::vector<ModelSlot> modelCache_;
 };
 
 } // namespace st

@@ -68,6 +68,18 @@ ClassicStdp::update(std::span<double> weights,
     }
 }
 
+std::vector<TrainEvent>
+mergeTrainEvents(std::span<const std::optional<TrainEvent>> slots)
+{
+    std::vector<TrainEvent> merged;
+    merged.reserve(slots.size());
+    for (const std::optional<TrainEvent> &slot : slots) {
+        if (slot)
+            merged.push_back(*slot);
+    }
+    return merged;
+}
+
 size_t
 quantizeWeight(double w, size_t max_weight)
 {

@@ -26,6 +26,7 @@
 #define ST_TNN_STDP_HPP
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -86,6 +87,30 @@ class ClassicStdp : public StdpRule
   private:
     double aPlus_, aMinus_, tauPlus_, tauMinus_;
 };
+
+/**
+ * One winner selection from a batched STDP pass: sample @p sample made
+ * neuron @p neuron fire first at time @p spike. Batched training
+ * (Column::trainBatch) computes these in parallel against the
+ * batch-start weights, then merges them — see mergeTrainEvents().
+ */
+struct TrainEvent
+{
+    size_t sample = 0; //!< index of the volley within the batch
+    size_t neuron = 0; //!< winning neuron
+    Time spike = INF;  //!< the winner's spike time
+};
+
+/**
+ * Deterministic merge of a batch's per-sample winner slots: drop the
+ * empty slots and return the surviving events ordered by sample index.
+ * The slot array is indexed by sample, so the result — and therefore
+ * the order in which weight updates are applied — is independent of
+ * how many threads filled it (the shard-merge step of the parallel
+ * STDP engine).
+ */
+std::vector<TrainEvent>
+mergeTrainEvents(std::span<const std::optional<TrainEvent>> slots);
 
 /**
  * Quantize a real weight in [0, 1] onto the discrete range 0..max_weight

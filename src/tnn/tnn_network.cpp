@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace st {
 
 void
@@ -31,6 +33,31 @@ TnnNetwork::processUpTo(const Volley &input, size_t upto) const
     return v;
 }
 
+std::vector<Volley>
+TnnNetwork::processBatch(std::span<const Volley> inputs,
+                         size_t nthreads) const
+{
+    return processBatchUpTo(inputs, layers_.size(), nthreads);
+}
+
+std::vector<Volley>
+TnnNetwork::processBatchUpTo(std::span<const Volley> inputs, size_t upto,
+                             size_t nthreads) const
+{
+    if (upto > layers_.size())
+        throw std::out_of_range("TnnNetwork: layer index out of range");
+    std::vector<Volley> out(inputs.size());
+    size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
+                                 : nthreads;
+    // Volleys are independent; each lane writes only its own output
+    // slots, so the batch result matches the serial loop exactly.
+    ThreadPool::shared().parallelFor(
+        0, inputs.size(), 1,
+        [&](size_t i) { out[i] = processUpTo(inputs[i], upto); },
+        lanes);
+    return out;
+}
+
 size_t
 TnnNetwork::trainLayer(size_t layer_index, std::span<const Volley> data,
                        const StdpRule &rule, size_t epochs)
@@ -44,6 +71,23 @@ TnnNetwork::trainLayer(size_t layer_index, std::span<const Volley> data,
             if (layers_[layer_index].trainStep(v, rule).winner)
                 ++fired;
         }
+    }
+    return fired;
+}
+
+size_t
+TnnNetwork::trainLayerBatched(size_t layer_index,
+                              std::span<const Volley> data,
+                              const StdpRule &rule, size_t epochs,
+                              size_t nthreads)
+{
+    if (layer_index >= layers_.size())
+        throw std::out_of_range("TnnNetwork: layer index out of range");
+    size_t fired = 0;
+    for (size_t e = 0; e < epochs; ++e) {
+        std::vector<Volley> feed =
+            processBatchUpTo(data, layer_index, nthreads);
+        fired += layers_[layer_index].trainBatch(feed, rule, nthreads);
     }
     return fired;
 }

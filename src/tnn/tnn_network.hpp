@@ -44,6 +44,21 @@ class TnnNetwork
     Volley processUpTo(const Volley &input, size_t upto) const;
 
     /**
+     * Forward a whole batch of volleys, fanning them out across up to
+     * @p nthreads lanes of the shared pool (0 = ST_NUM_THREADS or the
+     * hardware concurrency, 1 = plain serial loop). Volleys are
+     * independent, so out[i] == process(inputs[i]) bit-for-bit
+     * regardless of the thread count.
+     */
+    std::vector<Volley> processBatch(std::span<const Volley> inputs,
+                                     size_t nthreads = 0) const;
+
+    /** processBatch() through layers [0, upto) only. */
+    std::vector<Volley> processBatchUpTo(std::span<const Volley> inputs,
+                                         size_t upto,
+                                         size_t nthreads = 0) const;
+
+    /**
      * Greedy layer training: freeze layers below @p layer_index, run
      * @p epochs passes over @p data, one trainStep per volley.
      *
@@ -52,6 +67,21 @@ class TnnNetwork
     size_t trainLayer(size_t layer_index,
                       std::span<const Volley> data,
                       const StdpRule &rule, size_t epochs = 1);
+
+    /**
+     * Parallel mini-batch variant of trainLayer(): each epoch forwards
+     * the whole dataset through the frozen lower layers with
+     * processBatchUpTo() and applies one Column::trainBatch() to the
+     * training layer. Winner selection inside an epoch uses the
+     * epoch-start weights (mini-batch semantics), and the serial merge
+     * makes the trained weights bit-identical for every thread count.
+     *
+     * @return Number of training steps in which some neuron fired.
+     */
+    size_t trainLayerBatched(size_t layer_index,
+                             std::span<const Volley> data,
+                             const StdpRule &rule, size_t epochs = 1,
+                             size_t nthreads = 0);
 
   private:
     std::vector<Column> layers_;

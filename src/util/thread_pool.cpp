@@ -1,0 +1,210 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace st {
+
+namespace {
+
+/** Set for the lifetime of a worker thread's loop. */
+thread_local bool tls_on_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t nthreads)
+{
+    queues_.reserve(nthreads);
+    for (size_t i = 0; i < nthreads; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(nthreads);
+    for (size_t i = 0; i < nthreads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(sleepMutex_);
+        stop_.store(true, std::memory_order_release);
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(Task task)
+{
+    if (queues_.empty()) {
+        task();
+        return;
+    }
+    size_t q = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+               queues_.size();
+    {
+        std::lock_guard<std::mutex> guard(queues_[q]->mutex);
+        queues_[q]->tasks.push_back(std::move(task));
+    }
+    {
+        // Publish under sleepMutex_ so a worker between its predicate
+        // check and wait() cannot miss the notification.
+        std::lock_guard<std::mutex> guard(sleepMutex_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::tryPop(size_t self, Task &out)
+{
+    {
+        WorkerQueue &own = *queues_[self];
+        std::lock_guard<std::mutex> guard(own.mutex);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            return true;
+        }
+    }
+    for (size_t k = 1; k < queues_.size(); ++k) {
+        WorkerQueue &victim = *queues_[(self + k) % queues_.size()];
+        std::lock_guard<std::mutex> guard(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    tls_on_worker = true;
+    for (;;) {
+        Task task;
+        if (tryPop(self, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        wake_.wait(lock, [this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_acquire))
+            return;
+    }
+}
+
+void
+ThreadPool::runChunks(const std::shared_ptr<ForState> &state)
+{
+    for (;;) {
+        size_t c = state->nextChunk.fetch_add(1,
+                                              std::memory_order_relaxed);
+        if (c >= state->chunks)
+            return;
+        size_t lo = state->begin + c * state->chunkSize;
+        size_t hi = std::min(state->end, lo + state->chunkSize);
+        try {
+            for (size_t i = lo; i < hi; ++i)
+                (*state->body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> guard(state->mutex);
+            if (!state->error)
+                state->error = std::current_exception();
+        }
+        size_t done = state->doneChunks.fetch_add(
+                          1, std::memory_order_acq_rel) +
+                      1;
+        if (done == state->chunks) {
+            // Take the lock so the waiter cannot sleep between its
+            // predicate check and our notify.
+            std::lock_guard<std::mutex> guard(state->mutex);
+            state->finished.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t)> &body,
+                        size_t max_runners)
+{
+    if (begin >= end)
+        return;
+    size_t n = end - begin;
+    if (grain == 0)
+        grain = 1;
+    size_t runners = size() + 1;
+    if (max_runners > 0)
+        runners = std::min(runners, max_runners);
+    if (runners <= 1 || n <= grain || onWorkerThread()) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    // Fixed chunk layout: ~4 chunks per runner for stealing slack,
+    // never below the grain. Depends only on the arguments, so the
+    // work partition (hence any order-free result) is deterministic.
+    size_t chunk = std::max(grain, (n + 4 * runners - 1) / (4 * runners));
+    size_t chunks = (n + chunk - 1) / chunk;
+    runners = std::min(runners, chunks);
+
+    auto state = std::make_shared<ForState>();
+    state->chunks = chunks;
+    state->begin = begin;
+    state->end = end;
+    state->chunkSize = chunk;
+    state->body = &body;
+
+    for (size_t r = 1; r < runners; ++r)
+        post([state] { runChunks(state); });
+    runChunks(state);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->finished.wait(lock, [&state] {
+        return state->doneChunks.load(std::memory_order_acquire) ==
+               state->chunks;
+    });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(std::max<size_t>(1, defaultThreads() - 1));
+    return pool;
+}
+
+size_t
+ThreadPool::defaultThreads()
+{
+    static size_t cached = [] {
+        if (const char *env = std::getenv("ST_NUM_THREADS")) {
+            char *tail = nullptr;
+            unsigned long v = std::strtoul(env, &tail, 10);
+            if (tail != env && *tail == '\0' && v > 0)
+                return static_cast<size_t>(v);
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return static_cast<size_t>(hw > 0 ? hw : 1);
+    }();
+    return cached;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tls_on_worker;
+}
+
+} // namespace st

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the work-stealing thread pool: every index of a
+ * parallelFor runs exactly once, the chunk layout is deterministic,
+ * exceptions propagate, nesting degrades to serial, and fire-and-forget
+ * posts all execute.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+using namespace st;
+
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    const size_t n = 10007;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(0, n, 1, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsSubrange)
+{
+    ThreadPool pool(2);
+    std::atomic<size_t> sum{0};
+    pool.parallelFor(100, 200, 8, [&](size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    size_t expect = 0;
+    for (size_t i = 100; i < 200; ++i)
+        expect += i;
+    EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 0u);
+    size_t count = 0; // no atomics needed: everything is inline
+    pool.parallelFor(0, 64, 4, [&](size_t) { ++count; });
+    EXPECT_EQ(count, 64u);
+    bool ran = false;
+    pool.post([&] { ran = true; });
+    EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, MaxRunnersOneIsSerialInCallerThread)
+{
+    ThreadPool pool(4);
+    std::vector<size_t> order;
+    pool.parallelFor(
+        0, 100, 1, [&](size_t i) { order.push_back(i); }, 1);
+    std::vector<size_t> expect(100);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect); // strictly in-order => truly serial
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(0, 1000, 1,
+                                  [&](size_t i) {
+                                      if (i == 517)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes)
+{
+    ThreadPool pool(2);
+    const size_t outer = 16, inner = 64;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    pool.parallelFor(0, outer, 1, [&](size_t i) {
+        // Runs on a worker (or the caller); the nested call must not
+        // deadlock and must still cover its whole range.
+        pool.parallelFor(0, inner, 1, [&](size_t j) {
+            hits[i * inner + j].fetch_add(1,
+                                          std::memory_order_relaxed);
+        });
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, PostedTasksAllRun)
+{
+    const size_t n = 200;
+    std::atomic<size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+    {
+        ThreadPool pool(3);
+        for (size_t i = 0; i < n; ++i) {
+            pool.post([&] {
+                if (done.fetch_add(1) + 1 == n) {
+                    std::lock_guard<std::mutex> g(m);
+                    cv.notify_one();
+                }
+            });
+        }
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return done.load() == n; });
+    }
+    EXPECT_EQ(done.load(), n);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+} // namespace
