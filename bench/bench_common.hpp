@@ -15,6 +15,11 @@
  * smoke step uses this to execute every figure path quickly while
  * still propagating crashes and sanitizer reports (no more
  * "--benchmark_filter=NOTHING || true" masking).
+ *
+ * Passing --json <path> additionally writes every record() call the
+ * printer makes — bench name, configuration, volleys/sec, speedup —
+ * as a machine-readable JSON array, so CI can archive throughput
+ * numbers next to the human-readable tables.
  */
 
 #ifndef ST_BENCH_BENCH_COMMON_HPP
@@ -23,8 +28,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace st::bench {
 
@@ -43,25 +51,110 @@ scaled(size_t full, size_t tiny)
     return smokeMode() ? tiny : full;
 }
 
+/** One machine-readable measurement emitted by a figure printer. */
+struct JsonRecord
+{
+    std::string bench;  //!< bench binary / experiment name
+    std::string config; //!< e.g. "synapses=16" or "threads=4"
+    double volleysPerSec = 0;
+    /** Throughput ratio vs the experiment's baseline engine (1.0 when
+     *  the row *is* the baseline). */
+    double speedup = 1.0;
+};
+
+/** Destination of --json <path>; empty = no JSON output. */
+inline std::string &
+jsonPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** Records accumulated by the current run's printer. */
+inline std::vector<JsonRecord> &
+jsonRecords()
+{
+    static std::vector<JsonRecord> records;
+    return records;
+}
+
+/** Append one measurement (no-op unless --json was given). */
+inline void
+record(std::string bench, std::string config, double volleys_per_sec,
+       double speedup)
+{
+    if (jsonPath().empty())
+        return;
+    jsonRecords().push_back({std::move(bench), std::move(config),
+                             volleys_per_sec, speedup});
+}
+
+/** Minimal JSON string escape (quotes, backslashes, control chars). */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            c = ' ';
+        out += c;
+    }
+    return out;
+}
+
+/** Write the accumulated records to jsonPath(). */
+inline void
+writeJsonReport()
+{
+    if (jsonPath().empty())
+        return;
+    std::ofstream out(jsonPath());
+    if (!out) {
+        std::cerr << "bench: cannot write --json file " << jsonPath()
+                  << "\n";
+        return;
+    }
+    out << "{\n  \"smoke\": " << (smokeMode() ? "true" : "false")
+        << ",\n  \"results\": [";
+    const auto &records = jsonRecords();
+    for (size_t i = 0; i < records.size(); ++i) {
+        const JsonRecord &r = records[i];
+        out << (i ? "," : "") << "\n    {\"bench\": \""
+            << jsonEscape(r.bench) << "\", \"config\": \""
+            << jsonEscape(r.config) << "\", \"volleys_per_sec\": "
+            << r.volleysPerSec << ", \"speedup\": " << r.speedup << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
 /**
- * Shared main(): strip --smoke, print the figure tables, then either
- * stop (smoke mode) or run google-benchmark on the remaining argv.
+ * Shared main(): strip --smoke and --json <path>, print the figure
+ * tables, write the JSON report, then either stop (smoke mode) or run
+ * google-benchmark on the remaining argv.
  */
 inline int
 runBenchMain(int argc, char **argv, void (*printer)())
 {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::string_view(argv[i]) == "--smoke")
+        if (std::string_view(argv[i]) == "--smoke") {
             smokeMode() = true;
-        else
+        } else if (std::string_view(argv[i]) == "--json" &&
+                   i + 1 < argc) {
+            jsonPath() = argv[++i];
+        } else {
             argv[kept++] = argv[i];
+        }
     }
     argc = kept;
     argv[argc] = nullptr;
 
     printer();
     std::cout << std::endl;
+    writeJsonReport();
     if (smokeMode())
         return 0;
 

@@ -14,6 +14,7 @@
 #include "neuron/srm0_network.hpp"
 #include "neuron/srm0_reference.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 using namespace st;
@@ -77,7 +78,45 @@ printFigure()
     }
     agree.writeTo(std::cout);
     std::cout << "shape check: agreements == volleys (exact cross-"
-                 "domain equivalence).\n";
+                 "domain equivalence).\n\n";
+
+    std::cout << "Compiled lane-blocked plan vs graph interpreter "
+                 "(both single-thread, identical outputs):\n";
+    AsciiTable perf({"synapses", "volleys", "interp v/s",
+                     "compiled v/s", "speedup"});
+    Rng perf_rng(15);
+    for (size_t q : {4, 16, 32}) {
+        Network net = buildSrm0Network(
+            synapses(q), static_cast<ResponseFunction::Amp>(q));
+        const size_t probes = bench::scaled(4000, 25);
+        std::vector<std::vector<Time>> volleys(probes);
+        for (auto &x : volleys) {
+            x.resize(q);
+            for (Time &v : x)
+                v = perf_rng.chance(0.2) ? INF
+                                         : Time(perf_rng.below(10));
+        }
+        Stopwatch sw;
+        for (const auto &x : volleys)
+            benchmark::DoNotOptimize(net.evaluateInterpreted(x));
+        double interp_secs = sw.seconds();
+        sw.reset();
+        // Same thread, same outputs: the compiled plan streams the
+        // volleys through the lane-blocked batch engine.
+        auto batched = net.evaluateBatch(volleys, 1);
+        double compiled_secs = sw.seconds();
+        benchmark::DoNotOptimize(batched);
+        double vps = static_cast<double>(probes) / compiled_secs;
+        double speedup = interp_secs / compiled_secs;
+        perf.row(q, probes,
+                 static_cast<double>(probes) / interp_secs, vps,
+                 speedup);
+        bench::record("fig12_srm0", "synapses=" + std::to_string(q),
+                      vps, speedup);
+    }
+    perf.writeTo(std::cout);
+    std::cout << "shape check: the compiled plan (DCE + inc fusion + "
+                 "flat CSR operands) wins more as the network grows.\n";
 }
 
 void
@@ -96,6 +135,24 @@ BM_Srm0NetworkEvaluate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Srm0NetworkEvaluate)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_Srm0NetworkEvaluateInterpreted(benchmark::State &state)
+{
+    // The pre-compile baseline: walks the node graph as built.
+    const size_t q = static_cast<size_t>(state.range(0));
+    Network net = buildSrm0Network(
+        synapses(q), static_cast<ResponseFunction::Amp>(q));
+    Rng rng(13);
+    std::vector<Time> x(q);
+    for (Time &v : x)
+        v = Time(rng.below(8));
+    for (auto _ : state) {
+        auto out = net.evaluateInterpreted(x);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Srm0NetworkEvaluateInterpreted)->Arg(4)->Arg(16)->Arg(32);
 
 void
 BM_Srm0ReferenceFire(benchmark::State &state)

@@ -86,8 +86,11 @@ printFigure()
         double secs = sw.seconds();
         if (n == 1)
             serial_secs = secs;
-        t.row(n, secs, static_cast<double>(count) / secs,
-              serial_secs / secs, out == serial ? "yes" : "NO");
+        double vps = static_cast<double>(count) / secs;
+        t.row(n, secs, vps, serial_secs / secs,
+              out == serial ? "yes" : "NO");
+        bench::record("parallel", "threads=" + std::to_string(n), vps,
+                      serial_secs / secs);
     }
     t.writeTo(std::cout);
     std::cout << "shape check: volleys/sec scales with cores until "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/eval_plan.hpp"
 #include "util/thread_pool.hpp"
 
 namespace st {
@@ -36,6 +37,84 @@ Network::Network(size_t num_inputs)
     labels_.resize(num_inputs);
 }
 
+Network::Network(const Network &other)
+    : nodes_(other.nodes_), labels_(other.labels_),
+      outputs_(other.outputs_), numInputs_(other.numInputs_)
+{
+}
+
+Network &
+Network::operator=(const Network &other)
+{
+    if (this != &other) {
+        nodes_ = other.nodes_;
+        labels_ = other.labels_;
+        outputs_ = other.outputs_;
+        numInputs_ = other.numInputs_;
+        invalidatePlan();
+    }
+    return *this;
+}
+
+Network::Network(Network &&other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      labels_(std::move(other.labels_)),
+      outputs_(std::move(other.outputs_)),
+      numInputs_(other.numInputs_),
+      plan_(other.plan_.exchange(nullptr, std::memory_order_acq_rel))
+{
+}
+
+Network &
+Network::operator=(Network &&other) noexcept
+{
+    if (this != &other) {
+        nodes_ = std::move(other.nodes_);
+        labels_ = std::move(other.labels_);
+        outputs_ = std::move(other.outputs_);
+        numInputs_ = other.numInputs_;
+        delete plan_.exchange(
+            other.plan_.exchange(nullptr, std::memory_order_acq_rel),
+            std::memory_order_acq_rel);
+    }
+    return *this;
+}
+
+Network::~Network()
+{
+    delete plan_.load(std::memory_order_relaxed);
+}
+
+void
+Network::invalidatePlan()
+{
+    delete plan_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+const EvalPlan &
+Network::compile() const
+{
+    if (const EvalPlan *hit = plan_.load(std::memory_order_acquire))
+        return *hit;
+    auto *fresh = new EvalPlan(buildEvalPlan(*this));
+    // Concurrent evaluators may race to compile; the CAS picks one
+    // winner and losers discard their (identical) build.
+    const EvalPlan *expected = nullptr;
+    if (plan_.compare_exchange_strong(expected, fresh,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return *fresh;
+    }
+    delete fresh;
+    return *expected;
+}
+
+bool
+Network::isCompiled() const
+{
+    return plan_.load(std::memory_order_acquire) != nullptr;
+}
+
 NodeId
 Network::input(size_t i) const
 {
@@ -58,6 +137,7 @@ Network::addNode(Node node)
         checkId(src);
     nodes_.push_back(std::move(node));
     labels_.emplace_back();
+    invalidatePlan();
     return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -130,6 +210,7 @@ Network::markOutput(NodeId id)
 {
     checkId(id);
     outputs_.push_back(id);
+    invalidatePlan();
 }
 
 size_t
@@ -170,7 +251,7 @@ Network::totalIncStages() const
 }
 
 std::vector<Time>
-Network::evaluateAll(std::span<const Time> inputs) const
+Network::evaluateAllInterpreted(std::span<const Time> inputs) const
 {
     if (inputs.size() != numInputs_)
         throw std::invalid_argument("Network: evaluate arity mismatch");
@@ -210,9 +291,9 @@ Network::evaluateAll(std::span<const Time> inputs) const
 }
 
 std::vector<Time>
-Network::evaluate(std::span<const Time> inputs) const
+Network::evaluateInterpreted(std::span<const Time> inputs) const
 {
-    std::vector<Time> value = evaluateAll(inputs);
+    std::vector<Time> value = evaluateAllInterpreted(inputs);
     std::vector<Time> out;
     out.reserve(outputs_.size());
     for (NodeId id : outputs_)
@@ -220,16 +301,91 @@ Network::evaluate(std::span<const Time> inputs) const
     return out;
 }
 
+namespace {
+
+/** Per-thread arena so evaluate() allocates nothing once warm. */
+EvalScratch &
+threadScratch()
+{
+    static thread_local EvalScratch scratch;
+    return scratch;
+}
+
+} // namespace
+
+std::vector<Time>
+Network::evaluateAll(std::span<const Time> inputs) const
+{
+    if (inputs.size() != numInputs_)
+        throw std::invalid_argument("Network: evaluate arity mismatch");
+    std::vector<Time> value;
+    compile().full.run(nodes_, inputs, value);
+    return value;
+}
+
+void
+Network::evaluateInto(std::span<const Time> inputs, EvalScratch &scratch,
+                      std::vector<Time> &out) const
+{
+    if (inputs.size() != numInputs_)
+        throw std::invalid_argument("Network: evaluate arity mismatch");
+    const EvalProgram &prog = compile().live;
+    prog.run(nodes_, inputs, scratch.values);
+    out.resize(prog.outSlot.size());
+    for (size_t k = 0; k < prog.outSlot.size(); ++k)
+        out[k] = scratch.values[prog.outSlot[k]];
+}
+
+std::vector<Time>
+Network::evaluate(std::span<const Time> inputs) const
+{
+    // Evaluate into the per-thread scratch and gather the outputs
+    // directly — no full node-value vector is materialized.
+    std::vector<Time> out;
+    evaluateInto(inputs, threadScratch(), out);
+    return out;
+}
+
 std::vector<std::vector<Time>>
 Network::evaluateBatch(std::span<const std::vector<Time>> batch,
                        size_t nthreads) const
 {
+    // One compile up front (not one race per lane), then lane-blocked
+    // execution: each unit of work is a block of kEvalBlockLanes
+    // volleys pushed through the program together. The block layout is
+    // a pure function of the batch, so results are bit-identical at
+    // every thread count.
+    const EvalProgram &prog = compile().live;
     std::vector<std::vector<Time>> out(batch.size());
+    const size_t blocks =
+        (batch.size() + kEvalBlockLanes - 1) / kEvalBlockLanes;
     size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
                                  : nthreads;
     ThreadPool::shared().parallelFor(
-        0, batch.size(), 1,
-        [&](size_t i) { out[i] = evaluate(batch[i]); }, lanes);
+        0, blocks, 1,
+        [&](size_t blk) {
+            const size_t begin = blk * kEvalBlockLanes;
+            const size_t count =
+                std::min(kEvalBlockLanes, batch.size() - begin);
+            for (size_t l = 0; l < count; ++l) {
+                if (batch[begin + l].size() != numInputs_)
+                    throw std::invalid_argument(
+                        "Network: evaluate arity mismatch");
+            }
+            EvalScratch &scratch = threadScratch();
+            prog.runBlock(nodes_, batch.subspan(begin, count),
+                          scratch.values);
+            for (size_t l = 0; l < count; ++l) {
+                std::vector<Time> &o = out[begin + l];
+                o.resize(prog.outSlot.size());
+                for (size_t k = 0; k < prog.outSlot.size(); ++k) {
+                    o[k] = scratch.values[size_t{prog.outSlot[k]} *
+                                              count +
+                                          l];
+                }
+            }
+        },
+        lanes);
     return out;
 }
 

@@ -19,6 +19,7 @@
 #ifndef ST_CORE_NETWORK_HPP
 #define ST_CORE_NETWORK_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -28,6 +29,9 @@
 #include "core/time.hpp"
 
 namespace st {
+
+struct EvalPlan;
+struct EvalScratch;
 
 /** Primitive block kinds available in a space-time network. */
 enum class Op : uint8_t
@@ -60,12 +64,32 @@ struct Node
  *
  * Inputs are implicitly nodes [0, numInputs()). All builder methods
  * validate operand ids, guaranteeing the graph stays a DAG in id order.
+ *
+ * Evaluation runs on a lazily compiled plan (eval_plan.hpp): the first
+ * evaluate()/evaluateAll() flattens the graph into a contiguous
+ * instruction stream (with dead-node elimination and inc-chain fusion
+ * on the output path) and caches it. Structural mutation (adding
+ * blocks, marking outputs) invalidates the plan; setConfig() does not,
+ * because config values are read live at evaluation time.
+ *
+ * Thread safety: the const evaluation path (evaluate, evaluateAll,
+ * evaluateBatch, evaluateInto, compile) may be called concurrently —
+ * the plan cache publishes via an atomic compare-exchange, so racing
+ * compilers agree on one winner. Mutation is single-writer and must
+ * not overlap any other call on the same Network.
  */
 class Network
 {
   public:
     /** Create a network with @p num_inputs primary inputs. */
     explicit Network(size_t num_inputs);
+
+    /** Copies recompile lazily; the plan cache is not shared. */
+    Network(const Network &other);
+    Network &operator=(const Network &other);
+    Network(Network &&other) noexcept;
+    Network &operator=(Network &&other) noexcept;
+    ~Network();
 
     /** Node id of primary input @p i. */
     NodeId input(size_t i) const;
@@ -135,7 +159,19 @@ class Network
     Time::rep totalIncStages() const;
 
     /**
-     * Evaluate the network on one input volley.
+     * Compile (or fetch) the cached evaluation plan. Idempotent and
+     * safe under concurrent callers; called implicitly by the
+     * evaluation methods. Exposed so batch drivers and constructions
+     * can pay the one-time cost eagerly, and so tests can inspect the
+     * DCE / inc-fusion statistics.
+     */
+    const EvalPlan &compile() const;
+
+    /** True iff a compiled plan is currently cached. */
+    bool isCompiled() const;
+
+    /**
+     * Evaluate the network on one input volley (on the compiled plan).
      *
      * @param inputs  One Time per primary input.
      * @return One Time per marked output, in markOutput() order.
@@ -143,11 +179,34 @@ class Network
     std::vector<Time> evaluate(std::span<const Time> inputs) const;
 
     /**
+     * Zero-allocation evaluate(): node values go into @p scratch and
+     * the outputs are gathered into @p out (resized to the output
+     * count). With a warmed-up scratch and out, the steady-state path
+     * performs no heap allocation at all — the form the batch engines
+     * use per worker lane.
+     */
+    void evaluateInto(std::span<const Time> inputs, EvalScratch &scratch,
+                      std::vector<Time> &out) const;
+
+    /**
      * Evaluate and return the value of every node (inputs, configs and
      * internal blocks included), indexed by NodeId. Used by the trace
      * simulator, the GRL equivalence tests, and network debugging.
+     * Runs on the compiled plan's full (non-DCE'd) program.
      */
     std::vector<Time> evaluateAll(std::span<const Time> inputs) const;
+
+    /**
+     * Reference interpreter: the direct walk over the node graph the
+     * compiled plan must reproduce bit-for-bit. Kept as the oracle for
+     * the differential tests and the baseline for the speedup benches.
+     */
+    std::vector<Time>
+    evaluateInterpreted(std::span<const Time> inputs) const;
+
+    /** Reference interpreter for evaluateAll(). */
+    std::vector<Time>
+    evaluateAllInterpreted(std::span<const Time> inputs) const;
 
     /**
      * Evaluate a batch of independent input volleys, fanned out across
@@ -183,10 +242,21 @@ class Network
     NodeId addNode(Node node);
     void checkId(NodeId id) const;
 
+    /** Drop the cached plan after a structural change (single-writer,
+     *  like all mutation — see the class comment). */
+    void invalidatePlan();
+
     std::vector<Node> nodes_;
     std::vector<std::string> labels_;
     std::vector<NodeId> outputs_;
     size_t numInputs_;
+
+    /**
+     * Lazily compiled plan, published with a compare-exchange so
+     * concurrent const evaluators can build it without locking (losers
+     * discard their build, as in Column's model cache).
+     */
+    mutable std::atomic<const EvalPlan *> plan_{nullptr};
 };
 
 } // namespace st

@@ -9,6 +9,16 @@
  * long-running circuits whose activity is sparse, which is precisely
  * the regime the paper's energy argument targets.
  *
+ * The agenda is an indexed calendar queue: a bitmap over wire ids for
+ * the current time step (drained by an ascending bit scan — exactly
+ * the clocked engine's topological settle order, which is what
+ * resolves LT ties, with same-fall duplicates deduped for free), a
+ * power-of-two ring of time buckets sized by the circuit's largest
+ * delay line for near-future events, and a binary-heap overflow lane
+ * for anything beyond the ring window. Fanout adjacency (and each
+ * edge's schedule offset) comes from Circuit::fanout(), built once per
+ * circuit rather than per call.
+ *
  * The two engines implement the same semantics and must produce
  * identical SimResults (fall times AND transition counters); the test
  * suite sweeps that equivalence, giving the GRL domain the same

@@ -1,6 +1,7 @@
 #include "grl/netlist.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 namespace st::grl {
@@ -33,6 +34,98 @@ Circuit::Circuit(size_t num_inputs)
         gates_.push_back(Gate{GateKind::Input, {}, 0, INF});
 }
 
+Circuit::Circuit(const Circuit &other)
+    : gates_(other.gates_), outputs_(other.outputs_),
+      numInputs_(other.numInputs_)
+{
+}
+
+Circuit &
+Circuit::operator=(const Circuit &other)
+{
+    if (this != &other) {
+        gates_ = other.gates_;
+        outputs_ = other.outputs_;
+        numInputs_ = other.numInputs_;
+        invalidateFanout();
+    }
+    return *this;
+}
+
+Circuit::Circuit(Circuit &&other) noexcept
+    : gates_(std::move(other.gates_)),
+      outputs_(std::move(other.outputs_)),
+      numInputs_(other.numInputs_),
+      fanout_(other.fanout_.exchange(nullptr, std::memory_order_acq_rel))
+{
+}
+
+Circuit &
+Circuit::operator=(Circuit &&other) noexcept
+{
+    if (this != &other) {
+        gates_ = std::move(other.gates_);
+        outputs_ = std::move(other.outputs_);
+        numInputs_ = other.numInputs_;
+        delete fanout_.exchange(
+            other.fanout_.exchange(nullptr, std::memory_order_acq_rel),
+            std::memory_order_acq_rel);
+    }
+    return *this;
+}
+
+Circuit::~Circuit()
+{
+    delete fanout_.load(std::memory_order_relaxed);
+}
+
+void
+Circuit::invalidateFanout()
+{
+    delete fanout_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+const CircuitFanout &
+Circuit::fanout() const
+{
+    if (const CircuitFanout *hit =
+            fanout_.load(std::memory_order_acquire)) {
+        return *hit;
+    }
+    auto fresh = std::make_unique<CircuitFanout>();
+    const size_t n = gates_.size();
+    fresh->offset.assign(n + 1, 0);
+    for (const Gate &g : gates_) {
+        for (WireId src : g.fanin)
+            ++fresh->offset[src + 1];
+        if (g.kind == GateKind::Delay)
+            fresh->maxDelayStages =
+                std::max(fresh->maxDelayStages, g.stages);
+    }
+    for (size_t w = 0; w < n; ++w)
+        fresh->offset[w + 1] += fresh->offset[w];
+    fresh->consumer.resize(fresh->offset[n]);
+    fresh->consumerDelay.resize(fresh->offset[n]);
+    std::vector<uint32_t> cursor(fresh->offset.begin(),
+                                 fresh->offset.end() - 1);
+    for (size_t g = 0; g < n; ++g) {
+        const uint32_t sched_delay =
+            gates_[g].kind == GateKind::Delay ? gates_[g].stages : 0;
+        for (WireId src : gates_[g].fanin) {
+            fresh->consumer[cursor[src]] = static_cast<WireId>(g);
+            fresh->consumerDelay[cursor[src]++] = sched_delay;
+        }
+    }
+    // Racing builders agree on one winner; losers discard their copy.
+    const CircuitFanout *expected = nullptr;
+    if (fanout_.compare_exchange_strong(expected, fresh.get(),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return *fresh.release();
+    }
+    return *expected;
+}
+
 WireId
 Circuit::input(size_t i) const
 {
@@ -54,6 +147,7 @@ Circuit::add(Gate gate)
     for (WireId src : gate.fanin)
         checkId(src);
     gates_.push_back(std::move(gate));
+    invalidateFanout();
     return static_cast<WireId>(gates_.size() - 1);
 }
 

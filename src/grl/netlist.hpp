@@ -24,6 +24,7 @@
 #ifndef ST_GRL_NETLIST_HPP
 #define ST_GRL_NETLIST_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -59,16 +60,63 @@ struct Gate
 using WireId = uint32_t;
 
 /**
+ * Fanout adjacency of a circuit in CSR form: the consumers of wire w
+ * are consumer[offset[w] .. offset[w + 1]). Built once per circuit and
+ * shared by every simulation engine, instead of reconstructing a
+ * vector-of-vectors on each simulateEvents() call.
+ */
+struct CircuitFanout
+{
+    std::vector<uint32_t> offset; //!< size() + 1 entries
+    std::vector<WireId> consumer; //!< one entry per fanin edge
+    /** Schedule offset per fanin edge, parallel to consumer: the
+     *  consumer's stage count for Delay gates, 0 otherwise. Lets the
+     *  event engine's fanout walk schedule without touching the Gate
+     *  table. */
+    std::vector<uint32_t> consumerDelay;
+    /** Largest Delay-gate stage count (sizes the event-engine ring). */
+    uint32_t maxDelayStages = 0;
+
+    /** Consumers of wire @p w. */
+    std::span<const WireId>
+    of(WireId w) const
+    {
+        return {consumer.data() + offset[w],
+                consumer.data() + offset[w + 1]};
+    }
+
+    /** Schedule offsets of wire @p w's consumers, parallel to of(). */
+    std::span<const uint32_t>
+    delaysOf(WireId w) const
+    {
+        return {consumerDelay.data() + offset[w],
+                consumerDelay.data() + offset[w + 1]};
+    }
+};
+
+/**
  * A feedforward GRL netlist.
  *
  * Gates may only reference lower-numbered gates, so gate order is a
  * topological order (enforced by the builder methods).
+ *
+ * Thread safety: const simulation paths (including fanout()) may run
+ * concurrently — the fanout cache publishes via compare-exchange.
+ * Mutation (the builder methods, assignment) is single-writer and
+ * must not overlap other calls on the same Circuit.
  */
 class Circuit
 {
   public:
     /** Create a circuit with @p num_inputs primary input lines. */
     explicit Circuit(size_t num_inputs);
+
+    /** Copies rebuild the fanout cache lazily; it is never shared. */
+    Circuit(const Circuit &other);
+    Circuit &operator=(const Circuit &other);
+    Circuit(Circuit &&other) noexcept;
+    Circuit &operator=(Circuit &&other) noexcept;
+    ~Circuit();
 
     /** Wire of primary input @p i. */
     WireId input(size_t i) const;
@@ -115,13 +163,23 @@ class Circuit
     /** Total flipflop stages across all Delay gates. */
     uint64_t totalStages() const;
 
+    /**
+     * The circuit's fanout adjacency, built on first use and cached
+     * (builder calls invalidate it). Safe under concurrent readers.
+     */
+    const CircuitFanout &fanout() const;
+
   private:
     WireId add(Gate gate);
     void checkId(WireId id) const;
+    void invalidateFanout();
 
     std::vector<Gate> gates_;
     std::vector<WireId> outputs_;
     size_t numInputs_;
+
+    /** Lazily built fanout CSR, published with a compare-exchange. */
+    mutable std::atomic<const CircuitFanout *> fanout_{nullptr};
 };
 
 } // namespace st::grl

@@ -72,6 +72,8 @@ bitonicSortNetwork(size_t n)
         taps.push_back(net.input(i));
     for (NodeId id : emitBitonicSort(net, std::move(taps)))
         net.markOutput(id);
+    // Sorters are evaluated repeatedly; ship them pre-compiled.
+    net.compile();
     return net;
 }
 

@@ -38,6 +38,7 @@ buildSrm0Network(const std::vector<ResponseFunction> &synapses,
         NodeId never = net.config(INF);
         net.setLabel(never, "never-fires");
         net.markOutput(never);
+        net.compile();
         return net;
     }
 
@@ -64,6 +65,9 @@ buildSrm0Network(const std::vector<ResponseFunction> &synapses,
                      : net.min(std::span<const NodeId>(crossings));
     net.setLabel(out, "spike");
     net.markOutput(out);
+    // Compile up front: callers evaluate these networks volley after
+    // volley, so the plan build should not land on the first volley.
+    net.compile();
     return net;
 }
 

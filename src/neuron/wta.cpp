@@ -40,29 +40,44 @@ wtaNetwork(size_t n, Time::rep tau)
 std::vector<Time>
 applyWta(std::span<const Time> volley, Time::rep tau)
 {
-    Time gate = minOf(volley) + tau;
     std::vector<Time> out(volley.begin(), volley.end());
-    for (Time &x : out)
-        x = tlt(x, gate);
+    applyWtaInPlace(out, tau);
     return out;
+}
+
+void
+applyWtaInPlace(std::vector<Time> &volley, Time::rep tau)
+{
+    Time gate = minOf(volley) + tau;
+    for (Time &x : volley)
+        x = tlt(x, gate);
 }
 
 std::vector<Time>
 applyKWta(std::span<const Time> volley, size_t k)
 {
     std::vector<Time> out(volley.begin(), volley.end());
+    applyKWtaInPlace(out, k);
+    return out;
+}
+
+void
+applyKWtaInPlace(std::vector<Time> &volley, size_t k)
+{
     if (k >= spikeCount(volley))
-        return out;
+        return;
     // Order lines by (time, index); silence everything past rank k.
-    std::vector<size_t> order(volley.size());
+    // The rank scratch is per-thread so batch lanes never contend and
+    // the steady state allocates nothing.
+    static thread_local std::vector<size_t> order;
+    order.resize(volley.size());
     for (size_t i = 0; i < order.size(); ++i)
         order[i] = i;
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         return volley[a] < volley[b];
     });
     for (size_t rank = k; rank < order.size(); ++rank)
-        out[order[rank]] = INF;
-    return out;
+        volley[order[rank]] = INF;
 }
 
 size_t

@@ -40,12 +40,21 @@ std::vector<NodeId> emitWta(Network &net, std::span<const NodeId> taps,
 /** Pure functional tau-WTA (same semantics as the network). */
 std::vector<Time> applyWta(std::span<const Time> volley, Time::rep tau = 1);
 
+/** In-place tau-WTA: identical semantics, no allocation. */
+void applyWtaInPlace(std::vector<Time> &volley, Time::rep tau = 1);
+
 /**
  * Behavioral k-WTA: keep the k earliest spikes, inhibiting the rest.
  * Ties beyond the k-th slot are broken by line index (lower wins),
  * mirroring a fixed-priority inhibitory interneuron.
  */
 std::vector<Time> applyKWta(std::span<const Time> volley, size_t k);
+
+/**
+ * In-place k-WTA: identical semantics, reusing a per-thread rank
+ * scratch instead of allocating a copy.
+ */
+void applyKWtaInPlace(std::vector<Time> &volley, size_t k);
 
 /** Number of surviving (finite) spikes in a volley. */
 size_t spikeCount(std::span<const Time> volley);

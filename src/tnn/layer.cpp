@@ -136,9 +136,18 @@ Column::invalidateModel(size_t neuron)
 std::vector<Time>
 Column::rawFireTimes(std::span<const Time> inputs) const
 {
+    std::vector<Time> out;
+    rawFireTimesInto(inputs, out);
+    return out;
+}
+
+void
+Column::rawFireTimesInto(std::span<const Time> inputs,
+                         std::vector<Time> &out) const
+{
     if (inputs.size() != params_.numInputs)
         throw std::invalid_argument("Column: arity mismatch");
-    std::vector<Time> out(params_.numNeurons);
+    out.resize(params_.numNeurons);
     if (params_.numNeurons >= kParallelNeuronThreshold) {
         // Each neuron writes only its own slot, so the result is
         // bit-identical to the serial loop for any thread count.
@@ -150,18 +159,24 @@ Column::rawFireTimes(std::span<const Time> inputs) const
         for (size_t j = 0; j < params_.numNeurons; ++j)
             out[j] = cachedModel(j).fire(inputs);
     }
-    return out;
 }
 
 Volley
 Column::process(std::span<const Time> inputs) const
 {
-    std::vector<Time> fired = rawFireTimes(inputs);
+    Volley out;
+    processInto(inputs, out);
+    return out;
+}
+
+void
+Column::processInto(std::span<const Time> inputs, Volley &out) const
+{
+    rawFireTimesInto(inputs, out);
     if (params_.wtaTau > 0)
-        fired = applyWta(fired, params_.wtaTau);
+        applyWtaInPlace(out, params_.wtaTau);
     if (params_.wtaK > 0)
-        fired = applyKWta(fired, params_.wtaK);
-    return fired;
+        applyKWtaInPlace(out, params_.wtaK);
 }
 
 std::optional<TrainEvent>

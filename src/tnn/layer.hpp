@@ -110,11 +110,23 @@ class Column
      */
     std::vector<Time> rawFireTimes(std::span<const Time> inputs) const;
 
+    /** rawFireTimes() into a caller-owned buffer (capacity reused). */
+    void rawFireTimesInto(std::span<const Time> inputs,
+                          std::vector<Time> &out) const;
+
     /**
      * Full forward step: fire all neurons, then apply tau-WTA and k-WTA
      * inhibition per the column parameters.
      */
     Volley process(std::span<const Time> inputs) const;
+
+    /**
+     * process() into a caller-owned buffer: identical results, but the
+     * buffer's capacity is reused across calls — the batch engine's
+     * steady state allocates nothing per volley. @p out must not alias
+     * @p inputs.
+     */
+    void processInto(std::span<const Time> inputs, Volley &out) const;
 
     /**
      * One unsupervised WTA-learning step: the earliest-firing neuron

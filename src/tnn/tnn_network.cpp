@@ -6,6 +6,28 @@
 
 namespace st {
 
+namespace {
+
+/**
+ * Per-lane ping-pong buffers for the batch forward pass: layer l reads
+ * cur and writes next, then the two swap. Thread-local so every pool
+ * worker reuses its own capacity across volleys — the steady state of
+ * processBatchUpTo() allocates only the per-volley result vector.
+ */
+struct LaneScratch
+{
+    Volley cur, next;
+};
+
+LaneScratch &
+laneScratch()
+{
+    static thread_local LaneScratch scratch;
+    return scratch;
+}
+
+} // namespace
+
 void
 TnnNetwork::addLayer(const ColumnParams &params)
 {
@@ -50,10 +72,20 @@ TnnNetwork::processBatchUpTo(std::span<const Volley> inputs, size_t upto,
     size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
                                  : nthreads;
     // Volleys are independent; each lane writes only its own output
-    // slots, so the batch result matches the serial loop exactly.
+    // slots, so the batch result matches the serial loop exactly. The
+    // per-lane scratch buffers keep layer-to-layer handoff free of
+    // allocation.
     ThreadPool::shared().parallelFor(
         0, inputs.size(), 1,
-        [&](size_t i) { out[i] = processUpTo(inputs[i], upto); },
+        [&](size_t i) {
+            LaneScratch &s = laneScratch();
+            s.cur.assign(inputs[i].begin(), inputs[i].end());
+            for (size_t l = 0; l < upto; ++l) {
+                layers_[l].processInto(s.cur, s.next);
+                std::swap(s.cur, s.next);
+            }
+            out[i] = std::move(s.cur);
+        },
         lanes);
     return out;
 }

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Differential tests: the compiled evaluation plan must be
+ * bit-identical to the reference interpreter on every network and
+ * every volley — including inf-heavy volleys, config mutations between
+ * calls, structural mutations that invalidate the plan, and batched
+ * evaluation across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/eval_plan.hpp"
+#include "core/network.hpp"
+#include "neuron/response.hpp"
+#include "neuron/sorting.hpp"
+#include "neuron/srm0_network.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace st {
+namespace {
+
+using testing::kNo;
+using testing::randomVolley;
+using testing::V;
+
+/**
+ * A random feedforward network over the full primitive set, richer
+ * than testing::randomNetwork: it adds config nodes, n-ary min/max,
+ * inc chains, and a random output set (so DCE has real work to do).
+ */
+Network
+richRandomNetwork(Rng &rng, size_t num_inputs, size_t num_blocks)
+{
+    Network net(num_inputs);
+    auto randomNode = [&]() {
+        return static_cast<NodeId>(rng.below(net.size()));
+    };
+    for (size_t b = 0; b < num_blocks; ++b) {
+        switch (rng.below(6)) {
+          case 0:
+            net.config(rng.chance(0.3) ? INF : Time(rng.below(8)));
+            break;
+          case 1: {
+            // Inc chains of depth 1..3 exercise fusion.
+            NodeId id = randomNode();
+            size_t depth = 1 + rng.below(3);
+            for (size_t d = 0; d < depth; ++d)
+                id = net.inc(id, rng.below(5));
+            break;
+          }
+          case 2:
+          case 3: {
+            std::vector<NodeId> srcs(2 + rng.below(3));
+            for (NodeId &s : srcs)
+                s = randomNode();
+            if (rng.chance(0.5))
+                net.min(srcs);
+            else
+                net.max(srcs);
+            break;
+          }
+          default:
+            net.lt(randomNode(), randomNode());
+            break;
+        }
+    }
+    // A random output set, biased to leave some of the graph dead.
+    size_t num_outputs = 1 + rng.below(3);
+    for (size_t k = 0; k < num_outputs; ++k)
+        net.markOutput(static_cast<NodeId>(rng.below(net.size())));
+    return net;
+}
+
+/** Compiled evaluate/evaluateAll must equal the interpreter exactly. */
+void
+expectCompiledMatches(const Network &net, const std::vector<Time> &volley)
+{
+    EXPECT_EQ(net.evaluate(volley), net.evaluateInterpreted(volley));
+    EXPECT_EQ(net.evaluateAll(volley),
+              net.evaluateAllInterpreted(volley));
+}
+
+TEST(CompiledEval, MatchesInterpreterExhaustivelyOnSmallNets)
+{
+    Rng rng(0xc0de);
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        Rng net_rng(seed);
+        Network net = richRandomNetwork(net_rng, 3, 12);
+        testing::forAllVolleys(3, 3, [&](const std::vector<Time> &u) {
+            expectCompiledMatches(net, u);
+        });
+    }
+}
+
+TEST(CompiledEval, MatchesInterpreterOnRandomDags)
+{
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+        Rng rng(0x9000 + seed);
+        Network net = richRandomNetwork(rng, 1 + rng.below(6),
+                                        5 + rng.below(40));
+        for (size_t v = 0; v < 16; ++v) {
+            // Half the volleys are inf-heavy to stress "no event"
+            // propagation through fused edges.
+            double p_inf = v % 2 == 0 ? 0.2 : 0.7;
+            expectCompiledMatches(
+                net, randomVolley(rng, net.numInputs(), 20, p_inf));
+        }
+    }
+}
+
+TEST(CompiledEval, ConfigMutationNeverStalesThePlan)
+{
+    Network net(2);
+    NodeId c = net.config(Time(3));
+    NodeId gated = net.lt(net.min(net.input(0), net.input(1)), c);
+    net.markOutput(gated);
+    net.markOutput(c);
+
+    Rng rng(0xfeed);
+    for (size_t round = 0; round < 20; ++round) {
+        net.setConfig(c, rng.chance(0.3) ? INF : Time(rng.below(10)));
+        // setConfig must not recompile: config values are read live.
+        if (round > 0) {
+            EXPECT_TRUE(net.isCompiled());
+        }
+        expectCompiledMatches(net, randomVolley(rng, 2, 10));
+    }
+}
+
+TEST(CompiledEval, StructuralMutationInvalidatesThePlan)
+{
+    Rng rng(0xabcd);
+    Network net = richRandomNetwork(rng, 3, 10);
+    net.evaluate(randomVolley(rng, 3, 10));
+    EXPECT_TRUE(net.isCompiled());
+
+    net.inc(net.input(0), 2);
+    EXPECT_FALSE(net.isCompiled());
+    net.markOutput(static_cast<NodeId>(net.size() - 1));
+    EXPECT_FALSE(net.isCompiled());
+    expectCompiledMatches(net, randomVolley(rng, 3, 10));
+
+    // append() splices foreign nodes in; the plan must follow suit.
+    Network sub(1);
+    sub.markOutput(sub.inc(sub.input(0), 5));
+    net.evaluate(randomVolley(rng, 3, 10));
+    EXPECT_TRUE(net.isCompiled());
+    NodeId in0 = net.input(0);
+    net.markOutput(net.append(sub, {&in0, 1})[0]);
+    EXPECT_FALSE(net.isCompiled());
+    expectCompiledMatches(net, randomVolley(rng, 3, 10));
+}
+
+TEST(CompiledEval, BatchMatchesSerialAcrossThreadCounts)
+{
+    Rng rng(0xbead);
+    Network net = richRandomNetwork(rng, 4, 30);
+
+    std::vector<std::vector<Time>> batch;
+    for (size_t i = 0; i < 64; ++i)
+        batch.push_back(randomVolley(rng, 4, 15, i % 3 == 0 ? 0.6 : 0.2));
+
+    std::vector<std::vector<Time>> expected;
+    for (const auto &volley : batch)
+        expected.push_back(net.evaluateInterpreted(volley));
+
+    for (size_t nthreads : {1, 2, 4, 8})
+        EXPECT_EQ(net.evaluateBatch(batch, nthreads), expected)
+            << "nthreads=" << nthreads;
+}
+
+TEST(CompiledEval, DeadNodesAreEliminated)
+{
+    Network net(2);
+    NodeId used = net.min(net.input(0), net.input(1));
+    net.max(net.input(0), net.input(1)); // dead
+    net.lt(net.input(0), net.input(1));  // dead
+    net.markOutput(used);
+
+    const EvalPlan &plan = net.compile();
+    EXPECT_EQ(plan.numNodes, 5u);
+    EXPECT_EQ(plan.deadNodes, 2u);
+    EXPECT_EQ(plan.live.size(), 3u);
+    EXPECT_EQ(plan.full.size(), 5u);
+    expectCompiledMatches(net, V({4, 7}));
+}
+
+TEST(CompiledEval, IncChainsFuseIntoEdgeDelays)
+{
+    Network net(1);
+    NodeId id = net.input(0);
+    for (Time::rep d = 1; d <= 4; ++d)
+        id = net.inc(id, d);
+    NodeId out = net.min(id, net.input(0));
+    net.markOutput(out);
+
+    const EvalPlan &plan = net.compile();
+    // All four inc nodes fold into one edge delay of 1+2+3+4.
+    EXPECT_EQ(plan.fusedIncs, 4u);
+    EXPECT_EQ(plan.deadNodes, 4u);
+    EXPECT_EQ(plan.live.size(), 2u);
+    EXPECT_EQ(net.evaluate(V({5}))[0], Time(5));
+    expectCompiledMatches(net, V({0}));
+    expectCompiledMatches(net, V({kNo}));
+}
+
+TEST(CompiledEval, IncFusionSaturatesExactlyLikeTheInterpreter)
+{
+    const Time::rep huge = ~uint64_t{0} - 3;
+    Network net(1);
+    NodeId id = net.inc(net.inc(net.input(0), huge), huge);
+    net.markOutput(id);
+
+    // Both the chained and the folded form must saturate to inf.
+    std::vector<Time> big = {Time(huge)};
+    expectCompiledMatches(net, big);
+    EXPECT_EQ(net.evaluate(big)[0], INF);
+    expectCompiledMatches(net, V({0}));
+    expectCompiledMatches(net, V({3}));
+    expectCompiledMatches(net, V({kNo}));
+}
+
+TEST(CompiledEval, OutputIncTapsStayLive)
+{
+    Network net(1);
+    NodeId tap = net.inc(net.input(0), 7);
+    net.markOutput(tap); // an inc that IS an output must survive DCE
+    expectCompiledMatches(net, V({2}));
+    expectCompiledMatches(net, V({kNo}));
+    EXPECT_EQ(net.evaluate(V({2}))[0], Time(9));
+}
+
+TEST(CompiledEval, BuildersShipPrecompiledNetworks)
+{
+    Network sorter = bitonicSortNetwork(6);
+    EXPECT_TRUE(sorter.isCompiled());
+
+    std::vector<ResponseFunction> synapses(
+        4, ResponseFunction::step(2));
+    Network srm0 = buildSrm0Network(synapses, 3);
+    EXPECT_TRUE(srm0.isCompiled());
+
+    Rng rng(0x50f7);
+    for (size_t v = 0; v < 8; ++v) {
+        expectCompiledMatches(sorter, randomVolley(rng, 6, 12));
+        expectCompiledMatches(srm0, randomVolley(rng, 4, 12));
+    }
+}
+
+TEST(CompiledEval, CopiesAndMovesKeepPlansCoherent)
+{
+    Rng rng(0x7007);
+    Network net = richRandomNetwork(rng, 3, 15);
+    net.evaluate(randomVolley(rng, 3, 10));
+    ASSERT_TRUE(net.isCompiled());
+
+    Network copy = net; // copies start uncompiled
+    EXPECT_FALSE(copy.isCompiled());
+    expectCompiledMatches(copy, randomVolley(rng, 3, 10));
+
+    Network moved = std::move(net); // moves steal the plan
+    EXPECT_TRUE(moved.isCompiled());
+    expectCompiledMatches(moved, randomVolley(rng, 3, 10));
+}
+
+} // namespace
+} // namespace st

@@ -17,6 +17,7 @@
 #include "neuron/srm0_network.hpp"
 #include "neuron/wta.hpp"
 #include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
 
 namespace st::grl {
 namespace {
@@ -120,6 +121,112 @@ TEST(GrlEventSim, WtaCircuitAgreement)
         expectSameResult(simulate(compiled.circuit, x),
                          simulateEvents(compiled.circuit, x),
                          volleyStr(x));
+    }
+}
+
+/**
+ * A random raw netlist (not routed through compileToGrl): random
+ * fanin shapes, delay lines of varying depth, consts and a random
+ * output set — stressing the calendar queue's ring directly.
+ */
+Circuit
+randomCircuit(Rng &rng, size_t num_inputs, size_t num_gates,
+              uint32_t max_stages)
+{
+    Circuit c(num_inputs);
+    auto randomWire = [&]() {
+        return static_cast<WireId>(rng.below(c.size()));
+    };
+    for (size_t g = 0; g < num_gates; ++g) {
+        switch (rng.below(5)) {
+          case 0:
+            c.constant(rng.chance(0.3) ? INF : Time(rng.below(8)));
+            break;
+          case 1: {
+            std::vector<WireId> ins(2 + rng.below(2));
+            for (WireId &w : ins)
+                w = randomWire();
+            c.andGate(ins);
+            break;
+          }
+          case 2: {
+            std::vector<WireId> ins(2 + rng.below(2));
+            for (WireId &w : ins)
+                w = randomWire();
+            c.orGate(ins);
+            break;
+          }
+          case 3:
+            c.ltCell(randomWire(), randomWire());
+            break;
+          default:
+            c.delay(randomWire(),
+                    1 + static_cast<uint32_t>(rng.below(max_stages)));
+            break;
+        }
+    }
+    size_t num_outputs = 1 + rng.below(4);
+    for (size_t k = 0; k < num_outputs; ++k)
+        c.markOutput(randomWire());
+    return c;
+}
+
+TEST(GrlEventSim, RandomCircuitsCalendarQueueMatchesClocked)
+{
+    for (uint64_t seed = 0; seed < 25; ++seed) {
+        Rng rng(0xca1 + seed);
+        Circuit c = randomCircuit(rng, 2 + rng.below(4),
+                                  6 + rng.below(30), 6);
+        for (int s = 0; s < 12; ++s) {
+            auto x = testing::randomVolley(rng, c.numInputs(), 12,
+                                           s % 3 == 0 ? 0.5 : 0.2);
+            expectSameResult(simulate(c, x), simulateEvents(c, x),
+                             "seed=" + std::to_string(seed) + " " +
+                                 volleyStr(x));
+        }
+    }
+}
+
+TEST(GrlEventSim, DeepDelayLinesSpillToTheFarLane)
+{
+    // A delay line deeper than the calendar ring's size cap forces the
+    // event engine through its far-heap overflow lane.
+    Circuit c(2);
+    WireId deep = c.delay(c.input(0), 20000);
+    c.markOutput(c.andGate(deep, c.input(1)));
+    c.markOutput(c.ltCell(c.input(1), deep));
+    expectSameResult(simulate(c, V({1, 30})),
+                     simulateEvents(c, V({1, 30})), "deep");
+    expectSameResult(simulate(c, V({1, kNo})),
+                     simulateEvents(c, V({1, kNo})), "deep-quiet");
+}
+
+TEST(GrlEventSim, ParallelSimulationsShareTheFanoutCache)
+{
+    // Concurrent simulateEvents() calls on one shared Circuit race to
+    // build the fanout cache; every lane must still agree with the
+    // clocked engine for every thread count.
+    Rng rng(0xfa4);
+    Circuit c = randomCircuit(rng, 4, 24, 5);
+    std::vector<std::vector<Time>> volleys;
+    for (int s = 0; s < 32; ++s)
+        volleys.push_back(testing::randomVolley(rng, 4, 10, 0.25));
+    std::vector<SimResult> expected;
+    for (const auto &x : volleys)
+        expected.push_back(simulate(c, x));
+
+    for (size_t nthreads : {1, 2, 4, 8}) {
+        Circuit fresh = c; // copies start with a cold fanout cache
+        std::vector<SimResult> got(volleys.size());
+        ThreadPool::shared().parallelFor(
+            0, volleys.size(), 1,
+            [&](size_t i) { got[i] = simulateEvents(fresh, volleys[i]); },
+            nthreads);
+        for (size_t i = 0; i < volleys.size(); ++i) {
+            expectSameResult(got[i], expected[i],
+                             "nthreads=" + std::to_string(nthreads) +
+                                 " " + volleyStr(volleys[i]));
+        }
     }
 }
 
