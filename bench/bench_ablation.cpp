@@ -62,6 +62,9 @@ printOptimizerAblation()
         t.row(name, raw.size(), opt.size(), raw.totalIncStages(),
               opt.totalIncStages(), ff_saved,
               std::to_string(ok) + "/" + std::to_string(probes));
+        bench::recordValue("ablation", name, "ff_saved_pct", ff_saved);
+        bench::recordValue("ablation", name, "equiv_probes_ok",
+                           static_cast<double>(ok));
     };
 
     FunctionTable fig7 =

@@ -18,8 +18,15 @@
  *
  * Passing --json <path> additionally writes every record() call the
  * printer makes — bench name, configuration, volleys/sec, speedup —
- * as a machine-readable JSON array, so CI can archive throughput
- * numbers next to the human-readable tables.
+ * as a machine-readable JSON array, plus a "metrics" object holding
+ * the aggregated engine counters/gauges/histograms of the run
+ * (obs/metrics.hpp), so CI archives what the engines *did* (spikes,
+ * events, steals, SIMD blocks) next to how fast they did it.
+ *
+ * Tracing rides along for free: ST_TRACE=out.json <bench> writes a
+ * Chrome-trace JSON of the run's spans at exit (open in Perfetto).
+ * Smoke mode additionally exercises one metrics snapshot and one
+ * trace flush so the sanitizer CI jobs cover the obs layer.
  */
 
 #ifndef ST_BENCH_BENCH_COMMON_HPP
@@ -30,9 +37,12 @@
 #include <cstddef>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace st::bench {
 
@@ -89,6 +99,38 @@ record(std::string bench, std::string config, double volleys_per_sec,
                              volleys_per_sec, speedup});
 }
 
+/**
+ * One machine-readable figure-series point: benches whose tables are
+ * counts or ratios rather than timed throughput record their headline
+ * series through this, so every bench binary emits usable JSON.
+ */
+struct SeriesPoint
+{
+    std::string bench;
+    std::string config;
+    std::string metric;
+    double value = 0;
+};
+
+/** Series points accumulated by the current run's printer. */
+inline std::vector<SeriesPoint> &
+seriesPoints()
+{
+    static std::vector<SeriesPoint> points;
+    return points;
+}
+
+/** Append one figure-series point (no-op unless --json was given). */
+inline void
+recordValue(std::string bench, std::string config, std::string metric,
+            double value)
+{
+    if (jsonPath().empty())
+        return;
+    seriesPoints().push_back({std::move(bench), std::move(config),
+                              std::move(metric), value});
+}
+
 /** Minimal JSON string escape (quotes, backslashes, control chars). */
 inline std::string
 jsonEscape(std::string_view s)
@@ -105,7 +147,7 @@ jsonEscape(std::string_view s)
     return out;
 }
 
-/** Write the accumulated records to jsonPath(). */
+/** Write the accumulated records + engine metrics to jsonPath(). */
 inline void
 writeJsonReport()
 {
@@ -127,7 +169,51 @@ writeJsonReport()
             << jsonEscape(r.config) << "\", \"volleys_per_sec\": "
             << r.volleysPerSec << ", \"speedup\": " << r.speedup << "}";
     }
-    out << "\n  ]\n}\n";
+    out << "\n  ],\n  \"series\": [";
+    const auto &points = seriesPoints();
+    for (size_t i = 0; i < points.size(); ++i) {
+        const SeriesPoint &p = points[i];
+        out << (i ? "," : "") << "\n    {\"bench\": \""
+            << jsonEscape(p.bench) << "\", \"config\": \""
+            << jsonEscape(p.config) << "\", \"metric\": \""
+            << jsonEscape(p.metric) << "\", \"value\": " << p.value
+            << "}";
+    }
+    out << "\n  ],\n  \"metrics\": ";
+    obs::MetricsRegistry::instance().snapshot().writeJson(out);
+    out << "\n}\n";
+}
+
+/**
+ * Smoke-mode obs exercise: force one registry snapshot and one trace
+ * flush through their full serialization paths (into memory; the
+ * ST_TRACE file, if any, is still written at exit), so every CI
+ * sanitizer job executes the obs layer alongside the figure paths.
+ */
+inline void
+smokeObsLayer()
+{
+    obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    std::ostringstream sink;
+    snap.writeJson(sink);
+    size_t metrics_bytes = sink.str().size();
+
+    obs::TraceSession &session = obs::TraceSession::instance();
+    const bool was_enabled = session.enabled();
+    session.enable(); // keeps any ST_TRACE path; just turns capture on
+    {
+        ST_TRACE_SPAN("bench.smoke");
+    }
+    std::ostringstream trace_sink;
+    session.writeJson(trace_sink);
+    if (!was_enabled)
+        session.disable();
+    std::cout << "obs smoke: " << snap.counters.size()
+              << " counters, " << snap.gauges.size() << " gauges, "
+              << snap.histograms.size() << " histograms ("
+              << metrics_bytes << " json bytes), trace flush "
+              << trace_sink.str().size() << " bytes\n";
 }
 
 /**
@@ -155,8 +241,10 @@ runBenchMain(int argc, char **argv, void (*printer)())
     printer();
     std::cout << std::endl;
     writeJsonReport();
-    if (smokeMode())
+    if (smokeMode()) {
+        smokeObsLayer();
         return 0;
+    }
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -66,6 +66,13 @@ printGrlVsBinary()
                                              act.inputToggles()) /
                          (ops - 1);
         t.row(bits, grl_per, bin_per, bin_per / grl_per);
+        std::string cfg = "bits=" + std::to_string(bits);
+        bench::recordValue("energy", cfg, "grl_transitions_per_op",
+                           grl_per);
+        bench::recordValue("energy", cfg, "binary_toggles_per_op",
+                           bin_per);
+        bench::recordValue("energy", cfg, "binary_over_grl",
+                           bin_per / grl_per);
     }
     t.writeTo(std::cout);
     std::cout << "shape check: GRL stays ~3 transitions/op regardless "

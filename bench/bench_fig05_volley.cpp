@@ -43,6 +43,10 @@ printFigure()
         CodingStats ss = codingStats(sv, n);
         t.row(n, ds.messageTime, ds.bitsPerSpike, ss.bitsPerSpike,
               ds.spikes, ss.spikes);
+        bench::recordValue("fig05_volley", "n=" + std::to_string(n),
+                           "dense_bits_per_spike", ds.bitsPerSpike);
+        bench::recordValue("fig05_volley", "n=" + std::to_string(n),
+                           "sparse_bits_per_spike", ss.bitsPerSpike);
     }
     t.writeTo(std::cout);
     std::cout << "shape check: bits/spike grows ~n while message time "

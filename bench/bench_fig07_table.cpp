@@ -11,6 +11,7 @@
 
 #include "core/function_table.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 using namespace st;
@@ -46,6 +47,22 @@ printFigure()
     t.row("[0, 0, 0]", ev({0_t, 0_t, 0_t}).str(), "no entry -> inf");
     t.writeTo(std::cout);
     std::cout << "history bound k = " << table.historyBound() << "\n";
+    bench::recordValue("fig07_table", "fig7", "history_bound",
+                       static_cast<double>(table.historyBound()));
+
+    // Machine-readable headline: table evaluation throughput over
+    // random probes in the normalized window.
+    Rng rng(7);
+    const size_t probes = bench::scaled(200000, 200);
+    Stopwatch sw;
+    for (size_t i = 0; i < probes; ++i) {
+        std::vector<Time> x(3);
+        for (Time &v : x)
+            v = rng.chance(0.2) ? INF : Time(rng.below(8));
+        benchmark::DoNotOptimize(table.evaluate(x));
+    }
+    bench::recordValue("fig07_table", "fig7", "evals_per_sec",
+                       static_cast<double>(probes) / sw.seconds());
 }
 
 void

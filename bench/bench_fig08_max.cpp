@@ -51,6 +51,12 @@ printFigure()
     cost.row("exhaustive mismatches (0..20)^2", mismatches);
     cost.row("cases checked", total);
     cost.writeTo(std::cout);
+    bench::recordValue("fig08_max", "lemma2", "lt_blocks",
+                       static_cast<double>(net.countOf(Op::Lt)));
+    bench::recordValue("fig08_max", "lemma2", "logic_depth",
+                       static_cast<double>(net.depth()));
+    bench::recordValue("fig08_max", "lemma2", "mismatches",
+                       static_cast<double>(mismatches));
     std::cout << "shape check: 0 mismatches; the construction costs "
                  "4 lt + 1 min per max (vs 1 native block).\n";
 }

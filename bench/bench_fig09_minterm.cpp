@@ -72,6 +72,13 @@ printFigure()
         }
         t.row(table.rowCount(), a.size(), a.depth(), b.size(), b.depth(),
               mismatches);
+        std::string cfg = "rows=" + std::to_string(table.rowCount());
+        bench::recordValue("fig09_minterm", cfg, "nodes_native_max",
+                           static_cast<double>(a.size()));
+        bench::recordValue("fig09_minterm", cfg, "nodes_lowered",
+                           static_cast<double>(b.size()));
+        bench::recordValue("fig09_minterm", cfg, "mismatches",
+                           static_cast<double>(mismatches));
     }
     t.writeTo(std::cout);
     std::cout << "shape check: nodes grow linearly in rows x arity; "

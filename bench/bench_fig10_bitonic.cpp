@@ -41,6 +41,13 @@ printFigure()
         }
         t.row(n, bitonicComparatorCount(n), bitonicStageDepth(n),
               net.size(), ok ? "yes" : "NO");
+        std::string cfg = "width=" + std::to_string(n);
+        bench::recordValue("fig10_bitonic", cfg, "comparators",
+                           static_cast<double>(bitonicComparatorCount(n)));
+        bench::recordValue("fig10_bitonic", cfg, "stage_depth",
+                           static_cast<double>(bitonicStageDepth(n)));
+        bench::recordValue("fig10_bitonic", cfg, "sorted",
+                           ok ? 1.0 : 0.0);
     }
     t.writeTo(std::cout);
     std::cout << "shape check: comparators ~ (n/2) * k(k+1)/2 for "

@@ -62,6 +62,11 @@ printFigure()
         std::vector<NodeId> ups, downs;
         emitResponseFanout(net, net.input(0), rw, ups, downs);
         cost.row(w, ups.size(), downs.size(), net.countOf(Op::Inc));
+        std::string cfg = "amp=" + std::to_string(w);
+        bench::recordValue("fig11_response", cfg, "up_taps",
+                           static_cast<double>(ups.size()));
+        bench::recordValue("fig11_response", cfg, "down_taps",
+                           static_cast<double>(downs.size()));
     }
     cost.writeTo(std::cout);
     std::cout << "shape check: taps grow ~linearly with amplitude "

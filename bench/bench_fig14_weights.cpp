@@ -54,6 +54,9 @@ printFigure()
         const Network &net = neuron.network();
         cost.row(W, net.countOf(Op::Config), net.countOf(Op::Lt),
                  net.size());
+        bench::recordValue("fig14_weights", "W=" + std::to_string(W),
+                           "total_nodes",
+                           static_cast<double>(net.size()));
     }
     cost.writeTo(std::cout);
     std::cout << "shape check: cost grows ~linearly in W (one gated "
@@ -82,6 +85,10 @@ printFigure()
     }
     std::cout << "agreements: " << match << "/" << total
               << " across all 16 weight settings\n";
+    bench::recordValue("fig14_weights", "W=3,synapses=2", "agreements",
+                       static_cast<double>(match));
+    bench::recordValue("fig14_weights", "W=3,synapses=2", "trials",
+                       static_cast<double>(total));
 }
 
 void

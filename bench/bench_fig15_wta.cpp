@@ -38,6 +38,10 @@ printFigure()
                 survivors += spikeCount(applyWta(x, tau));
             }
             avg.push_back(static_cast<double>(survivors) / trials);
+            bench::recordValue("fig15_wta",
+                               "spread=" + std::to_string(spread) +
+                                   ",tau=" + std::to_string(tau),
+                               "avg_survivors", avg.back());
         }
         t.row(spread, avg[0], avg[1], avg[2], avg[3]);
     }

@@ -50,6 +50,14 @@ printFigure()
               std::to_string(agree) + "/" +
                   std::to_string(g.numVertices()),
               worst);
+        std::string cfg = "grid=" + std::to_string(side) + "x" +
+                          std::to_string(side);
+        bench::recordValue("racelogic", cfg, "agreements",
+                           static_cast<double>(agree));
+        bench::recordValue("racelogic", cfg, "vertices",
+                           static_cast<double>(g.numVertices()));
+        bench::recordValue("racelogic", cfg, "latency",
+                           static_cast<double>(worst));
     }
     t.writeTo(std::cout);
     std::cout << "shape check: total agreement; latency equals the "

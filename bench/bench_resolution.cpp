@@ -84,7 +84,11 @@ printFigure()
         // comparable: theta = 2 * levels.
         auto theta = static_cast<ResponseFunction::Amp>(2 * levels);
         double bits = std::log2(static_cast<double>(levels + 1));
-        w.row(levels, bits, purityFor(levels, 7, theta));
+        double purity = purityFor(levels, 7, theta);
+        w.row(levels, bits, purity);
+        bench::recordValue("resolution",
+                           "weight_levels=" + std::to_string(levels),
+                           "purity", purity);
     }
     w.writeTo(std::cout);
     std::cout << "shape check: 3-bit weights already saturate; 1-bit "
@@ -97,7 +101,11 @@ printFigure()
                   "purity"});
     for (Time::rep span : {1, 3, 7, 15, 31}) {
         double bits = std::log2(static_cast<double>(span + 1));
-        t.row(span, bits, span + 1, purityFor(7, span, 14));
+        double purity = purityFor(7, span, 14);
+        t.row(span, bits, span + 1, purity);
+        bench::recordValue("resolution",
+                           "time_span=" + std::to_string(span),
+                           "purity", purity);
     }
     t.writeTo(std::cout);
     std::cout << "shape check: 2-3 bits of spike timing already "

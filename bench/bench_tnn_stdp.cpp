@@ -85,8 +85,12 @@ printFigure()
     std::vector<size_t> sizes{0, 50, 100, 200, 400, 800, 1600};
     if (bench::smokeMode())
         sizes = {0, 40};
-    for (size_t n : sizes)
-        t.row(n, purityAfter(data, n, dp.jitter));
+    for (size_t n : sizes) {
+        double purity = purityAfter(data, n, dp.jitter);
+        t.row(n, purity);
+        bench::recordValue("tnn_stdp", "samples=" + std::to_string(n),
+                           "purity", purity);
+    }
     t.writeTo(std::cout);
     std::cout << "shape check: purity climbs from chance (~0.25) and "
                  "saturates — neurons tune to the earliest spikes of "
@@ -126,6 +130,9 @@ printFigure()
         for (const auto &s : gen.generate(bench::scaled(200, 40)))
             m.add(winnerOf(col.rawFireTimes(s.volley)), s.label);
         f.row(target, m.purity(), m.distinctLabelsCovered());
+        bench::recordValue("tnn_stdp",
+                           "freeway_passes=" + std::to_string(target),
+                           "lane_purity", m.purity());
     }
     f.writeTo(std::cout);
     std::cout << "shape check: selectivity emerges from strictly local "

@@ -6,6 +6,7 @@
 
 #include "core/algebra.hpp"
 #include "core/network.hpp"
+#include "obs/obs.hpp"
 
 namespace st {
 
@@ -186,6 +187,13 @@ EvalProgram::run(std::span<const Node> nodes,
                  std::span<const Time> inputs,
                  std::vector<Time> &values) const
 {
+    // Three relaxed adds per volley — noise against the instruction
+    // walk below, but they expose the dispatch economics (how long
+    // the same-op runs actually are) that the run scheduler exists
+    // to maximize.
+    ST_OBS_ADD("eval.run.calls", 1);
+    ST_OBS_ADD("eval.run.dispatches", runEnd.size());
+    ST_OBS_ADD("eval.run.instructions", op.size());
     values.resize(op.size());
     Time *v = values.data();
     const uint32_t *slot = argSlot.data();
@@ -440,12 +448,15 @@ EvalProgram::runBlock(std::span<const Node> nodes,
     if (batch.size() == kEvalBlockLanes) {
 #ifdef ST_EVAL_PLAN_SIMD
         if (cpuHasAvx2()) {
+            ST_OBS_ADD("eval.block.avx2", 1);
             detail::runBlockLanes8Avx2(*this, nodes, batch, values);
             return;
         }
 #endif
+        ST_OBS_ADD("eval.block.scalar", 1);
         runBlockImpl<kEvalBlockLanes>(*this, nodes, batch, values);
     } else {
+        ST_OBS_ADD("eval.block.tail", 1);
         runBlockImpl<0>(*this, nodes, batch, values);
     }
 }
@@ -453,6 +464,7 @@ EvalProgram::runBlock(std::span<const Node> nodes,
 EvalPlan
 buildEvalPlan(const Network &net)
 {
+    ST_TRACE_SPAN("eval.compile");
     const std::vector<Node> &nodes = net.nodes();
     const std::vector<NodeId> &outputs = net.outputs();
     const size_t n = nodes.size();
@@ -564,6 +576,10 @@ buildEvalPlan(const Network &net)
     prog.outSlot.reserve(outputs.size());
     for (NodeId out : outputs)
         prog.outSlot.push_back(slotOf[out]);
+    ST_OBS_ADD("eval.compile.nodes", n);
+    ST_OBS_ADD("eval.compile.dead_nodes", plan.deadNodes);
+    ST_OBS_ADD("eval.compile.fused_incs", plan.fusedIncs);
+    ST_OBS_ADD("eval.compile.live_instrs", prog.size());
     return plan;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/eval_plan.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace st {
@@ -94,8 +95,11 @@ Network::invalidatePlan()
 const EvalPlan &
 Network::compile() const
 {
-    if (const EvalPlan *hit = plan_.load(std::memory_order_acquire))
+    if (const EvalPlan *hit = plan_.load(std::memory_order_acquire)) {
+        ST_OBS_ADD("eval.compile.cache_hit", 1);
         return *hit;
+    }
+    ST_OBS_ADD("eval.compile.cache_miss", 1);
     auto *fresh = new EvalPlan(buildEvalPlan(*this));
     // Concurrent evaluators may race to compile; the CAS picks one
     // winner and losers discard their (identical) build.
@@ -355,6 +359,8 @@ Network::evaluateBatch(std::span<const std::vector<Time>> batch,
     // volleys pushed through the program together. The block layout is
     // a pure function of the batch, so results are bit-identical at
     // every thread count.
+    ST_TRACE_SPAN("eval.batch");
+    ST_OBS_ADD("eval.batch.volleys", batch.size());
     const EvalProgram &prog = compile().live;
     std::vector<std::vector<Time>> out(batch.size());
     const size_t blocks =

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace st::grl {
 
 namespace {
@@ -114,6 +116,15 @@ class CalendarQueue
         // A new time step may make any wire ready; restart the scan
         // (skipping zero words is a handful of cycles per step).
         scanWord_ = 0;
+        // Agenda-shape tallies, flushed to the registry once per
+        // simulateEvents() call. The per-step histogram record is two
+        // relaxed atomics; everything else is a plain local add.
+        ST_OBS_ONLY(++statAdvances;
+                    statMaxDepth = std::max<uint64_t>(
+                        statMaxDepth,
+                        ringCount_ + far_.size() + readyCount_);
+                    ST_OBS_HIST("grl.agenda.ring_occupancy",
+                                ringCount_);)
         return now_;
     }
 
@@ -127,11 +138,14 @@ class CalendarQueue
         const Time::rep at = target.isInf() ? kInfRep : target.value();
         const Time::rep delta = at - now_;
         if (delta == 0) {
+            ST_OBS_ONLY(++statReadyPushes;)
             pushReady(id);
         } else if (delta <= ringMask_) {
+            ST_OBS_ONLY(++statRingPushes;)
             ring_[at & ringMask_].push_back(id);
             ++ringCount_;
         } else {
+            ST_OBS_ONLY(++statFarPushes;)
             far_.emplace(at, id);
         }
     }
@@ -156,6 +170,13 @@ class CalendarQueue
             scanWord_ * 64 +
             static_cast<size_t>(std::countr_zero(word)));
     }
+
+    // Local observation tallies (see advance()/schedule()); public so
+    // simulateEvents() can flush them into the metrics registry.
+    ST_OBS_ONLY(uint64_t statAdvances = 0; uint64_t statMaxDepth = 0;
+                uint64_t statReadyPushes = 0;
+                uint64_t statRingPushes = 0;
+                uint64_t statFarPushes = 0;)
 
   private:
     /** Ring sizes beyond this spill to the far heap instead. */
@@ -203,6 +224,7 @@ simulateEvents(const Circuit &circuit, std::span<const Time> inputs,
                                     "mismatch");
     if (horizon == 0)
         horizon = safeHorizon(circuit, inputs);
+    ST_TRACE_SPAN("grl.event_sim");
 
     const auto &gates = circuit.gates();
     const size_t n = gates.size();
@@ -230,11 +252,13 @@ simulateEvents(const Circuit &circuit, std::span<const Time> inputs,
 
     auto fallen = [&](WireId g) { return fall[g].isFinite(); };
 
+    ST_OBS_ONLY(uint64_t popped = 0; uint64_t fell = 0;)
     while (agenda.pending()) {
         const Time now = Time(agenda.advance());
 
         while (agenda.readyPending()) {
             WireId id = agenda.popReady();
+            ST_OBS_ONLY(++popped;)
             if (fallen(id))
                 continue;
 
@@ -271,6 +295,7 @@ simulateEvents(const Circuit &circuit, std::span<const Time> inputs,
             if (!falls)
                 continue;
 
+            ST_OBS_ONLY(++fell;)
             fall[id] = now;
             // The cached per-edge schedule offsets (stage count for
             // Delay consumers, 0 otherwise) keep this walk off the
@@ -285,6 +310,18 @@ simulateEvents(const Circuit &circuit, std::span<const Time> inputs,
             }
         }
     }
+
+    // Flush the run's tallies in one batch of registry records —
+    // nothing above this line touches an atomic for them.
+    ST_OBS_ONLY({
+        ST_OBS_ADD("grl.events.popped", popped);
+        ST_OBS_ADD("grl.events.fired", fell);
+        ST_OBS_ADD("grl.agenda.advances", agenda.statAdvances);
+        ST_OBS_ADD("grl.agenda.ready_pushes", agenda.statReadyPushes);
+        ST_OBS_ADD("grl.agenda.ring_pushes", agenda.statRingPushes);
+        ST_OBS_ADD("grl.agenda.far_pushes", agenda.statFarPushes);
+        ST_OBS_GAUGE_MAX("grl.agenda.max_depth", agenda.statMaxDepth);
+    })
 
     // Assemble the SimResult with the same accounting as the clocked
     // engine, derived arithmetically from the fall times.

@@ -1,0 +1,202 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace st::obs {
+
+namespace detail {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            c = ' ';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace detail
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Deliberately leaked: pool workers and atexit handlers may still
+    // record during static destruction, so the global registry must
+    // never die. The single block stays reachable through this
+    // pointer, so LeakSanitizer does not flag it.
+    static MetricsRegistry *reg = new MetricsRegistry;
+    return *reg;
+}
+
+MetricsRegistry::MetricInfo &
+MetricsRegistry::registerMetric(std::string_view name, Kind kind,
+                                uint32_t span)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto hit = index_.find(std::string(name));
+    if (hit != index_.end()) {
+        MetricInfo &info = metrics_[hit->second];
+        if (info.kind != kind) {
+            throw std::invalid_argument(
+                "obs: metric '" + info.name +
+                "' re-registered with a different kind");
+        }
+        return info;
+    }
+    if (span > 0 && nextSlot_ + span > kShardSlots) {
+        throw std::length_error(
+            "obs: shard slot budget exhausted (kShardSlots)");
+    }
+    MetricInfo info;
+    info.name = std::string(name);
+    info.kind = kind;
+    info.slot = nextSlot_;
+    nextSlot_ += span;
+    switch (kind) {
+      case Kind::Counter:
+        info.handle = counters_.size();
+        counters_.push_back(
+            std::unique_ptr<Counter>(new Counter(this, info.slot)));
+        break;
+      case Kind::Gauge:
+        info.handle = gauges_.size();
+        gauges_.push_back(std::unique_ptr<Gauge>(new Gauge()));
+        break;
+      case Kind::Histogram:
+        info.handle = histograms_.size();
+        histograms_.push_back(std::unique_ptr<Histogram>(
+            new Histogram(this, info.slot)));
+        break;
+    }
+    metrics_.push_back(std::move(info));
+    index_.emplace(metrics_.back().name, metrics_.size() - 1);
+    return metrics_.back();
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    return *counters_[registerMetric(name, Kind::Counter, 1).handle];
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    return *gauges_[registerMetric(name, Kind::Gauge, 0).handle];
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name)
+{
+    // Layout per histogram: [sum][buckets 0..64].
+    return *histograms_[registerMetric(name, Kind::Histogram,
+                                       1 + Histogram::kBuckets)
+                            .handle];
+}
+
+std::atomic<uint64_t> *
+MetricsRegistry::localSlotsSlow()
+{
+    Shard *shard;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        shards_.push_back(std::make_unique<Shard>());
+        shard = shards_.back().get();
+    }
+    tlsCache().push_back({id_, shard->slots});
+    return shard->slots;
+}
+
+uint64_t
+MetricsRegistry::sumSlot(uint32_t slot) const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->slots[slot].load(std::memory_order_relaxed);
+    return total;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    MetricsSnapshot snap;
+    for (const MetricInfo &info : metrics_) {
+        switch (info.kind) {
+          case Kind::Counter:
+            snap.counters.push_back({info.name, sumSlot(info.slot)});
+            break;
+          case Kind::Gauge:
+            snap.gauges.push_back(
+                {info.name, gauges_[info.handle]->value()});
+            break;
+          case Kind::Histogram: {
+            MetricsSnapshot::Hist h;
+            h.name = info.name;
+            h.sum = sumSlot(info.slot);
+            h.buckets.resize(Histogram::kBuckets);
+            for (uint32_t b = 0; b < Histogram::kBuckets; ++b) {
+                h.buckets[b] = sumSlot(info.slot + 1 + b);
+                h.count += h.buckets[b];
+            }
+            while (!h.buckets.empty() && h.buckets.back() == 0)
+                h.buckets.pop_back();
+            snap.histograms.push_back(std::move(h));
+            break;
+          }
+        }
+    }
+    return snap;
+}
+
+size_t
+MetricsRegistry::metricCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return metrics_.size();
+}
+
+void
+MetricsSnapshot::writeJson(std::ostream &out) const
+{
+    out << "{";
+    bool first = true;
+    auto scalar = [&](const Scalar &s) {
+        out << (first ? "" : ", ") << "\"" << detail::jsonEscape(s.name)
+            << "\": " << s.value;
+        first = false;
+    };
+    for (const Scalar &s : counters)
+        scalar(s);
+    for (const Scalar &s : gauges)
+        scalar(s);
+    out << (first ? "" : ", ") << "\"histograms\": {";
+    for (size_t i = 0; i < histograms.size(); ++i) {
+        const Hist &h = histograms[i];
+        out << (i ? ", " : "") << "\""
+            << detail::jsonEscape(h.name) << "\": {\"count\": "
+            << h.count << ", \"sum\": " << h.sum << ", \"buckets\": [";
+        for (size_t b = 0; b < h.buckets.size(); ++b)
+            out << (b ? ", " : "") << h.buckets[b];
+        out << "]}";
+    }
+    out << "}}";
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream out;
+    writeJson(out);
+    return out.str();
+}
+
+} // namespace st::obs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Instrumentation entry points: the ST_OBS_* / ST_TRACE_SPAN macros.
+ *
+ * Engine code records through these macros only, never through the
+ * registry API directly, so one build switch removes every
+ * instrumentation site: configuring with -DST_OBS_ENABLED=OFF (CMake
+ * option, default ON) defines the ST_OBS_ENABLED macro to 0 and every
+ * macro below compiles to nothing — the guarantee behind the
+ * "observation never perturbs computation" differential tests and the
+ * BENCH_obs.json overhead check.
+ *
+ * Counter/histogram/gauge macros resolve their handle once per call
+ * site (function-local static behind the registry mutex) and then pay
+ * one or two relaxed atomics per record. A disabled-at-runtime trace
+ * span costs a single relaxed load.
+ *
+ *   ST_OBS_ADD("eval.compile.cache_hit", 1);
+ *   ST_OBS_HIST("grl.agenda.ring_occupancy", ring_count);
+ *   ST_OBS_GAUGE_MAX("grl.agenda.max_depth", depth);
+ *   ST_TRACE_SPAN("st.compile");   // ends at scope exit
+ *
+ * ST_OBS_ONLY(code) keeps obs-supporting statements (local tallies,
+ * clock reads) out of the disabled build entirely.
+ */
+
+#ifndef ST_OBS_OBS_HPP
+#define ST_OBS_OBS_HPP
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef ST_OBS_ENABLED
+#define ST_OBS_ENABLED 1
+#endif
+
+#if ST_OBS_ENABLED
+
+#define ST_OBS_CAT2(a, b) a##b
+#define ST_OBS_CAT(a, b) ST_OBS_CAT2(a, b)
+
+/** Add @p n to the counter registered as @p name (static string). */
+#define ST_OBS_ADD(name, n)                                             \
+    do {                                                                \
+        static st::obs::Counter &st_obs_c =                             \
+            st::obs::MetricsRegistry::instance().counter(name);         \
+        st_obs_c.add(n);                                                \
+    } while (0)
+
+/** Record @p v into the power-of-two histogram @p name. */
+#define ST_OBS_HIST(name, v)                                            \
+    do {                                                                \
+        static st::obs::Histogram &st_obs_h =                           \
+            st::obs::MetricsRegistry::instance().histogram(name);       \
+        st_obs_h.record(v);                                             \
+    } while (0)
+
+/** Overwrite the gauge @p name with @p v. */
+#define ST_OBS_GAUGE_SET(name, v)                                       \
+    do {                                                                \
+        static st::obs::Gauge &st_obs_g =                               \
+            st::obs::MetricsRegistry::instance().gauge(name);           \
+        st_obs_g.set(v);                                                \
+    } while (0)
+
+/** Raise the gauge @p name to @p v if larger (high-watermark). */
+#define ST_OBS_GAUGE_MAX(name, v)                                       \
+    do {                                                                \
+        static st::obs::Gauge &st_obs_g =                               \
+            st::obs::MetricsRegistry::instance().gauge(name);           \
+        st_obs_g.setMax(v);                                             \
+    } while (0)
+
+/** Open a trace span covering the rest of the enclosing scope. */
+#define ST_TRACE_SPAN(name)                                             \
+    st::obs::ScopedSpan ST_OBS_CAT(st_obs_span_, __LINE__)(name)
+
+/** Emit @p ... only in instrumented builds. */
+#define ST_OBS_ONLY(...) __VA_ARGS__
+
+#else // !ST_OBS_ENABLED
+
+#define ST_OBS_ADD(name, n)                                             \
+    do {                                                                \
+    } while (0)
+#define ST_OBS_HIST(name, v)                                            \
+    do {                                                                \
+    } while (0)
+#define ST_OBS_GAUGE_SET(name, v)                                       \
+    do {                                                                \
+    } while (0)
+#define ST_OBS_GAUGE_MAX(name, v)                                       \
+    do {                                                                \
+    } while (0)
+#define ST_TRACE_SPAN(name)                                             \
+    do {                                                                \
+    } while (0)
+#define ST_OBS_ONLY(...)
+
+#endif // ST_OBS_ENABLED
+
+#endif // ST_OBS_OBS_HPP

@@ -1,0 +1,215 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "obs/metrics.hpp" // detail::jsonEscape
+
+namespace st::obs {
+
+namespace {
+
+/** atexit hook of the ST_TRACE=file flow. */
+void
+flushTraceAtExit()
+{
+    TraceSession &session = TraceSession::instance();
+    const std::string path = session.filePath();
+    if (!path.empty())
+        session.writeJsonFile(path);
+}
+
+/**
+ * Reads ST_TRACE once at process start. Lives in this TU so any
+ * binary that links a span (or the flush API) gets env activation
+ * without an explicit init call.
+ */
+struct TraceEnvInit
+{
+    TraceEnvInit()
+    {
+        const char *env = std::getenv("ST_TRACE");
+        if (env != nullptr && *env != '\0')
+            TraceSession::instance().enable(env);
+    }
+};
+
+TraceEnvInit trace_env_init;
+
+} // namespace
+
+TraceSession &
+TraceSession::instance()
+{
+    // Immortal for the same reason as MetricsRegistry::instance().
+    static TraceSession *session = new TraceSession;
+    return *session;
+}
+
+void
+TraceSession::enable(std::string path)
+{
+    bool arm_atexit = false;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (baseNs_ == 0)
+            baseNs_ = traceNowNs();
+        if (!path.empty() && path_.empty()) {
+            path_ = std::move(path);
+            arm_atexit = true;
+        }
+    }
+    if (arm_atexit)
+        std::atexit(flushTraceAtExit);
+    detail::g_trace_on.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::disable()
+{
+    detail::g_trace_on.store(false, std::memory_order_relaxed);
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const auto &log : logs_) {
+        std::lock_guard<std::mutex> log_guard(log->mutex);
+        log->ring.clear();
+        log->head = 0;
+        log->dropped = 0;
+    }
+}
+
+size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    size_t n = 0;
+    for (const auto &log : logs_) {
+        std::lock_guard<std::mutex> log_guard(log->mutex);
+        n += log->ring.size();
+    }
+    return n;
+}
+
+size_t
+TraceSession::droppedEvents() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    size_t n = 0;
+    for (const auto &log : logs_) {
+        std::lock_guard<std::mutex> log_guard(log->mutex);
+        n += log->dropped;
+    }
+    return n;
+}
+
+std::string
+TraceSession::filePath() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return path_;
+}
+
+TraceSession::ThreadLog &
+TraceSession::localLog()
+{
+    thread_local ThreadLog *tls_log = nullptr;
+    // One session per process, so a plain per-thread pointer works; a
+    // fresh thread registers its log under the session mutex once.
+    if (tls_log == nullptr) {
+        auto fresh = std::make_unique<ThreadLog>();
+        std::lock_guard<std::mutex> guard(mutex_);
+        fresh->tid = static_cast<uint32_t>(logs_.size());
+        logs_.push_back(std::move(fresh));
+        tls_log = logs_.back().get();
+    }
+    return *tls_log;
+}
+
+void
+TraceSession::record(const char *name, uint64_t start_ns,
+                     uint64_t end_ns)
+{
+    ThreadLog &log = localLog();
+    std::lock_guard<std::mutex> guard(log.mutex);
+    TraceEvent event{name, start_ns, end_ns - start_ns};
+    if (log.ring.size() < kRingCap) {
+        log.ring.push_back(event);
+    } else {
+        log.ring[log.head] = event;
+        log.head = (log.head + 1) % kRingCap;
+        ++log.dropped;
+    }
+}
+
+void
+TraceSession::writeJson(std::ostream &out) const
+{
+    // Copy everything under the locks first so serialization does not
+    // stall the tracers.
+    struct ThreadDump
+    {
+        uint32_t tid;
+        std::vector<TraceEvent> events;
+    };
+    std::vector<ThreadDump> dump;
+    uint64_t base;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        base = baseNs_;
+        dump.reserve(logs_.size());
+        for (const auto &log : logs_) {
+            std::lock_guard<std::mutex> log_guard(log->mutex);
+            dump.push_back({log->tid, log->ring});
+        }
+    }
+
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": 0, \"args\": {\"name\": \"spacetime\"}}";
+    auto us = [&](uint64_t ns) {
+        // Whole-microsecond ts keeps the output exact (no float
+        // rounding) and monotone after the per-thread sort.
+        return (ns - base) / 1000;
+    };
+    for (ThreadDump &t : dump) {
+        out << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", "
+               "\"pid\": 1, \"tid\": "
+            << t.tid << ", \"args\": {\"name\": \"st-thread-" << t.tid
+            << "\"}}";
+        std::stable_sort(t.events.begin(), t.events.end(),
+                         [](const TraceEvent &a, const TraceEvent &b) {
+                             return a.startNs < b.startNs;
+                         });
+        for (const TraceEvent &e : t.events) {
+            out << ",\n  {\"name\": \""
+                << detail::jsonEscape(e.name)
+                << "\", \"cat\": \"st\", \"ph\": \"X\", \"pid\": 1, "
+                   "\"tid\": "
+                << t.tid << ", \"ts\": " << us(e.startNs)
+                << ", \"dur\": " << std::max<uint64_t>(e.durNs / 1000, 1)
+                << "}";
+        }
+    }
+    out << "\n]}\n";
+}
+
+bool
+TraceSession::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "obs: cannot write trace file " << path << "\n";
+        return false;
+    }
+    writeJson(out);
+    return true;
+}
+
+} // namespace st::obs

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Scoped-span tracing with Chrome trace-event JSON export.
+ *
+ * ST_TRACE_SPAN("compile") (obs/obs.hpp) drops a ScopedSpan on the
+ * stack; when tracing is enabled its destructor records one complete
+ * ("ph":"X") event into the calling thread's ring buffer. Buffers are
+ * flushed to the Chrome trace-event JSON format, loadable in
+ * chrome://tracing and Perfetto (ui.perfetto.dev), with one track per
+ * thread.
+ *
+ * Enablement is runtime: exporting ST_TRACE=out.json turns tracing on
+ * at process start and registers an atexit flush to that path (see
+ * trace.cpp); tests and benches can instead call enable()/writeJson()
+ * directly. When tracing is off a span costs exactly one relaxed
+ * atomic load — cheap enough to leave spans in per-volley paths.
+ *
+ * The recording side takes a per-thread mutex per completed span (a
+ * span is a coarse unit — a compile, a batch, an event-sim run — so
+ * an uncontended lock is noise); the mutex exists so a concurrent
+ * flush can drain buffers race-free while pool workers keep tracing.
+ * Ring buffers cap memory: past kRingCap events per thread the oldest
+ * events are overwritten and counted as dropped.
+ *
+ * Flush sorts each thread's events by start time, so the emitted
+ * "ts" sequence is monotone per "tid" — the invariant the golden test
+ * in tests/obs_test.cpp locks down.
+ */
+
+#ifndef ST_OBS_TRACE_HPP
+#define ST_OBS_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace st::obs {
+
+namespace detail {
+
+/** Global on/off flag read (relaxed) by every span constructor. */
+inline std::atomic<bool> g_trace_on{false};
+
+} // namespace detail
+
+/** Monotonic wall clock in nanoseconds (steady_clock). */
+inline uint64_t
+traceNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** One completed span (name must be a static string). */
+struct TraceEvent
+{
+    const char *name;
+    uint64_t startNs;
+    uint64_t durNs;
+};
+
+/**
+ * Process-wide trace collector. Like MetricsRegistry::instance() the
+ * singleton is immortal, so spans on pool workers stay safe during
+ * static destruction.
+ */
+class TraceSession
+{
+  public:
+    /** Events kept per thread before the ring starts dropping. */
+    static constexpr size_t kRingCap = size_t{1} << 15;
+
+    static TraceSession &instance();
+
+    /**
+     * Start capturing spans. @p path, if nonempty, is written by an
+     * atexit handler (the ST_TRACE=file flow); pass "" when the
+     * caller will flush explicitly via writeJson().
+     */
+    void enable(std::string path = "");
+
+    /** Stop capturing (already-buffered events are kept). */
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return detail::g_trace_on.load(std::memory_order_relaxed);
+    }
+
+    /** Drop every buffered event (test isolation). */
+    void clear();
+
+    /** Buffered event count across all threads. */
+    size_t eventCount() const;
+
+    /** Events lost to ring overwrite across all threads. */
+    size_t droppedEvents() const;
+
+    /**
+     * Emit everything buffered as Chrome trace-event JSON. Events are
+     * copied under the buffer locks and left in place, so tracing may
+     * continue afterwards. Per thread, events are sorted by start
+     * time (monotone "ts" per "tid").
+     */
+    void writeJson(std::ostream &out) const;
+
+    /** writeJson() to @p path; false (with a stderr note) on I/O error. */
+    bool writeJsonFile(const std::string &path) const;
+
+    /** The atexit flush destination ("" when none). */
+    std::string filePath() const;
+
+    /** Called by ~ScopedSpan; records into the thread's ring. */
+    void record(const char *name, uint64_t start_ns, uint64_t end_ns);
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+  private:
+    TraceSession() = default;
+
+    struct ThreadLog
+    {
+        std::mutex mutex;
+        uint32_t tid = 0;
+        std::vector<TraceEvent> ring;
+        size_t head = 0;     //!< overwrite cursor once full
+        uint64_t dropped = 0;
+    };
+
+    ThreadLog &localLog();
+
+    mutable std::mutex mutex_; //!< guards logs_, path_, baseNs_
+    std::vector<std::unique_ptr<ThreadLog>> logs_;
+    std::string path_;
+    uint64_t baseNs_ = 0; //!< ts origin: first enable()
+};
+
+/**
+ * RAII span: measures construction-to-destruction when tracing is
+ * enabled at construction time, otherwise does nothing.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name)
+    {
+        if (detail::g_trace_on.load(std::memory_order_relaxed)) {
+            name_ = name;
+            start_ = traceNowNs();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (name_ != nullptr)
+            TraceSession::instance().record(name_, start_,
+                                            traceNowNs());
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    uint64_t start_ = 0;
+};
+
+} // namespace st::obs
+
+#endif // ST_OBS_TRACE_HPP

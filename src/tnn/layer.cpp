@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "neuron/wta.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace st {
@@ -177,6 +178,15 @@ Column::processInto(std::span<const Time> inputs, Volley &out) const
         applyWtaInPlace(out, params_.wtaTau);
     if (params_.wtaK > 0)
         applyKWtaInPlace(out, params_.wtaK);
+    // Post-inhibition spike economics — the quantity the paper's
+    // Fig. 16 energy argument counts. One O(neurons) scan per volley.
+    ST_OBS_ONLY({
+        uint64_t spikes = 0;
+        for (const Time &t : out)
+            spikes += t.isFinite();
+        ST_OBS_ADD("tnn.spikes", spikes);
+        ST_OBS_HIST("tnn.spikes_per_volley", spikes);
+    })
 }
 
 std::optional<TrainEvent>
@@ -228,6 +238,8 @@ Column::trainStep(std::span<const Time> inputs, const StdpRule &rule)
         ++winCount_[event->neuron];
         rule.update(weights_[event->neuron], inputs, event->spike);
         invalidateModel(event->neuron);
+        ST_OBS_ADD("tnn.weight_updates", 1);
+        ST_OBS_HIST("tnn.wta.winner", event->neuron);
     }
     return result;
 }
@@ -236,6 +248,8 @@ size_t
 Column::trainBatch(std::span<const Volley> inputs, const StdpRule &rule,
                    size_t nthreads)
 {
+    ST_TRACE_SPAN("tnn.train_batch");
+    ST_OBS_ADD("tnn.train_samples", inputs.size());
     // Phase 1 (parallel, read-only): pick every sample's winner
     // against the batch-start weights and fatigue counters. The
     // model cache is shared and safe under concurrent readers.
@@ -264,7 +278,9 @@ Column::trainBatch(std::span<const Volley> inputs, const StdpRule &rule,
         rule.update(weights_[event.neuron], inputs[event.sample],
                     event.spike);
         invalidateModel(event.neuron);
+        ST_OBS_HIST("tnn.wta.winner", event.neuron);
     }
+    ST_OBS_ADD("tnn.weight_updates", merged.size());
     return merged.size();
 }
 

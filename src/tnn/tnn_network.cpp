@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace st {
@@ -68,9 +69,21 @@ TnnNetwork::processBatchUpTo(std::span<const Volley> inputs, size_t upto,
 {
     if (upto > layers_.size())
         throw std::out_of_range("TnnNetwork: layer index out of range");
+    ST_TRACE_SPAN("tnn.process_batch");
     std::vector<Volley> out(inputs.size());
     size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
                                  : nthreads;
+    // Per-layer spike counters, resolved once per batch (the name
+    // lookup takes the registry mutex) and then one relaxed add per
+    // (volley, layer) inside the lanes.
+    ST_OBS_ONLY(std::vector<obs::Counter *> layer_spikes;
+                layer_spikes.reserve(upto);
+                for (size_t l = 0; l < upto; ++l) {
+                    layer_spikes.push_back(
+                        &obs::MetricsRegistry::instance().counter(
+                            "tnn.layer" + std::to_string(l) +
+                            ".spikes"));
+                })
     // Volleys are independent; each lane writes only its own output
     // slots, so the batch result matches the serial loop exactly. The
     // per-lane scratch buffers keep layer-to-layer handoff free of
@@ -83,6 +96,12 @@ TnnNetwork::processBatchUpTo(std::span<const Volley> inputs, size_t upto,
             for (size_t l = 0; l < upto; ++l) {
                 layers_[l].processInto(s.cur, s.next);
                 std::swap(s.cur, s.next);
+                ST_OBS_ONLY({
+                    uint64_t spikes = 0;
+                    for (const Time &t : s.cur)
+                        spikes += t.isFinite();
+                    layer_spikes[l]->add(spikes);
+                })
             }
             out[i] = std::move(s.cur);
         },
@@ -115,6 +134,7 @@ TnnNetwork::trainLayerBatched(size_t layer_index,
 {
     if (layer_index >= layers_.size())
         throw std::out_of_range("TnnNetwork: layer index out of range");
+    ST_TRACE_SPAN("tnn.train_layer");
     size_t fired = 0;
     for (size_t e = 0; e < epochs; ++e) {
         std::vector<Volley> feed =

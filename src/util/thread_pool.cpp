@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/obs.hpp"
+
 namespace st {
 
 namespace {
@@ -41,6 +43,7 @@ ThreadPool::post(Task task)
         task();
         return;
     }
+    ST_OBS_ADD("pool.posted", 1);
     size_t q = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
                queues_.size();
     {
@@ -76,6 +79,7 @@ ThreadPool::tryPop(size_t self, Task &out)
             out = std::move(victim.tasks.front());
             victim.tasks.pop_front();
             pending_.fetch_sub(1, std::memory_order_acq_rel);
+            ST_OBS_ADD("pool.steals", 1);
             return true;
         }
     }
@@ -86,17 +90,34 @@ void
 ThreadPool::workerLoop(size_t self)
 {
     tls_on_worker = true;
+    // Per-worker busy-time counter: the name is built once per worker
+    // thread, then every task pays one clock pair and one relaxed add.
+    ST_OBS_ONLY(
+        obs::Counter &busy = obs::MetricsRegistry::instance().counter(
+            "pool.worker" + std::to_string(self) + ".busy_ns");)
     for (;;) {
         Task task;
         if (tryPop(self, task)) {
-            task();
+            ST_OBS_ONLY(const uint64_t t0 = obs::traceNowNs();)
+            {
+                ST_TRACE_SPAN("pool.task");
+                task();
+            }
+            ST_OBS_ONLY({
+                const uint64_t dt = obs::traceNowNs() - t0;
+                busy.add(dt);
+                ST_OBS_ADD("pool.tasks", 1);
+                ST_OBS_ADD("pool.busy_ns", dt);
+            })
             continue;
         }
+        ST_OBS_ADD("pool.parks", 1);
         std::unique_lock<std::mutex> lock(sleepMutex_);
         wake_.wait(lock, [this] {
             return stop_.load(std::memory_order_acquire) ||
                    pending_.load(std::memory_order_acquire) > 0;
         });
+        ST_OBS_ADD("pool.unparks", 1);
         if (stop_.load(std::memory_order_acquire))
             return;
     }
@@ -112,6 +133,7 @@ ThreadPool::runChunks(const std::shared_ptr<ForState> &state)
             return;
         size_t lo = state->begin + c * state->chunkSize;
         size_t hi = std::min(state->end, lo + state->chunkSize);
+        ST_OBS_ADD("pool.chunks", 1);
         try {
             for (size_t i = lo; i < hi; ++i)
                 (*state->body)(i);
@@ -150,6 +172,8 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
             body(i);
         return;
     }
+    ST_TRACE_SPAN("pool.parallel_for");
+    ST_OBS_ADD("pool.parallel_for.calls", 1);
 
     // Fixed chunk layout: ~4 chunks per runner for stealing slack,
     // never below the grain. Depends only on the arguments, so the

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Differential guard: instrumentation must be observationally inert.
+ * Every engine output — compiled evaluation, event-driven GRL
+ * simulation, STDP training — must be bit-identical whether tracing
+ * is enabled or disabled while counters accumulate underneath. This
+ * is the invariant that lets the obs layer default to ON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/network.hpp"
+#include "grl/compile.hpp"
+#include "grl/event_sim.hpp"
+#include "neuron/srm0_network.hpp"
+#include "neuron/wta.hpp"
+#include "obs/trace.hpp"
+#include "tnn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace st {
+namespace {
+
+/** Run @p body twice — tracing off, then on — and return both. */
+template <typename Fn>
+auto
+withTracingOffThenOn(Fn body)
+{
+    obs::TraceSession &session = obs::TraceSession::instance();
+    const bool was_enabled = session.enabled();
+    session.disable();
+    auto off = body();
+    session.enable();
+    auto on = body();
+    session.disable();
+    session.clear();
+    if (was_enabled)
+        session.enable();
+    return std::pair{std::move(off), std::move(on)};
+}
+
+std::vector<std::vector<Time>>
+randomVolleys(size_t count, size_t width, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<Time>> volleys(count);
+    for (auto &x : volleys) {
+        x.resize(width);
+        for (Time &v : x)
+            v = rng.chance(0.2) ? INF : Time(rng.below(10));
+    }
+    return volleys;
+}
+
+TEST(ObsGuard, CompiledEvalIdenticalUnderTracing)
+{
+    std::vector<ResponseFunction> syn(
+        6, ResponseFunction::biexponential(3, 4.0, 1.0));
+    Network net = buildSrm0Network(syn, 6);
+    auto volleys = randomVolleys(200, 6, 77);
+
+    auto [off, on] = withTracingOffThenOn([&] {
+        std::vector<std::vector<Time>> out;
+        for (const auto &x : volleys)
+            out.push_back(net.evaluate(x));
+        return out;
+    });
+    EXPECT_EQ(off, on);
+
+    // The batch engine too (it carries the eval.batch span).
+    auto [boff, bon] = withTracingOffThenOn(
+        [&] { return net.evaluateBatch(volleys, 4); });
+    EXPECT_EQ(boff, bon);
+    EXPECT_EQ(boff, off);
+}
+
+TEST(ObsGuard, EventSimIdenticalUnderTracing)
+{
+    Network net = wtaNetwork(16, 1);
+    grl::CompileResult compiled = grl::compileToGrl(net);
+    auto volleys = randomVolleys(50, 16, 78);
+
+    auto [off, on] = withTracingOffThenOn([&] {
+        std::vector<std::vector<Time>> outs;
+        uint64_t transitions = 0;
+        for (const auto &x : volleys) {
+            grl::SimResult sim =
+                grl::simulateEvents(compiled.circuit, x);
+            outs.push_back(sim.outputs);
+            transitions += sim.totalInternalTransitions();
+        }
+        return std::pair{outs, transitions};
+    });
+    EXPECT_EQ(off.first, on.first);
+    EXPECT_EQ(off.second, on.second);
+}
+
+TEST(ObsGuard, StdpTrainingIdenticalUnderTracing)
+{
+    ColumnParams cp;
+    cp.numInputs = 16;
+    cp.numNeurons = 8;
+    cp.threshold = 12;
+    cp.fatigue = 8;
+    cp.seed = 99;
+    SimplifiedStdp rule(0.06, 0.045);
+    auto raw = randomVolleys(64, 16, 79);
+    std::vector<Volley> data;
+    for (auto &x : raw)
+        data.emplace_back(x.begin(), x.end());
+
+    auto [off, on] = withTracingOffThenOn([&] {
+        Column col(cp);
+        col.trainBatch(data, rule, 4);
+        std::vector<std::vector<double>> weights;
+        for (size_t j = 0; j < cp.numNeurons; ++j)
+            weights.push_back(col.weights(j));
+        return weights;
+    });
+    EXPECT_EQ(off, on);
+}
+
+} // namespace
+} // namespace st
