@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <cassert>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -36,12 +37,12 @@ MetricsRegistry::instance()
     return *reg;
 }
 
-MetricsRegistry::MetricInfo &
+void *
 MetricsRegistry::registerMetric(std::string_view name, Kind kind,
                                 uint32_t span)
 {
     std::lock_guard<std::mutex> guard(mutex_);
-    auto hit = index_.find(std::string(name));
+    auto hit = index_.find(name);
     if (hit != index_.end()) {
         MetricInfo &info = metrics_[hit->second];
         if (info.kind != kind) {
@@ -49,7 +50,9 @@ MetricsRegistry::registerMetric(std::string_view name, Kind kind,
                 "obs: metric '" + info.name +
                 "' re-registered with a different kind");
         }
-        return info;
+        assert(info.span == span &&
+               "obs: metric re-registered with a different span");
+        return info.obj;
     }
     if (span > 0 && nextSlot_ + span > kShardSlots) {
         throw std::length_error(
@@ -59,47 +62,54 @@ MetricsRegistry::registerMetric(std::string_view name, Kind kind,
     info.name = std::string(name);
     info.kind = kind;
     info.slot = nextSlot_;
+    info.span = span;
     nextSlot_ += span;
     switch (kind) {
-      case Kind::Counter:
-        info.handle = counters_.size();
-        counters_.push_back(
-            std::unique_ptr<Counter>(new Counter(this, info.slot)));
+      case Kind::Counter: {
+        auto owned =
+            std::unique_ptr<Counter>(new Counter(this, info.slot));
+        info.obj = owned.get();
+        counters_.push_back(std::move(owned));
         break;
-      case Kind::Gauge:
-        info.handle = gauges_.size();
-        gauges_.push_back(std::unique_ptr<Gauge>(new Gauge()));
+      }
+      case Kind::Gauge: {
+        auto owned = std::unique_ptr<Gauge>(new Gauge());
+        info.obj = owned.get();
+        gauges_.push_back(std::move(owned));
         break;
-      case Kind::Histogram:
-        info.handle = histograms_.size();
-        histograms_.push_back(std::unique_ptr<Histogram>(
-            new Histogram(this, info.slot)));
+      }
+      case Kind::Histogram: {
+        auto owned = std::unique_ptr<Histogram>(
+            new Histogram(this, info.slot));
+        info.obj = owned.get();
+        histograms_.push_back(std::move(owned));
         break;
+      }
     }
     metrics_.push_back(std::move(info));
     index_.emplace(metrics_.back().name, metrics_.size() - 1);
-    return metrics_.back();
+    return metrics_.back().obj;
 }
 
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
-    return *counters_[registerMetric(name, Kind::Counter, 1).handle];
+    return *static_cast<Counter *>(
+        registerMetric(name, Kind::Counter, 1));
 }
 
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
-    return *gauges_[registerMetric(name, Kind::Gauge, 0).handle];
+    return *static_cast<Gauge *>(registerMetric(name, Kind::Gauge, 0));
 }
 
 Histogram &
 MetricsRegistry::histogram(std::string_view name)
 {
     // Layout per histogram: [sum][buckets 0..64].
-    return *histograms_[registerMetric(name, Kind::Histogram,
-                                       1 + Histogram::kBuckets)
-                            .handle];
+    return *static_cast<Histogram *>(registerMetric(
+        name, Kind::Histogram, 1 + Histogram::kBuckets));
 }
 
 std::atomic<uint64_t> *
@@ -136,7 +146,8 @@ MetricsRegistry::snapshot() const
             break;
           case Kind::Gauge:
             snap.gauges.push_back(
-                {info.name, gauges_[info.handle]->value()});
+                {info.name,
+                 static_cast<const Gauge *>(info.obj)->value()});
             break;
           case Kind::Histogram: {
             MetricsSnapshot::Hist h;
@@ -167,18 +178,23 @@ MetricsRegistry::metricCount() const
 void
 MetricsSnapshot::writeJson(std::ostream &out) const
 {
-    out << "{";
-    bool first = true;
-    auto scalar = [&](const Scalar &s) {
-        out << (first ? "" : ", ") << "\"" << detail::jsonEscape(s.name)
-            << "\": " << s.value;
-        first = false;
+    // Counters and gauges each get their own sub-object so a metric
+    // name can never collide with the structural "histograms" key.
+    auto scalars = [&](const char *key,
+                       const std::vector<Scalar> &group) {
+        out << "\"" << key << "\": {";
+        for (size_t i = 0; i < group.size(); ++i) {
+            out << (i ? ", " : "") << "\""
+                << detail::jsonEscape(group[i].name)
+                << "\": " << group[i].value;
+        }
+        out << "}";
     };
-    for (const Scalar &s : counters)
-        scalar(s);
-    for (const Scalar &s : gauges)
-        scalar(s);
-    out << (first ? "" : ", ") << "\"histograms\": {";
+    out << "{";
+    scalars("counters", counters);
+    out << ", ";
+    scalars("gauges", gauges);
+    out << ", \"histograms\": {";
     for (size_t i = 0; i < histograms.size(); ++i) {
         const Hist &h = histograms[i];
         out << (i ? ", " : "") << "\""

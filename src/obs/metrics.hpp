@@ -37,6 +37,7 @@
 #include <bit>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -61,6 +62,22 @@ std::string jsonEscape(std::string_view s);
  * allocator placed at the same address.
  */
 inline std::atomic<uint64_t> g_registry_ids{0};
+
+/**
+ * Transparent string hash so the registry's name index can be probed
+ * with a std::string_view directly — registration hits (every call
+ * site after its first) allocate nothing.
+ */
+struct TransparentStringHash
+{
+    using is_transparent = void;
+
+    size_t
+    operator()(std::string_view s) const noexcept
+    {
+        return std::hash<std::string_view>{}(s);
+    }
+};
 
 } // namespace detail
 
@@ -185,9 +202,10 @@ struct MetricsSnapshot
     std::vector<Hist> histograms;
 
     /**
-     * Serialize as one JSON object: counters and gauges flat
-     * (name -> value) plus a "histograms" sub-object mapping name ->
-     * {count, sum, buckets}. This is the object bench --json embeds
+     * Serialize as one JSON object with three sub-objects keyed
+     * "counters", "gauges" (name -> value) and "histograms" (name ->
+     * {count, sum, buckets}), so metric names can never collide with
+     * the structural keys. This is the object bench --json embeds
      * under "metrics".
      */
     void writeJson(std::ostream &out) const;
@@ -244,8 +262,9 @@ class MetricsRegistry
     {
         std::string name;
         Kind kind;
-        uint32_t slot;   //!< shard slot base (unused for gauges)
-        size_t handle;   //!< index into the kind's handle deque
+        uint32_t slot; //!< shard slot base (unused for gauges)
+        uint32_t span; //!< shard slots consumed (0 for gauges)
+        void *obj;     //!< the Counter/Gauge/Histogram, per kind
     };
 
     struct TlsEntry
@@ -274,15 +293,26 @@ class MetricsRegistry
     }
 
     std::atomic<uint64_t> *localSlotsSlow();
-    MetricInfo &registerMetric(std::string_view name, Kind kind,
-                               uint32_t span);
+
+    /**
+     * Find-or-create under mutex_ and return the metric *object*
+     * pointer, resolved while the lock is still held. Callers must
+     * not touch metrics_/index_ or the handle deques themselves: a
+     * concurrent registration may reallocate metrics_ and mutate the
+     * deques, so only the returned object (stable, unique_ptr-owned)
+     * is safe to use after the lock is released.
+     */
+    void *registerMetric(std::string_view name, Kind kind,
+                         uint32_t span);
     uint64_t sumSlot(uint32_t slot) const;
 
     const uint64_t id_ =
         detail::g_registry_ids.fetch_add(1, std::memory_order_relaxed);
     mutable std::mutex mutex_;
     std::vector<MetricInfo> metrics_;
-    std::unordered_map<std::string, size_t> index_;
+    std::unordered_map<std::string, size_t,
+                       detail::TransparentStringHash, std::equal_to<>>
+        index_;
     std::deque<std::unique_ptr<Counter>> counters_;
     std::deque<std::unique_ptr<Gauge>> gauges_;
     std::deque<std::unique_ptr<Histogram>> histograms_;

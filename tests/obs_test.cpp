@@ -175,12 +175,72 @@ TEST(MetricsSnapshot, JsonShape)
     reg.gauge("depth").set(7);
     reg.histogram("ring").record(2);
     std::string json = reg.snapshot().toJson();
-    EXPECT_NE(json.find("\"runs\": 3"), std::string::npos);
-    EXPECT_NE(json.find("\"depth\": 7"), std::string::npos);
+    // Counters and gauges live in their own sub-objects, not flat
+    // next to "histograms".
+    EXPECT_NE(json.find("\"counters\": {\"runs\": 3}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"gauges\": {\"depth\": 7}"),
+              std::string::npos);
     EXPECT_NE(json.find("\"histograms\": {\"ring\""), std::string::npos);
     EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsSnapshot, ReservedNamesCannotShadowStructuralKeys)
+{
+    // A metric named like a structural key serializes inside its own
+    // sub-object, so the top-level object never has duplicate keys.
+    MetricsRegistry reg;
+    reg.counter("histograms").add(1);
+    reg.gauge("counters").set(2);
+    reg.histogram("gauges").record(3);
+    std::string json = reg.snapshot().toJson();
+    EXPECT_NE(json.find("\"counters\": {\"histograms\": 1}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"gauges\": {\"counters\": 2}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"histograms\": {\"gauges\""),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationIsRaceFree)
+{
+    // Regression for the handle-resolution race: counter() must
+    // resolve its object pointer while the registry mutex is held,
+    // because a concurrent registration reallocates the metric table
+    // and mutates the handle deques. This mirrors pool startup, where
+    // every worker registers its own "pool.workerN.busy_ns" counter
+    // at the same moment.
+    for (size_t nthreads : {2u, 4u, 8u}) {
+        MetricsRegistry reg;
+        constexpr uint64_t kAdds = 1000;
+        std::vector<std::thread> workers;
+        for (size_t t = 0; t < nthreads; ++t) {
+            workers.emplace_back([&reg, t] {
+                Counter &own = reg.counter(
+                    "worker" + std::to_string(t) + ".busy");
+                Counter &shared = reg.counter("shared.hits");
+                for (uint64_t i = 0; i < kAdds; ++i) {
+                    own.add();
+                    shared.add();
+                }
+            });
+        }
+        for (std::thread &w : workers)
+            w.join();
+        MetricsSnapshot snap = reg.snapshot();
+        ASSERT_EQ(snap.counters.size(), nthreads + 1);
+        uint64_t shared_total = 0, own_total = 0;
+        for (const auto &c : snap.counters) {
+            if (c.name == "shared.hits")
+                shared_total = c.value;
+            else
+                own_total += c.value;
+        }
+        EXPECT_EQ(shared_total, nthreads * kAdds);
+        EXPECT_EQ(own_total, nthreads * kAdds);
+    }
 }
 
 TEST(MetricsRegistry, SlotBudgetExhaustionThrows)
