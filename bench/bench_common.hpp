@@ -35,6 +35,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -147,16 +148,23 @@ jsonEscape(std::string_view s)
     return out;
 }
 
-/** Write the accumulated records + engine metrics to jsonPath(). */
+/**
+ * Write the accumulated records + engine metrics to jsonPath().
+ *
+ * The write is atomic: the report goes to <path>.tmp and is renamed
+ * over <path> only after a successful close, so an interrupted or
+ * crashed bench never leaves a truncated JSON for the CI perf-smoke
+ * parser — the old report (or no file) survives instead.
+ */
 inline void
 writeJsonReport()
 {
     if (jsonPath().empty())
         return;
-    std::ofstream out(jsonPath());
+    const std::string tmp = jsonPath() + ".tmp";
+    std::ofstream out(tmp);
     if (!out) {
-        std::cerr << "bench: cannot write --json file " << jsonPath()
-                  << "\n";
+        std::cerr << "bench: cannot write --json file " << tmp << "\n";
         return;
     }
     out << "{\n  \"smoke\": " << (smokeMode() ? "true" : "false")
@@ -182,6 +190,17 @@ writeJsonReport()
     out << "\n  ],\n  \"metrics\": ";
     obs::MetricsRegistry::instance().snapshot().writeJson(out);
     out << "\n}\n";
+    out.close();
+    if (!out) {
+        std::cerr << "bench: error writing --json file " << tmp << "\n";
+        std::remove(tmp.c_str());
+        return;
+    }
+    if (std::rename(tmp.c_str(), jsonPath().c_str()) != 0) {
+        std::cerr << "bench: cannot rename " << tmp << " to "
+                  << jsonPath() << "\n";
+        std::remove(tmp.c_str());
+    }
 }
 
 /**

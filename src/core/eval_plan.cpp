@@ -558,6 +558,7 @@ buildEvalPlan(const Network &net)
             break;
           case Op::Config:
             pushInstr(prog, PlanOp::Config, static_cast<uint32_t>(i));
+            plan.configNodes.push_back(i);
             break;
           case Op::Inc:
             // A live inc (an output tap): 1-ary min over its chain.

@@ -134,6 +134,15 @@ struct EvalPlan
     size_t numNodes = 0;  //!< node count the plan was built from
     size_t numInputs = 0; //!< input arity
     size_t deadNodes = 0; //!< nodes dropped by DCE
+    /**
+     * Node ids of the live program's Config instructions. Config
+     * values are read live (setConfig never invalidates a plan), so
+     * consumers that care — e.g. the runtime causality guard, which a
+     * finite config value would trip spuriously because configured
+     * constants fall independently of the input volley — must rescan
+     * these nodes per use, not bake a flag in at build time.
+     */
+    std::vector<uint32_t> configNodes;
     /** Inc hops folded into operand edges (a chain shared by several
      *  consumers counts once per consuming edge). */
     size_t fusedIncs = 0;

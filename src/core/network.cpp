@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "core/eval_plan.hpp"
+#include "core/properties.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -315,6 +318,25 @@ threadScratch()
     return scratch;
 }
 
+/**
+ * True iff any of the plan's live Config nodes currently holds a
+ * finite value. A finite configured constant legitimately produces
+ * output spikes earlier than any input, so the runtime causality guard
+ * only applies to config-free (or all-inf-config) evaluations. Config
+ * values are live (setConfig does not recompile), hence the per-call
+ * rescan of the — typically tiny — configNodes list.
+ */
+bool
+hasFiniteConfig(std::span<const Node> nodes,
+                std::span<const uint32_t> config_nodes)
+{
+    for (uint32_t id : config_nodes) {
+        if (nodes[id].configValue.isFinite())
+            return true;
+    }
+    return false;
+}
+
 } // namespace
 
 std::vector<Time>
@@ -333,11 +355,19 @@ Network::evaluateInto(std::span<const Time> inputs, EvalScratch &scratch,
 {
     if (inputs.size() != numInputs_)
         throw std::invalid_argument("Network: evaluate arity mismatch");
-    const EvalProgram &prog = compile().live;
+    const EvalPlan &plan = compile();
+    const EvalProgram &prog = plan.live;
     prog.run(nodes_, inputs, scratch.values);
     out.resize(prog.outSlot.size());
     for (size_t k = 0; k < prog.outSlot.size(); ++k)
         out[k] = scratch.values[prog.outSlot[k]];
+    if (fault::guardActive(fault::kGuardCausality) &&
+        !hasFiniteConfig(nodes_, plan.configNodes)) {
+        PropertyReport r = checkCausalityObserved(inputs, out);
+        if (!r.holds)
+            fault::reportViolation("causality", "core.evaluate",
+                                   r.counterexample);
+    }
 }
 
 std::vector<Time>
@@ -361,7 +391,11 @@ Network::evaluateBatch(std::span<const std::vector<Time>> batch,
     // every thread count.
     ST_TRACE_SPAN("eval.batch");
     ST_OBS_ADD("eval.batch.volleys", batch.size());
-    const EvalProgram &prog = compile().live;
+    const EvalPlan &plan = compile();
+    const EvalProgram &prog = plan.live;
+    const bool guard_causality =
+        fault::guardActive(fault::kGuardCausality) &&
+        !hasFiniteConfig(nodes_, plan.configNodes);
     std::vector<std::vector<Time>> out(batch.size());
     const size_t blocks =
         (batch.size() + kEvalBlockLanes - 1) / kEvalBlockLanes;
@@ -388,6 +422,17 @@ Network::evaluateBatch(std::span<const std::vector<Time>> batch,
                     o[k] = scratch.values[size_t{prog.outSlot[k]} *
                                               count +
                                           l];
+                }
+                if (guard_causality) {
+                    PropertyReport r =
+                        checkCausalityObserved(batch[begin + l], o);
+                    if (!r.holds) {
+                        fault::reportViolation(
+                            "causality",
+                            "core.evaluateBatch.volley" +
+                                std::to_string(begin + l),
+                            r.counterexample);
+                    }
                 }
             }
         },

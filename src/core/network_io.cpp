@@ -52,15 +52,45 @@ fail(size_t line_no, const std::string &what)
                                 std::to_string(line_no) + ": " + what);
 }
 
+/** Strict unsigned parse: all digits, in range — or fail with @p what. */
+uint64_t
+parseUint(const std::string &tok, size_t line_no, const char *what)
+{
+    if (tok.empty() ||
+        tok.find_first_not_of("0123456789") != std::string::npos)
+        fail(line_no, std::string("bad ") + what + " '" + tok + "'");
+    try {
+        return std::stoull(tok);
+    } catch (const std::exception &) {
+        fail(line_no,
+             std::string(what) + " out of range '" + tok + "'");
+    }
+}
+
 NodeId
 parseNodeRef(const std::string &tok, size_t line_no)
 {
     if (tok.size() < 2 || tok[0] != 'n')
         fail(line_no, "expected node reference, got '" + tok + "'");
+    return static_cast<NodeId>(
+        parseUint(tok.substr(1), line_no, "node id"));
+}
+
+/**
+ * Run a Network builder call, converting any builder complaint (a bad
+ * node reference, an out-of-sequence id) into the loader's
+ * line-numbered diagnostic. Callers must parse every token *before*
+ * entering, so only builder errors — never already-contextualized
+ * parse failures — are rewrapped.
+ */
+template <typename Fn>
+auto
+withLineContext(size_t line_no, Fn &&fn) -> decltype(fn())
+{
     try {
-        return static_cast<NodeId>(std::stoul(tok.substr(1)));
-    } catch (const std::exception &) {
-        fail(line_no, "bad node id '" + tok + "'");
+        return fn();
+    } catch (const std::logic_error &e) {
+        fail(line_no, e.what());
     }
 }
 
@@ -99,19 +129,16 @@ networkFromText(const std::string &text)
         toks[0] != "inputs") {
         fail(line_no, "expected 'inputs <count>'");
     }
-    size_t num_inputs = 0;
-    try {
-        num_inputs = std::stoul(toks[1]);
-    } catch (const std::exception &) {
-        fail(line_no, "bad input count");
-    }
+    size_t num_inputs = static_cast<size_t>(
+        parseUint(toks[1], line_no, "input count"));
 
     Network net(num_inputs);
     while (next_meaningful(toks)) {
         if (toks[0] == "output") {
             if (toks.size() != 2)
                 fail(line_no, "output takes one node");
-            net.markOutput(parseNodeRef(toks[1], line_no));
+            NodeId ref = parseNodeRef(toks[1], line_no);
+            withLineContext(line_no, [&] { net.markOutput(ref); });
             continue;
         }
         if (toks[0] == "label") {
@@ -120,7 +147,9 @@ networkFromText(const std::string &text)
             std::string label = toks[2];
             for (size_t i = 3; i < toks.size(); ++i)
                 label += ' ' + toks[i];
-            net.setLabel(parseNodeRef(toks[1], line_no), label);
+            NodeId ref = parseNodeRef(toks[1], line_no);
+            withLineContext(line_no,
+                            [&] { net.setLabel(ref, label); });
             continue;
         }
 
@@ -133,29 +162,35 @@ networkFromText(const std::string &text)
         if (op == "config") {
             if (toks.size() != 4)
                 fail(line_no, "config takes one value");
-            created = net.config(toks[3] == "inf"
-                                     ? INF
-                                     : Time(std::stoull(toks[3])));
+            const Time value =
+                toks[3] == "inf"
+                    ? INF
+                    : Time(parseUint(toks[3], line_no,
+                                     "config value"));
+            created = net.config(value);
         } else if (op == "inc") {
             if (toks.size() != 5)
                 fail(line_no, "inc takes a node and a constant");
-            created = net.inc(parseNodeRef(toks[3], line_no),
-                              std::stoull(toks[4]));
+            NodeId src = parseNodeRef(toks[3], line_no);
+            const Time::rep delay =
+                parseUint(toks[4], line_no, "inc constant");
+            created = withLineContext(
+                line_no, [&] { return net.inc(src, delay); });
         } else if (op == "min" || op == "max" || op == "lt") {
             std::vector<NodeId> srcs;
             for (size_t i = 3; i < toks.size(); ++i)
                 srcs.push_back(parseNodeRef(toks[i], line_no));
             if (srcs.empty())
                 fail(line_no, op + " needs operands");
-            if (op == "lt") {
-                if (srcs.size() != 2)
-                    fail(line_no, "lt takes exactly two operands");
-                created = net.lt(srcs[0], srcs[1]);
-            } else if (op == "min") {
-                created = net.min(std::span<const NodeId>(srcs));
-            } else {
-                created = net.max(std::span<const NodeId>(srcs));
-            }
+            if (op == "lt" && srcs.size() != 2)
+                fail(line_no, "lt takes exactly two operands");
+            created = withLineContext(line_no, [&]() -> NodeId {
+                if (op == "lt")
+                    return net.lt(srcs[0], srcs[1]);
+                if (op == "min")
+                    return net.min(std::span<const NodeId>(srcs));
+                return net.max(std::span<const NodeId>(srcs));
+            });
         } else {
             fail(line_no, "unknown op '" + op + "'");
         }

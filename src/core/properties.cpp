@@ -155,6 +155,64 @@ checkBoundedHistory(size_t arity, Time::rep k, const StFn &fn,
 }
 
 PropertyReport
+checkCausalityObserved(std::span<const Time> in,
+                       std::span<const Time> out)
+{
+    const Time min_in = minOf(in);
+    const Time min_out = minOf(out);
+    if (min_out < min_in) {
+        return {false, "output " + min_out.str() +
+                           " precedes earliest input " + min_in.str()};
+    }
+    return {true, ""};
+}
+
+PropertyReport
+checkBoundedObserved(std::span<const Time> in, std::span<const Time> out,
+                     Time::rep window)
+{
+    const Time max_out = maxFiniteOf(out);
+    if (max_out.isInf())
+        return {true, ""};
+    const Time max_in = maxFiniteOf(in);
+    if (max_in.isInf()) {
+        return {false, "finite output " + max_out.str() +
+                           " from an all-quiet input"};
+    }
+    // Saturating bound: max_in + window is inf-safe by Time::operator+.
+    if (max_out > max_in + window) {
+        return {false, "output " + max_out.str() +
+                           " trails latest input " + max_in.str() +
+                           " by more than window " +
+                           std::to_string(window)};
+    }
+    return {true, ""};
+}
+
+PropertyReport
+checkShiftConsistency(std::span<const Time> base_out,
+                      std::span<const Time> shifted_out, Time::rep c)
+{
+    if (base_out.size() != shifted_out.size()) {
+        return {false, "output widths differ: " +
+                           std::to_string(base_out.size()) + " vs " +
+                           std::to_string(shifted_out.size())};
+    }
+    for (size_t i = 0; i < base_out.size(); ++i) {
+        const Time expected = base_out[i] + c;
+        if (shifted_out[i] != expected) {
+            return {false, "line " + std::to_string(i) +
+                               ": shifted run gives " +
+                               shifted_out[i].str() + ", expected " +
+                               expected.str() + " (base " +
+                               base_out[i].str() + " + " +
+                               std::to_string(c) + ")"};
+        }
+    }
+    return {true, ""};
+}
+
+PropertyReport
 checkMonotonicity(size_t arity, Time::rep k, const StFn &fn)
 {
     return enumerate(arity, k, [&](std::span<const Time> u) -> std::string {

@@ -84,6 +84,35 @@ PropertyReport checkInvarianceRandom(size_t arity, Time::rep limit,
                                      double p_inf = 0.15);
 
 /**
+ * Causality on one *observed* (input, output) volley pair: no finite
+ * output may precede the earliest input (an all-quiet input admits no
+ * finite output at all — no spontaneous spikes). This is the one-shot
+ * form the runtime guards apply at layer boundaries, where only the
+ * pair is available, not the function.
+ */
+PropertyReport checkCausalityObserved(std::span<const Time> in,
+                                      std::span<const Time> out);
+
+/**
+ * Bounded history on one observed pair: no finite output may trail the
+ * latest finite input by more than @p window. A finite output from an
+ * all-quiet input also violates (nothing within any window drives it).
+ */
+PropertyReport checkBoundedObserved(std::span<const Time> in,
+                                    std::span<const Time> out,
+                                    Time::rep window);
+
+/**
+ * Shift consistency of two observed outputs: @p shifted_out (produced
+ * from the input shifted later by @p c) must equal @p base_out shifted
+ * by @p c elementwise — the one-sample witness of invariance the
+ * runtime guard spot-checks.
+ */
+PropertyReport checkShiftConsistency(std::span<const Time> base_out,
+                                     std::span<const Time> shifted_out,
+                                     Time::rep c);
+
+/**
  * Monotonicity (exhaustive): delaying any input never makes the output
  * earlier (x <= x' pointwise implies F(x) <= F(x')).
  *

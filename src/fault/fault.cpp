@@ -1,0 +1,309 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace st::fault {
+
+namespace {
+
+/**
+ * splitmix64 finalizer: the avalanche stage every draw funnels
+ * through. Counter-based (no stream state), so draws are a pure
+ * function of their key — the property the determinism contract and
+ * the guard re-runs rely on.
+ */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** The process-wide active injector (null = injection off). */
+std::atomic<const FaultInjector *> g_injector{nullptr};
+
+/** Guard flag mask mirror, for the one-load hot-path check. */
+std::atomic<uint32_t> g_guard_flags{0};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// FaultReport
+
+void
+FaultReport::add(const char *guard, std::string where,
+                 std::string detail)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(counts_.begin(), counts_.end(),
+                           [&](const auto &c) {
+                               return c.first == guard;
+                           });
+    if (it == counts_.end())
+        counts_.emplace_back(guard, 1);
+    else
+        ++it->second;
+    if (detailed_.size() < kMaxDetailed)
+        detailed_.push_back(
+            {guard, std::move(where), std::move(detail)});
+}
+
+uint64_t
+FaultReport::totalViolations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t n = 0;
+    for (const auto &c : counts_)
+        n += c.second;
+    return n;
+}
+
+uint64_t
+FaultReport::countOf(std::string_view guard) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &c : counts_) {
+        if (c.first == guard)
+            return c.second;
+    }
+    return 0;
+}
+
+std::vector<GuardViolation>
+FaultReport::violations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return detailed_;
+}
+
+std::string
+FaultReport::str() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counts_.empty())
+        return "fault report: clean (0 violations)";
+    std::string out = "fault report:";
+    for (const auto &c : counts_) {
+        out += ' ' + c.first + '=' + std::to_string(c.second);
+    }
+    size_t shown = std::min<size_t>(detailed_.size(), 8);
+    for (size_t i = 0; i < shown; ++i) {
+        out += "\n  [" + detailed_[i].guard + "] " +
+               detailed_[i].where + ": " + detailed_[i].detail;
+    }
+    if (detailed_.size() > shown)
+        out += "\n  ... (" +
+               std::to_string(detailed_.size() - shown) +
+               " more recorded)";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector
+
+FaultInjector::FaultInjector(const FaultSpec &spec) : spec_(spec)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    injJitter_ = &reg.counter("fault.injected.jitter");
+    injDrop_ = &reg.counter("fault.injected.drop");
+    injSpurious_ = &reg.counter("fault.injected.spurious");
+    injStuck_ = &reg.counter("fault.injected.stuck");
+    injSynDelay_ = &reg.counter("fault.injected.syn_delay");
+    injGateDelay_ = &reg.counter("fault.injected.gate_delay");
+}
+
+uint64_t
+FaultInjector::draw(Domain d, uint64_t a, uint64_t b) const
+{
+    // Three avalanche rounds, keyed stages mixed in between: changing
+    // any of (seed, domain, a, b) decorrelates the draw completely.
+    uint64_t h = mix64(spec_.seed ^
+                       (static_cast<uint64_t>(d) * 0xd6e8feb86659fd93ULL));
+    h = mix64(h ^ a);
+    return mix64(h ^ b);
+}
+
+double
+FaultInjector::drawUnit(Domain d, uint64_t a, uint64_t b) const
+{
+    return static_cast<double>(draw(d, a, b) >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultInjector::stuckAtInf(uint64_t line) const
+{
+    return spec_.stuckProb > 0 &&
+           drawUnit(Domain::Stuck, line, 0) < spec_.stuckProb;
+}
+
+Time
+FaultInjector::perturbSpike(Time t, uint64_t stream,
+                            uint64_t line) const
+{
+    if (spec_.stuckProb > 0 && stuckAtInf(line)) {
+        if (t.isFinite())
+            injStuck_->add(1);
+        return INF;
+    }
+    if (!t.isFinite())
+        return t;
+    if (spec_.dropProb > 0 &&
+        drawUnit(Domain::Drop, stream, line) < spec_.dropProb) {
+        injDrop_->add(1);
+        return INF;
+    }
+    if (spec_.jitter > 0) {
+        // delta = round(u * 2j) - j with u fixed per (stream, line):
+        // growing j scales the same underlying draw, so fault sets
+        // nest across severities (monotone degradation curves).
+        const double u = drawUnit(Domain::Jitter, stream, line);
+        const auto span = static_cast<double>(2 * spec_.jitter + 1);
+        const int64_t delta =
+            static_cast<int64_t>(u * span) -
+            static_cast<int64_t>(spec_.jitter);
+        if (delta != 0) {
+            injJitter_->add(1);
+            if (delta > 0)
+                return t + static_cast<Time::rep>(delta);
+            const auto back = static_cast<Time::rep>(-delta);
+            return Time(back > t.value() ? 0 : t.value() - back);
+        }
+    }
+    return t;
+}
+
+void
+FaultInjector::perturbVolley(std::vector<Time> &v,
+                             uint64_t stream) const
+{
+    if (!spec_.anyVolleyFault())
+        return;
+    for (size_t i = 0; i < v.size(); ++i) {
+        Time t = perturbSpike(v[i], stream, i);
+        if (t.isInf() && v[i].isInf() && spec_.spuriousProb > 0 &&
+            drawUnit(Domain::SpuriousGate, stream, i) <
+                spec_.spuriousProb) {
+            const double u = drawUnit(Domain::SpuriousTime, stream, i);
+            t = Time(static_cast<Time::rep>(
+                u * static_cast<double>(spec_.spuriousSpan + 1)));
+            injSpurious_->add(1);
+        }
+        v[i] = t;
+    }
+}
+
+Time::rep
+FaultInjector::synapseDelay(uint64_t column_key, uint64_t neuron,
+                            uint64_t synapse) const
+{
+    if (spec_.synDelayJitter == 0)
+        return 0;
+    const double u = drawUnit(Domain::SynDelay, mix64(column_key) ^ neuron,
+                              synapse);
+    const auto d = static_cast<Time::rep>(
+        u * static_cast<double>(spec_.synDelayJitter + 1));
+    if (d != 0)
+        injSynDelay_->add(1);
+    return d;
+}
+
+Time::rep
+FaultInjector::perturbGateDelay(Time::rep stages, uint64_t wire) const
+{
+    if (spec_.gateDelayJitter == 0)
+        return stages;
+    const double u = drawUnit(Domain::GateDelay, wire, 0);
+    const auto span = static_cast<double>(2 * spec_.gateDelayJitter + 1);
+    const int64_t delta =
+        static_cast<int64_t>(u * span) -
+        static_cast<int64_t>(spec_.gateDelayJitter);
+    if (delta == 0)
+        return stages;
+    injGateDelay_->add(1);
+    if (delta > 0)
+        return stages + static_cast<Time::rep>(delta);
+    const auto back = static_cast<Time::rep>(-delta);
+    return back > stages ? 0 : stages - back;
+}
+
+// ---------------------------------------------------------------------
+// Scopes and the hook-facing accessors
+
+InjectionScope::InjectionScope(const FaultInjector &injector)
+    : prev_(g_injector.exchange(&injector, std::memory_order_acq_rel))
+{
+}
+
+InjectionScope::~InjectionScope()
+{
+    g_injector.store(prev_, std::memory_order_release);
+}
+
+const FaultInjector *
+activeInjector()
+{
+    return g_injector.load(std::memory_order_acquire);
+}
+
+struct GuardScope::State
+{
+    GuardOptions options;
+    FaultReport *report = nullptr;
+};
+
+namespace {
+
+/** The active guard scope's state (null = guards off). */
+std::atomic<const GuardScope::State *> g_guard{nullptr};
+
+} // namespace
+
+GuardScope::GuardScope(const GuardOptions &options, FaultReport *report)
+    : own_(new State{options, report})
+{
+    prev_ = g_guard.exchange(own_, std::memory_order_acq_rel);
+    g_guard_flags.store(options.flags, std::memory_order_release);
+}
+
+GuardScope::~GuardScope()
+{
+    g_guard.store(prev_, std::memory_order_release);
+    g_guard_flags.store(prev_ ? prev_->options.flags : 0,
+                        std::memory_order_release);
+    delete own_;
+}
+
+uint32_t
+activeGuardFlags()
+{
+    return g_guard_flags.load(std::memory_order_acquire);
+}
+
+GuardOptions
+activeGuardOptions()
+{
+    const GuardScope::State *state =
+        g_guard.load(std::memory_order_acquire);
+    return state ? state->options : GuardOptions{};
+}
+
+void
+reportViolation(const char *guard, std::string where,
+                std::string detail)
+{
+    // Violations are rare by construction; the per-call name build is
+    // irrelevant next to the check that found them.
+    obs::MetricsRegistry::instance()
+        .counter(std::string("guard.violations.") + guard)
+        .add(1);
+    const GuardScope::State *state =
+        g_guard.load(std::memory_order_acquire);
+    if (state != nullptr && state->report != nullptr)
+        state->report->add(guard, std::move(where), std::move(detail));
+}
+
+} // namespace st::fault

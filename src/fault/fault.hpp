@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Deterministic fault injection and runtime invariant guards.
+ *
+ * The paper's constructions assume spike times are a *physical* signal:
+ * real substrates jitter, drop, and delay them, and a production
+ * runtime must degrade gracefully under exactly those perturbations
+ * (cf. STICK's timing-noise characterization and Lynch & Musco's
+ * composition-boundary invariants). This subsystem provides both
+ * halves:
+ *
+ *  - **Injection.** A FaultInjector realizes a FaultSpec (spike-time
+ *    jitter, drop-to-inf, spurious spikes, stuck-at-inf lines,
+ *    per-synapse delay perturbation, GRL delay-gate stage variation).
+ *    Every decision is a pure hash of (seed, domain, ids) — a
+ *    counter-based draw, never a sequential RNG stream — so the same
+ *    seed + spec produces bit-identical faults regardless of thread
+ *    count, call order, or how often a hook re-evaluates (the
+ *    invariance guard re-runs layers and must see the same faults).
+ *    Severities nest: the uniform draw a spike's fate is thresholded
+ *    against does not depend on the probability, so the spikes dropped
+ *    at p=0.1 are a subset of those dropped at p=0.3 — the reason
+ *    bench_fault's degradation curves are monotone.
+ *
+ *  - **Guards.** A GuardScope turns on opt-in runtime checks of the
+ *    paper's defining properties at the hooks: causality (no finite
+ *    output earlier than the earliest input), +1-shift invariance
+ *    (spot-checked on sampled volleys), bounded history (no output
+ *    later than the latest input + window), and event-agenda time
+ *    monotonicity. Violations are counted in the obs metrics registry
+ *    (guard.violations.*) and collected in a FaultReport — they never
+ *    abort the computation.
+ *
+ * Both scopes install into process-wide atomic slots read by the
+ * engine hooks with one relaxed/acquire load: with no scope active the
+ * hooks cost a null-check, which is the "guard-off overhead == 0"
+ * contract bench_fault measures. Scopes are meant to be managed from
+ * one thread at a time (typically around a batch call); the worker
+ * threads inside that call only read.
+ */
+
+#ifndef ST_FAULT_FAULT_HPP
+#define ST_FAULT_FAULT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "fault/status.hpp"
+
+namespace st::obs {
+class Counter;
+} // namespace st::obs
+
+namespace st::fault {
+
+/**
+ * A fault model. All-zero (the default) injects nothing; every field
+ * scales one physical failure mode independently.
+ */
+struct FaultSpec
+{
+    /** Seed of every hash-based draw; same seed => same faults. */
+    uint64_t seed = 0;
+
+    /** Spike-time jitter half-width: finite times move by a uniform
+     *  offset in [-jitter, +jitter], clamped at 0. */
+    Time::rep jitter = 0;
+
+    /** Probability a finite spike is dropped (replaced by inf). */
+    double dropProb = 0.0;
+
+    /** Probability a silent (inf) line gains a spurious spike. */
+    double spuriousProb = 0.0;
+
+    /** Spurious spikes land uniformly in [0, spuriousSpan]. */
+    Time::rep spuriousSpan = 15;
+
+    /** Probability a line/wire is stuck at inf for the whole run
+     *  (decided per line id, not per volley — a broken wire). */
+    double stuckProb = 0.0;
+
+    /** Per-synapse delay perturbation: each (neuron, synapse) edge
+     *  adds a fixed extra delay uniform in [0, synDelayJitter]. */
+    Time::rep synDelayJitter = 0;
+
+    /** GRL delay-gate stage variation: each Delay gate's stage count
+     *  moves by a uniform offset in [-gateDelayJitter,
+     *  +gateDelayJitter], clamped at 0. */
+    Time::rep gateDelayJitter = 0;
+
+    /** True iff any volley-boundary fault is configured. */
+    bool
+    anyVolleyFault() const
+    {
+        return jitter > 0 || dropProb > 0 || spuriousProb > 0 ||
+               stuckProb > 0;
+    }
+
+    /** True iff any field injects anything at all. */
+    bool
+    any() const
+    {
+        return anyVolleyFault() || synDelayJitter > 0 ||
+               gateDelayJitter > 0;
+    }
+};
+
+/** Guard checks, combinable as a bitmask. */
+enum GuardFlag : uint32_t
+{
+    kGuardCausality = 1u << 0,      //!< finite out >= earliest input
+    kGuardInvariance = 1u << 1,     //!< +1-shift spot check (sampled)
+    kGuardBoundedHistory = 1u << 2, //!< finite out <= latest in + W
+    kGuardAgendaOrder = 1u << 3,    //!< event time never decreases
+    kGuardAll = (1u << 4) - 1,
+};
+
+/** Guard configuration installed by a GuardScope. */
+struct GuardOptions
+{
+    uint32_t flags = kGuardAll;
+
+    /** Invariance re-runs a layer; only every Nth volley pays it. */
+    uint64_t invarianceSampleEvery = 16;
+
+    /**
+     * Bounded-history window W: a finite output later than the latest
+     * finite input + W is a violation. Must cover the response-function
+     * support plus any injected synapse delay; the default is generous
+     * for every configuration in this repo.
+     */
+    Time::rep historyWindow = 256;
+};
+
+/** One recorded guard violation. */
+struct GuardViolation
+{
+    std::string guard;  //!< "causality", "invariance", ...
+    std::string where;  //!< site, e.g. "tnn.layer1" or "grl.agenda"
+    std::string detail; //!< human-readable specifics
+};
+
+/**
+ * Thread-safe sink for guard violations. Counts every violation per
+ * guard kind; keeps the first kMaxDetailed full records so a failing
+ * campaign is diagnosable without unbounded memory.
+ */
+class FaultReport
+{
+  public:
+    /** Detailed records retained (counts are always exact). */
+    static constexpr size_t kMaxDetailed = 64;
+
+    /** Record one violation (called by the engine hooks). */
+    void add(const char *guard, std::string where, std::string detail);
+
+    /** Total violations across all guards. */
+    uint64_t totalViolations() const;
+
+    /** Violations recorded for one guard kind. */
+    uint64_t countOf(std::string_view guard) const;
+
+    /** The retained detailed records (first kMaxDetailed). */
+    std::vector<GuardViolation> violations() const;
+
+    /** True iff no violation was recorded. */
+    bool clean() const { return totalViolations() == 0; }
+
+    /** Multi-line human-readable summary. */
+    std::string str() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, uint64_t>> counts_;
+    std::vector<GuardViolation> detailed_;
+};
+
+/**
+ * Realization of a FaultSpec. Stateless beyond the spec: every draw is
+ * a pure function of (spec.seed, domain, ids), so const methods are
+ * safe from any number of threads and repeated calls with the same ids
+ * return the same answer.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultSpec &spec);
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /**
+     * Apply the volley-boundary fault model to @p v in place: per line
+     * — stuck-at-inf (keyed by line only), drop, jitter on finite
+     * times, spurious spikes on silent lines. @p stream distinguishes
+     * volleys (batch index); draws are keyed by (stream, line).
+     */
+    void perturbVolley(std::vector<Time> &v, uint64_t stream) const;
+
+    /** perturbVolley() on one spike time (stuck/drop/jitter only). */
+    Time perturbSpike(Time t, uint64_t stream, uint64_t line) const;
+
+    /**
+     * The fixed extra delay of synapse (@p neuron, @p synapse) in the
+     * column identified by @p column_key (use the column's RNG seed so
+     * stacked layers draw independent perturbations): uniform in
+     * [0, synDelayJitter], constant for the injector's lifetime.
+     */
+    Time::rep synapseDelay(uint64_t column_key, uint64_t neuron,
+                           uint64_t synapse) const;
+
+    /**
+     * The perturbed stage count of the GRL Delay gate driving @p wire:
+     * stages + uniform in [-gateDelayJitter, +gateDelayJitter],
+     * clamped at 0. Counts a fault only when the result differs.
+     */
+    Time::rep perturbGateDelay(Time::rep stages, uint64_t wire) const;
+
+    /** True iff @p line is stuck at inf for this injector's lifetime
+     *  (keyed by line id only — a broken wire, not a transient). */
+    bool stuckAtInf(uint64_t line) const;
+
+  private:
+    /** Draw domains (salts) so independent decisions decorrelate. */
+    enum class Domain : uint64_t
+    {
+        Drop = 1,
+        Jitter,
+        SpuriousGate,
+        SpuriousTime,
+        Stuck,
+        SynDelay,
+        GateDelay,
+    };
+
+    uint64_t draw(Domain d, uint64_t a, uint64_t b) const;
+    double drawUnit(Domain d, uint64_t a, uint64_t b) const;
+
+    FaultSpec spec_;
+
+    // Injection tallies, resolved once at construction (registration
+    // takes the registry mutex; recording is one relaxed add).
+    obs::Counter *injJitter_;
+    obs::Counter *injDrop_;
+    obs::Counter *injSpurious_;
+    obs::Counter *injStuck_;
+    obs::Counter *injSynDelay_;
+    obs::Counter *injGateDelay_;
+};
+
+/**
+ * RAII installation of a FaultInjector as the process-wide active
+ * injector read by the engine hooks. Nesting restores the previous
+ * injector on destruction. Install/uninstall from one thread only
+ * (hooks on worker threads read concurrently).
+ */
+class InjectionScope
+{
+  public:
+    explicit InjectionScope(const FaultInjector &injector);
+    ~InjectionScope();
+
+    InjectionScope(const InjectionScope &) = delete;
+    InjectionScope &operator=(const InjectionScope &) = delete;
+
+  private:
+    const FaultInjector *prev_;
+};
+
+/**
+ * RAII activation of the runtime guards. Violations are counted in
+ * guard.violations.* and, when @p report is non-null, recorded there.
+ */
+class GuardScope
+{
+  public:
+    explicit GuardScope(const GuardOptions &options,
+                        FaultReport *report = nullptr);
+    ~GuardScope();
+
+    GuardScope(const GuardScope &) = delete;
+    GuardScope &operator=(const GuardScope &) = delete;
+
+    /** Opaque scope state (defined in fault.cpp). */
+    struct State;
+
+  private:
+    const State *prev_;
+    State *own_;
+};
+
+/** The active injector, or nullptr (one acquire load — the hot path). */
+const FaultInjector *activeInjector();
+
+/** Bitmask of active guard flags (0 when no GuardScope is live). */
+uint32_t activeGuardFlags();
+
+/** True iff @p flag is enabled by the active GuardScope. */
+inline bool
+guardActive(GuardFlag flag)
+{
+    return (activeGuardFlags() & flag) != 0;
+}
+
+/** The active scope's options (defaults when no scope is live). */
+GuardOptions activeGuardOptions();
+
+/**
+ * Record one guard violation: bumps guard.violations.<guard> in the
+ * metrics registry and appends to the active scope's FaultReport (if
+ * any). Never throws, never aborts — graceful degradation means the
+ * computation continues and the caller reads the report.
+ */
+void reportViolation(const char *guard, std::string where,
+                     std::string detail);
+
+} // namespace st::fault
+
+#endif // ST_FAULT_FAULT_HPP

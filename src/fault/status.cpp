@@ -1,0 +1,43 @@
+#include "fault/status.hpp"
+
+namespace st {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "ok";
+      case StatusCode::InvalidArgument:
+        return "invalid_argument";
+      case StatusCode::OutOfRange:
+        return "out_of_range";
+      case StatusCode::FailedPrecondition:
+        return "failed_precondition";
+      case StatusCode::ResourceExhausted:
+        return "resource_exhausted";
+      case StatusCode::DataLoss:
+        return "data_loss";
+      case StatusCode::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+std::string
+Status::str() const
+{
+    if (isOk())
+        return "ok";
+    std::string out = statusCodeName(code_);
+    out += ": ";
+    out += message_;
+    if (!context_.empty()) {
+        out += " [";
+        out += context_;
+        out += ']';
+    }
+    return out;
+}
+
+} // namespace st

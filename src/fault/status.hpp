@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Structured diagnostics for the runtime fault / robustness layer.
+ *
+ * The engines historically reported failure by throwing bare
+ * std::logic_error subclasses (or, for structural corruption like an
+ * event agenda that never drains, by not reporting at all). st::Status
+ * is the structured replacement on those paths: a code, a human
+ * message, and an optional machine-usable context string (a line
+ * number for the text loaders, a wire id for circuit validation), so
+ * callers can branch on *what* failed instead of parsing what() text.
+ *
+ * Status is a value type; StatusError adapts it to the exception
+ * channel for APIs whose signatures cannot carry a Status (the
+ * simulation entry points). checkers return Status directly.
+ */
+
+#ifndef ST_FAULT_STATUS_HPP
+#define ST_FAULT_STATUS_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace st {
+
+/** Failure categories, loosely following the canonical RPC codes. */
+enum class StatusCode : uint8_t
+{
+    Ok,                 //!< not an error
+    InvalidArgument,    //!< malformed request or input text
+    OutOfRange,         //!< index / id outside the valid domain
+    FailedPrecondition, //!< structure violates a required invariant
+    ResourceExhausted,  //!< a budget (events, slots) ran out
+    DataLoss,           //!< results are known to be incomplete
+    Internal,           //!< engine bug: an invariant we own broke
+};
+
+/** Printable name of a status code ("ok", "invalid_argument", ...). */
+const char *statusCodeName(StatusCode code);
+
+/** A diagnostic outcome: Ok, or a code + message (+ context). */
+class Status
+{
+  public:
+    /** Default construction is success. */
+    Status() = default;
+
+    /** An error status; @p code must not be StatusCode::Ok. */
+    Status(StatusCode code, std::string message,
+           std::string context = "")
+        : code_(code), message_(std::move(message)),
+          context_(std::move(context))
+    {
+    }
+
+    /** The success value. */
+    static Status
+    ok()
+    {
+        return Status();
+    }
+
+    /** True iff this is the success value. */
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Optional machine-usable locus ("line 12", "wire 7", ...). */
+    const std::string &context() const { return context_; }
+
+    /** Render as "failed_precondition: msg [wire 7]" ("ok" when ok). */
+    std::string str() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+    std::string context_;
+};
+
+/**
+ * Exception carrier for a non-ok Status, for entry points that return
+ * results by value. what() is the rendered status string.
+ */
+class StatusError : public std::runtime_error
+{
+  public:
+    explicit StatusError(Status status)
+        : std::runtime_error(status.str()), status_(std::move(status))
+    {
+    }
+
+    const Status &status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+} // namespace st
+
+#endif // ST_FAULT_STATUS_HPP

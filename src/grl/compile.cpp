@@ -59,6 +59,12 @@ compileToGrl(const Network &net)
 
     for (NodeId id : net.outputs())
         circuit.markOutput(wire[id]);
+    // The emission above goes through the checked builders, but a
+    // compiler bug would otherwise surface as an engine hang or a
+    // corrupt fanout walk — validate here so it surfaces as a
+    // diagnostic at compile time instead.
+    if (Status status = circuit.validate(); !status.isOk())
+        throw StatusError(std::move(status));
     return result;
 }
 

@@ -6,8 +6,11 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 
 namespace st::grl {
@@ -252,15 +255,59 @@ simulateEvents(const Circuit &circuit, std::span<const Time> inputs,
 
     auto fallen = [&](WireId g) { return fall[g].isFinite(); };
 
-    ST_OBS_ONLY(uint64_t popped = 0; uint64_t fell = 0;)
+    // Fault hooks, resolved once per run. Gate-delay perturbation is
+    // keyed by the consumer wire alone (a physically mis-sized shift
+    // register, identical on every fall); stuck wires never fall.
+    const fault::FaultInjector *inj = fault::activeInjector();
+    const fault::FaultInjector *delay_inj =
+        inj != nullptr && inj->spec().gateDelayJitter > 0 ? inj
+                                                          : nullptr;
+    const bool stuck_on = inj != nullptr && inj->spec().stuckProb > 0;
+    obs::Counter *stuck_counter =
+        stuck_on ? &obs::MetricsRegistry::instance().counter(
+                       "fault.injected.stuck")
+                 : nullptr;
+    const bool guard_order =
+        fault::guardActive(fault::kGuardAgendaOrder);
+
+    // Belt-and-braces against a malformed agenda (validate() should
+    // make this unreachable): every wire is examined at most once per
+    // incoming edge plus once per external/initial event, so a run
+    // that pops past this budget is cycling, and we bail with a
+    // diagnostic instead of spinning or scanning out of bounds.
+    const uint64_t popBudget =
+        4 * (static_cast<uint64_t>(n) + fanout.consumer.size()) + 64;
+    uint64_t popped = 0;
+    Time::rep prevNow = 0;
+
+    ST_OBS_ONLY(uint64_t fell = 0;)
     while (agenda.pending()) {
         const Time now = Time(agenda.advance());
+        if (guard_order && now.isFinite() && now.value() < prevNow) {
+            fault::reportViolation(
+                "agenda_order", "grl.agenda",
+                "advance moved time backwards: " +
+                    std::to_string(prevNow) + " -> " + now.str());
+        }
+        if (now.isFinite())
+            prevNow = now.value();
 
         while (agenda.readyPending()) {
             WireId id = agenda.popReady();
-            ST_OBS_ONLY(++popped;)
+            if (++popped > popBudget) {
+                throw StatusError(Status(
+                    StatusCode::ResourceExhausted,
+                    "event budget exceeded (" +
+                        std::to_string(popBudget) +
+                        " pops) — zero-delay cycle in the agenda",
+                    "wire " + std::to_string(id)));
+            }
             if (fallen(id))
                 continue;
+            if (stuck_on && inj->stuckAtInf(id)) {
+                stuck_counter->add(1);
+                continue;
+            }
 
             const Gate &gate = gates[id];
             bool falls = false;
@@ -305,8 +352,14 @@ simulateEvents(const Circuit &circuit, std::span<const Time> inputs,
             for (size_t k = 0; k < consumers.size(); ++k) {
                 const WireId consumer = consumers[k];
                 ++fallenIns[consumer];
-                if (!fallen(consumer))
-                    agenda.schedule(consumer, delays[k]);
+                if (!fallen(consumer)) {
+                    Time::rep offset = delays[k];
+                    if (delay_inj != nullptr && offset > 0) {
+                        offset = delay_inj->perturbGateDelay(offset,
+                                                             consumer);
+                    }
+                    agenda.schedule(consumer, offset);
+                }
             }
         }
     }

@@ -26,6 +26,11 @@ simulate(const Circuit &circuit, std::span<const Time> inputs,
 {
     if (inputs.size() != circuit.numInputs())
         throw std::invalid_argument("grl::simulate: input count mismatch");
+    // Shares the event engine's validation gate: fanout() runs
+    // Circuit::validate() on first build (then caches), so a malformed
+    // netlist raises the same StatusError from both engines instead of
+    // settling garbage here.
+    (void)circuit.fanout();
     if (horizon == 0)
         horizon = safeHorizon(circuit, inputs);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace st::grl {
 
@@ -92,6 +94,12 @@ Circuit::fanout() const
             fanout_.load(std::memory_order_acquire)) {
         return *hit;
     }
+    // Validate before the CSR build: a fanin id out of range would
+    // corrupt the offset histogram below, and a zero-delay cycle would
+    // break the event engine's ready-scan invariant. One scan per
+    // circuit build; the cached hit path above pays nothing.
+    if (Status status = validate(); !status.isOk())
+        throw StatusError(std::move(status));
     auto fresh = std::make_unique<CircuitFanout>();
     const size_t n = gates_.size();
     fresh->offset.assign(n + 1, 0);
@@ -195,6 +203,130 @@ WireId
 Circuit::delay(WireId src, uint32_t stages)
 {
     return add(Gate{GateKind::Delay, {src}, stages, INF});
+}
+
+WireId
+Circuit::addGateUnchecked(Gate gate)
+{
+    gates_.push_back(std::move(gate));
+    invalidateFanout();
+    return static_cast<WireId>(gates_.size() - 1);
+}
+
+Status
+Circuit::validate() const
+{
+    const size_t n = gates_.size();
+    auto at = [](size_t g) { return "wire " + std::to_string(g); };
+    for (size_t g = 0; g < n; ++g) {
+        const Gate &gate = gates_[g];
+        for (WireId src : gate.fanin) {
+            if (src >= n) {
+                return Status(StatusCode::OutOfRange,
+                              "fanin references nonexistent gate " +
+                                  std::to_string(src),
+                              at(g));
+            }
+        }
+        const size_t arity = gate.fanin.size();
+        switch (gate.kind) {
+          case GateKind::Input:
+            if (g >= numInputs_) {
+                return Status(StatusCode::FailedPrecondition,
+                              "input gate outside the primary-input "
+                              "prefix (no fall time is supplied for "
+                              "it)",
+                              at(g));
+            }
+            [[fallthrough]];
+          case GateKind::Const:
+            if (arity != 0) {
+                return Status(StatusCode::FailedPrecondition,
+                              "externally driven gate must have no "
+                              "fanin",
+                              at(g));
+            }
+            break;
+          case GateKind::And:
+          case GateKind::Or:
+            if (arity == 0) {
+                return Status(StatusCode::FailedPrecondition,
+                              std::string(gateKindName(gate.kind)) +
+                                  " gate needs >= 1 fanin",
+                              at(g));
+            }
+            break;
+          case GateKind::LtCell:
+            if (arity != 2) {
+                return Status(StatusCode::FailedPrecondition,
+                              "lt cell needs exactly fanin [a, b]",
+                              at(g));
+            }
+            break;
+          case GateKind::Delay:
+            if (arity != 1) {
+                return Status(StatusCode::FailedPrecondition,
+                              "delay gate needs exactly one fanin",
+                              at(g));
+            }
+            break;
+        }
+    }
+
+    // Zero-delay cycle scan over the combinational subgraph: an edge
+    // src -> g is instantaneous unless g is a Delay with stages >= 1
+    // (the flipflops break the loop). Grey = on the current DFS path.
+    enum : uint8_t { kWhite, kGrey, kBlack };
+    std::vector<uint8_t> color(n, kWhite);
+    std::vector<std::pair<uint32_t, uint32_t>> stack; // (gate, next fanin)
+    for (size_t root = 0; root < n; ++root) {
+        if (color[root] != kWhite)
+            continue;
+        color[root] = kGrey;
+        stack.emplace_back(static_cast<uint32_t>(root), 0);
+        while (!stack.empty()) {
+            auto &[g, k] = stack.back();
+            const Gate &gate = gates_[g];
+            const bool breaks_loop =
+                gate.kind == GateKind::Delay && gate.stages >= 1;
+            if (breaks_loop || k == gate.fanin.size()) {
+                color[g] = kBlack;
+                stack.pop_back();
+                continue;
+            }
+            const WireId src = gate.fanin[k++];
+            if (color[src] == kGrey) {
+                return Status(StatusCode::FailedPrecondition,
+                              "zero-delay combinational cycle "
+                              "(insert a delay gate with stages >= 1 "
+                              "to break it)",
+                              at(src));
+            }
+            if (color[src] == kWhite) {
+                color[src] = kGrey;
+                stack.emplace_back(src, 0);
+            }
+        }
+    }
+
+    // Even without a cycle, a zero-delay forward reference breaks the
+    // engines' settle order (fanins must precede consumers in id
+    // order unless the edge crosses a flipflop).
+    for (size_t g = 0; g < n; ++g) {
+        const Gate &gate = gates_[g];
+        if (gate.kind == GateKind::Delay && gate.stages >= 1)
+            continue;
+        for (WireId src : gate.fanin) {
+            if (src >= g) {
+                return Status(StatusCode::FailedPrecondition,
+                              "zero-delay fanin from gate " +
+                                  std::to_string(src) +
+                                  " does not precede its consumer",
+                              at(g));
+            }
+        }
+    }
+    return Status::ok();
 }
 
 void

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/time.hpp"
+#include "fault/status.hpp"
 
 namespace st::grl {
 
@@ -145,6 +146,30 @@ class Circuit
     /** Add a shift-register delay of @p stages cycles. */
     WireId delay(WireId src, uint32_t stages);
 
+    /**
+     * Append a gate with NO builder checks — the escape hatch for
+     * deserializers and tests constructing possibly-malformed netlists.
+     * validate() reports everything the checked builders would have
+     * rejected, and the simulation engines run it (via fanout())
+     * before touching the gate table, so a malformed circuit surfaces
+     * as a StatusError diagnostic instead of undefined behavior.
+     */
+    WireId addGateUnchecked(Gate gate);
+
+    /**
+     * Structural validation: fanin ids in range, Input gates confined
+     * to the primary-input prefix, per-kind arities (Delay 1, LtCell 2,
+     * And/Or >= 1, Input/Const 0), and no zero-delay combinational
+     * cycle or forward reference — every feedback path must pass
+     * through a Delay gate with stages >= 1, and zero-delay fanin must
+     * come from lower-numbered gates (the settle-order invariant the
+     * event engine's ready scan relies on).
+     *
+     * @return The first problem found, or Status::ok(). Circuits built
+     *         exclusively through the checked builders always pass.
+     */
+    Status validate() const;
+
     /** Declare an output wire (ordered). */
     void markOutput(WireId id);
 
@@ -166,6 +191,9 @@ class Circuit
     /**
      * The circuit's fanout adjacency, built on first use and cached
      * (builder calls invalidate it). Safe under concurrent readers.
+     * The build runs validate() first and throws StatusError on a
+     * malformed circuit — valid circuits pay the scan once, and the
+     * engines downstream never see a corrupt gate table.
      */
     const CircuitFanout &fanout() const;
 

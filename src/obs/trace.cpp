@@ -205,7 +205,11 @@ TraceSession::writeJsonFile(const std::string &path) const
 {
     std::ofstream out(path);
     if (!out) {
+        // One warning per failed path, plus a metric the exit-time
+        // flush can't print: a misspelled ST_TRACE directory must not
+        // drop the trace wordlessly.
         std::cerr << "obs: cannot write trace file " << path << "\n";
+        MetricsRegistry::instance().counter("trace.open_failed").add(1);
         return false;
     }
     writeJson(out);

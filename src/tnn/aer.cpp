@@ -1,5 +1,7 @@
 #include "tnn/aer.hpp"
 
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 namespace st {
@@ -49,6 +51,101 @@ AerStream::sliceWindows(uint64_t window) const
         out.push_back(std::move(v));
     }
     return out;
+}
+
+namespace {
+
+[[noreturn]] void
+fail(size_t line_no, const std::string &what)
+{
+    throw std::invalid_argument("aerFromText: line " +
+                                std::to_string(line_no) + ": " + what);
+}
+
+/** Strict unsigned parse: all digits, in range — or fail with @p what. */
+uint64_t
+parseUint(const std::string &tok, size_t line_no, const char *what)
+{
+    if (tok.empty() ||
+        tok.find_first_not_of("0123456789") != std::string::npos)
+        fail(line_no, std::string("bad ") + what + " '" + tok + "'");
+    try {
+        return std::stoull(tok);
+    } catch (const std::exception &) {
+        fail(line_no,
+             std::string(what) + " out of range '" + tok + "'");
+    }
+}
+
+} // namespace
+
+std::string
+aerToText(const AerStream &stream)
+{
+    std::ostringstream os;
+    os << "staer 1\n";
+    os << "addresses " << stream.numAddresses() << "\n";
+    for (const AerEvent &e : stream.events())
+        os << e.time << ' ' << e.address << '\n';
+    return os.str();
+}
+
+AerStream
+aerFromText(const std::string &text)
+{
+    std::istringstream lines(text);
+    std::string line;
+    size_t line_no = 0;
+
+    auto next_meaningful = [&](std::vector<std::string> &toks) {
+        toks.clear();
+        while (std::getline(lines, line)) {
+            ++line_no;
+            auto hash = line.find('#');
+            if (hash != std::string::npos)
+                line.resize(hash);
+            std::istringstream fields(line);
+            std::string tok;
+            while (fields >> tok)
+                toks.push_back(tok);
+            if (!toks.empty())
+                return true;
+        }
+        return false;
+    };
+
+    std::vector<std::string> toks;
+    if (!next_meaningful(toks) || toks.size() != 2 ||
+        toks[0] != "staer" || toks[1] != "1") {
+        fail(line_no, "expected header 'staer 1'");
+    }
+    if (!next_meaningful(toks) || toks.size() != 2 ||
+        toks[0] != "addresses") {
+        fail(line_no, "expected 'addresses <count>'");
+    }
+    const uint64_t addresses =
+        parseUint(toks[1], line_no, "address count");
+    if (addresses == 0 ||
+        addresses > std::numeric_limits<uint32_t>::max())
+        fail(line_no, "address count must be in [1, 2^32)");
+
+    AerStream stream(static_cast<uint32_t>(addresses));
+    while (next_meaningful(toks)) {
+        if (toks.size() != 2)
+            fail(line_no, "expected '<time> <address>'");
+        const uint64_t time = parseUint(toks[0], line_no, "time");
+        const uint64_t address =
+            parseUint(toks[1], line_no, "address");
+        if (address >= addresses)
+            fail(line_no, "address " + std::to_string(address) +
+                              " out of range (have " +
+                              std::to_string(addresses) + ")");
+        if (!stream.events().empty() &&
+            time < stream.events().back().time)
+            fail(line_no, "events must be in time order");
+        stream.push(time, static_cast<uint32_t>(address));
+    }
+    return stream;
 }
 
 } // namespace st

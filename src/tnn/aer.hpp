@@ -13,6 +13,7 @@
 #define ST_TNN_AER_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tnn/volley.hpp"
@@ -65,6 +66,25 @@ class AerStream
     uint32_t numAddresses_;
     std::vector<AerEvent> events_;
 };
+
+/**
+ * Serialize a stream as text:
+ *
+ *     staer 1
+ *     addresses <N>
+ *     <time> <address>
+ *     ...
+ *
+ * One event per line, in time order; '#' starts a comment.
+ */
+std::string aerToText(const AerStream &stream);
+
+/**
+ * Parse the staer text format. Malformed input — bad header, non-numeric
+ * fields, out-of-range addresses, out-of-order times — throws
+ * std::invalid_argument whose message carries the offending line number.
+ */
+AerStream aerFromText(const std::string &text);
 
 } // namespace st
 

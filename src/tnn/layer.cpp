@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
 #include "neuron/wta.hpp"
 #include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
@@ -149,16 +150,34 @@ Column::rawFireTimesInto(std::span<const Time> inputs,
     if (inputs.size() != params_.numInputs)
         throw std::invalid_argument("Column: arity mismatch");
     out.resize(params_.numNeurons);
+    // Synapse-path fault hook: with synDelayJitter configured, neuron
+    // j sees input k delayed by a fixed extra amount drawn per
+    // (column seed, j, k) — a mis-sized dendritic delay line, constant
+    // for the injector's lifetime. The draws are pure hashes, so the
+    // perturbation is identical at any thread count and input shift.
+    const fault::FaultInjector *inj = fault::activeInjector();
+    if (inj != nullptr && inj->spec().synDelayJitter == 0)
+        inj = nullptr;
+    auto fireOne = [&](size_t j) {
+        if (inj == nullptr)
+            return cachedModel(j).fire(inputs);
+        static thread_local std::vector<Time> delayed;
+        delayed.resize(inputs.size());
+        for (size_t k = 0; k < inputs.size(); ++k)
+            delayed[k] =
+                inputs[k] + inj->synapseDelay(params_.seed, j, k);
+        return cachedModel(j).fire(delayed);
+    };
     if (params_.numNeurons >= kParallelNeuronThreshold) {
         // Each neuron writes only its own slot, so the result is
         // bit-identical to the serial loop for any thread count.
         ThreadPool::shared().parallelFor(
             0, params_.numNeurons, kNeuronGrain, [&](size_t j) {
-                out[j] = cachedModel(j).fire(inputs);
+                out[j] = fireOne(j);
             });
     } else {
         for (size_t j = 0; j < params_.numNeurons; ++j)
-            out[j] = cachedModel(j).fire(inputs);
+            out[j] = fireOne(j);
     }
 }
 

@@ -77,6 +77,50 @@ class LineReader
     size_t lineNo_ = 0;
 };
 
+/** Strict unsigned parse: all digits, in range — or fail with @p what. */
+uint64_t
+parseUint(const LineReader &reader, const std::string &tok,
+          const char *what)
+{
+    if (tok.empty() ||
+        tok.find_first_not_of("0123456789") != std::string::npos)
+        reader.fail(std::string("bad ") + what + " '" + tok + "'");
+    try {
+        return std::stoull(tok);
+    } catch (const std::exception &) {
+        reader.fail(std::string(what) + " out of range '" + tok + "'");
+    }
+}
+
+/** Strict signed parse (optional leading '-'). */
+int64_t
+parseInt(const LineReader &reader, const std::string &tok,
+         const char *what)
+{
+    const bool neg = !tok.empty() && tok[0] == '-';
+    const uint64_t mag =
+        parseUint(reader, neg ? tok.substr(1) : tok, what);
+    return neg ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+}
+
+/** Strict double parse: the whole token must convert — or fail. */
+double
+parseDouble(const LineReader &reader, const std::string &tok,
+            const char *what)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(tok, &pos);
+        if (pos != tok.size())
+            reader.fail(std::string("bad ") + what + " '" + tok + "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        reader.fail(std::string("bad ") + what + " '" + tok + "'");
+    } catch (const std::out_of_range &) {
+        reader.fail(std::string(what) + " out of range '" + tok + "'");
+    }
+}
+
 void
 emitParams(std::ostringstream &os, const ColumnParams &p)
 {
@@ -112,30 +156,30 @@ parseParams(LineReader &reader)
         reader.fail("expected 'inputs N neurons N threshold N "
                     "maxweight N shape S'");
     }
-    p.numInputs = std::stoul(toks[1]);
-    p.numNeurons = std::stoul(toks[3]);
-    p.threshold =
-        static_cast<ResponseFunction::Amp>(std::stol(toks[5]));
-    p.maxWeight = std::stoul(toks[7]);
+    p.numInputs = parseUint(reader, toks[1], "input count");
+    p.numNeurons = parseUint(reader, toks[3], "neuron count");
+    p.threshold = static_cast<ResponseFunction::Amp>(
+        parseInt(reader, toks[5], "threshold"));
+    p.maxWeight = parseUint(reader, toks[7], "maxweight");
     p.shape = shapeFromName(toks[9], reader.lineNo());
 
     if (!reader.next(toks) || toks.size() != 5 || toks[0] != "response")
         reader.fail("expected 'response tauSlow tauFast rise fall'");
-    p.tauSlow = std::stod(toks[1]);
-    p.tauFast = std::stod(toks[2]);
-    p.rise = std::stoull(toks[3]);
-    p.fall = std::stoull(toks[4]);
+    p.tauSlow = parseDouble(reader, toks[1], "tauSlow");
+    p.tauFast = parseDouble(reader, toks[2], "tauFast");
+    p.rise = parseUint(reader, toks[3], "rise");
+    p.fall = parseUint(reader, toks[4], "fall");
 
     if (!reader.next(toks) || toks.size() != 10 || toks[0] != "wta" ||
         toks[3] != "fatigue" || toks[5] != "init" || toks[8] != "seed") {
         reader.fail("expected 'wta tau k fatigue F init w j seed s'");
     }
-    p.wtaTau = std::stoull(toks[1]);
-    p.wtaK = std::stoul(toks[2]);
-    p.fatigue = std::stoul(toks[4]);
-    p.initWeight = std::stod(toks[6]);
-    p.initJitter = std::stod(toks[7]);
-    p.seed = std::stoull(toks[9]);
+    p.wtaTau = parseUint(reader, toks[1], "wta tau");
+    p.wtaK = parseUint(reader, toks[2], "wta k");
+    p.fatigue = parseUint(reader, toks[4], "fatigue");
+    p.initWeight = parseDouble(reader, toks[6], "init weight");
+    p.initJitter = parseDouble(reader, toks[7], "init jitter");
+    p.seed = parseUint(reader, toks[9], "seed");
     return p;
 }
 
@@ -145,12 +189,12 @@ parseWeightsLine(LineReader &reader, const std::vector<std::string> &toks,
 {
     if (toks.size() != expected_count + 2 || toks[0] != "weights")
         reader.fail("expected 'weights <index> <values...>'");
-    if (std::stoul(toks[1]) != expected_index)
+    if (parseUint(reader, toks[1], "weights index") != expected_index)
         reader.fail("weights rows must appear in order");
     std::vector<double> w;
     w.reserve(expected_count);
     for (size_t i = 2; i < toks.size(); ++i)
-        w.push_back(std::stod(toks[i]));
+        w.push_back(parseDouble(reader, toks[i], "weight"));
     return w;
 }
 
@@ -226,12 +270,13 @@ tnnFromText(const std::string &text)
     }
     if (!reader.next(toks) || toks.size() != 2 || toks[0] != "layers")
         reader.fail("expected 'layers N'");
-    size_t layers = std::stoul(toks[1]);
+    size_t layers = parseUint(reader, toks[1], "layer count");
 
     TnnNetwork net;
     for (size_t l = 0; l < layers; ++l) {
         if (!reader.next(toks) || toks.size() != 2 ||
-            toks[0] != "layer" || std::stoul(toks[1]) != l) {
+            toks[0] != "layer" ||
+            parseUint(reader, toks[1], "layer index") != l) {
             reader.fail("expected 'layer " + std::to_string(l) + "'");
         }
         Column column = parseColumnBody(reader);
@@ -271,23 +316,24 @@ convFromText(const std::string &text)
     Conv1dParams p;
     if (!reader.next(toks) || toks.size() != 5 || toks[0] != "geometry")
         reader.fail("expected 'geometry W k stride F'");
-    p.inputWidth = std::stoul(toks[1]);
-    p.kernelSize = std::stoul(toks[2]);
-    p.stride = std::stoul(toks[3]);
-    p.numFeatures = std::stoul(toks[4]);
+    p.inputWidth = parseUint(reader, toks[1], "input width");
+    p.kernelSize = parseUint(reader, toks[2], "kernel size");
+    p.stride = parseUint(reader, toks[3], "stride");
+    p.numFeatures = parseUint(reader, toks[4], "feature count");
 
     if (!reader.next(toks) || toks.size() != 11 || toks[0] != "neuron" ||
         toks[4] != "fatigue" || toks[6] != "init" || toks[9] != "seed") {
         reader.fail("expected 'neuron theta W shape fatigue F init w j "
                     "seed s'");
     }
-    p.threshold = static_cast<ResponseFunction::Amp>(std::stol(toks[1]));
-    p.maxWeight = std::stoul(toks[2]);
+    p.threshold = static_cast<ResponseFunction::Amp>(
+        parseInt(reader, toks[1], "threshold"));
+    p.maxWeight = parseUint(reader, toks[2], "maxweight");
     p.shape = shapeFromName(toks[3], reader.lineNo());
-    p.fatigue = std::stoul(toks[5]);
-    p.initWeight = std::stod(toks[7]);
-    p.initJitter = std::stod(toks[8]);
-    p.seed = std::stoull(toks[10]);
+    p.fatigue = parseUint(reader, toks[5], "fatigue");
+    p.initWeight = parseDouble(reader, toks[7], "init weight");
+    p.initJitter = parseDouble(reader, toks[8], "init jitter");
+    p.seed = parseUint(reader, toks[10], "seed");
 
     Conv1dLayer conv(p);
     for (size_t f = 0; f < p.numFeatures; ++f) {

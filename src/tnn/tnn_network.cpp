@@ -1,7 +1,10 @@
 #include "tnn/tnn_network.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "core/properties.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -27,6 +30,62 @@ laneScratch()
     return scratch;
 }
 
+/**
+ * Runtime guard checks on one observed layer application (input @p in
+ * already carries any volley-boundary injection; @p out is the layer's
+ * inhibited output). The sampled invariance check re-runs the layer on
+ * a +1-shifted copy — the injector's synapse-delay draws are
+ * input-independent, so the re-run sees the identical faults and the
+ * comparison is exact.
+ */
+void
+checkLayerGuards(const Column &layer, size_t layer_index,
+                 const Volley &in, const Volley &out, uint64_t stream,
+                 uint32_t guards)
+{
+    auto where = [&] {
+        return "tnn.layer" + std::to_string(layer_index) + ".volley" +
+               std::to_string(stream);
+    };
+    const fault::GuardOptions opts = fault::activeGuardOptions();
+    if (guards & fault::kGuardCausality) {
+        PropertyReport r = checkCausalityObserved(in, out);
+        if (!r.holds)
+            fault::reportViolation("causality", where(),
+                                   r.counterexample);
+    }
+    if (guards & fault::kGuardBoundedHistory) {
+        PropertyReport r =
+            checkBoundedObserved(in, out, opts.historyWindow);
+        if (!r.holds)
+            fault::reportViolation("bounded_history", where(),
+                                   r.counterexample);
+    }
+    if ((guards & fault::kGuardInvariance) &&
+        opts.invarianceSampleEvery != 0 &&
+        stream % opts.invarianceSampleEvery == 0) {
+        static thread_local Volley shifted_in, shifted_out;
+        shifted_in.resize(in.size());
+        for (size_t j = 0; j < in.size(); ++j)
+            shifted_in[j] = in[j] + 1;
+        layer.processInto(shifted_in, shifted_out);
+        PropertyReport r = checkShiftConsistency(out, shifted_out, 1);
+        if (!r.holds)
+            fault::reportViolation("invariance", where(),
+                                   r.counterexample);
+    }
+}
+
+/** One layer application plus whatever guards are active. */
+inline void
+applyLayer(const Column &layer, size_t layer_index, const Volley &in,
+           Volley &out, uint64_t stream)
+{
+    layer.processInto(in, out);
+    if (const uint32_t guards = fault::activeGuardFlags())
+        checkLayerGuards(layer, layer_index, in, out, stream, guards);
+}
+
 } // namespace
 
 void
@@ -50,10 +109,16 @@ TnnNetwork::processUpTo(const Volley &input, size_t upto) const
 {
     if (upto > layers_.size())
         throw std::out_of_range("TnnNetwork: layer index out of range");
-    Volley v = input;
-    for (size_t i = 0; i < upto; ++i)
-        v = layers_[i].process(v);
-    return v;
+    // The serial path is stream 0 of the fault model, matching
+    // processBatchUpTo() on a one-volley batch bit-for-bit.
+    Volley cur = input, next;
+    if (const fault::FaultInjector *inj = fault::activeInjector())
+        inj->perturbVolley(cur, 0);
+    for (size_t i = 0; i < upto; ++i) {
+        applyLayer(layers_[i], i, cur, next, 0);
+        std::swap(cur, next);
+    }
+    return cur;
 }
 
 std::vector<Volley>
@@ -87,14 +152,19 @@ TnnNetwork::processBatchUpTo(std::span<const Volley> inputs, size_t upto,
     // Volleys are independent; each lane writes only its own output
     // slots, so the batch result matches the serial loop exactly. The
     // per-lane scratch buffers keep layer-to-layer handoff free of
-    // allocation.
+    // allocation. Fault draws are keyed by the volley index i (the
+    // stream id), never by lane, so faulted batches stay bit-identical
+    // at every thread count.
+    const fault::FaultInjector *inj = fault::activeInjector();
     ThreadPool::shared().parallelFor(
         0, inputs.size(), 1,
         [&](size_t i) {
             LaneScratch &s = laneScratch();
             s.cur.assign(inputs[i].begin(), inputs[i].end());
+            if (inj != nullptr)
+                inj->perturbVolley(s.cur, i);
             for (size_t l = 0; l < upto; ++l) {
-                layers_[l].processInto(s.cur, s.next);
+                applyLayer(layers_[l], l, s.cur, s.next, i);
                 std::swap(s.cur, s.next);
                 ST_OBS_ONLY({
                     uint64_t spikes = 0;

@@ -49,6 +49,11 @@ class TnnNetwork
      * hardware concurrency, 1 = plain serial loop). Volleys are
      * independent, so out[i] == process(inputs[i]) bit-for-bit
      * regardless of the thread count.
+     *
+     * Under an active fault::InjectionScope, volley i's draws are keyed
+     * by stream id i — the batch output is still bit-identical at any
+     * thread count, but only out[0] matches the serial process() call,
+     * which runs as stream 0.
      */
     std::vector<Volley> processBatch(std::span<const Volley> inputs,
                                      size_t nthreads = 0) const;

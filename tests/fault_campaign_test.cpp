@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Chaos campaign (ctest label: chaos): a seeds x specs sweep of the
+ * fault injector with every guard enabled, run under the sanitizer CI
+ * job. Control runs (all-zero spec) must be bit-identical to the
+ * unfaulted engines with zero guard violations; faulted runs must be
+ * bit-identical across thread counts and still guard-clean (injection
+ * perturbs inputs and parameters, never the algebra itself).
+ *
+ * Kept intentionally small per case — the sweep's value is breadth
+ * (seeds x specs x engines), not volume.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "grl/compile.hpp"
+#include "grl/event_sim.hpp"
+#include "test_helpers.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st {
+namespace {
+
+TnnNetwork
+campaignTnn()
+{
+    TnnNetwork net;
+    ColumnParams l0;
+    l0.numInputs = 16;
+    l0.numNeurons = 8;
+    l0.threshold = 6;
+    l0.maxWeight = 7;
+    l0.seed = 40;
+    net.addLayer(l0);
+    ColumnParams l1;
+    l1.numInputs = 8;
+    l1.numNeurons = 4;
+    l1.threshold = 3;
+    l1.maxWeight = 7;
+    l1.seed = 41;
+    net.addLayer(l1);
+    return net;
+}
+
+std::vector<Volley>
+campaignBatch(size_t n, uint64_t seed)
+{
+    PatternSetParams dp;
+    dp.numLines = 16;
+    dp.seed = seed;
+    PatternDataset data(dp);
+    std::vector<Volley> batch;
+    for (const auto &s : data.sampleMany(n))
+        batch.push_back(s.volley);
+    return batch;
+}
+
+std::vector<fault::FaultSpec>
+campaignSpecs(uint64_t seed)
+{
+    fault::FaultSpec jitter;
+    jitter.seed = seed;
+    jitter.jitter = 2;
+
+    fault::FaultSpec drop;
+    drop.seed = seed;
+    drop.dropProb = 0.25;
+
+    fault::FaultSpec mixed;
+    mixed.seed = seed;
+    mixed.jitter = 1;
+    mixed.dropProb = 0.1;
+    mixed.spuriousProb = 0.05;
+    mixed.stuckProb = 0.05;
+    mixed.synDelayJitter = 1;
+
+    return {jitter, drop, mixed};
+}
+
+TEST(FaultCampaign, ControlRunsAreBitIdenticalAndClean)
+{
+    TnnNetwork net = campaignTnn();
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        auto batch = campaignBatch(32, 100 + seed);
+        auto baseline = net.processBatch(batch);
+
+        fault::FaultSpec zero; // all-zero: the control arm
+        zero.seed = seed;
+        fault::FaultInjector inj(zero);
+        fault::InjectionScope inj_scope(inj);
+        fault::FaultReport report;
+        fault::GuardOptions opts;
+        opts.invarianceSampleEvery = 4;
+        fault::GuardScope guard(opts, &report);
+        EXPECT_EQ(net.processBatch(batch), baseline) << "seed " << seed;
+        EXPECT_TRUE(report.clean())
+            << "seed " << seed << "\n"
+            << report.str();
+    }
+}
+
+TEST(FaultCampaign, FaultedRunsAreThreadInvariantAndGuardClean)
+{
+    TnnNetwork net = campaignTnn();
+    for (uint64_t seed : {11u, 12u, 13u}) {
+        auto batch = campaignBatch(32, seed);
+        for (const fault::FaultSpec &spec : campaignSpecs(seed)) {
+            fault::FaultInjector inj(spec);
+            fault::InjectionScope inj_scope(inj);
+            fault::FaultReport report;
+            fault::GuardScope guard(fault::GuardOptions{}, &report);
+            auto serial = net.processBatch(batch, 1);
+            auto threaded = net.processBatch(batch, 8);
+            EXPECT_EQ(serial, threaded) << "seed " << seed;
+            EXPECT_TRUE(report.clean())
+                << "seed " << seed << "\n"
+                << report.str();
+        }
+    }
+}
+
+TEST(FaultCampaign, GrlEventEngineUnderInjection)
+{
+    Rng rng(55);
+    for (uint64_t seed : {21u, 22u}) {
+        Network alg = testing::randomNetwork(rng, 4, 12);
+        grl::Circuit circuit = grl::compileToGrl(alg).circuit;
+        fault::FaultSpec spec;
+        spec.seed = seed;
+        spec.gateDelayJitter = 1;
+        spec.stuckProb = 0.05;
+        fault::FaultInjector inj(spec);
+        fault::InjectionScope inj_scope(inj);
+        fault::FaultReport report;
+        fault::GuardScope guard(fault::GuardOptions{}, &report);
+        for (int s = 0; s < 40; ++s) {
+            auto x = testing::randomVolley(rng, 4, 9);
+            grl::SimResult a = grl::simulateEvents(circuit, x);
+            grl::SimResult b = grl::simulateEvents(circuit, x);
+            EXPECT_EQ(a.outputs, b.outputs) << "seed " << seed;
+        }
+        EXPECT_TRUE(report.clean())
+            << "seed " << seed << "\n"
+            << report.str();
+    }
+}
+
+TEST(FaultCampaign, CompiledEvaluatorControlIsClean)
+{
+    Rng rng(77);
+    fault::FaultReport report;
+    fault::GuardScope guard(fault::GuardOptions{}, &report);
+    for (int trial = 0; trial < 6; ++trial) {
+        Network net = testing::randomNetwork(rng, 4, 14);
+        std::vector<Volley> batch;
+        for (int s = 0; s < 32; ++s)
+            batch.push_back(testing::randomVolley(rng, 4, 9));
+        auto a = net.evaluateBatch(batch, 1);
+        auto b = net.evaluateBatch(batch, 8);
+        EXPECT_EQ(a, b);
+    }
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+} // namespace
+} // namespace st

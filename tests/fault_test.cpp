@@ -1,0 +1,579 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: Status plumbing, the
+ * deterministic injector (hash-based draws, severity nesting, thread
+ * independence), the runtime invariant guards (clean runs stay clean,
+ * forced violations are caught), graceful degradation on all-inf
+ * volleys, and the GRL structural validator / event-budget bail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/network.hpp"
+#include "core/properties.hpp"
+#include "fault/fault.hpp"
+#include "fault/status.hpp"
+#include "grl/compile.hpp"
+#include "grl/event_sim.hpp"
+#include "grl/logic_sim.hpp"
+#include "test_helpers.hpp"
+#include "tnn/datasets.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+// ---------------------------------------------------------------- Status
+
+TEST(Status, CarriesCodeMessageAndContext)
+{
+    Status ok = Status::ok();
+    EXPECT_TRUE(ok.isOk());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(ok.str(), "ok");
+
+    Status bad(StatusCode::FailedPrecondition, "arity mismatch",
+               "wire 7");
+    EXPECT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.code(), StatusCode::FailedPrecondition);
+    EXPECT_NE(bad.str().find("failed_precondition"), std::string::npos);
+    EXPECT_NE(bad.str().find("arity mismatch"), std::string::npos);
+    EXPECT_NE(bad.str().find("wire 7"), std::string::npos);
+}
+
+TEST(Status, ErrorRoundTripsStatus)
+{
+    Status s(StatusCode::ResourceExhausted, "budget", "wire 3");
+    try {
+        throw StatusError(s);
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::ResourceExhausted);
+        EXPECT_NE(std::string(e.what()).find("budget"),
+                  std::string::npos);
+    }
+}
+
+// ----------------------------------------------------------- FaultReport
+
+TEST(FaultReport, CountsAndCaps)
+{
+    fault::FaultReport report;
+    EXPECT_TRUE(report.clean());
+    for (int i = 0; i < 100; ++i)
+        report.add("causality", "tnn.layer0", "out before in");
+    report.add("agenda_order", "grl.agenda", "t went backwards");
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.totalViolations(), 101u);
+    EXPECT_EQ(report.countOf("causality"), 100u);
+    EXPECT_EQ(report.countOf("agenda_order"), 1u);
+    EXPECT_EQ(report.countOf("nothing"), 0u);
+    // Detailed records are capped; counts stay exact.
+    EXPECT_LE(report.violations().size(), fault::FaultReport::kMaxDetailed);
+    EXPECT_NE(report.str().find("causality"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Injector
+
+TEST(FaultInjector, ZeroSpecIsIdentity)
+{
+    fault::FaultInjector inj(fault::FaultSpec{});
+    Rng rng(11);
+    for (int s = 0; s < 20; ++s) {
+        auto v = testing::randomVolley(rng, 16, 9);
+        auto orig = v;
+        inj.perturbVolley(v, s);
+        EXPECT_EQ(v, orig);
+    }
+    EXPECT_EQ(inj.synapseDelay(1, 2, 3), 0);
+    EXPECT_EQ(inj.perturbGateDelay(5, 9), 5);
+    EXPECT_FALSE(inj.stuckAtInf(4));
+}
+
+TEST(FaultInjector, DrawsAreDeterministicAndRepeatable)
+{
+    fault::FaultSpec spec;
+    spec.seed = 77;
+    spec.jitter = 2;
+    spec.dropProb = 0.2;
+    spec.spuriousProb = 0.1;
+    fault::FaultInjector a(spec), b(spec);
+    Rng rng(3);
+    for (int s = 0; s < 20; ++s) {
+        const auto orig = testing::randomVolley(rng, 32, 9);
+        auto v1 = orig, v2 = orig;
+        a.perturbVolley(v1, s);
+        b.perturbVolley(v2, s);
+        EXPECT_EQ(v1, v2);
+        // Re-running over the original input reproduces the result
+        // exactly: counter-based draws carry no stream state.
+        auto v3 = orig;
+        a.perturbVolley(v3, s);
+        EXPECT_EQ(v3, v1);
+    }
+}
+
+TEST(FaultInjector, SeedAndStreamDecorrelate)
+{
+    fault::FaultSpec spec;
+    spec.seed = 1;
+    spec.dropProb = 0.5;
+    fault::FaultSpec other = spec;
+    other.seed = 2;
+    fault::FaultInjector a(spec), b(other);
+    Volley base(64, Time(3));
+    Volley va = base, vb = base, vc = base;
+    a.perturbVolley(va, 0);
+    b.perturbVolley(vb, 0);
+    a.perturbVolley(vc, 1);
+    EXPECT_NE(va, vb); // different seed, different faults
+    EXPECT_NE(va, vc); // different stream, different faults
+}
+
+TEST(FaultInjector, DropSeveritiesNest)
+{
+    // The spikes dropped at p=0.1 must be a subset of those dropped at
+    // p=0.4 (same seed): the draw is thresholded, not re-sampled.
+    fault::FaultSpec lo;
+    lo.seed = 5;
+    lo.dropProb = 0.1;
+    fault::FaultSpec hi = lo;
+    hi.dropProb = 0.4;
+    fault::FaultInjector a(lo), b(hi);
+    Volley vlo(256, Time(4)), vhi(256, Time(4));
+    a.perturbVolley(vlo, 7);
+    b.perturbVolley(vhi, 7);
+    size_t dropped_lo = 0, dropped_hi = 0;
+    for (size_t i = 0; i < vlo.size(); ++i) {
+        if (vlo[i].isInf()) {
+            ++dropped_lo;
+            EXPECT_TRUE(vhi[i].isInf()) << "line " << i;
+        }
+        if (vhi[i].isInf())
+            ++dropped_hi;
+    }
+    EXPECT_GT(dropped_lo, 0u);
+    EXPECT_GT(dropped_hi, dropped_lo);
+}
+
+TEST(FaultInjector, JitterStaysNonNegativeAndBounded)
+{
+    fault::FaultSpec spec;
+    spec.seed = 9;
+    spec.jitter = 3;
+    fault::FaultInjector inj(spec);
+    size_t moved = 0;
+    for (uint64_t line = 0; line < 200; ++line) {
+        Time t = inj.perturbSpike(Time(5), 0, line);
+        ASSERT_TRUE(t.isFinite());
+        EXPECT_GE(t.value(), 2u);
+        EXPECT_LE(t.value(), 8u);
+        moved += t != Time(5);
+        // Early spikes clamp at 0 instead of going negative.
+        Time e = inj.perturbSpike(Time(1), 0, line);
+        ASSERT_TRUE(e.isFinite());
+        EXPECT_LE(e.value(), 4u);
+    }
+    EXPECT_GT(moved, 0u);
+}
+
+TEST(FaultInjector, StuckLinesAreStuckForever)
+{
+    fault::FaultSpec spec;
+    spec.seed = 21;
+    spec.stuckProb = 0.3;
+    fault::FaultInjector inj(spec);
+    size_t stuck = 0;
+    for (uint64_t line = 0; line < 100; ++line) {
+        const bool s = inj.stuckAtInf(line);
+        stuck += s;
+        EXPECT_EQ(inj.stuckAtInf(line), s); // time-invariant
+        if (s) {
+            // Every volley sees the line dead, whatever the stream.
+            EXPECT_EQ(inj.perturbSpike(Time(3), 0, line), INF);
+            EXPECT_EQ(inj.perturbSpike(Time(3), 99, line), INF);
+        }
+    }
+    EXPECT_GT(stuck, 10u);
+    EXPECT_LT(stuck, 60u);
+}
+
+// --------------------------------------------------- Hooks + determinism
+
+TnnNetwork
+smallTnn()
+{
+    TnnNetwork net;
+    ColumnParams l0;
+    l0.numInputs = 16;
+    l0.numNeurons = 8;
+    l0.threshold = 6;
+    l0.maxWeight = 7;
+    l0.fatigue = 0;
+    l0.seed = 12;
+    net.addLayer(l0);
+    ColumnParams l1;
+    l1.numInputs = 8;
+    l1.numNeurons = 4;
+    l1.threshold = 3;
+    l1.maxWeight = 7;
+    l1.seed = 13;
+    net.addLayer(l1);
+    return net;
+}
+
+std::vector<Volley>
+sampleBatch(size_t n)
+{
+    PatternSetParams dp;
+    dp.numLines = 16;
+    dp.seed = 31;
+    PatternDataset data(dp);
+    std::vector<Volley> batch;
+    for (const auto &s : data.sampleMany(n))
+        batch.push_back(s.volley);
+    return batch;
+}
+
+TEST(FaultHooks, ZeroSpecScopeLeavesOutputsIdentical)
+{
+    TnnNetwork net = smallTnn();
+    auto batch = sampleBatch(40);
+    auto clean = net.processBatch(batch);
+    fault::FaultInjector inj(fault::FaultSpec{});
+    fault::InjectionScope scope(inj);
+    EXPECT_EQ(net.processBatch(batch), clean);
+}
+
+TEST(FaultHooks, FaultedBatchIsThreadCountInvariant)
+{
+    TnnNetwork net = smallTnn();
+    auto batch = sampleBatch(64);
+    fault::FaultSpec spec;
+    spec.seed = 404;
+    spec.jitter = 1;
+    spec.dropProb = 0.15;
+    spec.spuriousProb = 0.05;
+    spec.synDelayJitter = 1;
+    fault::FaultInjector inj(spec);
+    fault::InjectionScope scope(inj);
+    auto serial = net.processBatch(batch, 1);
+    auto parallel = net.processBatch(batch, 8);
+    EXPECT_EQ(serial, parallel);
+    // And the injection actually changed something.
+    std::vector<Volley> clean;
+    {
+        fault::FaultInjector none{fault::FaultSpec{}};
+        fault::InjectionScope inner(none);
+        clean = net.processBatch(batch, 1);
+    }
+    EXPECT_NE(serial, clean);
+}
+
+TEST(FaultHooks, SerialProcessMatchesStreamZero)
+{
+    TnnNetwork net = smallTnn();
+    auto batch = sampleBatch(8);
+    fault::FaultSpec spec;
+    spec.seed = 5;
+    spec.jitter = 2;
+    spec.dropProb = 0.2;
+    fault::FaultInjector inj(spec);
+    fault::InjectionScope scope(inj);
+    auto out = net.processBatch(batch, 4);
+    // Volley 0 of a batch and a serial process() both run as stream 0.
+    EXPECT_EQ(net.process(batch[0]), out[0]);
+}
+
+TEST(FaultHooks, ScopesNestAndRestore)
+{
+    EXPECT_EQ(fault::activeInjector(), nullptr);
+    fault::FaultSpec spec;
+    spec.seed = 1;
+    fault::FaultInjector outer_inj(spec), inner_inj(spec);
+    {
+        fault::InjectionScope outer(outer_inj);
+        EXPECT_EQ(fault::activeInjector(), &outer_inj);
+        {
+            fault::InjectionScope inner(inner_inj);
+            EXPECT_EQ(fault::activeInjector(), &inner_inj);
+        }
+        EXPECT_EQ(fault::activeInjector(), &outer_inj);
+    }
+    EXPECT_EQ(fault::activeInjector(), nullptr);
+}
+
+// ----------------------------------------------------------------- Guards
+
+TEST(Guards, OffByDefault)
+{
+    EXPECT_EQ(fault::activeGuardFlags(), 0u);
+    EXPECT_FALSE(fault::guardActive(fault::kGuardCausality));
+}
+
+TEST(Guards, CleanRunReportsNoViolations)
+{
+    TnnNetwork net = smallTnn();
+    auto batch = sampleBatch(48);
+    auto clean = net.processBatch(batch);
+
+    fault::FaultReport report;
+    fault::GuardOptions opts;
+    opts.invarianceSampleEvery = 1; // check every volley
+    fault::GuardScope scope(opts, &report);
+    auto guarded = net.processBatch(batch);
+    EXPECT_EQ(guarded, clean); // guards observe, never alter
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+TEST(Guards, CleanRunStaysCleanUnderInjection)
+{
+    // Injection perturbs *inputs and parameters*, not the algebra: a
+    // faulted network is still a causal, invariant s-t computation, so
+    // guards must not fire on injected runs either.
+    TnnNetwork net = smallTnn();
+    auto batch = sampleBatch(48);
+    fault::FaultSpec spec;
+    spec.seed = 8;
+    spec.jitter = 2;
+    spec.dropProb = 0.2;
+    spec.spuriousProb = 0.1;
+    spec.synDelayJitter = 2;
+    fault::FaultInjector inj(spec);
+    fault::InjectionScope inj_scope(inj);
+    fault::FaultReport report;
+    fault::GuardOptions opts;
+    opts.invarianceSampleEvery = 4;
+    fault::GuardScope scope(opts, &report);
+    net.processBatch(batch);
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+TEST(Guards, ReportViolationFeedsActiveScope)
+{
+    fault::FaultReport report;
+    {
+        fault::GuardScope scope(fault::GuardOptions{}, &report);
+        fault::reportViolation("causality", "test.site", "forced");
+    }
+    EXPECT_EQ(report.totalViolations(), 1u);
+    EXPECT_EQ(report.violations()[0].where, "test.site");
+    // After the scope closes, reports go nowhere (but never crash).
+    fault::reportViolation("causality", "test.site", "ignored");
+    EXPECT_EQ(report.totalViolations(), 1u);
+}
+
+TEST(Guards, ObservedCheckersCatchViolations)
+{
+    // causality: output earlier than the earliest input.
+    EXPECT_FALSE(checkCausalityObserved(V({3, 4}), V({2})));
+    EXPECT_TRUE(checkCausalityObserved(V({3, 4}), V({3})));
+    // spikes from silence are a causality violation.
+    EXPECT_FALSE(checkCausalityObserved(V({kNo, kNo}), V({5})));
+    EXPECT_TRUE(checkCausalityObserved(V({kNo, kNo}), V({kNo})));
+    // bounded history: output beyond latest input + window.
+    EXPECT_FALSE(checkBoundedObserved(V({1, 2}), V({300}), 100));
+    EXPECT_TRUE(checkBoundedObserved(V({1, 2}), V({50}), 100));
+    // shift consistency: f(x+1) must equal f(x)+1.
+    EXPECT_TRUE(checkShiftConsistency(V({4, kNo}), V({5, kNo}), 1));
+    EXPECT_FALSE(checkShiftConsistency(V({4, kNo}), V({4, kNo}), 1));
+    EXPECT_FALSE(checkShiftConsistency(V({4}), V({5, 6}), 1));
+}
+
+TEST(Guards, CompiledEvaluatorCleanRun)
+{
+    Rng rng(70);
+    fault::FaultReport report;
+    fault::GuardScope scope(fault::GuardOptions{}, &report);
+    for (int trial = 0; trial < 10; ++trial) {
+        Network net = testing::randomNetwork(rng, 4, 12);
+        for (int s = 0; s < 20; ++s)
+            net.evaluate(testing::randomVolley(rng, 4, 9));
+    }
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+// ---------------------------------------------- All-inf graceful output
+
+TEST(Degradation, AllInfVolleysAreWellDefined)
+{
+    TnnNetwork net = smallTnn();
+    Volley dead(16, INF);
+    fault::FaultReport report;
+    fault::GuardScope scope(fault::GuardOptions{}, &report);
+    Volley out = net.process(dead);
+    ASSERT_EQ(out.size(), 4u);
+    for (Time t : out)
+        EXPECT_TRUE(t.isInf()); // silence in, silence out
+    EXPECT_TRUE(report.clean()) << report.str();
+
+    Network alg(3);
+    alg.markOutput(alg.min(alg.input(0), alg.input(1)));
+    alg.markOutput(alg.lt(alg.input(2), alg.input(0)));
+    auto y = alg.evaluate(Volley(3, INF));
+    EXPECT_TRUE(y[0].isInf());
+    EXPECT_TRUE(y[1].isInf());
+}
+
+TEST(Degradation, TotalDropYieldsAllInfOutput)
+{
+    TnnNetwork net = smallTnn();
+    auto batch = sampleBatch(8);
+    fault::FaultSpec spec;
+    spec.seed = 3;
+    spec.dropProb = 1.0;
+    fault::FaultInjector inj(spec);
+    fault::InjectionScope scope(inj);
+    for (const auto &out : net.processBatch(batch))
+        for (Time t : out)
+            EXPECT_TRUE(t.isInf());
+}
+
+// -------------------------------------------------------- GRL validation
+
+TEST(GrlValidate, BuilderCircuitsPass)
+{
+    grl::Circuit c(2);
+    grl::WireId m = c.andGate(c.input(0), c.input(1));
+    grl::WireId d = c.delay(m, 2);
+    c.markOutput(c.ltCell(d, c.input(0)));
+    EXPECT_TRUE(c.validate().isOk());
+}
+
+TEST(GrlValidate, DetectsZeroDelayCycle)
+{
+    grl::Circuit c(1);
+    // or(x, and(or...)) loop with no Delay breaker, via the unchecked
+    // escape hatch (the builders would reject the forward reference).
+    grl::Gate a;
+    a.kind = grl::GateKind::Or;
+    a.fanin = {0, 2}; // forward edge into the AND below
+    c.addGateUnchecked(a);
+    grl::Gate b;
+    b.kind = grl::GateKind::And;
+    b.fanin = {1};
+    c.addGateUnchecked(b);
+    Status s = c.validate();
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::FailedPrecondition);
+    EXPECT_NE(s.str().find("zero-delay"), std::string::npos);
+    // The engines bail with the same diagnostic instead of hanging.
+    std::vector<Time> x{Time(0)};
+    EXPECT_THROW(grl::simulateEvents(c, x), StatusError);
+    EXPECT_THROW(grl::simulate(c, x), StatusError);
+}
+
+TEST(GrlValidate, DelayBreaksCycles)
+{
+    // Feedback is representable when the loop's forward edge enters a
+    // Delay with stages >= 1: the flipflops carry the value across
+    // cycles, so the settle-order invariant still holds.
+    grl::Circuit c(1);
+    grl::Gate d;
+    d.kind = grl::GateKind::Delay;
+    d.fanin = {2}; // forward edge into the flipflops: allowed
+    d.stages = 3;
+    c.addGateUnchecked(d);
+    grl::Gate a;
+    a.kind = grl::GateKind::Or;
+    a.fanin = {0, 1}; // reads the delay output back: the loop closes
+    c.addGateUnchecked(a);
+    EXPECT_TRUE(c.validate().isOk()) << c.validate().str();
+}
+
+TEST(GrlValidate, DetectsBadFaninAndArity)
+{
+    grl::Circuit c(1);
+    grl::Gate g;
+    g.kind = grl::GateKind::And;
+    g.fanin = {42}; // out of range
+    c.addGateUnchecked(g);
+    Status s = c.validate();
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::OutOfRange);
+
+    grl::Circuit c2(1);
+    grl::Gate lt;
+    lt.kind = grl::GateKind::LtCell;
+    lt.fanin = {0}; // needs exactly 2
+    c2.addGateUnchecked(lt);
+    EXPECT_FALSE(c2.validate().isOk());
+
+    grl::Circuit c3(1);
+    grl::Gate z;
+    z.kind = grl::GateKind::Delay;
+    z.fanin = {1}; // self-loop through a ZERO-stage delay: no breaker
+    z.stages = 0;
+    c3.addGateUnchecked(z);
+    EXPECT_FALSE(c3.validate().isOk());
+}
+
+TEST(GrlValidate, CompileStillProducesValidCircuits)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        Network net = testing::randomNetwork(rng, 3, 10);
+        grl::Circuit c = grl::compileToGrl(net).circuit;
+        EXPECT_TRUE(c.validate().isOk());
+    }
+}
+
+// ----------------------------------------------------- GRL fault hooks
+
+grl::Circuit
+sampleCircuit()
+{
+    grl::Circuit c(3);
+    grl::WireId m = c.andGate(c.input(0), c.input(1));
+    grl::WireId x = c.orGate(m, c.input(2));
+    grl::WireId d = c.delay(x, 2);
+    c.markOutput(c.ltCell(d, c.input(2)));
+    c.markOutput(d);
+    return c;
+}
+
+TEST(GrlFaults, GateDelayInjectionIsDeterministic)
+{
+    grl::Circuit c = sampleCircuit();
+    std::vector<Time> x{Time(1), Time(3), Time(2)};
+    fault::FaultSpec spec;
+    spec.seed = 66;
+    spec.gateDelayJitter = 1;
+    fault::FaultInjector inj(spec);
+    fault::InjectionScope scope(inj);
+    grl::SimResult a = grl::simulateEvents(c, x);
+    grl::SimResult b = grl::simulateEvents(c, x);
+    EXPECT_EQ(a.outputs, b.outputs);
+}
+
+TEST(GrlFaults, StuckWiresSilenceOutputs)
+{
+    grl::Circuit c = sampleCircuit();
+    std::vector<Time> x{Time(1), Time(3), Time(2)};
+    fault::FaultSpec spec;
+    spec.seed = 2;
+    spec.stuckProb = 1.0; // every wire dead
+    fault::FaultInjector inj(spec);
+    fault::InjectionScope scope(inj);
+    grl::SimResult r = grl::simulateEvents(c, x);
+    for (Time t : r.outputs)
+        EXPECT_TRUE(t.isInf());
+}
+
+TEST(GrlFaults, AgendaGuardCleanOnValidCircuits)
+{
+    grl::Circuit c = sampleCircuit();
+    fault::FaultReport report;
+    fault::GuardScope scope(fault::GuardOptions{}, &report);
+    testing::forAllVolleys(3, 3, [&](const std::vector<Time> &x) {
+        grl::simulateEvents(c, x);
+    });
+    EXPECT_TRUE(report.clean()) << report.str();
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Negative-path tests of every text loader: malformed input must raise
+ * std::invalid_argument whose message carries the offending line
+ * number — never crash, never silently accept garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/network_io.hpp"
+#include "tnn/aer.hpp"
+#include "tnn/tnn_io.hpp"
+
+namespace st {
+namespace {
+
+/** Run @p fn, require std::invalid_argument mentioning "line <no>". */
+template <typename Fn>
+void
+expectLineError(Fn &&fn, size_t line_no, const std::string &fragment = "")
+{
+    try {
+        fn();
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line " + std::to_string(line_no)),
+                  std::string::npos)
+            << "message lacks line " << line_no << ": " << msg;
+        if (!fragment.empty()) {
+            EXPECT_NE(msg.find(fragment), std::string::npos)
+                << "message lacks '" << fragment << "': " << msg;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- stnet
+
+TEST(IoNegative, NetworkBadInputCount)
+{
+    expectLineError(
+        [] { networkFromText("stnet 1\ninputs many\n"); }, 2,
+        "input count");
+    expectLineError(
+        [] { networkFromText("stnet 1\ninputs -3\n"); }, 2);
+    expectLineError(
+        [] { networkFromText("stnet 1\ninputs 99999999999999999999\n"); },
+        2, "out of range");
+}
+
+TEST(IoNegative, NetworkBadNodeReference)
+{
+    // "n12x" must not silently parse as n12.
+    expectLineError(
+        [] {
+            networkFromText("stnet 1\ninputs 2\nn2 = min n0 n1x\n");
+        },
+        3, "node id");
+    expectLineError(
+        [] { networkFromText("stnet 1\ninputs 2\nn2 = min x0 n1\n"); },
+        3, "node reference");
+}
+
+TEST(IoNegative, NetworkBadConstants)
+{
+    expectLineError(
+        [] {
+            networkFromText("stnet 1\ninputs 1\nn1 = config fast\n");
+        },
+        3, "config value");
+    expectLineError(
+        [] { networkFromText("stnet 1\ninputs 1\nn1 = inc n0 -2\n"); },
+        3, "inc constant");
+}
+
+TEST(IoNegative, NetworkBuilderErrorsCarryLineContext)
+{
+    // Dangling reference: the builder throws std::out_of_range, which
+    // is a logic_error — the loader rewraps it with the line number.
+    expectLineError(
+        [] {
+            networkFromText("stnet 1\ninputs 1\n# hi\nn1 = inc n9 1\n");
+        },
+        4);
+    expectLineError(
+        [] { networkFromText("stnet 1\ninputs 1\noutput n7\n"); }, 3);
+    expectLineError(
+        [] { networkFromText("stnet 1\ninputs 1\nlabel n7 x\n"); }, 3);
+}
+
+// ------------------------------------------------------------- stcolumn
+
+std::string
+columnHeader()
+{
+    return "stcolumn 1\n"
+           "inputs 2 neurons 1 threshold 4 maxweight 7 shape step\n"
+           "response 4 1 2 12\n"
+           "wta 8 1 fatigue 0 init 0.5 0 seed 1\n";
+}
+
+TEST(IoNegative, ColumnBadNumericFields)
+{
+    expectLineError(
+        [] {
+            columnFromText("stcolumn 1\ninputs two neurons 1 threshold "
+                           "4 maxweight 7 shape step\n");
+        },
+        2, "input count");
+    expectLineError(
+        [] {
+            columnFromText("stcolumn 1\ninputs 2 neurons 1 threshold "
+                           "4 maxweight 7 shape step\n"
+                           "response 4 oops 2 12\n");
+        },
+        3, "tauFast");
+    expectLineError(
+        [] {
+            columnFromText("stcolumn 1\ninputs 2 neurons 1 threshold "
+                           "4 maxweight 7 shape step\n"
+                           "response 4 1 2 12\n"
+                           "wta 8 1 fatigue 0 init 0.5 0 seed x\n");
+        },
+        4, "seed");
+}
+
+TEST(IoNegative, ColumnBadWeights)
+{
+    expectLineError(
+        [] { columnFromText(columnHeader() + "weights 0 0.5 beta\n"); },
+        5, "weight");
+    expectLineError(
+        [] { columnFromText(columnHeader() + "weights zero 0.5 1\n"); },
+        5, "weights index");
+}
+
+TEST(IoNegative, TnnBadLayerCount)
+{
+    expectLineError(
+        [] { tnnFromText("sttnn 1\nlayers few\n"); }, 2,
+        "layer count");
+}
+
+// --------------------------------------------------------------- stconv
+
+TEST(IoNegative, ConvBadGeometry)
+{
+    expectLineError(
+        [] { convFromText("stconv 1\ngeometry 12 4 2 x\n"); }, 2,
+        "feature count");
+    expectLineError(
+        [] {
+            convFromText("stconv 1\ngeometry 12 4 2 1\n"
+                         "neuron 5 7 step fatigue 0 init 0.5 0 seed "
+                         "nope\n");
+        },
+        3, "seed");
+}
+
+// ---------------------------------------------------------------- staer
+
+TEST(IoNegative, AerBadHeader)
+{
+    expectLineError([] { aerFromText(""); }, 0);
+    expectLineError([] { aerFromText("staer 2\n"); }, 1);
+    expectLineError([] { aerFromText("staer 1\n"); }, 1);
+    expectLineError(
+        [] { aerFromText("staer 1\naddresses 0\n"); }, 2);
+    expectLineError(
+        [] { aerFromText("staer 1\naddresses lots\n"); }, 2,
+        "address count");
+}
+
+TEST(IoNegative, AerBadEvents)
+{
+    expectLineError(
+        [] { aerFromText("staer 1\naddresses 4\n3\n"); }, 3);
+    expectLineError(
+        [] { aerFromText("staer 1\naddresses 4\n3 x\n"); }, 3,
+        "address");
+    expectLineError(
+        [] { aerFromText("staer 1\naddresses 4\n3 9\n"); }, 3,
+        "out of range");
+    expectLineError(
+        [] { aerFromText("staer 1\naddresses 4\n5 0\n3 1\n"); }, 4,
+        "time order");
+}
+
+TEST(IoNegative, AerRoundTrip)
+{
+    AerStream stream(3);
+    stream.push(0, 2);
+    stream.push(4, 0);
+    stream.push(4, 1);
+    AerStream back = aerFromText(aerToText(stream));
+    EXPECT_EQ(back.numAddresses(), stream.numAddresses());
+    EXPECT_EQ(back.events(), stream.events());
+    EXPECT_EQ(aerToText(back), aerToText(stream));
+}
+
+TEST(IoNegative, AerParsesCommentsAndBlanks)
+{
+    AerStream stream = aerFromText("# sensor dump\nstaer 1\n\n"
+                                   "addresses 2\n"
+                                   "1 0  # first event\n"
+                                   "2 1\n");
+    EXPECT_EQ(stream.size(), 2u);
+    EXPECT_EQ(stream.events()[1], (AerEvent{2, 1}));
+}
+
+} // namespace
+} // namespace st

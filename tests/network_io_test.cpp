@@ -123,9 +123,11 @@ TEST(NetworkIo, RejectsMalformedInput)
     EXPECT_THROW(
         networkFromText("stnet 1\ninputs 1\nn5 = inc n0 1\n"),
         std::invalid_argument); // id out of sequence
+    // A dangling reference is rewrapped with the loader's line context
+    // (the builder's bare std::out_of_range would lose the line number).
     EXPECT_THROW(
         networkFromText("stnet 1\ninputs 1\nn1 = inc n9 1\n"),
-        std::out_of_range); // dangling reference
+        std::invalid_argument);
 }
 
 } // namespace
