@@ -1,0 +1,374 @@
+/**
+ * @file
+ * stnet_client — loopback driver for stnet_serve.
+ *
+ * Opens N concurrent sessions against a running daemon, streams AER
+ * events (synthetic, or replayed from an staer file), reads the
+ * responses, and *verifies the protocol held*: per-session volley seqs
+ * strictly increase, every queued volley is answered or accounted as a
+ * drop, and the end line's counters match what the client observed.
+ *
+ *   stnet_client --connect 7170 --sessions 4 --volleys 32
+ *   stnet_client --connect 7170 --aer stream.staer
+ *   stnet_client --connect 7170 --chaos 0.5 --seed 7   # wire chaos
+ *   stnet_client --connect 7170 --health               # health JSON
+ *
+ * Wire chaos (client side, deterministic in --seed): events are
+ * dropped and time-jittered *before* sending — distinct from the
+ * daemon's --chaos, which perturbs framed volleys. Jitter keeps times
+ * nondecreasing so chaos exercises degradation, not the quarantine
+ * path; add --malformed to also send one garbage line per session and
+ * verify quarantine isolation.
+ *
+ * Exit 0 iff every session ran the protocol to its end line with
+ * order preserved (busy/shed answers count as protocol-correct).
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "tnn/aer.hpp"
+
+using namespace st;
+
+namespace {
+
+struct Options
+{
+    uint16_t port = 0;
+    size_t sessions = 1;
+    size_t addresses = 8;
+    size_t volleys = 16;
+    uint64_t window = 16;
+    std::string aerFile;
+    double chaos = 0.0;
+    uint64_t seed = 1;
+    bool malformed = false;
+    bool health = false;
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: stnet_client --connect PORT [options]\n"
+           "  --sessions N   concurrent sessions (default 1)\n"
+           "  --addresses N  synthetic stream width (default 8)\n"
+           "  --volleys N    windows per session (default 16)\n"
+           "  --window W     window width (default 16)\n"
+           "  --aer FILE     replay an staer file instead\n"
+           "  --chaos S      wire chaos severity 0..1\n"
+           "  --seed S       chaos/stimulus seed (default 1)\n"
+           "  --malformed    inject one garbage line per session\n"
+           "  --health       query health JSON and exit\n";
+    return 2;
+}
+
+/** splitmix64: the repo-wide cheap deterministic generator. */
+uint64_t
+mix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+int
+dialLoopback(uint16_t port)
+{
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                sizeof(addr)) < 0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Blocking line reader over a socket. */
+class LineSocket
+{
+  public:
+    explicit LineSocket(int fd) : fd_(fd) {}
+
+    bool
+    next(std::string &line)
+    {
+        while (true) {
+            const size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line.assign(buf_, 0, nl);
+                buf_.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = read(fd_, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+/** The event stream one session will send. */
+AerStream
+makeStimulus(const Options &opt, size_t session_index)
+{
+    if (!opt.aerFile.empty()) {
+        std::ifstream in(opt.aerFile);
+        if (!in)
+            throw std::runtime_error("cannot open " + opt.aerFile);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return aerFromText(os.str());
+    }
+    AerStream stream(static_cast<uint32_t>(opt.addresses));
+    uint64_t rng = opt.seed * 0x2545f4914f6cdd1dULL + session_index;
+    for (size_t w = 0; w < opt.volleys; ++w) {
+        const uint64_t base = w * opt.window;
+        // A few events per window at sorted offsets.
+        uint64_t t = base;
+        for (size_t k = 0; k < 3; ++k) {
+            t += mix64(rng) % (opt.window / 4 + 1);
+            if (t >= base + opt.window)
+                break;
+            stream.push(t, static_cast<uint32_t>(mix64(rng) %
+                                                 opt.addresses));
+        }
+    }
+    return stream;
+}
+
+struct SessionResult
+{
+    bool ok = false;
+    uint64_t volleys = 0;
+    uint64_t drops = 0;
+    bool busy = false;
+    std::string error;
+};
+
+SessionResult
+runSession(const Options &opt, size_t index)
+{
+    SessionResult res;
+    const int fd = dialLoopback(opt.port);
+    if (fd < 0) {
+        res.error = "connect failed";
+        return res;
+    }
+    LineSocket in(fd);
+
+    const AerStream stimulus = makeStimulus(opt, index);
+    const uint32_t addresses = stimulus.numAddresses();
+
+    std::ostringstream req;
+    req << "stserve 1\n";
+    req << "addresses " << addresses << " window " << opt.window
+        << "\n";
+    uint64_t rng = opt.seed ^ (0xc4a5 + index);
+    uint64_t lastSent = 0;
+    for (const AerEvent &e : stimulus.events()) {
+        if (opt.chaos > 0.0 &&
+            (mix64(rng) % 1000) < uint64_t(100.0 * opt.chaos))
+            continue; // dropped on the wire
+        uint64_t t = e.time;
+        if (opt.chaos > 0.0) {
+            t += mix64(rng) % (uint64_t(4.0 * opt.chaos) + 1);
+            if (t < lastSent)
+                t = lastSent; // keep nondecreasing
+        }
+        lastSent = t;
+        req << t << " " << e.address << "\n";
+    }
+    if (opt.malformed)
+        req << "zorp " << index << "\n"; // quarantine trigger
+    req << "end\n";
+    if (!sendAll(fd, req.str())) {
+        res.error = "send failed";
+        close(fd);
+        return res;
+    }
+
+    std::string line;
+    uint64_t lastSeq = 0;
+    bool sawSeq = false;
+    bool quarantined = false;
+    while (in.next(line)) {
+        std::istringstream is(line);
+        std::string tag;
+        is >> tag;
+        if (tag == "busy") {
+            res.busy = true;
+            res.ok = true; // shed via the defined reject path
+            break;
+        } else if (tag == "volley") {
+            // The order guarantee is on *deliveries*; drop notices
+            // (shed at submit time) may interleave out of seq order.
+            uint64_t seq = 0;
+            is >> seq;
+            if (sawSeq && seq <= lastSeq) {
+                res.error = "out-of-order seq " +
+                            std::to_string(seq) + " after " +
+                            std::to_string(lastSeq);
+                break;
+            }
+            lastSeq = seq;
+            sawSeq = true;
+            ++res.volleys;
+        } else if (tag == "drop") {
+            ++res.drops;
+        } else if (tag == "err") {
+            quarantined = true; // expected with --malformed
+        } else if (tag == "end") {
+            std::string kw;
+            uint64_t v = 0, d = 0;
+            is >> kw >> v >> kw >> d;
+            if (v != res.volleys) {
+                res.error = "end reports " + std::to_string(v) +
+                            " volleys, client saw " +
+                            std::to_string(res.volleys);
+            } else if (opt.malformed && !quarantined) {
+                res.error = "malformed line not quarantined";
+            } else {
+                res.ok = true;
+            }
+            break;
+        }
+        // note/health lines are informational
+    }
+    if (!res.ok && res.error.empty())
+        res.error = "connection closed before end line";
+    close(fd);
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasNext = i + 1 < argc;
+        if (arg == "--connect" && hasNext)
+            opt.port = static_cast<uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (arg == "--sessions" && hasNext)
+            opt.sessions = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--addresses" && hasNext)
+            opt.addresses = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--volleys" && hasNext)
+            opt.volleys = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--window" && hasNext)
+            opt.window = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--aer" && hasNext)
+            opt.aerFile = argv[++i];
+        else if (arg == "--chaos" && hasNext)
+            opt.chaos = std::strtod(argv[++i], nullptr);
+        else if (arg == "--seed" && hasNext)
+            opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--malformed")
+            opt.malformed = true;
+        else if (arg == "--health")
+            opt.health = true;
+        else
+            return usage();
+    }
+    if (opt.port == 0)
+        return usage();
+
+    if (opt.health) {
+        const int fd = dialLoopback(opt.port);
+        if (fd < 0) {
+            std::cerr << "stnet_client: connect failed\n";
+            return 1;
+        }
+        sendAll(fd, "health\n");
+        LineSocket in(fd);
+        std::string line;
+        while (in.next(line)) {
+            if (line.rfind("health ", 0) == 0) {
+                std::cout << line.substr(7) << "\n";
+                close(fd);
+                return 0;
+            }
+        }
+        close(fd);
+        std::cerr << "stnet_client: no health reply\n";
+        return 1;
+    }
+
+    std::vector<SessionResult> results(opt.sessions);
+    std::vector<std::thread> threads;
+    threads.reserve(opt.sessions);
+    for (size_t i = 0; i < opt.sessions; ++i)
+        threads.emplace_back([&, i] { results[i] = runSession(opt, i); });
+    for (auto &t : threads)
+        t.join();
+
+    uint64_t volleys = 0, drops = 0, busy = 0, failed = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SessionResult &r = results[i];
+        volleys += r.volleys;
+        drops += r.drops;
+        busy += r.busy ? 1 : 0;
+        if (!r.ok) {
+            ++failed;
+            std::cerr << "stnet_client: session " << i << ": "
+                      << r.error << "\n";
+        }
+    }
+    std::cout << "sessions " << opt.sessions << " ok "
+              << (opt.sessions - failed) << " busy " << busy
+              << " volleys " << volleys << " drops " << drops
+              << "\n";
+    return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * stnet_serve — the streaming AER inference daemon.
+ *
+ * Loads (or builds) a model, starts a StreamServer, and serves the
+ * stserve wire protocol (see serve/session.hpp) over a transport:
+ *
+ *   stnet_serve --demo 8 --tcp 0              # demo TNN, ephemeral port
+ *   stnet_serve --model net.tnn --tcp 7170    # trained TNN from disk
+ *   stnet_serve --lsm-demo 16 --pipe          # LSM anomaly scoring on
+ *                                             # stdin/stdout
+ *   stnet_serve --demo 8 --tcp 0 --chaos 0.3  # live fault injection
+ *
+ * The bound TCP port is announced on stderr as "listening <port>" so a
+ * driver using an ephemeral port can find it. SIGTERM/SIGINT starts a
+ * graceful drain: admission stops, in-flight volleys finish, every
+ * session gets its end line, and the final metrics snapshot goes to
+ * stderr before the process exits 0 (exit 1 if the drain had to
+ * force-close sessions).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+#include "tnn/tnn_io.hpp"
+#include "util/parse.hpp"
+
+using namespace st;
+using namespace st::serve;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: stnet_serve [model] [transport] [options]\n"
+           "  model:     --demo N | --lsm-demo N | --model FILE\n"
+           "  transport: --tcp PORT (0 = ephemeral) | --pipe\n"
+           "  options:   --chaos SEVERITY (0..1, deterministic seed)\n"
+           "             --threads N (batch fan-out; 0 = auto)\n"
+           "All serve limits also read ST_SERVE_* env vars\n"
+           "(see serve/config.hpp).\n";
+    return 2;
+}
+
+/** A small but real 2-layer WTA column stack for --demo mode. */
+TnnNetwork
+buildDemoTnn(size_t inputs)
+{
+    TnnNetwork net;
+    ColumnParams l1;
+    l1.numInputs = inputs;
+    l1.numNeurons = inputs * 2;
+    l1.wtaK = 4;
+    net.addLayer(l1);
+    ColumnParams l2;
+    l2.numInputs = inputs * 2;
+    l2.numNeurons = inputs;
+    l2.wtaK = 1;
+    net.addLayer(l2);
+    return net;
+}
+
+fault::FaultSpec
+chaosSpec(double severity)
+{
+    fault::FaultSpec spec;
+    spec.seed = 0x5e54e;
+    spec.jitter = static_cast<Time::rep>(severity * 4.0);
+    spec.dropProb = 0.10 * severity;
+    spec.spuriousProb = 0.05 * severity;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t demoInputs = 0;
+    size_t lsmInputs = 0;
+    std::string modelFile;
+    bool pipe = false;
+    bool haveTcp = false;
+    uint16_t tcpPort = 0;
+    double chaos = -1.0;
+    size_t threads = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasNext = i + 1 < argc;
+        if (arg == "--demo" && hasNext) {
+            demoInputs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--lsm-demo" && hasNext) {
+            lsmInputs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--model" && hasNext) {
+            modelFile = argv[++i];
+        } else if (arg == "--tcp" && hasNext) {
+            haveTcp = true;
+            tcpPort = static_cast<uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--pipe") {
+            pipe = true;
+        } else if (arg == "--chaos" && hasNext) {
+            chaos = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--threads" && hasNext) {
+            threads = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
+    if (!pipe && !haveTcp)
+        return usage();
+    if ((demoInputs > 0) + (lsmInputs > 0) + (!modelFile.empty()) != 1)
+        return usage();
+
+    std::unique_ptr<ServeModel> model;
+    try {
+        if (demoInputs > 0) {
+            model = std::make_unique<TnnServeModel>(
+                buildDemoTnn(demoInputs));
+        } else if (lsmInputs > 0) {
+            ReservoirParams params;
+            params.numInputs = lsmInputs;
+            params.numNeurons = 96;
+            model = std::make_unique<LsmAnomalyModel>(params, 8);
+        } else {
+            std::ifstream in(modelFile);
+            if (!in) {
+                std::cerr << "stnet_serve: cannot open " << modelFile
+                          << "\n";
+                return 1;
+            }
+            std::ostringstream os;
+            os << in.rdbuf();
+            model = std::make_unique<TnnServeModel>(
+                tnnFromText(os.str()));
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "stnet_serve: model load failed: " << e.what()
+                  << "\n";
+        return 1;
+    }
+
+    ServeConfig config = ServeConfig::fromEnv();
+    if (threads > 0)
+        config.nthreads = threads;
+
+    StreamServer server(std::move(model), config);
+    if (chaos >= 0.0)
+        server.enableChaos(chaosSpec(chaos));
+    StreamServer::installSignalHandlers(&server);
+    server.start();
+
+    bool clean = true;
+    if (pipe) {
+        runPipeSession(server, stdin, stdout);
+        server.requestStop();
+        clean = server.waitDrained();
+    } else {
+        try {
+            TcpTransport tcp(server, tcpPort);
+            std::cerr << "listening " << tcp.port() << std::endl;
+            tcp.serve(); // returns when SIGTERM/SIGINT drains
+            clean = server.waitDrained();
+        } catch (const std::exception &e) {
+            std::cerr << "stnet_serve: " << e.what() << "\n";
+            return 1;
+        }
+    }
+
+    std::cerr << "stnet_serve: drained "
+              << (clean ? "cleanly" : "with force-closed sessions")
+              << "\n"
+              << server.healthJson() << std::endl;
+    StreamServer::installSignalHandlers(nullptr);
+    return clean ? 0 : 1;
+}

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/status.hpp"
+
 namespace st {
 
 std::string
@@ -48,8 +50,13 @@ namespace {
 [[noreturn]] void
 fail(size_t line_no, const std::string &what)
 {
-    throw std::invalid_argument("networkFromText: line " +
-                                std::to_string(line_no) + ": " + what);
+    // Render through st::Status so the loader's diagnostics carry the
+    // same code/message/context shape as the rest of the fault layer
+    // ("invalid_argument: <what> [line N]").
+    const Status status(StatusCode::InvalidArgument, what,
+                        "line " + std::to_string(line_no));
+    throw std::invalid_argument("networkFromText: " +
+                                status.toString());
 }
 
 /** Strict unsigned parse: all digits, in range — or fail with @p what. */

@@ -1,5 +1,7 @@
 #include "fault/status.hpp"
 
+#include <ostream>
+
 namespace st {
 
 const char *
@@ -38,6 +40,12 @@ Status::str() const
         out += ']';
     }
     return out;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Status &status)
+{
+    return os << status.str();
 }
 
 } // namespace st

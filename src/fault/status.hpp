@@ -19,6 +19,7 @@
 #define ST_FAULT_STATUS_HPP
 
 #include <cstdint>
+#include <iosfwd>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -75,11 +76,17 @@ class Status
     /** Render as "failed_precondition: msg [wire 7]" ("ok" when ok). */
     std::string str() const;
 
+    /** Alias of str() for call sites that expect the common name. */
+    std::string toString() const { return str(); }
+
   private:
     StatusCode code_ = StatusCode::Ok;
     std::string message_;
     std::string context_;
 };
+
+/** Stream the rendered status ("ok" or "code: msg [context]"). */
+std::ostream &operator<<(std::ostream &os, const Status &status);
 
 /**
  * Exception carrier for a non-ok Status, for entry points that return
@@ -100,5 +107,22 @@ class StatusError : public std::runtime_error
 };
 
 } // namespace st
+
+/**
+ * Early-return propagation for Status-returning functions:
+ *
+ *     ST_RETURN_IF_ERROR(parseHeader(reader));
+ *
+ * Evaluates @p expr once; a non-ok Status is returned from the
+ * enclosing function unchanged, so call chains carry the innermost
+ * code + context (e.g. "line 12") to the boundary without hand-built
+ * string plumbing.
+ */
+#define ST_RETURN_IF_ERROR(expr)                                        \
+    do {                                                                \
+        ::st::Status st_status_ = (expr);                               \
+        if (!st_status_.isOk())                                         \
+            return st_status_;                                          \
+    } while (0)
 
 #endif // ST_FAULT_STATUS_HPP

@@ -32,8 +32,21 @@ struct TraceEnvInit
     TraceEnvInit()
     {
         const char *env = std::getenv("ST_TRACE");
-        if (env != nullptr && *env != '\0')
-            TraceSession::instance().enable(env);
+        if (env == nullptr)
+            return;
+        // Hardened env boundary (same contract as st::envString, which
+        // lives above this library): a set-but-empty ST_TRACE almost
+        // certainly meant to name a file — warn and account the
+        // reject instead of silently not tracing.
+        if (*env == '\0') {
+            std::cerr << "st: ignoring ST_TRACE='' (empty value); "
+                         "tracing stays off\n";
+            MetricsRegistry::instance()
+                .counter("env.parse_rejected")
+                .add(1);
+            return;
+        }
+        TraceSession::instance().enable(env);
     }
 };
 

@@ -1,0 +1,68 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace st::serve {
+
+AdmissionController::AdmissionController(const ServeConfig &config)
+    : config_(config)
+{
+}
+
+AdmissionController::Decision
+AdmissionController::tryAdmit(const std::string &client_key,
+                              uint64_t now_ms, uint64_t active,
+                              bool draining)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!draining && active < config_.maxSessions) {
+        return Decision{true, 0, ""};
+    }
+
+    // Refused: compute this client's hint, then double its penalty so
+    // a reconnect storm backs itself off.
+    Decision d;
+    d.admit = false;
+    d.reason = draining ? "draining" : "capacity";
+    auto [it, inserted] = offenders_.try_emplace(
+        client_key, Offender{config_.retryAfterMs, now_ms});
+    if (!inserted) {
+        it->second.penaltyMs = std::min(
+            config_.retryAfterMaxMs, it->second.penaltyMs * 2);
+        it->second.lastRejectMs = now_ms;
+    }
+    d.retryAfterMs = it->second.penaltyMs;
+    ST_OBS_ADD("serve.shed.sessions", 1);
+    return d;
+}
+
+void
+AdmissionController::decay(uint64_t now_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = offenders_.begin(); it != offenders_.end();) {
+        Offender &o = it->second;
+        while (o.penaltyMs > config_.retryAfterMs &&
+               now_ms - o.lastRejectMs >= config_.offenderDecayMs) {
+            o.penaltyMs = std::max(config_.retryAfterMs,
+                                   o.penaltyMs / 2);
+            o.lastRejectMs += config_.offenderDecayMs;
+        }
+        if (o.penaltyMs <= config_.retryAfterMs &&
+            now_ms - o.lastRejectMs >= config_.offenderDecayMs)
+            it = offenders_.erase(it);
+        else
+            ++it;
+    }
+}
+
+size_t
+AdmissionController::offenderCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return offenders_.size();
+}
+
+} // namespace st::serve

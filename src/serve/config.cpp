@@ -1,0 +1,43 @@
+#include "serve/config.hpp"
+
+#include "util/parse.hpp"
+
+namespace st::serve {
+
+ServeConfig
+ServeConfig::fromEnv()
+{
+    ServeConfig cfg;
+    cfg.window = envUint("ST_SERVE_WINDOW", cfg.window, 1, 1u << 20);
+    cfg.maxSessions =
+        envUint("ST_SERVE_MAX_SESSIONS", cfg.maxSessions, 1, 1u << 20);
+    cfg.ingressCapacity =
+        envUint("ST_SERVE_INGRESS", cfg.ingressCapacity, 1, 1u << 20);
+    cfg.egressCapacity =
+        envUint("ST_SERVE_EGRESS", cfg.egressCapacity, 1, 1u << 20);
+    cfg.batchMax =
+        envUint("ST_SERVE_BATCH_MAX", cfg.batchMax, 1, 1u << 16);
+    cfg.deadlineMs =
+        envUint("ST_SERVE_DEADLINE_MS", cfg.deadlineMs, 1, 86400000);
+    cfg.idleTimeoutMs = envUint("ST_SERVE_IDLE_TIMEOUT_MS",
+                                cfg.idleTimeoutMs, 1, 86400000);
+    cfg.drainDeadlineMs =
+        envUint("ST_SERVE_DRAIN_MS", cfg.drainDeadlineMs, 1, 86400000);
+    cfg.watchdogStallMs = envUint("ST_SERVE_WATCHDOG_MS",
+                                  cfg.watchdogStallMs, 1, 86400000);
+    cfg.retryAfterMs =
+        envUint("ST_SERVE_RETRY_AFTER_MS", cfg.retryAfterMs, 1,
+                86400000);
+    cfg.retryAfterMaxMs =
+        envUint("ST_SERVE_RETRY_AFTER_MAX_MS", cfg.retryAfterMaxMs, 1,
+                86400000);
+    cfg.offenderDecayMs = envUint("ST_SERVE_OFFENDER_DECAY_MS",
+                                  cfg.offenderDecayMs, 1, 86400000);
+    cfg.maxGapWindows =
+        envUint("ST_SERVE_MAX_GAP_WINDOWS", cfg.maxGapWindows, 0,
+                1u << 20);
+    cfg.nthreads = envUint("ST_SERVE_THREADS", cfg.nthreads, 0, 65536);
+    return cfg;
+}
+
+} // namespace st::serve

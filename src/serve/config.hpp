@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Serving-layer configuration (every knob of DESIGN.md Sec. 10).
+ *
+ * All limits are explicit and all of them exist: a StreamServer has no
+ * unbounded queue, no deadline-free operation and no unlimited session
+ * count. Defaults suit the loopback/demo scale; production deployments
+ * override through ST_SERVE_* environment variables, which go through
+ * the hardened env parsers (util/parse.hpp) — a typo'd value warns and
+ * falls back rather than silently configuring something else.
+ */
+
+#ifndef ST_SERVE_CONFIG_HPP
+#define ST_SERVE_CONFIG_HPP
+
+#include <cstdint>
+
+namespace st::serve {
+
+/** Tunables of one StreamServer instance. */
+struct ServeConfig
+{
+    /** Default AER window width (time units per volley); sessions may
+     *  narrow it per-connection via the `window` config field. */
+    uint64_t window = 16;
+
+    /** Admission bound: concurrent sessions beyond this are shed. */
+    uint64_t maxSessions = 64;
+
+    /** Per-session ingress ring capacity (queued volleys). */
+    uint64_t ingressCapacity = 64;
+
+    /** Per-session egress ring capacity (queued result lines). */
+    uint64_t egressCapacity = 256;
+
+    /** Volleys per model batch (across sessions). */
+    uint64_t batchMax = 64;
+
+    /** Per-volley deadline: queued longer than this => dropped with an
+     *  accounted `drop <seq> deadline` notice. */
+    uint64_t deadlineMs = 1000;
+
+    /** Sessions with no input/output activity this long are reaped. */
+    uint64_t idleTimeoutMs = 30000;
+
+    /** Graceful-drain budget after SIGTERM/requestStop(). */
+    uint64_t drainDeadlineMs = 5000;
+
+    /** A model batch in flight longer than this trips the watchdog
+     *  (readiness goes false; the daemon stays up). */
+    uint64_t watchdogStallMs = 2000;
+
+    /** Base retry-after hint attached to shed responses. */
+    uint64_t retryAfterMs = 100;
+
+    /** Retry-after backoff cap for repeat offenders. */
+    uint64_t retryAfterMaxMs = 10000;
+
+    /** Offender backoff halves after this long without a reject. */
+    uint64_t offenderDecayMs = 1000;
+
+    /** Silent windows emitted per gap before eliding the rest with a
+     *  `note gap` line (guards against timestamp-jump floods). */
+    uint64_t maxGapWindows = 8;
+
+    /** Thread lanes handed to the model batch call (0 = default). */
+    uint64_t nthreads = 0;
+
+    /**
+     * Defaults overridden by the ST_SERVE_* environment: WINDOW,
+     * MAX_SESSIONS, INGRESS, EGRESS, BATCH_MAX, DEADLINE_MS,
+     * IDLE_TIMEOUT_MS, DRAIN_MS, WATCHDOG_MS, RETRY_AFTER_MS,
+     * RETRY_AFTER_MAX_MS, OFFENDER_DECAY_MS, MAX_GAP_WINDOWS, THREADS.
+     */
+    static ServeConfig fromEnv();
+};
+
+} // namespace st::serve
+
+#endif // ST_SERVE_CONFIG_HPP

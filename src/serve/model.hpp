@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Model abstraction behind the streaming server.
+ *
+ * The server multiplexes many sessions into one batch call, so a model
+ * sees (session, seq, volley) triples, not raw volleys: a stateless
+ * model (a trained feedforward TNN) ignores the ids and fans the batch
+ * across the thread pool; a stateful model (the LSM reservoir, whose
+ * fading activity *is* the anomaly context) keys its per-session state
+ * on the session id and relies on the server's guarantee that one
+ * session's items arrive in seq order across calls.
+ *
+ * Results are wire payload strings (the text after "volley <seq> " on
+ * the wire) so heterogeneous models — output volleys, anomaly scores —
+ * share one transport.
+ */
+
+#ifndef ST_SERVE_MODEL_HPP
+#define ST_SERVE_MODEL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tnn/lsm.hpp"
+#include "tnn/tnn_network.hpp"
+#include "tnn/volley.hpp"
+
+namespace st::serve {
+
+/** One unit of batched work: a session's next volley in seq order. */
+struct BatchItem
+{
+    uint64_t session = 0;
+    uint64_t seq = 0;
+    Volley volley;
+};
+
+/** Wire payload encoding of a volley: "t0 t1 inf t3 ...". */
+std::string wireVolley(std::span<const Time> v);
+
+/** The inference engine a StreamServer serves. */
+class ServeModel
+{
+  public:
+    virtual ~ServeModel() = default;
+
+    /** Expected volley width (the session's `addresses` count). */
+    virtual size_t numInputs() const = 0;
+
+    /** Short name for the health snapshot ("tnn", "lsm"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Process one batch; called from the server's single batcher
+     * thread. Must return one payload per item, in item order. Items
+     * of the same session appear in seq order within and across
+     * calls. A throw poisons the *batch*; the server then retries
+     * item-by-item to isolate the poisoned volley.
+     */
+    virtual std::vector<std::string>
+    processBatch(std::span<const BatchItem> items, size_t nthreads) = 0;
+
+    /** The session ended; drop any per-session state. */
+    virtual void
+    endSession(uint64_t session)
+    {
+        (void)session;
+    }
+};
+
+/**
+ * A trained feedforward TNN: stateless, so the whole mixed-session
+ * batch goes through TnnNetwork::processBatch on the shared pool.
+ * Payload: the final layer's output volley.
+ */
+class TnnServeModel : public ServeModel
+{
+  public:
+    explicit TnnServeModel(TnnNetwork net);
+
+    size_t numInputs() const override { return numInputs_; }
+    std::string name() const override { return "tnn"; }
+    std::vector<std::string>
+    processBatch(std::span<const BatchItem> items,
+                 size_t nthreads) override;
+
+    const TnnNetwork &network() const { return net_; }
+
+  private:
+    TnnNetwork net_;
+    size_t numInputs_;
+};
+
+/**
+ * NAB-style streaming anomaly detection on an LSM reservoir: each
+ * session owns a reservoir instance (deterministically seeded from the
+ * shared params) plus an exponential moving average of per-volley
+ * reservoir activity; the anomaly score of a volley is its relative
+ * deviation from that session's own recent history — unsupervised,
+ * per-stream, exactly the NAB setting. Payload:
+ * "score <milli> spikes <n>".
+ */
+class LsmAnomalyModel : public ServeModel
+{
+  public:
+    /** @p steps_per_volley: reservoir steps run per window. */
+    LsmAnomalyModel(const ReservoirParams &params,
+                    size_t steps_per_volley, double ema_alpha = 0.2);
+
+    size_t numInputs() const override { return params_.numInputs; }
+    std::string name() const override { return "lsm"; }
+    std::vector<std::string>
+    processBatch(std::span<const BatchItem> items,
+                 size_t nthreads) override;
+    void endSession(uint64_t session) override;
+
+    /** Sessions currently holding reservoir state (for tests). */
+    size_t statefulSessions() const { return state_.size(); }
+
+  private:
+    struct SessionState
+    {
+        std::unique_ptr<Reservoir> reservoir;
+        double emaSpikes = -1.0; //!< <0 until the first volley
+    };
+
+    ReservoirParams params_;
+    size_t stepsPerVolley_;
+    double emaAlpha_;
+    std::unordered_map<uint64_t, SessionState> state_;
+};
+
+} // namespace st::serve
+
+#endif // ST_SERVE_MODEL_HPP

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Bounded MPSC/SPSC ring for the serving layer (DESIGN.md Sec. 10).
+ *
+ * Every queue in src/serve/ is one of these: fixed capacity chosen at
+ * session admission, never resized, so a misbehaving peer can occupy
+ * at most its configured budget and "the queue grew until the OOM
+ * killer arrived" is structurally impossible. Backpressure is explicit
+ * rather than implicit: tryPush() refuses instead of blocking, and the
+ * caller decides the degradation — pause the reader (flow control),
+ * shed the item (accounted drop), or close the session.
+ *
+ * close() makes the ring drain-only: pushes fail immediately, pops
+ * keep returning queued items until empty, and every waiter wakes.
+ * A high-watermark is kept so health snapshots can report how close a
+ * queue came to its bound.
+ */
+
+#ifndef ST_SERVE_RING_HPP
+#define ST_SERVE_RING_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace st::serve {
+
+/** A bounded, closable FIFO with blocking and non-blocking ends. */
+template <typename T> class BoundedRing
+{
+  public:
+    explicit BoundedRing(size_t capacity) : capacity_(capacity) {}
+
+    BoundedRing(const BoundedRing &) = delete;
+    BoundedRing &operator=(const BoundedRing &) = delete;
+
+    /** Non-blocking push: false when full or closed (backpressure). */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+            if (items_.size() > highWater_)
+                highWater_ = items_.size();
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking push with a deadline: waits for space up to @p timeout.
+     * False when the ring is still full at the deadline or was closed
+     * while waiting — the caller must shed or escalate, never retry
+     * blindly.
+     */
+    bool
+    pushWait(T item, std::chrono::milliseconds timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!notFull_.wait_for(lock, timeout, [&] {
+                return closed_ || items_.size() < capacity_;
+            }))
+            return false;
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        if (items_.size() > highWater_)
+            highWater_ = items_.size();
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking pop: nullopt when empty. */
+    std::optional<T>
+    tryPop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        return popLocked(lock);
+    }
+
+    /**
+     * Blocking pop: waits up to @p timeout for an item. nullopt means
+     * empty at the deadline, or closed and fully drained.
+     */
+    std::optional<T>
+    popWait(std::chrono::milliseconds timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait_for(lock, timeout,
+                           [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        return popLocked(lock);
+    }
+
+    /** Drain-only mode: pushes fail, pops empty the queue, all wake. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Deepest occupancy ever observed (for health snapshots). */
+    size_t
+    highWater() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return highWater_;
+    }
+
+  private:
+    std::optional<T>
+    popLocked(std::unique_lock<std::mutex> &lock)
+    {
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return item;
+    }
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    size_t highWater_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace st::serve
+
+#endif // ST_SERVE_RING_HPP

@@ -1,0 +1,463 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace st::serve {
+
+namespace {
+
+/** Signal flag polled by the reaper (handler-safe: one atomic store). */
+std::atomic<StreamServer *> g_signal_server{nullptr};
+std::atomic<bool> g_stop_requested{false};
+
+void
+onStopSignal(int)
+{
+    g_stop_requested.store(true, std::memory_order_release);
+}
+
+/** Deterministic chaos stream id for (session, seq). */
+uint64_t
+chaosStream(uint64_t session, uint64_t seq)
+{
+    return (session << 32) ^ (seq * 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace
+
+uint64_t
+steadyNowMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+StreamServer::StreamServer(std::unique_ptr<ServeModel> model,
+                           ServeConfig config)
+    : config_(config), model_(std::move(model)), admission_(config)
+{
+    startedAtMs_ = steadyNowMs();
+}
+
+StreamServer::~StreamServer()
+{
+    if (running_.load(std::memory_order_acquire)) {
+        requestStop();
+        waitDrained();
+    }
+    if (g_signal_server.load(std::memory_order_acquire) == this)
+        installSignalHandlers(nullptr);
+}
+
+void
+StreamServer::start()
+{
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true))
+        return;
+    stopThreads_.store(false, std::memory_order_release);
+    batcher_ = std::thread([this] { batcherLoop(); });
+    watchdog_ = std::thread([this] { watchdogLoop(); });
+    reaper_ = std::thread([this] { reaperLoop(); });
+}
+
+void
+StreamServer::notifyWork()
+{
+    {
+        std::lock_guard<std::mutex> lock(workMutex_);
+        workFlag_ = true;
+    }
+    workCv_.notify_all();
+}
+
+StreamServer::OpenResult
+StreamServer::openSession(const std::string &client_key)
+{
+    const uint64_t now = steadyNowMs();
+    OpenResult result;
+    const AdmissionController::Decision d = admission_.tryAdmit(
+        client_key, now, activeSessions(),
+        draining_.load(std::memory_order_acquire));
+    if (!d.admit) {
+        result.retryAfterMs = d.retryAfterMs;
+        result.reason = d.reason;
+        return result;
+    }
+    std::shared_ptr<Session> session;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        const uint64_t id = nextSessionId_++;
+        session = std::make_shared<Session>(
+            id, config_, model_->numInputs(),
+            [this] { notifyWork(); });
+        sessions_.emplace(id, session);
+        ST_OBS_GAUGE_SET("serve.sessions.active", sessions_.size());
+    }
+    ST_OBS_ADD("serve.sessions.opened", 1);
+    result.session = std::move(session);
+    return result;
+}
+
+size_t
+StreamServer::activeSessions() const
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    return sessions_.size();
+}
+
+void
+StreamServer::requestStop()
+{
+    bool expected = false;
+    if (!draining_.compare_exchange_strong(expected, true))
+        return;
+    drainStartedMs_ = steadyNowMs();
+    ST_OBS_ADD("serve.drain.requested", 1);
+    notifyWork();
+}
+
+bool
+StreamServer::waitDrained(uint64_t timeout_ms)
+{
+    if (!running_.load(std::memory_order_acquire))
+        return true;
+    const uint64_t budget =
+        timeout_ms == 0 ? config_.drainDeadlineMs : timeout_ms;
+    const uint64_t deadline = steadyNowMs() + budget;
+    while (activeSessions() > 0 && steadyNowMs() < deadline) {
+        notifyWork();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (activeSessions() > 0) {
+        // Past the deadline: the contract is a bounded shutdown, so
+        // the stragglers are force-closed and accounted.
+        drainedCleanly_.store(0, std::memory_order_release);
+        std::vector<std::shared_ptr<Session>> leftover;
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            for (auto &[id, s] : sessions_)
+                leftover.push_back(s);
+        }
+        const uint64_t now = steadyNowMs();
+        for (auto &s : leftover) {
+            ST_OBS_ADD("serve.drain.forced", 1);
+            s->forceClose("drain deadline exceeded", now);
+        }
+        notifyWork();
+        const uint64_t grace = steadyNowMs() + 1000;
+        while (activeSessions() > 0 && steadyNowMs() < grace)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    stopThreads_.store(true, std::memory_order_release);
+    notifyWork();
+    if (batcher_.joinable())
+        batcher_.join();
+    if (watchdog_.joinable())
+        watchdog_.join();
+    if (reaper_.joinable())
+        reaper_.join();
+    running_.store(false, std::memory_order_release);
+    return drainedCleanly_.load(std::memory_order_acquire) != 0;
+}
+
+bool
+StreamServer::ready() const
+{
+    return running_.load(std::memory_order_acquire) &&
+           !draining_.load(std::memory_order_acquire) &&
+           !watchdogTripped_.load(std::memory_order_acquire);
+}
+
+void
+StreamServer::enableChaos(const fault::FaultSpec &spec)
+{
+    chaos_ = std::make_unique<fault::FaultInjector>(spec);
+    ST_OBS_ADD("serve.chaos.enabled", 1);
+}
+
+void
+StreamServer::installSignalHandlers(StreamServer *server)
+{
+    g_signal_server.store(server, std::memory_order_release);
+    g_stop_requested.store(false, std::memory_order_release);
+    struct sigaction sa = {};
+    if (server != nullptr) {
+        sa.sa_handler = onStopSignal;
+        sigemptyset(&sa.sa_mask);
+        // No SA_RESTART: a blocking stdin read returns EINTR so the
+        // pipe transport notices the drain promptly.
+        sa.sa_flags = 0;
+    } else {
+        sa.sa_handler = SIG_DFL;
+    }
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+}
+
+void
+StreamServer::sweepSessions(uint64_t now_ms)
+{
+    std::vector<std::shared_ptr<Session>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        snapshot.reserve(sessions_.size());
+        for (auto &[id, s] : sessions_)
+            snapshot.push_back(s);
+    }
+    for (auto &s : snapshot) {
+        const bool drain_all =
+            draining_.load(std::memory_order_acquire);
+        if (drain_all && !s->inputDone()) {
+            // Draining: no more input will be read; what is queued
+            // still flows, but the stream is logically ended.
+            s->endInput(now_ms);
+        }
+        if (s->finishIfDrained(now_ms)) {
+            bool erased = false;
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                erased = sessions_.erase(s->id()) > 0;
+                ST_OBS_GAUGE_SET("serve.sessions.active",
+                                 sessions_.size());
+            }
+            if (erased) {
+                model_->endSession(s->id());
+                ST_OBS_ADD("serve.sessions.closed", 1);
+            }
+        }
+    }
+}
+
+void
+StreamServer::runBatch(
+    std::vector<std::shared_ptr<Session>> &targets,
+    std::vector<BatchItem> &items, uint64_t now_ms)
+{
+    ST_TRACE_SPAN("serve.batch");
+    if (chaos_) {
+        for (BatchItem &item : items) {
+            std::vector<Time> &v = item.volley;
+            chaos_->perturbVolley(v,
+                                  chaosStream(item.session, item.seq));
+        }
+    }
+    batchStartMs_.store(now_ms, std::memory_order_release);
+    ST_OBS_ADD("serve.batches", 1);
+    ST_OBS_HIST("serve.batch.size", items.size());
+    bool batch_ok = true;
+    std::vector<std::string> payloads;
+    try {
+        payloads = model_->processBatch(items, config_.nthreads);
+        if (payloads.size() != items.size())
+            throw StatusError(Status(
+                StatusCode::Internal,
+                "model returned " + std::to_string(payloads.size()) +
+                    " payloads for " + std::to_string(items.size()) +
+                    " items"));
+    } catch (const std::exception &e) {
+        batch_ok = false;
+        ST_OBS_ADD("serve.batch.panic", 1);
+        std::fprintf(stderr,
+                     "stserve: batch of %zu poisoned (%s); retrying "
+                     "item-by-item\n",
+                     items.size(), e.what());
+    }
+    if (batch_ok) {
+        for (size_t i = 0; i < items.size(); ++i)
+            targets[i]->deliver(items[i].seq, payloads[i],
+                                steadyNowMs());
+    } else {
+        // Panic isolation: retry one item at a time so only the
+        // poisoned volley is lost; everything else still answers.
+        for (size_t i = 0; i < items.size(); ++i) {
+            try {
+                const std::vector<std::string> one =
+                    model_->processBatch({&items[i], 1},
+                                         config_.nthreads);
+                targets[i]->deliver(items[i].seq,
+                                    one.empty() ? "" : one[0],
+                                    steadyNowMs());
+            } catch (const std::exception &) {
+                targets[i]->dropVolley(items[i].seq, "poisoned",
+                                       steadyNowMs());
+            }
+        }
+    }
+    for (auto &s : targets)
+        s->endFlight(1);
+    batchStartMs_.store(0, std::memory_order_release);
+    watchdogTripped_.store(false, std::memory_order_release);
+}
+
+void
+StreamServer::batcherLoop()
+{
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(workMutex_);
+            workCv_.wait_for(
+                lock, std::chrono::milliseconds(20), [this] {
+                    return workFlag_ ||
+                           stopThreads_.load(
+                               std::memory_order_acquire);
+                });
+            workFlag_ = false;
+        }
+        if (stopThreads_.load(std::memory_order_acquire))
+            break;
+
+        const uint64_t now = steadyNowMs();
+
+        // Round-robin gather in session-id order: one volley per
+        // session per pass keeps a firehose session from starving
+        // the rest, while per-session FIFO keeps sample order.
+        std::vector<std::shared_ptr<Session>> snapshot;
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            snapshot.reserve(sessions_.size());
+            for (auto &[id, s] : sessions_)
+                snapshot.push_back(s);
+        }
+        std::sort(snapshot.begin(), snapshot.end(),
+                  [](const auto &a, const auto &b) {
+                      return a->id() < b->id();
+                  });
+
+        std::vector<std::shared_ptr<Session>> targets;
+        std::vector<BatchItem> items;
+        bool any_ready = true;
+        while (any_ready && items.size() < config_.batchMax) {
+            any_ready = false;
+            for (auto &s : snapshot) {
+                if (items.size() >= config_.batchMax)
+                    break;
+                std::optional<Session::Pending> p = s->popPending();
+                if (!p)
+                    continue;
+                any_ready = true;
+                if (now > p->enqueuedMs &&
+                    now - p->enqueuedMs > s->deadlineMs()) {
+                    s->dropVolley(p->seq, "deadline", now);
+                    continue;
+                }
+                s->beginFlight(1);
+                targets.push_back(s);
+                BatchItem item;
+                item.session = s->id();
+                item.seq = p->seq;
+                item.volley = std::move(p->volley);
+                items.push_back(std::move(item));
+            }
+        }
+
+        if (!items.empty())
+            runBatch(targets, items, now);
+        sweepSessions(steadyNowMs());
+    }
+}
+
+void
+StreamServer::watchdogLoop()
+{
+    while (!stopThreads_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const uint64_t start =
+            batchStartMs_.load(std::memory_order_acquire);
+        if (start == 0)
+            continue;
+        const uint64_t now = steadyNowMs();
+        if (now > start && now - start > config_.watchdogStallMs &&
+            !watchdogTripped_.exchange(true,
+                                       std::memory_order_acq_rel)) {
+            ST_OBS_ADD("serve.watchdog.stalls", 1);
+            std::fprintf(stderr,
+                         "stserve: watchdog: batch in flight for "
+                         "%llu ms (readiness false)\n",
+                         static_cast<unsigned long long>(now - start));
+        }
+    }
+}
+
+void
+StreamServer::reaperLoop()
+{
+    while (!stopThreads_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const uint64_t now = steadyNowMs();
+
+        if (g_stop_requested.load(std::memory_order_acquire) &&
+            g_signal_server.load(std::memory_order_acquire) == this)
+            requestStop();
+
+        admission_.decay(now);
+
+        std::vector<std::shared_ptr<Session>> snapshot;
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            for (auto &[id, s] : sessions_)
+                snapshot.push_back(s);
+        }
+        for (auto &s : snapshot) {
+            const uint64_t last = s->lastActivityMs();
+            if (!s->inputDone() && last != 0 && now > last &&
+                now - last > config_.idleTimeoutMs) {
+                ST_OBS_ADD("serve.sessions.idle_reaped", 1);
+                s->forceClose("idle timeout", now);
+            }
+        }
+
+        if (draining_.load(std::memory_order_acquire) &&
+            drainStartedMs_ != 0 &&
+            now > drainStartedMs_ + config_.drainDeadlineMs) {
+            for (auto &s : snapshot) {
+                if (!s->finished()) {
+                    drainedCleanly_.store(0,
+                                          std::memory_order_release);
+                    ST_OBS_ADD("serve.drain.forced", 1);
+                    s->forceClose("drain deadline exceeded", now);
+                }
+            }
+        }
+        notifyWork();
+    }
+}
+
+std::string
+StreamServer::healthJson() const
+{
+    const char *state = "stopped";
+    if (running_.load(std::memory_order_acquire))
+        state = draining_.load(std::memory_order_acquire)
+                    ? "draining"
+                    : "running";
+    std::ostringstream os;
+    os << "{\"server\":{";
+    os << "\"state\":\"" << state << "\",";
+    os << "\"ready\":" << (ready() ? "true" : "false") << ",";
+    os << "\"model\":\"" << model_->name() << "\",";
+    os << "\"inputs\":" << model_->numInputs() << ",";
+    os << "\"sessions_active\":" << activeSessions() << ",";
+    os << "\"max_sessions\":" << config_.maxSessions << ",";
+    os << "\"chaos\":" << (chaos_ ? "true" : "false") << ",";
+    os << "\"watchdog_tripped\":"
+       << (watchdogTripped_.load(std::memory_order_acquire)
+               ? "true"
+               : "false")
+       << ",";
+    os << "\"uptime_ms\":" << (steadyNowMs() - startedAtMs_);
+    os << "},\"metrics\":";
+    os << obs::MetricsRegistry::instance().snapshot().toJson();
+    os << "}";
+    return os.str();
+}
+
+} // namespace st::serve

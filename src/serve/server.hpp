@@ -1,0 +1,169 @@
+/**
+ * @file
+ * StreamServer: the long-lived inference daemon core (ROADMAP item 2).
+ *
+ * One server owns one model and N sessions. Three internal threads:
+ *
+ *   - the *batcher* gathers ready volleys round-robin across sessions
+ *     (per-session FIFO preserved), applies per-volley deadlines,
+ *     optionally perturbs them through the chaos FaultInjector, and
+ *     runs the model batch on the shared ThreadPool; results are
+ *     demultiplexed back to each session's egress ring in seq order.
+ *     A model exception poisons the batch, not the daemon: the batch
+ *     is retried item-by-item so only the poisoned volley is dropped
+ *     (accounted as `drop <seq> poisoned`).
+ *   - the *watchdog* observes batch progress; a batch in flight past
+ *     watchdogStallMs flips readiness to false (the daemon stays up —
+ *     an orchestrator decides what to do with an unready instance)
+ *     and ticks serve.watchdog.stalls.
+ *   - the *reaper* closes idle sessions, decays admission backoff and
+ *     enforces the drain deadline during shutdown.
+ *
+ * Graceful drain: requestStop() (the SIGTERM/SIGINT path) stops
+ * admitting, lets in-flight volleys finish, emits every session's end
+ * line, then joins the threads; waitDrained() reports whether that
+ * completed inside drainDeadlineMs (sessions still open at the
+ * deadline are force-closed and counted in serve.drain.forced).
+ *
+ * Health/readiness is a JSON snapshot combining server state with the
+ * full obs metrics registry — the `health` wire command and the
+ * daemon's --health flag both serve it.
+ */
+
+#ifndef ST_SERVE_SERVER_HPP
+#define ST_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "serve/admission.hpp"
+#include "serve/config.hpp"
+#include "serve/model.hpp"
+#include "serve/session.hpp"
+
+namespace st::serve {
+
+/** Milliseconds on the steady clock (the serving layer's time base). */
+uint64_t steadyNowMs();
+
+/** The streaming inference engine. */
+class StreamServer
+{
+  public:
+    StreamServer(std::unique_ptr<ServeModel> model, ServeConfig config);
+    ~StreamServer();
+
+    StreamServer(const StreamServer &) = delete;
+    StreamServer &operator=(const StreamServer &) = delete;
+
+    const ServeConfig &config() const { return config_; }
+    ServeModel &model() { return *model_; }
+
+    /** Start batcher/watchdog/reaper. Idempotent. */
+    void start();
+
+    /**
+     * Admit a new session for @p client_key, or shed it. On refusal
+     * the result's session is null and retryAfterMs/reason explain
+     * the shed (the transport turns them into a `busy` line).
+     */
+    struct OpenResult
+    {
+        std::shared_ptr<Session> session;
+        uint64_t retryAfterMs = 0;
+        const char *reason = "";
+    };
+    OpenResult openSession(const std::string &client_key);
+
+    /** Sessions currently open (admitted, not yet finished). */
+    size_t activeSessions() const;
+
+    /**
+     * Stop admitting and drain: async-signal-safe enough to be called
+     * from the SIGTERM handler path (sets flags + notifies).
+     */
+    void requestStop();
+
+    /** True once requestStop() was called. */
+    bool draining() const
+    {
+        return draining_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Wait for every session to finish and the threads to stop, up to
+     * @p timeout_ms (0 = the configured drain deadline). Returns true
+     * on a clean drain, false if sessions had to be force-closed.
+     */
+    bool waitDrained(uint64_t timeout_ms = 0);
+
+    /** Readiness: running, not draining, watchdog not tripped. */
+    bool ready() const;
+
+    /** Health snapshot: server block + full obs metrics registry. */
+    std::string healthJson() const;
+
+    /**
+     * Enable chaos mode: every batched volley is perturbed through a
+     * FaultInjector realizing @p spec, keyed deterministically by
+     * (session id, seq) — live proof of the degradation contract.
+     * Call before start().
+     */
+    void enableChaos(const fault::FaultSpec &spec);
+
+    /**
+     * Install SIGTERM/SIGINT handlers that requestStop() this server
+     * (one server per process; passing nullptr uninstalls).
+     */
+    static void installSignalHandlers(StreamServer *server);
+
+    /** Called by session callbacks: wake the batcher. */
+    void notifyWork();
+
+  private:
+    void batcherLoop();
+    void watchdogLoop();
+    void reaperLoop();
+    void runBatch(std::vector<std::shared_ptr<Session>> &targets,
+                  std::vector<BatchItem> &items, uint64_t now_ms);
+    void sweepSessions(uint64_t now_ms);
+
+    ServeConfig config_;
+    std::unique_ptr<ServeModel> model_;
+    AdmissionController admission_;
+
+    mutable std::mutex sessionsMutex_;
+    std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+    uint64_t nextSessionId_ = 1;
+
+    std::mutex workMutex_;
+    std::condition_variable workCv_;
+    bool workFlag_ = false;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopThreads_{false};
+    std::atomic<bool> watchdogTripped_{false};
+    std::atomic<uint64_t> batchStartMs_{0}; //!< 0 = no batch in flight
+    std::atomic<uint64_t> drainedCleanly_{1};
+    uint64_t startedAtMs_ = 0;
+    uint64_t drainStartedMs_ = 0;
+
+    std::unique_ptr<fault::FaultInjector> chaos_;
+
+    std::thread batcher_;
+    std::thread watchdog_;
+    std::thread reaper_;
+};
+
+} // namespace st::serve
+
+#endif // ST_SERVE_SERVER_HPP

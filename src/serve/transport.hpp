@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Transports: how wire lines reach a Session.
+ *
+ * Two transports share one shape — a reader loop feeding
+ * Session::feedLine and a writer thread draining Session::nextOutput:
+ *
+ *   - the *pipe* transport serves exactly one session over a FILE*
+ *     pair (stdin/stdout for the daemon's --pipe mode). EOF is an
+ *     implicit `end`; a drain request unblocks the reader because the
+ *     signal handlers are installed without SA_RESTART.
+ *   - the *TCP* transport listens on a port (0 = ephemeral, reported
+ *     via port()), accepts with a poll loop so drain requests are
+ *     noticed promptly, and runs one reader + one writer thread per
+ *     connection. Refused admissions answer with a single
+ *     `busy retry_after_ms <N> reason <R>` line and close.
+ *
+ * Both understand the out-of-band `health` command (answered inline
+ * with `health <json>`, not forwarded to the session).
+ */
+
+#ifndef ST_SERVE_TRANSPORT_HPP
+#define ST_SERVE_TRANSPORT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace st::serve {
+
+/**
+ * Serve one session over @p in / @p out (the --pipe daemon mode).
+ * Blocks until the stream finishes or the server drains. Returns true
+ * when a session was admitted and ran to its end line.
+ */
+bool runPipeSession(StreamServer &server, std::FILE *in,
+                    std::FILE *out);
+
+/** Poll-accept TCP listener fanning connections into the server. */
+class TcpTransport
+{
+  public:
+    /**
+     * Bind and listen on 127.0.0.1:@p port (0 picks an ephemeral
+     * port). Throws StatusError on socket/bind failure.
+     */
+    TcpTransport(StreamServer &server, uint16_t port);
+    ~TcpTransport();
+
+    TcpTransport(const TcpTransport &) = delete;
+    TcpTransport &operator=(const TcpTransport &) = delete;
+
+    /** The bound port (useful when constructed with port 0). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Accept loop: blocks until stop() or the server starts draining,
+     * then closes the listener and joins every connection thread.
+     */
+    void serve();
+
+    /** Run serve() on a background thread. */
+    void serveAsync();
+
+    /** Stop accepting; serve() returns after connections wind down. */
+    void stop();
+
+  private:
+    void handleConnection(int fd);
+    void reapFinished(bool join_all);
+
+    StreamServer &server_;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+
+    std::mutex threadsMutex_;
+    std::vector<std::thread> threads_;
+    std::thread acceptThread_;
+};
+
+} // namespace st::serve
+
+#endif // ST_SERVE_TRANSPORT_HPP

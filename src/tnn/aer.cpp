@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace st {
 
 AerStream::AerStream(uint32_t num_addresses)
@@ -35,46 +37,50 @@ AerStream::sliceWindows(uint64_t window) const
 {
     if (window == 0)
         throw std::invalid_argument("AerStream: window must be >= 1");
+    constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+
     std::vector<Volley> out;
     if (events_.empty())
         return out;
 
+    // Walk windows [start, end) until every event is consumed. The
+    // window arithmetic saturates: with timestamps near 2^64-1 a naive
+    // `start += window` loop never terminates (start wraps past the
+    // end time), so the final window is [start, 2^64-1] *inclusive*.
     size_t next = 0;
-    for (uint64_t start = 0; start <= endTime(); start += window) {
+    uint64_t start = 0;
+    while (next < events_.size()) {
+        const bool last = window > kMax - start;
+        const uint64_t end = last ? kMax : start + window;
         Volley v(numAddresses_, INF);
         while (next < events_.size() &&
-               events_[next].time < start + window) {
+               (last || events_[next].time < end)) {
             const AerEvent &e = events_[next++];
-            if (v[e.address].isInf())
-                v[e.address] = Time(e.time - start);
+            if (v[e.address].isInf()) {
+                uint64_t rel = e.time - start;
+                // 2^64-1 is Time's inf pattern; a real event must not
+                // alias "no spike", so clamp to the largest finite
+                // time (only reachable in the saturated last window).
+                if (rel == kMax)
+                    rel = kMax - 1;
+                v[e.address] = Time(rel);
+            }
         }
         out.push_back(std::move(v));
+        start = end;
     }
     return out;
 }
 
 namespace {
 
-[[noreturn]] void
-fail(size_t line_no, const std::string &what)
+/** Non-throwing parse failure: code + message + "line N" context. */
+Status
+aerStatus(size_t line_no, std::string what,
+          StatusCode code = StatusCode::InvalidArgument)
 {
-    throw std::invalid_argument("aerFromText: line " +
-                                std::to_string(line_no) + ": " + what);
-}
-
-/** Strict unsigned parse: all digits, in range — or fail with @p what. */
-uint64_t
-parseUint(const std::string &tok, size_t line_no, const char *what)
-{
-    if (tok.empty() ||
-        tok.find_first_not_of("0123456789") != std::string::npos)
-        fail(line_no, std::string("bad ") + what + " '" + tok + "'");
-    try {
-        return std::stoull(tok);
-    } catch (const std::exception &) {
-        fail(line_no,
-             std::string(what) + " out of range '" + tok + "'");
-    }
+    return Status(code, std::move(what),
+                  "line " + std::to_string(line_no));
 }
 
 } // namespace
@@ -90,8 +96,8 @@ aerToText(const AerStream &stream)
     return os.str();
 }
 
-AerStream
-aerFromText(const std::string &text)
+Status
+aerFromText(const std::string &text, AerStream *out)
 {
     std::istringstream lines(text);
     std::string line;
@@ -101,6 +107,9 @@ aerFromText(const std::string &text)
         toks.clear();
         while (std::getline(lines, line)) {
             ++line_no;
+            // Tolerate CRLF transports: the '\r' is framing, not data.
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
             auto hash = line.find('#');
             if (hash != std::string::npos)
                 line.resize(hash);
@@ -116,35 +125,58 @@ aerFromText(const std::string &text)
 
     std::vector<std::string> toks;
     if (!next_meaningful(toks) || toks.size() != 2 ||
-        toks[0] != "staer" || toks[1] != "1") {
-        fail(line_no, "expected header 'staer 1'");
-    }
+        toks[0] != "staer" || toks[1] != "1")
+        return aerStatus(line_no, "expected header 'staer 1'");
     if (!next_meaningful(toks) || toks.size() != 2 ||
-        toks[0] != "addresses") {
-        fail(line_no, "expected 'addresses <count>'");
-    }
-    const uint64_t addresses =
-        parseUint(toks[1], line_no, "address count");
-    if (addresses == 0 ||
-        addresses > std::numeric_limits<uint32_t>::max())
-        fail(line_no, "address count must be in [1, 2^32)");
+        toks[0] != "addresses")
+        return aerStatus(line_no, "expected 'addresses <count>'");
 
-    AerStream stream(static_cast<uint32_t>(addresses));
+    const std::optional<uint64_t> addresses =
+        parseUint64Strict(toks[1]);
+    if (!addresses)
+        return aerStatus(line_no,
+                         "bad address count '" + toks[1] + "'");
+    if (*addresses == 0 ||
+        *addresses > std::numeric_limits<uint32_t>::max())
+        return aerStatus(line_no, "address count must be in [1, 2^32)",
+                         StatusCode::OutOfRange);
+
+    AerStream stream(static_cast<uint32_t>(*addresses));
     while (next_meaningful(toks)) {
         if (toks.size() != 2)
-            fail(line_no, "expected '<time> <address>'");
-        const uint64_t time = parseUint(toks[0], line_no, "time");
-        const uint64_t address =
-            parseUint(toks[1], line_no, "address");
-        if (address >= addresses)
-            fail(line_no, "address " + std::to_string(address) +
-                              " out of range (have " +
-                              std::to_string(addresses) + ")");
+            return aerStatus(line_no, "expected '<time> <address>'");
+        const std::optional<uint64_t> time =
+            parseUint64Strict(toks[0]);
+        if (!time)
+            return aerStatus(line_no, "bad time '" + toks[0] + "'");
+        const std::optional<uint64_t> address =
+            parseUint64Strict(toks[1]);
+        if (!address)
+            return aerStatus(line_no,
+                             "bad address '" + toks[1] + "'");
+        if (*address >= *addresses)
+            return aerStatus(line_no,
+                             "address " + std::to_string(*address) +
+                                 " out of range (have " +
+                                 std::to_string(*addresses) + ")",
+                             StatusCode::OutOfRange);
         if (!stream.events().empty() &&
-            time < stream.events().back().time)
-            fail(line_no, "events must be in time order");
-        stream.push(time, static_cast<uint32_t>(address));
+            *time < stream.events().back().time)
+            return aerStatus(line_no, "events must be in time order");
+        stream.push(*time, static_cast<uint32_t>(*address));
     }
+    *out = std::move(stream);
+    return Status::ok();
+}
+
+AerStream
+aerFromText(const std::string &text)
+{
+    AerStream stream(1);
+    const Status status = aerFromText(text, &stream);
+    if (!status.isOk())
+        throw std::invalid_argument("aerFromText: " +
+                                    status.toString());
     return stream;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/status.hpp"
 #include "tnn/volley.hpp"
 
 namespace st {
@@ -80,9 +81,22 @@ class AerStream
 std::string aerToText(const AerStream &stream);
 
 /**
- * Parse the staer text format. Malformed input — bad header, non-numeric
- * fields, out-of-range addresses, out-of-order times — throws
- * std::invalid_argument whose message carries the offending line number.
+ * Parse the staer text format without throwing: on success *out is
+ * replaced with the parsed stream and Ok is returned; on malformed
+ * input — bad header, non-numeric fields, out-of-range addresses,
+ * out-of-order times — *out is untouched and the returned Status
+ * carries the offending line number as its context ("line N").
+ *
+ * Accepts every newline convention a stream can arrive in: CRLF,
+ * a missing final newline, and blank/comment-only trailing lines.
+ * This is the parser the serving layer quarantines sessions with —
+ * it must never crash or silently reorder, whatever the bytes.
+ */
+Status aerFromText(const std::string &text, AerStream *out);
+
+/**
+ * Throwing convenience wrapper: parse or throw std::invalid_argument
+ * whose message carries the offending line number.
  */
 AerStream aerFromText(const std::string &text);
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/status.hpp"
+
 namespace st {
 
 namespace {
@@ -65,9 +67,11 @@ class LineReader
     [[noreturn]] void
     fail(const std::string &what) const
     {
-        throw std::invalid_argument("tnn_io: line " +
-                                    std::to_string(lineNo_) + ": " +
-                                    what);
+        // Render through st::Status (code/message/context) instead of
+        // concatenating the line number by hand.
+        const Status status(StatusCode::InvalidArgument, what,
+                            "line " + std::to_string(lineNo_));
+        throw std::invalid_argument("tnn_io: " + status.toString());
     }
 
     size_t lineNo() const { return lineNo_; }

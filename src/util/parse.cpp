@@ -1,0 +1,107 @@
+#include "util/parse.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs.hpp"
+
+namespace st {
+
+namespace {
+
+/** Warn + account one rejected env value, then the caller falls back. */
+void
+rejectEnv(const char *name, const char *value, const char *why)
+{
+    std::fprintf(stderr,
+                 "st: ignoring %s='%s' (%s); using the default\n", name,
+                 value, why);
+    ST_OBS_ADD("env.parse_rejected", 1);
+}
+
+} // namespace
+
+std::optional<uint64_t>
+parseUint64Strict(std::string_view tok)
+{
+    if (tok.empty() ||
+        tok.find_first_not_of("0123456789") != std::string_view::npos)
+        return std::nullopt;
+    uint64_t v = 0;
+    for (char c : tok) {
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return std::nullopt; // overflow
+        v = v * 10 + digit;
+    }
+    return v;
+}
+
+std::optional<double>
+parseDoubleStrict(std::string_view tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    const std::string copy(tok); // stod needs a terminated buffer
+    try {
+        size_t pos = 0;
+        const double v = std::stod(copy, &pos);
+        if (pos != copy.size() || !std::isfinite(v))
+            return std::nullopt;
+        return v;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+uint64_t
+envUint(const char *name, uint64_t fallback, uint64_t min, uint64_t max)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    const std::optional<uint64_t> v = parseUint64Strict(raw);
+    if (!v) {
+        rejectEnv(name, raw, "not an unsigned integer");
+        return fallback;
+    }
+    if (*v < min || *v > max) {
+        rejectEnv(name, raw, "out of range");
+        return fallback;
+    }
+    return *v;
+}
+
+double
+envDouble(const char *name, double fallback, double min, double max)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    const std::optional<double> v = parseDoubleStrict(raw);
+    if (!v) {
+        rejectEnv(name, raw, "not a finite number");
+        return fallback;
+    }
+    if (*v < min || *v > max) {
+        rejectEnv(name, raw, "out of range");
+        return fallback;
+    }
+    return *v;
+}
+
+std::string
+envString(const char *name, std::string fallback)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    if (*raw == '\0') {
+        rejectEnv(name, raw, "empty value");
+        return fallback;
+    }
+    return raw;
+}
+
+} // namespace st

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Strict scalar parsing and hardened environment-variable access.
+ *
+ * PR 5 hardened the text loaders with strict all-or-nothing token
+ * parsers; this header lifts those parsers out of the loaders'
+ * anonymous namespaces so every other input boundary — environment
+ * variables first among them — applies the same rules. "Strict" means
+ * the whole token must convert and the value must be in range: "8x",
+ * "", "0x10", and "1e99" are rejects, never silent truncations.
+ *
+ * The env* helpers are the configuration boundary of the runtime
+ * (ST_NUM_THREADS, ST_TRACE, ST_SERVE_*). A malformed value must not
+ * silently fall back — an operator who typo'd ST_SERVE_DEADLINE_MS
+ * deserves to find out — so every reject warns once on stderr and
+ * ticks the env.parse_rejected counter before the fallback applies.
+ */
+
+#ifndef ST_UTIL_PARSE_HPP
+#define ST_UTIL_PARSE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace st {
+
+/**
+ * Strict unsigned parse: nullopt unless @p tok is entirely decimal
+ * digits and fits in uint64. No sign, no hex, no leading '+'.
+ */
+std::optional<uint64_t> parseUint64Strict(std::string_view tok);
+
+/**
+ * Strict double parse: nullopt unless the whole token converts and
+ * the value is finite (inf/nan spellings are rejected).
+ */
+std::optional<double> parseDoubleStrict(std::string_view tok);
+
+/**
+ * Read an unsigned env var. Unset returns @p fallback silently; a set
+ * but malformed or out-of-[min,max] value warns on stderr, ticks
+ * env.parse_rejected, and returns @p fallback.
+ */
+uint64_t envUint(const char *name, uint64_t fallback, uint64_t min = 0,
+                 uint64_t max = UINT64_MAX);
+
+/** envUint's floating-point sibling (closed range [min, max]). */
+double envDouble(const char *name, double fallback, double min,
+                 double max);
+
+/**
+ * Read a string env var (e.g. a file path). Unset returns @p fallback
+ * silently; set-but-empty is a reject (warn + metric + fallback) —
+ * `ST_TRACE=` almost certainly meant to name a file.
+ */
+std::string envString(const char *name, std::string fallback = "");
+
+} // namespace st
+
+#endif // ST_UTIL_PARSE_HPP

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "util/parse.hpp"
 
 namespace st {
 
@@ -213,14 +214,12 @@ size_t
 ThreadPool::defaultThreads()
 {
     static size_t cached = [] {
-        if (const char *env = std::getenv("ST_NUM_THREADS")) {
-            char *tail = nullptr;
-            unsigned long v = std::strtoul(env, &tail, 10);
-            if (tail != env && *tail == '\0' && v > 0)
-                return static_cast<size_t>(v);
-        }
-        unsigned hw = std::thread::hardware_concurrency();
-        return static_cast<size_t>(hw > 0 ? hw : 1);
+        const unsigned hw = std::thread::hardware_concurrency();
+        const uint64_t fallback = hw > 0 ? hw : 1;
+        // Strict parse: a garbage or zero ST_NUM_THREADS warns and
+        // falls back instead of silently running single-lane.
+        return static_cast<size_t>(
+            envUint("ST_NUM_THREADS", fallback, 1, 65536));
     }();
     return cached;
 }

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Round-trip fuzz / property tests for the staer text format and the
+ * windowing path behind it. The serving layer quarantines sessions
+ * based on this parser's verdicts, so its contract is absolute:
+ * parse-or-Status (with the offending line number), never crash,
+ * never silently reorder — and toText -> fromText is the identity for
+ * every representable stream, including empty ones, max-u64
+ * timestamps, and every newline convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tnn/aer.hpp"
+
+namespace st {
+namespace {
+
+constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+
+uint64_t
+mix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+AerStream
+randomStream(uint64_t seed, size_t events, uint32_t addresses,
+             bool huge_times)
+{
+    AerStream stream(addresses);
+    uint64_t rng = seed;
+    uint64_t t = huge_times ? kMax - events * 4 : 0;
+    for (size_t i = 0; i < events; ++i) {
+        const uint64_t step = mix64(rng) % 4;
+        t = t > kMax - step ? kMax : t + step;
+        stream.push(t, static_cast<uint32_t>(mix64(rng) % addresses));
+    }
+    return stream;
+}
+
+TEST(AerRoundTrip, RandomStreamsAreIdentity)
+{
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+        const bool huge = seed % 5 == 0;
+        const AerStream stream = randomStream(
+            seed, 1 + seed % 37, 1 + uint32_t(seed % 9), huge);
+        AerStream parsed(1);
+        const Status status = aerFromText(aerToText(stream), &parsed);
+        ASSERT_TRUE(status.isOk()) << "seed " << seed << ": "
+                                   << status.str();
+        EXPECT_EQ(parsed.numAddresses(), stream.numAddresses());
+        EXPECT_EQ(parsed.events(), stream.events()) << "seed " << seed;
+    }
+}
+
+TEST(AerRoundTrip, EmptyStreamRoundTrips)
+{
+    const AerStream empty(5);
+    AerStream parsed(1);
+    ASSERT_TRUE(aerFromText(aerToText(empty), &parsed).isOk());
+    EXPECT_EQ(parsed.numAddresses(), 5u);
+    EXPECT_EQ(parsed.size(), 0u);
+}
+
+TEST(AerRoundTrip, NewlineConventionsAllParse)
+{
+    AerStream stream(3);
+    stream.push(1, 0);
+    stream.push(4, 2);
+    const std::string canonical = aerToText(stream);
+
+    std::string no_final = canonical;
+    no_final.pop_back();
+    std::string crlf;
+    for (char c : canonical) {
+        if (c == '\n')
+            crlf += '\r';
+        crlf += c;
+    }
+    const std::string trailing_junk =
+        canonical + "\n# comment\n   \n\n";
+    for (const std::string &text :
+         {canonical, no_final, crlf, trailing_junk}) {
+        AerStream parsed(1);
+        const Status status = aerFromText(text, &parsed);
+        ASSERT_TRUE(status.isOk()) << status.str();
+        EXPECT_EQ(parsed.events(), stream.events());
+    }
+}
+
+TEST(AerRoundTrip, MaxTimestampSurvives)
+{
+    AerStream stream(2);
+    stream.push(kMax, 1);
+    AerStream parsed(1);
+    ASSERT_TRUE(aerFromText(aerToText(stream), &parsed).isOk());
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed.events()[0].time, kMax);
+}
+
+TEST(AerNegative, ErrorsCarryLineNumbersAndNeverThrow)
+{
+    const struct
+    {
+        const char *text;
+        const char *line;
+    } cases[] = {
+        {"", "line 0"},
+        {"staer 2\naddresses 1\n", "line 1"},
+        {"staer 1\n", "line 1"},
+        {"staer 1\naddresses zero\n", "line 2"},
+        {"staer 1\naddresses 2\n5 9\n", "line 3"},        // addr range
+        {"staer 1\naddresses 2\n5 1\n3 0\n", "line 4"},   // reorder
+        {"staer 1\naddresses 2\nfive 0\n", "line 3"},     // bad time
+        {"staer 1\naddresses 2\n5\n", "line 3"},          // arity
+        {"staer 1\naddresses 2\n5 0 7\n", "line 3"},      // arity
+        {"staer 1\naddresses 2\n99999999999999999999 0\n",
+         "line 3"}, // overflow
+    };
+    for (const auto &c : cases) {
+        AerStream out(9);
+        const Status status = aerFromText(std::string(c.text), &out);
+        EXPECT_FALSE(status.isOk()) << c.text;
+        EXPECT_EQ(status.context(), c.line) << c.text;
+        // A failed parse must leave *out untouched.
+        EXPECT_EQ(out.numAddresses(), 9u) << c.text;
+    }
+}
+
+TEST(AerNegative, ThrowingWrapperCarriesLineNumber)
+{
+    try {
+        aerFromText("staer 1\naddresses 2\n5 1\n3 0\n");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(AerSliceWindows, NearMaxTimestampsTerminate)
+{
+    // A naive `start += window` walk wraps past a near-2^64 end time
+    // and never terminates; the saturated final window must cover the
+    // tail in finitely many steps and keep every spike finite (no
+    // aliasing with Time's all-ones inf pattern).
+    AerStream stream(2);
+    stream.push(kMax - 3, 0);
+    stream.push(kMax, 1);
+    const uint64_t window = uint64_t(1) << 63;
+    const std::vector<Volley> out = stream.sliceWindows(window);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0][0].isInf());
+    EXPECT_TRUE(out[1][0].isFinite());
+    EXPECT_TRUE(out[1][1].isFinite());
+    EXPECT_EQ(out[1][0], Time(kMax - 3 - window));
+    EXPECT_EQ(out[1][1], Time(kMax - window));
+}
+
+TEST(AerSliceWindows, FuzzMatchesReferenceModel)
+{
+    for (uint64_t seed = 1; seed <= 30; ++seed) {
+        const AerStream stream = randomStream(
+            seed, 1 + seed % 23, 1 + uint32_t(seed % 5), false);
+        uint64_t wseed = seed * 977;
+        const uint64_t window = 1 + mix64(wseed) % 32;
+        const std::vector<Volley> out = stream.sliceWindows(window);
+
+        // Reference model: one volley per window up to the last
+        // event, first event per (window, address) wins, times are
+        // window-relative.
+        std::vector<Volley> ref(
+            stream.endTime() / window + 1,
+            Volley(stream.numAddresses(), INF));
+        for (const AerEvent &e : stream.events()) {
+            Time &slot = ref[e.time / window][e.address];
+            if (slot.isInf())
+                slot = Time(e.time % window);
+        }
+        EXPECT_EQ(out, ref) << "seed " << seed << " window "
+                            << window;
+        for (const Volley &v : out) {
+            for (const Time &t : v) {
+                if (t.isFinite()) {
+                    EXPECT_LT(t.value(), window);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Strict scalar parsing + hardened env-var access (util/parse.hpp):
+ * whole-token conversion only, and every malformed environment value
+ * falls back loudly — stderr warning plus an env.parse_rejected tick —
+ * never silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/parse.hpp"
+
+namespace st {
+namespace {
+
+uint64_t
+parseRejects()
+{
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    for (const auto &c : snap.counters)
+        if (c.name == "env.parse_rejected")
+            return c.value;
+    return 0;
+}
+
+/** RAII setenv/unsetenv so tests cannot leak into each other. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+TEST(ParseUint64Strict, AcceptsWholeDecimalTokens)
+{
+    EXPECT_EQ(parseUint64Strict("0"), 0u);
+    EXPECT_EQ(parseUint64Strict("42"), 42u);
+    EXPECT_EQ(parseUint64Strict("18446744073709551615"),
+              UINT64_MAX);
+}
+
+TEST(ParseUint64Strict, RejectsPartialAndOverflow)
+{
+    EXPECT_FALSE(parseUint64Strict(""));
+    EXPECT_FALSE(parseUint64Strict("8x"));
+    EXPECT_FALSE(parseUint64Strict("-1"));
+    EXPECT_FALSE(parseUint64Strict("+1"));
+    EXPECT_FALSE(parseUint64Strict("0x10"));
+    EXPECT_FALSE(parseUint64Strict(" 7"));
+    EXPECT_FALSE(parseUint64Strict("18446744073709551616"));
+}
+
+TEST(ParseDoubleStrict, WholeTokenFiniteOnly)
+{
+    EXPECT_DOUBLE_EQ(parseDoubleStrict("0.25").value(), 0.25);
+    EXPECT_DOUBLE_EQ(parseDoubleStrict("-3").value(), -3.0);
+    EXPECT_FALSE(parseDoubleStrict(""));
+    EXPECT_FALSE(parseDoubleStrict("1.5garbage"));
+    EXPECT_FALSE(parseDoubleStrict("inf"));
+    EXPECT_FALSE(parseDoubleStrict("nan"));
+    EXPECT_FALSE(parseDoubleStrict("1e999"));
+}
+
+TEST(EnvUint, UnsetFallsBackSilently)
+{
+    ScopedEnv env("ST_TEST_PARSE_U", nullptr);
+    const uint64_t before = parseRejects();
+    EXPECT_EQ(envUint("ST_TEST_PARSE_U", 7), 7u);
+    EXPECT_EQ(parseRejects(), before);
+}
+
+TEST(EnvUint, ValidValueApplies)
+{
+    ScopedEnv env("ST_TEST_PARSE_U", "12");
+    EXPECT_EQ(envUint("ST_TEST_PARSE_U", 7), 12u);
+}
+
+TEST(EnvUint, GarbageWarnsTicksMetricAndFallsBack)
+{
+    ScopedEnv env("ST_TEST_PARSE_U", "twelve");
+    const uint64_t before = parseRejects();
+    EXPECT_EQ(envUint("ST_TEST_PARSE_U", 7), 7u);
+    EXPECT_EQ(parseRejects(), before + 1);
+}
+
+TEST(EnvUint, OutOfRangeIsARejectNotAClamp)
+{
+    ScopedEnv env("ST_TEST_PARSE_U", "99");
+    const uint64_t before = parseRejects();
+    EXPECT_EQ(envUint("ST_TEST_PARSE_U", 7, 1, 64), 7u);
+    EXPECT_EQ(parseRejects(), before + 1);
+}
+
+TEST(EnvDouble, GarbageAndRangeRejects)
+{
+    const uint64_t before = parseRejects();
+    {
+        ScopedEnv env("ST_TEST_PARSE_D", "0.5x");
+        EXPECT_DOUBLE_EQ(envDouble("ST_TEST_PARSE_D", 0.1, 0, 1),
+                         0.1);
+    }
+    {
+        ScopedEnv env("ST_TEST_PARSE_D", "7.0");
+        EXPECT_DOUBLE_EQ(envDouble("ST_TEST_PARSE_D", 0.1, 0, 1),
+                         0.1);
+    }
+    EXPECT_EQ(parseRejects(), before + 2);
+}
+
+TEST(EnvString, SetButEmptyIsAReject)
+{
+    const uint64_t before = parseRejects();
+    ScopedEnv env("ST_TEST_PARSE_S", "");
+    EXPECT_EQ(envString("ST_TEST_PARSE_S", "dflt"), "dflt");
+    EXPECT_EQ(parseRejects(), before + 1);
+}
+
+} // namespace
+} // namespace st

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Chaos soak for the serving layer (ctest label: chaos; the sanitizer
+ * CI jobs run it at 1 and 8 batch threads).
+ *
+ * The contract under test is graceful degradation: at every chaos
+ * severity the server may *degrade* — drop volleys via the accounted
+ * deadline/shed/poisoned paths, quarantine malformed sessions — but
+ * must never crash, deadlock, reorder a session's deliveries, or lose
+ * a volley silently. A SIGTERM mid-flight must drain every session to
+ * its end (or err) line within the drain deadline. Chaos is driven by
+ * the PR 5 FaultInjector both server-side (enableChaos perturbs
+ * batched volleys, keyed by (session, seq)) and client-side
+ * (deterministic event drops/jitter on the wire).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "serve/model.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st::serve {
+namespace {
+
+constexpr size_t kInputs = 6;
+
+TnnNetwork
+makeNet()
+{
+    TnnNetwork net;
+    ColumnParams p;
+    p.numInputs = kInputs;
+    p.numNeurons = kInputs;
+    p.wtaK = 2;
+    p.seed = 23;
+    net.addLayer(p);
+    return net;
+}
+
+fault::FaultSpec
+specAt(double severity)
+{
+    fault::FaultSpec spec;
+    spec.seed = 0xc4a05;
+    spec.jitter = static_cast<Time::rep>(severity * 4.0);
+    spec.dropProb = 0.2 * severity;
+    spec.spuriousProb = 0.1 * severity;
+    return spec;
+}
+
+uint64_t
+mix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+struct Outcome
+{
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t endVolleys = 0;
+    uint64_t endDrops = 0;
+    bool sawEnd = false;
+    bool sawDataLoss = false;
+    bool orderOk = true;
+    std::vector<std::string> volleyLines;
+};
+
+/**
+ * Feed @p volleys windows with deterministic client-side chaos
+ * (event drops + forward jitter, seeded) and collect the replies.
+ * Stops feeding early if the server starts draining.
+ */
+Outcome
+drive(StreamServer &server, Session &s, size_t volleys,
+      double wire_chaos, uint64_t seed)
+{
+    const uint64_t window = 8;
+    s.feedLine("stserve 1", steadyNowMs());
+    s.feedLine("addresses " + std::to_string(kInputs) + " window " +
+                   std::to_string(window),
+               steadyNowMs());
+    uint64_t rng = seed;
+    for (size_t w = 0; w < volleys && !server.draining(); ++w) {
+        const uint64_t base = w * window;
+        uint64_t t = base;
+        for (size_t k = 0; k < 3; ++k) {
+            if (wire_chaos > 0.0 &&
+                (mix64(rng) % 100) < uint64_t(20.0 * wire_chaos))
+                continue; // event lost on the wire
+            t += mix64(rng) % 3;
+            if (t >= base + window)
+                break;
+            s.feedLine(std::to_string(t) + " " +
+                           std::to_string(mix64(rng) % kInputs),
+                       steadyNowMs());
+        }
+        s.feedLine("flush", steadyNowMs());
+    }
+    s.feedLine("end", steadyNowMs());
+
+    Outcome out;
+    uint64_t lastSeq = 0;
+    bool sawSeq = false;
+    while (true) {
+        std::optional<std::string> line =
+            s.nextOutput(std::chrono::milliseconds(50));
+        if (!line) {
+            if (s.finished())
+                break;
+            continue;
+        }
+        if (line->rfind("volley ", 0) == 0) {
+            const uint64_t seq = std::stoull(line->substr(7));
+            if (sawSeq && seq <= lastSeq)
+                out.orderOk = false;
+            lastSeq = seq;
+            sawSeq = true;
+            ++out.delivered;
+            out.volleyLines.push_back(std::move(*line));
+        } else if (line->rfind("drop ", 0) == 0) {
+            ++out.dropped;
+        } else if (line->rfind("end volleys ", 0) == 0) {
+            out.sawEnd = true;
+            std::istringstream is(line->substr(4));
+            std::string kw;
+            is >> kw >> out.endVolleys >> kw >> out.endDrops;
+        } else if (line->find("data_loss") != std::string::npos) {
+            out.sawDataLoss = true;
+        }
+    }
+    return out;
+}
+
+class ServeChaos : public ::testing::TestWithParam<size_t>
+{
+};
+
+/**
+ * Severity sweep: at 0, 0.25 and 1.0, N concurrent chaotic sessions
+ * must all run to completion with order preserved and every volley
+ * accounted (delivered + dropped == the end line's totals — shed and
+ * deadline losses go through the defined reject paths, never
+ * silently).
+ */
+TEST_P(ServeChaos, SeveritySweepDegradesGracefully)
+{
+    const size_t nthreads = GetParam();
+    for (const double severity : {0.0, 0.25, 1.0}) {
+        ServeConfig config;
+        config.window = 8;
+        config.deadlineMs = 10000;
+        config.nthreads = nthreads;
+        StreamServer server(
+            std::make_unique<TnnServeModel>(makeNet()), config);
+        if (severity > 0.0)
+            server.enableChaos(specAt(severity));
+        server.start();
+
+        constexpr size_t kSessions = 6;
+        constexpr size_t kVolleys = 24;
+        std::vector<std::shared_ptr<Session>> sessions;
+        for (size_t i = 0; i < kSessions; ++i) {
+            auto open = server.openSession("chaos");
+            ASSERT_TRUE(open.session != nullptr);
+            sessions.push_back(open.session);
+        }
+        std::vector<Outcome> outcomes(kSessions);
+        std::vector<std::thread> drivers;
+        for (size_t i = 0; i < kSessions; ++i)
+            drivers.emplace_back([&, i] {
+                outcomes[i] = drive(server, *sessions[i], kVolleys,
+                                    severity, 1000 + i);
+            });
+        for (auto &d : drivers)
+            d.join();
+
+        for (size_t i = 0; i < kSessions; ++i) {
+            const Outcome &o = outcomes[i];
+            EXPECT_TRUE(o.sawEnd)
+                << "severity " << severity << " session " << i;
+            EXPECT_TRUE(o.orderOk)
+                << "severity " << severity << " session " << i;
+            EXPECT_EQ(o.delivered, o.endVolleys)
+                << "severity " << severity << " session " << i;
+            EXPECT_EQ(o.dropped, o.endDrops)
+                << "severity " << severity << " session " << i;
+            EXPECT_EQ(o.delivered + o.dropped, kVolleys)
+                << "severity " << severity << " session " << i;
+        }
+        server.requestStop();
+        EXPECT_TRUE(server.waitDrained());
+    }
+}
+
+/**
+ * Chaos is keyed by (session id, seq): the same stream served twice
+ * (fresh server, same session id) must produce byte-identical volley
+ * lines, at any batch thread count.
+ */
+TEST_P(ServeChaos, ChaosIsDeterministicPerSessionAndSeq)
+{
+    const size_t nthreads = GetParam();
+    std::vector<std::string> first;
+    for (int run = 0; run < 2; ++run) {
+        ServeConfig config;
+        config.window = 8;
+        config.deadlineMs = 10000;
+        config.nthreads = nthreads;
+        StreamServer server(
+            std::make_unique<TnnServeModel>(makeNet()), config);
+        server.enableChaos(specAt(0.5));
+        server.start();
+        auto open = server.openSession("det");
+        ASSERT_TRUE(open.session != nullptr);
+        Outcome o = drive(server, *open.session, 20, 0.0, 42);
+        EXPECT_TRUE(o.sawEnd);
+        EXPECT_EQ(o.delivered, 20u);
+        server.requestStop();
+        EXPECT_TRUE(server.waitDrained());
+        if (run == 0)
+            first = o.volleyLines;
+        else
+            EXPECT_EQ(o.volleyLines, first);
+    }
+}
+
+/**
+ * SIGTERM mid-flight: sessions still streaming when the signal lands
+ * must drain to a clean end (or an accounted err line) within the
+ * drain deadline — no deadlock, no silent loss, readers released.
+ */
+TEST_P(ServeChaos, SigtermMidFlightDrainsWithinDeadline)
+{
+    const size_t nthreads = GetParam();
+    ServeConfig config;
+    config.window = 8;
+    config.deadlineMs = 2000;
+    config.drainDeadlineMs = 5000;
+    config.nthreads = nthreads;
+    StreamServer server(std::make_unique<TnnServeModel>(makeNet()),
+                        config);
+    server.enableChaos(specAt(0.5));
+    StreamServer::installSignalHandlers(&server);
+    server.start();
+
+    constexpr size_t kSessions = 4;
+    std::vector<std::shared_ptr<Session>> sessions;
+    for (size_t i = 0; i < kSessions; ++i) {
+        auto open = server.openSession("sig");
+        ASSERT_TRUE(open.session != nullptr);
+        sessions.push_back(open.session);
+    }
+    std::vector<Outcome> outcomes(kSessions);
+    std::vector<std::thread> drivers;
+    for (size_t i = 0; i < kSessions; ++i)
+        drivers.emplace_back([&, i] {
+            // Long streams: the signal lands mid-flight.
+            outcomes[i] = drive(server, *sessions[i], 5000, 0.25,
+                                7000 + i);
+        });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_EQ(std::raise(SIGTERM), 0);
+
+    const uint64_t t0 = steadyNowMs();
+    EXPECT_TRUE(server.waitDrained());
+    EXPECT_LE(steadyNowMs() - t0, config.drainDeadlineMs + 2000);
+    for (auto &d : drivers)
+        d.join();
+    EXPECT_TRUE(server.draining());
+    EXPECT_EQ(server.activeSessions(), 0u);
+    for (size_t i = 0; i < kSessions; ++i) {
+        const Outcome &o = outcomes[i];
+        // Every session terminated through a defined path.
+        EXPECT_TRUE(o.sawEnd || o.sawDataLoss) << "session " << i;
+        EXPECT_TRUE(o.orderOk) << "session " << i;
+        if (o.sawEnd) {
+            EXPECT_EQ(o.delivered, o.endVolleys) << "session " << i;
+            EXPECT_EQ(o.dropped, o.endDrops) << "session " << i;
+        }
+    }
+    StreamServer::installSignalHandlers(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeChaos,
+                         ::testing::Values(size_t{1}, size_t{8}),
+                         [](const auto &info) {
+                             return "t" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace st::serve

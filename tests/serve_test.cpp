@@ -1,0 +1,669 @@
+/**
+ * @file
+ * Tier-1 tests for the serving layer: bounded rings, admission
+ * control, the session protocol state machine (including quarantine
+ * with line-numbered errors), window framing equivalence with the
+ * offline AerStream::sliceWindows, the end-to-end StreamServer path
+ * (multi-session ordering, deadline drops, poisoned-batch isolation,
+ * graceful drain), and the health JSON shape.
+ *
+ * Everything here is in-process and socket-free; the TCP/pipe
+ * transports are exercised by the CI serve-smoke job and the chaos
+ * soak (serve_chaos_test.cpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/admission.hpp"
+#include "serve/config.hpp"
+#include "serve/model.hpp"
+#include "serve/ring.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "tnn/aer.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st::serve {
+namespace {
+
+uint64_t
+counterValue(const std::string &name)
+{
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    for (const auto &c : snap.counters)
+        if (c.name == name)
+            return c.value;
+    return 0;
+}
+
+TnnNetwork
+makeNet(size_t inputs)
+{
+    TnnNetwork net;
+    ColumnParams p;
+    p.numInputs = inputs;
+    p.numNeurons = inputs;
+    p.wtaK = 1;
+    p.seed = 5;
+    net.addLayer(p);
+    return net;
+}
+
+/** Drain a session's egress into a vector of lines. */
+std::vector<std::string>
+drainAll(Session &s)
+{
+    std::vector<std::string> lines;
+    while (true) {
+        std::optional<std::string> line =
+            s.nextOutput(std::chrono::milliseconds(50));
+        if (line)
+            lines.push_back(std::move(*line));
+        else if (s.finished())
+            return lines;
+    }
+}
+
+size_t
+countPrefix(const std::vector<std::string> &lines,
+            const std::string &prefix)
+{
+    size_t n = 0;
+    for (const auto &l : lines)
+        if (l.rfind(prefix, 0) == 0)
+            ++n;
+    return n;
+}
+
+// --- ServeConfig ---------------------------------------------------
+
+TEST(ServeConfigEnv, AppliesValidValuesAndRejectsGarbage)
+{
+    setenv("ST_SERVE_WINDOW", "32", 1);
+    setenv("ST_SERVE_DEADLINE_MS", "soon", 1); // typo'd: fallback
+    const uint64_t before = counterValue("env.parse_rejected");
+    const ServeConfig config = ServeConfig::fromEnv();
+    unsetenv("ST_SERVE_WINDOW");
+    unsetenv("ST_SERVE_DEADLINE_MS");
+    EXPECT_EQ(config.window, 32u);
+    EXPECT_EQ(config.deadlineMs, ServeConfig().deadlineMs);
+    EXPECT_EQ(counterValue("env.parse_rejected"), before + 1);
+}
+
+// --- BoundedRing ---------------------------------------------------
+
+TEST(BoundedRing, BoundsAndFifo)
+{
+    BoundedRing<int> ring(2);
+    EXPECT_TRUE(ring.tryPush(1));
+    EXPECT_TRUE(ring.tryPush(2));
+    EXPECT_FALSE(ring.tryPush(3)); // full: refused, not resized
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.highWater(), 2u);
+    EXPECT_EQ(ring.tryPop().value(), 1);
+    EXPECT_EQ(ring.tryPop().value(), 2);
+    EXPECT_FALSE(ring.tryPop().has_value());
+}
+
+TEST(BoundedRing, PushWaitTimesOutWhenFull)
+{
+    BoundedRing<int> ring(1);
+    ASSERT_TRUE(ring.tryPush(1));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(ring.pushWait(2, std::chrono::milliseconds(30)));
+    EXPECT_GE(std::chrono::steady_clock::now() - t0,
+              std::chrono::milliseconds(25));
+}
+
+TEST(BoundedRing, PushWaitSucceedsWhenConsumerDrains)
+{
+    BoundedRing<int> ring(1);
+    ASSERT_TRUE(ring.tryPush(1));
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ring.tryPop();
+    });
+    EXPECT_TRUE(ring.pushWait(2, std::chrono::milliseconds(500)));
+    consumer.join();
+    EXPECT_EQ(ring.tryPop().value(), 2);
+}
+
+TEST(BoundedRing, CloseDrainsButRefusesPushes)
+{
+    BoundedRing<int> ring(4);
+    ring.tryPush(7);
+    ring.close();
+    EXPECT_TRUE(ring.closed());
+    EXPECT_FALSE(ring.tryPush(8));
+    EXPECT_EQ(ring.tryPop().value(), 7); // drain-only semantics
+    EXPECT_FALSE(ring.popWait(std::chrono::milliseconds(10)));
+}
+
+TEST(BoundedRing, CloseWakesBlockedWaiters)
+{
+    // One full ring (pusher blocks on space) and one empty ring
+    // (popper blocks on data): close() must release both without a
+    // producer/consumer on the other end.
+    BoundedRing<int> full(1);
+    ASSERT_TRUE(full.tryPush(1));
+    BoundedRing<int> empty(1);
+    std::thread pusher([&] {
+        EXPECT_FALSE(full.pushWait(2, std::chrono::seconds(10)));
+    });
+    std::thread popper([&] {
+        EXPECT_FALSE(empty.popWait(std::chrono::seconds(10)));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    full.close();
+    empty.close();
+    pusher.join();
+    popper.join();
+    // Closed rings still drain what they hold.
+    EXPECT_EQ(full.tryPop().value(), 1);
+}
+
+// --- Admission -----------------------------------------------------
+
+TEST(Admission, RejectsAtCapacityWithBackoff)
+{
+    ServeConfig config;
+    config.maxSessions = 2;
+    config.retryAfterMs = 100;
+    config.retryAfterMaxMs = 400;
+    AdmissionController adm(config);
+
+    EXPECT_TRUE(adm.tryAdmit("a", 0, 0, false).admit);
+    EXPECT_TRUE(adm.tryAdmit("a", 0, 1, false).admit);
+    auto d1 = adm.tryAdmit("a", 0, 2, false);
+    EXPECT_FALSE(d1.admit);
+    EXPECT_STREQ(d1.reason, "capacity");
+    EXPECT_EQ(d1.retryAfterMs, 100u);
+    // Repeat offender: penalty doubles, capped.
+    EXPECT_EQ(adm.tryAdmit("a", 1, 2, false).retryAfterMs, 200u);
+    EXPECT_EQ(adm.tryAdmit("a", 2, 2, false).retryAfterMs, 400u);
+    EXPECT_EQ(adm.tryAdmit("a", 3, 2, false).retryAfterMs, 400u);
+    // A different client starts at the base hint.
+    EXPECT_EQ(adm.tryAdmit("b", 3, 2, false).retryAfterMs, 100u);
+    EXPECT_EQ(adm.offenderCount(), 2u);
+}
+
+TEST(Admission, RejectsWhileDrainingRegardlessOfCapacity)
+{
+    ServeConfig config;
+    config.maxSessions = 8;
+    AdmissionController adm(config);
+    auto d = adm.tryAdmit("x", 0, 0, true);
+    EXPECT_FALSE(d.admit);
+    EXPECT_STREQ(d.reason, "draining");
+}
+
+TEST(Admission, DecayHealsOffenders)
+{
+    ServeConfig config;
+    config.maxSessions = 0; // everything rejected
+    config.retryAfterMs = 100;
+    config.retryAfterMaxMs = 1600;
+    config.offenderDecayMs = 50;
+    AdmissionController adm(config);
+    adm.tryAdmit("a", 0, 0, false);
+    adm.tryAdmit("a", 1, 0, false);
+    adm.tryAdmit("a", 2, 0, false); // penalty now 400
+    ASSERT_EQ(adm.offenderCount(), 1u);
+    adm.decay(2 + 500); // many decay periods later
+    EXPECT_EQ(adm.offenderCount(), 0u);
+}
+
+// --- Session protocol ----------------------------------------------
+
+ServeConfig
+sessionConfig()
+{
+    ServeConfig config;
+    config.window = 8;
+    config.ingressCapacity = 64;
+    config.egressCapacity = 256;
+    config.deadlineMs = 5000;
+    return config;
+}
+
+TEST(Session, HelloThenConfigThenStreaming)
+{
+    Session s(1, sessionConfig(), 4, nullptr);
+    EXPECT_EQ(s.state(), SessionState::AwaitHello);
+    s.feedLine("stserve 1", 0);
+    EXPECT_EQ(s.state(), SessionState::AwaitConfig);
+    s.feedLine("addresses 4 window 8", 0);
+    EXPECT_EQ(s.state(), SessionState::Streaming);
+    auto hello = s.nextOutput(std::chrono::milliseconds(100));
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_EQ(*hello, "stserve-ok session 1 inputs 4");
+}
+
+TEST(Session, BadHelloQuarantinesWithLineNumber)
+{
+    Session s(1, sessionConfig(), 4, nullptr);
+    s.feedLine("GET / HTTP/1.1", 0);
+    EXPECT_EQ(s.state(), SessionState::Quarantined);
+    auto err = s.nextOutput(std::chrono::milliseconds(100));
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("err "), std::string::npos);
+    EXPECT_NE(err->find("[line 1]"), std::string::npos);
+}
+
+TEST(Session, WrongAddressCountQuarantines)
+{
+    Session s(1, sessionConfig(), 4, nullptr);
+    s.feedLine("stserve 1", 0);
+    s.feedLine("addresses 9", 0);
+    EXPECT_EQ(s.state(), SessionState::Quarantined);
+}
+
+TEST(Session, OutOfOrderEventQuarantinesOnlyThisSession)
+{
+    Session a(1, sessionConfig(), 4, nullptr);
+    Session b(2, sessionConfig(), 4, nullptr);
+    for (Session *s : {&a, &b}) {
+        s->feedLine("stserve 1", 0);
+        s->feedLine("addresses 4", 0);
+    }
+    a.feedLine("10 0", 0);
+    a.feedLine("3 1", 0); // time went backwards
+    EXPECT_EQ(a.state(), SessionState::Quarantined);
+    b.feedLine("10 0", 0);
+    EXPECT_EQ(b.state(), SessionState::Streaming);
+
+    // Quarantined sessions ignore further input but honour `end`.
+    a.feedLine("11 0", 0);
+    a.feedLine("end", 0);
+    EXPECT_TRUE(a.inputDone());
+}
+
+TEST(Session, GarbageEventLineReportsLineNumber)
+{
+    Session s(1, sessionConfig(), 4, nullptr);
+    s.feedLine("stserve 1", 0);
+    s.feedLine("addresses 4", 0);
+    s.feedLine("", 0); // blank lines still count for numbering
+    s.feedLine("5 bananas", 0);
+    EXPECT_EQ(s.state(), SessionState::Quarantined);
+    std::optional<std::string> line;
+    std::string err;
+    while ((line = s.nextOutput(std::chrono::milliseconds(50)))) {
+        if (line->rfind("err ", 0) == 0) {
+            err = *line;
+            break;
+        }
+    }
+    EXPECT_NE(err.find("[line 4]"), std::string::npos) << err;
+}
+
+TEST(Session, FramingMatchesSliceWindows)
+{
+    // The serving grid must agree with the offline slicer so a model
+    // trained on sliceWindows sees identical volleys when served.
+    AerStream stream(4);
+    stream.push(0, 0);
+    stream.push(3, 1);
+    stream.push(9, 2);  // second window
+    stream.push(9, 2);  // duplicate: first event per address wins
+    stream.push(26, 3); // skips window [16,24)
+    const uint64_t window = 8;
+    const std::vector<Volley> expected = stream.sliceWindows(window);
+
+    ServeConfig config = sessionConfig();
+    config.window = window;
+    Session s(1, config, 4, nullptr);
+    s.feedLine("stserve 1", 0);
+    s.feedLine("addresses 4", 0);
+    for (const AerEvent &e : stream.events())
+        s.feedLine(std::to_string(e.time) + " " +
+                       std::to_string(e.address),
+                   0);
+    s.endInput(0);
+
+    std::vector<Volley> framed;
+    while (auto p = s.popPending())
+        framed.push_back(std::move(p->volley));
+    EXPECT_EQ(framed, expected);
+}
+
+TEST(Session, GapElisionEmitsNote)
+{
+    ServeConfig config = sessionConfig();
+    config.window = 8;
+    config.maxGapWindows = 2;
+    Session s(1, config, 4, nullptr);
+    s.feedLine("stserve 1", 0);
+    s.feedLine("addresses 4", 0);
+    s.feedLine("0 0", 0);
+    s.feedLine("800 1", 0); // ~100 windows later
+    s.endInput(0);
+
+    size_t pending = 0;
+    while (s.popPending())
+        ++pending;
+    // Sealed first window + at most maxGapWindows empties + final.
+    EXPECT_EQ(pending, 1u + 2u + 1u);
+    EXPECT_GT(s.stats().gapsElided, 0u);
+
+    bool sawGapNote = false;
+    std::optional<std::string> line;
+    while ((line = s.nextOutput(std::chrono::milliseconds(10))))
+        if (line->rfind("note gap ", 0) == 0)
+            sawGapNote = true;
+    EXPECT_TRUE(sawGapNote);
+}
+
+TEST(Session, BackpressureThenShedWithAccounting)
+{
+    ServeConfig config = sessionConfig();
+    config.window = 8;
+    config.ingressCapacity = 2;
+    config.deadlineMs = 10; // short: shed instead of blocking long
+    Session s(1, config, 4, nullptr);
+    s.feedLine("stserve 1", 0);
+    s.feedLine("addresses 4", 0);
+    const uint64_t before = counterValue("serve.shed.volleys");
+    for (uint64_t w = 0; w < 6; ++w) {
+        s.feedLine(std::to_string(w * 8) + " 0", 0);
+        s.feedLine("flush", 0);
+    }
+    const SessionStats st = s.stats();
+    EXPECT_EQ(st.volleysIn, 2u); // ring capacity
+    EXPECT_EQ(st.dropsShed, 4u); // everything else shed, accounted
+    EXPECT_EQ(counterValue("serve.shed.volleys"), before + 4);
+
+    std::vector<std::string> lines;
+    std::optional<std::string> line;
+    while ((line = s.nextOutput(std::chrono::milliseconds(10))))
+        lines.push_back(std::move(*line));
+    EXPECT_EQ(countPrefix(lines, "drop "), 4u);
+    EXPECT_EQ(countPrefix(lines, "note backpressure on"), 1u);
+}
+
+// --- StreamServer end-to-end ---------------------------------------
+
+struct ClientRun
+{
+    std::vector<std::string> lines;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    bool orderOk = true;
+};
+
+ClientRun
+driveSession(Session &s, size_t volleys, uint64_t window,
+             uint64_t stride)
+{
+    s.feedLine("stserve 1", steadyNowMs());
+    s.feedLine("addresses 4 window " + std::to_string(window),
+               steadyNowMs());
+    for (size_t w = 0; w < volleys; ++w) {
+        const uint64_t base = w * window;
+        s.feedLine(std::to_string(base + (w % window)) + " " +
+                       std::to_string((w * stride) % 4),
+                   steadyNowMs());
+        s.feedLine("flush", steadyNowMs());
+    }
+    s.feedLine("end", steadyNowMs());
+
+    ClientRun run;
+    run.lines = drainAll(s);
+    uint64_t lastSeq = 0;
+    bool sawSeq = false;
+    for (const auto &l : run.lines) {
+        if (l.rfind("volley ", 0) == 0) {
+            const uint64_t seq = std::stoull(l.substr(7));
+            if (sawSeq && seq <= lastSeq)
+                run.orderOk = false;
+            lastSeq = seq;
+            sawSeq = true;
+            ++run.delivered;
+        } else if (l.rfind("drop ", 0) == 0) {
+            ++run.dropped;
+        }
+    }
+    return run;
+}
+
+TEST(StreamServer, MultiSessionOrderAndPayloadCorrectness)
+{
+    TnnNetwork net = makeNet(4);
+    ServeConfig config;
+    config.window = 8;
+    config.deadlineMs = 10000;
+    StreamServer server(std::make_unique<TnnServeModel>(net), config);
+    server.start();
+
+    constexpr size_t kSessions = 3;
+    constexpr size_t kVolleys = 20;
+    std::vector<std::shared_ptr<Session>> sessions;
+    for (size_t i = 0; i < kSessions; ++i) {
+        auto open = server.openSession("t" + std::to_string(i));
+        ASSERT_TRUE(open.session != nullptr);
+        sessions.push_back(open.session);
+    }
+    std::vector<ClientRun> runs(kSessions);
+    std::vector<std::thread> drivers;
+    for (size_t i = 0; i < kSessions; ++i)
+        drivers.emplace_back([&, i] {
+            runs[i] = driveSession(*sessions[i], kVolleys, 8, i + 1);
+        });
+    for (auto &d : drivers)
+        d.join();
+
+    for (size_t i = 0; i < kSessions; ++i) {
+        EXPECT_TRUE(runs[i].orderOk) << "session " << i;
+        EXPECT_EQ(runs[i].delivered, kVolleys) << "session " << i;
+        EXPECT_EQ(runs[i].dropped, 0u) << "session " << i;
+    }
+
+    // Payload correctness: the served output must equal the offline
+    // reference computation volley-for-volley.
+    for (size_t i = 0; i < kSessions; ++i) {
+        size_t w = 0;
+        for (const auto &l : runs[i].lines) {
+            if (l.rfind("volley ", 0) != 0)
+                continue;
+            Volley input(4, INF);
+            input[(w * (i + 1)) % 4] = Time(w % 8);
+            const std::string expected =
+                wireVolley(net.process(input));
+            const size_t payloadAt = l.find(' ', 7) + 1;
+            EXPECT_EQ(l.substr(payloadAt), expected)
+                << "session " << i << " volley " << w;
+            ++w;
+        }
+    }
+
+    server.requestStop();
+    EXPECT_TRUE(server.waitDrained());
+    EXPECT_EQ(server.activeSessions(), 0u);
+}
+
+TEST(StreamServer, ExpiredVolleysDropAsDeadline)
+{
+    ServeConfig config;
+    config.window = 8;
+    config.deadlineMs = 1;
+    StreamServer server(std::make_unique<TnnServeModel>(makeNet(4)),
+                        config);
+    // Deliberately NOT started: everything queued expires first.
+    auto open = server.openSession("d");
+    ASSERT_TRUE(open.session != nullptr);
+    Session &s = *open.session;
+    s.feedLine("stserve 1", steadyNowMs());
+    s.feedLine("addresses 4", steadyNowMs());
+    for (uint64_t w = 0; w < 4; ++w) {
+        s.feedLine(std::to_string(w * 8) + " 0", steadyNowMs());
+        s.feedLine("flush", steadyNowMs());
+    }
+    s.feedLine("end", steadyNowMs());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.start();
+
+    const std::vector<std::string> lines = drainAll(s);
+    EXPECT_EQ(countPrefix(lines, "volley "), 0u);
+    EXPECT_EQ(countPrefix(lines, "drop "), 4u);
+    for (const auto &l : lines) {
+        if (l.rfind("drop ", 0) == 0) {
+            EXPECT_NE(l.find(" deadline"), std::string::npos) << l;
+        }
+    }
+    EXPECT_EQ(s.stats().dropsDeadline, 4u);
+    server.requestStop();
+    server.waitDrained();
+}
+
+/** Throws on a marked volley: exercises panic isolation. */
+class PoisonModel : public ServeModel
+{
+  public:
+    size_t numInputs() const override { return 2; }
+    std::string name() const override { return "poison"; }
+
+    std::vector<std::string>
+    processBatch(std::span<const BatchItem> items, size_t) override
+    {
+        std::vector<std::string> out;
+        for (const BatchItem &item : items) {
+            if (item.volley[0] == Time(7))
+                throw std::runtime_error("poison volley");
+            out.push_back(wireVolley(item.volley));
+        }
+        return out;
+    }
+};
+
+TEST(StreamServer, PoisonedVolleyIsIsolatedNotFatal)
+{
+    ServeConfig config;
+    config.window = 8;
+    config.deadlineMs = 10000;
+    config.batchMax = 16;
+    StreamServer server(std::make_unique<PoisonModel>(), config);
+    auto open = server.openSession("p");
+    ASSERT_TRUE(open.session != nullptr);
+    Session &s = *open.session;
+    s.feedLine("stserve 1", steadyNowMs());
+    s.feedLine("addresses 2", steadyNowMs());
+    // Volley 1 carries the poison marker (time 7 on address 0).
+    s.feedLine("0 0", steadyNowMs());
+    s.feedLine("flush", steadyNowMs());
+    s.feedLine("15 0", steadyNowMs()); // rel 7 in window [8,16)
+    s.feedLine("flush", steadyNowMs());
+    s.feedLine("16 1", steadyNowMs());
+    s.feedLine("end", steadyNowMs());
+    server.start();
+
+    const std::vector<std::string> lines = drainAll(s);
+    EXPECT_EQ(countPrefix(lines, "volley "), 2u);
+    EXPECT_EQ(countPrefix(lines, "drop 1 poisoned"), 1u);
+    EXPECT_EQ(s.stats().dropsPoisoned, 1u);
+    server.requestStop();
+    EXPECT_TRUE(server.waitDrained());
+}
+
+TEST(StreamServer, DrainRejectsNewSessions)
+{
+    ServeConfig config;
+    StreamServer server(std::make_unique<TnnServeModel>(makeNet(4)),
+                        config);
+    server.start();
+    server.requestStop();
+    auto open = server.openSession("late");
+    EXPECT_TRUE(open.session == nullptr);
+    EXPECT_STREQ(open.reason, "draining");
+    EXPECT_GT(open.retryAfterMs, 0u);
+    EXPECT_TRUE(server.waitDrained());
+}
+
+TEST(StreamServer, ShedsSessionsPastCapacityWithRetryHints)
+{
+    ServeConfig config;
+    config.maxSessions = 1;
+    config.retryAfterMs = 50;
+    StreamServer server(std::make_unique<TnnServeModel>(makeNet(4)),
+                        config);
+    server.start();
+    const uint64_t before = counterValue("serve.shed.sessions");
+    auto first = server.openSession("k");
+    ASSERT_TRUE(first.session != nullptr);
+    auto second = server.openSession("k");
+    EXPECT_TRUE(second.session == nullptr);
+    EXPECT_STREQ(second.reason, "capacity");
+    EXPECT_EQ(second.retryAfterMs, 50u);
+    auto third = server.openSession("k");
+    EXPECT_EQ(third.retryAfterMs, 100u); // backoff doubles
+    EXPECT_EQ(counterValue("serve.shed.sessions"), before + 2);
+    first.session->endInput(steadyNowMs());
+    server.requestStop();
+    EXPECT_TRUE(server.waitDrained());
+}
+
+TEST(StreamServer, HealthJsonShape)
+{
+    ServeConfig config;
+    StreamServer server(std::make_unique<TnnServeModel>(makeNet(4)),
+                        config);
+    server.start();
+    EXPECT_TRUE(server.ready());
+    const std::string json = server.healthJson();
+    EXPECT_NE(json.find("\"server\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"state\":\"running\""), std::string::npos);
+    EXPECT_NE(json.find("\"ready\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"model\":\"tnn\""), std::string::npos);
+    EXPECT_NE(json.find("\"sessions_active\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    server.requestStop();
+    server.waitDrained();
+    EXPECT_FALSE(server.ready());
+    EXPECT_NE(server.healthJson().find("\"state\":\"stopped\""),
+              std::string::npos);
+}
+
+TEST(StreamServer, LsmModelKeepsPerSessionStateAndDropsItOnEnd)
+{
+    ReservoirParams params;
+    params.numInputs = 4;
+    params.numNeurons = 24;
+    auto model = std::make_unique<LsmAnomalyModel>(params, 4);
+    LsmAnomalyModel *lsm = model.get();
+    ServeConfig config;
+    config.window = 8;
+    config.deadlineMs = 10000;
+    StreamServer server(std::move(model), config);
+    server.start();
+
+    auto a = server.openSession("a");
+    auto b = server.openSession("b");
+    ASSERT_TRUE(a.session && b.session);
+    std::thread ta([&] { driveSession(*a.session, 6, 8, 1); });
+    std::thread tb([&] { driveSession(*b.session, 6, 8, 2); });
+    ta.join();
+    tb.join();
+    server.requestStop();
+    EXPECT_TRUE(server.waitDrained());
+    // Reservoir state existed per session and was reclaimed on end.
+    EXPECT_EQ(lsm->statefulSessions(), 0u);
+}
+
+TEST(WireVolley, EncodesInfAndFiniteTimes)
+{
+    Volley v = {Time(0), INF, Time(3)};
+    EXPECT_EQ(wireVolley(v), "0 inf 3");
+    EXPECT_EQ(wireVolley(Volley{}), "");
+}
+
+} // namespace
+} // namespace st::serve

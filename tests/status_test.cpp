@@ -1,0 +1,72 @@
+/**
+ * @file
+ * st::Status ergonomics added for the serving layer: stream insertion,
+ * the toString() alias, and the ST_RETURN_IF_ERROR early-return macro
+ * used by the text loaders and the session protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/status.hpp"
+
+namespace st {
+namespace {
+
+TEST(Status, StreamInsertionMatchesStr)
+{
+    const Status ok = Status::ok();
+    const Status bad(StatusCode::InvalidArgument, "bad token",
+                     "line 3");
+    std::ostringstream os;
+    os << ok << " | " << bad;
+    EXPECT_EQ(os.str(), ok.str() + " | " + bad.str());
+    EXPECT_EQ(bad.toString(), bad.str());
+    EXPECT_NE(bad.toString().find("invalid_argument"),
+              std::string::npos);
+    EXPECT_NE(bad.toString().find("[line 3]"), std::string::npos);
+}
+
+Status
+stepThatFails()
+{
+    return Status(StatusCode::ResourceExhausted, "budget spent");
+}
+
+Status
+stepThatSucceeds()
+{
+    return Status::ok();
+}
+
+Status
+pipelineShortCircuits(int *reached)
+{
+    ST_RETURN_IF_ERROR(stepThatSucceeds());
+    *reached = 1;
+    ST_RETURN_IF_ERROR(stepThatFails());
+    *reached = 2; // must not execute
+    return Status::ok();
+}
+
+TEST(Status, ReturnIfErrorShortCircuits)
+{
+    int reached = 0;
+    const Status status = pipelineShortCircuits(&reached);
+    EXPECT_EQ(status.code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(reached, 1);
+}
+
+TEST(Status, ReturnIfErrorPassesThroughOkPipelines)
+{
+    const auto all_ok = [] {
+        ST_RETURN_IF_ERROR(stepThatSucceeds());
+        ST_RETURN_IF_ERROR(stepThatSucceeds());
+        return Status::ok();
+    };
+    EXPECT_TRUE(all_ok().isOk());
+}
+
+} // namespace
+} // namespace st
