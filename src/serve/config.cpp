@@ -19,6 +19,8 @@ ServeConfig::fromEnv()
         envUint("ST_SERVE_BATCH_MAX", cfg.batchMax, 1, 1u << 16);
     cfg.deadlineMs =
         envUint("ST_SERVE_DEADLINE_MS", cfg.deadlineMs, 1, 86400000);
+    cfg.deadlineMaxMs = envUint("ST_SERVE_DEADLINE_MAX_MS",
+                                cfg.deadlineMaxMs, 1, 86400000);
     cfg.idleTimeoutMs = envUint("ST_SERVE_IDLE_TIMEOUT_MS",
                                 cfg.idleTimeoutMs, 1, 86400000);
     cfg.drainDeadlineMs =

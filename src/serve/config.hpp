@@ -40,6 +40,11 @@ struct ServeConfig
      *  accounted `drop <seq> deadline` notice. */
     uint64_t deadlineMs = 1000;
 
+    /** Server-side ceiling on the session deadline: a client
+     *  `deadline_ms` above this is clamped, so no client-chosen value
+     *  can configure an unbounded (or chrono-overflowing) wait. */
+    uint64_t deadlineMaxMs = 60000;
+
     /** Sessions with no input/output activity this long are reaped. */
     uint64_t idleTimeoutMs = 30000;
 
@@ -69,8 +74,9 @@ struct ServeConfig
     /**
      * Defaults overridden by the ST_SERVE_* environment: WINDOW,
      * MAX_SESSIONS, INGRESS, EGRESS, BATCH_MAX, DEADLINE_MS,
-     * IDLE_TIMEOUT_MS, DRAIN_MS, WATCHDOG_MS, RETRY_AFTER_MS,
-     * RETRY_AFTER_MAX_MS, OFFENDER_DECAY_MS, MAX_GAP_WINDOWS, THREADS.
+     * DEADLINE_MAX_MS, IDLE_TIMEOUT_MS, DRAIN_MS, WATCHDOG_MS,
+     * RETRY_AFTER_MS, RETRY_AFTER_MAX_MS, OFFENDER_DECAY_MS,
+     * MAX_GAP_WINDOWS, THREADS.
      */
     static ServeConfig fromEnv();
 };

@@ -58,11 +58,24 @@ class ServeModel
      * Process one batch; called from the server's single batcher
      * thread. Must return one payload per item, in item order. Items
      * of the same session appear in seq order within and across
-     * calls. A throw poisons the *batch*; the server then retries
-     * item-by-item to isolate the poisoned volley.
+     * calls. A throw poisons the offending volley only: for a
+     * transactional() model the server retries the batch item-by-item;
+     * for a stateful model the server feeds one item per call in the
+     * first place (see transactional()).
      */
     virtual std::vector<std::string>
     processBatch(std::span<const BatchItem> items, size_t nthreads) = 0;
+
+    /**
+     * True when a throwing processBatch leaves no observable state
+     * behind, making a whole-batch retry safe. Models that commit
+     * per-session state as they iterate (the LSM reservoir advances on
+     * every item) must return false: the server then feeds them one
+     * item per call, so a mid-batch throw can never cause earlier —
+     * already committed — items to be re-applied. Defaults to false,
+     * the safe choice for an unknown model.
+     */
+    virtual bool transactional() const { return false; }
 
     /** The session ended; drop any per-session state. */
     virtual void
@@ -84,6 +97,7 @@ class TnnServeModel : public ServeModel
 
     size_t numInputs() const override { return numInputs_; }
     std::string name() const override { return "tnn"; }
+    bool transactional() const override { return true; } // stateless
     std::vector<std::string>
     processBatch(std::span<const BatchItem> items,
                  size_t nthreads) override;

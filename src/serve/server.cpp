@@ -84,17 +84,20 @@ StreamServer::openSession(const std::string &client_key)
 {
     const uint64_t now = steadyNowMs();
     OpenResult result;
-    const AdmissionController::Decision d = admission_.tryAdmit(
-        client_key, now, activeSessions(),
-        draining_.load(std::memory_order_acquire));
-    if (!d.admit) {
-        result.retryAfterMs = d.retryAfterMs;
-        result.reason = d.reason;
-        return result;
-    }
     std::shared_ptr<Session> session;
     {
+        // Admission check and insertion under one lock: two
+        // concurrent opens at maxSessions-1 must not both pass the
+        // count check and overshoot the bound.
         std::lock_guard<std::mutex> lock(sessionsMutex_);
+        const AdmissionController::Decision d = admission_.tryAdmit(
+            client_key, now, sessions_.size(),
+            draining_.load(std::memory_order_acquire));
+        if (!d.admit) {
+            result.retryAfterMs = d.retryAfterMs;
+            result.reason = d.reason;
+            return result;
+        }
         const uint64_t id = nextSessionId_++;
         session = std::make_shared<Session>(
             id, config_, model_->numInputs(),
@@ -218,8 +221,10 @@ StreamServer::sweepSessions(uint64_t now_ms)
             draining_.load(std::memory_order_acquire);
         if (drain_all && !s->inputDone()) {
             // Draining: no more input will be read; what is queued
-            // still flows, but the stream is logically ended.
-            s->endInput(now_ms);
+            // still flows, but the stream is logically ended. The
+            // non-blocking form never waits on a reader mid-submit —
+            // a refused seal is retried on the next sweep.
+            s->endInput(now_ms, /*may_block=*/false);
         }
         if (s->finishIfDrained(now_ms)) {
             bool erased = false;
@@ -253,43 +258,58 @@ StreamServer::runBatch(
     batchStartMs_.store(now_ms, std::memory_order_release);
     ST_OBS_ADD("serve.batches", 1);
     ST_OBS_HIST("serve.batch.size", items.size());
-    bool batch_ok = true;
-    std::vector<std::string> payloads;
-    try {
-        payloads = model_->processBatch(items, config_.nthreads);
-        if (payloads.size() != items.size())
-            throw StatusError(Status(
-                StatusCode::Internal,
-                "model returned " + std::to_string(payloads.size()) +
-                    " payloads for " + std::to_string(items.size()) +
-                    " items"));
-    } catch (const std::exception &e) {
-        batch_ok = false;
-        ST_OBS_ADD("serve.batch.panic", 1);
-        std::fprintf(stderr,
-                     "stserve: batch of %zu poisoned (%s); retrying "
-                     "item-by-item\n",
-                     items.size(), e.what());
-    }
-    if (batch_ok) {
-        for (size_t i = 0; i < items.size(); ++i)
-            targets[i]->deliver(items[i].seq, payloads[i],
+    // One item per model call; a throw poisons exactly that volley.
+    const auto processOne = [&](size_t i) {
+        try {
+            const std::vector<std::string> one =
+                model_->processBatch({&items[i], 1},
+                                     config_.nthreads);
+            targets[i]->deliver(items[i].seq,
+                                one.empty() ? "" : one[0],
                                 steadyNowMs());
+        } catch (const std::exception &) {
+            targets[i]->dropVolley(items[i].seq, "poisoned",
+                                   steadyNowMs());
+        }
+    };
+    if (!model_->transactional()) {
+        // Stateful models commit per-session state as they iterate,
+        // so a whole-batch retry after a mid-batch throw would apply
+        // the items before the failure twice (double-advancing
+        // reservoirs and EMAs). Feed them one item per call from the
+        // start: every item commits exactly once.
+        for (size_t i = 0; i < items.size(); ++i)
+            processOne(i);
     } else {
-        // Panic isolation: retry one item at a time so only the
-        // poisoned volley is lost; everything else still answers.
-        for (size_t i = 0; i < items.size(); ++i) {
-            try {
-                const std::vector<std::string> one =
-                    model_->processBatch({&items[i], 1},
-                                         config_.nthreads);
-                targets[i]->deliver(items[i].seq,
-                                    one.empty() ? "" : one[0],
+        bool batch_ok = true;
+        std::vector<std::string> payloads;
+        try {
+            payloads = model_->processBatch(items, config_.nthreads);
+            if (payloads.size() != items.size())
+                throw StatusError(Status(
+                    StatusCode::Internal,
+                    "model returned " +
+                        std::to_string(payloads.size()) +
+                        " payloads for " +
+                        std::to_string(items.size()) + " items"));
+        } catch (const std::exception &e) {
+            batch_ok = false;
+            ST_OBS_ADD("serve.batch.panic", 1);
+            std::fprintf(stderr,
+                         "stserve: batch of %zu poisoned (%s); "
+                         "retrying item-by-item\n",
+                         items.size(), e.what());
+        }
+        if (batch_ok) {
+            for (size_t i = 0; i < items.size(); ++i)
+                targets[i]->deliver(items[i].seq, payloads[i],
                                     steadyNowMs());
-            } catch (const std::exception &) {
-                targets[i]->dropVolley(items[i].seq, "poisoned",
-                                       steadyNowMs());
-            }
+        } else {
+            // Panic isolation: a transactional model left no state
+            // behind, so the item-by-item retry loses only the
+            // poisoned volley; everything else still answers.
+            for (size_t i = 0; i < items.size(); ++i)
+                processOne(i);
         }
     }
     for (auto &s : targets)

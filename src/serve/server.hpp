@@ -9,9 +9,12 @@
  *     optionally perturbs them through the chaos FaultInjector, and
  *     runs the model batch on the shared ThreadPool; results are
  *     demultiplexed back to each session's egress ring in seq order.
- *     A model exception poisons the batch, not the daemon: the batch
- *     is retried item-by-item so only the poisoned volley is dropped
- *     (accounted as `drop <seq> poisoned`).
+ *     A model exception poisons a volley, not the daemon: a
+ *     transactional (stateless) model's batch is retried item-by-item
+ *     so only the poisoned volley is dropped (accounted as
+ *     `drop <seq> poisoned`); a stateful model is fed one item per
+ *     call in the first place, so a throw can never re-apply items
+ *     committed before it.
  *   - the *watchdog* observes batch progress; a batch in flight past
  *     watchdogStallMs flips readiness to false (the daemon stays up —
  *     an orchestrator decides what to do with an unready instance)

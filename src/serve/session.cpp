@@ -1,5 +1,6 @@
 #include "serve/session.hpp"
 
+#include <algorithm>
 #include <array>
 #include <limits>
 
@@ -48,7 +49,8 @@ Session::Session(uint64_t id, const ServeConfig &config,
       onWork_(std::move(on_work)),
       ingress_(static_cast<size_t>(config.ingressCapacity)),
       egress_(static_cast<size_t>(config.egressCapacity)),
-      window_(config.window), deadlineMs_(config.deadlineMs),
+      window_(config.window),
+      deadlineMs_(std::min(config.deadlineMs, config.deadlineMaxMs)),
       current_(model_inputs, INF)
 {
 }
@@ -103,18 +105,25 @@ Session::touch(uint64_t now_ms)
 }
 
 void
-Session::emit(std::string line, uint64_t now_ms)
+Session::emit(std::string line, uint64_t now_ms, bool may_block)
 {
     ST_OBS_GAUGE_MAX("serve.queue.egress_highwater",
                      egress_.highWater());
     if (egress_.tryPush(line))
         return;
-    // Egress full: the consumer is slow. Wait out one deadline, then
-    // degrade this session only — a stalled client must not pin
-    // server memory or the batcher.
     ST_OBS_ADD("serve.egress.stall", 1);
+    if (!may_block) {
+        // Shared batcher/reaper thread: never wait on one session's
+        // slow consumer — degrade this session immediately (the
+        // terminal err line rides the reserved slot).
+        forceClose("egress stalled", now_ms);
+        return;
+    }
+    // Transport reader thread: the consumer is slow, so wait out one
+    // (server-clamped) deadline of grace, then degrade this session
+    // only — a stalled client must not pin server memory.
     if (egress_.pushWait(std::move(line),
-                         std::chrono::milliseconds(deadlineMs_)))
+                         std::chrono::milliseconds(deadlineMs())))
         return;
     forceClose("egress stalled past deadline", now_ms);
 }
@@ -130,14 +139,17 @@ Session::quarantine(Status status, uint64_t now_ms)
         state_ = SessionState::Quarantined;
     }
     ST_OBS_ADD("serve.sessions.quarantined", 1);
-    emit("err " + status.toString(), now_ms);
+    emit("err " + status.toString(), now_ms, /*may_block=*/true);
     if (onWork_)
         onWork_();
 }
 
 void
-Session::submitVolley(Volley volley, uint64_t now_ms)
+Session::submitVolley(Volley volley, uint64_t now_ms, bool may_block)
 {
+    // Caller holds submitMutex_: seq assignment and the ingress push
+    // are atomic against every other submit path, so queued volleys
+    // are always in seq (== window) order.
     Pending p;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -148,7 +160,7 @@ Session::submitVolley(Volley volley, uint64_t now_ms)
     const uint64_t seq = p.seq;
 
     bool pushed = ingress_.tryPush(p); // copy: p survives a refusal
-    if (!pushed) {
+    if (!pushed && may_block) {
         // Ring full: signal backpressure once, then hold the reader
         // (flow control reaches the client through the transport).
         bool signal = false;
@@ -161,20 +173,22 @@ Session::submitVolley(Volley volley, uint64_t now_ms)
         }
         if (signal) {
             ST_OBS_ADD("serve.backpressure.on", 1);
-            emit("note backpressure on", now_ms);
+            emit("note backpressure on", now_ms, may_block);
         }
         pushed = ingress_.pushWait(
-            std::move(p), std::chrono::milliseconds(deadlineMs_));
+            std::move(p), std::chrono::milliseconds(deadlineMs()));
     }
     if (!pushed) {
-        // Still full at the deadline: shed the *newest* volley
+        // Still full at the deadline (or a non-blocking submit from
+        // the batcher's drain sweep): shed the *newest* volley
         // (reject-new before degrade-old) with full accounting.
         ST_OBS_ADD("serve.shed.volleys", 1);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.dropsShed;
         }
-        emit("drop " + std::to_string(seq) + " shed", now_ms);
+        emit("drop " + std::to_string(seq) + " shed", now_ms,
+             may_block);
         if (onWork_)
             onWork_();
         return;
@@ -191,7 +205,7 @@ Session::submitVolley(Volley volley, uint64_t now_ms)
         }
     }
     if (bp_off)
-        emit("note backpressure off", now_ms);
+        emit("note backpressure off", now_ms, may_block);
     ST_OBS_ADD("serve.volleys.in", 1);
     ST_OBS_GAUGE_MAX("serve.queue.ingress_highwater",
                      ingress_.highWater());
@@ -203,7 +217,10 @@ void
 Session::handleEvent(uint64_t time, uint64_t address, uint64_t now_ms)
 {
     // Preconditions (address range, time ordering, window position)
-    // are validated by feedLine before this is called.
+    // are validated by feedLine before this is called. submitMutex_
+    // covers the seal *and* the submits so a concurrent drain-sweep
+    // endInput cannot interleave its own seal between them.
+    std::lock_guard<std::mutex> submit(submitMutex_);
     std::vector<Volley> sealed;
     uint64_t gap_skipped = 0;
     {
@@ -241,10 +258,11 @@ Session::handleEvent(uint64_t time, uint64_t address, uint64_t now_ms)
     }
     if (gap_skipped > 0) {
         ST_OBS_ADD("serve.gap.skipped", gap_skipped);
-        emit("note gap " + std::to_string(gap_skipped), now_ms);
+        emit("note gap " + std::to_string(gap_skipped), now_ms,
+             /*may_block=*/true);
     }
     for (Volley &v : sealed)
-        submitVolley(std::move(v), now_ms);
+        submitVolley(std::move(v), now_ms, /*may_block=*/true);
 }
 
 void
@@ -309,10 +327,21 @@ Session::handleConfig(const std::string_view *toks, size_t ntoks,
                    now_ms);
         return;
     }
+    if (deadline == 0)
+        deadline = config_.deadlineMs;
+    // Clamp to the server-side ceiling: a client must not be able to
+    // configure an unbounded wait (or overflow the signed chrono
+    // conversion with values > INT64_MAX).
+    if (deadline > config_.deadlineMaxMs) {
+        ST_OBS_ADD("serve.config.deadline_clamped", 1);
+        deadline = config_.deadlineMaxMs;
+        emit("note deadline_ms clamped " + std::to_string(deadline),
+             now_ms, /*may_block=*/true);
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         window_ = window;
-        deadlineMs_ = deadline == 0 ? config_.deadlineMs : deadline;
+        deadlineMs_ = deadline;
         state_ = SessionState::Streaming;
     }
 }
@@ -353,7 +382,7 @@ Session::feedLine(std::string_view line, uint64_t now_ms)
             }
             emit("stserve-ok session " + std::to_string(id_) +
                      " inputs " + std::to_string(modelInputs_),
-                 now_ms);
+                 now_ms, /*may_block=*/true);
         } else {
             quarantine(Status(StatusCode::InvalidArgument,
                               "expected 'stserve 1'",
@@ -428,6 +457,13 @@ Session::feedLine(std::string_view line, uint64_t now_ms)
 void
 Session::sealWindow(uint64_t now_ms)
 {
+    std::lock_guard<std::mutex> submit(submitMutex_);
+    sealWindowLocked(now_ms, /*may_block=*/true);
+}
+
+void
+Session::sealWindowLocked(uint64_t now_ms, bool may_block)
+{
     Volley sealed;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -435,12 +471,21 @@ Session::sealWindow(uint64_t now_ms)
         current_ = Volley(modelInputs_, INF);
         windowStart_ = windowEnd(windowStart_, window_);
     }
-    submitVolley(std::move(sealed), now_ms);
+    submitVolley(std::move(sealed), now_ms, may_block);
 }
 
 void
-Session::endInput(uint64_t now_ms)
+Session::endInput(uint64_t now_ms, bool may_block)
 {
+    std::unique_lock<std::mutex> submit(submitMutex_,
+                                        std::defer_lock);
+    if (may_block) {
+        submit.lock();
+    } else if (!submit.try_lock()) {
+        // A reader is mid-submit; sealing now would race its push.
+        // The batcher's sweep simply retries on its next pass.
+        return;
+    }
     bool seal = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -458,7 +503,7 @@ Session::endInput(uint64_t now_ms)
         }
     }
     if (seal)
-        sealWindow(now_ms);
+        sealWindowLocked(now_ms, may_block);
     touch(now_ms);
     if (onWork_)
         onWork_();
@@ -499,7 +544,8 @@ Session::deliver(uint64_t seq, const std::string &payload,
         lastActivityMs_ = now_ms;
     }
     ST_OBS_ADD("serve.volleys.out", 1);
-    emit("volley " + std::to_string(seq) + " " + payload, now_ms);
+    emit("volley " + std::to_string(seq) + " " + payload, now_ms,
+         /*may_block=*/false);
 }
 
 void
@@ -517,7 +563,8 @@ Session::dropVolley(uint64_t seq, const char *why, uint64_t now_ms)
         ST_OBS_ADD("serve.deadline_missed.volleys", 1);
     else
         ST_OBS_ADD("serve.volleys.dropped_poisoned", 1);
-    emit("drop " + std::to_string(seq) + " " + why, now_ms);
+    emit("drop " + std::to_string(seq) + " " + why, now_ms,
+         /*may_block=*/false);
 }
 
 void
@@ -551,7 +598,7 @@ Session::finishIfDrained(uint64_t now_ms)
     emit("end volleys " + std::to_string(s.volleysOut) + " drops " +
              std::to_string(s.dropsDeadline + s.dropsShed +
                             s.dropsPoisoned),
-         now_ms);
+         now_ms, /*may_block=*/false);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         state_ = SessionState::Closed;

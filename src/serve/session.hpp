@@ -15,7 +15,9 @@
  * until `end`). Overload degrades per the contract: ingress-full first
  * signals backpressure and blocks the reader (flow control), then
  * sheds the newest volley with an accounted `drop <seq> shed`; an
- * egress stall past the deadline closes this session only.
+ * egress stall closes this session only — after one (server-clamped)
+ * deadline of grace on the reader thread, immediately on the shared
+ * batcher/reaper threads, which never wait on one session's consumer.
  *
  * Wire grammar (client -> server), one line each:
  *
@@ -107,8 +109,16 @@ class Session
     /** Feed one wire line (without its newline). */
     void feedLine(std::string_view line, uint64_t now_ms);
 
-    /** EOF from the transport: treated as an implicit `end`. */
-    void endInput(uint64_t now_ms);
+    /**
+     * EOF from the transport: treated as an implicit `end`.
+     *
+     * @p may_block is false when called from a shared server thread
+     * (the batcher's drain sweep): the final seal then uses try-lock
+     * and non-blocking pushes so a reader mid-submit can never stall
+     * the batcher — a failed try-lock is simply retried on the next
+     * sweep.
+     */
+    void endInput(uint64_t now_ms, bool may_block = true);
 
     // --- transport writer side ------------------------------------
     /**
@@ -156,11 +166,12 @@ class Session
   private:
     void quarantine(Status status, uint64_t now_ms);
     void sealWindow(uint64_t now_ms);
+    void sealWindowLocked(uint64_t now_ms, bool may_block);
     void handleEvent(uint64_t time, uint64_t address, uint64_t now_ms);
     void handleConfig(const std::string_view *toks, size_t ntoks,
                       uint64_t now_ms);
-    void submitVolley(Volley volley, uint64_t now_ms);
-    void emit(std::string line, uint64_t now_ms);
+    void submitVolley(Volley volley, uint64_t now_ms, bool may_block);
+    void emit(std::string line, uint64_t now_ms, bool may_block);
     void touch(uint64_t now_ms);
 
     const uint64_t id_;
@@ -170,6 +181,17 @@ class Session
 
     BoundedRing<Pending> ingress_;
     BoundedRing<std::string> egress_;
+
+    /**
+     * Serializes every seal-and-submit path (handleEvent, flush,
+     * endInput): seq assignment and the ingress push happen under one
+     * lock, so two submitters can never push volleys out of window
+     * order — the per-session FIFO guarantee holds even when the
+     * batcher's drain sweep ends input concurrently with the reader.
+     * Always acquired before mutex_; never held by the batcher except
+     * via try-lock.
+     */
+    std::mutex submitMutex_;
 
     mutable std::mutex mutex_;
     SessionState state_ = SessionState::AwaitHello;

@@ -224,16 +224,26 @@ TcpTransport::stop()
 void
 TcpTransport::reapFinished(bool join_all)
 {
-    std::vector<std::thread> done;
+    std::vector<std::unique_ptr<Conn>> done;
     {
-        std::lock_guard<std::mutex> lock(threadsMutex_);
+        std::lock_guard<std::mutex> lock(connsMutex_);
         if (join_all) {
-            done.swap(threads_);
+            done.swap(conns_);
+        } else {
+            auto it = conns_.begin();
+            while (it != conns_.end()) {
+                if ((*it)->done.load(std::memory_order_acquire)) {
+                    done.push_back(std::move(*it));
+                    it = conns_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
         }
     }
-    for (auto &t : done)
-        if (t.joinable())
-            t.join();
+    for (auto &c : done)
+        if (c->thread.joinable())
+            c->thread.join();
 }
 
 void
@@ -247,6 +257,9 @@ TcpTransport::serve()
 {
     while (!stop_.load(std::memory_order_acquire) &&
            !server_.draining()) {
+        // Join connections that finished since the last pass so the
+        // thread set tracks live connections, not lifetime accepts.
+        reapFinished(false);
         struct pollfd pfd = {listenFd_, POLLIN, 0};
         const int rc = poll(&pfd, 1, 100);
         if (rc < 0 && errno != EINTR)
@@ -261,9 +274,14 @@ TcpTransport::serve()
         if (fd < 0)
             continue;
         ST_OBS_ADD("serve.tcp.accepted", 1);
-        std::lock_guard<std::mutex> lock(threadsMutex_);
-        threads_.emplace_back(
-            [this, fd] { handleConnection(fd); });
+        auto conn = std::make_unique<Conn>();
+        Conn *c = conn.get();
+        c->thread = std::thread([this, fd, c] {
+            handleConnection(fd);
+            c->done.store(true, std::memory_order_release);
+        });
+        std::lock_guard<std::mutex> lock(connsMutex_);
+        conns_.push_back(std::move(conn));
     }
     reapFinished(true);
 }

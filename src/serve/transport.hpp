@@ -72,6 +72,15 @@ class TcpTransport
     void stop();
 
   private:
+    /** One live connection: its thread plus a finished flag the
+     *  accept loop polls so completed threads are joined promptly
+     *  (bounded resources even under a reconnect storm). */
+    struct Conn
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
     void handleConnection(int fd);
     void reapFinished(bool join_all);
 
@@ -80,8 +89,8 @@ class TcpTransport
     uint16_t port_ = 0;
     std::atomic<bool> stop_{false};
 
-    std::mutex threadsMutex_;
-    std::vector<std::thread> threads_;
+    std::mutex connsMutex_;
+    std::vector<std::unique_ptr<Conn>> conns_;
     std::thread acceptThread_;
 };
 

@@ -17,8 +17,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -246,6 +248,32 @@ TEST(Session, HelloThenConfigThenStreaming)
     auto hello = s.nextOutput(std::chrono::milliseconds(100));
     ASSERT_TRUE(hello.has_value());
     EXPECT_EQ(*hello, "stserve-ok session 1 inputs 4");
+}
+
+TEST(Session, ClientDeadlineIsClampedToServerCeiling)
+{
+    ServeConfig config = sessionConfig();
+    config.deadlineMaxMs = 2000;
+    Session s(1, config, 4, nullptr);
+    s.feedLine("stserve 1", 0);
+    // 2^64-1 would overflow the signed chrono conversion (and stall
+    // the egress grace wait forever) if honoured verbatim.
+    s.feedLine("addresses 4 deadline_ms 18446744073709551615", 0);
+    EXPECT_EQ(s.state(), SessionState::Streaming);
+    EXPECT_EQ(s.deadlineMs(), 2000u);
+    bool sawClampNote = false;
+    std::optional<std::string> line;
+    while ((line = s.nextOutput(std::chrono::milliseconds(10))))
+        if (line->rfind("note deadline_ms clamped", 0) == 0)
+            sawClampNote = true;
+    EXPECT_TRUE(sawClampNote);
+
+    // The ceiling also bounds a server config with a huge default.
+    ServeConfig big = sessionConfig();
+    big.deadlineMs = 10000000;
+    big.deadlineMaxMs = 3000;
+    Session t(2, big, 4, nullptr);
+    EXPECT_EQ(t.deadlineMs(), 3000u);
 }
 
 TEST(Session, BadHelloQuarantinesWithLineNumber)
@@ -569,6 +597,101 @@ TEST(StreamServer, PoisonedVolleyIsIsolatedNotFatal)
     EXPECT_EQ(countPrefix(lines, "volley "), 2u);
     EXPECT_EQ(countPrefix(lines, "drop 1 poisoned"), 1u);
     EXPECT_EQ(s.stats().dropsPoisoned, 1u);
+    server.requestStop();
+    EXPECT_TRUE(server.waitDrained());
+}
+
+/**
+ * Stateful model that commits per-seq state as it iterates (like the
+ * LSM reservoir) and throws on a marked volley. transactional() stays
+ * false (the default), so the server must feed one item per call —
+ * a whole-batch retry after the throw would re-apply committed items.
+ */
+class StatefulPoisonModel : public ServeModel
+{
+  public:
+    size_t numInputs() const override { return 2; }
+    std::string name() const override { return "stateful-poison"; }
+
+    std::vector<std::string>
+    processBatch(std::span<const BatchItem> items, size_t) override
+    {
+        std::vector<std::string> out;
+        for (const BatchItem &item : items) {
+            if (item.volley[0] == Time(7))
+                throw std::runtime_error("poison volley");
+            ++applied[item.seq]; // committed before any later throw
+            out.push_back(wireVolley(item.volley));
+        }
+        return out;
+    }
+
+    std::unordered_map<uint64_t, int> applied;
+};
+
+TEST(StreamServer, StatefulModelCommitsEachVolleyExactlyOnce)
+{
+    ServeConfig config;
+    config.window = 8;
+    config.deadlineMs = 10000;
+    config.batchMax = 16;
+    auto model = std::make_unique<StatefulPoisonModel>();
+    StatefulPoisonModel *stateful = model.get();
+    StreamServer server(std::move(model), config);
+    auto open = server.openSession("sp");
+    ASSERT_TRUE(open.session != nullptr);
+    Session &s = *open.session;
+    s.feedLine("stserve 1", steadyNowMs());
+    s.feedLine("addresses 2", steadyNowMs());
+    s.feedLine("0 0", steadyNowMs());
+    s.feedLine("flush", steadyNowMs());
+    s.feedLine("15 0", steadyNowMs()); // poison: rel 7 in [8,16)
+    s.feedLine("flush", steadyNowMs());
+    s.feedLine("16 1", steadyNowMs());
+    s.feedLine("end", steadyNowMs());
+    server.start();
+
+    const std::vector<std::string> lines = drainAll(s);
+    EXPECT_EQ(countPrefix(lines, "volley "), 2u);
+    EXPECT_EQ(countPrefix(lines, "drop 1 poisoned"), 1u);
+    server.requestStop();
+    EXPECT_TRUE(server.waitDrained());
+    // The regression this pins: seqs 0 and 2 applied exactly once
+    // (a batch-then-retry path would apply seq 0 twice), the poisoned
+    // seq 1 never.
+    EXPECT_EQ(stateful->applied.size(), 2u);
+    EXPECT_EQ(stateful->applied[0], 1);
+    EXPECT_EQ(stateful->applied[2], 1);
+    EXPECT_EQ(stateful->applied.count(1), 0u);
+}
+
+TEST(StreamServer, ConcurrentOpensNeverOvershootMaxSessions)
+{
+    ServeConfig config;
+    config.maxSessions = 4;
+    StreamServer server(std::make_unique<TnnServeModel>(makeNet(4)),
+                        config);
+    server.start();
+    std::mutex mu;
+    std::vector<std::shared_ptr<Session>> admitted;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            auto open = server.openSession("c" + std::to_string(t));
+            if (open.session) {
+                std::lock_guard<std::mutex> lock(mu);
+                admitted.push_back(open.session);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    // Admission and insertion are atomic: the bound holds even when
+    // every open races at maxSessions-1.
+    EXPECT_LE(admitted.size(), 4u);
+    EXPECT_LE(server.activeSessions(), 4u);
+    for (auto &s : admitted)
+        s->endInput(steadyNowMs());
     server.requestStop();
     EXPECT_TRUE(server.waitDrained());
 }
