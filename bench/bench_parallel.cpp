@@ -13,6 +13,8 @@
 
 #include "bench_common.hpp"
 
+#include <thread>
+
 #include "tnn/datasets.hpp"
 #include "tnn/stdp.hpp"
 #include "tnn/tnn_network.hpp"
@@ -70,16 +72,25 @@ printFigure()
     TnnNetwork net = buildNetwork(lines);
     std::vector<Volley> batch = makeBatch(lines, count);
 
+    // The perf-gate checker (tools/check_perf_gate.py) reads the
+    // machine core count and per-thread-count efficiency out of the
+    // JSON to decide how much scaling this host can legitimately show.
+    const auto cores = std::thread::hardware_concurrency();
+    bench::recordValue("parallel", "machine", "hardware_concurrency",
+                       static_cast<double>(cores));
+
     std::cout << "E5a | processBatch throughput vs thread count ("
               << count << " volleys, 48->96->64 network; host has "
+              << cores << " hardware threads, "
               << ThreadPool::defaultThreads() << " default lanes)\n";
-    std::vector<size_t> lanes{1, 2, 4, 8};
+    std::vector<size_t> lanes{1, 2, 4, 8, 16};
     if (bench::smokeMode())
         lanes = {1, 2};
     std::vector<Volley> serial = net.processBatch(batch, 1);
     double serial_secs = 0;
+    bool all_identical = true;
     AsciiTable t({"threads", "seconds", "volleys/sec", "speedup",
-                  "identical"});
+                  "efficiency", "identical"});
     for (size_t n : lanes) {
         Stopwatch sw;
         std::vector<Volley> out = net.processBatch(batch, n);
@@ -87,11 +98,18 @@ printFigure()
         if (n == 1)
             serial_secs = secs;
         double vps = static_cast<double>(count) / secs;
-        t.row(n, secs, vps, serial_secs / secs,
-              out == serial ? "yes" : "NO");
-        bench::record("parallel", "threads=" + std::to_string(n), vps,
-                      serial_secs / secs);
+        const double speedup = serial_secs / secs;
+        const double efficiency = speedup / static_cast<double>(n);
+        const bool identical = out == serial;
+        all_identical = all_identical && identical;
+        t.row(n, secs, vps, speedup, efficiency,
+              identical ? "yes" : "NO");
+        const std::string cfg = "threads=" + std::to_string(n);
+        bench::record("parallel", cfg, vps, speedup);
+        bench::recordValue("parallel", cfg, "efficiency", efficiency);
     }
+    bench::recordValue("parallel", "machine", "identical",
+                       all_identical ? 1.0 : 0.0);
     t.writeTo(std::cout);
     std::cout << "shape check: volleys/sec scales with cores until "
                  "memory bandwidth; the identical column must read "

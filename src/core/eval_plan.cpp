@@ -436,6 +436,17 @@ cpuHasAvx2()
     return ok;
 }
 
+#ifdef ST_EVAL_PLAN_SIMD512
+
+/** One-time CPUID probe guarding the AVX-512 executor body. */
+bool
+cpuHasAvx512()
+{
+    static const bool ok = __builtin_cpu_supports("avx512f");
+    return ok;
+}
+
+#endif // ST_EVAL_PLAN_SIMD512
 #endif // ST_EVAL_PLAN_SIMD
 
 } // namespace
@@ -446,7 +457,22 @@ EvalProgram::runBlock(std::span<const Node> nodes,
                       std::vector<Time> &values) const
 {
     if (batch.size() == kEvalBlockLanes) {
+#if defined(__aarch64__)
+        // NEON is baseline on aarch64: compile-time dispatch, no probe.
+        ST_OBS_ADD("eval.block.neon", 1);
+        detail::runBlockLanes8Neon(*this, nodes, batch, values);
+        return;
+#else
 #ifdef ST_EVAL_PLAN_SIMD
+#ifdef ST_EVAL_PLAN_SIMD512
+        // Widest ISA first: the probes are one-time statics, so the
+        // steady state is two predictable branches.
+        if (cpuHasAvx512()) {
+            ST_OBS_ADD("eval.block.avx512", 1);
+            detail::runBlockLanes8Avx512(*this, nodes, batch, values);
+            return;
+        }
+#endif
         if (cpuHasAvx2()) {
             ST_OBS_ADD("eval.block.avx2", 1);
             detail::runBlockLanes8Avx2(*this, nodes, batch, values);
@@ -455,6 +481,7 @@ EvalProgram::runBlock(std::span<const Node> nodes,
 #endif
         ST_OBS_ADD("eval.block.scalar", 1);
         runBlockImpl<kEvalBlockLanes>(*this, nodes, batch, values);
+#endif // __aarch64__
     } else {
         ST_OBS_ADD("eval.block.tail", 1);
         runBlockImpl<0>(*this, nodes, batch, values);

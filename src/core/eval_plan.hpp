@@ -154,13 +154,29 @@ EvalPlan buildEvalPlan(const Network &net);
 namespace detail {
 
 /**
- * AVX2 body of EvalProgram::runBlock for full blocks of
- * kEvalBlockLanes volleys. Defined in eval_plan_simd.cpp, which is
- * only compiled into x86-64 builds (its own -mavx2 translation unit);
- * runBlock dispatches here after a one-time runtime CPUID probe.
- * Bit-identical to the portable body on every input.
+ * SIMD bodies of EvalProgram::runBlock for full blocks of
+ * kEvalBlockLanes volleys, each bit-identical to the portable body on
+ * every input. The x86-64 bodies live in their own translation units
+ * compiled with the matching -m flag (eval_plan_simd.cpp for AVX2,
+ * eval_plan_simd512.cpp for AVX-512F) and are entered only after a
+ * one-time runtime CPUID probe picks the widest available ISA, so the
+ * same binary runs everywhere from SSE2 up. The NEON body
+ * (eval_plan_simd_neon.cpp) is baseline on aarch64 and dispatched at
+ * compile time.
  */
 void runBlockLanes8Avx2(const EvalProgram &prog,
+                        std::span<const Node> nodes,
+                        std::span<const std::vector<Time>> batch,
+                        std::vector<Time> &values);
+
+/** AVX-512F variant: one 8x64 vector per value row. */
+void runBlockLanes8Avx512(const EvalProgram &prog,
+                          std::span<const Node> nodes,
+                          std::span<const std::vector<Time>> batch,
+                          std::vector<Time> &values);
+
+/** aarch64 NEON variant: four 2x64 vectors per value row. */
+void runBlockLanes8Neon(const EvalProgram &prog,
                         std::span<const Node> nodes,
                         std::span<const std::vector<Time>> batch,
                         std::vector<Time> &values);

@@ -264,6 +264,37 @@ Column::trainStep(std::span<const Time> inputs, const StdpRule &rule)
 }
 
 size_t
+Column::leastWins() const
+{
+    return winCount_.empty() ? 0
+                             : *std::min_element(winCount_.begin(),
+                                                 winCount_.end());
+}
+
+std::optional<TrainEvent>
+Column::scanWinner(std::span<const Time> inputs, size_t least_wins) const
+{
+    return selectWinner(inputs, least_wins);
+}
+
+size_t
+Column::applyTrainEvents(std::span<const std::optional<TrainEvent>> slots,
+                         std::span<const Volley> inputs,
+                         const StdpRule &rule)
+{
+    std::vector<TrainEvent> merged = mergeTrainEvents(slots);
+    for (const TrainEvent &event : merged) {
+        ++winCount_[event.neuron];
+        rule.update(weights_[event.neuron], inputs[event.sample],
+                    event.spike);
+        invalidateModel(event.neuron);
+        ST_OBS_HIST("tnn.wta.winner", event.neuron);
+    }
+    ST_OBS_ADD("tnn.weight_updates", merged.size());
+    return merged.size();
+}
+
+size_t
 Column::trainBatch(std::span<const Volley> inputs, const StdpRule &rule,
                    size_t nthreads)
 {
@@ -272,10 +303,7 @@ Column::trainBatch(std::span<const Volley> inputs, const StdpRule &rule,
     // Phase 1 (parallel, read-only): pick every sample's winner
     // against the batch-start weights and fatigue counters. The
     // model cache is shared and safe under concurrent readers.
-    size_t least_wins = winCount_.empty() ? 0
-                                          : *std::min_element(
-                                                winCount_.begin(),
-                                                winCount_.end());
+    const size_t least_wins = leastWins();
     std::vector<std::optional<TrainEvent>> slots(inputs.size());
     size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
                                  : nthreads;
@@ -291,16 +319,7 @@ Column::trainBatch(std::span<const Volley> inputs, const StdpRule &rule,
     // Phase 2 (serial, deterministic): merge the per-sample events in
     // sample order — the order, and hence the resulting weights, are
     // independent of the thread count.
-    std::vector<TrainEvent> merged = mergeTrainEvents(slots);
-    for (const TrainEvent &event : merged) {
-        ++winCount_[event.neuron];
-        rule.update(weights_[event.neuron], inputs[event.sample],
-                    event.spike);
-        invalidateModel(event.neuron);
-        ST_OBS_HIST("tnn.wta.winner", event.neuron);
-    }
-    ST_OBS_ADD("tnn.weight_updates", merged.size());
-    return merged.size();
+    return applyTrainEvents(slots, inputs, rule);
 }
 
 size_t

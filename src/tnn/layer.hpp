@@ -153,6 +153,37 @@ class Column
     size_t trainBatch(std::span<const Volley> inputs,
                       const StdpRule &rule, size_t nthreads = 0);
 
+    /**
+     * The scan/merge halves of trainBatch(), exposed so the pipelined
+     * batch engine (TnnNetwork::trainLayerBatched) can fuse the winner
+     * scan into its per-block dataflow stages instead of paying a
+     * second full-batch pass behind a barrier.
+     *
+     * Contract: call leastWins() once at the mini-batch boundary, run
+     * any number of concurrent scanWinner() calls against the frozen
+     * weights (const, thread-safe — same guarantee as process()), and
+     * apply the collected slots with one serial applyTrainEvents().
+     * No mutation may overlap the scans.
+     */
+    size_t leastWins() const;
+
+    /** One sample's winner against the current (frozen) weights. The
+     *  returned event's sample field is 0; the caller assigns it. */
+    std::optional<TrainEvent>
+    scanWinner(std::span<const Time> inputs, size_t least_wins) const;
+
+    /**
+     * Serially merge per-sample winner slots in sample order and apply
+     * the weight updates (mini-batch semantics; see trainBatch()).
+     * slots[i] must have sample == i set, and @p inputs[i] must be the
+     * volley slot i was scanned on.
+     *
+     * @return Number of slots in which some neuron fired.
+     */
+    size_t applyTrainEvents(
+        std::span<const std::optional<TrainEvent>> slots,
+        std::span<const Volley> inputs, const StdpRule &rule);
+
     /** Times neuron @p neuron has won a training step. */
     size_t winCount(size_t neuron) const;
 

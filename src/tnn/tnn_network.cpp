@@ -1,11 +1,13 @@
 #include "tnn/tnn_network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 #include "core/properties.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
+#include "util/task_graph.hpp"
 #include "util/thread_pool.hpp"
 
 namespace st {
@@ -13,20 +15,16 @@ namespace st {
 namespace {
 
 /**
- * Per-lane ping-pong buffers for the batch forward pass: layer l reads
- * cur and writes next, then the two swap. Thread-local so every pool
- * worker reuses its own capacity across volleys — the steady state of
- * processBatchUpTo() allocates only the per-volley result vector.
+ * Per-thread layer-output buffer of the batch engine: a stage reads a
+ * volley in place and writes here, then the two swap. Thread-local so
+ * every runner reuses capacity across volleys and stages — the steady
+ * state of the pipelined pass allocates only the per-volley result
+ * vectors.
  */
-struct LaneScratch
+Volley &
+stageScratch()
 {
-    Volley cur, next;
-};
-
-LaneScratch &
-laneScratch()
-{
-    static thread_local LaneScratch scratch;
+    static thread_local Volley scratch;
     return scratch;
 }
 
@@ -86,6 +84,116 @@ applyLayer(const Column &layer, size_t layer_index, const Volley &in,
         checkLayerGuards(layer, layer_index, in, out, stream, guards);
 }
 
+/**
+ * Volleys per dataflow block: ~4 blocks per lane keeps every lane fed
+ * while a fast block runs ahead through later layers, clamped so tiny
+ * batches still spread across lanes and huge ones amortize the graph
+ * bookkeeping. A pure function of (n, lanes); the per-volley results
+ * never depend on the blocking.
+ */
+size_t
+pipelineBlockSize(size_t n, size_t lanes)
+{
+    return std::clamp<size_t>(n / (4 * lanes), 1, 32);
+}
+
+/**
+ * The pipelined block-dataflow pass shared by inference and training
+ * (DESIGN.md Sec. 11). Volleys are sharded into blocks; block B's
+ * stage s — copy-and-perturb folded into layer 0, one layer per stage
+ * after that — is a TaskGraph node depending only on block B's stage
+ * s-1, so layer N+1 of block B runs while layer N of block B+1 is in
+ * flight; there is no batch-wide layer barrier. Each volley's chain
+ * computes exactly what the serial loop computes, and every stage
+ * writes only its own block's out slots, so the result is
+ * bit-identical at any thread count. Fault draws are keyed by the
+ * volley index i (the stream id), never by lane or block.
+ *
+ * @p tail, when set, runs per volley at the end of its block's last
+ * stage — the training pass fuses its winner scan here instead of
+ * paying a second full-batch sweep behind a barrier.
+ */
+void
+runBlockPipeline(const std::vector<Column> &layers, size_t upto,
+                 std::span<const Volley> inputs, std::vector<Volley> &out,
+                 size_t lanes, const std::function<void(size_t)> &tail)
+{
+    const size_t n = inputs.size();
+    const fault::FaultInjector *inj = fault::activeInjector();
+    // Per-layer spike counters, resolved once per batch (the name
+    // lookup takes the registry mutex) and then one relaxed add per
+    // (volley, layer) inside the stages.
+    ST_OBS_ONLY(std::vector<obs::Counter *> layer_spikes;
+                layer_spikes.reserve(upto);
+                for (size_t l = 0; l < upto; ++l) {
+                    layer_spikes.push_back(
+                        &obs::MetricsRegistry::instance().counter(
+                            "tnn.layer" + std::to_string(l) +
+                            ".spikes"));
+                })
+
+    // One volley's stage-s step: stage 0 materializes the (perturbed)
+    // input into its out slot; every stage then advances the slot by
+    // one layer through the thread-local scratch swap.
+    auto step = [&](size_t i, size_t s) {
+        if (s == 0) {
+            out[i].assign(inputs[i].begin(), inputs[i].end());
+            if (inj != nullptr)
+                inj->perturbVolley(out[i], i);
+        }
+        if (s < upto) {
+            Volley &next = stageScratch();
+            applyLayer(layers[s], s, out[i], next, i);
+            std::swap(out[i], next);
+            ST_OBS_ONLY({
+                uint64_t spikes = 0;
+                for (const Time &t : out[i])
+                    spikes += t.isFinite();
+                layer_spikes[s]->add(spikes);
+            })
+        }
+    };
+
+    const size_t stages = std::max<size_t>(upto, 1);
+    const size_t block = pipelineBlockSize(n, lanes);
+    const size_t nblocks = (n + block - 1) / block;
+    const bool serial = lanes <= 1 || nblocks <= 1 ||
+                        ThreadPool::shared().size() == 0 ||
+                        ThreadPool::onWorkerThread() ||
+                        ThreadPool::inParallelRegion();
+    if (serial) {
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t s = 0; s < stages; ++s)
+                step(i, s);
+            if (tail)
+                tail(i);
+        }
+        return;
+    }
+
+    ST_OBS_ADD("tnn.pipeline.blocks", nblocks);
+    TaskGraph graph(ThreadPool::shared(), lanes);
+    for (size_t b = 0; b < nblocks; ++b) {
+        const size_t lo = b * block;
+        const size_t hi = std::min(n, lo + block);
+        TaskGraph::Ticket prev = 0;
+        for (size_t s = 0; s < stages; ++s) {
+            const bool last = s + 1 == stages;
+            auto node = [&, lo, hi, s, last] {
+                ST_OBS_ADD("tnn.pipeline.stages", 1);
+                for (size_t i = lo; i < hi; ++i) {
+                    step(i, s);
+                    if (last && tail)
+                        tail(i);
+                }
+            };
+            prev = s == 0 ? graph.submit(node)
+                          : graph.submit(node, {prev});
+        }
+    }
+    graph.wait();
+}
+
 } // namespace
 
 void
@@ -136,46 +244,9 @@ TnnNetwork::processBatchUpTo(std::span<const Volley> inputs, size_t upto,
         throw std::out_of_range("TnnNetwork: layer index out of range");
     ST_TRACE_SPAN("tnn.process_batch");
     std::vector<Volley> out(inputs.size());
-    size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
-                                 : nthreads;
-    // Per-layer spike counters, resolved once per batch (the name
-    // lookup takes the registry mutex) and then one relaxed add per
-    // (volley, layer) inside the lanes.
-    ST_OBS_ONLY(std::vector<obs::Counter *> layer_spikes;
-                layer_spikes.reserve(upto);
-                for (size_t l = 0; l < upto; ++l) {
-                    layer_spikes.push_back(
-                        &obs::MetricsRegistry::instance().counter(
-                            "tnn.layer" + std::to_string(l) +
-                            ".spikes"));
-                })
-    // Volleys are independent; each lane writes only its own output
-    // slots, so the batch result matches the serial loop exactly. The
-    // per-lane scratch buffers keep layer-to-layer handoff free of
-    // allocation. Fault draws are keyed by the volley index i (the
-    // stream id), never by lane, so faulted batches stay bit-identical
-    // at every thread count.
-    const fault::FaultInjector *inj = fault::activeInjector();
-    ThreadPool::shared().parallelFor(
-        0, inputs.size(), 1,
-        [&](size_t i) {
-            LaneScratch &s = laneScratch();
-            s.cur.assign(inputs[i].begin(), inputs[i].end());
-            if (inj != nullptr)
-                inj->perturbVolley(s.cur, i);
-            for (size_t l = 0; l < upto; ++l) {
-                applyLayer(layers_[l], l, s.cur, s.next, i);
-                std::swap(s.cur, s.next);
-                ST_OBS_ONLY({
-                    uint64_t spikes = 0;
-                    for (const Time &t : s.cur)
-                        spikes += t.isFinite();
-                    layer_spikes[l]->add(spikes);
-                })
-            }
-            out[i] = std::move(s.cur);
-        },
-        lanes);
+    const size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
+                                       : nthreads;
+    runBlockPipeline(layers_, upto, inputs, out, lanes, nullptr);
     return out;
 }
 
@@ -205,11 +276,35 @@ TnnNetwork::trainLayerBatched(size_t layer_index,
     if (layer_index >= layers_.size())
         throw std::out_of_range("TnnNetwork: layer index out of range");
     ST_TRACE_SPAN("tnn.train_layer");
+    const size_t n = data.size();
+    if (n == 0 || epochs == 0)
+        return 0;
+    Column &train = layers_[layer_index];
+    const size_t lanes = nthreads == 0 ? ThreadPool::defaultThreads()
+                                       : nthreads;
     size_t fired = 0;
+    // Reused across epochs: the frozen-layer outputs each sample was
+    // scanned on (the merge needs the winners' input volleys) and the
+    // per-sample winner slots.
+    std::vector<Volley> feed(n);
+    std::vector<std::optional<TrainEvent>> slots(n);
     for (size_t e = 0; e < epochs; ++e) {
-        std::vector<Volley> feed =
-            processBatchUpTo(data, layer_index, nthreads);
-        fired += layers_[layer_index].trainBatch(feed, rule, nthreads);
+        // One fused pipelined pass per epoch: the winner scan rides as
+        // the tail of each block's last forward stage, against the
+        // epoch-start weights and fatigue (mini-batch semantics; the
+        // scan is const and thread-safe). The serial sample-order
+        // merge runs once, here at the epoch boundary, so the trained
+        // weights are bit-identical at every thread count.
+        const size_t least_wins = train.leastWins();
+        ST_OBS_ADD("tnn.train_samples", n);
+        runBlockPipeline(layers_, layer_index, data, feed, lanes,
+                         [&](size_t i) {
+                             slots[i] = train.scanWinner(feed[i],
+                                                         least_wins);
+                             if (slots[i])
+                                 slots[i]->sample = i;
+                         });
+        fired += train.applyTrainEvents(slots, feed, rule);
     }
     return fired;
 }

@@ -1,0 +1,172 @@
+#include "util/task_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace st {
+
+TaskGraph::TaskGraph(ThreadPool &pool, size_t max_runners)
+    : state_(std::make_shared<State>())
+{
+    state_->pool = &pool;
+    size_t runners = pool.size() + 1;
+    if (max_runners > 0)
+        runners = std::min(runners, max_runners);
+    state_->maxRunners = std::max<size_t>(1, runners);
+}
+
+TaskGraph::~TaskGraph()
+{
+    if (waited_)
+        return;
+    try {
+        wait();
+    } catch (...) {
+        // wait() already completed the graph; a task exception on the
+        // no-wait teardown path has nowhere to go.
+    }
+}
+
+size_t
+TaskGraph::size() const
+{
+    std::lock_guard<std::mutex> guard(state_->mutex);
+    return state_->nodes.size();
+}
+
+void
+TaskGraph::State::maybeSpawnHelper(const std::shared_ptr<State> &state,
+                                   std::unique_lock<std::mutex> &lock)
+{
+    // Helpers are pool tasks; one runner slot stays reserved for the
+    // caller draining in wait(). A pool with no workers spawns none —
+    // post() would otherwise run the drain loop inline mid-submit.
+    const size_t helpers =
+        state->runners - (state->callerDraining ? 1 : 0);
+    if (state->ready.empty() || state->pool->size() == 0 ||
+        helpers + 1 >= state->maxRunners) {
+        return;
+    }
+    ++state->runners;
+    lock.unlock();
+    ST_OBS_ADD("pool.graph.helpers", 1);
+    state->pool->post([state] { drain(state); });
+    lock.lock();
+}
+
+void
+TaskGraph::State::drain(const std::shared_ptr<State> &state)
+{
+    std::unique_lock<std::mutex> lock(state->mutex);
+    for (;;) {
+        if (state->ready.empty()) {
+            --state->runners;
+            return;
+        }
+        const uint32_t id = state->ready.front();
+        state->ready.pop_front();
+        std::function<void()> fn = std::move(state->nodes[id].fn);
+
+        // A poisoned graph stops launching work: tasks that have not
+        // started are marked finished unexecuted so the dependency
+        // counters drain and wait() can return with the original
+        // exception.
+        if (!state->error) {
+            lock.unlock();
+            try {
+                ST_TRACE_SPAN("pool.graph.task");
+                fn();
+            } catch (...) {
+                lock.lock();
+                if (!state->error)
+                    state->error = std::current_exception();
+                lock.unlock();
+            }
+            lock.lock();
+        }
+
+        ST_OBS_ADD("pool.graph.tasks", 1);
+        state->nodes[id].finished = true;
+        for (uint32_t succ : state->nodes[id].succs) {
+            if (--state->nodes[succ].remaining == 0)
+                state->ready.push_back(succ);
+        }
+        ++state->done;
+        maybeSpawnHelper(state, lock);
+        // Wake the waiter for both completion and fresh ready work.
+        state->progress.notify_all();
+    }
+}
+
+TaskGraph::Ticket
+TaskGraph::submit(std::function<void()> fn, std::span<const Ticket> deps)
+{
+    if (waited_)
+        throw std::logic_error("TaskGraph: submit after wait");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    const auto id = static_cast<uint32_t>(state_->nodes.size());
+    // Validate before touching any graph state: a rejected submit must
+    // leave no orphan node behind (wait() could never drain it).
+    for (Ticket dep : deps) {
+        if (dep >= id)
+            throw std::out_of_range("TaskGraph: unknown dependency");
+    }
+    State::Node &node = state_->nodes.emplace_back();
+    node.fn = std::move(fn);
+    for (Ticket dep : deps) {
+        // A finished dependency's succs list will never be walked
+        // again, so only live dependencies contribute edges. The
+        // deque gives stable references, so pushing to a dep's succs
+        // cannot invalidate `node`.
+        State::Node &d = state_->nodes[dep];
+        if (!d.finished) {
+            d.succs.push_back(id);
+            ++node.remaining;
+        }
+    }
+    if (node.remaining == 0) {
+        state_->ready.push_back(id);
+        State::maybeSpawnHelper(state_, lock);
+    }
+    return id;
+}
+
+TaskGraph::Ticket
+TaskGraph::submit(std::function<void()> fn,
+                  std::initializer_list<Ticket> deps)
+{
+    return submit(std::move(fn),
+                  std::span<const Ticket>(deps.begin(), deps.size()));
+}
+
+void
+TaskGraph::wait()
+{
+    if (waited_)
+        return;
+    waited_ = true;
+    // Nested parallel constructs inside task bodies run inline on this
+    // thread (pool workers are already covered by their own flag).
+    ThreadPool::ParallelRegion region;
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->callerDraining = true;
+    for (;;) {
+        if (!state_->ready.empty()) {
+            ++state_->runners;
+            lock.unlock();
+            State::drain(state_);
+            lock.lock();
+            continue;
+        }
+        if (state_->done == state_->nodes.size())
+            break;
+        state_->progress.wait(lock);
+    }
+    state_->callerDraining = false;
+    if (state_->error)
+        std::rethrow_exception(state_->error);
+}
+
+} // namespace st

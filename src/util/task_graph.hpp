@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Dependency-tracking task graph over the shared thread pool.
+ *
+ * parallelFor() models one barriered stage: nothing after the call
+ * starts until every index has run. The pipelined batch engine needs
+ * the opposite shape — layer N+1 of volley block B must be free to run
+ * while layer N of block B+1 is still in flight — which is a dataflow
+ * dependency, not a barrier. TaskGraph is that primitive: submit()
+ * hands in a task plus the tickets it depends on, the graph posts each
+ * task to the pool the moment its last dependency finishes, and wait()
+ * has the caller drain ready tasks alongside the workers until the
+ * whole graph has run.
+ *
+ * Scheduling is work-conserving but unordered: a task's *start* obeys
+ * its dependency edges and nothing else. Callers that need
+ * deterministic output therefore write disjoint state per task and do
+ * any order-sensitive reduction after wait() — exactly the contract
+ * the batch engine's epoch-boundary STDP merge follows.
+ */
+
+#ifndef ST_UTIL_TASK_GRAPH_HPP
+#define ST_UTIL_TASK_GRAPH_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "util/thread_pool.hpp"
+
+namespace st {
+
+/**
+ * A one-shot dataflow graph of tasks executed on a ThreadPool.
+ *
+ * Usage: submit() every node (dependencies must already have tickets,
+ * so the graph is acyclic by construction), then wait() exactly once.
+ * Tasks may finish before wait() — submission alone makes a
+ * dependency-free task eligible to run on the pool's workers.
+ *
+ * Tasks must not block on other tasks of the same graph (the pool has
+ * a fixed worker count; use a dependency edge instead). A task that
+ * throws poisons the graph: its exception is rethrown by wait(), and
+ * every task that has not *started* by then is skipped — including
+ * tasks whose dependencies all succeeded, since their outputs feed a
+ * result the caller will never see.
+ *
+ * With no pool workers (or max_runners == 1) every task runs inline on
+ * the caller inside wait(), FIFO over the ready set (a task becomes
+ * ready at submission or when its last dependency finishes).
+ */
+class TaskGraph
+{
+  public:
+    /** Handle to a submitted task, usable as a dependency. */
+    using Ticket = uint32_t;
+
+    /**
+     * Build a graph over @p pool. @p max_runners > 0 caps concurrent
+     * task execution, counting the caller draining in wait() as one
+     * runner (0 = pool.size() + 1, like parallelFor).
+     */
+    explicit TaskGraph(ThreadPool &pool = ThreadPool::shared(),
+                       size_t max_runners = 0);
+
+    /** Waits for in-flight tasks (without rethrowing) if wait() was
+     *  never called, so task lambdas never outlive their captures. */
+    ~TaskGraph();
+
+    TaskGraph(const TaskGraph &) = delete;
+    TaskGraph &operator=(const TaskGraph &) = delete;
+
+    /** Submit a task that runs after every ticket in @p deps. */
+    Ticket submit(std::function<void()> fn,
+                  std::span<const Ticket> deps = {});
+
+    /** Initializer-list convenience: g.submit(fn, {a, b}). */
+    Ticket submit(std::function<void()> fn,
+                  std::initializer_list<Ticket> deps);
+
+    /**
+     * Run ready tasks on the calling thread until the graph is done,
+     * then rethrow the first task exception, if any. Call once.
+     */
+    void wait();
+
+    /** Tasks submitted so far. */
+    size_t size() const;
+
+  private:
+    /**
+     * Shared graph state, kept alive by shared_ptr so pool helper
+     * tasks that outlive the TaskGraph object (e.g. a helper that
+     * finds the ready deque empty just as wait() returns) still touch
+     * valid memory.
+     */
+    struct State
+    {
+        ThreadPool *pool = nullptr;
+        size_t maxRunners = 1;
+
+        std::mutex mutex;
+        std::condition_variable progress;
+        struct Node
+        {
+            std::function<void()> fn;
+            uint32_t remaining = 0;      //!< unfinished dependencies
+            bool finished = false;       //!< ran (or was skipped)
+            std::vector<uint32_t> succs; //!< dependents to release
+        };
+        std::deque<Node> nodes;      //!< stable storage, index == Ticket
+        std::deque<uint32_t> ready;  //!< runnable, not yet started
+        size_t done = 0;             //!< finished (or skipped) nodes
+        size_t runners = 0;          //!< drain loops alive (incl. caller)
+        bool callerDraining = false; //!< wait() occupies a runner slot
+        std::exception_ptr error;    //!< first task exception
+
+        /** Pop-execute loop shared by pool helpers and wait(). */
+        static void drain(const std::shared_ptr<State> &state);
+        /** Post another pool helper if capacity and work allow. */
+        static void maybeSpawnHelper(const std::shared_ptr<State> &state,
+                                     std::unique_lock<std::mutex> &lock);
+    };
+
+    std::shared_ptr<State> state_;
+    bool waited_ = false;
+};
+
+} // namespace st
+
+#endif // ST_UTIL_TASK_GRAPH_HPP

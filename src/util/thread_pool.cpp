@@ -14,6 +14,9 @@ namespace {
 /** Set for the lifetime of a worker thread's loop. */
 thread_local bool tls_on_worker = false;
 
+/** Set while the thread executes inside a parallel construct. */
+thread_local bool tls_in_parallel = false;
+
 } // namespace
 
 ThreadPool::ThreadPool(size_t nthreads)
@@ -168,7 +171,8 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     size_t runners = size() + 1;
     if (max_runners > 0)
         runners = std::min(runners, max_runners);
-    if (runners <= 1 || n <= grain || onWorkerThread()) {
+    if (runners <= 1 || n <= grain || onWorkerThread() ||
+        inParallelRegion()) {
         for (size_t i = begin; i < end; ++i)
             body(i);
         return;
@@ -192,7 +196,13 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
 
     for (size_t r = 1; r < runners; ++r)
         post([state] { runChunks(state); });
-    runChunks(state);
+    {
+        // The caller's own chunk walk is a parallel region: nested
+        // parallelFor() calls from the body run inline instead of
+        // posting chunk stubs the busy workers would drain as no-ops.
+        ParallelRegion region;
+        runChunks(state);
+    }
 
     std::unique_lock<std::mutex> lock(state->mutex);
     state->finished.wait(lock, [&state] {
@@ -228,6 +238,22 @@ bool
 ThreadPool::onWorkerThread()
 {
     return tls_on_worker;
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tls_in_parallel;
+}
+
+ThreadPool::ParallelRegion::ParallelRegion() : prev_(tls_in_parallel)
+{
+    tls_in_parallel = true;
+}
+
+ThreadPool::ParallelRegion::~ParallelRegion()
+{
+    tls_in_parallel = prev_;
 }
 
 } // namespace st

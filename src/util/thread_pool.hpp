@@ -103,6 +103,29 @@ class ThreadPool
     /** True iff the calling thread is a pool worker. */
     static bool onWorkerThread();
 
+    /**
+     * True while the calling thread is executing inside a parallel
+     * construct — a parallelFor() chunk on the calling thread, or a
+     * TaskGraph drain. Nested parallelFor() calls from such a region
+     * run inline: the outer construct already owns the pool's lanes,
+     * so posting inner chunks would only queue no-op stubs behind the
+     * outer work (the worker threads are covered by onWorkerThread()).
+     */
+    static bool inParallelRegion();
+
+    /** RAII marker for inParallelRegion() (restores on destruction). */
+    class ParallelRegion
+    {
+      public:
+        ParallelRegion();
+        ~ParallelRegion();
+        ParallelRegion(const ParallelRegion &) = delete;
+        ParallelRegion &operator=(const ParallelRegion &) = delete;
+
+      private:
+        bool prev_;
+    };
+
   private:
     /** One worker's deque; owners pop the back, thieves the front. */
     struct WorkerQueue

@@ -8,15 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
 #include <vector>
 
 #include "core/network.hpp"
 #include "neuron/wta.hpp"
+#include "obs/obs.hpp"
 #include "test_helpers.hpp"
 #include "tnn/datasets.hpp"
 #include "tnn/stdp.hpp"
 #include "tnn/tnn_network.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace st;
 using st::testing::kNo;
@@ -24,8 +28,24 @@ using st::testing::V;
 
 namespace {
 
-/** Thread counts every batch API is checked at. */
-const size_t kLanes[] = {1, 2, 4, 8};
+/**
+ * Thread counts every batch API is checked at: powers of two through
+ * 16, plus a 2x-oversubscribed count (twice the larger of the hardware
+ * concurrency and the shared pool's lane count) — determinism must
+ * survive requesting far more lanes than the machine has.
+ */
+std::vector<size_t>
+testLanes()
+{
+    const size_t hw =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+    const size_t pool_lanes = ThreadPool::shared().size() + 1;
+    std::vector<size_t> lanes{1, 2, 4, 8, 16};
+    lanes.push_back(2 * std::max({hw, pool_lanes, size_t{16}}));
+    return lanes;
+}
+
+const std::vector<size_t> kLanes = testLanes();
 
 TnnNetwork
 makeNetwork(uint64_t seed)
@@ -223,6 +243,38 @@ TEST(EvaluateBatchTest, MatchesEvaluateIncludingLtTies)
                 << "volley " << i << " at " << lanes << " threads";
     }
 }
+
+#if ST_OBS_ENABLED
+TEST(ParallelBatchTest, MultiThreadedBatchTakesThePipelinedPath)
+{
+    // A multi-lane batch large enough for several blocks must go
+    // through the pipelined dataflow engine, not the serial fallback:
+    // the tnn.pipeline counters advance by (at least) the expected
+    // block and stage totals. Combined with the bit-identity tests
+    // above, this pins "pipelined AND identical", not just one of the
+    // two.
+    auto counter = [](const char *name) -> uint64_t {
+        for (const auto &c :
+             obs::MetricsRegistry::instance().snapshot().counters) {
+            if (c.name == name)
+                return c.value;
+        }
+        return 0;
+    };
+    const uint64_t blocks_before = counter("tnn.pipeline.blocks");
+    const uint64_t stages_before = counter("tnn.pipeline.stages");
+
+    TnnNetwork net = makeNetwork(0xd00d);
+    std::vector<Volley> batch = makeBatch(24, 96, 271);
+    net.processBatch(batch, 4);
+
+    const uint64_t blocks = counter("tnn.pipeline.blocks") - blocks_before;
+    const uint64_t stages = counter("tnn.pipeline.stages") - stages_before;
+    EXPECT_GE(blocks, 2u) << "batch ran on the serial fallback";
+    // Two layers: every block contributes two stage tasks.
+    EXPECT_GE(stages, 2 * blocks);
+}
+#endif
 
 TEST(ParallelBatchTest, ConcurrentColdCacheProcessIsSafe)
 {

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI perf gate for the parallel batch engine.
+
+Reads a bench_parallel --json report and the committed baseline
+(BENCH_parallel.json at the repo root) and fails the build when the
+measured multi-thread speedup falls below the committed floor, or when
+any thread count failed the bit-identity check.
+
+The floor is core-count aware: a hosted runner with 4 cores cannot
+show a 4x speedup at 8 threads, so the required speedup for a gate at
+T threads is
+
+    required = min(speedup_floor, core_derate * usable_cores)
+
+with usable_cores = min(T, hardware_concurrency of the bench machine,
+as self-reported in the report's series). Machines with fewer than
+min_cores cores skip the scaling assertion entirely (identity is still
+enforced) -- a 1-core container can only measure overhead, not scaling.
+
+Exit codes: 0 pass/skip, 1 gate failure, 2 malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf-gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def series_value(report, config, metric):
+    for p in report.get("series", []):
+        if (p.get("bench") == "parallel" and p.get("config") == config
+                and p.get("metric") == metric):
+            return p["value"]
+    return None
+
+
+def speedup_at(report, threads):
+    cfg = f"threads={threads}"
+    for r in report.get("results", []):
+        if r.get("bench") == "parallel" and r.get("config") == cfg:
+            return r["speedup"]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", required=True,
+                    help="bench_parallel --json output")
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_parallel.json floor")
+    ap.add_argument("--allow-smoke", action="store_true",
+                    help="accept a --smoke report (local debugging only)")
+    args = ap.parse_args()
+
+    report = load(args.report)
+    base = load(args.baseline)
+
+    if report.get("smoke") and not args.allow_smoke:
+        print("perf-gate: report was produced with --smoke; the gate "
+              "needs a full-size run", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+
+    identical = series_value(report, "machine", "identical")
+    if identical is None:
+        failures.append("report has no parallel/machine/identical series "
+                        "(bench too old?)")
+    elif identical != 1.0:
+        failures.append("bit-identity check failed at some thread count "
+                        "(identical != 1) -- determinism regression")
+
+    cores = series_value(report, "machine", "hardware_concurrency")
+    if cores is None:
+        failures.append("report has no hardware_concurrency series")
+        cores = 0
+    cores = int(cores)
+
+    min_cores = int(base.get("min_cores", 4))
+    derate = float(base.get("core_derate", 0.75))
+
+    if cores < min_cores:
+        print(f"perf-gate: machine has {cores} core(s) < min_cores "
+              f"{min_cores}; scaling gate SKIPPED (identity still "
+              f"checked)")
+    else:
+        for gate in base.get("gates", []):
+            threads = int(gate["threads"])
+            floor = float(gate["speedup_floor"])
+            usable = min(threads, cores)
+            required = min(floor, derate * usable)
+            measured = speedup_at(report, threads)
+            if measured is None:
+                failures.append(f"threads={threads}: no speedup in report")
+                continue
+            verdict = "ok" if measured >= required else "FAIL"
+            print(f"perf-gate: threads={threads} speedup {measured:.2f}x "
+                  f"(required {required:.2f}x = min({floor}, {derate} * "
+                  f"{usable} usable cores of {cores})) .. {verdict}")
+            if measured < required:
+                failures.append(
+                    f"threads={threads}: speedup {measured:.2f}x below "
+                    f"required {required:.2f}x")
+
+    if failures:
+        for f in failures:
+            print(f"perf-gate: FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("perf-gate: pass")
+
+
+if __name__ == "__main__":
+    main()
