@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cortical-sheet generator CLI: build a rows x cols sheet of the
+ * paper's Fig. 12-16 column (SRM0 bank + WTA, compiled to GRL), run
+ * it through the serial and the conservative-parallel event engines,
+ * check they agree bit for bit, and print the chip-scale per-partition
+ * energy report (EXPERIMENTS.md E9).
+ *
+ * Run: ./grl_sheet [--rows N] [--cols N] [--neurons N] [--synapses N]
+ *                  [--inter D] [--vert D] [--seed S] [--salt K]
+ *                  [--partitions P] [--threads T]
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string_view>
+
+#include "spacetime.hpp"
+#include "util/parse.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace st;
+
+namespace {
+
+uint64_t
+flagValue(int argc, char **argv, std::string_view flag, uint64_t fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag) {
+            if (auto v = parseUint64Strict(argv[i + 1]))
+                return *v;
+            std::cerr << "grl_sheet: bad value for " << flag << ": '"
+                      << argv[i + 1] << "'\n";
+            std::exit(2);
+        }
+    }
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    static constexpr std::string_view kFlags[] = {
+        "--rows",  "--cols", "--neurons",    "--synapses", "--inter",
+        "--vert",  "--seed", "--partitions", "--threads",  "--salt",
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        bool known = false;
+        for (std::string_view f : kFlags)
+            known = known || arg == f;
+        if (known) {
+            if (i + 1 == argc) {
+                std::cerr << "grl_sheet: " << arg
+                          << " needs a value\n";
+                return 2;
+            }
+            ++i; // skip the flag's value
+            continue;
+        }
+        if (arg == "--help") {
+            std::cout
+                << "usage: grl_sheet [--rows N] [--cols N] [--neurons N]"
+                << " [--synapses N]\n"
+                << "                 [--inter D] [--vert D] [--seed S]"
+                << " [--salt K]\n"
+                << "                 [--partitions P] [--threads T]\n";
+            return 0;
+        }
+        std::cerr << "grl_sheet: unknown argument '" << arg
+                  << "' (try --help)\n";
+        return 1;
+    }
+    grl::SheetParams p;
+    p.rows = flagValue(argc, argv, "--rows", 2);
+    p.cols = flagValue(argc, argv, "--cols", 8);
+    p.neurons = flagValue(argc, argv, "--neurons", 4);
+    p.synapses = flagValue(argc, argv, "--synapses", 3);
+    p.interDelay = static_cast<uint32_t>(
+        flagValue(argc, argv, "--inter", 4));
+    p.vertDelay = static_cast<uint32_t>(
+        flagValue(argc, argv, "--vert", 0));
+    p.seed = flagValue(argc, argv, "--seed", 1);
+    const uint64_t salt = flagValue(argc, argv, "--salt", 0);
+    grl::ParallelSimOptions opts;
+    opts.partitions = flagValue(argc, argv, "--partitions", 0);
+    opts.threads = flagValue(argc, argv, "--threads", 0);
+
+    std::cout << "== Building the sheet ==\n";
+    Stopwatch sw;
+    grl::Sheet sheet = grl::buildCorticalSheet(p);
+    const grl::Circuit &c = sheet.circuit;
+    std::cout << p.rows << " x " << p.cols << " columns, " << p.neurons
+              << " neurons x " << p.synapses << " synapses each ("
+              << sw.millis() << " ms)\n";
+    AsciiTable shape({"netlist", "count"});
+    shape.row("gates", c.gates().size());
+    shape.row("flipflop stages", c.totalStages());
+    shape.row("primary inputs", c.numInputs());
+    shape.row("zero-delay components", c.components().count());
+    shape.writeTo(std::cout);
+
+    std::vector<Time> x = grl::sheetInputVolley(sheet, salt);
+
+    std::cout << "\n== Serial vs parallel ==\n";
+    sw.reset();
+    grl::SimResult serial = grl::simulateEvents(c, x);
+    const double serialMs = sw.millis();
+    sw.reset();
+    grl::ParallelSimReport report;
+    grl::SimResult par = grl::simulateEventsParallel(c, x, 0, opts,
+                                                     &report);
+    const double parMs = sw.millis();
+    const bool identical =
+        serial.outputs == par.outputs &&
+        serial.fallTime == par.fallTime &&
+        serial.gateTransitions == par.gateTransitions;
+    std::cout << "serial " << serialMs << " ms, parallel " << parMs
+              << " ms on " << report.partitions << " partitions / "
+              << report.threads << " threads (lookahead "
+              << report.lookahead << ", " << report.windows
+              << " windows, " << report.boundaryEvents
+              << " boundary events"
+              << (report.fellBack ? ", FELL BACK TO SERIAL" : "")
+              << ")\n";
+    std::cout << "results bit-identical: "
+              << (identical ? "yes" : "NO — BUG") << "\n";
+
+    std::cout << "\n== Chip-scale energy report (E9) ==\n";
+    grl::ChipEnergyReport chip = grl::chipEnergy(report);
+    AsciiTable energy({"partition", "gates", "stages", "events",
+                       "energy", "delay frac"});
+    char buf[32];
+    for (size_t i = 0; i < report.perPartition.size(); ++i) {
+        const grl::PartitionStats &ps = report.perPartition[i];
+        const grl::EnergyReport &er = chip.perPartition[i];
+        std::snprintf(buf, sizeof buf, "%.2f", er.delayFraction());
+        energy.row(i, ps.gates, ps.stages, ps.eventsFired,
+                   static_cast<uint64_t>(er.total), buf);
+    }
+    std::snprintf(buf, sizeof buf, "%.2f",
+                  chip.total.delayFraction());
+    energy.row("total", c.gates().size(), c.totalStages(),
+               serial.totalInternalTransitions(),
+               static_cast<uint64_t>(chip.total.total), buf);
+    energy.writeTo(std::cout);
+    const double whole = grl::estimateEnergy(c, serial).total;
+    std::cout << "whole-circuit estimate " << whole
+              << " (partition sum " << chip.total.total << ")\n";
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The indexed calendar queue behind the event-driven GRL engines.
+ *
+ * Extracted from event_sim.cpp so the serial engine and the
+ * conservative time-window parallel engine (parallel_sim.hpp) share
+ * one agenda implementation: a per-partition instance of this queue is
+ * exactly the serial agenda restricted to the partition's wires, which
+ * is what makes the parallel engine's per-window replay bit-identical
+ * to the serial scan.
+ *
+ * Three lanes, cheapest first:
+ *
+ *   - ready: wires to examine at the *current* time, kept as a bitmap
+ *     over wire ids and drained by an ascending bit scan. Fanins
+ *     precede consumers in id order, so draining ascending ids
+ *     reproduces the clocked engine's settle order exactly (the
+ *     documented LT tie-resolution order), and the scan cursor never
+ *     backs up: a newly scheduled same-time consumer always carries a
+ *     larger id than the wire being processed. The bitmap also dedups
+ *     for free — a gate whose fanins fall together is examined once.
+ *
+ *   - ring: a power-of-two array of time buckets for near-future
+ *     events (delay-gate outputs). Every scheduling offset is bounded
+ *     by the largest delay-line stage count, so with ringSize >
+ *     maxDelayStages + 1 a bucket can only ever hold events for one
+ *     absolute time — draining bucket (t & mask) at time t never
+ *     touches foreign events.
+ *
+ *   - far: a std::priority_queue fallback for offsets beyond the ring
+ *     window (a delay line deeper than kMaxRingSize stages, or a
+ *     boundary event landing far past a partition's local clock).
+ *
+ * External events (input/const falls at arbitrary times) are kept in
+ * one sorted array walked by a cursor, so a wide input spread does not
+ * force a huge ring.
+ */
+
+#ifndef ST_GRL_CALENDAR_QUEUE_HPP
+#define ST_GRL_CALENDAR_QUEUE_HPP
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "grl/netlist.hpp"
+#include "obs/obs.hpp"
+
+namespace st::grl::detail {
+
+/** The event agenda: an indexed calendar queue tuned to GRL's event
+ *  pattern (see file comment). Single-threaded; the parallel engine
+ *  gives each partition its own instance. */
+class CalendarQueue
+{
+  public:
+    /** Raw inf pattern; no event can be scheduled later. */
+    static constexpr Time::rep kInfRep =
+        std::numeric_limits<Time::rep>::max();
+
+    CalendarQueue(uint32_t max_delay_stages, size_t num_wires,
+                  std::vector<std::pair<Time::rep, WireId>> external)
+        : external_(std::move(external)),
+          readyBits_((num_wires + 63) / 64, 0)
+    {
+        std::sort(external_.begin(), external_.end());
+        const uint64_t span =
+            std::min<uint64_t>(uint64_t{max_delay_stages} + 2,
+                               kMaxRingSize);
+        ringMask_ = std::bit_ceil(span) - 1;
+        ring_.resize(ringMask_ + 1);
+    }
+
+    /** True while any lane still holds an event. */
+    bool
+    pending() const
+    {
+        return cursor_ < external_.size() || ringCount_ > 0 ||
+               !far_.empty();
+    }
+
+    /** The earliest pending time, without advancing (kInfRep if none).
+     *  The parallel engine peeks this at every window barrier to pick
+     *  the next conservative window start. */
+    Time::rep
+    nextTime() const
+    {
+        Time::rep next = kInfRep;
+        bool have = false;
+        if (cursor_ < external_.size()) {
+            next = external_[cursor_].first;
+            have = true;
+        }
+        if (!far_.empty() && (!have || far_.top().first < next)) {
+            next = far_.top().first;
+            have = true;
+        }
+        if (ringCount_ > 0) {
+            // All ring events lie in (now, now + ringSize), so a
+            // bounded scan finds the earliest occupied bucket.
+            for (Time::rep t = now_ + 1; !have || t < next; ++t) {
+                if (!ring_[t & ringMask_].empty()) {
+                    next = t;
+                    break;
+                }
+            }
+        }
+        return next;
+    }
+
+    /** The current time (last advance() result). */
+    Time::rep now() const { return now_; }
+
+    /**
+     * Advance to the earliest pending time and move every event at
+     * that time into the ready bitmap.
+     *
+     * @return The new current time.
+     */
+    Time::rep
+    advance()
+    {
+        now_ = nextTime();
+        while (cursor_ < external_.size() &&
+               external_[cursor_].first == now_) {
+            pushReady(external_[cursor_++].second);
+        }
+        while (!far_.empty() && far_.top().first == now_) {
+            pushReady(far_.top().second);
+            far_.pop();
+        }
+        std::vector<WireId> &bucket = ring_[now_ & ringMask_];
+        for (WireId id : bucket)
+            pushReady(id);
+        ringCount_ -= bucket.size();
+        bucket.clear();
+        // A new time step may make any wire ready; restart the scan
+        // (skipping zero words is a handful of cycles per step).
+        scanWord_ = 0;
+        // Agenda-shape tallies, flushed to the registry once per
+        // simulate call. The per-step histogram record is two relaxed
+        // atomics; everything else is a plain local add.
+        ST_OBS_ONLY(++statAdvances;
+                    statMaxDepth = std::max<uint64_t>(
+                        statMaxDepth,
+                        ringCount_ + far_.size() + readyCount_);
+                    ST_OBS_HIST("grl.agenda.ring_occupancy",
+                                ringCount_);)
+        return now_;
+    }
+
+    /** Schedule @p id for examination at now + @p offset. */
+    void
+    schedule(WireId id, Time::rep offset)
+    {
+        // Saturate like the old Time-keyed agenda (inf + c = inf):
+        // an overflowing schedule lands at inf, not at a wrapped time.
+        const Time target = Time(now_) + offset;
+        scheduleAt(id, target.isInf() ? kInfRep : target.value());
+    }
+
+    /** Schedule @p id at the absolute time @p at (must be >= now).
+     *  Window-barrier drains use this: a boundary event carries the
+     *  producing partition's absolute fall + delay time, which lies at
+     *  or past the receiving partition's window start. */
+    void
+    scheduleAt(WireId id, Time::rep at)
+    {
+        const Time::rep delta = at - now_;
+        if (delta == 0) {
+            ST_OBS_ONLY(++statReadyPushes;)
+            pushReady(id);
+        } else if (delta <= ringMask_) {
+            ST_OBS_ONLY(++statRingPushes;)
+            ring_[at & ringMask_].push_back(id);
+            ++ringCount_;
+        } else {
+            ST_OBS_ONLY(++statFarPushes;)
+            far_.emplace(at, id);
+        }
+    }
+
+    /** True while the current time step still has wires to examine. */
+    bool
+    readyPending() const
+    {
+        return readyCount_ > 0;
+    }
+
+    /** Pop the lowest-id wire of the current time step. */
+    WireId
+    popReady()
+    {
+        while (readyBits_[scanWord_] == 0)
+            ++scanWord_;
+        const uint64_t word = readyBits_[scanWord_];
+        readyBits_[scanWord_] = word & (word - 1); // clear lowest bit
+        --readyCount_;
+        return static_cast<WireId>(
+            scanWord_ * 64 +
+            static_cast<size_t>(std::countr_zero(word)));
+    }
+
+    // Local observation tallies (see advance()/schedule()); public so
+    // the engines can flush them into the metrics registry in one
+    // batch per run.
+    ST_OBS_ONLY(uint64_t statAdvances = 0; uint64_t statMaxDepth = 0;
+                uint64_t statReadyPushes = 0;
+                uint64_t statRingPushes = 0;
+                uint64_t statFarPushes = 0;)
+
+  private:
+    /** Ring sizes beyond this spill to the far heap instead. */
+    static constexpr uint64_t kMaxRingSize = uint64_t{1} << 14;
+
+    void
+    pushReady(WireId id)
+    {
+        uint64_t &word = readyBits_[id >> 6];
+        const uint64_t bit = uint64_t{1} << (id & 63);
+        readyCount_ += (word & bit) == 0;
+        word |= bit;
+    }
+
+    std::vector<std::pair<Time::rep, WireId>> external_;
+    size_t cursor_ = 0;
+
+    std::vector<std::vector<WireId>> ring_;
+    uint64_t ringMask_ = 0;
+    size_t ringCount_ = 0;
+
+    std::priority_queue<std::pair<Time::rep, WireId>,
+                        std::vector<std::pair<Time::rep, WireId>>,
+                        std::greater<>>
+        far_;
+
+    std::vector<uint64_t> readyBits_;
+    size_t readyCount_ = 0;
+    size_t scanWord_ = 0;
+    Time::rep now_ = 0;
+};
+
+} // namespace st::grl::detail
+
+#endif // ST_GRL_CALENDAR_QUEUE_HPP

@@ -11,26 +11,34 @@ EnergyReport::delayFraction() const
 }
 
 EnergyReport
-estimateEnergy(const Circuit &circuit, const SimResult &sim,
-               const EnergyParams &params)
+estimatePartEnergy(uint64_t stages, const SimResult &counts,
+                   const EnergyParams &params)
 {
     EnergyReport report;
     report.combinational =
-        params.gateSwitch * static_cast<double>(sim.gateTransitions);
+        params.gateSwitch * static_cast<double>(counts.gateTransitions);
     report.ltCells =
-        params.ltSwitch * static_cast<double>(sim.ltOutputTransitions) +
+        params.ltSwitch *
+            static_cast<double>(counts.ltOutputTransitions) +
         params.latchCapture *
-            static_cast<double>(sim.ltLatchTransitions);
+            static_cast<double>(counts.ltLatchTransitions);
     report.flopData = params.flopDataSwitch *
-                      static_cast<double>(sim.flopDataTransitions);
+                      static_cast<double>(counts.flopDataTransitions);
     report.clock = params.clockPerStagePerCycle *
-                   static_cast<double>(circuit.totalStages()) *
-                   static_cast<double>(sim.cyclesSimulated);
+                   static_cast<double>(stages) *
+                   static_cast<double>(counts.cyclesSimulated);
     report.inputs =
-        params.inputDrive * static_cast<double>(sim.inputTransitions);
+        params.inputDrive * static_cast<double>(counts.inputTransitions);
     report.total = report.combinational + report.ltCells +
                    report.flopData + report.clock + report.inputs;
     return report;
+}
+
+EnergyReport
+estimateEnergy(const Circuit &circuit, const SimResult &sim,
+               const EnergyParams &params)
+{
+    return estimatePartEnergy(circuit.totalStages(), sim, params);
 }
 
 EnergyReport

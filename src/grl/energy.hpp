@@ -57,6 +57,17 @@ EnergyReport estimateEnergy(const Circuit &circuit, const SimResult &sim,
                             const EnergyParams &params = {});
 
 /**
+ * Energy of one *slice* of a circuit: transition counts accumulated
+ * over @p stages flipflop stages' worth of hardware. This is the
+ * per-partition form the chip-scale report (parallel_sim.hpp) uses —
+ * each partition charges the clock tree only for the flipflops it
+ * owns, and because every term is linear in its count, the partition
+ * reports sum exactly to estimateEnergy() of the whole circuit.
+ */
+EnergyReport estimatePartEnergy(uint64_t stages, const SimResult &counts,
+                                const EnergyParams &params = {});
+
+/**
  * Energy of a whole computation stream including the per-computation
  * reset phases (the cost the paper's Sec. VI parenthetical flags).
  */

@@ -58,7 +58,9 @@ Circuit::Circuit(Circuit &&other) noexcept
     : gates_(std::move(other.gates_)),
       outputs_(std::move(other.outputs_)),
       numInputs_(other.numInputs_),
-      fanout_(other.fanout_.exchange(nullptr, std::memory_order_acq_rel))
+      fanout_(other.fanout_.exchange(nullptr, std::memory_order_acq_rel)),
+      components_(
+          other.components_.exchange(nullptr, std::memory_order_acq_rel))
 {
 }
 
@@ -72,6 +74,10 @@ Circuit::operator=(Circuit &&other) noexcept
         delete fanout_.exchange(
             other.fanout_.exchange(nullptr, std::memory_order_acq_rel),
             std::memory_order_acq_rel);
+        delete components_.exchange(
+            other.components_.exchange(nullptr,
+                                       std::memory_order_acq_rel),
+            std::memory_order_acq_rel);
     }
     return *this;
 }
@@ -79,12 +85,14 @@ Circuit::operator=(Circuit &&other) noexcept
 Circuit::~Circuit()
 {
     delete fanout_.load(std::memory_order_relaxed);
+    delete components_.load(std::memory_order_relaxed);
 }
 
 void
 Circuit::invalidateFanout()
 {
     delete fanout_.exchange(nullptr, std::memory_order_acq_rel);
+    delete components_.exchange(nullptr, std::memory_order_acq_rel);
 }
 
 const CircuitFanout &
@@ -129,6 +137,69 @@ Circuit::fanout() const
     if (fanout_.compare_exchange_strong(expected, fresh.get(),
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+        return *fresh.release();
+    }
+    return *expected;
+}
+
+const CircuitComponents &
+Circuit::components() const
+{
+    if (const CircuitComponents *hit =
+            components_.load(std::memory_order_acquire)) {
+        return *hit;
+    }
+    (void)fanout(); // validation gate; a malformed circuit throws here
+    const size_t n = gates_.size();
+
+    // Union-find over the zero-delay edges: an edge src -> g merges
+    // the two gates unless g is a Delay with stages >= 1 (the only
+    // edge kind with a nonzero schedule offset — see CircuitFanout's
+    // consumerDelay). Delay gates with stages >= 1 join the component
+    // of their *consumers* (their output edges are zero-delay), which
+    // is where a partition must examine them.
+    std::vector<uint32_t> parent(n);
+    for (size_t g = 0; g < n; ++g)
+        parent[g] = static_cast<uint32_t>(g);
+    auto find = [&parent](uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        return x;
+    };
+    for (size_t g = 0; g < n; ++g) {
+        const Gate &gate = gates_[g];
+        if (gate.kind == GateKind::Delay && gate.stages >= 1)
+            continue;
+        for (WireId src : gate.fanin) {
+            uint32_t a = find(static_cast<uint32_t>(g));
+            uint32_t b = find(src);
+            if (a != b)
+                parent[std::max(a, b)] = std::min(a, b);
+        }
+    }
+
+    // Dense component ids in order of each component's lowest gate id,
+    // so the labeling (and everything the partitioner derives from it)
+    // is deterministic.
+    auto fresh = std::make_unique<CircuitComponents>();
+    fresh->componentOf.resize(n);
+    std::vector<uint32_t> idOf(n, UINT32_MAX);
+    for (size_t g = 0; g < n; ++g) {
+        const uint32_t root = find(static_cast<uint32_t>(g));
+        if (idOf[root] == UINT32_MAX) {
+            idOf[root] = static_cast<uint32_t>(fresh->sizeOf.size());
+            fresh->sizeOf.push_back(0);
+        }
+        fresh->componentOf[g] = idOf[root];
+        ++fresh->sizeOf[idOf[root]];
+    }
+
+    const CircuitComponents *expected = nullptr;
+    if (components_.compare_exchange_strong(expected, fresh.get(),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
         return *fresh.release();
     }
     return *expected;
@@ -296,6 +367,26 @@ Circuit::validate() const
             }
             const WireId src = gate.fanin[k++];
             if (color[src] == kGrey) {
+                const Gate &sg = gates_[src];
+                if (gate.kind == GateKind::Delay ||
+                    sg.kind == GateKind::Delay) {
+                    // A zero-stage Delay is a plain wire; on a feedback
+                    // edge its delay is nonpositive — it cannot break
+                    // the loop, and it cannot carry a cross-partition
+                    // edge (the parallel engine's lookahead needs
+                    // every cut delay strictly positive). Note only a
+                    // stages == 0 Delay can sit on this path at all:
+                    // stages >= 1 breaks the walk above.
+                    const uint32_t culprit =
+                        gate.kind == GateKind::Delay ? g : src;
+                    return Status(
+                        StatusCode::FailedPrecondition,
+                        "delay gate " + std::to_string(culprit) +
+                            " closes a feedback loop with nonpositive "
+                            "delay; stages must be >= 1 on a feedback "
+                            "or cross-partition edge",
+                        at(src));
+                }
                 return Status(StatusCode::FailedPrecondition,
                               "zero-delay combinational cycle "
                               "(insert a delay gate with stages >= 1 "
@@ -318,6 +409,16 @@ Circuit::validate() const
             continue;
         for (WireId src : gate.fanin) {
             if (src >= g) {
+                if (gate.kind == GateKind::Delay) {
+                    return Status(
+                        StatusCode::FailedPrecondition,
+                        "delay gate takes fanin from gate " +
+                            std::to_string(src) +
+                            " ahead of it with nonpositive delay; "
+                            "stages must be >= 1 on a feedback or "
+                            "cross-partition edge",
+                        at(g));
+                }
                 return Status(StatusCode::FailedPrecondition,
                               "zero-delay fanin from gate " +
                                   std::to_string(src) +

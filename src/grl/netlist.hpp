@@ -96,6 +96,30 @@ struct CircuitFanout
 };
 
 /**
+ * Zero-delay connectivity of a circuit: gates joined by any edge whose
+ * schedule offset is 0 (every fanin edge except those into Delay gates
+ * with stages >= 1) share a component. Components are the atomic units
+ * of the conservative parallel event simulator (parallel_sim.hpp) —
+ * two gates in one component may interact within a single time step,
+ * so a partition must own whole components; edges *between* components
+ * always cross at least one flipflop stage, which is the strictly
+ * positive lookahead that lets partitions advance a full delay window
+ * without rollback. Built once per circuit (BFS over the fanout CSR)
+ * and cached beside fanout(); component ids are assigned in order of
+ * each component's lowest gate id, so the labeling is deterministic.
+ */
+struct CircuitComponents
+{
+    /** Component id per gate (dense, 0-based). */
+    std::vector<uint32_t> componentOf;
+    /** Gate count per component, indexed by component id. */
+    std::vector<uint32_t> sizeOf;
+
+    /** Number of zero-delay components. */
+    uint32_t count() const { return static_cast<uint32_t>(sizeOf.size()); }
+};
+
+/**
  * A feedforward GRL netlist.
  *
  * Gates may only reference lower-numbered gates, so gate order is a
@@ -197,6 +221,15 @@ class Circuit
      */
     const CircuitFanout &fanout() const;
 
+    /**
+     * The circuit's zero-delay component labeling, built on first use
+     * from the fanout CSR and cached exactly like fanout() (builder
+     * calls invalidate it; concurrent readers race safely via
+     * compare-exchange). Throws StatusError on a malformed circuit,
+     * through the fanout() validation gate.
+     */
+    const CircuitComponents &components() const;
+
   private:
     WireId add(Gate gate);
     void checkId(WireId id) const;
@@ -208,6 +241,8 @@ class Circuit
 
     /** Lazily built fanout CSR, published with a compare-exchange. */
     mutable std::atomic<const CircuitFanout *> fanout_{nullptr};
+    /** Lazily built zero-delay components, published the same way. */
+    mutable std::atomic<const CircuitComponents *> components_{nullptr};
 };
 
 } // namespace st::grl

@@ -1,0 +1,492 @@
+#include "grl/parallel_sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "grl/calendar_queue.hpp"
+#include "grl/event_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace st::grl {
+
+namespace {
+
+using detail::CalendarQueue;
+
+/** One cross-partition event: @p consumer (always a Delay gate — cut
+ *  edges cross a shift register) becomes examinable at absolute time
+ *  @p at. Produced during a window, spliced into the destination
+ *  agenda at the next barrier. */
+struct BoundaryEvent
+{
+    Time::rep at;
+    WireId consumer;
+};
+
+/** Mutable per-partition state for one run. */
+struct Partition
+{
+    CalendarQueue agenda;
+    uint64_t gates = 0;
+    uint64_t stages = 0;
+    uint64_t inEdges = 0; //!< fanin edges into owned gates
+    uint64_t popped = 0;
+    uint64_t fired = 0;
+    uint64_t boundarySent = 0;
+    Time::rep prevNow = 0;
+    ST_OBS_ONLY(uint64_t busyNs = 0;)
+
+    explicit Partition(CalendarQueue q)
+        : agenda(std::move(q))
+    {
+    }
+};
+
+/** Saturating absolute time: inf + anything stays inf. */
+Time::rep
+satAdd(Time::rep base, Time::rep offset)
+{
+    const Time t = Time(base) + offset;
+    return t.isInf() ? CalendarQueue::kInfRep : t.value();
+}
+
+/** Serial escape hatch: tick the fallback counter, run the oracle,
+ *  and report the whole circuit as one partition. */
+SimResult
+runFallback(const Circuit &circuit, std::span<const Time> inputs,
+            Time::rep horizon, size_t threads, Time::rep lookahead,
+            ParallelSimReport *report)
+{
+    ST_OBS_ADD("grl.par.fallback", 1);
+    SimResult result = simulateEvents(circuit, inputs, horizon);
+    if (report != nullptr) {
+        report->partitions = 1;
+        report->threads = threads;
+        report->lookahead = lookahead;
+        report->windows = 0;
+        report->boundaryEvents = 0;
+        report->fellBack = true;
+        report->perPartition.assign(1, PartitionStats{});
+        PartitionStats &ps = report->perPartition[0];
+        ps.gates = circuit.size();
+        ps.stages = circuit.totalStages();
+        ps.eventsFired = result.fallenLines; // one fire per fallen wire
+        ps.counts.gateTransitions = result.gateTransitions;
+        ps.counts.ltOutputTransitions = result.ltOutputTransitions;
+        ps.counts.ltLatchTransitions = result.ltLatchTransitions;
+        ps.counts.flopDataTransitions = result.flopDataTransitions;
+        ps.counts.inputTransitions = result.inputTransitions;
+        ps.counts.cyclesSimulated = result.cyclesSimulated;
+        ps.counts.fallenLines = result.fallenLines;
+        ps.counts.flopZeroBits = result.flopZeroBits;
+        ps.counts.latchesCaptured = result.latchesCaptured;
+    }
+    return result;
+}
+
+} // namespace
+
+SimResult
+simulateEventsParallel(const Circuit &circuit,
+                       std::span<const Time> inputs, Time::rep horizon,
+                       const ParallelSimOptions &opts,
+                       ParallelSimReport *report)
+{
+    if (inputs.size() != circuit.numInputs())
+        throw std::invalid_argument(
+            "grl::simulateEventsParallel: input count mismatch");
+    if (horizon == 0)
+        horizon = safeHorizon(circuit, inputs);
+    ST_TRACE_SPAN("grl.parallel_sim");
+
+    const auto &gates = circuit.gates();
+    const size_t n = gates.size();
+    const CircuitFanout &fanout = circuit.fanout();
+    const CircuitComponents &comps = circuit.components();
+
+    const size_t threads =
+        opts.threads != 0 ? opts.threads : ThreadPool::defaultThreads();
+    size_t num_parts =
+        opts.partitions != 0 ? opts.partitions : threads;
+    num_parts = std::min<size_t>(num_parts, comps.count());
+    num_parts = std::max<size_t>(num_parts, 1);
+
+    if (num_parts <= 1)
+        return runFallback(circuit, inputs, horizon, threads, 0, report);
+
+    // Placement: components in id order, split contiguously so each
+    // partition's cumulative gate count tracks n / num_parts. A pure
+    // function of (circuit, num_parts) — no scheduling dependence.
+    std::vector<uint32_t> partOfComp(comps.count());
+    {
+        uint64_t before = 0;
+        for (uint32_t c = 0; c < comps.count(); ++c) {
+            partOfComp[c] = static_cast<uint32_t>(std::min<uint64_t>(
+                num_parts - 1, before * num_parts / n));
+            before += comps.sizeOf[c];
+        }
+    }
+    std::vector<uint32_t> partOf(n);
+    for (size_t g = 0; g < n; ++g)
+        partOf[g] = partOfComp[comps.componentOf[g]];
+
+    // Conservative lookahead = the minimum cut-edge delay. Every cut
+    // edge feeds a Delay gate with stages >= 1 (zero-delay edges never
+    // leave a component), and an active injector may shave up to
+    // gateDelayJitter stages off any of them — derate for that without
+    // calling perturbGateDelay() here, which would tick the injection
+    // counters for edges that might never fire.
+    const fault::FaultInjector *inj = fault::activeInjector();
+    const Time::rep jitter =
+        inj != nullptr ? inj->spec().gateDelayJitter : 0;
+    Time::rep min_cut = CalendarQueue::kInfRep;
+    for (size_t g = 0; g < n; ++g) {
+        const Gate &gate = gates[g];
+        if (gate.kind != GateKind::Delay || gate.stages < 1)
+            continue;
+        if (partOf[gate.fanin[0]] != partOf[g])
+            min_cut = std::min<Time::rep>(min_cut, gate.stages);
+    }
+    const Time::rep lookahead =
+        min_cut == CalendarQueue::kInfRep
+            ? CalendarQueue::kInfRep
+            : (min_cut > jitter ? min_cut - jitter : 0);
+    if (lookahead < 1) {
+        return runFallback(circuit, inputs, horizon, threads, lookahead,
+                           report);
+    }
+
+    // Per-partition agendas seeded with the owned external falls.
+    const size_t P = num_parts;
+    std::vector<std::vector<std::pair<Time::rep, WireId>>> external(P);
+    std::vector<Partition> parts;
+    parts.reserve(P);
+    for (size_t g = 0; g < n; ++g) {
+        const Gate &gate = gates[g];
+        if (gate.kind == GateKind::Input && inputs[g].isFinite()) {
+            external[partOf[g]].emplace_back(inputs[g].value(),
+                                             static_cast<WireId>(g));
+        } else if (gate.kind == GateKind::Const &&
+                   gate.constTime.isFinite()) {
+            external[partOf[g]].emplace_back(gate.constTime.value(),
+                                             static_cast<WireId>(g));
+        }
+    }
+    for (size_t p = 0; p < P; ++p) {
+        parts.emplace_back(CalendarQueue(fanout.maxDelayStages, n,
+                                         std::move(external[p])));
+    }
+    for (size_t g = 0; g < n; ++g) {
+        Partition &part = parts[partOf[g]];
+        ++part.gates;
+        part.inEdges += gates[g].fanin.size();
+        if (gates[g].kind == GateKind::Delay)
+            part.stages += gates[g].stages;
+    }
+
+    // Shared fall state, written disjointly: partition p only touches
+    // fall[g] / fallenIns[g] for gates it owns (cross-partition
+    // consumers are Delay gates whose fallenIns is never read, so the
+    // producer skips the increment entirely). Window barriers order
+    // the assembly reads after every write.
+    std::vector<Time> fall(n, INF);
+    std::vector<uint32_t> fallenIns(n, 0);
+
+    const fault::FaultInjector *delay_inj =
+        inj != nullptr && inj->spec().gateDelayJitter > 0 ? inj
+                                                          : nullptr;
+    const bool stuck_on = inj != nullptr && inj->spec().stuckProb > 0;
+    obs::Counter *stuck_counter =
+        stuck_on ? &obs::MetricsRegistry::instance().counter(
+                       "fault.injected.stuck")
+                 : nullptr;
+    const bool guard_order =
+        fault::guardActive(fault::kGuardAgendaOrder);
+
+    // Same cycle backstop as the serial engine, per partition: every
+    // owned wire is examined at most once per incoming edge (boundary
+    // events arrive on incoming edges) plus once per external seed.
+    std::vector<uint64_t> popBudget(P);
+    for (size_t p = 0; p < P; ++p)
+        popBudget[p] = 4 * (parts[p].gates + parts[p].inEdges) + 64;
+
+    // outbox[src][dst]: events produced by src for dst this window.
+    std::vector<std::vector<std::vector<BoundaryEvent>>> outbox(
+        P, std::vector<std::vector<BoundaryEvent>>(P));
+
+    auto runWindow = [&](size_t p, Time::rep wend) {
+        Partition &part = parts[p];
+        CalendarQueue &agenda = part.agenda;
+        auto fallen = [&](WireId g) { return fall[g].isFinite(); };
+
+        while (agenda.pending() && agenda.nextTime() < wend) {
+            const Time now = Time(agenda.advance());
+            if (guard_order && now.isFinite() &&
+                now.value() < part.prevNow) {
+                fault::reportViolation(
+                    "agenda_order", "grl.agenda",
+                    "advance moved time backwards: " +
+                        std::to_string(part.prevNow) + " -> " +
+                        now.str());
+            }
+            if (now.isFinite())
+                part.prevNow = now.value();
+
+            while (agenda.readyPending()) {
+                WireId id = agenda.popReady();
+                if (++part.popped > popBudget[p]) {
+                    throw StatusError(Status(
+                        StatusCode::ResourceExhausted,
+                        "event budget exceeded (" +
+                            std::to_string(popBudget[p]) +
+                            " pops) — zero-delay cycle in partition " +
+                            std::to_string(p),
+                        "wire " + std::to_string(id)));
+                }
+                if (fallen(id))
+                    continue;
+                if (stuck_on && inj->stuckAtInf(id)) {
+                    stuck_counter->add(1);
+                    continue;
+                }
+
+                const Gate &gate = gates[id];
+                bool falls = false;
+                switch (gate.kind) {
+                  case GateKind::Input:
+                    falls = inputs[id] == now;
+                    break;
+                  case GateKind::Const:
+                    falls = gate.constTime == now;
+                    break;
+                  case GateKind::And:
+                    for (WireId src : gate.fanin)
+                        falls |= fall[src] == now;
+                    break;
+                  case GateKind::Or:
+                    falls = fallenIns[id] == gate.fanin.size();
+                    break;
+                  case GateKind::LtCell: {
+                    WireId a = gate.fanin[0], b = gate.fanin[1];
+                    falls =
+                        fall[a] == now && !(fallen(b) && fall[b] <= now);
+                    break;
+                  }
+                  case GateKind::Delay:
+                    falls = true;
+                    break;
+                }
+                if (!falls)
+                    continue;
+
+                ++part.fired;
+                fall[id] = now;
+                const auto consumers = fanout.of(id);
+                const auto delays = fanout.delaysOf(id);
+                for (size_t k = 0; k < consumers.size(); ++k) {
+                    const WireId consumer = consumers[k];
+                    if (partOf[consumer] == p) {
+                        ++fallenIns[consumer];
+                        if (!fallen(consumer)) {
+                            Time::rep offset = delays[k];
+                            if (delay_inj != nullptr && offset > 0) {
+                                offset = delay_inj->perturbGateDelay(
+                                    offset, consumer);
+                            }
+                            agenda.schedule(consumer, offset);
+                        }
+                    } else {
+                        // Cut edges feed single-fanin Delay gates:
+                        // this edge is the consumer's only fall
+                        // source, so it cannot already have fallen,
+                        // and its fallenIns is never read — no remote
+                        // state to touch.
+                        Time::rep offset = delays[k];
+                        if (delay_inj != nullptr) {
+                            offset = delay_inj->perturbGateDelay(
+                                offset, consumer);
+                        }
+                        outbox[p][partOf[consumer]].push_back(
+                            {satAdd(now.value(), offset), consumer});
+                        ++part.boundarySent;
+                    }
+                }
+            }
+        }
+    };
+
+    ThreadPool &pool = ThreadPool::shared();
+    uint64_t windows = 0;
+    uint64_t boundaryTotal = 0;
+    ST_OBS_ONLY(const auto wall_start =
+                    std::chrono::steady_clock::now();)
+    for (;;) {
+        // Barrier splice: boundary events produced last window enter
+        // the destination agendas before the next tmin is chosen, so
+        // no partition can advance past an event addressed to it.
+        for (size_t dst = 0; dst < P; ++dst) {
+            for (size_t src = 0; src < P; ++src) {
+                for (const BoundaryEvent &ev : outbox[src][dst])
+                    parts[dst].agenda.scheduleAt(ev.consumer, ev.at);
+                boundaryTotal += outbox[src][dst].size();
+                outbox[src][dst].clear();
+            }
+        }
+        Time::rep tmin = CalendarQueue::kInfRep;
+        for (size_t p = 0; p < P; ++p)
+            tmin = std::min(tmin, parts[p].agenda.nextTime());
+        // Events past the horizon provably cannot change the result
+        // (their falls are invisible to the assembly below), so the
+        // conservative window walk stops here.
+        if (tmin == CalendarQueue::kInfRep || tmin > horizon)
+            break;
+        const Time::rep wend = lookahead == CalendarQueue::kInfRep
+                                   ? CalendarQueue::kInfRep
+                                   : satAdd(tmin, lookahead);
+        ++windows;
+        pool.parallelFor(
+            0, P, 1,
+            [&](size_t p) {
+                ST_OBS_ONLY(const auto t0 =
+                                std::chrono::steady_clock::now();)
+                runWindow(p, wend);
+                ST_OBS_ONLY(
+                    parts[p].busyNs += static_cast<uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());)
+            },
+            threads);
+    }
+
+    ST_OBS_ONLY({
+        uint64_t popped = 0, fired = 0, busy = 0;
+        for (const Partition &part : parts) {
+            popped += part.popped;
+            fired += part.fired;
+            busy += part.busyNs;
+        }
+        ST_OBS_ADD("grl.events.popped", popped);
+        ST_OBS_ADD("grl.events.fired", fired);
+        ST_OBS_ADD("grl.par.windows", windows);
+        ST_OBS_ADD("grl.par.boundary_events", boundaryTotal);
+        ST_OBS_ADD("grl.par.busy_ns", busy);
+        ST_OBS_ADD("grl.par.wall_ns",
+                   static_cast<uint64_t>(
+                       std::chrono::duration_cast<
+                           std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() -
+                           wall_start)
+                           .count()));
+        ST_OBS_GAUGE_MAX("grl.par.partitions", P);
+    })
+
+    // Assembly: the serial engine's per-gate accounting, attributed to
+    // the owning partition and then summed — so the global counters
+    // are *defined* as the sum of the per-partition slices.
+    SimResult result;
+    result.cyclesSimulated = horizon + 1;
+    result.fallTime.assign(n, INF);
+    std::vector<PartitionStats> stats(P);
+    for (size_t p = 0; p < P; ++p) {
+        stats[p].gates = parts[p].gates;
+        stats[p].stages = parts[p].stages;
+        stats[p].eventsPopped = parts[p].popped;
+        stats[p].eventsFired = parts[p].fired;
+        stats[p].boundarySent = parts[p].boundarySent;
+        stats[p].counts.cyclesSimulated = horizon + 1;
+    }
+    for (size_t g = 0; g < n; ++g) {
+        const Gate &gate = gates[g];
+        SimResult &slice = stats[partOf[g]].counts;
+        bool visible = fall[g].isFinite() && fall[g].value() <= horizon;
+        if (visible)
+            result.fallTime[g] = fall[g];
+
+        switch (gate.kind) {
+          case GateKind::Input:
+          case GateKind::Const:
+            slice.inputTransitions += visible;
+            break;
+          case GateKind::And:
+          case GateKind::Or:
+            slice.gateTransitions += visible;
+            break;
+          case GateKind::LtCell: {
+            slice.ltOutputTransitions += visible;
+            Time fa = fall[gate.fanin[0]], fb = fall[gate.fanin[1]];
+            bool b_visible = fb.isFinite() && fb.value() <= horizon;
+            bool a_first = fa.isFinite() && fa < fb;
+            slice.ltLatchTransitions += b_visible && !a_first;
+            break;
+          }
+          case GateKind::Delay: {
+            Time fin = fall[gate.fanin[0]];
+            if (fin.isFinite() && fin.value() < horizon) {
+                Time::rep drained = std::min<Time::rep>(
+                    gate.stages, horizon - fin.value());
+                slice.flopDataTransitions += drained;
+                slice.flopZeroBits += drained;
+            }
+            break;
+          }
+        }
+        if (visible)
+            ++slice.fallenLines;
+    }
+    for (PartitionStats &ps : stats) {
+        ps.counts.latchesCaptured = ps.counts.ltLatchTransitions;
+        result.gateTransitions += ps.counts.gateTransitions;
+        result.ltOutputTransitions += ps.counts.ltOutputTransitions;
+        result.ltLatchTransitions += ps.counts.ltLatchTransitions;
+        result.flopDataTransitions += ps.counts.flopDataTransitions;
+        result.inputTransitions += ps.counts.inputTransitions;
+        result.fallenLines += ps.counts.fallenLines;
+        result.flopZeroBits += ps.counts.flopZeroBits;
+        result.latchesCaptured += ps.counts.latchesCaptured;
+    }
+
+    result.outputs.reserve(circuit.outputs().size());
+    for (WireId id : circuit.outputs())
+        result.outputs.push_back(result.fallTime[id]);
+
+    if (report != nullptr) {
+        report->partitions = P;
+        report->threads = threads;
+        report->lookahead = lookahead;
+        report->windows = windows;
+        report->boundaryEvents = boundaryTotal;
+        report->fellBack = false;
+        report->perPartition = std::move(stats);
+    }
+    return result;
+}
+
+ChipEnergyReport
+chipEnergy(const ParallelSimReport &report, const EnergyParams &params)
+{
+    ChipEnergyReport chip;
+    chip.perPartition.reserve(report.perPartition.size());
+    for (const PartitionStats &ps : report.perPartition) {
+        EnergyReport one =
+            estimatePartEnergy(ps.stages, ps.counts, params);
+        chip.total.combinational += one.combinational;
+        chip.total.ltCells += one.ltCells;
+        chip.total.flopData += one.flopData;
+        chip.total.clock += one.clock;
+        chip.total.inputs += one.inputs;
+        chip.total.total += one.total;
+        chip.perPartition.push_back(one);
+    }
+    return chip;
+}
+
+} // namespace st::grl

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Conservative time-window parallel GRL event simulation (chip scale).
+ *
+ * The paper's endgame is neocortex-scale hardware: Fig. 12-16 columns
+ * replicated into cortical sheets with millions of GRL gates. GRL is
+ * unusually friendly to *conservative* parallel discrete-event
+ * simulation (Chandy-Misra-Bryant without null messages): every
+ * cross-partition edge is a clocked shift register with a strictly
+ * positive, statically known stage count, so the minimum cut delay is
+ * a guaranteed lookahead — partitions may advance a full lookahead
+ * window past the global minimum pending time with zero possibility of
+ * a straggler event arriving in that window, hence zero rollback.
+ *
+ * Structure:
+ *
+ *  - Partitioning. Gates joined by zero-delay edges (anything except a
+ *    fanin into a Delay gate with stages >= 1) may interact within one
+ *    time step, so the unit of placement is a zero-delay component
+ *    (Circuit::components(), cached beside fanout()). Components are
+ *    assigned to partitions contiguously in component-id order,
+ *    balanced by gate count — deterministic, so every run with the
+ *    same (circuit, partitions) sees the same placement.
+ *
+ *  - Window loop. Each partition owns a private calendar-queue agenda
+ *    (the serial engine's agenda restricted to its wires). Each
+ *    iteration picks tmin = the earliest pending time across all
+ *    agendas, and every partition drains its agenda through the
+ *    window [tmin, tmin + lookahead) in one ThreadPool::parallelFor
+ *    barrier. Events produced for another partition (always a Delay
+ *    gate: cut edges cross a shift register) are appended to a
+ *    per-(src, dst) outbox and spliced into the destination agenda at
+ *    the next barrier — they provably land at or past the next window
+ *    start, so no partition ever receives an event in its past.
+ *
+ *  - Determinism. Within a window a partition replays exactly the
+ *    serial engine's loop: same agenda, same ascending-wire-id ready
+ *    scan (the documented LT tie order), same fault hooks (pure
+ *    counter-based draws). Boundary events carry absolute times and
+ *    calendar queues order by (time, wire id) regardless of insertion
+ *    order, so the merged schedule is bit-identical to the serial one
+ *    — the whole SimResult, counters included, matches bit for bit.
+ *
+ * When the circuit cannot be cut safely (lookahead < 1 — e.g. heavy
+ * fault-injected delay jitter eats the cut margin — or only one
+ * partition is possible) the engine falls back to serial
+ * simulateEvents() and ticks the grl.par.fallback counter.
+ */
+
+#ifndef ST_GRL_PARALLEL_SIM_HPP
+#define ST_GRL_PARALLEL_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "grl/energy.hpp"
+#include "grl/logic_sim.hpp"
+
+namespace st::grl {
+
+/** Tuning knobs for simulateEventsParallel(). */
+struct ParallelSimOptions
+{
+    /** Partition count; 0 = one per thread. Clamped to the number of
+     *  zero-delay components (a partition must own whole components). */
+    size_t partitions = 0;
+
+    /** Worker-lane cap for the window barriers; 0 = the process
+     *  default (ThreadPool::defaultThreads()). */
+    size_t threads = 0;
+};
+
+/**
+ * Per-partition accounting: the share of the netlist a partition owns
+ * plus its slice of every SimResult counter. The slices sum *exactly*
+ * to the serial engine's totals (each counter is attributed to the
+ * gate that caused it, and every gate has exactly one owner) — that
+ * identity is what makes the per-partition chip energy report honest.
+ */
+struct PartitionStats
+{
+    uint64_t gates = 0;         //!< gates owned
+    uint64_t stages = 0;        //!< flipflop stages owned
+    uint64_t eventsPopped = 0;  //!< agenda pops executed
+    uint64_t eventsFired = 0;   //!< falls committed
+    uint64_t boundarySent = 0;  //!< events exported to other partitions
+
+    /** This partition's slice of the SimResult counters (vectors and
+     *  cyclesSimulated are global; cyclesSimulated is replicated so
+     *  the slice is self-contained for estimatePartEnergy()). */
+    SimResult counts;
+};
+
+/** What one parallel run did (filled when a report sink is passed). */
+struct ParallelSimReport
+{
+    size_t partitions = 0;       //!< partitions actually used
+    size_t threads = 0;          //!< worker-lane cap in effect
+    Time::rep lookahead = 0;     //!< conservative window width
+    uint64_t windows = 0;        //!< barrier iterations executed
+    uint64_t boundaryEvents = 0; //!< cross-partition events exchanged
+    bool fellBack = false;       //!< true = serial engine ran instead
+    std::vector<PartitionStats> perPartition;
+};
+
+/**
+ * Parallel equivalent of simulateEvents(): same inputs, same horizon
+ * convention (0 = safeHorizon), bit-identical SimResult — fall times,
+ * LT tie resolution, and every transition counter — at any partition
+ * and thread count, with or without an active FaultInjector.
+ *
+ * @param report  Optional sink for partition/window statistics.
+ */
+SimResult simulateEventsParallel(const Circuit &circuit,
+                                 std::span<const Time> inputs,
+                                 Time::rep horizon = 0,
+                                 const ParallelSimOptions &opts = {},
+                                 ParallelSimReport *report = nullptr);
+
+/** Chip-scale energy: per-partition breakdowns plus their sum. */
+struct ChipEnergyReport
+{
+    std::vector<EnergyReport> perPartition;
+    EnergyReport total;
+};
+
+/**
+ * Weight a parallel run's per-partition transition counts into a
+ * chip-scale energy report: each partition is charged for its own
+ * switching plus the clock tree of the flipflops it owns, and the
+ * totals equal estimateEnergy() of the whole circuit on the same run
+ * (every term is linear in a counter that sums exactly).
+ */
+ChipEnergyReport chipEnergy(const ParallelSimReport &report,
+                            const EnergyParams &params = {});
+
+} // namespace st::grl
+
+#endif // ST_GRL_PARALLEL_SIM_HPP

@@ -1,0 +1,245 @@
+#include "grl/sheet.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "grl/compile.hpp"
+#include "neuron/response.hpp"
+#include "neuron/srm0_network.hpp"
+#include "neuron/wta.hpp"
+
+namespace st::grl {
+
+namespace {
+
+/** Counter-based draw (same construction as the fault injector): a
+ *  pure function of the ids, so sheet generation is reproducible and
+ *  order-independent. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+draw(uint64_t seed, uint64_t a, uint64_t b, uint64_t c)
+{
+    return mix64(mix64(mix64(seed ^ a) + b) + c);
+}
+
+/** The synapse response of (neuron, tap j). Every response has a step
+ *  at t = 0 — compiled, that is a zero-stage inc (a wire), which is
+ *  what fuses each column's incoming link registers into the column's
+ *  zero-delay component (see the file comment in sheet.hpp). Tap 0 is
+ *  strong enough (theta up-steps) that no neuron degenerates into the
+ *  SRM0 compiler's "never-fires" constant, which would drop its taps
+ *  entirely. */
+ResponseFunction
+synapseResponse(uint64_t seed, size_t neuron, size_t j,
+                int32_t threshold)
+{
+    if (j == 0) {
+        const auto theta =
+            static_cast<ResponseFunction::Amp>(threshold);
+        return ResponseFunction(
+            std::vector<ResponseFunction::Amp>{1, theta, theta, 1, 1});
+    }
+    const uint64_t d = draw(seed, 0x5e11, neuron, j);
+    const auto peak =
+        static_cast<ResponseFunction::Amp>(1 + d % 3);
+    std::vector<ResponseFunction::Amp> s =
+        ResponseFunction::biexponential(peak).samples();
+    if (s.empty())
+        s.push_back(0);
+    if (s[0] == 0)
+        s[0] = 1; // the t = 0 step that makes the tap a plain wire
+    ResponseFunction r{std::move(s)};
+    // A sprinkle of inhibition on the later taps, like the paper's
+    // mixed excitatory/inhibitory columns — never on taps 0/1, so
+    // every neuron keeps an excitatory path to threshold. (Negation
+    // keeps the t = 0 step; it just becomes a down-step.)
+    if (j >= 2 && (d >> 32) % 8 == 0)
+        r = r.negated();
+    return r;
+}
+
+/**
+ * Splice a copy of @p src into @p dst, substituting @p feeds for its
+ * primary inputs (Input gates occupy the id prefix, enforced by
+ * validate()). Returns src's outputs mapped into dst.
+ */
+std::vector<WireId>
+stamp(Circuit &dst, const Circuit &src, std::span<const WireId> feeds)
+{
+    const auto &gates = src.gates();
+    // Only gates on a fanin path to an output survive the stamp. The
+    // SRM0 compiler leaves dead gates behind (unused sorter ranks, an
+    // unused inf-pad const), and an edge-free dead const would be its
+    // own zero-delay component — breaking the one-component-per-
+    // column guarantee the parallel partitioner relies on.
+    std::vector<char> live(gates.size(), 0);
+    std::vector<WireId> stack;
+    for (WireId o : src.outputs()) {
+        if (!live[o]) {
+            live[o] = 1;
+            stack.push_back(o);
+        }
+    }
+    while (!stack.empty()) {
+        const WireId g = stack.back();
+        stack.pop_back();
+        for (WireId in : gates[g].fanin) {
+            if (!live[in]) {
+                live[in] = 1;
+                stack.push_back(in);
+            }
+        }
+    }
+    std::vector<WireId> map(gates.size(), ~WireId{0});
+    for (size_t g = 0; g < gates.size(); ++g) {
+        if (gates[g].kind == GateKind::Input) {
+            map[g] = feeds[g];
+            continue;
+        }
+        if (!live[g])
+            continue;
+        Gate copy = gates[g];
+        for (WireId &in : copy.fanin)
+            in = map[in];
+        map[g] = dst.addGateUnchecked(std::move(copy));
+    }
+    std::vector<WireId> outs;
+    outs.reserve(src.outputs().size());
+    for (WireId o : src.outputs())
+        outs.push_back(map[o]);
+    return outs;
+}
+
+} // namespace
+
+Sheet
+buildCorticalSheet(const SheetParams &params)
+{
+    if (params.rows < 1 || params.cols < 1 || params.neurons < 1)
+        throw std::invalid_argument(
+            "buildCorticalSheet: rows, cols and neurons must be >= 1");
+    if (params.synapses < 1 || params.synapses > params.neurons)
+        throw std::invalid_argument(
+            "buildCorticalSheet: need 1 <= synapses <= neurons");
+    if (params.interDelay < 1)
+        throw std::invalid_argument(
+            "buildCorticalSheet: interDelay must be >= 1");
+    if (params.threshold < 1)
+        throw std::invalid_argument(
+            "buildCorticalSheet: threshold must be >= 1");
+
+    // Compile each distinct neuron and the WTA stage once; every
+    // column stamps copies of the same compiled bodies ("replicated
+    // column" is literal).
+    std::vector<Circuit> neuronCkt;
+    neuronCkt.reserve(params.neurons);
+    for (size_t i = 0; i < params.neurons; ++i) {
+        std::vector<ResponseFunction> synapses;
+        synapses.reserve(params.synapses);
+        for (size_t j = 0; j < params.synapses; ++j)
+            synapses.push_back(synapseResponse(params.seed, i, j,
+                                               params.threshold));
+        neuronCkt.push_back(
+            compileToGrl(buildSrm0Network(synapses, params.threshold))
+                .circuit);
+    }
+    Circuit wtaCkt =
+        compileToGrl(wtaNetwork(params.neurons, params.tau)).circuit;
+
+    const size_t rows = params.rows, cols = params.cols;
+    const size_t width = params.neurons;
+    Sheet sheet{Circuit(rows * width), params, {}};
+    Circuit &ckt = sheet.circuit;
+    sheet.columnOutputs.reserve(rows * cols * width);
+
+    // above[c][i]: line i of column (r-1, c), for the vertical links.
+    std::vector<std::vector<WireId>> above(cols);
+    for (size_t r = 0; r < rows; ++r) {
+        std::vector<WireId> left; // outputs of (r, c-1)
+        for (size_t c = 0; c < cols; ++c) {
+            // The column's feed lines.
+            std::vector<WireId> feed(width);
+            for (size_t i = 0; i < width; ++i) {
+                WireId f;
+                if (c == 0)
+                    f = ckt.input(r * width + i);
+                else
+                    f = ckt.delay(left[i], params.interDelay);
+                if (r > 0 && params.vertDelay > 0) {
+                    WireId v =
+                        ckt.delay(above[c][i], params.vertDelay);
+                    f = ckt.andGate(f, v); // min: earliest spike wins
+                }
+                feed[i] = f;
+            }
+
+            // Neuron bank: neuron i taps feed lines (i + j) % width.
+            std::vector<WireId> neuronOut(width);
+            std::vector<WireId> taps(params.synapses);
+            for (size_t i = 0; i < width; ++i) {
+                for (size_t j = 0; j < params.synapses; ++j)
+                    taps[j] = feed[(i + j) % width];
+                neuronOut[i] = stamp(ckt, neuronCkt[i], taps)[0];
+            }
+
+            // Structural fusion guarantee: one zero-delay drain gate
+            // consuming every feed line plus a neuron output ties the
+            // incoming link registers and the column body into a
+            // single component even if some neuron's tap into a feed
+            // line was optimized away. Its output is deliberately
+            // unused — an OR falls only when *all* fanins fall, so a
+            // mostly-silent column never pays an event for it.
+            std::vector<WireId> glue = feed;
+            glue.push_back(neuronOut[0]);
+            ckt.orGate(std::span<const WireId>(glue));
+
+            // WTA inhibition over the bank's spikes.
+            std::vector<WireId> outs = stamp(ckt, wtaCkt, neuronOut);
+            sheet.columnOutputs.insert(sheet.columnOutputs.end(),
+                                       outs.begin(), outs.end());
+            above[c] = outs;
+            left = std::move(outs);
+        }
+        if (r + 1 == rows) {
+            for (WireId o : left)
+                ckt.markOutput(o);
+        }
+    }
+    // Also surface each remaining row's tail when vertical wiring is
+    // off (the rows are then independent chains, each with its own
+    // result volley).
+    if (params.vertDelay == 0 && rows > 1) {
+        for (size_t r = 0; r + 1 < rows; ++r) {
+            for (WireId o : sheet.column(r, cols - 1))
+                ckt.markOutput(o);
+        }
+    }
+    return sheet;
+}
+
+std::vector<Time>
+sheetInputVolley(const Sheet &sheet, uint64_t salt)
+{
+    const size_t n = sheet.circuit.numInputs();
+    std::vector<Time> volley;
+    volley.reserve(n);
+    for (size_t line = 0; line < n; ++line) {
+        const uint64_t d =
+            draw(sheet.params.seed, 0x7011e7, salt, line);
+        if (d % 7 == 0)
+            volley.push_back(INF); // a silent line now and then
+        else
+            volley.push_back(Time((d >> 8) % 8));
+    }
+    return volley;
+}
+
+} // namespace st::grl

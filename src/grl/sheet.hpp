@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cortical-sheet netlist generator: the paper's Fig. 12-16 column
+ * (a bank of SRM0 neurons compiled to GRL plus a WTA inhibition
+ * stage), replicated rows x cols with configurable inter-column delay
+ * wiring. This is the chip-scale workload for the conservative
+ * parallel event engine (parallel_sim.hpp): the paper argues the
+ * neocortex is exactly such a replicated-column fabric, and a few
+ * hundred columns put the netlist into the multi-100k-gate regime the
+ * engine exists for.
+ *
+ * Wiring (all per-line, width = neurons):
+ *
+ *   - Column (r, 0) is fed by the sheet's primary inputs for row r.
+ *   - Column (r, c > 0) is fed by column (r, c-1)'s WTA outputs
+ *     through interDelay-stage shift registers.
+ *   - With vertDelay > 0, column (r > 0, c) additionally receives
+ *     column (r-1, c)'s outputs through vertDelay-stage registers,
+ *     merged per line with an AND gate (min — earliest spike wins).
+ *
+ * Partitioning guarantee: every neuron's first synapse response has a
+ * unit step at t = 0, which compiles to a zero-stage inc — a plain
+ * wire — so each column's incoming link registers are zero-delay-
+ * connected into the column body. Each column is therefore exactly
+ * one zero-delay component (components().count() == rows * cols), and
+ * every cross-column edge crosses a link register: the parallel
+ * engine's lookahead is min(interDelay, vertDelay) by construction.
+ */
+
+#ifndef ST_GRL_SHEET_HPP
+#define ST_GRL_SHEET_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grl/netlist.hpp"
+
+namespace st::grl {
+
+/** Shape and wiring of a cortical sheet. */
+struct SheetParams
+{
+    size_t rows = 2;     //!< column rows (independent unless vertDelay)
+    size_t cols = 2;     //!< columns per row, chained left to right
+    size_t neurons = 4;  //!< SRM0 neurons (= lines) per column
+    size_t synapses = 3; //!< synapse taps per neuron (<= neurons)
+    int32_t threshold = 4;   //!< SRM0 firing threshold theta
+    Time::rep tau = 2;       //!< WTA uninhibited window width
+    uint32_t interDelay = 4; //!< stages on each row-wise column link
+    uint32_t vertDelay = 0;  //!< stages on column-to-column-below
+                             //!< links; 0 = rows fully independent
+    uint64_t seed = 1;       //!< synapse-weight draw seed
+};
+
+/** A generated sheet: the netlist plus its line bookkeeping. */
+struct Sheet
+{
+    Circuit circuit;
+    SheetParams params;
+
+    /** WTA output wires, column-major within a column: entry
+     *  (r * cols + c) * neurons + i is line i of column (r, c). */
+    std::vector<WireId> columnOutputs;
+
+    /** Output lines of column (r, c). */
+    std::span<const WireId>
+    column(size_t r, size_t c) const
+    {
+        return {columnOutputs.data() +
+                    (r * params.cols + c) * params.neurons,
+                params.neurons};
+    }
+};
+
+/**
+ * Build the sheet. The circuit has rows * neurons primary inputs
+ * (row-major) and marks every line of each row's last column as an
+ * output. Throws std::invalid_argument on degenerate parameters
+ * (zero dimensions, synapses > neurons, interDelay < 1).
+ */
+Sheet buildCorticalSheet(const SheetParams &params = {});
+
+/**
+ * A deterministic pseudo-random input volley for a sheet: one time
+ * per primary input, mostly finite in [0, 8), occasionally inf —
+ * the shape the differential tests and the bench feed the engines.
+ */
+std::vector<Time> sheetInputVolley(const Sheet &sheet, uint64_t salt);
+
+} // namespace st::grl
+
+#endif // ST_GRL_SHEET_HPP

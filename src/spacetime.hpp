@@ -53,6 +53,8 @@
 #include "grl/event_sim.hpp"
 #include "grl/logic_sim.hpp"
 #include "grl/netlist.hpp"
+#include "grl/parallel_sim.hpp"
+#include "grl/sheet.hpp"
 #include "grl/vcd.hpp"
 
 #include "racelogic/dijkstra.hpp"

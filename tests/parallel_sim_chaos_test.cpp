@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Long-running differential fuzz for the parallel GRL engine (ctest
+ * label `chaos`, excluded from the tier-1 lane): randomized clustered
+ * netlists and cortical sheets, swept across thread counts, partition
+ * counts and fault specs — gate-delay variation, stuck-at wires —
+ * with the agenda-monotonicity guard armed. Every configuration must
+ * be bit-identical to the serial engine and leave the guard clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "grl/event_sim.hpp"
+#include "grl/parallel_sim.hpp"
+#include "grl/sheet.hpp"
+#include "test_helpers.hpp"
+
+namespace st::grl {
+namespace {
+
+void
+expectSameResult(const SimResult &a, const SimResult &b,
+                 const std::string &context)
+{
+    ASSERT_EQ(a.fallTime, b.fallTime) << context;
+    ASSERT_EQ(a.outputs, b.outputs) << context;
+    ASSERT_EQ(a.gateTransitions, b.gateTransitions) << context;
+    ASSERT_EQ(a.ltOutputTransitions, b.ltOutputTransitions) << context;
+    ASSERT_EQ(a.ltLatchTransitions, b.ltLatchTransitions) << context;
+    ASSERT_EQ(a.flopDataTransitions, b.flopDataTransitions) << context;
+    ASSERT_EQ(a.inputTransitions, b.inputTransitions) << context;
+    ASSERT_EQ(a.fallenLines, b.fallenLines) << context;
+    ASSERT_EQ(a.flopZeroBits, b.flopZeroBits) << context;
+    ASSERT_EQ(a.latchesCaptured, b.latchesCaptured) << context;
+    ASSERT_EQ(a.cyclesSimulated, b.cyclesSimulated) << context;
+}
+
+/** Same construction as the tier-1 suite's clusteredCircuit (kept
+ *  local: chaos builds bigger shapes). */
+Circuit
+clusteredCircuit(Rng &rng, size_t num_inputs, size_t clusters,
+                 size_t gates_per_cluster, uint32_t min_link)
+{
+    Circuit c(num_inputs);
+    std::vector<WireId> pool;
+    for (size_t i = 0; i < num_inputs; ++i)
+        pool.push_back(c.input(i));
+    for (size_t k = 0; k < clusters; ++k) {
+        if (k > 0) {
+            std::vector<WireId> feed;
+            for (size_t f = 0; f < 3; ++f) {
+                feed.push_back(c.delay(
+                    pool[rng.below(pool.size())],
+                    min_link + static_cast<uint32_t>(rng.below(4))));
+            }
+            pool = std::move(feed);
+        }
+        auto local = [&]() { return pool[rng.below(pool.size())]; };
+        for (size_t g = 0; g < gates_per_cluster; ++g) {
+            switch (rng.below(5)) {
+              case 0:
+                pool.push_back(
+                    c.constant(rng.chance(0.3) ? INF
+                                               : Time(rng.below(8))));
+                break;
+              case 1:
+                pool.push_back(c.andGate(local(), local()));
+                break;
+              case 2:
+                pool.push_back(c.orGate(local(), local()));
+                break;
+              case 3:
+                pool.push_back(c.ltCell(local(), local()));
+                break;
+              default:
+                pool.push_back(c.delay(
+                    local(), 1 + static_cast<uint32_t>(rng.below(3))));
+                break;
+            }
+        }
+        c.markOutput(pool.back());
+    }
+    return c;
+}
+
+TEST(ParallelSimChaos, ClusteredSweepAcrossThreadsPartitionsAndFaults)
+{
+    const fault::FaultSpec kSpecs[] = {
+        {},                                         // clean
+        {.seed = 11, .gateDelayJitter = 1},         // mild jitter
+        {.seed = 12, .stuckProb = 0.08},            // broken wires
+        {.seed = 13, .stuckProb = 0.04,
+         .gateDelayJitter = 2},                     // both
+        {.seed = 14, .gateDelayJitter = 9},         // forces fallback
+    };
+    for (uint64_t seed = 0; seed < 12; ++seed) {
+        Rng rng(0xc4a05 + seed);
+        Circuit c = clusteredCircuit(rng, 2 + rng.below(4),
+                                     4 + rng.below(5),
+                                     10 + rng.below(20), 3);
+        for (const fault::FaultSpec &spec : kSpecs) {
+            fault::FaultInjector inj(spec);
+            for (int s = 0; s < 4; ++s) {
+                auto x = testing::randomVolley(rng, c.numInputs(), 12,
+                                               s % 2 == 0 ? 0.3 : 0.1);
+                fault::InjectionScope scope(inj);
+                fault::FaultReport fr;
+                fault::GuardOptions gopts;
+                gopts.flags = fault::kGuardAgendaOrder;
+                fault::GuardScope guard(gopts, &fr);
+                SimResult serial = simulateEvents(c, x);
+                for (size_t parts : {1, 2, 4, 8}) {
+                    for (size_t threads : {1, 2, 4, 8}) {
+                        ParallelSimOptions opts;
+                        opts.partitions = parts;
+                        opts.threads = threads;
+                        expectSameResult(
+                            simulateEventsParallel(c, x, 0, opts),
+                            serial,
+                            "seed=" + std::to_string(seed) +
+                                " jitter=" +
+                                std::to_string(spec.gateDelayJitter) +
+                                " stuck=" +
+                                std::to_string(spec.stuckProb) +
+                                " p=" + std::to_string(parts) +
+                                " t=" + std::to_string(threads));
+                    }
+                }
+                EXPECT_TRUE(fr.clean()) << fr.str();
+            }
+        }
+    }
+}
+
+TEST(ParallelSimChaos, SheetSweepStaysBitIdentical)
+{
+    for (uint64_t variant = 0; variant < 4; ++variant) {
+        SheetParams p;
+        p.rows = 1 + variant % 2;
+        p.cols = 3 + variant;
+        p.neurons = 3 + variant % 3;
+        p.synapses = 2;
+        p.interDelay = 3 + static_cast<uint32_t>(variant);
+        p.vertDelay = variant % 2 == 0 ? 0 : 2;
+        p.seed = 0x5ee7 + variant;
+        Sheet sheet = buildCorticalSheet(p);
+        fault::FaultSpec spec;
+        spec.seed = 31 + variant;
+        spec.gateDelayJitter = 1;
+        fault::FaultInjector inj(spec);
+        for (uint64_t salt = 0; salt < 6; ++salt) {
+            auto x = sheetInputVolley(sheet, salt);
+            fault::InjectionScope scope(inj);
+            fault::FaultReport fr;
+            fault::GuardOptions gopts;
+            gopts.flags = fault::kGuardAgendaOrder;
+            fault::GuardScope guard(gopts, &fr);
+            SimResult serial = simulateEvents(sheet.circuit, x);
+            for (size_t parts : {2, 4, 8}) {
+                for (size_t threads : {2, 8}) {
+                    ParallelSimOptions opts;
+                    opts.partitions = parts;
+                    opts.threads = threads;
+                    ParallelSimReport report;
+                    SimResult par = simulateEventsParallel(
+                        sheet.circuit, x, 0, opts, &report);
+                    expectSameResult(
+                        par, serial,
+                        "variant=" + std::to_string(variant) +
+                            " salt=" + std::to_string(salt) +
+                            " p=" + std::to_string(parts) +
+                            " t=" + std::to_string(threads));
+                    EXPECT_FALSE(report.fellBack);
+                }
+            }
+            EXPECT_TRUE(fr.clean()) << fr.str();
+        }
+    }
+}
+
+} // namespace
+} // namespace st::grl

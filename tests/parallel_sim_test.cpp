@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Tests for the conservative time-window parallel GRL engine: the
+ * zero-delay component cache, the sharpened validate() diagnostics,
+ * serial-fallback behavior, and the differential contract — at every
+ * tested thread and partition count, simulateEventsParallel() must be
+ * bit-identical to simulateEvents() (which the event-engine suite in
+ * turn pins to the clocked engine), with per-partition counter slices
+ * summing exactly to the serial totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+#include "fault/fault.hpp"
+#include "grl/event_sim.hpp"
+#include "grl/parallel_sim.hpp"
+#include "grl/sheet.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace st::grl {
+namespace {
+
+using testing::V;
+using testing::kNo;
+
+void
+expectSameResult(const SimResult &a, const SimResult &b,
+                 const std::string &context)
+{
+    EXPECT_EQ(a.fallTime, b.fallTime) << context;
+    EXPECT_EQ(a.outputs, b.outputs) << context;
+    EXPECT_EQ(a.gateTransitions, b.gateTransitions) << context;
+    EXPECT_EQ(a.ltOutputTransitions, b.ltOutputTransitions) << context;
+    EXPECT_EQ(a.ltLatchTransitions, b.ltLatchTransitions) << context;
+    EXPECT_EQ(a.flopDataTransitions, b.flopDataTransitions) << context;
+    EXPECT_EQ(a.inputTransitions, b.inputTransitions) << context;
+    EXPECT_EQ(a.fallenLines, b.fallenLines) << context;
+    EXPECT_EQ(a.flopZeroBits, b.flopZeroBits) << context;
+    EXPECT_EQ(a.latchesCaptured, b.latchesCaptured) << context;
+    EXPECT_EQ(a.cyclesSimulated, b.cyclesSimulated) << context;
+}
+
+/**
+ * A circuit with a known parallel shape: @p clusters zero-delay blobs
+ * of random And/Or/Lt gates, chained by Delay links of >= @p min_link
+ * stages. Every cross-cluster edge crosses a link register, so the
+ * component count (and hence the usable partition count) is at least
+ * the cluster count and the engine's lookahead is >= min_link.
+ */
+Circuit
+clusteredCircuit(Rng &rng, size_t num_inputs, size_t clusters,
+                 size_t gates_per_cluster, uint32_t min_link)
+{
+    Circuit c(num_inputs);
+    std::vector<WireId> pool; // wires the current cluster may tap
+    for (size_t i = 0; i < num_inputs; ++i)
+        pool.push_back(c.input(i));
+    for (size_t k = 0; k < clusters; ++k) {
+        if (k > 0) {
+            // Fresh feed lines: link registers from the previous
+            // cluster's wires. Their consumers below pull them into
+            // this cluster's zero-delay component.
+            std::vector<WireId> feed;
+            for (size_t f = 0; f < 3; ++f) {
+                feed.push_back(c.delay(
+                    pool[rng.below(pool.size())],
+                    min_link + static_cast<uint32_t>(rng.below(4))));
+            }
+            pool = std::move(feed);
+        }
+        auto local = [&]() { return pool[rng.below(pool.size())]; };
+        for (size_t g = 0; g < gates_per_cluster; ++g) {
+            switch (rng.below(5)) {
+              case 0:
+                pool.push_back(
+                    c.constant(rng.chance(0.3) ? INF
+                                               : Time(rng.below(8))));
+                break;
+              case 1:
+                pool.push_back(c.andGate(local(), local()));
+                break;
+              case 2:
+                pool.push_back(c.orGate(local(), local()));
+                break;
+              case 3:
+                pool.push_back(c.ltCell(local(), local()));
+                break;
+              default:
+                // Intra-cluster register: joins this cluster through
+                // its consumers, or stays a harmless singleton.
+                pool.push_back(c.delay(
+                    local(), 1 + static_cast<uint32_t>(rng.below(3))));
+                break;
+            }
+        }
+        c.markOutput(pool.back());
+    }
+    return c;
+}
+
+#if ST_OBS_ENABLED
+uint64_t
+counterValue(const char *name)
+{
+    for (const auto &c :
+         obs::MetricsRegistry::instance().snapshot().counters) {
+        if (c.name == name)
+            return c.value;
+    }
+    return 0;
+}
+#endif
+
+// ------------------------------------------------- zero-delay components
+
+TEST(CircuitComponents, DelayJoinsItsConsumersComponent)
+{
+    // in0 -> delay(2) -> and(d, in1): the register joins the component
+    // of its consumer, and its fanin edge is the only cut.
+    Circuit c(2);
+    WireId d = c.delay(c.input(0), 2);
+    WireId a = c.andGate(d, c.input(1));
+    c.markOutput(a);
+    const CircuitComponents &comps = c.components();
+    ASSERT_EQ(comps.count(), 2u);
+    EXPECT_EQ(comps.componentOf[c.input(0)], 0u);
+    EXPECT_EQ(comps.componentOf[d], comps.componentOf[a]);
+    EXPECT_EQ(comps.componentOf[c.input(1)], comps.componentOf[a]);
+    EXPECT_NE(comps.componentOf[c.input(0)], comps.componentOf[a]);
+    EXPECT_EQ(comps.sizeOf[0] + comps.sizeOf[1], c.size());
+}
+
+TEST(CircuitComponents, ZeroStageDelayIsZeroDelayGlue)
+{
+    // A stages == 0 register is a wire: it must NOT split components.
+    Circuit c(1);
+    WireId w = c.delay(c.input(0), 0);
+    c.markOutput(c.andGate(w, c.input(0)));
+    EXPECT_EQ(c.components().count(), 1u);
+}
+
+TEST(CircuitComponents, LabelingIsDeterministicAndDense)
+{
+    Rng rng(0xc0117);
+    Circuit c = clusteredCircuit(rng, 3, 5, 10, 2);
+    const CircuitComponents &comps = c.components();
+    EXPECT_GE(comps.count(), 5u);
+    uint64_t total = 0;
+    for (uint32_t s : comps.sizeOf)
+        total += s;
+    EXPECT_EQ(total, c.size());
+    // Dense ids in first-appearance order: component k's first gate
+    // precedes component k+1's first gate.
+    uint32_t seen = 0;
+    for (size_t g = 0; g < c.size(); ++g) {
+        EXPECT_LE(comps.componentOf[g], seen);
+        seen = std::max(seen, comps.componentOf[g] + 1);
+    }
+    Circuit copy = c; // cold caches must rebuild identically
+    EXPECT_EQ(copy.components().componentOf, comps.componentOf);
+}
+
+// ------------------------------------------------ validate() diagnostics
+
+TEST(CircuitValidate, ZeroStageDelayOnFeedbackEdgeNamesTheFix)
+{
+    // A zero-stage register closing a feedback loop has nonpositive
+    // delay — it cannot break the loop, and it could never carry a
+    // cross-partition edge. The diagnostic must say so specifically.
+    Circuit c(1);
+    c.addGateUnchecked(
+        Gate{GateKind::Delay, {2}, 0, INF}); // forward ref, stages 0
+    c.addGateUnchecked(Gate{GateKind::And, {0, 1}, 0, INF});
+    Status status = c.validate();
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("nonpositive"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("stages must be >= 1"),
+              std::string::npos)
+        << status.message();
+}
+
+TEST(CircuitValidate, ZeroStageDelayForwardReferenceNamesTheFix)
+{
+    Circuit c(1);
+    c.addGateUnchecked(Gate{GateKind::Delay, {2}, 0, INF});
+    c.addGateUnchecked(Gate{GateKind::Or, {0}, 0, INF});
+    Status status = c.validate();
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("nonpositive"), std::string::npos)
+        << status.message();
+}
+
+TEST(CircuitValidate, PositiveStageFeedbackStillAllowed)
+{
+    // The sharpened message must not outlaw legal feedback through a
+    // register with stages >= 1.
+    Circuit c(1);
+    WireId d = c.addGateUnchecked(Gate{GateKind::Delay, {2}, 3, INF});
+    c.addGateUnchecked(Gate{GateKind::And, {0, d}, 0, INF});
+    EXPECT_TRUE(c.validate().isOk());
+}
+
+// --------------------------------------------------------- serial fallback
+
+TEST(ParallelSim, SinglePartitionFallsBackToSerial)
+{
+    Circuit c(2);
+    c.markOutput(c.andGate(c.input(0), c.input(1)));
+#if ST_OBS_ENABLED
+    const uint64_t before = counterValue("grl.par.fallback");
+#endif
+    ParallelSimReport report;
+    ParallelSimOptions opts;
+    opts.partitions = 4; // clamped to 1 component
+    SimResult par = simulateEventsParallel(c, V({3, 5}), 0, opts,
+                                           &report);
+    expectSameResult(par, simulateEvents(c, V({3, 5})), "fallback");
+    EXPECT_TRUE(report.fellBack);
+    EXPECT_EQ(report.partitions, 1u);
+    ASSERT_EQ(report.perPartition.size(), 1u);
+    EXPECT_EQ(report.perPartition[0].gates, c.size());
+#if ST_OBS_ENABLED
+    EXPECT_EQ(counterValue("grl.par.fallback"), before + 1);
+#endif
+}
+
+TEST(ParallelSim, HeavyDelayJitterErasesLookaheadAndFallsBack)
+{
+    // gateDelayJitter as large as the narrowest cut register can pull
+    // the effective cut delay to zero: the conservative window
+    // invariant dies, so the engine must fall back — and still match
+    // the serial engine under the same injector.
+    Rng rng(0xfa11);
+    Circuit c = clusteredCircuit(rng, 3, 4, 8, 2);
+    auto x = testing::randomVolley(rng, 3, 9);
+    fault::FaultSpec spec;
+    spec.seed = 7;
+    spec.gateDelayJitter = 6; // >= every link register's stages
+    fault::FaultInjector inj(spec);
+    fault::InjectionScope scope(inj);
+    ParallelSimReport report;
+    ParallelSimOptions opts;
+    opts.partitions = 4;
+    SimResult par = simulateEventsParallel(c, x, 0, opts, &report);
+    expectSameResult(par, simulateEvents(c, x), "jitter-fallback");
+    EXPECT_TRUE(report.fellBack);
+}
+
+TEST(ParallelSim, RejectsArityMismatch)
+{
+    Circuit c(2);
+    c.markOutput(c.input(0));
+    EXPECT_THROW(simulateEventsParallel(c, V({1})),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------- differential contract
+
+TEST(ParallelSim, ClusteredCircuitsMatchSerialAtEveryShape)
+{
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        Rng rng(0xd1ff + seed);
+        Circuit c = clusteredCircuit(rng, 2 + rng.below(3),
+                                     3 + rng.below(4),
+                                     8 + rng.below(8), 2);
+        for (int s = 0; s < 6; ++s) {
+            auto x = testing::randomVolley(rng, c.numInputs(), 10,
+                                           s % 3 == 0 ? 0.4 : 0.15);
+            SimResult serial = simulateEvents(c, x);
+            for (size_t parts : {1, 2, 4, 8}) {
+                for (size_t threads : {1, 2, 4, 8}) {
+                    ParallelSimOptions opts;
+                    opts.partitions = parts;
+                    opts.threads = threads;
+                    expectSameResult(
+                        simulateEventsParallel(c, x, 0, opts), serial,
+                        "seed=" + std::to_string(seed) +
+                            " p=" + std::to_string(parts) +
+                            " t=" + std::to_string(threads) + " " +
+                            volleyStr(x));
+                }
+            }
+        }
+    }
+}
+
+TEST(ParallelSim, ExplicitHorizonClipsIdentically)
+{
+    Rng rng(0xc11f);
+    Circuit c = clusteredCircuit(rng, 2, 4, 8, 2);
+    auto x = testing::randomVolley(rng, 2, 8);
+    for (Time::rep h : {1, 3, 7, 15, 40}) {
+        ParallelSimOptions opts;
+        opts.partitions = 4;
+        expectSameResult(simulateEventsParallel(c, x, h, opts),
+                         simulateEvents(c, x, h),
+                         "h=" + std::to_string(h));
+    }
+}
+
+TEST(ParallelSim, FaultInjectionAndGuardsStayBitIdentical)
+{
+    // Same injector, same draws: the parallel engine must reproduce
+    // the serial engine's perturbed run exactly, and the per-partition
+    // agenda-monotonicity guard must stay clean (time never moves
+    // backwards inside any partition).
+    Rng rng(0xfa57);
+    Circuit c = clusteredCircuit(rng, 3, 4, 10, 3);
+    fault::FaultSpec spec;
+    spec.seed = 21;
+    spec.gateDelayJitter = 1; // < min_link: lookahead survives
+    spec.stuckProb = 0.05;
+    fault::FaultInjector inj(spec);
+    for (int s = 0; s < 8; ++s) {
+        auto x = testing::randomVolley(rng, 3, 9, 0.2);
+        fault::InjectionScope scope(inj);
+        fault::FaultReport fr;
+        fault::GuardOptions gopts;
+        gopts.flags = fault::kGuardAgendaOrder;
+        fault::GuardScope guard(gopts, &fr);
+        SimResult serial = simulateEvents(c, x);
+        for (size_t parts : {2, 4}) {
+            ParallelSimOptions opts;
+            opts.partitions = parts;
+            opts.threads = 4;
+            ParallelSimReport report;
+            SimResult par =
+                simulateEventsParallel(c, x, 0, opts, &report);
+            expectSameResult(par, serial,
+                             "p=" + std::to_string(parts) + " " +
+                                 volleyStr(x));
+            EXPECT_FALSE(report.fellBack);
+        }
+        EXPECT_TRUE(fr.clean()) << fr.str();
+    }
+}
+
+// ------------------------------------------------------- cortical sheet
+
+TEST(CorticalSheet, EveryColumnIsOneComponent)
+{
+    SheetParams p;
+    p.rows = 2;
+    p.cols = 3;
+    p.neurons = 3;
+    p.synapses = 2;
+    p.vertDelay = 2;
+    Sheet sheet = buildCorticalSheet(p);
+    EXPECT_TRUE(sheet.circuit.validate().isOk());
+    // The structural guarantee the partitioner leans on: link
+    // registers fuse into the consuming column, so components ==
+    // columns and every cut edge crosses a link register.
+    EXPECT_EQ(sheet.circuit.components().count(), p.rows * p.cols);
+    EXPECT_EQ(sheet.circuit.numInputs(), p.rows * p.neurons);
+    EXPECT_EQ(sheet.columnOutputs.size(),
+              p.rows * p.cols * p.neurons);
+}
+
+TEST(CorticalSheet, RejectsDegenerateParams)
+{
+    SheetParams p;
+    p.interDelay = 0;
+    EXPECT_THROW(buildCorticalSheet(p), std::invalid_argument);
+    SheetParams q;
+    q.synapses = 9;
+    q.neurons = 4;
+    EXPECT_THROW(buildCorticalSheet(q), std::invalid_argument);
+}
+
+TEST(ParallelSim, SheetMatchesSerialAndClockedEngines)
+{
+    SheetParams p;
+    p.rows = 2;
+    p.cols = 3;
+    p.neurons = 3;
+    p.synapses = 2;
+    p.vertDelay = 3;
+    Sheet sheet = buildCorticalSheet(p);
+    for (uint64_t salt = 0; salt < 4; ++salt) {
+        auto x = sheetInputVolley(sheet, salt);
+        SimResult serial = simulateEvents(sheet.circuit, x);
+        // Three-way: the clocked engine is the ground truth oracle.
+        expectSameResult(serial, simulate(sheet.circuit, x),
+                         "clocked salt=" + std::to_string(salt));
+        for (size_t parts : {2, 3, 6}) {
+            ParallelSimOptions opts;
+            opts.partitions = parts;
+            opts.threads = 4;
+            ParallelSimReport report;
+            SimResult par = simulateEventsParallel(sheet.circuit, x, 0,
+                                                   opts, &report);
+            expectSameResult(par, serial,
+                             "salt=" + std::to_string(salt) +
+                                 " p=" + std::to_string(parts));
+            EXPECT_FALSE(report.fellBack);
+            EXPECT_EQ(report.lookahead,
+                      std::min<Time::rep>(p.interDelay, p.vertDelay));
+        }
+    }
+}
+
+// ------------------------------------------- chip-scale energy accounting
+
+TEST(ParallelSim, PartitionSlicesSumExactlyToSerialTotals)
+{
+    SheetParams p;
+    p.rows = 1;
+    p.cols = 4;
+    p.neurons = 3;
+    p.synapses = 3;
+    Sheet sheet = buildCorticalSheet(p);
+    auto x = sheetInputVolley(sheet, 99);
+    SimResult serial = simulateEvents(sheet.circuit, x);
+    ParallelSimOptions opts;
+    opts.partitions = 4;
+    opts.threads = 4;
+    ParallelSimReport report;
+    SimResult par =
+        simulateEventsParallel(sheet.circuit, x, 0, opts, &report);
+    expectSameResult(par, serial, "sum-check");
+    ASSERT_EQ(report.perPartition.size(), 4u);
+
+    uint64_t gates = 0, stages = 0;
+    SimResult sum;
+    for (const PartitionStats &ps : report.perPartition) {
+        gates += ps.gates;
+        stages += ps.stages;
+        sum.gateTransitions += ps.counts.gateTransitions;
+        sum.ltOutputTransitions += ps.counts.ltOutputTransitions;
+        sum.ltLatchTransitions += ps.counts.ltLatchTransitions;
+        sum.flopDataTransitions += ps.counts.flopDataTransitions;
+        sum.inputTransitions += ps.counts.inputTransitions;
+        sum.fallenLines += ps.counts.fallenLines;
+        sum.flopZeroBits += ps.counts.flopZeroBits;
+        sum.latchesCaptured += ps.counts.latchesCaptured;
+        EXPECT_EQ(ps.counts.cyclesSimulated, serial.cyclesSimulated);
+    }
+    EXPECT_EQ(gates, sheet.circuit.size());
+    EXPECT_EQ(stages, sheet.circuit.totalStages());
+    EXPECT_EQ(sum.gateTransitions, serial.gateTransitions);
+    EXPECT_EQ(sum.ltOutputTransitions, serial.ltOutputTransitions);
+    EXPECT_EQ(sum.ltLatchTransitions, serial.ltLatchTransitions);
+    EXPECT_EQ(sum.flopDataTransitions, serial.flopDataTransitions);
+    EXPECT_EQ(sum.inputTransitions, serial.inputTransitions);
+    EXPECT_EQ(sum.fallenLines, serial.fallenLines);
+    EXPECT_EQ(sum.flopZeroBits, serial.flopZeroBits);
+    EXPECT_EQ(sum.latchesCaptured, serial.latchesCaptured);
+}
+
+TEST(ParallelSim, ChipEnergyMatchesWholeCircuitEstimate)
+{
+    SheetParams p;
+    p.rows = 1;
+    p.cols = 3;
+    p.neurons = 3;
+    p.synapses = 2;
+    Sheet sheet = buildCorticalSheet(p);
+    auto x = sheetInputVolley(sheet, 3);
+    ParallelSimOptions opts;
+    opts.partitions = 3;
+    ParallelSimReport report;
+    SimResult par =
+        simulateEventsParallel(sheet.circuit, x, 0, opts, &report);
+    EnergyReport whole = estimateEnergy(sheet.circuit, par);
+    ChipEnergyReport chip = chipEnergy(report);
+    ASSERT_EQ(chip.perPartition.size(), 3u);
+    EXPECT_DOUBLE_EQ(chip.total.combinational, whole.combinational);
+    EXPECT_DOUBLE_EQ(chip.total.ltCells, whole.ltCells);
+    EXPECT_DOUBLE_EQ(chip.total.flopData, whole.flopData);
+    EXPECT_DOUBLE_EQ(chip.total.clock, whole.clock);
+    EXPECT_DOUBLE_EQ(chip.total.inputs, whole.inputs);
+    EXPECT_DOUBLE_EQ(chip.total.total, whole.total);
+    double part_total = 0;
+    for (const EnergyReport &e : chip.perPartition)
+        part_total += e.total;
+    EXPECT_DOUBLE_EQ(part_total, chip.total.total);
+}
+
+} // namespace
+} // namespace st::grl

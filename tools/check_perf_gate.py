@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""CI perf gate for the parallel batch engine.
+"""CI perf gate for the parallel engines.
 
-Reads a bench_parallel --json report and the committed baseline
-(BENCH_parallel.json at the repo root) and fails the build when the
-measured multi-thread speedup falls below the committed floor, or when
-any thread count failed the bit-identity check.
+Reads one or more (bench --json report, committed baseline) pairs --
+repeat --report/--baseline to gate several benches in one invocation,
+e.g. BENCH_parallel.json for the pipelined batch engine and
+BENCH_grl.json for the conservative-parallel GRL event engine -- and
+fails the build when a measured multi-thread speedup falls below the
+committed floor, or when any thread count failed the bit-identity
+check. The bench name the records are filed under comes from the
+baseline's "bench" field.
 
 The floor is core-count aware: a hosted runner with 4 cores cannot
 show a 4x speedup at 8 threads, so the required speedup for a gate at
@@ -34,53 +38,49 @@ def load(path):
         sys.exit(2)
 
 
-def series_value(report, config, metric):
+def series_value(report, bench, config, metric):
     for p in report.get("series", []):
-        if (p.get("bench") == "parallel" and p.get("config") == config
+        if (p.get("bench") == bench and p.get("config") == config
                 and p.get("metric") == metric):
             return p["value"]
     return None
 
 
-def speedup_at(report, threads):
+def speedup_at(report, bench, threads):
     cfg = f"threads={threads}"
     for r in report.get("results", []):
-        if r.get("bench") == "parallel" and r.get("config") == cfg:
+        if r.get("bench") == bench and r.get("config") == cfg:
             return r["speedup"]
     return None
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--report", required=True,
-                    help="bench_parallel --json output")
-    ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_parallel.json floor")
-    ap.add_argument("--allow-smoke", action="store_true",
-                    help="accept a --smoke report (local debugging only)")
-    args = ap.parse_args()
+def check_pair(report_path, baseline_path, allow_smoke):
+    """Gate one (report, baseline) pair; returns a list of failures."""
+    report = load(report_path)
+    base = load(baseline_path)
+    bench = base.get("bench", "parallel")
 
-    report = load(args.report)
-    base = load(args.baseline)
-
-    if report.get("smoke") and not args.allow_smoke:
-        print("perf-gate: report was produced with --smoke; the gate "
-              "needs a full-size run", file=sys.stderr)
+    if report.get("smoke") and not allow_smoke:
+        print(f"perf-gate: {report_path} was produced with --smoke; "
+              f"the gate needs a full-size run", file=sys.stderr)
         sys.exit(2)
 
     failures = []
 
-    identical = series_value(report, "machine", "identical")
+    identical = series_value(report, bench, "machine", "identical")
     if identical is None:
-        failures.append("report has no parallel/machine/identical series "
-                        "(bench too old?)")
+        failures.append(f"{bench}: report has no machine/identical "
+                        f"series (bench too old?)")
     elif identical != 1.0:
-        failures.append("bit-identity check failed at some thread count "
-                        "(identical != 1) -- determinism regression")
+        failures.append(f"{bench}: bit-identity check failed at some "
+                        f"thread count (identical != 1) -- determinism "
+                        f"regression")
 
-    cores = series_value(report, "machine", "hardware_concurrency")
+    cores = series_value(report, bench, "machine",
+                         "hardware_concurrency")
     if cores is None:
-        failures.append("report has no hardware_concurrency series")
+        failures.append(f"{bench}: report has no hardware_concurrency "
+                        f"series")
         cores = 0
     cores = int(cores)
 
@@ -88,27 +88,54 @@ def main():
     derate = float(base.get("core_derate", 0.75))
 
     if cores < min_cores:
-        print(f"perf-gate: machine has {cores} core(s) < min_cores "
-              f"{min_cores}; scaling gate SKIPPED (identity still "
-              f"checked)")
-    else:
-        for gate in base.get("gates", []):
-            threads = int(gate["threads"])
-            floor = float(gate["speedup_floor"])
-            usable = min(threads, cores)
-            required = min(floor, derate * usable)
-            measured = speedup_at(report, threads)
-            if measured is None:
-                failures.append(f"threads={threads}: no speedup in report")
-                continue
-            verdict = "ok" if measured >= required else "FAIL"
-            print(f"perf-gate: threads={threads} speedup {measured:.2f}x "
-                  f"(required {required:.2f}x = min({floor}, {derate} * "
-                  f"{usable} usable cores of {cores})) .. {verdict}")
-            if measured < required:
-                failures.append(
-                    f"threads={threads}: speedup {measured:.2f}x below "
-                    f"required {required:.2f}x")
+        print(f"perf-gate: [{bench}] machine has {cores} core(s) < "
+              f"min_cores {min_cores}; scaling gate SKIPPED (identity "
+              f"still checked)")
+        return failures
+
+    for gate in base.get("gates", []):
+        threads = int(gate["threads"])
+        floor = float(gate["speedup_floor"])
+        usable = min(threads, cores)
+        required = min(floor, derate * usable)
+        measured = speedup_at(report, bench, threads)
+        if measured is None:
+            failures.append(f"{bench}: threads={threads}: no speedup "
+                            f"in report")
+            continue
+        verdict = "ok" if measured >= required else "FAIL"
+        print(f"perf-gate: [{bench}] threads={threads} speedup "
+              f"{measured:.2f}x (required {required:.2f}x = "
+              f"min({floor}, {derate} * {usable} usable cores of "
+              f"{cores})) .. {verdict}")
+        if measured < required:
+            failures.append(
+                f"{bench}: threads={threads}: speedup {measured:.2f}x "
+                f"below required {required:.2f}x")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", required=True, action="append",
+                    help="bench --json output (repeatable; pairs up "
+                         "with --baseline in order)")
+    ap.add_argument("--baseline", required=True, action="append",
+                    help="committed floor JSON (repeatable)")
+    ap.add_argument("--allow-smoke", action="store_true",
+                    help="accept a --smoke report (local debugging only)")
+    args = ap.parse_args()
+
+    if len(args.report) != len(args.baseline):
+        print(f"perf-gate: {len(args.report)} --report vs "
+              f"{len(args.baseline)} --baseline; they pair up in "
+              f"order", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for report_path, baseline_path in zip(args.report, args.baseline):
+        failures += check_pair(report_path, baseline_path,
+                               args.allow_smoke)
 
     if failures:
         for f in failures:
