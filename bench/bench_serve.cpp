@@ -22,6 +22,7 @@
 #include <chrono>
 #include <thread>
 
+#include "serve/latency.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "tnn/tnn_network.hpp"
@@ -146,6 +147,8 @@ printTables()
         sessionCounts = {1, 2};
     AsciiTable t({"sessions", "seconds", "volleys/sec", "delivered"});
     double base_secs = 0;
+    LatencySnapshot lt;
+    bool haveLat = false;
     for (size_t nsessions : sessionCounts) {
         ServeConfig config;
         config.window = window;
@@ -181,6 +184,11 @@ printTables()
         for (auto &d : drivers)
             d.join();
         const double secs = sw.seconds();
+        // Latency decomposition of every delivered volley (the same
+        // block healthJson() serves), captured before the drain so
+        // the numbers are the run's, then recorded into the JSON
+        // report.
+        const LatencySnapshot lat = server.latencySnapshot();
         server.requestStop();
         server.waitDrained();
 
@@ -194,11 +202,46 @@ printTables()
         bench::record("serve",
                       "sessions=" + std::to_string(nsessions), vps,
                       base_secs / secs);
+        if (nsessions == sessionCounts.back()) {
+            lt = lat;
+            haveLat = true;
+        }
+        for (size_t stage = 0; stage < kStageCount; ++stage) {
+            const std::string cfg =
+                "sessions=" + std::to_string(nsessions);
+            const std::string name = stageName(stage);
+            bench::recordValue("serve_latency", cfg,
+                               name + "_p50_us",
+                               lat.stages[stage].percentile(0.50));
+            bench::recordValue("serve_latency", cfg,
+                               name + "_p99_us",
+                               lat.stages[stage].percentile(0.99));
+        }
     }
     t.writeTo(std::cout);
     std::cout << "shape check: volleys/sec grows with sessions until "
                  "the pool saturates; delivered must equal "
                  "sessions x " << volleysPer << " (no silent loss).\n\n";
+
+    if (haveLat) {
+        std::cout << "E7a' | per-stage latency (us, "
+                  << sessionCounts.back() << " sessions)\n";
+        AsciiTable lt_table(
+            {"stage", "count", "p50", "p90", "p99", "p99.9"});
+        bool monotone = true;
+        for (size_t stage = 0; stage < kStageCount; ++stage) {
+            const StageHist &h = lt.stages[stage];
+            lt_table.row(stageName(stage), h.count,
+                         h.percentile(0.50), h.percentile(0.90),
+                         h.percentile(0.99), h.percentile(0.999));
+            monotone = monotone &&
+                       h.percentile(0.50) <= h.percentile(0.99);
+        }
+        lt_table.writeTo(std::cout);
+        std::cout << "shape check: p50 <= p99 per stage ("
+                  << (monotone ? "ok" : "VIOLATED")
+                  << "); counts are 0 when ST_OBS_ENABLED=OFF.\n\n";
+    }
 
     std::cout << "E7b | overload degradation accounting "
                  "(5ms/batch model, ingress=4, deadline=1ms)\n";

@@ -185,6 +185,65 @@ makeStimulus(const Options &opt, size_t session_index)
     return stream;
 }
 
+/**
+ * Structural JSON re-indenter for --health: walks the text tracking
+ * string state and nesting depth — no parse, so any server-side
+ * schema growth keeps printing.
+ */
+std::string
+prettyJson(const std::string &json)
+{
+    std::string out;
+    out.reserve(json.size() * 2);
+    int depth = 0;
+    bool in_string = false;
+    const auto newline = [&] {
+        out += '\n';
+        out.append(static_cast<size_t>(depth) * 2, ' ');
+    };
+    for (size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_string) {
+            out += c;
+            if (c == '\\' && i + 1 < json.size())
+                out += json[++i];
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_string = true;
+            out += c;
+            break;
+          case '{':
+          case '[':
+            out += c;
+            ++depth;
+            newline();
+            break;
+          case '}':
+          case ']':
+            --depth;
+            newline();
+            out += c;
+            break;
+          case ',':
+            out += c;
+            newline();
+            break;
+          case ':':
+            out += ": ";
+            break;
+          default:
+            if (c != ' ' && c != '\t' && c != '\n')
+                out += c;
+            break;
+        }
+    }
+    return out;
+}
+
 struct SessionResult
 {
     bool ok = false;
@@ -336,7 +395,7 @@ main(int argc, char **argv)
         std::string line;
         while (in.next(line)) {
             if (line.rfind("health ", 0) == 0) {
-                std::cout << line.substr(7) << "\n";
+                std::cout << prettyJson(line.substr(7)) << "\n";
                 close(fd);
                 return 0;
             }

@@ -27,11 +27,14 @@
 #include <sstream>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
 #include "tnn/tnn_io.hpp"
 #include "util/parse.hpp"
+#include "util/version.hpp"
 
 using namespace st;
 using namespace st::serve;
@@ -161,6 +164,15 @@ main(int argc, char **argv)
     StreamServer::installSignalHandlers(&server);
     server.start();
 
+    // ST_METRICS_EXPORT=path[,interval_ms]: periodic Prometheus text
+    // snapshots (atomic tmp+rename) for scrapers; ST_FLIGHT=path arms
+    // the flight-recorder dump the incident paths (and the drain
+    // below) write.
+    std::unique_ptr<obs::MetricsExporter> exporter =
+        obs::MetricsExporter::fromEnv();
+    if (exporter)
+        exporter->start();
+
     bool clean = true;
     if (pipe) {
         runPipeSession(server, stdin, stdout);
@@ -178,7 +190,10 @@ main(int argc, char **argv)
         }
     }
 
-    std::cerr << "stnet_serve: drained "
+    if (exporter)
+        exporter->stop(); // final publish with the drained totals
+    obs::FlightRecorder::instance().dump();
+    std::cerr << "stnet_serve " << kVersionString << ": drained "
               << (clean ? "cleanly" : "with force-closed sessions")
               << "\n"
               << server.healthJson() << std::endl;

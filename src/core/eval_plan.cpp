@@ -451,6 +451,24 @@ cpuHasAvx512()
 
 } // namespace
 
+const char *
+evalSimdBodyName()
+{
+#if defined(__aarch64__)
+    return "neon";
+#else
+#ifdef ST_EVAL_PLAN_SIMD
+#ifdef ST_EVAL_PLAN_SIMD512
+    if (cpuHasAvx512())
+        return "avx512";
+#endif
+    if (cpuHasAvx2())
+        return "avx2";
+#endif
+    return "scalar";
+#endif // __aarch64__
+}
+
 void
 EvalProgram::runBlock(std::span<const Node> nodes,
                       std::span<const std::vector<Time>> batch,

@@ -123,6 +123,13 @@ struct EvalProgram
 /** Block width evaluateBatch feeds to EvalProgram::runBlock. */
 inline constexpr size_t kEvalBlockLanes = 8;
 
+/**
+ * The SIMD body runBlock dispatches full blocks to on this machine:
+ * "avx512", "avx2", "neon" or "scalar". Health snapshots report it so
+ * an operator can tell which executor a deployment actually runs.
+ */
+const char *evalSimdBodyName();
+
 /** A network's compiled evaluation plan (built by Network::compile). */
 struct EvalPlan
 {

@@ -1,0 +1,153 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+
+namespace st::obs {
+
+MetricsExporter::MetricsExporter(std::string path,
+                                 uint64_t interval_ms)
+    : path_(std::move(path)),
+      intervalMs_(interval_ms < kMinIntervalMs ? kMinIntervalMs
+                                               : interval_ms)
+{
+}
+
+MetricsExporter::~MetricsExporter()
+{
+    stop();
+}
+
+std::unique_ptr<MetricsExporter>
+MetricsExporter::fromEnv()
+{
+    // Raw getenv on purpose: st_obs sits below st_util, so the
+    // envString/envUint helpers are not linkable from here (see
+    // trace.cpp for the same boundary).
+    const char *env = std::getenv("ST_METRICS_EXPORT");
+    if (env == nullptr)
+        return nullptr;
+    std::string spec(env);
+    if (spec.empty()) {
+        std::cerr << "st: ignoring ST_METRICS_EXPORT='' (empty "
+                     "value); export stays off\n";
+        MetricsRegistry::instance()
+            .counter("env.parse_rejected")
+            .add(1);
+        return nullptr;
+    }
+    std::string path = spec;
+    uint64_t interval = kDefaultIntervalMs;
+    // `path,interval_ms`: the interval is the suffix after the LAST
+    // comma iff it is all digits, so comma-bearing paths still work.
+    const size_t comma = spec.rfind(',');
+    if (comma != std::string::npos && comma + 1 < spec.size()) {
+        const std::string tail = spec.substr(comma + 1);
+        bool digits = true;
+        for (char c : tail)
+            digits = digits &&
+                     std::isdigit(static_cast<unsigned char>(c));
+        if (digits && tail.size() <= 9) {
+            path = spec.substr(0, comma);
+            interval = std::strtoull(tail.c_str(), nullptr, 10);
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "st: ignoring ST_METRICS_EXPORT='" << spec
+                  << "' (empty path); export stays off\n";
+        MetricsRegistry::instance()
+            .counter("env.parse_rejected")
+            .add(1);
+        return nullptr;
+    }
+    return std::make_unique<MetricsExporter>(std::move(path),
+                                             interval);
+}
+
+void
+MetricsExporter::start()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (running_)
+        return;
+    stopping_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+MetricsExporter::stop()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (!running_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        running_ = false;
+    }
+    // Final publish so the artifact reflects the complete run even
+    // when the last interval tick never fired.
+    writeOnce();
+}
+
+bool
+MetricsExporter::writeOnce()
+{
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            std::cerr << "obs: cannot write metrics export " << tmp
+                      << "\n";
+            MetricsRegistry::instance()
+                .counter("metrics.export_failed")
+                .add(1);
+            return false;
+        }
+        MetricsRegistry::instance().snapshot().writeProm(out);
+        out.flush();
+        if (!out) {
+            MetricsRegistry::instance()
+                .counter("metrics.export_failed")
+                .add(1);
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::cerr << "obs: cannot rename metrics export to " << path_
+                  << "\n";
+        MetricsRegistry::instance()
+            .counter("metrics.export_failed")
+            .add(1);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    MetricsRegistry::instance().counter("metrics.exported").add(1);
+    return true;
+}
+
+void
+MetricsExporter::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        lock.unlock();
+        writeOnce();
+        lock.lock();
+        cv_.wait_for(lock, std::chrono::milliseconds(intervalMs_),
+                     [this] { return stopping_; });
+    }
+}
+
+} // namespace st::obs

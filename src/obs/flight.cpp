@@ -1,0 +1,154 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/log.hpp"     // logNowMs: shared steady-clock domain
+#include "obs/metrics.hpp" // detail::jsonEscape
+
+namespace st::obs {
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    // Immortal for the same reason as MetricsRegistry::instance():
+    // signal/atexit paths may still dump during static destruction.
+    static FlightRecorder *rec = [] {
+        auto *r = new FlightRecorder;
+        const char *env = std::getenv("ST_FLIGHT");
+        if (env != nullptr && *env != '\0')
+            r->setDumpPath(env);
+        return r;
+    }();
+    return *rec;
+}
+
+void
+FlightRecorder::record(const char *kind, uint64_t a, uint64_t b,
+                       std::string detail)
+{
+    Event event{logNowMs(), kind, a, b, std::move(detail)};
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (ring_.size() < kRingCap) {
+        ring_.push_back(std::move(event));
+    } else {
+        ring_[head_] = std::move(event);
+        head_ = (head_ + 1) % kRingCap;
+        ++dropped_;
+    }
+}
+
+void
+FlightRecorder::setDumpPath(std::string path)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    path_ = std::move(path);
+}
+
+std::string
+FlightRecorder::dumpPath() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return path_;
+}
+
+void
+FlightRecorder::writeJson(std::ostream &out) const
+{
+    // Copy under the lock first so serialization cannot stall
+    // recorders (same discipline as TraceSession::writeJson).
+    std::vector<Event> events;
+    uint64_t dropped;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        dropped = dropped_;
+        events.reserve(ring_.size());
+        for (size_t i = 0; i < ring_.size(); ++i)
+            events.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    out << "{\"dropped\": " << dropped << ", \"events\": [\n";
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        out << (i ? ",\n" : "") << "  {\"ts_ms\": " << e.tsMs
+            << ", \"kind\": \"" << detail::jsonEscape(e.kind)
+            << "\", \"a\": " << e.a << ", \"b\": " << e.b
+            << ", \"detail\": \"" << detail::jsonEscape(e.detail)
+            << "\"}";
+    }
+    out << "\n]}\n";
+}
+
+std::string
+FlightRecorder::toJson() const
+{
+    std::ostringstream out;
+    writeJson(out);
+    return out.str();
+}
+
+bool
+FlightRecorder::dump()
+{
+    const std::string path = dumpPath();
+    if (path.empty())
+        return false;
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            std::cerr << "obs: cannot write flight recorder dump "
+                      << tmp << "\n";
+            MetricsRegistry::instance()
+                .counter("flight.dump_failed")
+                .add(1);
+            return false;
+        }
+        writeJson(out);
+        out.flush();
+        if (!out) {
+            MetricsRegistry::instance()
+                .counter("flight.dump_failed")
+                .add(1);
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::cerr << "obs: cannot rename flight recorder dump to "
+                  << path << "\n";
+        MetricsRegistry::instance()
+            .counter("flight.dump_failed")
+            .add(1);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+size_t
+FlightRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return ring_.size();
+}
+
+uint64_t
+FlightRecorder::droppedEvents() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return dropped_;
+}
+
+void
+FlightRecorder::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace st::obs

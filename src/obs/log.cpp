@@ -1,0 +1,123 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+
+namespace st::obs {
+
+namespace {
+
+std::atomic<int> g_log_fd{STDERR_FILENO};
+
+LogLevel
+parseLevel(const char *s, LogLevel fallback)
+{
+    if (s == nullptr || *s == '\0')
+        return fallback;
+    if (std::strcmp(s, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(s, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(s, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(s, "error") == 0)
+        return LogLevel::Error;
+    if (std::strcmp(s, "off") == 0)
+        return LogLevel::Off;
+    // Unknown spelling: keep logging rather than going dark.
+    return fallback;
+}
+
+std::atomic<LogLevel> g_threshold{
+    parseLevel(std::getenv("ST_LOG"), LogLevel::Info)};
+
+} // namespace
+
+const char *
+logLevelName(LogLevel lv)
+{
+    switch (lv) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Off:
+        return "off";
+    }
+    return "info";
+}
+
+LogLevel
+logThreshold()
+{
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
+void
+setLogThreshold(LogLevel lv)
+{
+    g_threshold.store(lv, std::memory_order_relaxed);
+}
+
+void
+setLogFd(int fd)
+{
+    g_log_fd.store(fd, std::memory_order_relaxed);
+}
+
+uint64_t
+logNowMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+logWrite(LogLevel lv, const char *site, std::string_view msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 64);
+    line += "ts_ms=";
+    line += std::to_string(logNowMs());
+    line += " level=";
+    line += logLevelName(lv);
+    line += " site=";
+    line += site;
+    line += " msg=\"";
+    for (char c : msg) {
+        if (c == '"' || c == '\\')
+            line += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            c = ' ';
+        line += c;
+    }
+    line += "\"\n";
+    // One write(2) for the whole line: POSIX keeps small pipe/file
+    // writes atomic enough that concurrent loggers never interleave
+    // mid-record. A short write (signal, full pipe) loses the tail
+    // of this one record; retrying would reopen the interleaving
+    // window, so we don't.
+    [[maybe_unused]] ssize_t n =
+        write(g_log_fd.load(std::memory_order_relaxed), line.data(),
+              line.size());
+}
+
+void
+logDropTick()
+{
+    MetricsRegistry::instance().counter("logged.dropped").add(1);
+}
+
+} // namespace st::obs

@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <array>
 #include <cassert>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -24,7 +26,76 @@ jsonEscape(std::string_view s)
     return out;
 }
 
+std::string
+promMangle(std::string_view name)
+{
+    std::string out = "st_";
+    out.reserve(name.size() + 3);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
 } // namespace detail
+
+namespace {
+
+/** Inclusive upper bound of power-of-two bucket @p k. */
+uint64_t
+bucketUpper(uint32_t k)
+{
+    if (k == 0)
+        return 0;
+    if (k >= 64)
+        return UINT64_MAX;
+    return (uint64_t{1} << k) - 1;
+}
+
+} // namespace
+
+double
+bucketQuantile(std::span<const uint64_t> buckets, double q)
+{
+    uint64_t total = 0;
+    for (uint64_t b : buckets)
+        total += b;
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Nearest-rank with interpolation: the target is the rank-th
+    // sample (1-based) in sorted order.
+    double rank = q * static_cast<double>(total);
+    if (rank < 1.0)
+        rank = 1.0;
+    double cum = 0.0;
+    for (size_t k = 0; k < buckets.size(); ++k) {
+        if (buckets[k] == 0)
+            continue;
+        const double next = cum + static_cast<double>(buckets[k]);
+        if (rank <= next) {
+            if (k == 0)
+                return 0.0; // bucket 0 holds only v == 0
+            // Interpolate linearly across the bucket's value range
+            // [2^(k-1), 2^k) by the fraction of the bucket's samples
+            // below the target rank.
+            const double lo = std::ldexp(1.0, static_cast<int>(k) - 1);
+            const double hi = std::ldexp(1.0, static_cast<int>(k));
+            const double frac =
+                (rank - cum) / static_cast<double>(buckets[k]);
+            return lo + frac * (hi - lo);
+        }
+        cum = next;
+    }
+    // Unreachable when total > 0; keep a sane answer for safety.
+    return std::ldexp(1.0, static_cast<int>(buckets.size()));
+}
 
 MetricsRegistry &
 MetricsRegistry::instance()
@@ -175,6 +246,12 @@ MetricsRegistry::metricCount() const
     return metrics_.size();
 }
 
+double
+MetricsSnapshot::Hist::percentile(double q) const
+{
+    return bucketQuantile(buckets, q);
+}
+
 void
 MetricsSnapshot::writeJson(std::ostream &out) const
 {
@@ -199,7 +276,12 @@ MetricsSnapshot::writeJson(std::ostream &out) const
         const Hist &h = histograms[i];
         out << (i ? ", " : "") << "\""
             << detail::jsonEscape(h.name) << "\": {\"count\": "
-            << h.count << ", \"sum\": " << h.sum << ", \"buckets\": [";
+            << h.count << ", \"sum\": " << h.sum
+            << ", \"p50\": " << h.percentile(0.50)
+            << ", \"p90\": " << h.percentile(0.90)
+            << ", \"p99\": " << h.percentile(0.99)
+            << ", \"p999\": " << h.percentile(0.999)
+            << ", \"buckets\": [";
         for (size_t b = 0; b < h.buckets.size(); ++b)
             out << (b ? ", " : "") << h.buckets[b];
         out << "]}";
@@ -212,6 +294,59 @@ MetricsSnapshot::toJson() const
 {
     std::ostringstream out;
     writeJson(out);
+    return out.str();
+}
+
+void
+MetricsSnapshot::writeProm(std::ostream &out) const
+{
+    for (const Scalar &c : counters) {
+        const std::string m = detail::promMangle(c.name);
+        out << "# HELP " << m << "_total counter " << c.name << "\n";
+        out << "# TYPE " << m << "_total counter\n";
+        out << m << "_total " << c.value << "\n";
+    }
+    for (const Scalar &g : gauges) {
+        const std::string m = detail::promMangle(g.name);
+        out << "# HELP " << m << " gauge " << g.name << "\n";
+        out << "# TYPE " << m << " gauge\n";
+        out << m << " " << g.value << "\n";
+    }
+    for (const Hist &h : histograms) {
+        const std::string m = detail::promMangle(h.name);
+        out << "# HELP " << m << " histogram " << h.name << "\n";
+        out << "# TYPE " << m << " histogram\n";
+        uint64_t cum = 0;
+        for (size_t k = 0; k < h.buckets.size(); ++k) {
+            cum += h.buckets[k];
+            out << m << "_bucket{le=\""
+                << bucketUpper(static_cast<uint32_t>(k)) << "\"} "
+                << cum << "\n";
+        }
+        out << m << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        out << m << "_sum " << h.sum << "\n";
+        out << m << "_count " << h.count << "\n";
+        // Quantile estimates as companion gauges: scrapers that only
+        // speak flat series still get the tail without re-deriving
+        // the power-of-two interpolation.
+        static constexpr std::array<std::pair<const char *, double>, 4>
+            kQuantiles = {{{"p50", 0.50},
+                           {"p90", 0.90},
+                           {"p99", 0.99},
+                           {"p999", 0.999}}};
+        for (const auto &[suffix, q] : kQuantiles) {
+            out << "# TYPE " << m << "_" << suffix << " gauge\n";
+            out << m << "_" << suffix << " " << h.percentile(q)
+                << "\n";
+        }
+    }
+}
+
+std::string
+MetricsSnapshot::toProm() const
+{
+    std::ostringstream out;
+    writeProm(out);
     return out.str();
 }
 

@@ -41,6 +41,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -54,6 +55,25 @@ namespace detail {
 
 /** Minimal JSON string escape shared by metrics and trace export. */
 std::string jsonEscape(std::string_view s);
+
+/**
+ * Mangle a dotted metric name into a Prometheus-legal series name:
+ * every character outside [a-zA-Z0-9_] becomes '_' and the result is
+ * prefixed "st_" (which also guards against a leading digit).
+ */
+std::string promMangle(std::string_view name);
+
+} // namespace detail
+
+/**
+ * Quantile estimate over power-of-two histogram buckets (bucket 0
+ * holds v == 0, bucket k holds [2^(k-1), 2^k)): find the bucket the
+ * rank-th sample falls in and interpolate linearly inside it. @p q is
+ * clamped to [0, 1]; an empty histogram yields 0.
+ */
+double bucketQuantile(std::span<const uint64_t> buckets, double q);
+
+namespace detail {
 
 /**
  * Registry lifetime ids. The per-thread shard cache keys on this id,
@@ -195,6 +215,9 @@ struct MetricsSnapshot
         uint64_t sum = 0;
         /** Bucket counts, trailing zero buckets trimmed. */
         std::vector<uint64_t> buckets;
+
+        /** Quantile estimate (see bucketQuantile). */
+        double percentile(double q) const;
     };
 
     std::vector<Scalar> counters;
@@ -210,6 +233,17 @@ struct MetricsSnapshot
      */
     void writeJson(std::ostream &out) const;
     std::string toJson() const;
+
+    /**
+     * Serialize in the Prometheus text exposition format (version
+     * 0.0.4): counters as `st_<name>_total`, gauges as `st_<name>`,
+     * histograms as cumulative `st_<name>_bucket{le="..."}` series
+     * plus `_sum`/`_count` and p50/p90/p99/p999 gauge estimates. Each
+     * family carries HELP/TYPE lines naming the original dotted
+     * metric.
+     */
+    void writeProm(std::ostream &out) const;
+    std::string toProm() const;
 };
 
 /**

@@ -39,6 +39,8 @@ ServeConfig::fromEnv()
         envUint("ST_SERVE_MAX_GAP_WINDOWS", cfg.maxGapWindows, 0,
                 1u << 20);
     cfg.nthreads = envUint("ST_SERVE_THREADS", cfg.nthreads, 0, 65536);
+    cfg.healthTopK =
+        envUint("ST_SERVE_HEALTH_TOPK", cfg.healthTopK, 0, 4096);
     return cfg;
 }
 

@@ -71,12 +71,16 @@ struct ServeConfig
     /** Thread lanes handed to the model batch call (0 = default). */
     uint64_t nthreads = 0;
 
+    /** Per-session latency detail in healthJson() covers the top-K
+     *  sessions by delivered volleys (bounds the snapshot size). */
+    uint64_t healthTopK = 8;
+
     /**
      * Defaults overridden by the ST_SERVE_* environment: WINDOW,
      * MAX_SESSIONS, INGRESS, EGRESS, BATCH_MAX, DEADLINE_MS,
      * DEADLINE_MAX_MS, IDLE_TIMEOUT_MS, DRAIN_MS, WATCHDOG_MS,
      * RETRY_AFTER_MS, RETRY_AFTER_MAX_MS, OFFENDER_DECAY_MS,
-     * MAX_GAP_WINDOWS, THREADS.
+     * MAX_GAP_WINDOWS, THREADS, HEALTH_TOPK.
      */
     static ServeConfig fromEnv();
 };

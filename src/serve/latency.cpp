@@ -1,0 +1,72 @@
+#include "serve/latency.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+namespace st::serve {
+
+namespace {
+
+constexpr std::array<const char *, kStageCount> kStageNames = {
+    "queue", "batch", "model", "egress", "total"};
+
+/** b - a, clamped at 0 for defensive symmetry. */
+uint64_t
+sub(uint64_t b, uint64_t a)
+{
+    return b > a ? b - a : 0;
+}
+
+} // namespace
+
+uint64_t
+steadyNowUs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+const char *
+stageName(size_t stage)
+{
+    return stage < kStageCount ? kStageNames[stage] : "?";
+}
+
+std::array<uint64_t, kStageCount>
+stageDeltas(const VolleyStamps &s)
+{
+    return {sub(s.admitUs, s.ingressUs),
+            sub(s.modelEnterUs, s.admitUs),
+            sub(s.modelExitUs, s.modelEnterUs),
+            sub(s.egressUs, s.modelExitUs),
+            sub(s.egressUs, s.ingressUs)};
+}
+
+void
+LatencySnapshot::writeJson(std::ostream &out) const
+{
+    out << "{";
+    for (size_t i = 0; i < kStageCount; ++i) {
+        const StageHist &h = stages[i];
+        out << (i ? "," : "") << "\"" << stageName(i)
+            << "\":{\"count\":" << h.count
+            << ",\"p50\":" << h.percentile(0.50)
+            << ",\"p90\":" << h.percentile(0.90)
+            << ",\"p99\":" << h.percentile(0.99)
+            << ",\"p999\":" << h.percentile(0.999) << "}";
+    }
+    out << "}";
+}
+
+std::string
+LatencySnapshot::toJson() const
+{
+    std::ostringstream out;
+    writeJson(out);
+    return out.str();
+}
+
+} // namespace st::serve

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-volley latency decomposition for the serving layer
+ * (DESIGN.md Sec. 13).
+ *
+ * Every delivered volley is stamped on the steady clock (microsecond
+ * resolution, same domain as steadyNowMs()) at five points of its
+ * journey, defining four stage deltas plus the total:
+ *
+ *   ingress  — parse/frame complete, volley queued on the ingress ring
+ *   admit    — the batcher popped it into a batch
+ *   m-enter  — the model call containing it began
+ *   m-exit   — that model call returned
+ *   egress   — the result line was queued on the egress ring
+ *
+ *   queue  = admit  - ingress   (ingress ring + batcher pickup)
+ *   batch  = enter  - admit     (batch assembly + chaos perturbation)
+ *   model  = exit   - enter     (inference proper)
+ *   egress = egress - exit      (demux + result formatting)
+ *   total  = egress - ingress
+ *
+ * Deltas land in fixed-size power-of-two histograms (same bucketing as
+ * obs::Histogram, same log-linear percentile estimator), kept per
+ * session and server-wide; healthJson() reports p50/p90/p99/p99.9 for
+ * each. Only *delivered* volleys are recorded — drops are visible
+ * through their own counters, not mixed into latency tails.
+ *
+ * The stamping sites compile out under ST_OBS_ENABLED=0 (the
+ * kLatencyEnabled branches are constant-false); the snapshot plumbing
+ * always compiles, so the health schema is stable across both builds
+ * (counts are simply zero).
+ */
+
+#ifndef ST_SERVE_LATENCY_HPP
+#define ST_SERVE_LATENCY_HPP
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace st::serve {
+
+/** Whether per-volley stamping is compiled in. */
+inline constexpr bool kLatencyEnabled = ST_OBS_ENABLED != 0;
+
+/** Microseconds on the steady clock (finer cousin of steadyNowMs). */
+uint64_t steadyNowUs();
+
+/** The five steady-clock stamps of one volley's journey. */
+struct VolleyStamps
+{
+    uint64_t ingressUs = 0;
+    uint64_t admitUs = 0;
+    uint64_t modelEnterUs = 0;
+    uint64_t modelExitUs = 0;
+    uint64_t egressUs = 0;
+};
+
+/** Stage deltas derived from the stamps (see file comment). */
+inline constexpr size_t kStageCount = 5;
+
+/** Stage name for index 0..kStageCount-1. */
+const char *stageName(size_t stage);
+
+/**
+ * The per-stage deltas of @p s, in stageName order. Saturating: a
+ * stamp pair whose clock reads ran backwards (never expected on one
+ * steady clock, but cheap to guard) yields 0.
+ */
+std::array<uint64_t, kStageCount> stageDeltas(const VolleyStamps &s);
+
+/** One stage's fixed-size power-of-two histogram. */
+struct StageHist
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, obs::Histogram::kBuckets> buckets{};
+
+    void
+    record(uint64_t v)
+    {
+        ++count;
+        sum += v;
+        ++buckets[obs::Histogram::bucketOf(v)];
+    }
+
+    double
+    percentile(double q) const
+    {
+        return obs::bucketQuantile(buckets, q);
+    }
+};
+
+/** Aggregated stage histograms (a copy, safe to serialize lock-free). */
+struct LatencySnapshot
+{
+    std::array<StageHist, kStageCount> stages;
+
+    /**
+     * `{"queue": {"count": N, "p50": ..., "p90": ..., "p99": ...,
+     * "p999": ...}, "batch": {...}, ...}` in stageName order.
+     */
+    void writeJson(std::ostream &out) const;
+    std::string toJson() const;
+};
+
+/** Thread-safe accumulator; one per session plus one per server. */
+class LatencyRecorder
+{
+  public:
+    void
+    record(const VolleyStamps &stamps)
+    {
+        const std::array<uint64_t, kStageCount> d =
+            stageDeltas(stamps);
+        std::lock_guard<std::mutex> guard(mutex_);
+        for (size_t i = 0; i < kStageCount; ++i)
+            agg_.stages[i].record(d[i]);
+    }
+
+    LatencySnapshot
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return agg_;
+    }
+
+    uint64_t
+    recorded() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return agg_.stages[0].count;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    LatencySnapshot agg_;
+};
+
+} // namespace st::serve
+
+#endif // ST_SERVE_LATENCY_HPP

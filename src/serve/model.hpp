@@ -37,6 +37,9 @@ struct BatchItem
     uint64_t session = 0;
     uint64_t seq = 0;
     Volley volley;
+    /** Latency stamps carried along (0 when ST_OBS_ENABLED=0). */
+    uint64_t ingressUs = 0;
+    uint64_t admitUs = 0;
 };
 
 /** Wire payload encoding of a volley: "t0 t1 inf t3 ...". */

@@ -19,6 +19,7 @@
 #ifndef ST_SERVE_RING_HPP
 #define ST_SERVE_RING_HPP
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -47,8 +48,7 @@ template <typename T> class BoundedRing
             if (closed_ || items_.size() >= capacity_)
                 return false;
             items_.push_back(std::move(item));
-            if (items_.size() > highWater_)
-                highWater_ = items_.size();
+            raiseHighWater(items_.size());
         }
         notEmpty_.notify_one();
         return true;
@@ -71,8 +71,7 @@ template <typename T> class BoundedRing
         if (closed_)
             return false;
         items_.push_back(std::move(item));
-        if (items_.size() > highWater_)
-            highWater_ = items_.size();
+        raiseHighWater(items_.size());
         lock.unlock();
         notEmpty_.notify_one();
         return true;
@@ -131,15 +130,28 @@ template <typename T> class BoundedRing
 
     size_t capacity() const { return capacity_; }
 
-    /** Deepest occupancy ever observed (for health snapshots). */
+    /**
+     * Deepest occupancy ever observed (for health snapshots). An
+     * atomic so health/metrics readers never contend with (or race
+     * against) the push paths — a snapshot poll must not perturb the
+     * queues it is measuring.
+     */
     size_t
     highWater() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return highWater_;
+        return highWater_.load(std::memory_order_relaxed);
     }
 
   private:
+    /** Called with mutex_ held; pushes are serialized, so a plain
+     *  store (no CAS max loop) cannot go backwards. */
+    void
+    raiseHighWater(size_t depth)
+    {
+        if (depth > highWater_.load(std::memory_order_relaxed))
+            highWater_.store(depth, std::memory_order_relaxed);
+    }
+
     std::optional<T>
     popLocked(std::unique_lock<std::mutex> &lock)
     {
@@ -155,7 +167,7 @@ template <typename T> class BoundedRing
     std::condition_variable notEmpty_;
     std::condition_variable notFull_;
     std::deque<T> items_;
-    size_t highWater_ = 0;
+    std::atomic<size_t> highWater_{0};
     bool closed_ = false;
 };
 

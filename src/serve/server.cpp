@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
-#include <cstdio>
 #include <sstream>
 
+#include "core/eval_plan.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/obs.hpp"
+#include "util/version.hpp"
 
 namespace st::serve {
 
@@ -106,6 +109,9 @@ StreamServer::openSession(const std::string &client_key)
         ST_OBS_GAUGE_SET("serve.sessions.active", sessions_.size());
     }
     ST_OBS_ADD("serve.sessions.opened", 1);
+    obs::FlightRecorder::instance().record("session.open",
+                                           session->id(), 0,
+                                           client_key);
     result.session = std::move(session);
     return result;
 }
@@ -125,6 +131,7 @@ StreamServer::requestStop()
         return;
     drainStartedMs_ = steadyNowMs();
     ST_OBS_ADD("serve.drain.requested", 1);
+    obs::FlightRecorder::instance().record("drain.request", 0, 0);
     notifyWork();
 }
 
@@ -151,8 +158,14 @@ StreamServer::waitDrained(uint64_t timeout_ms)
                 leftover.push_back(s);
         }
         const uint64_t now = steadyNowMs();
+        ST_LOG_WARN("serve.drain",
+                    "drain deadline exceeded; force-closing " +
+                        std::to_string(leftover.size()) +
+                        " session(s)");
         for (auto &s : leftover) {
             ST_OBS_ADD("serve.drain.forced", 1);
+            obs::FlightRecorder::instance().record("drain.forced",
+                                                   s->id(), 0);
             s->forceClose("drain deadline exceeded", now);
         }
         notifyWork();
@@ -169,7 +182,11 @@ StreamServer::waitDrained(uint64_t timeout_ms)
     if (reaper_.joinable())
         reaper_.join();
     running_.store(false, std::memory_order_release);
-    return drainedCleanly_.load(std::memory_order_acquire) != 0;
+    const bool clean =
+        drainedCleanly_.load(std::memory_order_acquire) != 0;
+    obs::FlightRecorder::instance().record("drain.done", clean ? 1 : 0,
+                                           0);
+    return clean;
 }
 
 bool
@@ -237,6 +254,9 @@ StreamServer::sweepSessions(uint64_t now_ms)
             if (erased) {
                 model_->endSession(s->id());
                 ST_OBS_ADD("serve.sessions.closed", 1);
+                obs::FlightRecorder::instance().record(
+                    "session.close", s->id(),
+                    s->stats().volleysOut);
             }
         }
     }
@@ -258,12 +278,35 @@ StreamServer::runBatch(
     batchStartMs_.store(now_ms, std::memory_order_release);
     ST_OBS_ADD("serve.batches", 1);
     ST_OBS_HIST("serve.batch.size", items.size());
+    // Latency stamping: the model enter/exit stamps are taken around
+    // the model call that actually carried the volley — shared by the
+    // whole batch on the transactional fast path, per item on the
+    // stateful / retry paths — and the egress stamp right before its
+    // deliver(): once a client observes a volley line, its
+    // decomposition is already in the histograms.
+    const auto finishOne = [&](size_t i, VolleyStamps stamps) {
+        if constexpr (kLatencyEnabled) {
+            stamps.ingressUs = items[i].ingressUs;
+            stamps.admitUs = items[i].admitUs;
+            stamps.egressUs = steadyNowUs();
+            recordVolleyLatency(*targets[i], stamps);
+        } else {
+            (void)i;
+            (void)stamps;
+        }
+    };
     // One item per model call; a throw poisons exactly that volley.
     const auto processOne = [&](size_t i) {
+        VolleyStamps stamps;
         try {
+            if constexpr (kLatencyEnabled)
+                stamps.modelEnterUs = steadyNowUs();
             const std::vector<std::string> one =
                 model_->processBatch({&items[i], 1},
                                      config_.nthreads);
+            if constexpr (kLatencyEnabled)
+                stamps.modelExitUs = steadyNowUs();
+            finishOne(i, stamps);
             targets[i]->deliver(items[i].seq,
                                 one.empty() ? "" : one[0],
                                 steadyNowMs());
@@ -282,9 +325,14 @@ StreamServer::runBatch(
             processOne(i);
     } else {
         bool batch_ok = true;
+        VolleyStamps stamps;
         std::vector<std::string> payloads;
         try {
+            if constexpr (kLatencyEnabled)
+                stamps.modelEnterUs = steadyNowUs();
             payloads = model_->processBatch(items, config_.nthreads);
+            if constexpr (kLatencyEnabled)
+                stamps.modelExitUs = steadyNowUs();
             if (payloads.size() != items.size())
                 throw StatusError(Status(
                     StatusCode::Internal,
@@ -295,15 +343,20 @@ StreamServer::runBatch(
         } catch (const std::exception &e) {
             batch_ok = false;
             ST_OBS_ADD("serve.batch.panic", 1);
-            std::fprintf(stderr,
-                         "stserve: batch of %zu poisoned (%s); "
-                         "retrying item-by-item\n",
-                         items.size(), e.what());
+            obs::FlightRecorder::instance().record(
+                "batch.panic", items.size(), 0, e.what());
+            ST_LOG_WARN("serve.batch",
+                        "batch of " + std::to_string(items.size()) +
+                            " poisoned (" + e.what() +
+                            "); retrying item-by-item");
+            obs::FlightRecorder::instance().dump();
         }
         if (batch_ok) {
-            for (size_t i = 0; i < items.size(); ++i)
+            for (size_t i = 0; i < items.size(); ++i) {
+                finishOne(i, stamps);
                 targets[i]->deliver(items[i].seq, payloads[i],
                                     steadyNowMs());
+            }
         } else {
             // Panic isolation: a transactional model left no state
             // behind, so the item-by-item retry loses only the
@@ -375,6 +428,10 @@ StreamServer::batcherLoop()
                 item.session = s->id();
                 item.seq = p->seq;
                 item.volley = std::move(p->volley);
+                if constexpr (kLatencyEnabled) {
+                    item.ingressUs = p->ingressUs;
+                    item.admitUs = steadyNowUs();
+                }
                 items.push_back(std::move(item));
             }
         }
@@ -399,10 +456,15 @@ StreamServer::watchdogLoop()
             !watchdogTripped_.exchange(true,
                                        std::memory_order_acq_rel)) {
             ST_OBS_ADD("serve.watchdog.stalls", 1);
-            std::fprintf(stderr,
-                         "stserve: watchdog: batch in flight for "
-                         "%llu ms (readiness false)\n",
-                         static_cast<unsigned long long>(now - start));
+            obs::FlightRecorder::instance().record("watchdog.trip",
+                                                   now - start, 0);
+            ST_LOG_ERROR("serve.watchdog",
+                         "batch in flight for " +
+                             std::to_string(now - start) +
+                             " ms (readiness false)");
+            // A stalled batch is exactly the incident the recorder
+            // exists for: dump the timeline while it is fresh.
+            obs::FlightRecorder::instance().dump();
         }
     }
 }
@@ -431,6 +493,13 @@ StreamServer::reaperLoop()
             if (!s->inputDone() && last != 0 && now > last &&
                 now - last > config_.idleTimeoutMs) {
                 ST_OBS_ADD("serve.sessions.idle_reaped", 1);
+                obs::FlightRecorder::instance().record(
+                    "session.idle_reap", s->id(), now - last);
+                ST_LOG_INFO("serve.reaper",
+                            "session " + std::to_string(s->id()) +
+                                " idle for " +
+                                std::to_string(now - last) +
+                                " ms; force-closing");
                 s->forceClose("idle timeout", now);
             }
         }
@@ -451,6 +520,23 @@ StreamServer::reaperLoop()
     }
 }
 
+void
+StreamServer::recordVolleyLatency(Session &session,
+                                  const VolleyStamps &stamps)
+{
+    session.recordLatency(stamps);
+    latency_.record(stamps);
+    // Server-wide stage histograms also land in the global registry
+    // so the Prometheus export carries the same decomposition.
+    [[maybe_unused]] const std::array<uint64_t, kStageCount> d =
+        stageDeltas(stamps);
+    ST_OBS_HIST("serve.latency.queue_us", d[0]);
+    ST_OBS_HIST("serve.latency.batch_us", d[1]);
+    ST_OBS_HIST("serve.latency.model_us", d[2]);
+    ST_OBS_HIST("serve.latency.egress_us", d[3]);
+    ST_OBS_HIST("serve.latency.total_us", d[4]);
+}
+
 std::string
 StreamServer::healthJson() const
 {
@@ -459,10 +545,41 @@ StreamServer::healthJson() const
         state = draining_.load(std::memory_order_acquire)
                     ? "draining"
                     : "running";
+
+    // Per-session detail is bounded: the top healthTopK sessions by
+    // delivered volleys, so a busy server's health line stays small.
+    std::vector<std::shared_ptr<Session>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        snapshot.reserve(sessions_.size());
+        for (const auto &[id, s] : sessions_)
+            snapshot.push_back(s);
+    }
+    size_t ingress_hw = 0;
+    size_t egress_hw = 0;
+    std::vector<std::pair<uint64_t, std::shared_ptr<Session>>> ranked;
+    ranked.reserve(snapshot.size());
+    for (const auto &s : snapshot) {
+        ingress_hw = std::max(ingress_hw, s->ingressHighWater());
+        egress_hw = std::max(egress_hw, s->egressHighWater());
+        ranked.emplace_back(s->stats().volleysOut, s);
+    }
+    const size_t top_k = std::min<size_t>(
+        ranked.size(), static_cast<size_t>(config_.healthTopK));
+    std::partial_sort(ranked.begin(), ranked.begin() + top_k,
+                      ranked.end(),
+                      [](const auto &a, const auto &b) {
+                          if (a.first != b.first)
+                              return a.first > b.first;
+                          return a.second->id() < b.second->id();
+                      });
+
     std::ostringstream os;
     os << "{\"server\":{";
     os << "\"state\":\"" << state << "\",";
     os << "\"ready\":" << (ready() ? "true" : "false") << ",";
+    os << "\"version\":\"" << kVersionString << "\",";
+    os << "\"simd\":\"" << evalSimdBodyName() << "\",";
     os << "\"model\":\"" << model_->name() << "\",";
     os << "\"inputs\":" << model_->numInputs() << ",";
     os << "\"sessions_active\":" << activeSessions() << ",";
@@ -473,8 +590,23 @@ StreamServer::healthJson() const
                ? "true"
                : "false")
        << ",";
+    os << "\"rings\":{\"ingress_highwater\":" << ingress_hw
+       << ",\"egress_highwater\":" << egress_hw << "},";
     os << "\"uptime_ms\":" << (steadyNowMs() - startedAtMs_);
-    os << "},\"metrics\":";
+    os << "},\"latency\":{\"unit\":\"us\",\"stages\":";
+    latency_.snapshot().writeJson(os);
+    os << ",\"sessions\":{";
+    for (size_t i = 0; i < top_k; ++i) {
+        const std::shared_ptr<Session> &s = ranked[i].second;
+        os << (i ? "," : "") << "\"" << s->id()
+           << "\":{\"volleys\":" << ranked[i].first
+           << ",\"ingress_hw\":" << s->ingressHighWater()
+           << ",\"egress_hw\":" << s->egressHighWater()
+           << ",\"stages\":";
+        s->latencySnapshot().writeJson(os);
+        os << "}";
+    }
+    os << "}},\"metrics\":";
     os << obs::MetricsRegistry::instance().snapshot().toJson();
     os << "}";
     return os.str();

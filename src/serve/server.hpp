@@ -49,6 +49,7 @@
 #include "fault/fault.hpp"
 #include "serve/admission.hpp"
 #include "serve/config.hpp"
+#include "serve/latency.hpp"
 #include "serve/model.hpp"
 #include "serve/session.hpp"
 
@@ -111,8 +112,19 @@ class StreamServer
     /** Readiness: running, not draining, watchdog not tripped. */
     bool ready() const;
 
-    /** Health snapshot: server block + full obs metrics registry. */
+    /**
+     * Health snapshot: server block (state, build/version, SIMD body,
+     * ring high-watermarks) + per-stage/per-session latency
+     * percentiles + the full obs metrics registry.
+     */
     std::string healthJson() const;
+
+    /** Server-wide latency decomposition (all delivered volleys). */
+    LatencySnapshot
+    latencySnapshot() const
+    {
+        return latency_.snapshot();
+    }
 
     /**
      * Enable chaos mode: every batched volley is perturbed through a
@@ -138,6 +150,8 @@ class StreamServer
     void runBatch(std::vector<std::shared_ptr<Session>> &targets,
                   std::vector<BatchItem> &items, uint64_t now_ms);
     void sweepSessions(uint64_t now_ms);
+    void recordVolleyLatency(Session &session,
+                             const VolleyStamps &stamps);
 
     ServeConfig config_;
     std::unique_ptr<ServeModel> model_;
@@ -161,6 +175,7 @@ class StreamServer
     uint64_t drainStartedMs_ = 0;
 
     std::unique_ptr<fault::FaultInjector> chaos_;
+    LatencyRecorder latency_;
 
     std::thread batcher_;
     std::thread watchdog_;

@@ -4,6 +4,7 @@
 #include <array>
 #include <limits>
 
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "util/parse.hpp"
 
@@ -139,6 +140,8 @@ Session::quarantine(Status status, uint64_t now_ms)
         state_ = SessionState::Quarantined;
     }
     ST_OBS_ADD("serve.sessions.quarantined", 1);
+    obs::FlightRecorder::instance().record("session.quarantine", id_,
+                                           0, status.message());
     emit("err " + status.toString(), now_ms, /*may_block=*/true);
     if (onWork_)
         onWork_();
@@ -156,6 +159,8 @@ Session::submitVolley(Volley volley, uint64_t now_ms, bool may_block)
         p.seq = nextSeq_++;
         p.enqueuedMs = now_ms;
     }
+    if constexpr (kLatencyEnabled)
+        p.ingressUs = steadyNowUs();
     p.volley = std::move(volley);
     const uint64_t seq = p.seq;
 
@@ -183,6 +188,8 @@ Session::submitVolley(Volley volley, uint64_t now_ms, bool may_block)
         // the batcher's drain sweep): shed the *newest* volley
         // (reject-new before degrade-old) with full accounting.
         ST_OBS_ADD("serve.shed.volleys", 1);
+        obs::FlightRecorder::instance().record("volley.drop", id_,
+                                               seq, "shed");
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.dropsShed;
@@ -563,6 +570,8 @@ Session::dropVolley(uint64_t seq, const char *why, uint64_t now_ms)
         ST_OBS_ADD("serve.deadline_missed.volleys", 1);
     else
         ST_OBS_ADD("serve.volleys.dropped_poisoned", 1);
+    obs::FlightRecorder::instance().record("volley.drop", id_, seq,
+                                           why);
     emit("drop " + std::to_string(seq) + " " + why, now_ms,
          /*may_block=*/false);
 }
@@ -621,6 +630,8 @@ Session::forceClose(const char *why, uint64_t now_ms)
         lastActivityMs_ = now_ms;
     }
     ST_OBS_ADD("serve.sessions.force_closed", 1);
+    obs::FlightRecorder::instance().record("session.force_close",
+                                           id_, 0, why);
     const Status status(StatusCode::DataLoss, why);
     // The egress ring is typically full here (a stalled consumer is
     // the usual reason for a force-close), so the terminal line rides

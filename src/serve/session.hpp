@@ -50,6 +50,7 @@
 
 #include "fault/status.hpp"
 #include "serve/config.hpp"
+#include "serve/latency.hpp"
 #include "serve/ring.hpp"
 #include "tnn/volley.hpp"
 
@@ -87,6 +88,7 @@ class Session
         uint64_t seq = 0;
         Volley volley;
         uint64_t enqueuedMs = 0;
+        uint64_t ingressUs = 0; //!< latency stamp (0 when obs off)
     };
 
     /**
@@ -163,6 +165,25 @@ class Session
     /** The per-connection deadline (config default or client's). */
     uint64_t deadlineMs() const;
 
+    // --- observability ---------------------------------------------
+    /** Record one delivered volley's stage deltas (batcher only). */
+    void
+    recordLatency(const VolleyStamps &stamps)
+    {
+        latency_.record(stamps);
+    }
+
+    /** Per-session latency decomposition (health snapshots). */
+    LatencySnapshot
+    latencySnapshot() const
+    {
+        return latency_.snapshot();
+    }
+
+    /** Ring high-watermarks (lock-free; health snapshots). */
+    size_t ingressHighWater() const { return ingress_.highWater(); }
+    size_t egressHighWater() const { return egress_.highWater(); }
+
   private:
     void quarantine(Status status, uint64_t now_ms);
     void sealWindow(uint64_t now_ms);
@@ -181,6 +202,7 @@ class Session
 
     BoundedRing<Pending> ingress_;
     BoundedRing<std::string> egress_;
+    LatencyRecorder latency_;
 
     /**
      * Serializes every seal-and-submit path (handleEvent, flush,

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Build/version string for health snapshots and report artifacts.
+ *
+ * The value comes from the CMake project() version via the ST_VERSION
+ * compile definition (set PUBLIC on st_obs, so every target agrees);
+ * the "dev" fallback keeps ad-hoc compiles (IDE single-TU builds)
+ * linking.
+ */
+
+#ifndef ST_UTIL_VERSION_HPP
+#define ST_UTIL_VERSION_HPP
+
+namespace st {
+
+#ifndef ST_VERSION
+#define ST_VERSION "dev"
+#endif
+
+inline constexpr const char *kVersionString = ST_VERSION;
+
+} // namespace st
+
+#endif // ST_UTIL_VERSION_HPP

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""CI validator for the ST_METRICS_EXPORT Prometheus snapshot file.
+
+Reads the text-exposition file the MetricsExporter publishes (atomic
+tmp+rename, so a scrape never sees a torn file) and checks:
+
+  - every non-comment line parses as `name[{labels}] value`;
+  - every required series family (--require, repeatable) is present;
+  - every histogram family is internally consistent: `le` bucket
+    values cumulative and nondecreasing, `+Inf` bucket == `_count`;
+  - with --scrapes N > 1, the file is re-read every --interval-s and
+    counters (`_total` series) never move backwards -- the contract a
+    real scraper's rate() depends on.
+
+Exit codes: 0 pass, 1 validation failure, 2 unreadable/malformed file.
+"""
+
+import argparse
+import math
+import re
+import sys
+import time
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LE_RE = re.compile(r'le="([^"]+)"')
+
+
+def parse_exposition(path):
+    """Return {series_name: [(labels, value)]} preserving file order."""
+    series = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"metrics-export: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    for n, line in enumerate(lines, 1):
+        if not line or line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            print(f"metrics-export: {path}:{n}: unparseable sample "
+                  f"line: {line!r}", file=sys.stderr)
+            sys.exit(2)
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            v = float(value)
+        except ValueError:
+            print(f"metrics-export: {path}:{n}: non-numeric value "
+                  f"{value!r}", file=sys.stderr)
+            sys.exit(2)
+        if math.isnan(v):
+            print(f"metrics-export: {path}:{n}: NaN value",
+                  file=sys.stderr)
+            sys.exit(2)
+        series.setdefault(name, []).append((labels, v))
+    return series
+
+
+def check_histograms(series):
+    """Bucket cumulativity + +Inf == _count for every histogram."""
+    failures = []
+    for name, samples in series.items():
+        if not name.endswith("_bucket"):
+            continue
+        family = name[:-len("_bucket")]
+        prev = -1.0
+        inf_value = None
+        for labels, value in samples:
+            le = LE_RE.search(labels)
+            if not le:
+                failures.append(f"{name}: bucket sample without an "
+                                f"le label: {labels!r}")
+                continue
+            if value < prev:
+                failures.append(
+                    f"{name}: cumulative bucket counts decrease at "
+                    f"le={le.group(1)} ({value} < {prev})")
+            prev = value
+            if le.group(1) == "+Inf":
+                inf_value = value
+        if inf_value is None:
+            failures.append(f"{name}: no +Inf bucket")
+            continue
+        count = series.get(f"{family}_count")
+        if not count:
+            failures.append(f"{family}: has buckets but no _count")
+        elif count[0][1] != inf_value:
+            failures.append(
+                f"{family}: +Inf bucket {inf_value} != _count "
+                f"{count[0][1]}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="exported .prom file to validate")
+    ap.add_argument("--require", action="append", default=[],
+                    help="series name that must be present "
+                         "(repeatable)")
+    ap.add_argument("--scrapes", type=int, default=1,
+                    help="number of reads; >1 also checks counter "
+                         "monotonicity between reads (default 1)")
+    ap.add_argument("--interval-s", type=float, default=0.5,
+                    help="sleep between scrapes (default 0.5)")
+    args = ap.parse_args()
+
+    failures = []
+    prev_counters = None
+    for scrape in range(max(1, args.scrapes)):
+        if scrape:
+            time.sleep(args.interval_s)
+        series = parse_exposition(args.path)
+        print(f"metrics-export: scrape {scrape + 1}: "
+              f"{len(series)} series families parsed")
+
+        for required in args.require:
+            if required not in series:
+                failures.append(
+                    f"scrape {scrape + 1}: required series "
+                    f"{required!r} missing")
+
+        failures += [f"scrape {scrape + 1}: {f}"
+                     for f in check_histograms(series)]
+
+        counters = {name: samples[0][1]
+                    for name, samples in series.items()
+                    if name.endswith("_total")}
+        if prev_counters is not None:
+            for name, value in counters.items():
+                before = prev_counters.get(name)
+                if before is not None and value < before:
+                    failures.append(
+                        f"scrape {scrape + 1}: counter {name} went "
+                        f"backwards ({before} -> {value})")
+        prev_counters = counters
+
+    if failures:
+        for f in failures:
+            print(f"metrics-export: FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("metrics-export: pass")
+
+
+if __name__ == "__main__":
+    main()
