@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Model startup latency: text parse (+ compile) vs the STMF binary
+ * container (E11 in EXPERIMENTS.md).
+ *
+ * The operational claim behind the STMF format is that a serving
+ * daemon restarts — and a hot reload canaries — from a packed model
+ * an order of magnitude faster than from the text formats, because
+ * the binary path skips 17-significant-digit decimal round-trips
+ * ("tnn") and re-running the plan compiler ("plan"); the mmap path
+ * additionally views the big arrays in place instead of copying.
+ *
+ * The committed floor lives in BENCH_startup.json: mmap load must be
+ * >= 10x faster than text parse+compile on both the demo TNN and the
+ * generated plan network. The perf-smoke CI job runs this bench with
+ * --json and archives the report.
+ *
+ * Outputs also cross-check: the text-loaded and STMF-loaded models
+ * must agree bit-for-bit on probe volleys before any timing is
+ * reported — a fast loader that loads the wrong weights is worthless.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/network.hpp"
+#include "core/network_io.hpp"
+#include "model/serialize.hpp"
+#include "tnn/tnn_io.hpp"
+#include "tnn/tnn_network.hpp"
+#include "tnn/volley.hpp"
+
+namespace {
+
+using namespace st;
+
+/** Median wall-clock milliseconds of @p reps runs of @p fn. */
+template <typename Fn>
+double
+medianMs(size_t reps, Fn &&fn)
+{
+    std::vector<double> samples;
+    samples.reserve(reps);
+    for (size_t r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+TnnNetwork
+bigTnn(size_t inputs)
+{
+    TnnNetwork net;
+    ColumnParams l1;
+    l1.numInputs = inputs;
+    l1.numNeurons = inputs * 2;
+    l1.wtaK = 4;
+    l1.seed = 11;
+    net.addLayer(l1);
+    ColumnParams l2;
+    l2.numInputs = inputs * 2;
+    l2.numNeurons = inputs;
+    l2.wtaK = 1;
+    l2.seed = 12;
+    net.addLayer(l2);
+    return net;
+}
+
+/** A deep s-t network: @p levels rotating min/max/lt/inc layers. */
+Network
+bigNetwork(size_t inputs, size_t levels)
+{
+    Network net(inputs);
+    std::vector<NodeId> layer;
+    for (size_t i = 0; i < inputs; ++i)
+        layer.push_back(net.input(i));
+    for (size_t l = 0; l < levels; ++l) {
+        std::vector<NodeId> next;
+        next.reserve(layer.size());
+        for (size_t i = 0; i < layer.size(); ++i) {
+            const NodeId a = layer[i];
+            const NodeId b = layer[(i + 1) % layer.size()];
+            switch ((l + i) % 4) {
+            case 0:
+                next.push_back(net.min(a, b));
+                break;
+            case 1:
+                next.push_back(net.max(a, b));
+                break;
+            case 2:
+                next.push_back(net.lt(a, b));
+                break;
+            default:
+                next.push_back(net.inc(a, 1 + (i % 3)));
+                break;
+            }
+        }
+        layer = std::move(next);
+    }
+    net.markOutput(net.min(layer));
+    net.markOutput(net.max(layer));
+    return net;
+}
+
+std::vector<Volley>
+probes(size_t width, size_t count)
+{
+    std::vector<Volley> volleys;
+    for (size_t j = 0; j < count; ++j) {
+        Volley v(width, INF);
+        for (size_t i = 0; i < width; ++i)
+            if ((i + 3 * j) % 7 != 0)
+                v[i] = Time((i * 37 + j * 101) % 64);
+        volleys.push_back(std::move(v));
+    }
+    return volleys;
+}
+
+struct Row
+{
+    std::string model;
+    size_t textBytes = 0;
+    size_t stmfBytes = 0;
+    double textMs = 0;
+    double mmapMs = 0;
+    double copyMs = 0;
+};
+
+void
+printRow(const Row &r)
+{
+    std::printf("  %-8s %9zu %9zu %10.3f %9.3f %9.3f %8.1fx\n",
+                r.model.c_str(), r.textBytes, r.stmfBytes, r.textMs,
+                r.mmapMs, r.copyMs,
+                r.mmapMs > 0 ? r.textMs / r.mmapMs : 0.0);
+}
+
+void
+recordRow(const Row &r)
+{
+    using st::bench::recordValue;
+    recordValue("startup", r.model, "text_parse_ms", r.textMs);
+    recordValue("startup", r.model, "stmf_mmap_ms", r.mmapMs);
+    recordValue("startup", r.model, "stmf_copy_ms", r.copyMs);
+    recordValue("startup", r.model, "mmap_speedup",
+                r.mmapMs > 0 ? r.textMs / r.mmapMs : 0.0);
+}
+
+void
+dieIf(bool bad, const char *what)
+{
+    if (bad) {
+        std::fprintf(stderr, "bench_startup: FAILED: %s\n", what);
+        std::exit(1);
+    }
+}
+
+void
+printTables()
+{
+    using st::bench::scaled;
+    const size_t reps = scaled(9, 3);
+    const std::string dir = "/tmp/";
+
+    std::printf("E11: model startup — text parse(+compile) vs STMF "
+                "load (median of %zu, ms)\n",
+                reps);
+    std::printf("  %-8s %9s %9s %10s %9s %9s %8s\n", "model",
+                "text_B", "stmf_B", "text_ms", "mmap_ms", "copy_ms",
+                "speedup");
+
+    // --- "tnn": the demo-scale WTA stack --------------------------
+    {
+        const size_t inputs = scaled(64, 8);
+        const TnnNetwork original = bigTnn(inputs);
+        const std::string text = tnnToText(original);
+        const std::string path = dir + "bench_startup_tnn.stmf";
+        model::PackOptions options;
+        options.id = "bench-tnn";
+        dieIf(!model::packTnn(original, path, options).isOk(),
+              "packTnn");
+
+        // Correctness first: all three loads must agree bitwise.
+        const TnnNetwork fromText = tnnFromText(text);
+        model::LoadedModel viaMmap;
+        model::LoadedModel viaCopy;
+        dieIf(!model::loadModel(path, model::LoadMode::Mmap, viaMmap)
+                   .isOk(),
+              "tnn mmap load");
+        dieIf(!model::loadModel(path, model::LoadMode::Copy, viaCopy)
+                   .isOk(),
+              "tnn copy load");
+        for (const Volley &v : probes(inputs, 4)) {
+            const Volley a = fromText.process(v);
+            dieIf(a != viaMmap.tnn->process(v),
+                  "tnn text vs mmap outputs differ");
+            dieIf(a != viaCopy.tnn->process(v),
+                  "tnn text vs copy outputs differ");
+        }
+
+        Row row;
+        row.model = "tnn";
+        row.textBytes = text.size();
+        row.stmfBytes = viaMmap.info.fileBytes;
+        row.textMs = medianMs(reps, [&] {
+            benchmark::DoNotOptimize(tnnFromText(text));
+        });
+        row.mmapMs = medianMs(reps, [&] {
+            model::LoadedModel loaded;
+            (void)model::loadModel(path, model::LoadMode::Mmap,
+                                   loaded);
+            benchmark::DoNotOptimize(loaded.tnn.get());
+        });
+        row.copyMs = medianMs(reps, [&] {
+            model::LoadedModel loaded;
+            (void)model::loadModel(path, model::LoadMode::Copy,
+                                   loaded);
+            benchmark::DoNotOptimize(loaded.tnn.get());
+        });
+        printRow(row);
+        recordRow(row);
+    }
+
+    // --- "plan": a deep generated s-t network ---------------------
+    {
+        const size_t inputs = scaled(96, 8);
+        const size_t levels = scaled(80, 4);
+        const Network original = bigNetwork(inputs, levels);
+        const std::string text = networkToText(original);
+        const std::string path = dir + "bench_startup_plan.stmf";
+        model::PackOptions options;
+        options.id = "bench-plan";
+        dieIf(!model::packNetwork(original, path, options).isOk(),
+              "packNetwork");
+
+        model::LoadedModel viaMmap;
+        dieIf(!model::loadModel(path, model::LoadMode::Mmap, viaMmap)
+                   .isOk(),
+              "plan mmap load");
+        EvalScratch scratch;
+        std::vector<Time> out;
+        for (const Volley &v : probes(inputs, 4)) {
+            viaMmap.plan->evaluate(v, scratch, out);
+            const std::vector<Time> expect = original.evaluate(v);
+            dieIf(out != expect, "plan text vs mmap outputs differ");
+        }
+
+        Row row;
+        row.model = "plan";
+        row.textBytes = text.size();
+        row.stmfBytes = viaMmap.info.fileBytes;
+        // The text path a daemon actually pays: parse + compile.
+        row.textMs = medianMs(reps, [&] {
+            Network net = networkFromText(text);
+            benchmark::DoNotOptimize(&net.compile());
+        });
+        row.mmapMs = medianMs(reps, [&] {
+            model::LoadedModel loaded;
+            (void)model::loadModel(path, model::LoadMode::Mmap,
+                                   loaded);
+            benchmark::DoNotOptimize(loaded.plan.get());
+        });
+        row.copyMs = medianMs(reps, [&] {
+            model::LoadedModel loaded;
+            (void)model::loadModel(path, model::LoadMode::Copy,
+                                   loaded);
+            benchmark::DoNotOptimize(loaded.plan.get());
+        });
+        printRow(row);
+        recordRow(row);
+    }
+
+    // --- "lsm": params-only container (no text counterpart) -------
+    {
+        model::LsmModelConfig config;
+        config.params.numInputs = scaled(64, 8);
+        config.params.numNeurons = scaled(256, 32);
+        const std::string path = dir + "bench_startup_lsm.stmf";
+        dieIf(!model::packLsm(config, path, model::PackOptions{})
+                   .isOk(),
+              "packLsm");
+        const double loadMs = medianMs(reps, [&] {
+            model::LoadedModel loaded;
+            (void)model::loadModel(path, model::LoadMode::Mmap,
+                                   loaded);
+            benchmark::DoNotOptimize(loaded.lsm.get());
+        });
+        std::printf("  %-8s %9s %9s %10s %9.3f %9s %8s\n", "lsm",
+                    "-", "-", "-", loadMs, "-", "-");
+        st::bench::recordValue("startup", "lsm", "stmf_mmap_ms",
+                               loadMs);
+    }
+}
+
+void
+BM_TnnTextParse(benchmark::State &state)
+{
+    const std::string text = tnnToText(bigTnn(64));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tnnFromText(text));
+}
+BENCHMARK(BM_TnnTextParse);
+
+void
+BM_TnnStmfLoad(benchmark::State &state)
+{
+    const std::string path = "/tmp/bench_startup_bm_tnn.stmf";
+    (void)model::packTnn(bigTnn(64), path, model::PackOptions{});
+    for (auto _ : state) {
+        model::LoadedModel loaded;
+        (void)model::loadModel(path, model::LoadMode::Mmap, loaded);
+        benchmark::DoNotOptimize(loaded.tnn.get());
+    }
+}
+BENCHMARK(BM_TnnStmfLoad);
+
+void
+BM_PlanStmfLoad(benchmark::State &state)
+{
+    const std::string path = "/tmp/bench_startup_bm_plan.stmf";
+    (void)model::packNetwork(bigNetwork(64, 48), path,
+                             model::PackOptions{});
+    for (auto _ : state) {
+        model::LoadedModel loaded;
+        (void)model::loadModel(path, model::LoadMode::Mmap, loaded);
+        benchmark::DoNotOptimize(loaded.plan.get());
+    }
+}
+BENCHMARK(BM_PlanStmfLoad);
+
+} // namespace
+
+ST_BENCH_MAIN(printTables)

@@ -12,6 +12,7 @@
  *   stnet_client --connect 7170 --aer stream.staer
  *   stnet_client --connect 7170 --chaos 0.5 --seed 7   # wire chaos
  *   stnet_client --connect 7170 --health               # health JSON
+ *   stnet_client --connect 7170 --reload               # hot-swap now
  *
  * Wire chaos (client side, deterministic in --seed): events are
  * dropped and time-jittered *before* sending — distinct from the
@@ -59,6 +60,7 @@ struct Options
     uint64_t seed = 1;
     bool malformed = false;
     bool health = false;
+    bool reload = false;
 };
 
 int
@@ -74,7 +76,8 @@ usage()
            "  --chaos S      wire chaos severity 0..1\n"
            "  --seed S       chaos/stimulus seed (default 1)\n"
            "  --malformed    inject one garbage line per session\n"
-           "  --health       query health JSON and exit\n";
+           "  --health       query health JSON and exit\n"
+           "  --reload       ask the daemon to hot-reload its model\n";
     return 2;
 }
 
@@ -378,6 +381,8 @@ main(int argc, char **argv)
             opt.malformed = true;
         else if (arg == "--health")
             opt.health = true;
+        else if (arg == "--reload")
+            opt.reload = true;
         else
             return usage();
     }
@@ -402,6 +407,29 @@ main(int argc, char **argv)
         }
         close(fd);
         std::cerr << "stnet_client: no health reply\n";
+        return 1;
+    }
+
+    if (opt.reload) {
+        const int fd = dialLoopback(opt.port);
+        if (fd < 0) {
+            std::cerr << "stnet_client: connect failed\n";
+            return 1;
+        }
+        sendAll(fd, "reload\n");
+        LineSocket in(fd);
+        std::string line;
+        while (in.next(line)) {
+            if (line.rfind("reload", 0) == 0) {
+                std::cout << line << "\n";
+                close(fd);
+                // "reload ok" exits 0; a rolled-back reload exits 1
+                // so scripts can assert on the outcome directly.
+                return line == "reload ok" ? 0 : 1;
+            }
+        }
+        close(fd);
+        std::cerr << "stnet_client: no reload reply\n";
         return 1;
     }
 

@@ -7,9 +7,21 @@
  *
  *   stnet_serve --demo 8 --tcp 0              # demo TNN, ephemeral port
  *   stnet_serve --model net.tnn --tcp 7170    # trained TNN from disk
+ *   stnet_serve --model net.stmf --tcp 7170   # packed STMF container
+ *   stnet_serve --model-dir models/ --tcp 0   # newest *.stmf, hot-swap
  *   stnet_serve --lsm-demo 16 --pipe          # LSM anomaly scoring on
  *                                             # stdin/stdout
  *   stnet_serve --demo 8 --tcp 0 --chaos 0.3  # live fault injection
+ *
+ * --model sniffs the file: the STMF magic selects the binary container
+ * loader (mmap; every malformed byte is a contextual error, never a
+ * crash), anything else is parsed as the text TNN format. With
+ * --model-dir the daemon boots from the highest-versioned valid
+ * *.stmf and hot-reloads on SIGHUP or the `reload` wire command; a
+ * watcher thread (--watch-ms, default 500, 0 disables) also triggers
+ * the reload when a newer version lands in the directory. A reload
+ * that fails validation or the canary rolls back: the incumbent keeps
+ * serving and the `reload` reply / log carries the reason.
  *
  * The bound TCP port is announced on stderr as "listening <port>" so a
  * driver using an ephemeral port can find it. SIGTERM/SIGINT starts a
@@ -19,17 +31,24 @@
  * force-close sessions).
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "model/serialize.hpp"
+#include "model/stmf.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "obs/obs.hpp"
+#include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
 #include "tnn/tnn_io.hpp"
@@ -47,9 +66,13 @@ usage()
     std::cerr
         << "usage: stnet_serve [model] [transport] [options]\n"
            "  model:     --demo N | --lsm-demo N | --model FILE\n"
+           "             | --model-dir DIR (newest *.stmf, hot-swap)\n"
            "  transport: --tcp PORT (0 = ephemeral) | --pipe\n"
            "  options:   --chaos SEVERITY (0..1, deterministic seed)\n"
            "             --threads N (batch fan-out; 0 = auto)\n"
+           "             --watch-ms N (model-dir poll; 0 = off)\n"
+           "--model FILE sniffs STMF vs text TNN; SIGHUP or the\n"
+           "`reload` wire command re-loads and hot-swaps the model.\n"
            "All serve limits also read ST_SERVE_* env vars\n"
            "(see serve/config.hpp).\n";
     return 2;
@@ -84,6 +107,93 @@ chaosSpec(double severity)
     return spec;
 }
 
+/** Does the file start with the STMF container magic? */
+bool
+looksLikeStmf(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char head[4] = {};
+    in.read(head, sizeof(head));
+    return in.gcount() == 4 && std::memcmp(head, "STMF", 4) == 0;
+}
+
+/**
+ * The reload procedure shared by SIGHUP, the `reload` wire command
+ * and the directory watcher: pick the candidate (newest valid *.stmf
+ * in dir mode, the fixed path otherwise), load it, and swap it in
+ * through the server's canary. Internally synchronized — the server
+ * may invoke it from the reaper or a transport thread concurrently.
+ */
+struct ModelReloader
+{
+    StreamServer *server = nullptr;
+    std::string dir;       //!< empty = fixed-path mode
+    std::string fixedPath; //!< used when dir is empty
+
+    std::mutex mutex;
+    std::string appliedPath;
+    uint64_t appliedVersion = 0;
+    uint32_t appliedCrc = 0;
+
+    Status
+    reload()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        std::string path = fixedPath;
+        Status skipped; // first corrupt sibling seen by the dir scan
+        if (!dir.empty()) {
+            const Status pick = pickLatestModel(dir, path, &skipped);
+            if (!pick.isOk())
+                return !skipped.isOk() ? skipped : pick;
+        }
+        model::LoadedModel loaded;
+        ST_RETURN_IF_ERROR(
+            model::loadModel(path, model::LoadMode::Mmap, loaded));
+        if (path == appliedPath &&
+            loaded.info.version == appliedVersion &&
+            loaded.info.fileCrc == appliedCrc) {
+            // Nothing new to publish; still surface a corrupt sibling
+            // (e.g. a botched upload of the next version) so the
+            // operator's `reload` reply explains why it was skipped.
+            return skipped;
+        }
+        std::unique_ptr<ServeModel> candidate =
+            makeServeModel(loaded);
+        if (!candidate)
+            return Status(StatusCode::Internal,
+                          path + ": loaded model has no engine");
+        ST_RETURN_IF_ERROR(server->swapModel(std::move(candidate),
+                                             loaded.info));
+        appliedPath = path;
+        appliedVersion = loaded.info.version;
+        appliedCrc = loaded.info.fileCrc;
+        return Status::ok();
+    }
+
+    /**
+     * Cheap poll for the watcher: has the directory's best candidate
+     * (path, version, file checksum) moved past what is serving?
+     * Reads only the container header + META — no full decode.
+     */
+    bool
+    changed()
+    {
+        std::string path;
+        if (!pickLatestModel(dir, path).isOk())
+            return false;
+        model::StmfFile file;
+        if (!model::StmfFile::open(path, model::LoadMode::Copy, file)
+                 .isOk())
+            return false; // racing writer; next poll settles it
+        model::ModelInfo info;
+        if (!model::decodeMeta(file, info).isOk())
+            return false;
+        std::lock_guard<std::mutex> lock(mutex);
+        return path != appliedPath || info.version != appliedVersion ||
+               file.fileCrc() != appliedCrc;
+    }
+};
+
 } // namespace
 
 int
@@ -92,11 +202,13 @@ main(int argc, char **argv)
     size_t demoInputs = 0;
     size_t lsmInputs = 0;
     std::string modelFile;
+    std::string modelDir;
     bool pipe = false;
     bool haveTcp = false;
     uint16_t tcpPort = 0;
     double chaos = -1.0;
     size_t threads = 0;
+    uint64_t watchMs = 500;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -107,6 +219,8 @@ main(int argc, char **argv)
             lsmInputs = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--model" && hasNext) {
             modelFile = argv[++i];
+        } else if (arg == "--model-dir" && hasNext) {
+            modelDir = argv[++i];
         } else if (arg == "--tcp" && hasNext) {
             haveTcp = true;
             tcpPort = static_cast<uint16_t>(
@@ -117,16 +231,25 @@ main(int argc, char **argv)
             chaos = std::strtod(argv[++i], nullptr);
         } else if (arg == "--threads" && hasNext) {
             threads = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--watch-ms" && hasNext) {
+            watchMs = std::strtoull(argv[++i], nullptr, 10);
         } else {
             return usage();
         }
     }
     if (!pipe && !haveTcp)
         return usage();
-    if ((demoInputs > 0) + (lsmInputs > 0) + (!modelFile.empty()) != 1)
+    if ((demoInputs > 0) + (lsmInputs > 0) + (!modelFile.empty()) +
+            (!modelDir.empty()) !=
+        1)
         return usage();
 
+    // An STMF boot carries its identity into health; text/demo models
+    // fall back to the server's builtin placeholder info.
     std::unique_ptr<ServeModel> model;
+    model::ModelInfo stmfInfo;
+    bool haveStmfInfo = false;
+    std::string stmfPath; // the container actually loaded, if any
     try {
         if (demoInputs > 0) {
             model = std::make_unique<TnnServeModel>(
@@ -137,16 +260,40 @@ main(int argc, char **argv)
             params.numNeurons = 96;
             model = std::make_unique<LsmAnomalyModel>(params, 8);
         } else {
-            std::ifstream in(modelFile);
-            if (!in) {
-                std::cerr << "stnet_serve: cannot open " << modelFile
-                          << "\n";
-                return 1;
+            std::string path = modelFile;
+            if (!modelDir.empty()) {
+                const Status pick = pickLatestModel(modelDir, path);
+                if (!pick.isOk()) {
+                    std::cerr << "stnet_serve: " << pick.str()
+                              << "\n";
+                    return 1;
+                }
             }
-            std::ostringstream os;
-            os << in.rdbuf();
-            model = std::make_unique<TnnServeModel>(
-                tnnFromText(os.str()));
+            if (!modelDir.empty() || looksLikeStmf(path)) {
+                model::LoadedModel loaded;
+                const Status status = model::loadModel(
+                    path, model::LoadMode::Mmap, loaded);
+                if (!status.isOk()) {
+                    std::cerr << "stnet_serve: " << status.str()
+                              << "\n";
+                    return 1;
+                }
+                model = makeServeModel(loaded);
+                stmfInfo = loaded.info;
+                haveStmfInfo = true;
+                stmfPath = path;
+            } else {
+                std::ifstream in(path);
+                if (!in) {
+                    std::cerr << "stnet_serve: cannot open " << path
+                              << "\n";
+                    return 1;
+                }
+                std::ostringstream os;
+                os << in.rdbuf();
+                model = std::make_unique<TnnServeModel>(
+                    tnnFromText(os.str()));
+            }
         }
     } catch (const std::exception &e) {
         std::cerr << "stnet_serve: model load failed: " << e.what()
@@ -158,7 +305,46 @@ main(int argc, char **argv)
     if (threads > 0)
         config.nthreads = threads;
 
-    StreamServer server(std::move(model), config);
+    // Two-phase construction keeps one server object whichever boot
+    // path ran; the STMF path hands its real ModelInfo to the ctor.
+    std::unique_ptr<StreamServer> serverPtr;
+    if (haveStmfInfo)
+        serverPtr = std::make_unique<StreamServer>(
+            std::shared_ptr<ServeModel>(std::move(model)), stmfInfo,
+            config);
+    else
+        serverPtr =
+            std::make_unique<StreamServer>(std::move(model), config);
+    StreamServer &server = *serverPtr;
+
+    // Hot reload: SIGHUP and the `reload` wire command re-run the
+    // loader; --model-dir mode additionally polls for new versions.
+    ModelReloader reloader;
+    std::thread watcher;
+    std::atomic<bool> stopWatcher{false};
+    if (haveStmfInfo) {
+        reloader.server = &server;
+        reloader.dir = modelDir;
+        reloader.fixedPath = stmfPath;
+        reloader.appliedPath = stmfPath;
+        reloader.appliedVersion = stmfInfo.version;
+        reloader.appliedCrc = stmfInfo.fileCrc;
+        server.setReloadHandler([&reloader] {
+            return reloader.reload();
+        });
+        if (!modelDir.empty() && watchMs > 0)
+            watcher = std::thread([&] {
+                while (!stopWatcher.load(std::memory_order_acquire)) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(watchMs));
+                    if (stopWatcher.load(std::memory_order_acquire))
+                        break;
+                    if (reloader.changed())
+                        (void)server.triggerReload();
+                }
+            });
+    }
+
     if (chaos >= 0.0)
         server.enableChaos(chaosSpec(chaos));
     StreamServer::installSignalHandlers(&server);
@@ -189,6 +375,10 @@ main(int argc, char **argv)
             return 1;
         }
     }
+
+    stopWatcher.store(true, std::memory_order_release);
+    if (watcher.joinable())
+        watcher.join();
 
     if (exporter)
         exporter->stop(); // final publish with the drained totals

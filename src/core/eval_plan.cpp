@@ -183,21 +183,24 @@ buildFullProgram(const std::vector<Node> &nodes,
 } // namespace
 
 void
-EvalProgram::run(std::span<const Node> nodes,
-                 std::span<const Time> inputs,
-                 std::vector<Time> &values) const
+runProgram(const EvalProgramView &prog, std::span<const Node> nodes,
+           std::span<const Time> inputs, std::vector<Time> &values)
 {
     // Three relaxed adds per volley — noise against the instruction
     // walk below, but they expose the dispatch economics (how long
     // the same-op runs actually are) that the run scheduler exists
     // to maximize.
     ST_OBS_ADD("eval.run.calls", 1);
-    ST_OBS_ADD("eval.run.dispatches", runEnd.size());
-    ST_OBS_ADD("eval.run.instructions", op.size());
+    ST_OBS_ADD("eval.run.dispatches", prog.runEnd.size());
+    ST_OBS_ADD("eval.run.instructions", prog.op.size());
+    const std::span<const uint8_t> op = prog.op;
+    const std::span<const uint32_t> extra = prog.extra;
+    const std::span<const uint32_t> argBeg = prog.argBeg;
+    const std::span<const uint32_t> runEnd = prog.runEnd;
     values.resize(op.size());
     Time *v = values.data();
-    const uint32_t *slot = argSlot.data();
-    const Time::rep *dly = argDelay.data();
+    const uint32_t *slot = prog.argSlot.data();
+    const Time::rep *dly = prog.argDelay.data();
     constexpr Time::rep inf = std::numeric_limits<Time::rep>::max();
     // The hot path works on raw representations: Time's total order is
     // the plain uint64 order (inf is the all-ones maximum), so min, max
@@ -289,6 +292,14 @@ EvalProgram::run(std::span<const Node> nodes,
     }
 }
 
+void
+EvalProgram::run(std::span<const Node> nodes,
+                 std::span<const Time> inputs,
+                 std::vector<Time> &values) const
+{
+    runProgram(view(), nodes, inputs, values);
+}
+
 namespace {
 
 /**
@@ -299,7 +310,7 @@ namespace {
  */
 template <size_t kLanes>
 void
-runBlockImpl(const EvalProgram &prog, std::span<const Node> nodes,
+runBlockImpl(const EvalProgramView &prog, std::span<const Node> nodes,
              std::span<const std::vector<Time>> batch,
              std::vector<Time> &values)
 {
@@ -470,15 +481,16 @@ evalSimdBodyName()
 }
 
 void
-EvalProgram::runBlock(std::span<const Node> nodes,
-                      std::span<const std::vector<Time>> batch,
-                      std::vector<Time> &values) const
+runProgramBlock(const EvalProgramView &prog,
+                std::span<const Node> nodes,
+                std::span<const std::vector<Time>> batch,
+                std::vector<Time> &values)
 {
     if (batch.size() == kEvalBlockLanes) {
 #if defined(__aarch64__)
         // NEON is baseline on aarch64: compile-time dispatch, no probe.
         ST_OBS_ADD("eval.block.neon", 1);
-        detail::runBlockLanes8Neon(*this, nodes, batch, values);
+        detail::runBlockLanes8Neon(prog, nodes, batch, values);
         return;
 #else
 #ifdef ST_EVAL_PLAN_SIMD
@@ -487,23 +499,31 @@ EvalProgram::runBlock(std::span<const Node> nodes,
         // steady state is two predictable branches.
         if (cpuHasAvx512()) {
             ST_OBS_ADD("eval.block.avx512", 1);
-            detail::runBlockLanes8Avx512(*this, nodes, batch, values);
+            detail::runBlockLanes8Avx512(prog, nodes, batch, values);
             return;
         }
 #endif
         if (cpuHasAvx2()) {
             ST_OBS_ADD("eval.block.avx2", 1);
-            detail::runBlockLanes8Avx2(*this, nodes, batch, values);
+            detail::runBlockLanes8Avx2(prog, nodes, batch, values);
             return;
         }
 #endif
         ST_OBS_ADD("eval.block.scalar", 1);
-        runBlockImpl<kEvalBlockLanes>(*this, nodes, batch, values);
+        runBlockImpl<kEvalBlockLanes>(prog, nodes, batch, values);
 #endif // __aarch64__
     } else {
         ST_OBS_ADD("eval.block.tail", 1);
-        runBlockImpl<0>(*this, nodes, batch, values);
+        runBlockImpl<0>(prog, nodes, batch, values);
     }
+}
+
+void
+EvalProgram::runBlock(std::span<const Node> nodes,
+                      std::span<const std::vector<Time>> batch,
+                      std::vector<Time> &values) const
+{
+    runProgramBlock(view(), nodes, batch, values);
 }
 
 EvalPlan

@@ -75,6 +75,53 @@ enum class PlanOp : uint8_t
 };
 
 /**
+ * Non-owning view of a flattened instruction stream: the exact array
+ * septet an EvalProgram owns, as spans. The executors (scalar, SIMD,
+ * lane-blocked) all run on this form, so a program whose arrays live
+ * in an mmap'd STMF model file (model/serialize.hpp) executes in
+ * place — startup is a map + fixup, not a parse + recompile — while
+ * EvalProgram::run()/runBlock() delegate through view() unchanged.
+ *
+ * Invariants assumed by the executors (the compiler guarantees them;
+ * the STMF loader re-validates them on every untrusted stream):
+ * argBeg has size()+1 monotone entries bounding argSlot/argDelay;
+ * every argSlot references a *smaller* instruction index; runEnd is
+ * strictly increasing and ends at size(); Input/Config extra indexes
+ * are in range.
+ */
+struct EvalProgramView
+{
+    std::span<const uint8_t> op;
+    std::span<const uint32_t> extra;
+    std::span<const uint32_t> argBeg;
+    std::span<const uint32_t> argSlot;
+    std::span<const Time::rep> argDelay;
+    std::span<const uint32_t> outSlot;
+    std::span<const uint32_t> runEnd;
+
+    /** Number of instructions (== number of value slots). */
+    size_t size() const { return op.size(); }
+};
+
+/**
+ * Execute @p prog on one input volley; see EvalProgram::run().
+ * @p nodes is read only by Config instructions (live value reads) and
+ * may be any table whose configValue entries are correct at the
+ * instruction's extra index — the mmap'd model path feeds a minimal
+ * rebuilt table, the Network path its real node vector.
+ */
+void runProgram(const EvalProgramView &prog,
+                std::span<const Node> nodes,
+                std::span<const Time> inputs,
+                std::vector<Time> &values);
+
+/** Lane-blocked execution of @p prog; see EvalProgram::runBlock(). */
+void runProgramBlock(const EvalProgramView &prog,
+                     std::span<const Node> nodes,
+                     std::span<const std::vector<Time>> batch,
+                     std::vector<Time> &values);
+
+/**
  * One flattened instruction stream. Instruction i writes value slot i;
  * operand edges are stored CSR-style as (slot, delay) pairs, where the
  * delay is the folded constant of any inc chain between the producing
@@ -96,6 +143,13 @@ struct EvalProgram
 
     /** Number of instructions (== number of value slots). */
     size_t size() const { return op.size(); }
+
+    /** Span view of the owned arrays (what the executors consume). */
+    EvalProgramView
+    view() const
+    {
+        return {op, extra, argBeg, argSlot, argDelay, outSlot, runEnd};
+    }
 
     /**
      * Execute the stream, resizing @p values to one slot per
@@ -171,19 +225,19 @@ namespace detail {
  * (eval_plan_simd_neon.cpp) is baseline on aarch64 and dispatched at
  * compile time.
  */
-void runBlockLanes8Avx2(const EvalProgram &prog,
+void runBlockLanes8Avx2(const EvalProgramView &prog,
                         std::span<const Node> nodes,
                         std::span<const std::vector<Time>> batch,
                         std::vector<Time> &values);
 
 /** AVX-512F variant: one 8x64 vector per value row. */
-void runBlockLanes8Avx512(const EvalProgram &prog,
+void runBlockLanes8Avx512(const EvalProgramView &prog,
                           std::span<const Node> nodes,
                           std::span<const std::vector<Time>> batch,
                           std::vector<Time> &values);
 
 /** aarch64 NEON variant: four 2x64 vectors per value row. */
-void runBlockLanes8Neon(const EvalProgram &prog,
+void runBlockLanes8Neon(const EvalProgramView &prog,
                         std::span<const Node> nodes,
                         std::span<const std::vector<Time>> batch,
                         std::vector<Time> &values);

@@ -108,7 +108,7 @@ satRow(Row r, Time::rep d)
 } // namespace
 
 void
-runBlockLanes8Avx2(const EvalProgram &prog, std::span<const Node> nodes,
+runBlockLanes8Avx2(const EvalProgramView &prog, std::span<const Node> nodes,
                    std::span<const std::vector<Time>> batch,
                    std::vector<Time> &values)
 {

@@ -73,7 +73,7 @@ vsat(__m512i x, Time::rep d)
 } // namespace
 
 void
-runBlockLanes8Avx512(const EvalProgram &prog, std::span<const Node> nodes,
+runBlockLanes8Avx512(const EvalProgramView &prog, std::span<const Node> nodes,
                      std::span<const std::vector<Time>> batch,
                      std::vector<Time> &values)
 {

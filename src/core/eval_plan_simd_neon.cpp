@@ -120,7 +120,7 @@ satRow(Row r, Time::rep d)
 } // namespace
 
 void
-runBlockLanes8Neon(const EvalProgram &prog, std::span<const Node> nodes,
+runBlockLanes8Neon(const EvalProgramView &prog, std::span<const Node> nodes,
                    std::span<const std::vector<Time>> batch,
                    std::vector<Time> &values)
 {

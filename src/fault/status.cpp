@@ -22,6 +22,10 @@ statusCodeName(StatusCode code)
         return "data_loss";
       case StatusCode::Internal:
         return "internal";
+      case StatusCode::NotFound:
+        return "not_found";
+      case StatusCode::Unavailable:
+        return "unavailable";
     }
     return "?";
 }

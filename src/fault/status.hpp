@@ -36,6 +36,8 @@ enum class StatusCode : uint8_t
     ResourceExhausted,  //!< a budget (events, slots) ran out
     DataLoss,           //!< results are known to be incomplete
     Internal,           //!< engine bug: an invariant we own broke
+    NotFound,           //!< a named artifact (file, section) is absent
+    Unavailable,        //!< a dependency is temporarily unusable
 };
 
 /** Printable name of a status code ("ok", "invalid_argument", ...). */

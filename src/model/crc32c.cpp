@@ -1,0 +1,71 @@
+#include "model/crc32c.hpp"
+
+#include <array>
+
+namespace st::model {
+
+namespace {
+
+/** Reflected CRC32C polynomial (Castagnoli). */
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+/**
+ * Slicing-by-8 tables: kTables[0] is the classic byte-at-a-time
+ * table; kTables[k][n] advances the CRC of byte n through k further
+ * zero bytes, so eight table lookups retire eight message bytes per
+ * iteration. Pure integer math — results are bit-identical across
+ * ISAs and to the one-byte loop (the tail still uses kTables[0]).
+ */
+constexpr std::array<std::array<uint32_t, 256>, 8>
+makeTables()
+{
+    std::array<std::array<uint32_t, 256>, 8> tables{};
+    for (uint32_t n = 0; n < 256; ++n) {
+        uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+        tables[0][n] = c;
+    }
+    for (size_t k = 1; k < 8; ++k)
+        for (uint32_t n = 0; n < 256; ++n)
+            tables[k][n] = tables[0][tables[k - 1][n] & 0xffu] ^
+                           (tables[k - 1][n] >> 8);
+    return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables =
+    makeTables();
+
+/** Endian-independent little-endian 32-bit load. */
+inline uint32_t
+loadLe32(const unsigned char *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+} // namespace
+
+uint32_t
+crc32cExtend(uint32_t crc, const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = crc ^ 0xffffffffu;
+    while (len >= 8) {
+        const uint32_t lo = c ^ loadLe32(p);
+        const uint32_t hi = loadLe32(p + 4);
+        c = kTables[7][lo & 0xffu] ^ kTables[6][(lo >> 8) & 0xffu] ^
+            kTables[5][(lo >> 16) & 0xffu] ^ kTables[4][lo >> 24] ^
+            kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
+            kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][hi >> 24];
+        p += 8;
+        len -= 8;
+    }
+    for (size_t i = 0; i < len; ++i)
+        c = kTables[0][(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace st::model

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) for the STMF model container (model/stmf.hpp).
+ *
+ * Software table-driven implementation: the container's integrity
+ * checks must behave identically on every build target (x86-64 with or
+ * without SSE4.2, aarch64), because a checksum that depends on the
+ * reader's ISA would make a file valid on one machine and corrupt on
+ * another. At ~1 GB/s the table walk is far from the load path's
+ * bottleneck — model files are re-checksummed once per load, not per
+ * volley.
+ */
+
+#ifndef ST_MODEL_CRC32C_HPP
+#define ST_MODEL_CRC32C_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace st::model {
+
+/**
+ * Extend a running CRC32C over @p len bytes. Start (and finish) with
+ * @p crc = 0; chained calls over consecutive slices equal one call
+ * over the concatenation, so section checksums can be computed while
+ * streaming the payload out.
+ */
+uint32_t crc32cExtend(uint32_t crc, const void *data, size_t len);
+
+/** One-shot CRC32C of a buffer. */
+inline uint32_t
+crc32c(const void *data, size_t len)
+{
+    return crc32cExtend(0, data, len);
+}
+
+} // namespace st::model
+
+#endif // ST_MODEL_CRC32C_HPP

@@ -1,0 +1,608 @@
+#include "model/stmf.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "model/crc32c.hpp"
+
+namespace st::model {
+
+// The on-disk format is little-endian and the fixed-width reads below
+// are plain memcpy: every target this repo builds for (x86-64,
+// aarch64) is little-endian, and a big-endian port would need byte
+// swaps here and in the typed-array views.
+static_assert(std::endian::native == std::endian::little,
+              "STMF readers assume a little-endian host");
+
+namespace {
+
+/** "STMF" + CRLF/EOF guards, catching text-mode transfer mangling. */
+constexpr uint8_t kMagic[8] = {'S', 'T', 'M', 'F',
+                               '\r', '\n', 0x1a, '\n'};
+
+constexpr size_t kHeaderBytes = 64;
+constexpr size_t kEntryBytes = 32;
+
+/** Header field offsets (absolute). */
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffSectionCount = 12;
+constexpr size_t kOffFileSize = 16;
+constexpr size_t kOffFileCrc = 24;
+constexpr size_t kOffHeaderCrc = 28;
+
+uint32_t
+loadU32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint64_t
+loadU64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+void
+storeU32(std::vector<uint8_t> &buf, size_t at, uint32_t v)
+{
+    std::memcpy(buf.data() + at, &v, sizeof(v));
+}
+
+void
+storeU64(std::vector<uint8_t> &buf, size_t at, uint64_t v)
+{
+    std::memcpy(buf.data() + at, &v, sizeof(v));
+}
+
+std::string
+offsetContext(uint64_t offset)
+{
+    return "offset " + std::to_string(offset);
+}
+
+std::string
+offsetContext(uint64_t offset, const std::string &section)
+{
+    return "offset " + std::to_string(offset) + ", section " + section;
+}
+
+Status
+errnoStatus(StatusCode code, const std::string &what,
+            const std::string &path)
+{
+    return Status(code, what + ": " + std::strerror(errno), path);
+}
+
+/** Owning backing for the Copy/parse paths. */
+struct VectorBacking
+{
+    std::vector<uint8_t> bytes;
+};
+
+/** Owning backing for the Mmap path; unmaps on release. */
+struct MmapBacking
+{
+    const uint8_t *addr = nullptr;
+    size_t length = 0;
+
+    ~MmapBacking()
+    {
+        if (addr != nullptr)
+            ::munmap(const_cast<uint8_t *>(addr), length);
+    }
+};
+
+} // namespace
+
+std::string
+sectionName(uint32_t type)
+{
+    switch (static_cast<SectionType>(type)) {
+      case SectionType::Meta:
+        return "meta";
+      case SectionType::Tnn:
+        return "tnn";
+      case SectionType::Plan:
+        return "plan";
+      case SectionType::Grl:
+        return "grl";
+      case SectionType::Lsm:
+        return "lsm";
+    }
+    return "type " + std::to_string(type);
+}
+
+// ---------------------------------------------------------------------
+// SectionReader / SectionWriter
+
+Status
+SectionReader::fail(StatusCode code, const std::string &message) const
+{
+    return failAt(pos_, code, message);
+}
+
+Status
+SectionReader::failAt(size_t at, StatusCode code,
+                      const std::string &message) const
+{
+    return Status(code, message, offsetContext(base_ + at, section_));
+}
+
+Status
+SectionReader::need(size_t n, const char *what)
+{
+    if (remaining() < n)
+        return fail(StatusCode::DataLoss,
+                    std::string("truncated ") + what + " (need " +
+                        std::to_string(n) + " bytes, have " +
+                        std::to_string(remaining()) + ")");
+    return Status::ok();
+}
+
+Status
+SectionReader::u32(uint32_t &out)
+{
+    ST_RETURN_IF_ERROR(need(4, "u32"));
+    out = loadU32(bytes_.data() + pos_);
+    pos_ += 4;
+    return Status::ok();
+}
+
+Status
+SectionReader::u64(uint64_t &out)
+{
+    ST_RETURN_IF_ERROR(need(8, "u64"));
+    out = loadU64(bytes_.data() + pos_);
+    pos_ += 8;
+    return Status::ok();
+}
+
+Status
+SectionReader::f64(double &out)
+{
+    uint64_t bits;
+    ST_RETURN_IF_ERROR(u64(bits));
+    out = std::bit_cast<double>(bits);
+    return Status::ok();
+}
+
+Status
+SectionReader::align8()
+{
+    const size_t aligned = (pos_ + 7) & ~size_t{7};
+    if (aligned > bytes_.size())
+        return fail(StatusCode::DataLoss,
+                    "truncated alignment padding");
+    pos_ = aligned;
+    return Status::ok();
+}
+
+Status
+SectionReader::str(std::string &out, size_t max_len)
+{
+    uint32_t len;
+    ST_RETURN_IF_ERROR(u32(len));
+    if (len > max_len)
+        return fail(StatusCode::InvalidArgument,
+                    "string length " + std::to_string(len) +
+                        " exceeds limit " + std::to_string(max_len));
+    ST_RETURN_IF_ERROR(need(len, "string"));
+    out.assign(reinterpret_cast<const char *>(bytes_.data() + pos_),
+               len);
+    pos_ += len;
+    return Status::ok();
+}
+
+Status
+SectionReader::expectEnd()
+{
+    // Alignment padding at the payload tail is legitimate (writers
+    // 8-align arrays); any non-padding leftover means the decoder and
+    // the file disagree about the layout.
+    if (remaining() >= 8)
+        return fail(StatusCode::InvalidArgument,
+                    std::to_string(remaining()) +
+                        " unexpected trailing bytes");
+    return Status::ok();
+}
+
+void
+SectionWriter::u32(uint32_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+SectionWriter::u64(uint64_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+SectionWriter::f64(double v)
+{
+    u64(std::bit_cast<uint64_t>(v));
+}
+
+void
+SectionWriter::bytes(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + len);
+}
+
+void
+SectionWriter::align8()
+{
+    buf_.resize((buf_.size() + 7) & ~size_t{7}, 0);
+}
+
+void
+SectionWriter::str(std::string_view s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+}
+
+// ---------------------------------------------------------------------
+// StmfBuilder
+
+void
+StmfBuilder::addSection(SectionType type, std::vector<uint8_t> payload)
+{
+    sections_.push_back(
+        {static_cast<uint32_t>(type), std::move(payload)});
+}
+
+std::vector<uint8_t>
+StmfBuilder::serialize() const
+{
+    const size_t count = sections_.size();
+    const size_t table_end = kHeaderBytes + count * kEntryBytes;
+    size_t total = (table_end + 7) & ~size_t{7};
+    std::vector<size_t> offsets(count);
+    for (size_t i = 0; i < count; ++i) {
+        offsets[i] = total;
+        total += sections_[i].payload.size();
+        total = (total + 7) & ~size_t{7};
+    }
+
+    std::vector<uint8_t> buf(total, 0);
+    std::memcpy(buf.data(), kMagic, sizeof(kMagic));
+    storeU32(buf, kOffVersion, kStmfVersion);
+    storeU32(buf, kOffSectionCount, static_cast<uint32_t>(count));
+    storeU64(buf, kOffFileSize, total);
+
+    for (size_t i = 0; i < count; ++i) {
+        const size_t entry = kHeaderBytes + i * kEntryBytes;
+        const std::vector<uint8_t> &payload = sections_[i].payload;
+        storeU32(buf, entry + 0, sections_[i].type);
+        storeU64(buf, entry + 8, offsets[i]);
+        storeU64(buf, entry + 16, payload.size());
+        storeU32(buf, entry + 24,
+                 crc32c(payload.data(), payload.size()));
+        std::memcpy(buf.data() + offsets[i], payload.data(),
+                    payload.size());
+    }
+
+    storeU32(buf, kOffFileCrc,
+             crc32c(buf.data() + kHeaderBytes,
+                    buf.size() - kHeaderBytes));
+    // The header checksum covers the header with its own field zeroed
+    // (it is zero right now — written last).
+    storeU32(buf, kOffHeaderCrc, crc32c(buf.data(), kHeaderBytes));
+    return buf;
+}
+
+Status
+StmfBuilder::writeFile(const std::string &path) const
+{
+    const std::vector<uint8_t> image = serialize();
+    const std::string tmp = path + ".tmp";
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return errnoStatus(StatusCode::Internal, "open", tmp);
+
+    const auto cleanup = [&](Status status) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return status;
+    };
+
+    size_t written = 0;
+    while (written < image.size()) {
+        const ssize_t n = ::write(fd, image.data() + written,
+                                  image.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return cleanup(
+                errnoStatus(StatusCode::Internal, "write", tmp));
+        }
+        written += static_cast<size_t>(n);
+    }
+    // Ordering is the whole point: payload durable before the rename
+    // makes it visible, rename durable via the directory fsync. A
+    // crash anywhere in between leaves either the old file or a
+    // stray .tmp — never a torn published model.
+    if (::fsync(fd) != 0)
+        return cleanup(errnoStatus(StatusCode::Internal, "fsync", tmp));
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return errnoStatus(StatusCode::Internal, "close", tmp);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const Status status =
+            errnoStatus(StatusCode::Internal, "rename", path);
+        ::unlink(tmp.c_str());
+        return status;
+    }
+
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+        ::fsync(dirfd); // best-effort: the rename itself succeeded
+        ::close(dirfd);
+    }
+    return Status::ok();
+}
+
+// ---------------------------------------------------------------------
+// StmfFile
+
+Status
+StmfFile::validate(std::span<const uint8_t> bytes,
+                   std::vector<Section> &sections, uint32_t &file_crc)
+{
+    if (bytes.size() < kHeaderBytes)
+        return Status(StatusCode::DataLoss,
+                      "file too small for an STMF header (" +
+                          std::to_string(bytes.size()) + " bytes)",
+                      offsetContext(0));
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return Status(StatusCode::InvalidArgument,
+                      "bad magic (not an STMF file)",
+                      offsetContext(0));
+    const uint32_t version = loadU32(bytes.data() + kOffVersion);
+    if (version != kStmfVersion)
+        return Status(StatusCode::InvalidArgument,
+                      "unsupported STMF version " +
+                          std::to_string(version) + " (reader speaks " +
+                          std::to_string(kStmfVersion) + ")",
+                      offsetContext(kOffVersion));
+
+    std::vector<uint8_t> header(bytes.begin(),
+                                bytes.begin() + kHeaderBytes);
+    const uint32_t header_crc = loadU32(header.data() + kOffHeaderCrc);
+    storeU32(header, kOffHeaderCrc, 0);
+    if (crc32c(header.data(), header.size()) != header_crc)
+        return Status(StatusCode::DataLoss, "header checksum mismatch",
+                      offsetContext(kOffHeaderCrc));
+
+    const uint64_t file_size = loadU64(bytes.data() + kOffFileSize);
+    if (file_size != bytes.size())
+        return Status(StatusCode::DataLoss,
+                      "header file size " + std::to_string(file_size) +
+                          " != actual " + std::to_string(bytes.size()),
+                      offsetContext(kOffFileSize));
+
+    const uint32_t count = loadU32(bytes.data() + kOffSectionCount);
+    const uint64_t table_end =
+        kHeaderBytes + uint64_t{count} * kEntryBytes;
+    if (table_end > bytes.size())
+        return Status(StatusCode::OutOfRange,
+                      "section table of " + std::to_string(count) +
+                          " entries extends past end of file",
+                      offsetContext(kOffSectionCount));
+
+    sections.clear();
+    sections.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        const size_t entry = kHeaderBytes + size_t{i} * kEntryBytes;
+        Section s;
+        s.type = loadU32(bytes.data() + entry);
+        s.offset = loadU64(bytes.data() + entry + 8);
+        s.length = loadU64(bytes.data() + entry + 16);
+        s.crc = loadU32(bytes.data() + entry + 24);
+        const std::string name = sectionName(s.type);
+        if (s.offset % 8 != 0)
+            return Status(StatusCode::InvalidArgument,
+                          "misaligned section offset " +
+                              std::to_string(s.offset),
+                          offsetContext(entry + 8, name));
+        if (s.offset < table_end)
+            return Status(StatusCode::InvalidArgument,
+                          "section overlaps header/table (offset " +
+                              std::to_string(s.offset) + ")",
+                          offsetContext(entry + 8, name));
+        // Check the offset on its own first: if it lies past EOF the
+        // unsigned subtraction below would wrap and wave the length
+        // through.
+        if (s.offset > bytes.size())
+            return Status(StatusCode::OutOfRange,
+                          "section offset " +
+                              std::to_string(s.offset) +
+                              " past end of file (" +
+                              std::to_string(bytes.size()) +
+                              " bytes)",
+                          offsetContext(entry + 8, name));
+        if (s.length > bytes.size() - s.offset)
+            return Status(StatusCode::OutOfRange,
+                          "section extends past end of file (offset " +
+                              std::to_string(s.offset) + " + length " +
+                              std::to_string(s.length) + " > " +
+                              std::to_string(bytes.size()) + ")",
+                          offsetContext(entry + 16, name));
+        sections.push_back(s);
+    }
+
+    // Overlap scan: extents sorted by offset must be disjoint.
+    std::vector<size_t> order(sections.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return sections[a].offset < sections[b].offset;
+    });
+    for (size_t k = 1; k < order.size(); ++k) {
+        const Section &prev = sections[order[k - 1]];
+        const Section &next = sections[order[k]];
+        if (prev.offset + prev.length > next.offset)
+            return Status(
+                StatusCode::InvalidArgument,
+                "section overlaps section " +
+                    sectionName(prev.type) + " at offset " +
+                    std::to_string(prev.offset),
+                offsetContext(next.offset, sectionName(next.type)));
+    }
+
+    for (const Section &s : sections) {
+        if (crc32c(bytes.data() + s.offset, s.length) != s.crc)
+            return Status(StatusCode::DataLoss,
+                          "section checksum mismatch",
+                          offsetContext(s.offset,
+                                        sectionName(s.type)));
+    }
+
+    file_crc = loadU32(bytes.data() + kOffFileCrc);
+    if (crc32c(bytes.data() + kHeaderBytes,
+               bytes.size() - kHeaderBytes) != file_crc)
+        return Status(StatusCode::DataLoss, "file checksum mismatch",
+                      offsetContext(kOffFileCrc));
+    return Status::ok();
+}
+
+Status
+StmfFile::open(const std::string &path, LoadMode mode, StmfFile &out)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return errnoStatus(errno == ENOENT ? StatusCode::NotFound
+                                           : StatusCode::Internal,
+                           "open", path);
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        const Status status =
+            errnoStatus(StatusCode::Internal, "fstat", path);
+        ::close(fd);
+        return status;
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+
+    std::shared_ptr<const void> backing;
+    std::span<const uint8_t> bytes;
+    if (mode == LoadMode::Mmap && size > 0) {
+        void *addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd,
+                            0);
+        if (addr == MAP_FAILED) {
+            const Status status =
+                errnoStatus(StatusCode::Internal, "mmap", path);
+            ::close(fd);
+            return status;
+        }
+        auto owner = std::make_shared<MmapBacking>();
+        owner->addr = static_cast<const uint8_t *>(addr);
+        owner->length = size;
+        bytes = {owner->addr, owner->length};
+        backing = std::move(owner);
+        ::close(fd); // the mapping outlives the descriptor
+    } else {
+        auto owner = std::make_shared<VectorBacking>();
+        owner->bytes.resize(size);
+        size_t got = 0;
+        while (got < size) {
+            const ssize_t n =
+                ::read(fd, owner->bytes.data() + got, size - got);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                const Status status =
+                    errnoStatus(StatusCode::Internal, "read", path);
+                ::close(fd);
+                return status;
+            }
+            if (n == 0)
+                break; // shrank underneath us; validate() reports it
+            got += static_cast<size_t>(n);
+        }
+        ::close(fd);
+        owner->bytes.resize(got);
+        bytes = {owner->bytes.data(), owner->bytes.size()};
+        backing = std::move(owner);
+        mode = LoadMode::Copy;
+    }
+
+    std::vector<Section> sections;
+    uint32_t file_crc = 0;
+    ST_RETURN_IF_ERROR(validate(bytes, sections, file_crc));
+    out.backing_ = std::move(backing);
+    out.bytes_ = bytes;
+    out.sections_ = std::move(sections);
+    out.fileCrc_ = file_crc;
+    out.mode_ = mode;
+    return Status::ok();
+}
+
+Status
+StmfFile::parse(std::vector<uint8_t> bytes, StmfFile &out)
+{
+    auto owner = std::make_shared<VectorBacking>();
+    owner->bytes = std::move(bytes);
+    const std::span<const uint8_t> view{owner->bytes.data(),
+                                        owner->bytes.size()};
+    std::vector<Section> sections;
+    uint32_t file_crc = 0;
+    ST_RETURN_IF_ERROR(validate(view, sections, file_crc));
+    out.backing_ = std::move(owner);
+    out.bytes_ = view;
+    out.sections_ = std::move(sections);
+    out.fileCrc_ = file_crc;
+    out.mode_ = LoadMode::Copy;
+    return Status::ok();
+}
+
+bool
+StmfFile::hasSection(SectionType type) const
+{
+    for (const Section &s : sections_) {
+        if (s.type == static_cast<uint32_t>(type))
+            return true;
+    }
+    return false;
+}
+
+std::span<const uint8_t>
+StmfFile::section(SectionType type) const
+{
+    for (const Section &s : sections_) {
+        if (s.type == static_cast<uint32_t>(type))
+            return bytes_.subspan(s.offset, s.length);
+    }
+    return {};
+}
+
+uint64_t
+StmfFile::sectionOffset(SectionType type) const
+{
+    for (const Section &s : sections_) {
+        if (s.type == static_cast<uint32_t>(type))
+            return s.offset;
+    }
+    return 0;
+}
+
+} // namespace st::model

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * STMF — the SpaceTime Model File container (DESIGN.md Sec. 14).
+ *
+ * A versioned little-endian binary container for *compiled* model
+ * artifacts: the flat CSR instruction stream of `Network::compile()`,
+ * TNN layer weights, GRL circuit netlists, LSM reservoir params. Text
+ * formats (network_io, tnn_io) stay the interchange for figures and
+ * training; STMF is the serving format, where startup must be an mmap
+ * + fixup instead of a parse + recompile.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   [0, 64)    FileHeader: magic "STMF\r\n\x1a\n", format version,
+ *              section count, file size, whole-file CRC32C (over
+ *              everything after the header), header CRC32C (over the
+ *              header with this field zeroed).
+ *   [64, ...)  Section table: one 32-byte entry per section — type,
+ *              absolute offset (8-aligned), payload length, payload
+ *              CRC32C.
+ *   [...]      Section payloads, each 8-aligned, zero-padded between.
+ *
+ * Readers never trust a byte: every offset/length is bounds-checked
+ * against the actual file size, section extents must not overlap the
+ * header, the table, or each other, alignment is enforced before any
+ * typed view is formed, and all three checksum layers are verified
+ * before a payload becomes visible. Every rejection is an `st::Status`
+ * carrying the byte offset + section name ("offset 96, section plan"),
+ * never an exception and never a crash — the PR 5 loader-hardening bar
+ * applied to binary input.
+ *
+ * Writing is crash-safe: the container is serialized to a sibling
+ * temporary, fsync'd, renamed over the destination, and the directory
+ * fsync'd, so a torn file can never appear under the published name.
+ */
+
+#ifndef ST_MODEL_STMF_HPP
+#define ST_MODEL_STMF_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "fault/status.hpp"
+
+namespace st::model {
+
+/** Current STMF format version (bumped on incompatible layout). */
+inline constexpr uint32_t kStmfVersion = 1;
+
+/** Section payload kinds. Unknown types are checksummed but ignored. */
+enum class SectionType : uint32_t
+{
+    Meta = 1, //!< model identity: kind, id, version, input width
+    Tnn = 2,  //!< TnnNetwork: per-layer ColumnParams + weights
+    Plan = 3, //!< compiled EvalProgram (live stream) + config values
+    Grl = 4,  //!< GRL circuit: gate table + fanin CSR + outputs
+    Lsm = 5,  //!< LSM anomaly model: ReservoirParams + scoring knobs
+};
+
+/** Printable section name ("meta", "tnn", ...; "section <n>" else). */
+std::string sectionName(uint32_t type);
+
+/** How StmfFile::open backs the payload bytes. */
+enum class LoadMode : uint8_t
+{
+    Mmap, //!< map the file read-only; sections view the mapping
+    Copy, //!< read the file into an owned buffer (portable fallback)
+};
+
+/**
+ * Accumulates sections and serializes/publishes the container.
+ * Sections are written in addSection() order.
+ */
+class StmfBuilder
+{
+  public:
+    /** Append one section payload (moved in). */
+    void addSection(SectionType type, std::vector<uint8_t> payload);
+
+    /** Serialize header + table + payloads into one buffer. */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Atomic publish: serialize to "<path>.tmp", fsync, rename over
+     * @p path, fsync the directory. On any failure the destination is
+     * untouched and the temporary is removed.
+     */
+    Status writeFile(const std::string &path) const;
+
+  private:
+    struct Pending
+    {
+        uint32_t type;
+        std::vector<uint8_t> payload;
+    };
+    std::vector<Pending> sections_;
+};
+
+/**
+ * A validated, immutable view of one STMF container. Cheap to copy:
+ * the backing bytes (mapping or owned buffer) are shared, so section
+ * spans handed out stay valid for as long as any copy — or any model
+ * holding the backing keepalive — lives.
+ */
+class StmfFile
+{
+  public:
+    /** One validated section-table entry. */
+    struct Section
+    {
+        uint32_t type = 0;
+        uint64_t offset = 0; //!< absolute, 8-aligned
+        uint64_t length = 0;
+        uint32_t crc = 0;
+    };
+
+    StmfFile() = default;
+
+    /**
+     * Open + fully validate @p path via @p mode. On any malformed
+     * input @p out is left empty and the returned Status carries the
+     * code, message and "offset N[, section S]" context.
+     */
+    static Status open(const std::string &path, LoadMode mode,
+                       StmfFile &out);
+
+    /** Validate an in-memory image (the Copy path without the file). */
+    static Status parse(std::vector<uint8_t> bytes, StmfFile &out);
+
+    /** True once open()/parse() succeeded on this instance. */
+    bool valid() const { return backing_ != nullptr; }
+
+    /** Load path actually used (meaningful when valid()). */
+    LoadMode mode() const { return mode_; }
+
+    /** Total container size in bytes. */
+    size_t fileBytes() const { return bytes_.size(); }
+
+    /** Whole-file CRC32C from the header (the model checksum). */
+    uint32_t fileCrc() const { return fileCrc_; }
+
+    /** Validated section table, in file order. */
+    const std::vector<Section> &sections() const { return sections_; }
+
+    /** True iff a section of @p type is present. */
+    bool hasSection(SectionType type) const;
+
+    /**
+     * Payload bytes of the first section of @p type (empty span if
+     * absent — pair with hasSection() to distinguish an empty
+     * payload). The span points into the shared backing.
+     */
+    std::span<const uint8_t> section(SectionType type) const;
+
+    /** Absolute file offset of @p type's payload (0 if absent). */
+    uint64_t sectionOffset(SectionType type) const;
+
+    /**
+     * Keepalive for views into the backing bytes: a model that stores
+     * spans into the mapping holds this alongside them.
+     */
+    std::shared_ptr<const void> keepAlive() const { return backing_; }
+
+  private:
+    static Status validate(std::span<const uint8_t> bytes,
+                           std::vector<Section> &sections,
+                           uint32_t &file_crc);
+
+    std::shared_ptr<const void> backing_; //!< mapping or owned buffer
+    std::span<const uint8_t> bytes_;
+    std::vector<Section> sections_;
+    uint32_t fileCrc_ = 0;
+    LoadMode mode_ = LoadMode::Copy;
+};
+
+/**
+ * Bounds-checked little-endian cursor over one section payload, the
+ * primitive every payload decoder is written against. Each accessor
+ * either fills its out-parameter or returns a Status whose context is
+ * the *absolute file offset* of the failing read plus the section
+ * name, so a malformed byte is reported where it sits in the file,
+ * not relative to some payload-local origin.
+ */
+class SectionReader
+{
+  public:
+    SectionReader(std::span<const uint8_t> payload,
+                  uint64_t file_offset, std::string section)
+        : bytes_(payload), base_(file_offset),
+          section_(std::move(section))
+    {
+    }
+
+    size_t pos() const { return pos_; }
+    size_t remaining() const { return bytes_.size() - pos_; }
+
+    Status u32(uint32_t &out);
+    Status u64(uint64_t &out);
+    Status f64(double &out);
+
+    /**
+     * A typed array of @p count little-endian elements starting at
+     * the cursor, which must be 8-aligned relative to the section
+     * start (sections themselves are 8-aligned in the file, so this
+     * is absolute alignment — the property the mmap fixup path needs
+     * to hand the bytes out as a typed span with no copy).
+     */
+    template <typename T>
+    Status array(size_t count, std::span<const T> &out);
+
+    /** Skip to the next 8-aligned cursor position. */
+    Status align8();
+
+    /** A length-prefixed (u32) string of at most @p max_len bytes. */
+    Status str(std::string &out, size_t max_len = 4096);
+
+    /** Fail unless the whole payload was consumed. */
+    Status expectEnd();
+
+    /** An error Status anchored at the cursor's file offset. */
+    Status fail(StatusCode code, const std::string &message) const;
+
+    /** An error Status anchored at @p at (payload-relative). */
+    Status failAt(size_t at, StatusCode code,
+                  const std::string &message) const;
+
+  private:
+    Status need(size_t n, const char *what);
+
+    std::span<const uint8_t> bytes_;
+    uint64_t base_ = 0;
+    std::string section_;
+    size_t pos_ = 0;
+};
+
+template <typename T>
+Status
+SectionReader::array(size_t count, std::span<const T> &out)
+{
+    static_assert(alignof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    ST_RETURN_IF_ERROR(align8());
+    if (count > remaining() / sizeof(T))
+        return fail(StatusCode::DataLoss,
+                    "array of " + std::to_string(count) + " x " +
+                        std::to_string(sizeof(T)) +
+                        " bytes extends past section end");
+    out = {reinterpret_cast<const T *>(bytes_.data() + pos_), count};
+    pos_ += count * sizeof(T);
+    return Status::ok();
+}
+
+/** Little-endian emit helpers mirroring SectionReader. */
+class SectionWriter
+{
+  public:
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v);
+    void bytes(const void *data, size_t len);
+    void align8();
+    void str(std::string_view s);
+
+    /** Emit a typed array (8-aligning first, matching the reader). */
+    template <typename T>
+    void
+    array(std::span<const T> values)
+    {
+        align8();
+        bytes(values.data(), values.size() * sizeof(T));
+    }
+
+    size_t size() const { return buf_.size(); }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+} // namespace st::model
+
+#endif // ST_MODEL_STMF_HPP

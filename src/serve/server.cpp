@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <sstream>
 
 #include "core/eval_plan.hpp"
@@ -18,11 +19,40 @@ namespace {
 /** Signal flag polled by the reaper (handler-safe: one atomic store). */
 std::atomic<StreamServer *> g_signal_server{nullptr};
 std::atomic<bool> g_stop_requested{false};
+std::atomic<bool> g_reload_requested{false};
 
 void
 onStopSignal(int)
 {
     g_stop_requested.store(true, std::memory_order_release);
+}
+
+void
+onReloadSignal(int)
+{
+    g_reload_requested.store(true, std::memory_order_release);
+}
+
+/** Boot-model identity when the server is constructed from a bare
+ *  ServeModel instead of an STMF file (tests, text-format daemons). */
+model::ModelInfo
+builtinInfo(const ServeModel &m)
+{
+    model::ModelInfo info;
+    info.kind = m.name();
+    info.id = "builtin";
+    info.version = 1;
+    info.inputWidth = m.numInputs();
+    return info;
+}
+
+/** Whole-file CRC32C as 8 hex digits (the health checksum field). */
+std::string
+crcHex(uint32_t crc)
+{
+    char buf[9];
+    std::snprintf(buf, sizeof buf, "%08x", crc);
+    return buf;
 }
 
 /** Deterministic chaos stream id for (session, seq). */
@@ -45,7 +75,20 @@ steadyNowMs()
 
 StreamServer::StreamServer(std::unique_ptr<ServeModel> model,
                            ServeConfig config)
-    : config_(config), model_(std::move(model)), admission_(config)
+    : config_(config), registry_([&model] {
+          std::shared_ptr<ServeModel> shared(std::move(model));
+          model::ModelInfo info = builtinInfo(*shared);
+          return ModelRegistry(std::move(shared), std::move(info));
+      }()),
+      admission_(config)
+{
+    startedAtMs_ = steadyNowMs();
+}
+
+StreamServer::StreamServer(std::shared_ptr<ServeModel> model,
+                           model::ModelInfo info, ServeConfig config)
+    : config_(config),
+      registry_(std::move(model), std::move(info)), admission_(config)
 {
     startedAtMs_ = steadyNowMs();
 }
@@ -103,7 +146,7 @@ StreamServer::openSession(const std::string &client_key)
         }
         const uint64_t id = nextSessionId_++;
         session = std::make_shared<Session>(
-            id, config_, model_->numInputs(),
+            id, config_, registry_.current()->model->numInputs(),
             [this] { notifyWork(); });
         sessions_.emplace(id, session);
         ST_OBS_GAUGE_SET("serve.sessions.active", sessions_.size());
@@ -209,6 +252,7 @@ StreamServer::installSignalHandlers(StreamServer *server)
 {
     g_signal_server.store(server, std::memory_order_release);
     g_stop_requested.store(false, std::memory_order_release);
+    g_reload_requested.store(false, std::memory_order_release);
     struct sigaction sa = {};
     if (server != nullptr) {
         sa.sa_handler = onStopSignal;
@@ -221,6 +265,46 @@ StreamServer::installSignalHandlers(StreamServer *server)
     }
     sigaction(SIGTERM, &sa, nullptr);
     sigaction(SIGINT, &sa, nullptr);
+    // SIGHUP = "reload your model", the daemon-config convention. The
+    // handler only flips a flag; the reaper runs the actual reload so
+    // the signal context stays async-safe.
+    struct sigaction hup = {};
+    if (server != nullptr) {
+        hup.sa_handler = onReloadSignal;
+        sigemptyset(&hup.sa_mask);
+        hup.sa_flags = SA_RESTART;
+    } else {
+        hup.sa_handler = SIG_DFL;
+    }
+    sigaction(SIGHUP, &hup, nullptr);
+}
+
+void
+StreamServer::setReloadHandler(std::function<Status()> handler)
+{
+    std::lock_guard<std::mutex> lock(reloadMutex_);
+    reloadHandler_ = std::move(handler);
+}
+
+Status
+StreamServer::triggerReload()
+{
+    std::function<Status()> handler;
+    {
+        std::lock_guard<std::mutex> lock(reloadMutex_);
+        handler = reloadHandler_;
+    }
+    if (!handler)
+        return Status(StatusCode::FailedPrecondition,
+                      "no reload handler installed (daemon not "
+                      "started with a model directory)");
+    ST_OBS_ADD("model.reload.requested", 1);
+    const Status status = handler();
+    if (!status.isOk())
+        ST_LOG_WARN("serve.reload",
+                    "model reload failed; incumbent keeps serving: " +
+                        status.str());
+    return status;
 }
 
 void
@@ -233,6 +317,11 @@ StreamServer::sweepSessions(uint64_t now_ms)
         for (auto &[id, s] : sessions_)
             snapshot.push_back(s);
     }
+    // Session state lives in whatever model version is current when
+    // the session ends; a version retired mid-session takes its state
+    // with it when the last pinned batch releases the refcount.
+    const std::shared_ptr<const ModelVersion> pinned =
+        registry_.current();
     for (auto &s : snapshot) {
         const bool drain_all =
             draining_.load(std::memory_order_acquire);
@@ -252,7 +341,7 @@ StreamServer::sweepSessions(uint64_t now_ms)
                                  sessions_.size());
             }
             if (erased) {
-                model_->endSession(s->id());
+                pinned->model->endSession(s->id());
                 ST_OBS_ADD("serve.sessions.closed", 1);
                 obs::FlightRecorder::instance().record(
                     "session.close", s->id(),
@@ -268,6 +357,13 @@ StreamServer::runBatch(
     std::vector<BatchItem> &items, uint64_t now_ms)
 {
     ST_TRACE_SPAN("serve.batch");
+    // Pin the published model version for this whole batch: a
+    // concurrent swapModel() cannot retire the engine mid-batch (the
+    // shared_ptr holds its refcount), and every item of one batch is
+    // answered by one version. The next gather pass re-pins.
+    const std::shared_ptr<const ModelVersion> pinned =
+        registry_.current();
+    ServeModel &model = *pinned->model;
     if (chaos_) {
         for (BatchItem &item : items) {
             std::vector<Time> &v = item.volley;
@@ -302,8 +398,8 @@ StreamServer::runBatch(
             if constexpr (kLatencyEnabled)
                 stamps.modelEnterUs = steadyNowUs();
             const std::vector<std::string> one =
-                model_->processBatch({&items[i], 1},
-                                     config_.nthreads);
+                model.processBatch({&items[i], 1},
+                                   config_.nthreads);
             if constexpr (kLatencyEnabled)
                 stamps.modelExitUs = steadyNowUs();
             finishOne(i, stamps);
@@ -315,7 +411,7 @@ StreamServer::runBatch(
                                    steadyNowMs());
         }
     };
-    if (!model_->transactional()) {
+    if (!model.transactional()) {
         // Stateful models commit per-session state as they iterate,
         // so a whole-batch retry after a mid-batch throw would apply
         // the items before the failure twice (double-advancing
@@ -330,7 +426,7 @@ StreamServer::runBatch(
         try {
             if constexpr (kLatencyEnabled)
                 stamps.modelEnterUs = steadyNowUs();
-            payloads = model_->processBatch(items, config_.nthreads);
+            payloads = model.processBatch(items, config_.nthreads);
             if constexpr (kLatencyEnabled)
                 stamps.modelExitUs = steadyNowUs();
             if (payloads.size() != items.size())
@@ -480,6 +576,15 @@ StreamServer::reaperLoop()
             g_signal_server.load(std::memory_order_acquire) == this)
             requestStop();
 
+        if (g_signal_server.load(std::memory_order_acquire) == this &&
+            g_reload_requested.exchange(false,
+                                        std::memory_order_acq_rel)) {
+            // SIGHUP path; triggerReload() logs failures and the
+            // registry keeps the incumbent, so the verdict needs no
+            // extra handling here.
+            (void)triggerReload();
+        }
+
         admission_.decay(now);
 
         std::vector<std::shared_ptr<Session>> snapshot;
@@ -580,8 +685,18 @@ StreamServer::healthJson() const
     os << "\"ready\":" << (ready() ? "true" : "false") << ",";
     os << "\"version\":\"" << kVersionString << "\",";
     os << "\"simd\":\"" << evalSimdBodyName() << "\",";
-    os << "\"model\":\"" << model_->name() << "\",";
-    os << "\"inputs\":" << model_->numInputs() << ",";
+    const std::shared_ptr<const ModelVersion> pinned =
+        registry_.current();
+    os << "\"model\":\"" << pinned->model->name() << "\",";
+    os << "\"model_id\":\"" << pinned->info.id << "\",";
+    os << "\"model_version\":" << pinned->info.version << ",";
+    os << "\"model_checksum\":\"" << crcHex(pinned->info.fileCrc)
+       << "\",";
+    os << "\"model_epoch\":" << pinned->epoch << ",";
+    os << "\"model_swaps\":" << registry_.swapCount() << ",";
+    os << "\"model_swap_failed\":" << registry_.failedSwapCount()
+       << ",";
+    os << "\"inputs\":" << pinned->model->numInputs() << ",";
     os << "\"sessions_active\":" << activeSessions() << ",";
     os << "\"max_sessions\":" << config_.maxSessions << ",";
     os << "\"chaos\":" << (chaos_ ? "true" : "false") << ",";

@@ -39,6 +39,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +52,7 @@
 #include "serve/config.hpp"
 #include "serve/latency.hpp"
 #include "serve/model.hpp"
+#include "serve/registry.hpp"
 #include "serve/session.hpp"
 
 namespace st::serve {
@@ -63,13 +65,54 @@ class StreamServer
 {
   public:
     StreamServer(std::unique_ptr<ServeModel> model, ServeConfig config);
+
+    /**
+     * Boot with an explicit model identity (an STMF-loaded model's
+     * ModelInfo) so health reports the real id/version/checksum from
+     * the first request instead of the "builtin" placeholder.
+     */
+    StreamServer(std::shared_ptr<ServeModel> model,
+                 model::ModelInfo info, ServeConfig config);
+
     ~StreamServer();
 
     StreamServer(const StreamServer &) = delete;
     StreamServer &operator=(const StreamServer &) = delete;
 
     const ServeConfig &config() const { return config_; }
-    ServeModel &model() { return *model_; }
+
+    /**
+     * The currently published model. The reference stays valid until
+     * the next successful swapModel(); batch processing never uses
+     * this accessor — the batcher pins a version per batch instead.
+     */
+    ServeModel &model() { return *registry_.current()->model; }
+
+    /** The hot-swap model registry (version pinning, swap counters). */
+    ModelRegistry &registry() { return registry_; }
+
+    /**
+     * Canary + publish @p candidate as the next model version (see
+     * ModelRegistry::swap). In-flight batches finish on the version
+     * they pinned; new batches — and new sessions' width negotiation —
+     * see the new one. A failed canary leaves the incumbent serving.
+     */
+    Status swapModel(std::shared_ptr<ServeModel> candidate,
+                     model::ModelInfo info)
+    {
+        return registry_.swap(std::move(candidate), std::move(info));
+    }
+
+    /**
+     * Install the reload procedure (rescan a model dir, load, swap)
+     * invoked by SIGHUP and the `reload` wire command. The handler
+     * runs on the reaper thread or a transport thread — never the
+     * batcher — and must be internally synchronized.
+     */
+    void setReloadHandler(std::function<Status()> handler);
+
+    /** Run the installed reload handler (FailedPrecondition if none). */
+    Status triggerReload();
 
     /** Start batcher/watchdog/reaper. Idempotent. */
     void start();
@@ -135,8 +178,9 @@ class StreamServer
     void enableChaos(const fault::FaultSpec &spec);
 
     /**
-     * Install SIGTERM/SIGINT handlers that requestStop() this server
-     * (one server per process; passing nullptr uninstalls).
+     * Install SIGTERM/SIGINT handlers that requestStop() this server,
+     * plus a SIGHUP handler that triggers the reload procedure (one
+     * server per process; passing nullptr uninstalls).
      */
     static void installSignalHandlers(StreamServer *server);
 
@@ -154,8 +198,11 @@ class StreamServer
                              const VolleyStamps &stamps);
 
     ServeConfig config_;
-    std::unique_ptr<ServeModel> model_;
+    ModelRegistry registry_;
     AdmissionController admission_;
+
+    std::mutex reloadMutex_;
+    std::function<Status()> reloadHandler_;
 
     mutable std::mutex sessionsMutex_;
     std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;

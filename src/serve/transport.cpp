@@ -60,6 +60,14 @@ dispatchLine(StreamServer &server,
         put("health " + server.healthJson() + "\n");
         return true;
     }
+    if (line == "reload") {
+        // Same procedure as SIGHUP, but synchronous: the reply tells
+        // the operator whether the swap published or was rolled back.
+        const Status status = server.triggerReload();
+        put("reload " +
+            (status.isOk() ? std::string("ok") : status.str()) + "\n");
+        return true;
+    }
     session->feedLine(line, steadyNowMs());
     return line != "end";
 }

@@ -71,6 +71,25 @@ Column::Column(const ColumnParams &params)
     }
 }
 
+Column::Column(const ColumnParams &params,
+               std::vector<std::vector<double>> weights)
+    : params_(params), family_(buildFamily(params))
+{
+    if (params_.numInputs == 0 || params_.numNeurons == 0)
+        throw std::invalid_argument("Column: needs inputs and neurons");
+    if (params_.threshold < 1)
+        throw std::invalid_argument("Column: threshold must be >= 1");
+    if (weights.size() != params_.numNeurons)
+        throw std::invalid_argument("Column: weight row count mismatch");
+    for (const auto &w : weights)
+        if (w.size() != params_.numInputs)
+            throw std::invalid_argument("Column: weight arity mismatch");
+
+    winCount_.assign(params_.numNeurons, 0);
+    modelCache_.resize(params_.numNeurons);
+    weights_ = std::move(weights);
+}
+
 Column::Column(const Column &other)
     : params_(other.params_), family_(other.family_),
       weights_(other.weights_), winCount_(other.winCount_),

@@ -95,6 +95,17 @@ class Column
   public:
     explicit Column(const ColumnParams &params);
 
+    /**
+     * Construct with the weight matrix supplied directly: one row per
+     * neuron, each row numInputs wide (arity-checked). This is the
+     * deserialization fast path — it skips the seeded random init
+     * that the supplied weights would immediately overwrite. Value
+     * ranges are the caller's contract (the STMF decoder range-checks
+     * every weight before constructing).
+     */
+    Column(const ColumnParams &params,
+           std::vector<std::vector<double>> weights);
+
     /** Copies share nothing; the lazy model cache starts empty. */
     Column(const Column &other);
     Column &operator=(const Column &other);

@@ -206,6 +206,16 @@ TnnNetwork::addLayer(const ColumnParams &params)
     layers_.emplace_back(params);
 }
 
+void
+TnnNetwork::addLayer(Column column)
+{
+    if (!layers_.empty() &&
+        column.params().numInputs != layers_.back().params().numNeurons) {
+        throw std::invalid_argument("TnnNetwork: layer width mismatch");
+    }
+    layers_.push_back(std::move(column));
+}
+
 Volley
 TnnNetwork::process(const Volley &input) const
 {

@@ -30,6 +30,9 @@ class TnnNetwork
      */
     void addLayer(const ColumnParams &params);
 
+    /** Append a pre-built Column (e.g. the deserialization path). */
+    void addLayer(Column column);
+
     /** Number of layers. */
     size_t numLayers() const { return layers_.size(); }
 

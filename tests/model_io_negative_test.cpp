@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Hostile-input suite for the STMF container (model/stmf.hpp,
+ * model/serialize.hpp).
+ *
+ * The reader's contract on malformed input is absolute: every
+ * rejection is a contextual st::Status (code + message + byte offset,
+ * and the section name once the table is parsed) — never a crash,
+ * never a partial decode into the out-parameter. This suite earns
+ * that claim the hard way: a truncation sweep over EVERY prefix
+ * length of a valid container, single-bit flips across the file,
+ * header/table field tampering with recomputed checksums (so the
+ * tamper — not the checksum — is what the validator must catch), and
+ * a seeded mutation fuzz loop. The CI sanitizer jobs run all of it
+ * under ASan/UBSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "model/crc32c.hpp"
+#include "model/serialize.hpp"
+#include "model/stmf.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st::model {
+namespace {
+
+constexpr size_t kHeaderBytes = 64;
+constexpr size_t kEntryBytes = 32;
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffSectionCount = 12;
+constexpr size_t kOffFileSize = 16;
+constexpr size_t kOffFileCrc = 24;
+constexpr size_t kOffHeaderCrc = 28;
+
+void
+storeU32(std::vector<uint8_t> &b, size_t off, uint32_t v)
+{
+    std::memcpy(b.data() + off, &v, sizeof(v));
+}
+
+void
+storeU64(std::vector<uint8_t> &b, size_t off, uint64_t v)
+{
+    std::memcpy(b.data() + off, &v, sizeof(v));
+}
+
+/**
+ * Recompute the file CRC and header CRC after deliberate tampering,
+ * so the *semantic* validator — not the checksum — has to reject the
+ * image. This is exactly what a capable attacker (or a buggy writer)
+ * would produce.
+ */
+void
+fixCrcs(std::vector<uint8_t> &b)
+{
+    storeU32(b, kOffFileCrc,
+             crc32c(b.data() + kHeaderBytes,
+                    b.size() - kHeaderBytes));
+    storeU32(b, kOffHeaderCrc, 0);
+    storeU32(b, kOffHeaderCrc, crc32c(b.data(), kHeaderBytes));
+}
+
+/** A small valid multi-section container (meta + plan + grl). */
+std::vector<uint8_t>
+validImage()
+{
+    Network net(4);
+    std::vector<NodeId> ins;
+    for (size_t i = 0; i < 4; ++i)
+        ins.push_back(net.input(i));
+    net.markOutput(net.lt(net.min(ins), net.inc(net.max(ins), 2)));
+
+    ModelInfo info;
+    info.kind = "plan";
+    info.id = "hostile";
+    info.version = 1;
+    info.inputWidth = 4;
+
+    StmfBuilder builder;
+    builder.addSection(SectionType::Meta, encodeMeta(info));
+    builder.addSection(SectionType::Plan, encodePlan(net));
+    return builder.serialize();
+}
+
+Status
+parseImage(std::vector<uint8_t> bytes)
+{
+    StmfFile file;
+    return StmfFile::parse(std::move(bytes), file);
+}
+
+/** Parse + decode end to end; any stage may reject, none may crash. */
+void
+parseAndDecode(std::vector<uint8_t> bytes)
+{
+    StmfFile file;
+    if (!StmfFile::parse(std::move(bytes), file).isOk())
+        return;
+    ModelInfo info;
+    if (!decodeMeta(file, info).isOk())
+        return;
+    if (file.hasSection(SectionType::Plan)) {
+        PlanModel plan;
+        (void)decodePlan(file, plan);
+    }
+    if (file.hasSection(SectionType::Tnn)) {
+        TnnNetwork tnn;
+        (void)decodeTnn(file, tnn);
+    }
+    if (file.hasSection(SectionType::Grl)) {
+        grl::Circuit circuit(0);
+        (void)decodeGrl(file, circuit);
+    }
+    if (file.hasSection(SectionType::Lsm)) {
+        LsmModelConfig lsm;
+        (void)decodeLsm(file, lsm);
+    }
+}
+
+uint64_t
+mix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+TEST(StmfNegative, TruncationAtEveryLengthRejectsWithContext)
+{
+    const std::vector<uint8_t> image = validImage();
+    ASSERT_TRUE(parseImage(image).isOk());
+    for (size_t len = 0; len < image.size(); ++len) {
+        const std::vector<uint8_t> prefix(image.begin(),
+                                          image.begin() + len);
+        const Status status = parseImage(prefix);
+        ASSERT_FALSE(status.isOk()) << "length " << len;
+        EXPECT_NE(status.context().find("offset"), std::string::npos)
+            << "length " << len << ": " << status.str();
+    }
+}
+
+TEST(StmfNegative, EverySingleBitFlipIsDetected)
+{
+    const std::vector<uint8_t> image = validImage();
+    // CRC32C detects all 1-bit errors, the header checksum covers the
+    // header, the file checksum covers the rest: no flip may pass.
+    for (size_t byte = 0; byte < image.size(); ++byte) {
+        std::vector<uint8_t> mutated = image;
+        mutated[byte] ^= uint8_t{1} << (byte % 8);
+        EXPECT_FALSE(parseImage(std::move(mutated)).isOk())
+            << "flip at byte " << byte;
+    }
+}
+
+TEST(StmfNegative, BadMagicRejected)
+{
+    std::vector<uint8_t> image = validImage();
+    image[0] = 'X';
+    const Status status = parseImage(image);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("magic"), std::string::npos)
+        << status.str();
+}
+
+TEST(StmfNegative, FutureFormatVersionRejectedExplicitly)
+{
+    std::vector<uint8_t> image = validImage();
+    storeU32(image, kOffVersion, 999);
+    fixCrcs(image); // a well-formed file from a future writer
+    const Status status = parseImage(image);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(status.message().find("version"), std::string::npos)
+        << status.str();
+}
+
+TEST(StmfNegative, HeaderSizeLieRejected)
+{
+    std::vector<uint8_t> image = validImage();
+    storeU64(image, kOffFileSize, image.size() + 8);
+    fixCrcs(image);
+    EXPECT_FALSE(parseImage(image).isOk());
+}
+
+TEST(StmfNegative, SectionTablePastEndRejected)
+{
+    std::vector<uint8_t> image = validImage();
+    storeU32(image, kOffSectionCount, 1u << 20);
+    fixCrcs(image);
+    const Status status = parseImage(image);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::OutOfRange);
+}
+
+TEST(StmfNegative, MisalignedSectionOffsetRejected)
+{
+    std::vector<uint8_t> image = validImage();
+    const size_t entry = kHeaderBytes; // first table entry
+    uint64_t off = 0;
+    std::memcpy(&off, image.data() + entry + 8, sizeof(off));
+    storeU64(image, entry + 8, off + 1);
+    fixCrcs(image);
+    const Status status = parseImage(image);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("misaligned"), std::string::npos)
+        << status.str();
+    EXPECT_NE(status.context().find("section"), std::string::npos)
+        << status.str();
+}
+
+TEST(StmfNegative, SectionBeyondEofRejected)
+{
+    std::vector<uint8_t> image = validImage();
+    const size_t entry = kHeaderBytes;
+    storeU64(image, entry + 16, image.size()); // length > remaining
+    fixCrcs(image);
+    const Status status = parseImage(image);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::OutOfRange);
+}
+
+TEST(StmfNegative, SectionOverHeaderRejected)
+{
+    std::vector<uint8_t> image = validImage();
+    const size_t entry = kHeaderBytes;
+    storeU64(image, entry + 8, 0); // payload claims the header bytes
+    fixCrcs(image);
+    const Status status = parseImage(image);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("overlap"), std::string::npos)
+        << status.str();
+}
+
+TEST(StmfNegative, OverlappingSectionsRejected)
+{
+    std::vector<uint8_t> image = validImage();
+    // Point section 1 into section 0's extent (keeping its own CRC
+    // consistent with the bytes it now claims is impossible without
+    // also fixing the per-section CRC — fix it too, so the overlap
+    // scan itself must fire).
+    const size_t e0 = kHeaderBytes;
+    const size_t e1 = kHeaderBytes + kEntryBytes;
+    uint64_t off0 = 0;
+    uint64_t len1 = 0;
+    std::memcpy(&off0, image.data() + e0 + 8, sizeof(off0));
+    std::memcpy(&len1, image.data() + e1 + 16, sizeof(len1));
+    storeU64(image, e1 + 8, off0);
+    if (len1 > image.size() - off0)
+        storeU64(image, e1 + 16, image.size() - off0);
+    uint64_t len1b = 0;
+    std::memcpy(&len1b, image.data() + e1 + 16, sizeof(len1b));
+    storeU32(image, e1 + 24,
+             crc32c(image.data() + off0, len1b));
+    fixCrcs(image);
+    const Status status = parseImage(image);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("overlap"), std::string::npos)
+        << status.str();
+}
+
+TEST(StmfNegative, SectionCrcMismatchNamesTheSection)
+{
+    std::vector<uint8_t> image = validImage();
+    const size_t entry = kHeaderBytes + kEntryBytes; // plan section
+    uint64_t off = 0;
+    std::memcpy(&off, image.data() + entry + 8, sizeof(off));
+    image[off] ^= 0xff;
+    fixCrcs(image); // file CRC now matches; section CRC must not
+    const Status status = parseImage(image);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::DataLoss);
+    EXPECT_NE(status.context().find("plan"), std::string::npos)
+        << status.str();
+}
+
+TEST(PlanNegative, TopologicalViolationRejected)
+{
+    // Rewrite a plan operand to reference a *later* slot: the decoder
+    // must reject it — the executors assume operands are resolved.
+    Network net(2);
+    net.markOutput(net.min(net.input(0), net.input(1)));
+    StmfBuilder builder;
+    ModelInfo info;
+    info.kind = "plan";
+    info.id = "topo";
+    info.version = 1;
+    info.inputWidth = 2;
+    builder.addSection(SectionType::Meta, encodeMeta(info));
+
+    std::vector<uint8_t> plan = encodePlan(net);
+    // Layout: 7 u64 counts, op[numInstrs] (u8, padded), extra[...],
+    // argBeg[...], argSlot[numEdges]... Corrupt every u32 in the body
+    // one at a time to a huge slot index; at least one lands on
+    // argSlot, and every variant must be rejected or decode cleanly
+    // (when it misses a validated field) — never crash.
+    size_t rejected = 0;
+    for (size_t off = 7 * 8; off + 4 <= plan.size(); off += 4) {
+        std::vector<uint8_t> mutated = plan;
+        storeU32(mutated, off, 0x7fffffff);
+        StmfBuilder b2;
+        b2.addSection(SectionType::Meta, encodeMeta(info));
+        b2.addSection(SectionType::Plan, mutated);
+        StmfFile file;
+        ASSERT_TRUE(
+            StmfFile::parse(b2.serialize(), file).isOk());
+        PlanModel model;
+        if (!decodePlan(file, model).isOk())
+            ++rejected;
+    }
+    EXPECT_GT(rejected, 0u);
+}
+
+TEST(TnnNegative, NonFiniteWeightRejected)
+{
+    TnnNetwork net;
+    ColumnParams p;
+    p.numInputs = 3;
+    p.numNeurons = 2;
+    net.addLayer(p);
+    std::vector<uint8_t> payload = encodeTnn(net);
+
+    // The weight matrix is the trailing 6 doubles; inject a NaN.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(payload.data() + payload.size() - sizeof(double),
+                &nan, sizeof(nan));
+
+    ModelInfo info;
+    info.kind = "tnn";
+    info.id = "nan";
+    info.version = 1;
+    info.inputWidth = 3;
+    StmfBuilder builder;
+    builder.addSection(SectionType::Meta, encodeMeta(info));
+    builder.addSection(SectionType::Tnn, payload);
+    StmfFile file;
+    ASSERT_TRUE(StmfFile::parse(builder.serialize(), file).isOk());
+    TnnNetwork out;
+    const Status status = decodeTnn(file, out);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.context().find("tnn"), std::string::npos)
+        << status.str();
+}
+
+TEST(MetaNegative, MissingSectionAndAbsurdWidthRejected)
+{
+    StmfBuilder builder;
+    builder.addSection(SectionType::Lsm,
+                       encodeLsm(LsmModelConfig{}));
+    StmfFile file;
+    ASSERT_TRUE(StmfFile::parse(builder.serialize(), file).isOk());
+    ModelInfo info;
+    EXPECT_FALSE(decodeMeta(file, info).isOk()); // no META section
+
+    ModelInfo absurd;
+    absurd.kind = "tnn";
+    absurd.id = "wide";
+    absurd.version = 1;
+    absurd.inputWidth = uint64_t{1} << 40;
+    StmfBuilder b2;
+    b2.addSection(SectionType::Meta, encodeMeta(absurd));
+    StmfFile f2;
+    ASSERT_TRUE(StmfFile::parse(b2.serialize(), f2).isOk());
+    ModelInfo out;
+    EXPECT_FALSE(decodeMeta(f2, out).isOk());
+}
+
+/**
+ * Seeded mutation fuzz: random byte writes, truncations and block
+ * swaps over a valid image, parsed and decoded end to end. The
+ * assertion is survival with clean rejection — the sanitizer jobs
+ * (ASan/UBSan via CMAKE_CXX_FLAGS, and the chaos CI job) turn any
+ * out-of-bounds read into a hard failure.
+ */
+TEST(StmfFuzz, SeededMutationsNeverCrashTheDecoder)
+{
+    const std::vector<uint8_t> image = validImage();
+    uint64_t rng = 0x57f7u;
+    for (size_t iter = 0; iter < 500; ++iter) {
+        std::vector<uint8_t> mutated = image;
+        const size_t nmut = 1 + mix64(rng) % 8;
+        for (size_t m = 0; m < nmut; ++m) {
+            switch (mix64(rng) % 4) {
+            case 0: // random byte write
+                mutated[mix64(rng) % mutated.size()] =
+                    static_cast<uint8_t>(mix64(rng));
+                break;
+            case 1: // truncate
+                mutated.resize(mix64(rng) % (mutated.size() + 1));
+                break;
+            case 2: { // swap two 8-byte blocks
+                if (mutated.size() < 16)
+                    break;
+                const size_t a =
+                    (mix64(rng) % (mutated.size() - 8)) & ~size_t{7};
+                const size_t b =
+                    (mix64(rng) % (mutated.size() - 8)) & ~size_t{7};
+                for (size_t k = 0; k < 8; ++k)
+                    std::swap(mutated[a + k], mutated[b + k]);
+                break;
+            }
+            default: // bit flip
+                if (!mutated.empty())
+                    mutated[mix64(rng) % mutated.size()] ^=
+                        uint8_t{1} << (mix64(rng) % 8);
+                break;
+            }
+            if (mutated.empty())
+                break;
+        }
+        parseAndDecode(std::move(mutated));
+    }
+    SUCCEED();
+}
+
+/** The same fuzz loop with CRCs *repaired* after each mutation, so
+ *  the mutations reach the semantic validators instead of being
+ *  swallowed by the checksum wall. */
+TEST(StmfFuzz, CrcRepairedMutationsNeverCrashTheDecoder)
+{
+    const std::vector<uint8_t> image = validImage();
+    uint64_t rng = 0xdecafu;
+    for (size_t iter = 0; iter < 500; ++iter) {
+        std::vector<uint8_t> mutated = image;
+        const size_t nmut = 1 + mix64(rng) % 4;
+        for (size_t m = 0; m < nmut; ++m)
+            mutated[kHeaderBytes +
+                    mix64(rng) % (mutated.size() - kHeaderBytes)] =
+                static_cast<uint8_t>(mix64(rng));
+        // Re-seal section CRCs against whatever bytes their (possibly
+        // tampered) table entries now claim, when still in bounds.
+        for (size_t entry = kHeaderBytes;
+             entry + kEntryBytes <= mutated.size() &&
+             entry < kHeaderBytes + 4 * kEntryBytes;
+             entry += kEntryBytes) {
+            uint64_t off = 0;
+            uint64_t len = 0;
+            std::memcpy(&off, mutated.data() + entry + 8,
+                        sizeof(off));
+            std::memcpy(&len, mutated.data() + entry + 16,
+                        sizeof(len));
+            if (off <= mutated.size() &&
+                len <= mutated.size() - off)
+                storeU32(mutated, entry + 24,
+                         crc32c(mutated.data() + off, len));
+        }
+        fixCrcs(mutated);
+        parseAndDecode(std::move(mutated));
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace st::model

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Hot-swap-under-live-traffic soak (ctest label: chaos; the TSan CI
+ * job runs it to prove the registry's publication protocol racefree).
+ *
+ * Eight chaotic sessions stream volleys through a StreamServer while
+ * a swapper thread performs N model swaps — good candidates
+ * interleaved with canary-failing ones (wrong width, throwing). The
+ * contract:
+ *
+ *   - every offered volley is accounted: delivered + dropped equals
+ *     the session's end-line totals, across every swap boundary;
+ *   - per-session delivery order is preserved through swaps;
+ *   - failed canaries roll back: the epoch never moves on one, and
+ *     the incumbent keeps serving (sessions never observe a width
+ *     change);
+ *   - the server survives the whole campaign and drains cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "serve/model.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st::serve {
+namespace {
+
+constexpr size_t kInputs = 6;
+constexpr size_t kSessions = 8;
+constexpr size_t kVolleys = 30;
+constexpr size_t kSwaps = 20;
+
+TnnNetwork
+makeNet(uint64_t seed)
+{
+    TnnNetwork net;
+    ColumnParams p;
+    p.numInputs = kInputs;
+    p.numNeurons = kInputs;
+    p.wtaK = 2;
+    p.seed = seed;
+    net.addLayer(p);
+    return net;
+}
+
+model::ModelInfo
+infoAt(uint64_t version)
+{
+    model::ModelInfo info;
+    info.kind = "tnn";
+    info.id = "chaos-swap";
+    info.version = version;
+    info.inputWidth = kInputs;
+    return info;
+}
+
+/** Canary-failing candidate: throws on its probe volley. */
+class ExplodingModel : public ServeModel
+{
+  public:
+    size_t numInputs() const override { return kInputs; }
+    std::string name() const override { return "exploding"; }
+    std::vector<std::string>
+    processBatch(std::span<const BatchItem>, size_t) override
+    {
+        throw std::runtime_error("canary must catch this");
+    }
+};
+
+uint64_t
+mix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+struct Outcome
+{
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t endVolleys = 0;
+    uint64_t endDrops = 0;
+    bool sawEnd = false;
+    bool orderOk = true;
+};
+
+Outcome
+drive(StreamServer &server, Session &s, uint64_t seed)
+{
+    const uint64_t window = 8;
+    s.feedLine("stserve 1", steadyNowMs());
+    s.feedLine("addresses " + std::to_string(kInputs) + " window " +
+                   std::to_string(window),
+               steadyNowMs());
+    uint64_t rng = seed;
+    for (size_t w = 0; w < kVolleys && !server.draining(); ++w) {
+        const uint64_t base = w * window;
+        uint64_t t = base;
+        for (size_t k = 0; k < 3; ++k) {
+            t += mix64(rng) % 3;
+            if (t >= base + window)
+                break;
+            s.feedLine(std::to_string(t) + " " +
+                           std::to_string(mix64(rng) % kInputs),
+                       steadyNowMs());
+        }
+        s.feedLine("flush", steadyNowMs());
+    }
+    s.feedLine("end", steadyNowMs());
+
+    Outcome out;
+    uint64_t lastSeq = 0;
+    bool sawSeq = false;
+    while (true) {
+        std::optional<std::string> line =
+            s.nextOutput(std::chrono::milliseconds(50));
+        if (!line) {
+            if (s.finished())
+                break;
+            continue;
+        }
+        if (line->rfind("volley ", 0) == 0) {
+            const uint64_t seq = std::stoull(line->substr(7));
+            if (sawSeq && seq <= lastSeq)
+                out.orderOk = false;
+            lastSeq = seq;
+            sawSeq = true;
+            ++out.delivered;
+        } else if (line->rfind("drop ", 0) == 0) {
+            ++out.dropped;
+        } else if (line->rfind("end volleys ", 0) == 0) {
+            out.sawEnd = true;
+            std::istringstream is(line->substr(4));
+            std::string kw;
+            is >> kw >> out.endVolleys >> kw >> out.endDrops;
+        }
+    }
+    return out;
+}
+
+TEST(ModelSwapChaos, SwapsUnderLiveChaoticTrafficAccountEveryVolley)
+{
+    ServeConfig config;
+    config.window = 8;
+    config.deadlineMs = 10000;
+    config.nthreads = 2;
+    StreamServer server(
+        std::make_unique<TnnServeModel>(makeNet(1)), config);
+
+    fault::FaultSpec spec;
+    spec.seed = 0x5a7b;
+    spec.jitter = 2;
+    spec.dropProb = 0.05;
+    spec.spuriousProb = 0.05;
+    server.enableChaos(spec);
+    server.start();
+
+    std::vector<std::shared_ptr<Session>> sessions;
+    for (size_t i = 0; i < kSessions; ++i) {
+        auto open = server.openSession("swap-chaos");
+        ASSERT_TRUE(open.session != nullptr);
+        sessions.push_back(open.session);
+    }
+    std::vector<Outcome> outcomes(kSessions);
+    std::vector<std::thread> drivers;
+    for (size_t i = 0; i < kSessions; ++i)
+        drivers.emplace_back([&, i] {
+            outcomes[i] = drive(server, *sessions[i], 9000 + i);
+        });
+
+    // The swapper: good swaps interleaved with canary-failing ones.
+    uint64_t goodSwaps = 0;
+    uint64_t badSwaps = 0;
+    std::thread swapper([&] {
+        for (size_t k = 0; k < kSwaps; ++k) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+            if (k % 4 == 3) {
+                // Wrong width or a throwing canary: must roll back.
+                const uint64_t before = server.registry().epoch();
+                Status status;
+                if (k % 8 == 3)
+                    status = server.swapModel(
+                        std::make_unique<ExplodingModel>(),
+                        infoAt(100 + k));
+                else
+                    status = server.swapModel(
+                        std::make_unique<TnnServeModel>(
+                            []() {
+                                TnnNetwork net;
+                                ColumnParams p;
+                                p.numInputs = kInputs + 3;
+                                p.numNeurons = 4;
+                                net.addLayer(p);
+                                return net;
+                            }()),
+                        infoAt(100 + k));
+                EXPECT_FALSE(status.isOk());
+                EXPECT_EQ(server.registry().epoch(), before)
+                    << "failed canary must not move the epoch";
+                ++badSwaps;
+            } else {
+                const Status status = server.swapModel(
+                    std::make_unique<TnnServeModel>(makeNet(k + 2)),
+                    infoAt(2 + k));
+                EXPECT_TRUE(status.isOk()) << status.str();
+                ++goodSwaps;
+            }
+        }
+    });
+
+    for (auto &d : drivers)
+        d.join();
+    swapper.join();
+
+    EXPECT_EQ(server.registry().swapCount(), goodSwaps);
+    EXPECT_EQ(server.registry().failedSwapCount(), badSwaps);
+    EXPECT_EQ(server.registry().epoch(), 1 + goodSwaps);
+
+    for (size_t i = 0; i < kSessions; ++i) {
+        const Outcome &o = outcomes[i];
+        EXPECT_TRUE(o.sawEnd) << "session " << i;
+        EXPECT_TRUE(o.orderOk) << "session " << i;
+        EXPECT_EQ(o.delivered, o.endVolleys) << "session " << i;
+        EXPECT_EQ(o.dropped, o.endDrops) << "session " << i;
+        EXPECT_EQ(o.delivered + o.dropped, kVolleys)
+            << "session " << i
+            << ": a swap boundary lost or duplicated a volley";
+    }
+
+    server.requestStop();
+    EXPECT_TRUE(server.waitDrained());
+}
+
+/**
+ * Rollback pinning under traffic: while sessions stream, every swap
+ * offered is canary-failing. The server must end the campaign on the
+ * boot model (epoch 1) with every volley accounted.
+ */
+TEST(ModelSwapChaos, AllFailedSwapsLeaveBootModelServing)
+{
+    ServeConfig config;
+    config.window = 8;
+    config.deadlineMs = 10000;
+    config.nthreads = 1;
+    StreamServer server(
+        std::make_unique<TnnServeModel>(makeNet(1)), config);
+    server.start();
+
+    constexpr size_t kFew = 4;
+    std::vector<std::shared_ptr<Session>> sessions;
+    for (size_t i = 0; i < kFew; ++i) {
+        auto open = server.openSession("rollback");
+        ASSERT_TRUE(open.session != nullptr);
+        sessions.push_back(open.session);
+    }
+    std::vector<Outcome> outcomes(kFew);
+    std::vector<std::thread> drivers;
+    for (size_t i = 0; i < kFew; ++i)
+        drivers.emplace_back([&, i] {
+            outcomes[i] = drive(server, *sessions[i], 400 + i);
+        });
+
+    const std::shared_ptr<const ModelVersion> boot =
+        server.registry().current();
+    for (size_t k = 0; k < 10; ++k) {
+        EXPECT_FALSE(server
+                         .swapModel(
+                             std::make_unique<ExplodingModel>(),
+                             infoAt(50 + k))
+                         .isOk());
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    for (auto &d : drivers)
+        d.join();
+
+    EXPECT_EQ(server.registry().current().get(), boot.get());
+    EXPECT_EQ(server.registry().epoch(), 1u);
+    EXPECT_EQ(server.registry().failedSwapCount(), 10u);
+    for (size_t i = 0; i < kFew; ++i) {
+        EXPECT_EQ(outcomes[i].delivered + outcomes[i].dropped,
+                  kVolleys)
+            << "session " << i;
+    }
+
+    server.requestStop();
+    EXPECT_TRUE(server.waitDrained());
+}
+
+} // namespace
+} // namespace st::serve

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * ModelRegistry unit suite (serve/registry.hpp): canary gating,
+ * rollback-by-absence, epoch pinning, and the model-directory scan.
+ *
+ * The live-traffic soak (8 chaotic sessions through N swaps) lives in
+ * model_swap_chaos_test.cpp under the "chaos" ctest label; this file
+ * is the tier-1 fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/serialize.hpp"
+#include "serve/registry.hpp"
+#include "tnn/tnn_network.hpp"
+
+namespace st::serve {
+namespace {
+
+TnnNetwork
+makeNet(size_t inputs)
+{
+    TnnNetwork net;
+    ColumnParams p;
+    p.numInputs = inputs;
+    p.numNeurons = inputs;
+    p.wtaK = 2;
+    p.seed = 17;
+    net.addLayer(p);
+    return net;
+}
+
+std::unique_ptr<ServeModel>
+makeModel(size_t inputs)
+{
+    return std::make_unique<TnnServeModel>(makeNet(inputs));
+}
+
+model::ModelInfo
+infoAt(uint64_t version)
+{
+    model::ModelInfo info;
+    info.kind = "tnn";
+    info.id = "unit";
+    info.version = version;
+    info.inputWidth = 4;
+    return info;
+}
+
+/** A candidate whose canary volley always throws. */
+class ExplodingModel : public ServeModel
+{
+  public:
+    explicit ExplodingModel(size_t inputs) : inputs_(inputs) {}
+    size_t numInputs() const override { return inputs_; }
+    std::string name() const override { return "exploding"; }
+    std::vector<std::string>
+    processBatch(std::span<const BatchItem>, size_t) override
+    {
+        throw std::runtime_error("kaboom at first volley");
+    }
+
+  private:
+    size_t inputs_;
+};
+
+TEST(ModelRegistry, BootsAtEpochOneAndPublishesOnSwap)
+{
+    ModelRegistry registry(makeModel(4), infoAt(1));
+    EXPECT_EQ(registry.epoch(), 1u);
+    EXPECT_EQ(registry.current()->info.version, 1u);
+
+    const Status status = registry.swap(makeModel(4), infoAt(2));
+    ASSERT_TRUE(status.isOk()) << status.str();
+    EXPECT_EQ(registry.epoch(), 2u);
+    EXPECT_EQ(registry.current()->info.version, 2u);
+    EXPECT_EQ(registry.swapCount(), 1u);
+    EXPECT_EQ(registry.failedSwapCount(), 0u);
+}
+
+TEST(ModelRegistry, WidthMismatchRollsBackToIncumbent)
+{
+    ModelRegistry registry(makeModel(4), infoAt(1));
+    const std::shared_ptr<const ModelVersion> before =
+        registry.current();
+
+    const Status status = registry.swap(makeModel(6), infoAt(2));
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::FailedPrecondition);
+    EXPECT_EQ(registry.current().get(), before.get())
+        << "incumbent must keep serving after a failed canary";
+    EXPECT_EQ(registry.epoch(), 1u);
+    EXPECT_EQ(registry.failedSwapCount(), 1u);
+    EXPECT_EQ(registry.swapCount(), 0u);
+}
+
+TEST(ModelRegistry, ThrowingCanaryRollsBack)
+{
+    ModelRegistry registry(makeModel(4), infoAt(1));
+    const Status status = registry.swap(
+        std::make_unique<ExplodingModel>(4), infoAt(2));
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("kaboom"), std::string::npos)
+        << status.str();
+    EXPECT_EQ(registry.epoch(), 1u);
+    EXPECT_EQ(registry.failedSwapCount(), 1u);
+}
+
+TEST(ModelRegistry, NullCandidateRejected)
+{
+    ModelRegistry registry(makeModel(4), infoAt(1));
+    EXPECT_FALSE(registry.swap(nullptr, infoAt(2)).isOk());
+    EXPECT_EQ(registry.epoch(), 1u);
+}
+
+TEST(ModelRegistry, PinnedVersionOutlivesSwap)
+{
+    ModelRegistry registry(makeModel(4), infoAt(1));
+    const std::shared_ptr<const ModelVersion> pinned =
+        registry.current();
+
+    ASSERT_TRUE(registry.swap(makeModel(4), infoAt(2)).isOk());
+    ASSERT_TRUE(registry.swap(makeModel(4), infoAt(3)).isOk());
+
+    // The retired version still evaluates: an in-flight batch that
+    // pinned it mid-swap finishes on its own engine.
+    BatchItem item;
+    item.session = 42;
+    item.seq = 0;
+    item.volley = Volley(4, Time(0));
+    const std::vector<std::string> payloads =
+        pinned->model->processBatch(
+            std::span<const BatchItem>(&item, 1), 1);
+    EXPECT_EQ(payloads.size(), 1u);
+    EXPECT_EQ(pinned->epoch, 1u);
+    EXPECT_EQ(registry.epoch(), 3u);
+}
+
+TEST(MakeServeModel, DispatchesEveryKind)
+{
+    const std::string dir = ::testing::TempDir();
+    {
+        const std::string path = dir + "swap_make_tnn.stmf";
+        ASSERT_TRUE(model::packTnn(makeNet(4), path,
+                                   model::PackOptions{})
+                        .isOk());
+        model::LoadedModel loaded;
+        ASSERT_TRUE(
+            model::loadModel(path, model::LoadMode::Mmap, loaded)
+                .isOk());
+        const std::unique_ptr<ServeModel> m = makeServeModel(loaded);
+        ASSERT_TRUE(m != nullptr);
+        EXPECT_EQ(m->name(), "tnn");
+        EXPECT_EQ(m->numInputs(), 4u);
+    }
+    {
+        Network net(3);
+        std::vector<NodeId> ins;
+        for (size_t i = 0; i < 3; ++i)
+            ins.push_back(net.input(i));
+        net.markOutput(net.min(ins));
+        const std::string path = dir + "swap_make_plan.stmf";
+        ASSERT_TRUE(model::packNetwork(net, path,
+                                       model::PackOptions{})
+                        .isOk());
+        model::LoadedModel loaded;
+        ASSERT_TRUE(
+            model::loadModel(path, model::LoadMode::Mmap, loaded)
+                .isOk());
+        const std::unique_ptr<ServeModel> m = makeServeModel(loaded);
+        ASSERT_TRUE(m != nullptr);
+        EXPECT_EQ(m->name(), "plan");
+        EXPECT_TRUE(m->transactional());
+    }
+    {
+        model::LsmModelConfig config;
+        config.params.numInputs = 5;
+        const std::string path = dir + "swap_make_lsm.stmf";
+        ASSERT_TRUE(model::packLsm(config, path,
+                                   model::PackOptions{})
+                        .isOk());
+        model::LoadedModel loaded;
+        ASSERT_TRUE(
+            model::loadModel(path, model::LoadMode::Mmap, loaded)
+                .isOk());
+        const std::unique_ptr<ServeModel> m = makeServeModel(loaded);
+        ASSERT_TRUE(m != nullptr);
+        EXPECT_EQ(m->numInputs(), 5u);
+    }
+}
+
+TEST(PickLatestModel, PrefersHighestVersionAndReportsCorruptSiblings)
+{
+    const std::string dir =
+        ::testing::TempDir() + "swap_pick_dir";
+    ASSERT_EQ(0, ::system(("rm -rf " + dir + " && mkdir -p " + dir)
+                              .c_str()));
+
+    model::PackOptions v1;
+    v1.version = 1;
+    ASSERT_TRUE(
+        model::packTnn(makeNet(4), dir + "/a_v1.stmf", v1).isOk());
+    model::PackOptions v7;
+    v7.version = 7;
+    ASSERT_TRUE(
+        model::packTnn(makeNet(4), dir + "/b_v7.stmf", v7).isOk());
+    {
+        std::ofstream junk(dir + "/junk.stmf", std::ios::binary);
+        junk << "definitely not a container";
+    }
+
+    std::string best;
+    Status skipped;
+    const Status status = pickLatestModel(dir, best, &skipped);
+    ASSERT_TRUE(status.isOk()) << status.str();
+    EXPECT_NE(best.find("b_v7.stmf"), std::string::npos) << best;
+    EXPECT_FALSE(skipped.isOk())
+        << "the corrupt sibling must be reported";
+    EXPECT_NE(skipped.message().find("junk.stmf"), std::string::npos)
+        << skipped.str();
+}
+
+TEST(PickLatestModel, EmptyOrMissingDirIsNotFound)
+{
+    const std::string dir =
+        ::testing::TempDir() + "swap_empty_dir";
+    ASSERT_EQ(0, ::system(("rm -rf " + dir + " && mkdir -p " + dir)
+                              .c_str()));
+    std::string best;
+    EXPECT_EQ(pickLatestModel(dir, best).code(),
+              StatusCode::NotFound);
+    EXPECT_EQ(pickLatestModel(dir + "/nope", best).code(),
+              StatusCode::NotFound);
+}
+
+} // namespace
+} // namespace st::serve

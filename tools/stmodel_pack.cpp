@@ -1,0 +1,391 @@
+/**
+ * @file
+ * stmodel_pack — pack, inspect and verify STMF model containers.
+ *
+ *   stmodel_pack --in net.tnn  --out net.stmf [--id NAME]
+ *                [--model-version N]             # pack a text TNN
+ *   stmodel_pack --in f.stnet  --out f.stmf [--grl]
+ *                                               # compile + pack a plan
+ *   stmodel_pack --demo 8 --out demo.stmf [--kind tnn|plan|lsm]
+ *                                               # generate a demo model
+ *   stmodel_pack --info   model.stmf            # header + section table
+ *   stmodel_pack --verify model.stmf            # both load paths agree
+ *
+ * --in sniffs the text format from its header line ("sttnn 1" vs
+ * "stnet 1"). --verify loads the container through BOTH paths — mmap
+ * with pointer fixup and the copying fallback — runs the same
+ * deterministic probe volleys through each, and requires bit-identical
+ * outputs; it exits non-zero (with the loader's contextual Status) on
+ * any disagreement or validation failure, so a CI step can gate a
+ * model publish on it.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/network_io.hpp"
+#include "model/serialize.hpp"
+#include "model/stmf.hpp"
+#include "tnn/lsm.hpp"
+#include "tnn/tnn_io.hpp"
+#include "tnn/tnn_network.hpp"
+
+using namespace st;
+using namespace st::model;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  stmodel_pack --in FILE --out FILE.stmf [--id NAME]\n"
+           "               [--model-version N] [--grl]\n"
+           "  stmodel_pack --demo N --out FILE.stmf"
+           " [--kind tnn|plan|lsm]\n"
+           "               [--id NAME] [--model-version N]\n"
+           "  stmodel_pack --info FILE.stmf\n"
+           "  stmodel_pack --verify FILE.stmf\n"
+           "--in accepts the sttnn and stnet text formats (sniffed\n"
+           "from the header line). --verify loads via mmap AND the\n"
+           "copying fallback and requires bit-identical probe-volley\n"
+           "outputs from both.\n";
+    return 2;
+}
+
+std::string
+readFile(const std::string &path, bool &ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    ok = static_cast<bool>(in);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** First whitespace-delimited token of the text (format sniff). */
+std::string
+firstToken(const std::string &text)
+{
+    size_t b = text.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = text.find_first_of(" \t\r\n", b);
+    return text.substr(b, e == std::string::npos ? e : e - b);
+}
+
+const char *
+sectionName(uint32_t type)
+{
+    switch (static_cast<SectionType>(type)) {
+    case SectionType::Meta:
+        return "meta";
+    case SectionType::Tnn:
+        return "tnn";
+    case SectionType::Plan:
+        return "plan";
+    case SectionType::Grl:
+        return "grl";
+    case SectionType::Lsm:
+        return "lsm";
+    }
+    return "?";
+}
+
+/** The same 2-layer WTA demo stack stnet_serve --demo builds. */
+TnnNetwork
+demoTnn(size_t inputs)
+{
+    TnnNetwork net;
+    ColumnParams l1;
+    l1.numInputs = inputs;
+    l1.numNeurons = inputs * 2;
+    l1.wtaK = 4;
+    net.addLayer(l1);
+    ColumnParams l2;
+    l2.numInputs = inputs * 2;
+    l2.numNeurons = inputs;
+    l2.wtaK = 1;
+    net.addLayer(l2);
+    return net;
+}
+
+/**
+ * A demo s-t network exercising every op the plan codec serializes:
+ * min/max trees over the inputs, an lt race, an inc delay and a
+ * config micro-weight.
+ */
+Network
+demoNetwork(size_t inputs)
+{
+    Network net(inputs);
+    std::vector<NodeId> ins;
+    for (size_t i = 0; i < inputs; ++i)
+        ins.push_back(net.input(i));
+    const NodeId first = net.min(ins);
+    const NodeId last = net.max(ins);
+    const NodeId spread = net.lt(first, last);
+    const NodeId delayed = net.inc(first, 3);
+    const NodeId gate = net.config(Time(0));
+    net.markOutput(net.max(spread, gate));
+    net.markOutput(net.min(delayed, last));
+    return net;
+}
+
+/**
+ * Deterministic probe volleys: a mix of finite times and inf (no
+ * spike) lines, different per volley, identical across runs.
+ */
+std::vector<Volley>
+probeVolleys(size_t width, size_t count)
+{
+    std::vector<Volley> volleys;
+    for (size_t j = 0; j < count; ++j) {
+        Volley v(width, INF);
+        for (size_t i = 0; i < width; ++i)
+            if ((i + 3 * j) % 7 != 0)
+                v[i] = Time((i * 37 + j * 101) % 64);
+        volleys.push_back(std::move(v));
+    }
+    return volleys;
+}
+
+std::string
+timesToString(std::span<const Time> times)
+{
+    std::string s;
+    for (const Time &t : times) {
+        s += t.isInf() ? std::string("inf") : std::to_string(t.value());
+        s += ' ';
+    }
+    return s;
+}
+
+/**
+ * Run the loaded model over @p volleys and flatten every output into
+ * one bit-exact signature string (Time reps and double bit patterns,
+ * so "identical" means identical to the last bit, not to printf
+ * precision).
+ */
+std::string
+probeSignature(const LoadedModel &loaded,
+               const std::vector<Volley> &volleys)
+{
+    std::ostringstream sig;
+    if (loaded.tnn) {
+        for (const Volley &v : volleys)
+            sig << timesToString(loaded.tnn->process(v)) << '\n';
+    } else if (loaded.plan) {
+        EvalScratch scratch;
+        std::vector<Time> out;
+        for (const Volley &v : volleys) {
+            loaded.plan->evaluate(v, scratch, out);
+            sig << timesToString(out) << '\n';
+        }
+    } else if (loaded.lsm) {
+        // The reservoir is re-derived from the seeded params, so the
+        // probe runs the actual dynamics both configs would serve.
+        Reservoir reservoir(loaded.lsm->params);
+        for (const Volley &v : volleys) {
+            reservoir.reset();
+            const size_t spikes = reservoir.runVolley(
+                v, loaded.lsm->stepsPerVolley);
+            sig << spikes << ':';
+            for (const double trace : reservoir.traces()) {
+                uint64_t bits = 0;
+                std::memcpy(&bits, &trace, sizeof(bits));
+                sig << bits << ' ';
+            }
+            sig << '\n';
+        }
+    }
+    return sig.str();
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    StmfFile file;
+    if (Status status = StmfFile::open(path, LoadMode::Mmap, file);
+        !status.isOk()) {
+        std::cerr << "stmodel_pack: " << status.str() << "\n";
+        return 1;
+    }
+    std::printf("container  %s\n", path.c_str());
+    std::printf("bytes      %zu\n", file.fileBytes());
+    std::printf("file-crc   %08x\n", file.fileCrc());
+    std::printf("load-mode  %s\n",
+                file.mode() == LoadMode::Mmap ? "mmap" : "copy");
+    std::printf("sections   %zu\n", file.sections().size());
+    for (const StmfFile::Section &s : file.sections())
+        std::printf("  %-5s off %8llu  len %8llu  crc %08x\n",
+                    sectionName(s.type),
+                    static_cast<unsigned long long>(s.offset),
+                    static_cast<unsigned long long>(s.length), s.crc);
+    ModelInfo info;
+    if (Status status = decodeMeta(file, info); !status.isOk()) {
+        std::cerr << "stmodel_pack: " << status.str() << "\n";
+        return 1;
+    }
+    std::printf("kind       %s\n", info.kind.c_str());
+    std::printf("id         %s\n", info.id.c_str());
+    std::printf("version    %llu\n",
+                static_cast<unsigned long long>(info.version));
+    std::printf("inputs     %llu\n",
+                static_cast<unsigned long long>(info.inputWidth));
+    return 0;
+}
+
+int
+cmdVerify(const std::string &path)
+{
+    LoadedModel mapped;
+    if (Status status = loadModel(path, LoadMode::Mmap, mapped);
+        !status.isOk()) {
+        std::cerr << "stmodel_pack: mmap load: " << status.str()
+                  << "\n";
+        return 1;
+    }
+    LoadedModel copied;
+    if (Status status = loadModel(path, LoadMode::Copy, copied);
+        !status.isOk()) {
+        std::cerr << "stmodel_pack: copy load: " << status.str()
+                  << "\n";
+        return 1;
+    }
+    if (mapped.info.fileCrc != copied.info.fileCrc ||
+        mapped.info.kind != copied.info.kind ||
+        mapped.info.inputWidth != copied.info.inputWidth) {
+        std::cerr << "stmodel_pack: load paths disagree on identity\n";
+        return 1;
+    }
+    const std::vector<Volley> volleys =
+        probeVolleys(mapped.info.inputWidth, 8);
+    const std::string a = probeSignature(mapped, volleys);
+    const std::string b = probeSignature(copied, volleys);
+    if (a != b) {
+        std::cerr << "stmodel_pack: VERIFY FAILED — mmap and copy "
+                     "paths produced different outputs\n";
+        return 1;
+    }
+    std::printf("verify ok: %s \"%s\" v%llu, %llu inputs, "
+                "%zu probe volleys bit-identical (mmap vs copy), "
+                "crc %08x\n",
+                mapped.info.kind.c_str(), mapped.info.id.c_str(),
+                static_cast<unsigned long long>(mapped.info.version),
+                static_cast<unsigned long long>(
+                    mapped.info.inputWidth),
+                volleys.size(), mapped.info.fileCrc);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string inPath;
+    std::string outPath;
+    std::string infoPath;
+    std::string verifyPath;
+    std::string kind = "tnn";
+    size_t demoInputs = 0;
+    bool withGrl = false;
+    PackOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasNext = i + 1 < argc;
+        if (arg == "--in" && hasNext) {
+            inPath = argv[++i];
+        } else if (arg == "--out" && hasNext) {
+            outPath = argv[++i];
+        } else if (arg == "--info" && hasNext) {
+            infoPath = argv[++i];
+        } else if (arg == "--verify" && hasNext) {
+            verifyPath = argv[++i];
+        } else if (arg == "--demo" && hasNext) {
+            demoInputs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--kind" && hasNext) {
+            kind = argv[++i];
+        } else if (arg == "--id" && hasNext) {
+            options.id = argv[++i];
+        } else if (arg == "--model-version" && hasNext) {
+            options.version = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--grl") {
+            withGrl = true;
+        } else {
+            return usage();
+        }
+    }
+
+    if (!infoPath.empty())
+        return cmdInfo(infoPath);
+    if (!verifyPath.empty())
+        return cmdVerify(verifyPath);
+
+    if (outPath.empty() ||
+        (inPath.empty() && demoInputs == 0) ||
+        (!inPath.empty() && demoInputs > 0))
+        return usage();
+
+    Status status;
+    try {
+        if (demoInputs > 0) {
+            if (kind == "tnn") {
+                status =
+                    packTnn(demoTnn(demoInputs), outPath, options);
+            } else if (kind == "plan") {
+                status = packNetwork(demoNetwork(demoInputs), outPath,
+                                     options, true);
+            } else if (kind == "lsm") {
+                LsmModelConfig config;
+                config.params.numInputs = demoInputs;
+                config.params.numNeurons = 96;
+                status = packLsm(config, outPath, options);
+            } else {
+                return usage();
+            }
+        } else {
+            bool ok = false;
+            const std::string text = readFile(inPath, ok);
+            if (!ok) {
+                std::cerr << "stmodel_pack: cannot open " << inPath
+                          << "\n";
+                return 1;
+            }
+            const std::string token = firstToken(text);
+            if (token == "sttnn")
+                status = packTnn(tnnFromText(text), outPath, options);
+            else if (token == "stnet")
+                status = packNetwork(networkFromText(text), outPath,
+                                     options, withGrl);
+            else {
+                std::cerr << "stmodel_pack: " << inPath
+                          << ": unrecognized input format (expected "
+                             "an sttnn or stnet header)\n";
+                return 1;
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "stmodel_pack: " << e.what() << "\n";
+        return 1;
+    }
+    if (!status.isOk()) {
+        std::cerr << "stmodel_pack: " << status.str() << "\n";
+        return 1;
+    }
+
+    // Round-trip sanity on what was just written, then report like
+    // --info so the pack step's log shows what actually shipped.
+    return cmdVerify(outPath);
+}
